@@ -1,0 +1,308 @@
+// Package cicada is a single-node multi-core in-memory transactional
+// database with serializability, implementing the design of "Cicada:
+// Dependably Fast Multi-Core In-Memory Transactions" (Lim, Kaminsky,
+// Andersen — SIGMOD 2017): optimistic multi-version concurrency control
+// with multi-clock timestamp allocation, best-effort inlining, rapid
+// garbage collection, and globally coordinated contention regulation.
+//
+// # Quick start
+//
+//	db := cicada.Open(cicada.DefaultConfig(4)) // 4 worker threads
+//	accounts := db.CreateTable("accounts")
+//	byID := db.CreateHashIndex("accounts_by_id", 1024, true)
+//
+//	w := db.Worker(0) // one Worker per goroutine
+//	err := w.Run(func(tx *cicada.Txn) error {
+//	    rid, buf, err := tx.Insert(accounts, 8)
+//	    if err != nil {
+//	        return err
+//	    }
+//	    binary.LittleEndian.PutUint64(buf, 100)
+//	    return byID.Insert(tx, 42, rid)
+//	})
+//
+// Each worker owns a loosely synchronized clock; transactions are timestamped
+// at begin, execute without global writes, and validate at commit. Run
+// retries on conflicts with contention-regulated backoff. Read-only
+// transactions (RunReadOnly) run against a recent consistent snapshot and
+// never abort or validate.
+package cicada
+
+import (
+	"time"
+
+	"cicada/internal/clock"
+	"cicada/internal/core"
+	"cicada/internal/index"
+	"cicada/internal/storage"
+	"cicada/internal/wal"
+)
+
+// RecordID locates a record within a Table. Indexes map keys to RecordIDs.
+type RecordID = storage.RecordID
+
+// Timestamp is a Cicada transaction timestamp (56-bit clock, 8-bit worker).
+type Timestamp = clock.Timestamp
+
+// Errors returned by transaction operations.
+var (
+	// ErrAborted reports a concurrency conflict; Worker.Run retries it.
+	ErrAborted = core.ErrAborted
+	// ErrNotFound reports a missing record or index key.
+	ErrNotFound = core.ErrNotFound
+	// ErrReadOnly reports a write inside a read-only transaction.
+	ErrReadOnly = core.ErrReadOnly
+	// ErrDuplicate reports a unique-index violation.
+	ErrDuplicate = index.ErrDuplicate
+)
+
+// Config selects engine parameters. DefaultConfig returns the paper's
+// defaults; zero-valued durations keep them.
+type Config struct {
+	// Workers is the number of worker threads (goroutines) that will run
+	// transactions; worker 0 doubles as the maintenance leader.
+	Workers int
+	// Inlining enables best-effort inlining of small records (§3.3).
+	Inlining bool
+	// GCInterval bounds how often each worker declares quiescence and
+	// collects garbage (§3.8). Default 10 µs.
+	GCInterval time.Duration
+	// FixedMaxBackoff, when ≥ 0, disables contention regulation's hill
+	// climbing and uses the given maximum backoff (§3.9). Negative selects
+	// automatic regulation.
+	FixedMaxBackoff time.Duration
+	// CentralizedClock replaces multi-clock timestamping with a shared
+	// atomic counter, as conventional MVCC schemes use (for comparison).
+	CentralizedClock bool
+
+	// NoWaitPending, NoWriteLatestRule, NoSortWriteSet and NoPreCheck
+	// disable individual performance optimizations (Table 2 ablations).
+	NoWaitPending     bool
+	NoWriteLatestRule bool
+	NoSortWriteSet    bool
+	NoPreCheck        bool
+}
+
+// DefaultConfig returns the paper's default configuration for n workers.
+func DefaultConfig(n int) Config {
+	return Config{Workers: n, Inlining: true, FixedMaxBackoff: -1}
+}
+
+// DB is a Cicada database instance.
+type DB struct {
+	eng *core.Engine
+	wal *wal.Manager
+}
+
+// Open creates a database. Tables and indexes must be created before
+// transactions run.
+func Open(cfg Config) *DB {
+	opts := core.DefaultOptions(cfg.Workers)
+	opts.Inlining = cfg.Inlining
+	opts.NoWaitPending = cfg.NoWaitPending
+	opts.NoWriteLatestRule = cfg.NoWriteLatestRule
+	opts.NoSortWriteSet = cfg.NoSortWriteSet
+	opts.NoPreCheck = cfg.NoPreCheck
+	if cfg.GCInterval > 0 {
+		opts.GCInterval = cfg.GCInterval
+	}
+	if cfg.FixedMaxBackoff >= 0 {
+		opts.FixedMaxBackoff = cfg.FixedMaxBackoff
+	} else {
+		opts.FixedMaxBackoff = -1
+	}
+	opts.Clock.Centralized = cfg.CentralizedClock
+	return &DB{eng: core.NewEngine(opts)}
+}
+
+// Table is a handle to a Cicada table: an expandable array of multi-version
+// records addressed by RecordID.
+type Table struct {
+	t *core.Table
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.t.Storage().Name() }
+
+// CreateTable registers a new table. It panics on a duplicate name.
+func (db *DB) CreateTable(name string) *Table {
+	return &Table{t: db.eng.CreateTable(name)}
+}
+
+// Worker returns the execution handle for worker id ∈ [0, Workers). Each
+// Worker must be used by at most one goroutine at a time.
+func (db *DB) Worker(id int) *Worker {
+	return &Worker{w: db.eng.Worker(id)}
+}
+
+// Workers returns the configured worker count.
+func (db *DB) Workers() int { return db.eng.Options().Workers }
+
+// Stats aggregates transaction counters across workers. Call while workers
+// are paused or finished.
+func (db *DB) Stats() Stats {
+	s := db.eng.Stats()
+	return Stats{
+		Commits:    s.Commits,
+		Aborts:     s.Aborts,
+		UserAborts: s.UserAborts,
+		AbortTime:  s.AbortTime,
+		BusyTime:   s.BusyTime,
+	}
+}
+
+// CommittedTxns returns the live committed-transaction count (safe to call
+// concurrently).
+func (db *DB) CommittedTxns() uint64 { return db.eng.CommitsLive() }
+
+// MaxBackoff returns the contention regulator's current globally
+// coordinated maximum backoff (§3.9).
+func (db *DB) MaxBackoff() time.Duration { return db.eng.MaxBackoff() }
+
+// SpaceOverhead returns total versions / total records − 1 (§4.6, Fig 9).
+func (db *DB) SpaceOverhead() float64 { return db.eng.SpaceOverhead() }
+
+// Engine exposes the internal engine for benchmarks within this module.
+func (db *DB) Engine() *core.Engine { return db.eng }
+
+// Stats are aggregate transaction outcome counters.
+type Stats struct {
+	Commits    uint64
+	Aborts     uint64
+	UserAborts uint64
+	AbortTime  time.Duration
+	BusyTime   time.Duration
+}
+
+// AbortRate returns aborts / (aborts + commits).
+func (s Stats) AbortRate() float64 {
+	total := s.Aborts + s.Commits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(total)
+}
+
+// Worker is a per-thread execution context.
+type Worker struct {
+	w *core.Worker
+}
+
+// ID returns the worker's thread ID.
+func (w *Worker) ID() int { return w.w.ID() }
+
+// Run executes fn in a read-write transaction, retrying on ErrAborted with
+// contention-regulated backoff. Returning any other error rolls back and
+// returns it. fn may run multiple times.
+func (w *Worker) Run(fn func(tx *Txn) error) error {
+	return w.w.Run(func(ct *core.Txn) error {
+		return fn(&Txn{t: ct})
+	})
+}
+
+// RunReadOnly executes fn in a read-only snapshot transaction at the
+// worker's read timestamp: it sees a recent consistent snapshot (staleness
+// on the order of the maintenance interval, §3.1/§4.6), performs no read
+// validation, and cannot abort due to conflicts.
+func (w *Worker) RunReadOnly(fn func(tx *Txn) error) error {
+	return w.w.RunRO(func(ct *core.Txn) error {
+		return fn(&Txn{t: ct})
+	})
+}
+
+// RunExternal is Run with external consistency (§3.1): it returns only
+// after every worker's future transaction is guaranteed a later timestamp
+// than this commit, so acknowledgment order matches serialization order
+// even across disjoint access sets. Adds roughly the maintenance interval
+// of latency; all workers must keep running maintenance.
+func (w *Worker) RunExternal(fn func(tx *Txn) error) error {
+	return w.w.RunExternal(func(ct *core.Txn) error {
+		return fn(&Txn{t: ct})
+	})
+}
+
+// ObserveTimestamp establishes causal ordering (§3.1): the worker's future
+// transactions receive timestamps later than ts. Use it to carry
+// happens-before across workers or external systems.
+func (w *Worker) ObserveTimestamp(ts Timestamp) { w.w.ObserveTimestamp(ts) }
+
+// Maintain runs one cooperative maintenance step (quiescence, garbage
+// collection, clock synchronization). Run and RunReadOnly call it
+// automatically; call it (or Idle) from workers that pause between
+// transactions so they do not stall the garbage collection horizon.
+func (w *Worker) Maintain() { w.w.Maintain() }
+
+// Idle is maintenance for a worker with no work: it also refreshes the
+// worker's timestamps so min_wts keeps advancing.
+func (w *Worker) Idle() { w.w.Idle() }
+
+// ReadDirect reads a single record without a transaction (Appendix B):
+// record data is always consistent in Cicada, so locating the visible
+// version at the worker's snapshot timestamp needs no locking or copying.
+func (w *Worker) ReadDirect(t *Table, rid RecordID) ([]byte, bool) {
+	return w.w.ReadDirect(t.t, rid)
+}
+
+// SnapshotTimestamp returns the timestamp a read-only transaction would use
+// now; useful for measuring snapshot staleness.
+func (w *Worker) SnapshotTimestamp() Timestamp { return w.w.SnapshotTS() }
+
+// Stats returns this worker's counters.
+func (w *Worker) Stats() Stats {
+	s := w.w.Stats()
+	return Stats{
+		Commits:    s.Commits,
+		Aborts:     s.Aborts,
+		UserAborts: s.UserAborts,
+		AbortTime:  s.AbortTime,
+		BusyTime:   s.BusyTime,
+	}
+}
+
+// Txn is a transaction. All operations must happen on the worker's
+// goroutine between Run's invocation and return.
+type Txn struct {
+	t *core.Txn
+}
+
+// Timestamp returns the transaction's timestamp, which is also its position
+// in the equivalent serial schedule.
+func (tx *Txn) Timestamp() Timestamp { return tx.t.Timestamp() }
+
+// ReadOnly reports whether this is a read-only snapshot transaction.
+func (tx *Txn) ReadOnly() bool { return tx.t.ReadOnly() }
+
+// Read returns the record's data at the transaction's timestamp. The slice
+// aliases the shared committed version — valid until the transaction ends
+// and must not be modified. (Committed version data is immutable, so no
+// defensive copy or re-validation read is needed.)
+func (tx *Txn) Read(t *Table, rid RecordID) ([]byte, error) {
+	return tx.t.Read(t.t, rid)
+}
+
+// Update stages a read-modify-write and returns a writable buffer holding a
+// copy of the current data, resized to newSize if newSize ≥ 0.
+func (tx *Txn) Update(t *Table, rid RecordID, newSize int) ([]byte, error) {
+	return tx.t.Update(t.t, rid, newSize)
+}
+
+// Write stages a blind write (no dependency on the record's previous value)
+// and returns a zeroed writable buffer of size bytes.
+func (tx *Txn) Write(t *Table, rid RecordID, size int) ([]byte, error) {
+	return tx.t.Write(t.t, rid, size)
+}
+
+// Insert creates a record and returns its ID and writable buffer. The ID is
+// private to the transaction until commit.
+func (tx *Txn) Insert(t *Table, size int) (RecordID, []byte, error) {
+	return tx.t.Insert(t.t, size)
+}
+
+// Delete stages the record's deletion; its ID is reclaimed by garbage
+// collection after the delete commits.
+func (tx *Txn) Delete(t *Table, rid RecordID) error {
+	return tx.t.Delete(t.t, rid)
+}
+
+// Internal returns the underlying transaction for advanced integrations.
+func (tx *Txn) Internal() *core.Txn { return tx.t }

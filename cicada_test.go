@@ -1,0 +1,219 @@
+package cicada_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+
+	cicada "cicada"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	db := cicada.Open(cicada.DefaultConfig(2))
+	tbl := db.CreateTable("accounts")
+	byID := db.CreateHashIndex("accounts_by_id", 256, true)
+
+	w := db.Worker(0)
+	if err := w.Run(func(tx *cicada.Txn) error {
+		rid, buf, err := tx.Insert(tbl, 8)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(buf, 100)
+		return byID.Insert(tx, 42, rid)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(tx *cicada.Txn) error {
+		rid, err := byID.Get(tx, 42)
+		if err != nil {
+			return err
+		}
+		d, err := tx.Read(tbl, rid)
+		if err != nil {
+			return err
+		}
+		if binary.LittleEndian.Uint64(d) != 100 {
+			t.Errorf("balance %d", binary.LittleEndian.Uint64(d))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(tx *cicada.Txn) error {
+		return byID.Insert(tx, 42, 99)
+	}); !errors.Is(err, cicada.ErrDuplicate) {
+		t.Fatalf("unique violation: %v", err)
+	}
+	if db.Stats().Commits < 2 {
+		t.Fatalf("stats %+v", db.Stats())
+	}
+}
+
+func TestPublicAPIBTreeAndSnapshot(t *testing.T) {
+	db := cicada.Open(cicada.DefaultConfig(2))
+	tbl := db.CreateTable("t")
+	bt := db.CreateBTreeIndex("t_by_key", false)
+	w := db.Worker(0)
+	for k := uint64(0); k < 100; k++ {
+		k := k
+		if err := w.Run(func(tx *cicada.Txn) error {
+			rid, buf, err := tx.Insert(tbl, 8)
+			if err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint64(buf, k)
+			return bt.Insert(tx, k, rid)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the snapshot horizon catch up, then scan read-only.
+	for i := 0; i < 100; i++ {
+		db.Worker(0).Idle()
+		db.Worker(1).Idle()
+	}
+	if err := db.Worker(1).RunReadOnly(func(tx *cicada.Txn) error {
+		if !tx.ReadOnly() {
+			t.Error("not read-only")
+		}
+		n := 0
+		prev := int64(-1)
+		if err := bt.Scan(tx, 10, 59, -1, func(k uint64, rid cicada.RecordID) bool {
+			if int64(k) <= prev {
+				t.Errorf("out of order: %d after %d", k, prev)
+			}
+			prev = int64(k)
+			n++
+			return true
+		}); err != nil {
+			return err
+		}
+		if n != 50 {
+			t.Errorf("scanned %d", n)
+		}
+		if _, err := tx.Write(tbl, 0, 1); !errors.Is(err, cicada.ErrReadOnly) {
+			t.Errorf("write in RO: %v", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIWALRecovery(t *testing.T) {
+	dir := t.TempDir()
+	open := func() (*cicada.DB, *cicada.Table, *cicada.HashIndex) {
+		db := cicada.Open(cicada.DefaultConfig(1))
+		tbl := db.CreateTable("kv")
+		idx := db.CreateHashIndex("kv_by_key", 256, true)
+		return db, tbl, idx
+	}
+	db, tbl, idx := open()
+	w, err := db.AttachWAL(cicada.WALConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wk := db.Worker(0)
+	for k := uint64(0); k < 20; k++ {
+		k := k
+		if err := wk.Run(func(tx *cicada.Txn) error {
+			rid, buf, err := tx.Insert(tbl, 8)
+			if err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint64(buf, k*7)
+			return idx.Insert(tx, k, rid)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, tbl2, idx2 := open()
+	stats, err := db2.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Installed == 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if err := db2.Worker(0).Run(func(tx *cicada.Txn) error {
+		for k := uint64(0); k < 20; k++ {
+			rid, err := idx2.Get(tx, k)
+			if err != nil {
+				return err
+			}
+			d, err := tx.Read(tbl2, rid)
+			if err != nil {
+				return err
+			}
+			if binary.LittleEndian.Uint64(d) != k*7 {
+				t.Errorf("key %d: %d", k, binary.LittleEndian.Uint64(d))
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIConcurrentWorkers(t *testing.T) {
+	const workers = 4
+	db := cicada.Open(cicada.DefaultConfig(workers))
+	tbl := db.CreateTable("counter")
+	var rid cicada.RecordID
+	if err := db.Worker(0).Run(func(tx *cicada.Txn) error {
+		r, buf, err := tx.Insert(tbl, 8)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(buf, 0)
+		rid = r
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const per = 100
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := db.Worker(id)
+			for i := 0; i < per; i++ {
+				if err := w.Run(func(tx *cicada.Txn) error {
+					buf, err := tx.Update(tbl, rid, -1)
+					if err != nil {
+						return err
+					}
+					binary.LittleEndian.PutUint64(buf, binary.LittleEndian.Uint64(buf)+1)
+					return nil
+				}); err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	// ReadDirect reads at the snapshot horizon, which may lag; the final
+	// audit uses a read-write transaction for an up-to-date view.
+	if d0, ok := db.Worker(0).ReadDirect(tbl, rid); ok && binary.LittleEndian.Uint64(d0) > workers*per {
+		t.Fatalf("direct read beyond maximum: %d", binary.LittleEndian.Uint64(d0))
+	}
+	var d []byte
+	if err := db.Worker(0).Run(func(tx *cicada.Txn) error {
+		dd, err := tx.Read(tbl, rid)
+		d = append([]byte(nil), dd...)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(d); got != workers*per {
+		t.Fatalf("counter %d, want %d", got, workers*per)
+	}
+}

@@ -1,0 +1,235 @@
+// cicada-bench regenerates the paper's evaluation (§4): every figure and
+// table has a subcommand that runs the corresponding workload sweep across
+// Cicada and the baseline concurrency control schemes and prints a table of
+// committed throughput (and abort rates) shaped like the paper's plot.
+//
+// Usage:
+//
+//	cicada-bench [flags] <experiment> [...]
+//
+// Experiments: fig3a fig3b fig3c fig4a fig4b fig4c fig5a fig5b fig5c
+// fig6a fig6b fig6c fig7 fig8 fig9 fig10 fig11a fig11b fig11c fig11d
+// table2 scan staleness rts tatp all
+//
+// The default scale fits a small machine; -full selects paper-scale data
+// sizes (10 M-record YCSB, 100 k-item TPC-C). EXPERIMENTS.md documents the
+// mapping to the paper's testbed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"cicada/internal/bench"
+)
+
+func main() {
+	var (
+		csvPath = flag.String("csv", "", "append raw results as CSV to this file")
+		threads = flag.String("threads", "", "comma-separated thread sweep (default scales to GOMAXPROCS)")
+		engines = flag.String("engines", "", "comma-separated engine filter (default: all)")
+		measure = flag.Duration("measure", 2*time.Second, "measurement window per point")
+		ramp    = flag.Duration("ramp", 500*time.Millisecond, "ramp-up before measuring")
+		full    = flag.Bool("full", false, "paper-scale data sizes (needs ~16 GB RAM and patience)")
+		records = flag.Int("ycsb-records", 0, "override YCSB record count")
+		items   = flag.Int("tpcc-items", 0, "override TPC-C item count")
+		sizes   = flag.String("record-sizes", "", "comma-separated Figure 8 record sizes")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: cicada-bench [flags] <experiment> [...]; see -h")
+		os.Exit(2)
+	}
+
+	s := bench.DefaultScale()
+	s.Dur = bench.Durations{Ramp: *ramp, Measure: *measure}
+	maxT := runtime.GOMAXPROCS(0)
+	if maxT >= 4 {
+		s.Threads = []int{1, 2, 4}
+		for t := 8; t <= maxT; t *= 2 {
+			s.Threads = append(s.Threads, t)
+		}
+	}
+	s.MaxThreads = s.Threads[len(s.Threads)-1]
+	if *threads != "" {
+		s.Threads = nil
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad -threads value %q\n", part)
+				os.Exit(2)
+			}
+			s.Threads = append(s.Threads, n)
+		}
+		s.MaxThreads = s.Threads[len(s.Threads)-1]
+	}
+	if *engines != "" {
+		s.Engines = nil
+		for _, part := range strings.Split(*engines, ",") {
+			s.Engines = append(s.Engines, strings.TrimSpace(part))
+		}
+	}
+	if *full {
+		s.YCSB.Records = 10_000_000
+		s.TPCC.Items = 100_000
+		s.TPCC.CustomersPerDistrict = 3000
+		s.TPCC.InitialOrdersPerDistrict = 3000
+	}
+	if *records > 0 {
+		s.YCSB.Records = *records
+	}
+	if *items > 0 {
+		s.TPCC.Items = *items
+	}
+	if *sizes != "" {
+		s.RecordSizes = nil
+		for _, part := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "bad -record-sizes value %q\n", part)
+				os.Exit(2)
+			}
+			s.RecordSizes = append(s.RecordSizes, n)
+		}
+	}
+
+	exps := flag.Args()
+	if len(exps) == 1 && exps[0] == "all" {
+		exps = []string{"fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig4c",
+			"fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c", "fig7",
+			"fig8", "fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig11d",
+			"table2", "scan", "staleness", "rts", "tatp"}
+	}
+	var csvOut *os.File
+	if *csvPath != "" {
+		f, err := os.OpenFile(*csvPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "open -csv file: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csvOut = f
+	}
+	for _, exp := range exps {
+		rs := runExperiment(exp, s)
+		if csvOut != nil {
+			bench.WriteCSV(csvOut, rs)
+		}
+	}
+}
+
+func runExperiment(exp string, s bench.Scale) []bench.Result {
+	out := os.Stdout
+	var collected []bench.Result
+	keep := func(rs []bench.Result) []bench.Result {
+		collected = append(collected, rs...)
+		return rs
+	}
+	switch exp {
+	case "fig3a", "fig3b", "fig3c":
+		rs := keep(bench.Fig3(exp[4], s))
+		bench.PrintTable(out, "Figure 3"+exp[4:]+": TPC-C, phantom avoidance ("+whDesc(exp[4])+")", "threads", rs)
+	case "fig4a", "fig4b", "fig4c":
+		rs := keep(bench.Fig4(exp[4], s))
+		bench.PrintTable(out, "Figure 4"+exp[4:]+": TPC-C, deferred index updates ("+whDesc(exp[4])+")", "threads", rs)
+	case "fig5a", "fig5b", "fig5c", "fig5":
+		sub := byte('a')
+		if len(exp) == 5 {
+			sub = exp[4]
+		}
+		rs := keep(bench.Fig5(sub, s))
+		bench.PrintTable(out, "Figure 5: TPC-C-NP ("+whDesc(sub)+")", "threads", rs)
+	case "fig6a":
+		bench.PrintTable(out, "Figure 6a: YCSB 16 req/tx, write-intensive, zipf 0.99", "threads", keep(bench.Fig6('a', s)))
+	case "fig6b":
+		bench.PrintTable(out, "Figure 6b: YCSB 16 req/tx, write-intensive, skew sweep", "skew", keep(bench.Fig6('b', s)))
+	case "fig6c":
+		bench.PrintTable(out, "Figure 6c: YCSB 16 req/tx, read-intensive, skew sweep", "skew", keep(bench.Fig6('c', s)))
+	case "fig7":
+		bench.PrintTable(out, "Figure 7: multi-clock factor analysis (YCSB 1 req/tx, 95% read)", "threads", keep(bench.Fig7(s)))
+	case "fig8":
+		bench.PrintTable(out, "Figure 8: best-effort inlining vs record size (read-intensive, uniform)", "record_size", keep(bench.Fig8(s)))
+	case "fig9":
+		rs := keep(bench.Fig9(s))
+		bench.PrintTable(out, "Figure 9: GC interval sweep (TPC-C)", "gc_interval_us", rs)
+		for _, r := range rs {
+			fmt.Printf("  %s gc=%gus space overhead: %.2f%%\n", r.Engine, r.Param, 100*r.Extra["space_overhead"])
+		}
+	case "fig10":
+		for _, which := range []string{"tpcc", "tpccnp", "ycsb"} {
+			rs := keep(bench.Fig10(which, s))
+			bench.PrintTable(out, "Figure 10 ("+which+"): contention regulation (param -1 = auto)", "max_backoff_us", rs)
+			for _, r := range rs {
+				fmt.Printf("  %s backoff=%gus: %.0f tps, abort time %.1f%%\n",
+					r.Engine, r.Param, r.TPS, 100*r.AbortTimeFrac)
+			}
+		}
+	case "fig11a", "fig11b", "fig11c", "fig11d":
+		sub := exp[5]
+		param := "skew"
+		if sub == 'b' || sub == 'd' {
+			param = "threads"
+		}
+		bench.PrintTable(out, "Figure 11"+string(sub)+": YCSB 1 req/tx", param, keep(bench.Fig11(sub, s)))
+	case "table2":
+		rs := keep(bench.Table2(s))
+		bench.PrintTable(out, "Table 2: optimization ablation (contended YCSB)", "threads", rs)
+		base := rs[0].TPS
+		for _, r := range rs {
+			if r.Engine == "Cicada" {
+				base = r.TPS
+			}
+		}
+		for _, r := range rs {
+			if r.Engine != "Cicada" && base > 0 {
+				fmt.Printf("  %s: %+.1f%%\n", r.Engine, 100*(r.TPS-base)/base)
+			}
+		}
+	case "scan":
+		rs := keep(bench.ScanBench(s))
+		bench.PrintTable(out, "§4.6: scan throughput with/without inlining", "threads", rs)
+		for _, r := range rs {
+			fmt.Printf("  %s: %.0f records scanned/s\n", r.Engine, r.Extra["records_scanned_per_s"])
+		}
+	case "staleness":
+		rs := keep(bench.Staleness(s))
+		fmt.Printf("\n=== §4.6: read-only snapshot staleness (TPC-C) ===\n")
+		for _, r := range rs {
+			fmt.Printf("%s: avg %.1f us, p99.9 %.1f us, max %.1f us (paper, 28 threads: avg 117 us, p99.9 724 us)\n",
+				r.Engine, r.Extra["staleness_avg_us"], r.Extra["staleness_p999_us"], r.Extra["staleness_max_us"])
+		}
+	case "tatp":
+		rs := keep(bench.TATP(s))
+		bench.PrintTable(out, "Appendix B: TATP mix (Cicada/direct-read uses transaction-less reads)", "threads", rs)
+		for _, r := range rs {
+			if d := r.Extra["direct_reads_per_s"]; d > 0 {
+				fmt.Printf("  %s: %.0f direct reads/s\n", r.Engine, d)
+			}
+		}
+	case "rts":
+		cond, faa := bench.RTSUpdateBench(s.MaxThreads, s.Dur.Measure)
+		fmt.Printf("\n=== §3.4: read-timestamp update microbenchmark ===\n")
+		fmt.Printf("conditional rts updates: %.2e ops/s; atomic fetch-add: %.2e ops/s (ratio %.1fx)\n",
+			cond, faa, cond/faa)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
+		os.Exit(2)
+	}
+	return collected
+}
+
+func whDesc(sub byte) string {
+	switch sub {
+	case 'a':
+		return "1 warehouse"
+	case 'b':
+		return "4 warehouses"
+	default:
+		return "warehouses = threads"
+	}
+}

@@ -1,0 +1,66 @@
+package cicada
+
+import (
+	"time"
+
+	"cicada/internal/wal"
+)
+
+// WALConfig configures durability (§3.7).
+type WALConfig struct {
+	// Dir is the directory for redo logs and checkpoints.
+	Dir string
+	// Loggers is the number of logger streams (default: 1 per 4 workers).
+	Loggers int
+	// GroupCommit is the fsync interval (default 1 ms).
+	GroupCommit time.Duration
+	// ChunkSize rotates redo log files at this size (default 1 MiB).
+	ChunkSize int64
+}
+
+// WAL is a handle to the database's durability manager.
+type WAL struct {
+	m *wal.Manager
+}
+
+// AttachWAL enables parallel value logging: every committed transaction's
+// write set is appended to per-logger redo files before the transaction's
+// versions become visible, with group-commit fsync. It must be called
+// before transactions run.
+func (db *DB) AttachWAL(cfg WALConfig) (*WAL, error) {
+	m, err := wal.Attach(db.eng, wal.Options{
+		Dir:         cfg.Dir,
+		Loggers:     cfg.Loggers,
+		GroupCommit: cfg.GroupCommit,
+		ChunkSize:   cfg.ChunkSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.wal = m
+	return &WAL{m: m}, nil
+}
+
+// Flush is a durability barrier: it forces all buffered redo records to
+// stable storage immediately instead of waiting for group commit.
+func (w *WAL) Flush() error { return w.m.Flush() }
+
+// Checkpoint writes a consistent snapshot of all tables taken at a safe
+// snapshot timestamp, then purges redo log chunks and older checkpoints the
+// new checkpoint covers. It runs concurrently with transactions.
+func (w *WAL) Checkpoint() error { return w.m.Checkpoint() }
+
+// Close flushes and stops logging.
+func (w *WAL) Close() error { return w.m.Close() }
+
+// RecoverStats summarizes a recovery.
+type RecoverStats = wal.RecoverStats
+
+// Recover replays the newest checkpoint and all redo logs in dir into db,
+// which must be freshly opened with the same tables and indexes created in
+// the same order, and must not be running transactions. After recovery the
+// clocks are initialized past every replayed timestamp, so the database is
+// immediately usable.
+func (db *DB) Recover(dir string) (RecoverStats, error) {
+	return wal.Recover(db.eng, dir)
+}

@@ -1,0 +1,83 @@
+package cicada_test
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	cicada "cicada"
+)
+
+// ExampleDB demonstrates the basic transaction lifecycle: insert, index,
+// read-modify-write with automatic retry, and a read-only snapshot read.
+func ExampleDB() {
+	db := cicada.Open(cicada.DefaultConfig(1))
+	counters := db.CreateTable("counters")
+	byName := db.CreateHashIndex("counters_by_name", 64, true)
+	w := db.Worker(0)
+
+	const key = 7
+	_ = w.Run(func(tx *cicada.Txn) error {
+		rid, buf, err := tx.Insert(counters, 8)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(buf, 41)
+		return byName.Insert(tx, key, rid)
+	})
+	_ = w.Run(func(tx *cicada.Txn) error {
+		rid, err := byName.Get(tx, key)
+		if err != nil {
+			return err
+		}
+		buf, err := tx.Update(counters, rid, -1)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(buf, binary.LittleEndian.Uint64(buf)+1)
+		return nil
+	})
+	_ = w.Run(func(tx *cicada.Txn) error {
+		rid, err := byName.Get(tx, key)
+		if err != nil {
+			return err
+		}
+		d, err := tx.Read(counters, rid)
+		if err != nil {
+			return err
+		}
+		fmt.Println(binary.LittleEndian.Uint64(d))
+		return nil
+	})
+	// Output: 42
+}
+
+// ExampleBTreeIndex shows ordered range scans with phantom avoidance.
+func ExampleBTreeIndex() {
+	db := cicada.Open(cicada.DefaultConfig(1))
+	events := db.CreateTable("events")
+	byTime := db.CreateBTreeIndex("events_by_time", false)
+	w := db.Worker(0)
+
+	_ = w.Run(func(tx *cicada.Txn) error {
+		for _, ts := range []uint64{30, 10, 20, 40} {
+			rid, buf, err := tx.Insert(events, 8)
+			if err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint64(buf, ts*100)
+			if err := byTime.Insert(tx, ts, rid); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	_ = w.Run(func(tx *cicada.Txn) error {
+		return byTime.Scan(tx, 15, 35, -1, func(key uint64, rid cicada.RecordID) bool {
+			fmt.Println(key)
+			return true
+		})
+	})
+	// Output:
+	// 20
+	// 30
+}

@@ -1,0 +1,123 @@
+// Durability demonstrates Cicada's logging, checkpointing, and recovery
+// (§3.7): it writes through a WAL, takes a checkpoint mid-run, "crashes"
+// (drops the in-memory database), recovers a fresh instance from disk, and
+// verifies every record survived with its latest committed value.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	cicada "cicada"
+)
+
+func main() {
+	var (
+		dir  = flag.String("dir", "", "log directory (default: temp dir)")
+		keys = flag.Int("keys", 500, "records to write")
+	)
+	flag.Parse()
+	if *dir == "" {
+		d, err := os.MkdirTemp("", "cicada-wal-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(d)
+		*dir = d
+	}
+
+	schema := func() (*cicada.DB, *cicada.Table, *cicada.HashIndex) {
+		db := cicada.Open(cicada.DefaultConfig(2))
+		tbl := db.CreateTable("kv")
+		idx := db.CreateHashIndex("kv_by_key", *keys*2, true)
+		return db, tbl, idx
+	}
+
+	// Phase 1: a database with a WAL attached.
+	db, tbl, idx := schema()
+	w, err := db.AttachWAL(cicada.WALConfig{Dir: *dir, GroupCommit: time.Millisecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wk := db.Worker(0)
+	put := func(k, v uint64) {
+		if err := wk.Run(func(tx *cicada.Txn) error {
+			if rid, err := idx.Get(tx, k); err == nil {
+				buf, err := tx.Update(tbl, rid, -1)
+				if err != nil {
+					return err
+				}
+				binary.LittleEndian.PutUint64(buf, v)
+				return nil
+			}
+			rid, buf, err := tx.Insert(tbl, 8)
+			if err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint64(buf, v)
+			return idx.Insert(tx, k, rid)
+		}); err != nil {
+			log.Fatalf("put %d: %v", k, err)
+		}
+	}
+	for k := 0; k < *keys; k++ {
+		put(uint64(k), uint64(k)*10)
+	}
+	fmt.Printf("wrote %d records\n", *keys)
+
+	// Checkpoint mid-run (concurrent-safe; here sequential for clarity).
+	for i := 0; i < 100; i++ {
+		db.Worker(0).Idle()
+		db.Worker(1).Idle()
+	}
+	if err := w.Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("checkpoint taken; sealed redo chunks purged")
+
+	// Post-checkpoint tail: overwrite a third of the keys.
+	for k := 0; k < *keys; k += 3 {
+		put(uint64(k), uint64(k)*10+1)
+	}
+	if err := w.Close(); err != nil { // flush + stop: the "clean crash"
+		log.Fatal(err)
+	}
+	fmt.Println("crash! dropping the in-memory database")
+
+	// Phase 2: recover into a fresh instance with the same schema.
+	db2, tbl2, idx2 := schema()
+	stats, err := db2.Recover(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered: %d checkpoint records, %d redo records, %d versions installed\n",
+		stats.CheckpointRecords, stats.RedoRecords, stats.Installed)
+
+	if err := db2.Worker(0).Run(func(tx *cicada.Txn) error {
+		for k := 0; k < *keys; k++ {
+			rid, err := idx2.Get(tx, uint64(k))
+			if err != nil {
+				return fmt.Errorf("key %d: %w", k, err)
+			}
+			d, err := tx.Read(tbl2, rid)
+			if err != nil {
+				return err
+			}
+			want := uint64(k) * 10
+			if k%3 == 0 {
+				want++
+			}
+			if got := binary.LittleEndian.Uint64(d); got != want {
+				return fmt.Errorf("key %d: got %d want %d", k, got, want)
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatalf("VERIFY FAILED: %v", err)
+	}
+	fmt.Printf("all %d records verified after recovery ✔\n", *keys)
+}

@@ -1,0 +1,101 @@
+// TPC-C runs the full five-transaction TPC-C mix (§4.2) on Cicada, prints
+// the per-type commit counts and total throughput, and verifies the TPC-C
+// consistency assertions afterward.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"cicada/internal/bench"
+	"cicada/internal/engine"
+	"cicada/internal/workload/tpcc"
+)
+
+func main() {
+	var (
+		workers    = flag.Int("workers", 4, "worker threads")
+		warehouses = flag.Int("warehouses", 1, "warehouse count (1 = contended)")
+		items      = flag.Int("items", 10_000, "items per warehouse (spec: 100000)")
+		duration   = flag.Duration("duration", 2*time.Second, "measurement window")
+	)
+	flag.Parse()
+
+	cfg := tpcc.DefaultConfig(*warehouses)
+	cfg.Items = *items
+	cfg.CustomersPerDistrict = 600
+	cfg.InitialOrdersPerDistrict = 300
+
+	db := bench.CicadaFactory(nil)(engine.Config{
+		Workers: *workers, PhantomAvoidance: true,
+		HashBucketsHint: cfg.Warehouses * cfg.Items,
+	})
+	w := tpcc.Setup(db, cfg)
+	fmt.Printf("loading %d warehouse(s)...\n", *warehouses)
+	if err := w.Load(); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.CheckConsistency(); err != nil {
+		log.Fatalf("post-load consistency: %v", err)
+	}
+	engine.WarmUp(db)
+
+	stop := make(chan struct{})
+	gens := make([]*tpcc.Gen, *workers)
+	var wg sync.WaitGroup
+	for id := 0; id < *workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			g := w.NewGen(id)
+			gens[id] = g
+			wk := db.Worker(id)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := g.RunOne(wk); err != nil {
+					if errors.Is(err, engine.ErrAborted) {
+						continue
+					}
+					log.Fatalf("worker %d: %v", id, err)
+				}
+			}
+		}(id)
+	}
+	c0 := db.CommitsLive()
+	t0 := time.Now()
+	time.Sleep(*duration)
+	c1 := db.CommitsLive()
+	elapsed := time.Since(t0)
+	close(stop)
+	wg.Wait()
+
+	var counts [5]uint64
+	for _, g := range gens {
+		for i, c := range g.Counts {
+			counts[i] += c
+		}
+	}
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	fmt.Printf("throughput: %.0f tx/s over %v\n", float64(c1-c0)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+	for i, c := range counts {
+		fmt.Printf("  %-12s %8d (%.1f%%)\n", tpcc.TxType(i), c, 100*float64(c)/float64(total))
+	}
+	s := db.Stats()
+	fmt.Printf("abort rate %.1f%%\n", 100*s.AbortRate())
+
+	if err := w.CheckConsistency(); err != nil {
+		log.Fatalf("CONSISTENCY CHECK FAILED: %v", err)
+	}
+	fmt.Println("TPC-C consistency checks passed")
+}

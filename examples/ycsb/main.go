@@ -1,0 +1,81 @@
+// YCSB runs the paper's YCSB configuration (§4.2) on Cicada and prints the
+// committed throughput and abort rate — a miniature of Figure 6.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"cicada/internal/bench"
+	"cicada/internal/engine"
+	"cicada/internal/workload/ycsb"
+)
+
+func main() {
+	var (
+		workers  = flag.Int("workers", 4, "worker threads")
+		records  = flag.Int("records", 200_000, "table size (paper: 10M)")
+		reqs     = flag.Int("reqs", 16, "requests per transaction")
+		readPct  = flag.Float64("read", 0.95, "read fraction (rest are RMW)")
+		theta    = flag.Float64("theta", 0.99, "zipf skew (0 = uniform)")
+		duration = flag.Duration("duration", 2*time.Second, "measurement window")
+	)
+	flag.Parse()
+
+	cfg := ycsb.DefaultConfig()
+	cfg.Records = *records
+	cfg.ReqsPerTx = *reqs
+	cfg.ReadRatio = *readPct
+	cfg.Theta = *theta
+
+	db := bench.CicadaFactory(nil)(engine.Config{
+		Workers: *workers, PhantomAvoidance: true, HashBucketsHint: cfg.Records,
+	})
+	w := ycsb.Setup(db, cfg)
+	fmt.Printf("loading %d records...\n", cfg.Records)
+	if err := w.Load(); err != nil {
+		log.Fatal(err)
+	}
+	engine.WarmUp(db)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for id := 0; id < *workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			g := w.NewGen(id)
+			wk := db.Worker(id)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := g.RunOne(wk); err != nil {
+					if errors.Is(err, engine.ErrAborted) {
+						continue
+					}
+					log.Fatalf("worker %d: %v", id, err)
+				}
+			}
+		}(id)
+	}
+	c0 := db.CommitsLive()
+	t0 := time.Now()
+	time.Sleep(*duration)
+	c1 := db.CommitsLive()
+	elapsed := time.Since(t0)
+	close(stop)
+	wg.Wait()
+
+	s := db.Stats()
+	fmt.Printf("YCSB: %d req/tx, %.0f%% read, zipf %.2f, %d workers\n",
+		*reqs, *readPct*100, *theta, *workers)
+	fmt.Printf("throughput: %.0f tx/s; abort rate %.2f%%\n",
+		float64(c1-c0)/elapsed.Seconds(), 100*s.AbortRate())
+}

@@ -1,0 +1,3 @@
+module cicada
+
+go 1.22

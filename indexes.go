@@ -1,0 +1,76 @@
+package cicada
+
+import (
+	"cicada/internal/index"
+)
+
+// HashIndex is a multi-version hash index (§3.6): point lookups only. Index
+// nodes are records in an internal Cicada table, so index reads are
+// validated with the transaction (precluding phantoms for absent keys) and
+// index updates stay thread-local until the transaction validates — aborted
+// transactions never disturb global index state.
+type HashIndex struct {
+	h *index.MVHash
+}
+
+// CreateHashIndex registers a multi-version hash index sized for roughly
+// capacity entries. With unique set, Insert rejects duplicate keys.
+func (db *DB) CreateHashIndex(name string, capacity int, unique bool) *HashIndex {
+	return &HashIndex{h: index.NewMVHash(db.eng, "__idx_"+name, capacity, unique)}
+}
+
+// Get returns the first record ID for key, or ErrNotFound.
+func (ix *HashIndex) Get(tx *Txn, key uint64) (RecordID, error) {
+	return ix.h.Get(tx.t, key)
+}
+
+// GetAll appends every record ID for key to dst.
+func (ix *HashIndex) GetAll(tx *Txn, key uint64, dst []RecordID) ([]RecordID, error) {
+	return ix.h.GetAll(tx.t, key, dst)
+}
+
+// Insert adds key → rid.
+func (ix *HashIndex) Insert(tx *Txn, key uint64, rid RecordID) error {
+	return ix.h.Insert(tx.t, key, rid)
+}
+
+// Delete removes key → rid.
+func (ix *HashIndex) Delete(tx *Txn, key uint64, rid RecordID) error {
+	return ix.h.Delete(tx.t, key, rid)
+}
+
+// BTreeIndex is a multi-version ordered index (§3.6): a B+-tree whose nodes
+// are records in an internal Cicada table. Range scans read every touched
+// leaf inside the transaction, so phantoms are impossible for committed
+// transactions.
+type BTreeIndex struct {
+	t *index.MVBTree
+}
+
+// CreateBTreeIndex registers a multi-version ordered index. With unique
+// set, Insert rejects duplicate keys.
+func (db *DB) CreateBTreeIndex(name string, unique bool) *BTreeIndex {
+	return &BTreeIndex{t: index.NewMVBTree(db.eng, "__idx_"+name, unique)}
+}
+
+// Get returns the first record ID for key, or ErrNotFound.
+func (ix *BTreeIndex) Get(tx *Txn, key uint64) (RecordID, error) {
+	return ix.t.Get(tx.t, key)
+}
+
+// Insert adds key → rid (duplicate keys with distinct record IDs are
+// allowed unless the index is unique).
+func (ix *BTreeIndex) Insert(tx *Txn, key uint64, rid RecordID) error {
+	return ix.t.Insert(tx.t, key, rid)
+}
+
+// Delete removes key → rid.
+func (ix *BTreeIndex) Delete(tx *Txn, key uint64, rid RecordID) error {
+	return ix.t.Delete(tx.t, key, rid)
+}
+
+// Scan visits entries with lo ≤ key ≤ hi in key order until fn returns
+// false or limit entries have been visited (limit < 0 = unlimited).
+func (ix *BTreeIndex) Scan(tx *Txn, lo, hi uint64, limit int, fn func(key uint64, rid RecordID) bool) error {
+	return ix.t.Scan(tx.t, lo, hi, limit, fn)
+}

@@ -1,0 +1,98 @@
+package common
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"cicada/internal/engine"
+)
+
+// MaxBackoff is DBx1000's fixed maximum backoff: an aborted transaction
+// sleeps for a random duration in [0, 100 µs] (§3.9). The paper grants this
+// scheme to Silo' and the other DBx1000 schemes.
+const MaxBackoff = 100 * time.Microsecond
+
+// WorkerBase carries the per-worker bookkeeping shared by every baseline:
+// outcome counters and the DBx1000 backoff loop.
+type WorkerBase struct {
+	ID      int
+	Rng     *rand.Rand
+	Stats   engine.Stats
+	commits atomic.Uint64
+}
+
+// InitWorker seeds a worker's state.
+func (w *WorkerBase) InitWorker(id int) {
+	w.ID = id
+	w.Rng = rand.New(rand.NewSource(int64(id)*2654435761 + 99991))
+}
+
+// CommitsLive returns the worker's committed count (atomic).
+func (w *WorkerBase) CommitsLive() uint64 { return w.commits.Load() }
+
+// RunLoop drives attempt until it commits or fails with a non-retryable
+// error. attempt must run one full transaction (execute + validate +
+// commit/abort) and return nil, engine.ErrAborted, or an application error.
+func (w *WorkerBase) RunLoop(attempt func() error) error {
+	for {
+		start := time.Now()
+		err := attempt()
+		elapsed := time.Since(start)
+		w.Stats.BusyTime += elapsed
+		if err == nil {
+			w.Stats.Commits++
+			w.commits.Add(1)
+			return nil
+		}
+		if !errors.Is(err, engine.ErrAborted) {
+			w.Stats.UserAborts++
+			return err
+		}
+		w.Stats.Aborts++
+		w.Stats.AbortTime += elapsed
+		w.Backoff()
+	}
+}
+
+// Backoff sleeps for a random duration in [0, MaxBackoff], busy-yielding so
+// microsecond-scale backoff is honored on coarse-timer platforms.
+func (w *WorkerBase) Backoff() {
+	d := time.Duration(w.Rng.Int63n(int64(MaxBackoff) + 1))
+	w.Stats.AbortTime += d
+	if d == 0 {
+		runtime.Gosched()
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// StatsOf aggregates worker stats. Call while workers are quiescent.
+func StatsOf(ws []*WorkerBase) engine.Stats {
+	var s engine.Stats
+	for _, w := range ws {
+		s.Commits += w.Stats.Commits
+		s.Aborts += w.Stats.Aborts
+		s.UserAborts += w.Stats.UserAborts
+		s.AbortTime += w.Stats.AbortTime
+		s.BusyTime += w.Stats.BusyTime
+	}
+	return s
+}
+
+// CommitsLiveOf sums workers' atomic commit counters.
+func CommitsLiveOf(ws []*WorkerBase) uint64 {
+	var n uint64
+	for _, w := range ws {
+		n += w.CommitsLive()
+	}
+	return n
+}
+
+// Yield is a scheduling hint used inside consistent-read retry loops.
+func Yield() { runtime.Gosched() }

@@ -1,0 +1,217 @@
+package common
+
+import (
+	"cicada/internal/engine"
+	"cicada/internal/svindex"
+)
+
+// IndexSet holds a scheme's single-version indexes and implements the two
+// index-update disciplines the paper compares:
+//
+//   - Eager (Config.PhantomAvoidance = true, Figure 3): index updates are
+//     applied during the read phase — creating the index contention the
+//     paper describes (§2.1) — and undone on abort; scans and absent-key
+//     probes record node stamps that are re-validated at commit (Silo-style
+//     phantom avoidance).
+//   - Deferred (PhantomAvoidance = false, Figure 4): index updates are
+//     buffered and applied only after commit, with no phantom validation.
+type IndexSet struct {
+	cfg engine.Config
+	idx []svIdx
+}
+
+type svIdx struct {
+	hash    *svindex.Hash
+	tree    *svindex.SkipList
+	ordered bool
+}
+
+// NewIndexSet creates an empty index set under cfg's discipline.
+func NewIndexSet(cfg engine.Config) *IndexSet { return &IndexSet{cfg: cfg} }
+
+// CreateHash registers a hash index.
+func (s *IndexSet) CreateHash(buckets int) engine.IndexID {
+	s.idx = append(s.idx, svIdx{hash: svindex.NewHash(buckets)})
+	return engine.IndexID(len(s.idx) - 1)
+}
+
+// CreateOrdered registers an ordered (skip list) index.
+func (s *IndexSet) CreateOrdered() engine.IndexID {
+	s.idx = append(s.idx, svIdx{tree: svindex.NewSkipList(), ordered: true})
+	return engine.IndexID(len(s.idx) - 1)
+}
+
+// Eager reports whether index updates are applied during the read phase.
+func (s *IndexSet) Eager() bool { return s.cfg.PhantomAvoidance }
+
+type idxOp struct {
+	idx    engine.IndexID
+	key    uint64
+	rid    engine.RecordID
+	insert bool
+}
+
+type hashObs struct {
+	h     *svindex.Hash
+	key   uint64
+	stamp uint64
+}
+
+// TxIndex is the per-transaction index state: stamp observations for
+// phantom validation, applied-op undo (eager), or buffered ops (deferred).
+// Embed it in a scheme's transaction and call Reset at begin, Validate
+// during commit validation, and Committed/Aborted at the outcome.
+type TxIndex struct {
+	set      *IndexSet
+	stamps   []svindex.NodeStamp
+	hashObs  []hashObs
+	applied  []idxOp // eager: ops already applied, undone on abort
+	deferred []idxOp // deferred: ops applied after commit
+}
+
+// Reset prepares the transaction-local state for a new transaction.
+func (t *TxIndex) Reset(set *IndexSet) {
+	t.set = set
+	t.stamps = t.stamps[:0]
+	t.hashObs = t.hashObs[:0]
+	t.applied = t.applied[:0]
+	t.deferred = t.deferred[:0]
+}
+
+// Get looks up key, honoring the transaction's own pending ops.
+func (t *TxIndex) Get(i engine.IndexID, key uint64) (engine.RecordID, error) {
+	for j := len(t.deferred) - 1; j >= 0; j-- {
+		op := &t.deferred[j]
+		if op.idx == i && op.key == key {
+			if op.insert {
+				return op.rid, nil
+			}
+			return 0, engine.ErrNotFound
+		}
+	}
+	ix := &t.set.idx[i]
+	if ix.hash != nil {
+		rid, ok, stamp := ix.hash.Get(key)
+		if ok {
+			return rid, nil
+		}
+		if t.set.Eager() {
+			t.hashObs = append(t.hashObs, hashObs{h: ix.hash, key: key, stamp: stamp})
+		}
+		return 0, engine.ErrNotFound
+	}
+	var obs *[]svindex.NodeStamp
+	if t.set.Eager() {
+		obs = &t.stamps
+	}
+	rid, ok := ix.tree.Get(key, obs)
+	if !ok {
+		return 0, engine.ErrNotFound
+	}
+	return rid, nil
+}
+
+// Scan visits [lo, hi] on an ordered index, recording node stamps in eager
+// mode.
+func (t *TxIndex) Scan(i engine.IndexID, lo, hi uint64, limit int, fn func(key uint64, r engine.RecordID) bool) error {
+	ix := &t.set.idx[i]
+	if !ix.ordered {
+		return engine.ErrNotFound
+	}
+	var obs *[]svindex.NodeStamp
+	if t.set.Eager() {
+		obs = &t.stamps
+	}
+	ix.tree.Scan(lo, hi, limit, obs, fn)
+	return nil
+}
+
+// Insert adds (key → rid) under the configured discipline.
+func (t *TxIndex) Insert(i engine.IndexID, key uint64, rid engine.RecordID) error {
+	op := idxOp{idx: i, key: key, rid: rid, insert: true}
+	if !t.set.Eager() {
+		t.deferred = append(t.deferred, op)
+		return nil
+	}
+	t.apply(op)
+	t.applied = append(t.applied, op)
+	t.refreshObs()
+	return nil
+}
+
+// Delete removes (key → rid). Index deletes are always deferred to commit,
+// as in Silo, where entry removal is lazy: applying deletes eagerly would
+// let an aborting transaction's undo re-insert churn the node stamps other
+// transactions observed, causing mutual-abort livelock. Scans may therefore
+// still see an entry whose deleting transaction is in flight; the stale
+// entry is caught by record-level validation.
+func (t *TxIndex) Delete(i engine.IndexID, key uint64, rid engine.RecordID) error {
+	t.deferred = append(t.deferred, idxOp{idx: i, key: key, rid: rid})
+	return nil
+}
+
+// refreshObs re-takes all stamp observations after the transaction's own
+// eager index update so the update does not invalidate its own read set
+// (Silo likewise exempts a transaction's own node modifications). The
+// refresh slightly widens the window in which a concurrent phantom could go
+// undetected, mirroring the upper-bound treatment the paper applies to
+// TicToc's phantom avoidance (§4.1 footnote).
+func (t *TxIndex) refreshObs() {
+	for i := range t.stamps {
+		t.stamps[i] = t.stamps[i].Refresh()
+	}
+	for i := range t.hashObs {
+		t.hashObs[i].stamp = t.hashObs[i].h.Stamp(t.hashObs[i].key)
+	}
+}
+
+func (t *TxIndex) apply(op idxOp) {
+	ix := &t.set.idx[op.idx]
+	switch {
+	case ix.hash != nil && op.insert:
+		ix.hash.Insert(op.key, op.rid)
+	case ix.hash != nil:
+		ix.hash.Delete(op.key, op.rid)
+	case op.insert:
+		ix.tree.Insert(op.key, op.rid)
+	default:
+		ix.tree.Delete(op.key, op.rid)
+	}
+}
+
+// Validate re-checks every recorded node stamp (phantom avoidance). A stamp
+// bumped by the transaction's own eager updates fails conservatively, as in
+// Silo, where a transaction's own inserts also bump node versions — the
+// schemes tolerate this by validating stamps before applying their own
+// index updates or by re-reading; here eager updates are applied during the
+// read phase, so we snapshot stamps before own updates touch them (callers
+// perform lookups before updates in all our workloads).
+func (t *TxIndex) Validate() bool {
+	for _, o := range t.stamps {
+		if !o.Valid() {
+			return false
+		}
+	}
+	for _, o := range t.hashObs {
+		if o.h.Stamp(o.key) != o.stamp {
+			return false
+		}
+	}
+	return true
+}
+
+// Committed applies deferred ops after a successful commit.
+func (t *TxIndex) Committed() {
+	for _, op := range t.deferred {
+		t.apply(op)
+	}
+}
+
+// Aborted undoes eagerly applied ops in reverse order.
+func (t *TxIndex) Aborted() {
+	for j := len(t.applied) - 1; j >= 0; j-- {
+		op := t.applied[j]
+		op.insert = !op.insert
+		t.apply(op)
+	}
+}

@@ -1,0 +1,133 @@
+package common
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cicada/internal/engine"
+)
+
+// TSInf is the "end of time" sentinel for MVRecord version ranges.
+const TSInf = ^uint64(0)
+
+// TxMarkBit marks a version's End field as "being replaced by transaction
+// id" rather than a commit timestamp (Hekaton-style write locking).
+const TxMarkBit = uint64(1) << 63
+
+// MVVersion is one version in a Hekaton/ERMIA-style version chain, valid
+// for timestamps in [Begin, End).
+type MVVersion struct {
+	// Begin is the creating transaction's commit timestamp; while the
+	// creator is uncommitted it holds a TxMark.
+	Begin atomic.Uint64
+	// End is the overwriting transaction's commit timestamp, TSInf while
+	// latest, or a TxMark while an overwrite is in flight.
+	End atomic.Uint64
+	// Pstamp is the maximum commit timestamp of a reader of this version
+	// (SSN η source).
+	Pstamp atomic.Uint64
+	// Sstamp is the commit timestamp of the overwriter (SSN π source);
+	// TSInf if not overwritten.
+	Sstamp atomic.Uint64
+	// Data is immutable after the version becomes visible; nil = tombstone.
+	Data []byte
+	// Next points to the previous (older) version; atomic so pruning can
+	// race safely with chain walks.
+	Next atomic.Pointer[MVVersion]
+}
+
+// MVRecord anchors a latest-to-oldest version chain.
+type MVRecord struct {
+	Latest atomic.Pointer[MVVersion]
+}
+
+// Visible returns the version visible at ts, skipping uncommitted versions
+// (speculative ignore, as Hekaton's pessimistic-free reads do).
+func (r *MVRecord) Visible(ts uint64) *MVVersion {
+	for v := r.Latest.Load(); v != nil; v = v.Next.Load() {
+		b := v.Begin.Load()
+		if b&TxMarkBit != 0 || b > ts {
+			continue
+		}
+		// Committed and begun before ts: first such version is visible
+		// (chain is newest-first by Begin).
+		return v
+	}
+	return nil
+}
+
+type mvPage struct {
+	recs [pageSize]MVRecord
+}
+
+// MVStore is an expandable multi-version record array.
+type MVStore struct {
+	dir    atomic.Pointer[[]*mvPage]
+	growMu sync.Mutex
+	next   atomic.Uint64
+}
+
+// NewMVStore creates an empty multi-version store.
+func NewMVStore() *MVStore {
+	s := &MVStore{}
+	empty := make([]*mvPage, 0)
+	s.dir.Store(&empty)
+	return s
+}
+
+// Get returns the record for rid, or nil if never allocated.
+func (s *MVStore) Get(rid engine.RecordID) *MVRecord {
+	dir := *s.dir.Load()
+	pi := uint64(rid) >> pageShift
+	if pi >= uint64(len(dir)) {
+		return nil
+	}
+	return &dir[pi].recs[uint64(rid)&(pageSize-1)]
+}
+
+// Alloc returns a fresh record ID.
+func (s *MVStore) Alloc() engine.RecordID {
+	rid := engine.RecordID(s.next.Add(1) - 1)
+	s.ensure(rid)
+	return rid
+}
+
+// Cap returns the number of record IDs ever allocated.
+func (s *MVStore) Cap() uint64 { return s.next.Load() }
+
+func (s *MVStore) ensure(rid engine.RecordID) {
+	need := (uint64(rid) >> pageShift) + 1
+	if uint64(len(*s.dir.Load())) >= need {
+		return
+	}
+	s.growMu.Lock()
+	defer s.growMu.Unlock()
+	cur := *s.dir.Load()
+	if uint64(len(cur)) >= need {
+		return
+	}
+	grown := make([]*mvPage, need)
+	copy(grown, cur)
+	for i := uint64(len(cur)); i < need; i++ {
+		grown[i] = new(mvPage)
+	}
+	s.dir.Store(&grown)
+}
+
+// Prune trims committed versions older than horizon from the chain, keeping
+// at least the visible version at horizon. It is a best-effort, single-owner
+// operation: callers must hold the record's write intent (End TxMark on the
+// latest version) so no concurrent pruner exists.
+func (r *MVRecord) Prune(horizon uint64) {
+	v := r.Latest.Load()
+	// Find the newest committed version with Begin ≤ horizon; everything
+	// strictly older is invisible to all current and future transactions.
+	for v != nil {
+		b := v.Begin.Load()
+		if b&TxMarkBit == 0 && b <= horizon {
+			v.Next.Store(nil)
+			return
+		}
+		v = v.Next.Load()
+	}
+}

@@ -1,0 +1,121 @@
+// Package common provides the shared substrate for the baseline concurrency
+// control schemes the paper compares against (§4.1): a single-version
+// record store with in-place updates (Silo, TicToc, 2PL no-wait, MOCC), a
+// multi-version record store (Hekaton, ERMIA), single-version index
+// plumbing with eager or deferred updates and Silo-style node-stamp phantom
+// validation, and the per-worker run loop with DBx1000's randomized backoff.
+package common
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cicada/internal/engine"
+)
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+)
+
+// Record is a single-version record with in-place updates. The scheme owns
+// the interpretation of the two metadata words:
+//
+//	Silo:   Word1 = TID (lock bit 63 | epoch | sequence)
+//	TicToc: Word1 = wts (lock bit 63), Word2 = rts
+//	2PL:    Word1 = lock state (writer bit | reader count)
+//	MOCC:   Word1 = TID as Silo, Word2 = temperature
+//
+// Data is swapped atomically as a whole on resize; byte-level tearing within
+// a buffer is tolerated and detected by each scheme's consistent-read
+// protocol, reproducing the "extra reads" cost of OCC-1V-in-place (§2.1).
+type Record struct {
+	Word1 atomic.Uint64
+	Word2 atomic.Uint64
+	data  atomic.Pointer[[]byte]
+}
+
+// Data returns the current record payload, or nil if deleted/absent.
+func (r *Record) Data() []byte {
+	p := r.data.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
+// SetData replaces the record payload pointer (insert, resize, delete).
+func (r *Record) SetData(b []byte) {
+	if b == nil {
+		r.data.Store(nil)
+		return
+	}
+	r.data.Store(&b)
+}
+
+type page struct {
+	recs [pageSize]Record
+}
+
+// Store is an expandable single-version record array with two-level paging,
+// mirroring the layout the DBx1000 schemes use after the paper's
+// cache-collocation optimization.
+type Store struct {
+	dir    atomic.Pointer[[]*page]
+	growMu sync.Mutex
+	next   atomic.Uint64
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	s := &Store{}
+	empty := make([]*page, 0)
+	s.dir.Store(&empty)
+	return s
+}
+
+// Get returns the record for rid, or nil if never allocated.
+func (s *Store) Get(rid engine.RecordID) *Record {
+	dir := *s.dir.Load()
+	pi := uint64(rid) >> pageShift
+	if pi >= uint64(len(dir)) {
+		return nil
+	}
+	return &dir[pi].recs[uint64(rid)&(pageSize-1)]
+}
+
+// Alloc returns a fresh record ID.
+func (s *Store) Alloc() engine.RecordID {
+	rid := engine.RecordID(s.next.Add(1) - 1)
+	s.ensure(rid)
+	return rid
+}
+
+// Reserve pre-allocates n records and returns the first ID.
+func (s *Store) Reserve(n uint64) engine.RecordID {
+	first := s.next.Add(n) - n
+	s.ensure(engine.RecordID(first + n - 1))
+	return engine.RecordID(first)
+}
+
+// Cap returns the number of record IDs ever allocated.
+func (s *Store) Cap() uint64 { return s.next.Load() }
+
+func (s *Store) ensure(rid engine.RecordID) {
+	need := (uint64(rid) >> pageShift) + 1
+	if uint64(len(*s.dir.Load())) >= need {
+		return
+	}
+	s.growMu.Lock()
+	defer s.growMu.Unlock()
+	cur := *s.dir.Load()
+	if uint64(len(cur)) >= need {
+		return
+	}
+	grown := make([]*page, need)
+	copy(grown, cur)
+	for i := uint64(len(cur)); i < need; i++ {
+		grown[i] = new(page)
+	}
+	s.dir.Store(&grown)
+}

@@ -1,0 +1,393 @@
+// Package ermia implements an ERMIA-style engine (Kim et al., SIGMOD 2016):
+// snapshot isolation over multi-version storage with the Serial Safety Net
+// (SSN) certifier for serializability — the paper's "ERMIA SI+SSN" baseline
+// (§4.1). Reads never validate (snapshot isolation); SSN tracks, per
+// version, the latest reader commit timestamp (pstamp) and the overwriter's
+// commit timestamp (sstamp), and aborts a committing transaction whose
+// exclusion window closes: π(T) ≤ η(T), where π is the minimum sstamp of
+// versions it read and η the maximum pstamp of versions it overwrote.
+// Timestamps come from a centralized atomic counter, as in the original.
+package ermia
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"cicada/internal/baselines/common"
+	"cicada/internal/engine"
+)
+
+// DB is an ERMIA-style database.
+type DB struct {
+	cfg     engine.Config
+	tables  []*common.MVStore
+	indexes *common.IndexSet
+	workers []*worker
+	counter atomic.Uint64
+}
+
+// New creates an ERMIA SI+SSN DB.
+func New(cfg engine.Config) engine.DB {
+	db := &DB{cfg: cfg, indexes: common.NewIndexSet(cfg)}
+	db.counter.Store(1)
+	db.workers = make([]*worker, cfg.Workers)
+	for i := range db.workers {
+		w := &worker{db: db}
+		w.InitWorker(i)
+		w.active.Store(common.TSInf)
+		w.tx.db = db
+		w.tx.w = w
+		w.tx.own = make(map[uint64]int, 32)
+		db.workers[i] = w
+	}
+	return db
+}
+
+// Name implements engine.DB.
+func (db *DB) Name() string { return "ERMIA" }
+
+// Workers implements engine.DB.
+func (db *DB) Workers() int { return db.cfg.Workers }
+
+// CreateTable implements engine.DB.
+func (db *DB) CreateTable(name string) engine.TableID {
+	db.tables = append(db.tables, common.NewMVStore())
+	return engine.TableID(len(db.tables) - 1)
+}
+
+// CreateHashIndex implements engine.DB.
+func (db *DB) CreateHashIndex(name string, buckets int) engine.IndexID {
+	return db.indexes.CreateHash(buckets)
+}
+
+// CreateOrderedIndex implements engine.DB.
+func (db *DB) CreateOrderedIndex(name string) engine.IndexID {
+	return db.indexes.CreateOrdered()
+}
+
+// Worker implements engine.DB.
+func (db *DB) Worker(id int) engine.Worker { return db.workers[id] }
+
+// Stats implements engine.DB.
+func (db *DB) Stats() engine.Stats {
+	bases := make([]*common.WorkerBase, len(db.workers))
+	for i, w := range db.workers {
+		bases[i] = &w.WorkerBase
+	}
+	return common.StatsOf(bases)
+}
+
+// CommitsLive implements engine.DB.
+func (db *DB) CommitsLive() uint64 {
+	var n uint64
+	for _, w := range db.workers {
+		n += w.CommitsLive()
+	}
+	return n
+}
+
+func (db *DB) horizon() uint64 {
+	min := db.counter.Load()
+	for _, w := range db.workers {
+		if a := w.active.Load(); a < min {
+			min = a
+		}
+	}
+	return min
+}
+
+type worker struct {
+	common.WorkerBase
+	db     *DB
+	tx     tx
+	active atomic.Uint64
+	mark   uint64
+}
+
+func (w *worker) Run(fn func(tx engine.Tx) error) error {
+	w.mark = common.TxMarkBit | uint64(w.ID+1)
+	return w.RunLoop(func() error {
+		t := &w.tx
+		// Pin the pruning horizon before choosing the begin timestamp:
+		// after the pin is visible no pruner can cut below it, and the
+		// begin timestamp (a later counter read) is at least the pin.
+		w.active.Store(w.db.counter.Load())
+		t.reset(w.db.counter.Load())
+		w.active.Store(t.begin)
+		var err error
+		if err = fn(t); err != nil {
+			t.finish(0)
+		} else {
+			err = t.commit()
+		}
+		w.active.Store(common.TSInf)
+		return err
+	})
+}
+
+// RunRO implements engine.Worker: a pure snapshot read; SSN exempts
+// read-only transactions that read committed versions at a fixed snapshot.
+func (w *worker) RunRO(fn func(tx engine.Tx) error) error {
+	w.mark = common.TxMarkBit | uint64(w.ID+1)
+	return w.RunLoop(func() error {
+		t := &w.tx
+		w.active.Store(w.db.counter.Load()) // pin before choosing begin
+		t.reset(w.db.counter.Load())
+		t.snapshot = true
+		w.active.Store(t.begin)
+		err := fn(t)
+		t.finish(0)
+		w.active.Store(common.TSInf)
+		return err
+	})
+}
+
+func (w *worker) Idle() { runtime.Gosched() }
+
+type readEnt struct {
+	ver *common.MVVersion
+}
+
+type writeEnt struct {
+	tbl engine.TableID
+	rid engine.RecordID
+	rec *common.MVRecord
+	old *common.MVVersion
+	nv  *common.MVVersion
+	del bool
+}
+
+type tx struct {
+	db *DB
+	w  *worker
+	common.TxIndex
+	begin    uint64
+	snapshot bool
+	reads    []readEnt
+	writes   []writeEnt
+	own      map[uint64]int
+}
+
+func ownKey(t engine.TableID, r engine.RecordID) uint64 {
+	return uint64(t)<<48 | uint64(r)&0xffffffffffff
+}
+
+func (t *tx) reset(begin uint64) {
+	t.begin = begin
+	t.snapshot = false
+	t.reads = t.reads[:0]
+	t.writes = t.writes[:0]
+	clear(t.own)
+	t.TxIndex.Reset(t.db.indexes)
+}
+
+func (t *tx) Read(tb engine.TableID, r engine.RecordID) ([]byte, error) {
+	if i, ok := t.own[ownKey(tb, r)]; ok {
+		w := &t.writes[i]
+		if w.del {
+			return nil, engine.ErrNotFound
+		}
+		return w.nv.Data, nil
+	}
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return nil, engine.ErrNotFound
+	}
+	v := rec.Visible(t.begin)
+	if v == nil || v.Data == nil {
+		return nil, engine.ErrNotFound // SI: absent reads need no tracking
+	}
+	if !t.snapshot {
+		t.reads = append(t.reads, readEnt{ver: v})
+	}
+	return v.Data, nil
+}
+
+func (t *tx) stageWrite(tb engine.TableID, r engine.RecordID, data []byte, del bool) (*writeEnt, error) {
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return nil, engine.ErrNotFound
+	}
+	old := rec.Latest.Load()
+	if old != nil {
+		b := old.Begin.Load()
+		if b&common.TxMarkBit != 0 || b > t.begin {
+			return nil, engine.ErrAborted // SI first-writer-wins
+		}
+		if !old.End.CompareAndSwap(common.TSInf, t.w.mark) {
+			return nil, engine.ErrAborted
+		}
+	}
+	nv := &common.MVVersion{Data: data}
+	nv.Begin.Store(t.w.mark)
+	nv.End.Store(common.TSInf)
+	nv.Sstamp.Store(common.TSInf)
+	nv.Next.Store(old)
+	if !rec.Latest.CompareAndSwap(old, nv) {
+		if old != nil {
+			old.End.Store(common.TSInf)
+		}
+		return nil, engine.ErrAborted
+	}
+	t.writes = append(t.writes, writeEnt{tbl: tb, rid: r, rec: rec, old: old, nv: nv, del: del})
+	i := len(t.writes) - 1
+	t.own[ownKey(tb, r)] = i
+	return &t.writes[i], nil
+}
+
+func (t *tx) Update(tb engine.TableID, r engine.RecordID, size int) ([]byte, error) {
+	if i, ok := t.own[ownKey(tb, r)]; ok {
+		w := &t.writes[i]
+		if w.del {
+			return nil, engine.ErrNotFound
+		}
+		if size >= 0 && size != len(w.nv.Data) {
+			nb := make([]byte, size)
+			copy(nb, w.nv.Data)
+			w.nv.Data = nb
+		}
+		return w.nv.Data, nil
+	}
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return nil, engine.ErrNotFound
+	}
+	v := rec.Visible(t.begin)
+	if v == nil || v.Data == nil {
+		return nil, engine.ErrNotFound
+	}
+	t.reads = append(t.reads, readEnt{ver: v})
+	if size < 0 {
+		size = len(v.Data)
+	}
+	buf := make([]byte, size)
+	copy(buf, v.Data)
+	w, err := t.stageWrite(tb, r, buf, false)
+	if err != nil {
+		return nil, err
+	}
+	return w.nv.Data, nil
+}
+
+func (t *tx) Write(tb engine.TableID, r engine.RecordID, size int) ([]byte, error) {
+	if i, ok := t.own[ownKey(tb, r)]; ok {
+		w := &t.writes[i]
+		w.del = false
+		if size != len(w.nv.Data) {
+			w.nv.Data = make([]byte, size)
+		}
+		return w.nv.Data, nil
+	}
+	w, err := t.stageWrite(tb, r, make([]byte, size), false)
+	if err != nil {
+		return nil, err
+	}
+	return w.nv.Data, nil
+}
+
+func (t *tx) Insert(tb engine.TableID, size int) (engine.RecordID, []byte, error) {
+	store := t.db.tables[tb]
+	rid := store.Alloc()
+	w, err := t.stageWrite(tb, rid, make([]byte, size), false)
+	if err != nil {
+		return 0, nil, err
+	}
+	return rid, w.nv.Data, nil
+}
+
+func (t *tx) Delete(tb engine.TableID, r engine.RecordID) error {
+	if i, ok := t.own[ownKey(tb, r)]; ok {
+		t.writes[i].del = true
+		t.writes[i].nv.Data = nil
+		return nil
+	}
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return engine.ErrNotFound
+	}
+	v := rec.Visible(t.begin)
+	if v == nil || v.Data == nil {
+		return engine.ErrNotFound
+	}
+	t.reads = append(t.reads, readEnt{ver: v})
+	_, err := t.stageWrite(tb, r, nil, true)
+	return err
+}
+
+func (t *tx) IndexGet(i engine.IndexID, key uint64) (engine.RecordID, error) {
+	return t.TxIndex.Get(i, key)
+}
+func (t *tx) IndexScan(i engine.IndexID, lo, hi uint64, limit int, fn func(uint64, engine.RecordID) bool) error {
+	return t.TxIndex.Scan(i, lo, hi, limit, fn)
+}
+func (t *tx) IndexInsert(i engine.IndexID, key uint64, r engine.RecordID) error {
+	return t.TxIndex.Insert(i, key, r)
+}
+func (t *tx) IndexDelete(i engine.IndexID, key uint64, r engine.RecordID) error {
+	return t.TxIndex.Delete(i, key, r)
+}
+
+// commit runs the SSN exclusion-window test at the commit timestamp and, on
+// success, publishes the SSN stamps and installs the new versions.
+func (t *tx) commit() error {
+	ct := t.db.counter.Add(1)
+	// π(T): the earliest successor of anything we read (plus ourselves).
+	pi := ct
+	for i := range t.reads {
+		if s := t.reads[i].ver.Sstamp.Load(); s < pi {
+			pi = s
+		}
+	}
+	// η(T): the latest reader of anything we overwrote.
+	eta := uint64(0)
+	for i := range t.writes {
+		if old := t.writes[i].old; old != nil {
+			if p := old.Pstamp.Load(); p > eta {
+				eta = p
+			}
+		}
+	}
+	ok := pi > eta && t.TxIndex.Validate()
+	if !ok {
+		t.finish(0)
+		return engine.ErrAborted
+	}
+	// Publish stamps: we read versions as late as ct; we overwrote old
+	// versions at ct.
+	for i := range t.reads {
+		v := t.reads[i].ver
+		for {
+			p := v.Pstamp.Load()
+			if p >= ct || v.Pstamp.CompareAndSwap(p, ct) {
+				break
+			}
+		}
+	}
+	t.finish(ct)
+	return nil
+}
+
+func (t *tx) finish(ct uint64) {
+	horizon := t.db.horizon()
+	for i := range t.writes {
+		w := &t.writes[i]
+		if ct > 0 {
+			w.nv.Begin.Store(ct)
+			if w.old != nil {
+				w.old.Sstamp.Store(ct)
+				w.old.End.Store(ct)
+			}
+			w.rec.Prune(horizon)
+		} else {
+			w.rec.Latest.CompareAndSwap(w.nv, w.old)
+			if w.old != nil {
+				w.old.End.Store(common.TSInf)
+			}
+		}
+	}
+	if ct > 0 {
+		t.TxIndex.Committed()
+	} else {
+		t.TxIndex.Aborted()
+	}
+}

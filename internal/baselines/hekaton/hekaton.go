@@ -1,0 +1,404 @@
+// Package hekaton implements a Hekaton-style MVCC scheme (Diaconu et al.,
+// SIGMOD 2013; Larson et al., VLDB 2011) as in DBx1000 (§4.1): versions
+// carry begin/end timestamps drawn from a centralized atomic counter — the
+// timestamp-allocation bottleneck Cicada's multi-clock removes (§2.2, Fig 7)
+// — writers lock versions by stamping their transaction mark into the end
+// field (first-writer-wins), readers speculatively ignore uncommitted
+// versions, and serializability is obtained by re-validating the read set at
+// the commit timestamp.
+package hekaton
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"cicada/internal/baselines/common"
+	"cicada/internal/engine"
+)
+
+// DB is a Hekaton-style database.
+type DB struct {
+	cfg     engine.Config
+	tables  []*common.MVStore
+	indexes *common.IndexSet
+	workers []*worker
+	// counter is the shared commit/begin timestamp counter; every
+	// transaction performs at least one atomic fetch-add on it.
+	counter atomic.Uint64
+}
+
+// New creates a Hekaton-style DB.
+func New(cfg engine.Config) engine.DB {
+	db := &DB{cfg: cfg, indexes: common.NewIndexSet(cfg)}
+	db.counter.Store(1)
+	db.workers = make([]*worker, cfg.Workers)
+	for i := range db.workers {
+		w := &worker{db: db}
+		w.InitWorker(i)
+		w.active.Store(common.TSInf)
+		w.tx.db = db
+		w.tx.w = w
+		w.tx.own = make(map[uint64]int, 32)
+		db.workers[i] = w
+	}
+	return db
+}
+
+// Name implements engine.DB.
+func (db *DB) Name() string { return "Hekaton" }
+
+// Workers implements engine.DB.
+func (db *DB) Workers() int { return db.cfg.Workers }
+
+// CreateTable implements engine.DB.
+func (db *DB) CreateTable(name string) engine.TableID {
+	db.tables = append(db.tables, common.NewMVStore())
+	return engine.TableID(len(db.tables) - 1)
+}
+
+// CreateHashIndex implements engine.DB.
+func (db *DB) CreateHashIndex(name string, buckets int) engine.IndexID {
+	return db.indexes.CreateHash(buckets)
+}
+
+// CreateOrderedIndex implements engine.DB.
+func (db *DB) CreateOrderedIndex(name string) engine.IndexID {
+	return db.indexes.CreateOrdered()
+}
+
+// Worker implements engine.DB.
+func (db *DB) Worker(id int) engine.Worker { return db.workers[id] }
+
+// Stats implements engine.DB.
+func (db *DB) Stats() engine.Stats {
+	bases := make([]*common.WorkerBase, len(db.workers))
+	for i, w := range db.workers {
+		bases[i] = &w.WorkerBase
+	}
+	return common.StatsOf(bases)
+}
+
+// CommitsLive implements engine.DB.
+func (db *DB) CommitsLive() uint64 {
+	var n uint64
+	for _, w := range db.workers {
+		n += w.CommitsLive()
+	}
+	return n
+}
+
+// horizon returns the version-pruning watermark: the minimum active begin
+// timestamp across workers.
+func (db *DB) horizon() uint64 {
+	min := db.counter.Load()
+	for _, w := range db.workers {
+		if a := w.active.Load(); a < min {
+			min = a
+		}
+	}
+	return min
+}
+
+type worker struct {
+	common.WorkerBase
+	db     *DB
+	tx     tx
+	active atomic.Uint64 // begin timestamp of the in-flight transaction
+	mark   uint64        // this worker's TxMark
+}
+
+func (w *worker) Run(fn func(tx engine.Tx) error) error {
+	w.mark = common.TxMarkBit | uint64(w.ID+1)
+	return w.RunLoop(func() error {
+		t := &w.tx
+		// Pin the pruning horizon before choosing the begin timestamp:
+		// after the pin is visible no pruner can cut below it, and the
+		// begin timestamp (a later counter read) is at least the pin.
+		w.active.Store(w.db.counter.Load())
+		t.reset(w.db.counter.Load())
+		w.active.Store(t.begin)
+		var err error
+		if err = fn(t); err != nil {
+			t.finish(0)
+		} else {
+			err = t.commit()
+		}
+		w.active.Store(common.TSInf)
+		return err
+	})
+}
+
+// RunRO implements engine.Worker: a read-only transaction is a snapshot
+// read at the begin timestamp with no validation.
+func (w *worker) RunRO(fn func(tx engine.Tx) error) error {
+	w.mark = common.TxMarkBit | uint64(w.ID+1)
+	return w.RunLoop(func() error {
+		t := &w.tx
+		w.active.Store(w.db.counter.Load()) // pin before choosing begin
+		t.reset(w.db.counter.Load())
+		t.snapshot = true
+		w.active.Store(t.begin)
+		err := fn(t)
+		t.finish(0)
+		w.active.Store(common.TSInf)
+		return err
+	})
+}
+
+func (w *worker) Idle() { runtime.Gosched() }
+
+type readEnt struct {
+	rec *common.MVRecord
+	ver *common.MVVersion // nil = observed absent
+}
+
+type writeEnt struct {
+	tbl engine.TableID
+	rid engine.RecordID
+	rec *common.MVRecord
+	old *common.MVVersion // End-locked predecessor (nil for inserts)
+	nv  *common.MVVersion
+	del bool
+}
+
+type tx struct {
+	db *DB
+	w  *worker
+	common.TxIndex
+	begin    uint64
+	snapshot bool
+	reads    []readEnt
+	writes   []writeEnt
+	own      map[uint64]int
+}
+
+func ownKey(t engine.TableID, r engine.RecordID) uint64 {
+	return uint64(t)<<48 | uint64(r)&0xffffffffffff
+}
+
+func (t *tx) reset(begin uint64) {
+	t.begin = begin
+	t.snapshot = false
+	t.reads = t.reads[:0]
+	t.writes = t.writes[:0]
+	clear(t.own)
+	t.TxIndex.Reset(t.db.indexes)
+}
+
+func (t *tx) Read(tb engine.TableID, r engine.RecordID) ([]byte, error) {
+	if i, ok := t.own[ownKey(tb, r)]; ok {
+		w := &t.writes[i]
+		if w.del {
+			return nil, engine.ErrNotFound
+		}
+		return w.nv.Data, nil
+	}
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return nil, engine.ErrNotFound
+	}
+	v := rec.Visible(t.begin)
+	if !t.snapshot {
+		t.reads = append(t.reads, readEnt{rec: rec, ver: v})
+	}
+	if v == nil || v.Data == nil {
+		return nil, engine.ErrNotFound
+	}
+	return v.Data, nil
+}
+
+// stageWrite End-locks the latest version (first-writer-wins) and installs
+// an uncommitted new version at the chain head.
+func (t *tx) stageWrite(tb engine.TableID, r engine.RecordID, data []byte, del bool) (*writeEnt, error) {
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return nil, engine.ErrNotFound
+	}
+	old := rec.Latest.Load()
+	if old != nil {
+		if old.Begin.Load()&common.TxMarkBit != 0 {
+			return nil, engine.ErrAborted // uncommitted head: w-w conflict
+		}
+		if old.Begin.Load() > t.begin {
+			return nil, engine.ErrAborted // overwritten since our snapshot
+		}
+		if !old.End.CompareAndSwap(common.TSInf, t.w.mark) {
+			return nil, engine.ErrAborted // locked or already overwritten
+		}
+	}
+	nv := &common.MVVersion{Data: data}
+	nv.Begin.Store(t.w.mark)
+	nv.End.Store(common.TSInf)
+	nv.Sstamp.Store(common.TSInf)
+	nv.Next.Store(old)
+	if !rec.Latest.CompareAndSwap(old, nv) {
+		if old != nil {
+			old.End.Store(common.TSInf)
+		}
+		return nil, engine.ErrAborted
+	}
+	t.writes = append(t.writes, writeEnt{tbl: tb, rid: r, rec: rec, old: old, nv: nv, del: del})
+	i := len(t.writes) - 1
+	t.own[ownKey(tb, r)] = i
+	return &t.writes[i], nil
+}
+
+func (t *tx) Update(tb engine.TableID, r engine.RecordID, size int) ([]byte, error) {
+	if i, ok := t.own[ownKey(tb, r)]; ok {
+		w := &t.writes[i]
+		if w.del {
+			return nil, engine.ErrNotFound
+		}
+		if size >= 0 && size != len(w.nv.Data) {
+			nb := make([]byte, size)
+			copy(nb, w.nv.Data)
+			w.nv.Data = nb
+		}
+		return w.nv.Data, nil
+	}
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return nil, engine.ErrNotFound
+	}
+	v := rec.Visible(t.begin)
+	t.reads = append(t.reads, readEnt{rec: rec, ver: v})
+	if v == nil || v.Data == nil {
+		return nil, engine.ErrNotFound
+	}
+	if size < 0 {
+		size = len(v.Data)
+	}
+	buf := make([]byte, size)
+	copy(buf, v.Data)
+	w, err := t.stageWrite(tb, r, buf, false)
+	if err != nil {
+		return nil, err
+	}
+	return w.nv.Data, nil
+}
+
+func (t *tx) Write(tb engine.TableID, r engine.RecordID, size int) ([]byte, error) {
+	if i, ok := t.own[ownKey(tb, r)]; ok {
+		w := &t.writes[i]
+		w.del = false
+		if size != len(w.nv.Data) {
+			w.nv.Data = make([]byte, size)
+		}
+		return w.nv.Data, nil
+	}
+	w, err := t.stageWrite(tb, r, make([]byte, size), false)
+	if err != nil {
+		return nil, err
+	}
+	return w.nv.Data, nil
+}
+
+func (t *tx) Insert(tb engine.TableID, size int) (engine.RecordID, []byte, error) {
+	store := t.db.tables[tb]
+	rid := store.Alloc()
+	w, err := t.stageWrite(tb, rid, make([]byte, size), false)
+	if err != nil {
+		return 0, nil, err
+	}
+	return rid, w.nv.Data, nil
+}
+
+func (t *tx) Delete(tb engine.TableID, r engine.RecordID) error {
+	if i, ok := t.own[ownKey(tb, r)]; ok {
+		t.writes[i].del = true
+		t.writes[i].nv.Data = nil
+		return nil
+	}
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return engine.ErrNotFound
+	}
+	v := rec.Visible(t.begin)
+	t.reads = append(t.reads, readEnt{rec: rec, ver: v})
+	if v == nil || v.Data == nil {
+		return engine.ErrNotFound
+	}
+	_, err := t.stageWrite(tb, r, nil, true)
+	return err
+}
+
+func (t *tx) IndexGet(i engine.IndexID, key uint64) (engine.RecordID, error) {
+	return t.TxIndex.Get(i, key)
+}
+func (t *tx) IndexScan(i engine.IndexID, lo, hi uint64, limit int, fn func(uint64, engine.RecordID) bool) error {
+	return t.TxIndex.Scan(i, lo, hi, limit, fn)
+}
+func (t *tx) IndexInsert(i engine.IndexID, key uint64, r engine.RecordID) error {
+	return t.TxIndex.Insert(i, key, r)
+}
+func (t *tx) IndexDelete(i engine.IndexID, key uint64, r engine.RecordID) error {
+	return t.TxIndex.Delete(i, key, r)
+}
+
+// commit acquires the commit timestamp from the shared counter, validates
+// the read set at that timestamp, and installs the new versions.
+func (t *tx) commit() error {
+	ct := t.db.counter.Add(1)
+	ok := t.TxIndex.Validate()
+	if ok {
+		for i := range t.reads {
+			r := &t.reads[i]
+			if !t.readValid(r, ct) {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		t.finish(0)
+		return engine.ErrAborted
+	}
+	t.finish(ct)
+	return nil
+}
+
+// readValid checks that the version read is still the visible version at
+// the commit timestamp.
+func (t *tx) readValid(r *readEnt, ct uint64) bool {
+	if r.ver == nil {
+		// Observed absent: still absent at ct? A version we installed
+		// ourselves is fine.
+		v := r.rec.Visible(ct)
+		return v == nil || v.Data == nil
+	}
+	end := r.ver.End.Load()
+	if end == common.TSInf {
+		return true // still the latest version
+	}
+	if end&common.TxMarkBit != 0 {
+		return end == t.w.mark // pending overwrite: valid only if ours
+	}
+	return end > ct
+}
+
+// finish installs (ct > 0) or rolls back (ct == 0) the staged versions.
+func (t *tx) finish(ct uint64) {
+	horizon := t.db.horizon()
+	for i := range t.writes {
+		w := &t.writes[i]
+		if ct > 0 {
+			w.nv.Begin.Store(ct)
+			if w.old != nil {
+				w.old.Sstamp.Store(ct)
+				w.old.End.Store(ct)
+			}
+			w.rec.Prune(horizon)
+		} else {
+			// Roll back: unlink our version and unlock the predecessor.
+			w.rec.Latest.CompareAndSwap(w.nv, w.old)
+			if w.old != nil {
+				w.old.End.Store(common.TSInf)
+			}
+		}
+	}
+	if ct > 0 {
+		t.TxIndex.Committed()
+	} else {
+		t.TxIndex.Aborted()
+	}
+}

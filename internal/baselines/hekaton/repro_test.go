@@ -1,0 +1,96 @@
+package hekaton
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cicada/internal/baselines/common"
+	"cicada/internal/engine"
+)
+
+// TestNoLeakedMarks reproduces the bank workload and then audits the raw
+// version chains: no version may retain a transaction mark in Begin or End
+// once all workers are quiescent.
+func TestNoLeakedMarks(t *testing.T) {
+	const (
+		accounts = 20
+		workers  = 4
+		transfer = 300
+	)
+	db := New(engine.Config{Workers: workers, PhantomAvoidance: true}).(*DB)
+	tbl := db.CreateTable("accounts")
+	w0 := db.Worker(0)
+	rids := make([]engine.RecordID, accounts)
+	for a := 0; a < accounts; a++ {
+		a := a
+		if err := w0.Run(func(tx engine.Tx) error {
+			rid, buf, err := tx.Insert(tbl, 8)
+			if err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint64(buf, 1000)
+			rids[a] = rid
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := db.Worker(id)
+			rng := rand.New(rand.NewSource(int64(id) + 42))
+			for i := 0; i < transfer; i++ {
+				from, to := rng.Intn(accounts), rng.Intn(accounts)
+				if from == to {
+					continue
+				}
+				err := w.Run(func(tx engine.Tx) error {
+					fb, err := tx.Update(tbl, rids[from], -1)
+					if err != nil {
+						return err
+					}
+					tb, err := tx.Update(tbl, rids[to], -1)
+					if err != nil {
+						return err
+					}
+					v := binary.LittleEndian.Uint64(fb)
+					if v < 10 {
+						return nil
+					}
+					binary.LittleEndian.PutUint64(fb, v-10)
+					binary.LittleEndian.PutUint64(tb, binary.LittleEndian.Uint64(tb)+10)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	for a, rid := range rids {
+		rec := db.tables[0].Get(rid)
+		depth := 0
+		for v := rec.Latest.Load(); v != nil; v = v.Next.Load() {
+			b, e := v.Begin.Load(), v.End.Load()
+			if b&common.TxMarkBit != 0 {
+				t.Errorf("account %d depth %d: leaked Begin mark %x", a, depth, b)
+			}
+			if e != common.TSInf && e&common.TxMarkBit != 0 {
+				t.Errorf("account %d depth %d: leaked End mark %x", a, depth, e)
+			}
+			depth++
+			if depth > 10000 {
+				t.Fatalf("account %d: chain cycle", a)
+			}
+		}
+	}
+	fmt.Println("final counter:", db.counter.Load())
+}

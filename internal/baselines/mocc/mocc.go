@@ -1,0 +1,515 @@
+// Package mocc implements MOCC (Wang & Kimura, VLDB 2016): mostly-optimistic
+// concurrency control (§4.1). The substrate is FOEDUS-style OCC — which this
+// repository models with the same Silo-family protocol (TID words, write-set
+// locking, read validation); see DESIGN.md's FOEDUS substitution note — plus
+// per-record temperature tracking: records that cause validation failures
+// become "hot", and hot records are locked pessimistically during the read
+// phase (shared for reads, exclusive for writes) with no-wait conflict
+// handling, trading lock overhead for fewer aborts under contention.
+package mocc
+
+import (
+	"runtime"
+	"sort"
+
+	"cicada/internal/baselines/common"
+	"cicada/internal/engine"
+)
+
+const (
+	lockBit = uint64(1) << 63
+
+	// Word2 encoding: bit 63 = writer, bits 32–62 = reader count,
+	// bits 0–31 = temperature.
+	moccWriter    = uint64(1) << 63
+	moccReaderInc = uint64(1) << 32
+	moccLockMask  = ^moccTempMask
+	moccTempMask  = (uint64(1) << 32) - 1
+
+	// hotThreshold is the temperature at which a record switches to
+	// pessimistic locking.
+	hotThreshold = 8
+	tempCap      = 1 << 30
+)
+
+// DB is a MOCC database.
+type DB struct {
+	cfg     engine.Config
+	tables  []*common.Store
+	indexes *common.IndexSet
+	workers []*worker
+}
+
+// New creates a MOCC DB.
+func New(cfg engine.Config) engine.DB {
+	db := &DB{cfg: cfg, indexes: common.NewIndexSet(cfg)}
+	db.workers = make([]*worker, cfg.Workers)
+	for i := range db.workers {
+		w := &worker{db: db}
+		w.InitWorker(i)
+		w.tx.db = db
+		w.tx.w = w
+		w.tx.own = make(map[uint64]int, 32)
+		db.workers[i] = w
+	}
+	return db
+}
+
+// Name implements engine.DB.
+func (db *DB) Name() string { return "MOCC" }
+
+// Workers implements engine.DB.
+func (db *DB) Workers() int { return db.cfg.Workers }
+
+// CreateTable implements engine.DB.
+func (db *DB) CreateTable(name string) engine.TableID {
+	db.tables = append(db.tables, common.NewStore())
+	return engine.TableID(len(db.tables) - 1)
+}
+
+// CreateHashIndex implements engine.DB.
+func (db *DB) CreateHashIndex(name string, buckets int) engine.IndexID {
+	return db.indexes.CreateHash(buckets)
+}
+
+// CreateOrderedIndex implements engine.DB.
+func (db *DB) CreateOrderedIndex(name string) engine.IndexID {
+	return db.indexes.CreateOrdered()
+}
+
+// Worker implements engine.DB.
+func (db *DB) Worker(id int) engine.Worker { return db.workers[id] }
+
+// Stats implements engine.DB.
+func (db *DB) Stats() engine.Stats {
+	bases := make([]*common.WorkerBase, len(db.workers))
+	for i, w := range db.workers {
+		bases[i] = &w.WorkerBase
+	}
+	return common.StatsOf(bases)
+}
+
+// CommitsLive implements engine.DB.
+func (db *DB) CommitsLive() uint64 {
+	var n uint64
+	for _, w := range db.workers {
+		n += w.CommitsLive()
+	}
+	return n
+}
+
+type worker struct {
+	common.WorkerBase
+	db      *DB
+	tx      tx
+	lastTID uint64
+}
+
+func (w *worker) Run(fn func(tx engine.Tx) error) error {
+	return w.RunLoop(func() error {
+		t := &w.tx
+		t.reset()
+		if err := fn(t); err != nil {
+			t.abort()
+			return err
+		}
+		return t.commit()
+	})
+}
+
+// RunRO implements engine.Worker; MOCC has no snapshots.
+func (w *worker) RunRO(fn func(tx engine.Tx) error) error { return w.Run(fn) }
+
+func (w *worker) Idle() { runtime.Gosched() }
+
+type readEnt struct {
+	rec *common.Record
+	tid uint64
+}
+
+type writeEnt struct {
+	tbl    engine.TableID
+	rid    engine.RecordID
+	rec    *common.Record
+	buf    []byte
+	del    bool
+	insert bool
+}
+
+type heldLock struct {
+	rec       *common.Record
+	exclusive bool
+}
+
+type tx struct {
+	db *DB
+	w  *worker
+	common.TxIndex
+	reads  []readEnt
+	writes []writeEnt
+	held   []heldLock
+	own    map[uint64]int
+	arena  []byte
+}
+
+func ownKey(t engine.TableID, r engine.RecordID) uint64 {
+	return uint64(t)<<48 | uint64(r)&0xffffffffffff
+}
+
+func (t *tx) reset() {
+	t.reads = t.reads[:0]
+	t.writes = t.writes[:0]
+	t.held = t.held[:0]
+	t.arena = t.arena[:0]
+	clear(t.own)
+	t.TxIndex.Reset(t.db.indexes)
+}
+
+func (t *tx) alloc(n int) []byte {
+	if cap(t.arena)-len(t.arena) < n {
+		t.arena = make([]byte, 0, 1<<16)
+	}
+	b := t.arena[len(t.arena) : len(t.arena)+n]
+	t.arena = t.arena[:len(t.arena)+n]
+	return b
+}
+
+// temperature returns the record's current heat.
+func temperature(rec *common.Record) uint64 { return rec.Word2.Load() & moccTempMask }
+
+// heat bumps a record's temperature after it caused a validation failure.
+func heat(rec *common.Record) {
+	if temperature(rec) < tempCap {
+		rec.Word2.Add(1)
+	}
+}
+
+// lockHotShared acquires a no-wait shared lock on a hot record.
+func (t *tx) lockHotShared(rec *common.Record) bool {
+	for i := range t.held {
+		if t.held[i].rec == rec {
+			return true
+		}
+	}
+	for {
+		cur := rec.Word2.Load()
+		if cur&moccWriter != 0 {
+			return false
+		}
+		if rec.Word2.CompareAndSwap(cur, cur+moccReaderInc) {
+			t.held = append(t.held, heldLock{rec: rec})
+			return true
+		}
+	}
+}
+
+// lockHotExclusive acquires (or upgrades to) a no-wait exclusive lock.
+func (t *tx) lockHotExclusive(rec *common.Record) bool {
+	for i := range t.held {
+		h := &t.held[i]
+		if h.rec != rec {
+			continue
+		}
+		if h.exclusive {
+			return true
+		}
+		// Upgrade: only if we are the sole reader.
+		for {
+			cur := rec.Word2.Load()
+			if cur&moccLockMask != moccReaderInc {
+				return false
+			}
+			if rec.Word2.CompareAndSwap(cur, (cur&moccTempMask)|moccWriter) {
+				h.exclusive = true
+				return true
+			}
+		}
+	}
+	for {
+		cur := rec.Word2.Load()
+		if cur&moccLockMask != 0 {
+			return false
+		}
+		if rec.Word2.CompareAndSwap(cur, cur|moccWriter) {
+			t.held = append(t.held, heldLock{rec: rec, exclusive: true})
+			return true
+		}
+	}
+}
+
+func (t *tx) releaseLocks() {
+	for i := range t.held {
+		h := &t.held[i]
+		if h.exclusive {
+			for {
+				cur := h.rec.Word2.Load()
+				if h.rec.Word2.CompareAndSwap(cur, cur&^moccWriter) {
+					break
+				}
+			}
+		} else {
+			h.rec.Word2.Add(^(moccReaderInc - 1)) // subtract one reader
+		}
+	}
+	t.held = t.held[:0]
+}
+
+func (t *tx) consistentRead(rec *common.Record) (tid uint64, data []byte, ok bool) {
+	for {
+		t1 := rec.Word1.Load()
+		if t1&lockBit != 0 {
+			runtime.Gosched()
+			continue
+		}
+		d := rec.Data()
+		var buf []byte
+		if d != nil {
+			buf = t.alloc(len(d))
+			copy(buf, d)
+		}
+		t2 := rec.Word1.Load()
+		if t1 == t2 {
+			return t1, buf, d != nil
+		}
+	}
+}
+
+func (t *tx) Read(tb engine.TableID, r engine.RecordID) ([]byte, error) {
+	if i, ok := t.own[ownKey(tb, r)]; ok {
+		w := &t.writes[i]
+		if w.del {
+			return nil, engine.ErrNotFound
+		}
+		return w.buf, nil
+	}
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return nil, engine.ErrNotFound
+	}
+	if temperature(rec) >= hotThreshold && !t.lockHotShared(rec) {
+		return nil, engine.ErrAborted
+	}
+	tid, data, ok := t.consistentRead(rec)
+	t.reads = append(t.reads, readEnt{rec: rec, tid: tid})
+	if !ok {
+		return nil, engine.ErrNotFound
+	}
+	return data, nil
+}
+
+func (t *tx) Update(tb engine.TableID, r engine.RecordID, size int) ([]byte, error) {
+	if i, ok := t.own[ownKey(tb, r)]; ok {
+		w := &t.writes[i]
+		if w.del {
+			return nil, engine.ErrNotFound
+		}
+		if size >= 0 && size != len(w.buf) {
+			nb := t.alloc(size)
+			copy(nb, w.buf)
+			w.buf = nb
+		}
+		return w.buf, nil
+	}
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return nil, engine.ErrNotFound
+	}
+	if temperature(rec) >= hotThreshold && !t.lockHotExclusive(rec) {
+		return nil, engine.ErrAborted
+	}
+	tid, data, ok := t.consistentRead(rec)
+	t.reads = append(t.reads, readEnt{rec: rec, tid: tid})
+	if !ok {
+		return nil, engine.ErrNotFound
+	}
+	if size < 0 {
+		size = len(data)
+	}
+	buf := t.alloc(size)
+	n := copy(buf, data)
+	for ; n < size; n++ {
+		buf[n] = 0
+	}
+	t.stage(writeEnt{tbl: tb, rid: r, rec: rec, buf: buf})
+	return buf, nil
+}
+
+func (t *tx) Write(tb engine.TableID, r engine.RecordID, size int) ([]byte, error) {
+	if i, ok := t.own[ownKey(tb, r)]; ok {
+		w := &t.writes[i]
+		w.del = false
+		if size != len(w.buf) {
+			w.buf = t.alloc(size)
+		}
+		return w.buf, nil
+	}
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return nil, engine.ErrNotFound
+	}
+	if temperature(rec) >= hotThreshold && !t.lockHotExclusive(rec) {
+		return nil, engine.ErrAborted
+	}
+	buf := t.alloc(size)
+	t.stage(writeEnt{tbl: tb, rid: r, rec: rec, buf: buf})
+	return buf, nil
+}
+
+func (t *tx) Insert(tb engine.TableID, size int) (engine.RecordID, []byte, error) {
+	store := t.db.tables[tb]
+	rid := store.Alloc()
+	rec := store.Get(rid)
+	if t.db.indexes.Eager() {
+		rec.Word1.Store(lockBit)
+	}
+	buf := t.alloc(size)
+	t.stage(writeEnt{tbl: tb, rid: rid, rec: rec, buf: buf, insert: true})
+	return rid, buf, nil
+}
+
+func (t *tx) Delete(tb engine.TableID, r engine.RecordID) error {
+	if i, ok := t.own[ownKey(tb, r)]; ok {
+		t.writes[i].del = true
+		return nil
+	}
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return engine.ErrNotFound
+	}
+	if temperature(rec) >= hotThreshold && !t.lockHotExclusive(rec) {
+		return engine.ErrAborted
+	}
+	tid, _, ok := t.consistentRead(rec)
+	t.reads = append(t.reads, readEnt{rec: rec, tid: tid})
+	if !ok {
+		return engine.ErrNotFound
+	}
+	t.stage(writeEnt{tbl: tb, rid: r, rec: rec, del: true})
+	return nil
+}
+
+func (t *tx) stage(w writeEnt) {
+	t.writes = append(t.writes, w)
+	t.own[ownKey(w.tbl, w.rid)] = len(t.writes) - 1
+}
+
+func (t *tx) IndexGet(i engine.IndexID, key uint64) (engine.RecordID, error) {
+	return t.TxIndex.Get(i, key)
+}
+func (t *tx) IndexScan(i engine.IndexID, lo, hi uint64, limit int, fn func(uint64, engine.RecordID) bool) error {
+	return t.TxIndex.Scan(i, lo, hi, limit, fn)
+}
+func (t *tx) IndexInsert(i engine.IndexID, key uint64, r engine.RecordID) error {
+	return t.TxIndex.Insert(i, key, r)
+}
+func (t *tx) IndexDelete(i engine.IndexID, key uint64, r engine.RecordID) error {
+	return t.TxIndex.Delete(i, key, r)
+}
+
+// commit is the Silo validation protocol plus temperature maintenance:
+// records that fail validation are heated, shifting them to pessimistic
+// locking on future accesses.
+func (t *tx) commit() error {
+	sort.Slice(t.writes, func(a, b int) bool {
+		wa, wb := &t.writes[a], &t.writes[b]
+		if wa.tbl != wb.tbl {
+			return wa.tbl < wb.tbl
+		}
+		return wa.rid < wb.rid
+	})
+	locked := 0
+	for i := range t.writes {
+		w := &t.writes[i]
+		if w.insert && t.db.indexes.Eager() {
+			locked = i + 1
+			continue
+		}
+		for {
+			cur := w.rec.Word1.Load()
+			if cur&lockBit != 0 {
+				runtime.Gosched()
+				continue
+			}
+			if w.rec.Word1.CompareAndSwap(cur, cur|lockBit) {
+				break
+			}
+		}
+		locked = i + 1
+	}
+	maxTID := t.w.lastTID
+	okAll := t.TxIndex.Validate()
+	if okAll {
+		for _, r := range t.reads {
+			cur := r.rec.Word1.Load()
+			if (cur&lockBit != 0 && !t.ownsLocked(r.rec)) ||
+				cur&^lockBit != r.tid&^lockBit {
+				heat(r.rec) // MOCC: failed validation heats the record
+				okAll = false
+				break
+			}
+			if tid := r.tid &^ lockBit; tid > maxTID {
+				maxTID = tid
+			}
+		}
+	}
+	if !okAll {
+		t.unlockWrites(locked)
+		t.abort()
+		return engine.ErrAborted
+	}
+	for i := range t.writes {
+		if tid := t.writes[i].rec.Word1.Load() &^ lockBit; tid > maxTID {
+			maxTID = tid
+		}
+	}
+	commitTID := maxTID + 1
+	t.w.lastTID = commitTID
+	for i := range t.writes {
+		w := &t.writes[i]
+		if w.del {
+			w.rec.SetData(nil)
+		} else if d := w.rec.Data(); d != nil && len(d) == len(w.buf) {
+			copy(d, w.buf)
+		} else {
+			nb := make([]byte, len(w.buf))
+			copy(nb, w.buf)
+			w.rec.SetData(nb)
+		}
+		w.rec.Word1.Store(commitTID)
+	}
+	t.TxIndex.Committed()
+	t.releaseLocks()
+	return nil
+}
+
+func (t *tx) ownsLocked(rec *common.Record) bool {
+	for i := range t.writes {
+		if t.writes[i].rec == rec {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *tx) unlockWrites(locked int) {
+	for i := 0; i < locked; i++ {
+		w := &t.writes[i]
+		if w.insert && t.db.indexes.Eager() {
+			continue
+		}
+		cur := w.rec.Word1.Load()
+		w.rec.Word1.Store(cur &^ lockBit)
+	}
+}
+
+func (t *tx) abort() {
+	for i := range t.writes {
+		w := &t.writes[i]
+		if w.insert && t.db.indexes.Eager() {
+			w.rec.SetData(nil)
+			w.rec.Word1.Store(t.w.lastTID + 1)
+		}
+	}
+	t.TxIndex.Aborted()
+	t.releaseLocks()
+}

@@ -1,0 +1,424 @@
+// Package silo implements the Silo OCC-1V-in-place scheme (Tu et al., SOSP
+// 2013) as reimplemented in DBx1000 — the paper's "Silo′" baseline (§4.1):
+// per-record TID words with an embedded lock bit, consistent record copies
+// during the read phase (the "extra reads" of OCC-1V-in-place, §2.1),
+// write-set locking in canonical order, read-set TID validation, and
+// DBx1000's randomized backoff. Record data and concurrency control metadata
+// are collocated per record, matching the paper's optimization (2).
+package silo
+
+import (
+	"runtime"
+	"sort"
+
+	"cicada/internal/baselines/common"
+	"cicada/internal/engine"
+)
+
+const lockBit = uint64(1) << 63
+
+// DB is a Silo database.
+type DB struct {
+	cfg     engine.Config
+	tables  []*common.Store
+	indexes *common.IndexSet
+	workers []*worker
+}
+
+// New creates a Silo DB.
+func New(cfg engine.Config) engine.DB {
+	db := &DB{cfg: cfg, indexes: common.NewIndexSet(cfg)}
+	db.workers = make([]*worker, cfg.Workers)
+	for i := range db.workers {
+		w := &worker{db: db}
+		w.InitWorker(i)
+		w.tx.db = db
+		w.tx.w = w
+		w.tx.own = make(map[uint64]int, 32)
+		db.workers[i] = w
+	}
+	return db
+}
+
+// Name implements engine.DB.
+func (db *DB) Name() string { return "Silo'" }
+
+// Workers implements engine.DB.
+func (db *DB) Workers() int { return db.cfg.Workers }
+
+// CreateTable implements engine.DB.
+func (db *DB) CreateTable(name string) engine.TableID {
+	db.tables = append(db.tables, common.NewStore())
+	return engine.TableID(len(db.tables) - 1)
+}
+
+// CreateHashIndex implements engine.DB.
+func (db *DB) CreateHashIndex(name string, buckets int) engine.IndexID {
+	return db.indexes.CreateHash(buckets)
+}
+
+// CreateOrderedIndex implements engine.DB.
+func (db *DB) CreateOrderedIndex(name string) engine.IndexID {
+	return db.indexes.CreateOrdered()
+}
+
+// Worker implements engine.DB.
+func (db *DB) Worker(id int) engine.Worker { return db.workers[id] }
+
+// Stats implements engine.DB.
+func (db *DB) Stats() engine.Stats {
+	bases := make([]*common.WorkerBase, len(db.workers))
+	for i, w := range db.workers {
+		bases[i] = &w.WorkerBase
+	}
+	return common.StatsOf(bases)
+}
+
+// CommitsLive implements engine.DB.
+func (db *DB) CommitsLive() uint64 {
+	var n uint64
+	for _, w := range db.workers {
+		n += w.CommitsLive()
+	}
+	return n
+}
+
+type worker struct {
+	common.WorkerBase
+	db      *DB
+	tx      tx
+	lastTID uint64
+}
+
+func (w *worker) Run(fn func(tx engine.Tx) error) error {
+	return w.RunLoop(func() error {
+		t := &w.tx
+		t.reset()
+		if err := fn(t); err != nil {
+			t.abort()
+			return err
+		}
+		return t.commit()
+	})
+}
+
+// RunRO implements engine.Worker. DBx1000's Silo′ has no snapshot support,
+// so read-only transactions run the normal OCC protocol (§4.2 notes Cicada
+// provides low-latency read-only transactions at almost no cost; Silo′
+// cannot).
+func (w *worker) RunRO(fn func(tx engine.Tx) error) error { return w.Run(fn) }
+
+func (w *worker) Idle() { runtime.Gosched() }
+
+type readEnt struct {
+	rec *common.Record
+	tid uint64
+}
+
+type writeEnt struct {
+	tbl    engine.TableID
+	rid    engine.RecordID
+	rec    *common.Record
+	buf    []byte
+	del    bool
+	insert bool
+	rdep   bool // also validated as a read (Update)
+}
+
+type tx struct {
+	db *DB
+	w  *worker
+	common.TxIndex
+	reads  []readEnt
+	writes []writeEnt
+	own    map[uint64]int // (tbl,rid) → writes index
+	arena  []byte
+}
+
+func ownKey(t engine.TableID, r engine.RecordID) uint64 {
+	return uint64(t)<<48 | uint64(r)&0xffffffffffff
+}
+
+func (t *tx) reset() {
+	t.reads = t.reads[:0]
+	t.writes = t.writes[:0]
+	t.arena = t.arena[:0]
+	clear(t.own)
+	t.TxIndex.Reset(t.db.indexes)
+}
+
+func (t *tx) alloc(n int) []byte {
+	if cap(t.arena)-len(t.arena) < n {
+		t.arena = make([]byte, 0, 1<<16)
+	}
+	b := t.arena[len(t.arena) : len(t.arena)+n]
+	t.arena = t.arena[:len(t.arena)+n]
+	return b
+}
+
+// consistentRead copies the record data under a TID-stable window: read TID,
+// copy, re-read TID — the extra read of OCC-1V-in-place (§2.1). It spins
+// while the record is locked by a writer in its write phase.
+func (t *tx) consistentRead(rec *common.Record) (tid uint64, data []byte, ok bool) {
+	for {
+		t1 := rec.Word1.Load()
+		if t1&lockBit != 0 {
+			runtime.Gosched()
+			continue
+		}
+		d := rec.Data()
+		var buf []byte
+		if d != nil {
+			buf = t.alloc(len(d))
+			copy(buf, d)
+		}
+		t2 := rec.Word1.Load()
+		if t1 == t2 {
+			return t1, buf, d != nil
+		}
+	}
+}
+
+func (t *tx) Read(tb engine.TableID, r engine.RecordID) ([]byte, error) {
+	if i, ok := t.own[ownKey(tb, r)]; ok {
+		w := &t.writes[i]
+		if w.del {
+			return nil, engine.ErrNotFound
+		}
+		return w.buf, nil
+	}
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return nil, engine.ErrNotFound
+	}
+	tid, data, ok := t.consistentRead(rec)
+	t.reads = append(t.reads, readEnt{rec: rec, tid: tid})
+	if !ok {
+		return nil, engine.ErrNotFound
+	}
+	return data, nil
+}
+
+func (t *tx) Update(tb engine.TableID, r engine.RecordID, size int) ([]byte, error) {
+	if i, ok := t.own[ownKey(tb, r)]; ok {
+		w := &t.writes[i]
+		if w.del {
+			return nil, engine.ErrNotFound
+		}
+		if size >= 0 && size != len(w.buf) {
+			nb := t.alloc(size)
+			copy(nb, w.buf)
+			w.buf = nb
+		}
+		return w.buf, nil
+	}
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return nil, engine.ErrNotFound
+	}
+	tid, data, ok := t.consistentRead(rec)
+	t.reads = append(t.reads, readEnt{rec: rec, tid: tid})
+	if !ok {
+		return nil, engine.ErrNotFound
+	}
+	if size < 0 {
+		size = len(data)
+	}
+	buf := t.alloc(size)
+	n := copy(buf, data)
+	for ; n < size; n++ {
+		buf[n] = 0
+	}
+	t.stage(writeEnt{tbl: tb, rid: r, rec: rec, buf: buf, rdep: true})
+	return buf, nil
+}
+
+func (t *tx) Write(tb engine.TableID, r engine.RecordID, size int) ([]byte, error) {
+	if i, ok := t.own[ownKey(tb, r)]; ok {
+		w := &t.writes[i]
+		w.del = false
+		if size != len(w.buf) {
+			w.buf = t.alloc(size)
+		}
+		return w.buf, nil
+	}
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return nil, engine.ErrNotFound
+	}
+	buf := t.alloc(size)
+	t.stage(writeEnt{tbl: tb, rid: r, rec: rec, buf: buf})
+	return buf, nil
+}
+
+func (t *tx) Insert(tb engine.TableID, size int) (engine.RecordID, []byte, error) {
+	store := t.db.tables[tb]
+	rid := store.Alloc()
+	rec := store.Get(rid)
+	if t.db.indexes.Eager() {
+		// Eager discipline: the record exists immediately, locked until the
+		// transaction finishes, so concurrent readers that find it through
+		// an eagerly updated index block on it (§2.1 index contention).
+		rec.Word1.Store(lockBit)
+	}
+	buf := t.alloc(size)
+	t.stage(writeEnt{tbl: tb, rid: rid, rec: rec, buf: buf, insert: true})
+	return rid, buf, nil
+}
+
+func (t *tx) Delete(tb engine.TableID, r engine.RecordID) error {
+	if i, ok := t.own[ownKey(tb, r)]; ok {
+		t.writes[i].del = true
+		return nil
+	}
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return engine.ErrNotFound
+	}
+	tid, _, ok := t.consistentRead(rec)
+	t.reads = append(t.reads, readEnt{rec: rec, tid: tid})
+	if !ok {
+		return engine.ErrNotFound
+	}
+	t.stage(writeEnt{tbl: tb, rid: r, rec: rec, del: true, rdep: true})
+	return nil
+}
+
+func (t *tx) stage(w writeEnt) {
+	t.writes = append(t.writes, w)
+	t.own[ownKey(w.tbl, w.rid)] = len(t.writes) - 1
+}
+
+func (t *tx) IndexGet(i engine.IndexID, key uint64) (engine.RecordID, error) {
+	return t.TxIndex.Get(i, key)
+}
+func (t *tx) IndexScan(i engine.IndexID, lo, hi uint64, limit int, fn func(uint64, engine.RecordID) bool) error {
+	return t.TxIndex.Scan(i, lo, hi, limit, fn)
+}
+func (t *tx) IndexInsert(i engine.IndexID, key uint64, r engine.RecordID) error {
+	return t.TxIndex.Insert(i, key, r)
+}
+func (t *tx) IndexDelete(i engine.IndexID, key uint64, r engine.RecordID) error {
+	return t.TxIndex.Delete(i, key, r)
+}
+
+// commit runs Silo's validation: lock the write set in canonical order,
+// verify the read set's TIDs, compute the commit TID, install in place, and
+// unlock with the new TID.
+func (t *tx) commit() error {
+	// Phase 1: lock write set in global (table, record) order — Silo must
+	// fully sort to avoid deadlock (§3.5 contrasts this with Cicada's
+	// contention-ordered partial sort).
+	sort.Slice(t.writes, func(a, b int) bool {
+		wa, wb := &t.writes[a], &t.writes[b]
+		if wa.tbl != wb.tbl {
+			return wa.tbl < wb.tbl
+		}
+		return wa.rid < wb.rid
+	})
+	locked := 0
+	for i := range t.writes {
+		w := &t.writes[i]
+		if w.insert && t.db.indexes.Eager() {
+			continue // already locked since creation
+		}
+		for {
+			cur := w.rec.Word1.Load()
+			if cur&lockBit != 0 {
+				// Silo waits on write locks (ordering prevents deadlock);
+				// yield so the holder can finish on few cores.
+				runtime.Gosched()
+				continue
+			}
+			if w.rec.Word1.CompareAndSwap(cur, cur|lockBit) {
+				break
+			}
+		}
+		locked = i + 1
+	}
+	// Phase 2: validate read set and index node stamps.
+	maxTID := t.w.lastTID
+	okAll := t.TxIndex.Validate()
+	if okAll {
+		for _, r := range t.reads {
+			cur := r.rec.Word1.Load()
+			if cur&lockBit != 0 && !t.ownsLocked(r.rec) {
+				okAll = false
+				break
+			}
+			if cur&^lockBit != r.tid&^lockBit {
+				okAll = false
+				break
+			}
+			if tid := r.tid &^ lockBit; tid > maxTID {
+				maxTID = tid
+			}
+		}
+	}
+	if !okAll {
+		t.unlockWrites(locked, 0)
+		t.abort()
+		return engine.ErrAborted
+	}
+	for i := range t.writes {
+		if tid := t.writes[i].rec.Word1.Load() &^ lockBit; tid > maxTID {
+			maxTID = tid
+		}
+	}
+	commitTID := maxTID + 1
+	t.w.lastTID = commitTID
+	// Phase 3: install in place and unlock with the commit TID.
+	for i := range t.writes {
+		w := &t.writes[i]
+		if w.del {
+			w.rec.SetData(nil)
+		} else {
+			// In-place update: overwrite the existing buffer when sizes
+			// match, else swap the data pointer.
+			if d := w.rec.Data(); d != nil && len(d) == len(w.buf) {
+				copy(d, w.buf)
+			} else {
+				nb := make([]byte, len(w.buf))
+				copy(nb, w.buf)
+				w.rec.SetData(nb)
+			}
+		}
+		w.rec.Word1.Store(commitTID)
+	}
+	t.TxIndex.Committed()
+	return nil
+}
+
+func (t *tx) ownsLocked(rec *common.Record) bool {
+	for i := range t.writes {
+		if t.writes[i].rec == rec {
+			return true
+		}
+	}
+	return false
+}
+
+// unlockWrites releases locks acquired during phase 1 without changing TIDs.
+func (t *tx) unlockWrites(locked int, _ uint64) {
+	for i := 0; i < locked; i++ {
+		w := &t.writes[i]
+		if w.insert && t.db.indexes.Eager() {
+			continue // released by abort/commit of the insert itself
+		}
+		cur := w.rec.Word1.Load()
+		w.rec.Word1.Store(cur &^ lockBit)
+	}
+}
+
+// abort rolls back: eager inserts are cleared and unlocked so blocked
+// readers observe an absent record, and eager index updates are undone.
+func (t *tx) abort() {
+	for i := range t.writes {
+		w := &t.writes[i]
+		if w.insert && t.db.indexes.Eager() {
+			w.rec.SetData(nil)
+			w.rec.Word1.Store(t.w.lastTID + 1)
+		}
+	}
+	t.TxIndex.Aborted()
+}

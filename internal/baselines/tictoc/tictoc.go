@@ -1,0 +1,420 @@
+// Package tictoc implements TicToc (Yu et al., SIGMOD 2016): OCC-1V-in-place
+// with data-driven timestamp management (§4.1). Each record carries a write
+// timestamp and a read timestamp; a transaction computes its commit
+// timestamp from the timestamps it observed, extending read timestamps when
+// possible instead of aborting. Like Silo it pays the extra-read cost of
+// consistent record copies (§2.1), but its flexible ordering commits many
+// schedules Silo would abort.
+package tictoc
+
+import (
+	"runtime"
+	"sort"
+
+	"cicada/internal/baselines/common"
+	"cicada/internal/engine"
+)
+
+const lockBit = uint64(1) << 63
+
+// DB is a TicToc database.
+type DB struct {
+	cfg     engine.Config
+	tables  []*common.Store
+	indexes *common.IndexSet
+	workers []*worker
+}
+
+// New creates a TicToc DB.
+func New(cfg engine.Config) engine.DB {
+	db := &DB{cfg: cfg, indexes: common.NewIndexSet(cfg)}
+	db.workers = make([]*worker, cfg.Workers)
+	for i := range db.workers {
+		w := &worker{db: db}
+		w.InitWorker(i)
+		w.tx.db = db
+		w.tx.w = w
+		w.tx.own = make(map[uint64]int, 32)
+		db.workers[i] = w
+	}
+	return db
+}
+
+// Name implements engine.DB.
+func (db *DB) Name() string { return "TicToc" }
+
+// Workers implements engine.DB.
+func (db *DB) Workers() int { return db.cfg.Workers }
+
+// CreateTable implements engine.DB.
+func (db *DB) CreateTable(name string) engine.TableID {
+	db.tables = append(db.tables, common.NewStore())
+	return engine.TableID(len(db.tables) - 1)
+}
+
+// CreateHashIndex implements engine.DB.
+func (db *DB) CreateHashIndex(name string, buckets int) engine.IndexID {
+	return db.indexes.CreateHash(buckets)
+}
+
+// CreateOrderedIndex implements engine.DB.
+func (db *DB) CreateOrderedIndex(name string) engine.IndexID {
+	return db.indexes.CreateOrdered()
+}
+
+// Worker implements engine.DB.
+func (db *DB) Worker(id int) engine.Worker { return db.workers[id] }
+
+// Stats implements engine.DB.
+func (db *DB) Stats() engine.Stats {
+	bases := make([]*common.WorkerBase, len(db.workers))
+	for i, w := range db.workers {
+		bases[i] = &w.WorkerBase
+	}
+	return common.StatsOf(bases)
+}
+
+// CommitsLive implements engine.DB.
+func (db *DB) CommitsLive() uint64 {
+	var n uint64
+	for _, w := range db.workers {
+		n += w.CommitsLive()
+	}
+	return n
+}
+
+type worker struct {
+	common.WorkerBase
+	db *DB
+	tx tx
+}
+
+func (w *worker) Run(fn func(tx engine.Tx) error) error {
+	return w.RunLoop(func() error {
+		t := &w.tx
+		t.reset()
+		if err := fn(t); err != nil {
+			t.abort()
+			return err
+		}
+		return t.commit()
+	})
+}
+
+// RunRO implements engine.Worker; TicToc has no snapshots.
+func (w *worker) RunRO(fn func(tx engine.Tx) error) error { return w.Run(fn) }
+
+func (w *worker) Idle() { runtime.Gosched() }
+
+type readEnt struct {
+	rec *common.Record
+	wts uint64
+	rts uint64
+}
+
+type writeEnt struct {
+	tbl    engine.TableID
+	rid    engine.RecordID
+	rec    *common.Record
+	buf    []byte
+	del    bool
+	insert bool
+}
+
+type tx struct {
+	db *DB
+	w  *worker
+	common.TxIndex
+	reads  []readEnt
+	writes []writeEnt
+	own    map[uint64]int
+	arena  []byte
+}
+
+func ownKey(t engine.TableID, r engine.RecordID) uint64 {
+	return uint64(t)<<48 | uint64(r)&0xffffffffffff
+}
+
+func (t *tx) reset() {
+	t.reads = t.reads[:0]
+	t.writes = t.writes[:0]
+	t.arena = t.arena[:0]
+	clear(t.own)
+	t.TxIndex.Reset(t.db.indexes)
+}
+
+func (t *tx) alloc(n int) []byte {
+	if cap(t.arena)-len(t.arena) < n {
+		t.arena = make([]byte, 0, 1<<16)
+	}
+	b := t.arena[len(t.arena) : len(t.arena)+n]
+	t.arena = t.arena[:len(t.arena)+n]
+	return b
+}
+
+// consistentRead copies the record data and captures a coherent (wts, rts)
+// pair: read wts, read rts, copy data, re-read wts.
+func (t *tx) consistentRead(rec *common.Record) (wts, rts uint64, data []byte, ok bool) {
+	for {
+		w1 := rec.Word1.Load()
+		if w1&lockBit != 0 {
+			runtime.Gosched()
+			continue
+		}
+		r := rec.Word2.Load()
+		d := rec.Data()
+		var buf []byte
+		if d != nil {
+			buf = t.alloc(len(d))
+			copy(buf, d)
+		}
+		w2 := rec.Word1.Load()
+		if w1 == w2 {
+			return w1, r, buf, d != nil
+		}
+	}
+}
+
+func (t *tx) Read(tb engine.TableID, r engine.RecordID) ([]byte, error) {
+	if i, ok := t.own[ownKey(tb, r)]; ok {
+		w := &t.writes[i]
+		if w.del {
+			return nil, engine.ErrNotFound
+		}
+		return w.buf, nil
+	}
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return nil, engine.ErrNotFound
+	}
+	wts, rts, data, ok := t.consistentRead(rec)
+	t.reads = append(t.reads, readEnt{rec: rec, wts: wts, rts: rts})
+	if !ok {
+		return nil, engine.ErrNotFound
+	}
+	return data, nil
+}
+
+func (t *tx) Update(tb engine.TableID, r engine.RecordID, size int) ([]byte, error) {
+	if i, ok := t.own[ownKey(tb, r)]; ok {
+		w := &t.writes[i]
+		if w.del {
+			return nil, engine.ErrNotFound
+		}
+		if size >= 0 && size != len(w.buf) {
+			nb := t.alloc(size)
+			copy(nb, w.buf)
+			w.buf = nb
+		}
+		return w.buf, nil
+	}
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return nil, engine.ErrNotFound
+	}
+	wts, rts, data, ok := t.consistentRead(rec)
+	t.reads = append(t.reads, readEnt{rec: rec, wts: wts, rts: rts})
+	if !ok {
+		return nil, engine.ErrNotFound
+	}
+	if size < 0 {
+		size = len(data)
+	}
+	buf := t.alloc(size)
+	n := copy(buf, data)
+	for ; n < size; n++ {
+		buf[n] = 0
+	}
+	t.stage(writeEnt{tbl: tb, rid: r, rec: rec, buf: buf})
+	return buf, nil
+}
+
+func (t *tx) Write(tb engine.TableID, r engine.RecordID, size int) ([]byte, error) {
+	if i, ok := t.own[ownKey(tb, r)]; ok {
+		w := &t.writes[i]
+		w.del = false
+		if size != len(w.buf) {
+			w.buf = t.alloc(size)
+		}
+		return w.buf, nil
+	}
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return nil, engine.ErrNotFound
+	}
+	buf := t.alloc(size)
+	t.stage(writeEnt{tbl: tb, rid: r, rec: rec, buf: buf})
+	return buf, nil
+}
+
+func (t *tx) Insert(tb engine.TableID, size int) (engine.RecordID, []byte, error) {
+	store := t.db.tables[tb]
+	rid := store.Alloc()
+	rec := store.Get(rid)
+	if t.db.indexes.Eager() {
+		rec.Word1.Store(lockBit)
+	}
+	buf := t.alloc(size)
+	t.stage(writeEnt{tbl: tb, rid: rid, rec: rec, buf: buf, insert: true})
+	return rid, buf, nil
+}
+
+func (t *tx) Delete(tb engine.TableID, r engine.RecordID) error {
+	if i, ok := t.own[ownKey(tb, r)]; ok {
+		t.writes[i].del = true
+		return nil
+	}
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return engine.ErrNotFound
+	}
+	wts, rts, _, ok := t.consistentRead(rec)
+	t.reads = append(t.reads, readEnt{rec: rec, wts: wts, rts: rts})
+	if !ok {
+		return engine.ErrNotFound
+	}
+	t.stage(writeEnt{tbl: tb, rid: r, rec: rec, del: true})
+	return nil
+}
+
+func (t *tx) stage(w writeEnt) {
+	t.writes = append(t.writes, w)
+	t.own[ownKey(w.tbl, w.rid)] = len(t.writes) - 1
+}
+
+func (t *tx) IndexGet(i engine.IndexID, key uint64) (engine.RecordID, error) {
+	return t.TxIndex.Get(i, key)
+}
+func (t *tx) IndexScan(i engine.IndexID, lo, hi uint64, limit int, fn func(uint64, engine.RecordID) bool) error {
+	return t.TxIndex.Scan(i, lo, hi, limit, fn)
+}
+func (t *tx) IndexInsert(i engine.IndexID, key uint64, r engine.RecordID) error {
+	return t.TxIndex.Insert(i, key, r)
+}
+func (t *tx) IndexDelete(i engine.IndexID, key uint64, r engine.RecordID) error {
+	return t.TxIndex.Delete(i, key, r)
+}
+
+// commit runs TicToc's validation: lock the write set, derive the commit
+// timestamp from observed read/write timestamps, validate the read set with
+// read-timestamp extension, then install with wts = rts = commit_ts.
+func (t *tx) commit() error {
+	sort.Slice(t.writes, func(a, b int) bool {
+		wa, wb := &t.writes[a], &t.writes[b]
+		if wa.tbl != wb.tbl {
+			return wa.tbl < wb.tbl
+		}
+		return wa.rid < wb.rid
+	})
+	locked := 0
+	for i := range t.writes {
+		w := &t.writes[i]
+		if w.insert && t.db.indexes.Eager() {
+			locked = i + 1
+			continue
+		}
+		for {
+			cur := w.rec.Word1.Load()
+			if cur&lockBit != 0 {
+				runtime.Gosched()
+				continue
+			}
+			if w.rec.Word1.CompareAndSwap(cur, cur|lockBit) {
+				break
+			}
+		}
+		locked = i + 1
+	}
+	// Commit timestamp: after the reads' wts and after every written
+	// record's current rts.
+	commitTS := uint64(0)
+	for i := range t.reads {
+		if w := t.reads[i].wts; w >= commitTS {
+			commitTS = w
+		}
+	}
+	for i := range t.writes {
+		if r := t.writes[i].rec.Word2.Load(); r+1 > commitTS {
+			commitTS = r + 1
+		}
+	}
+	// Validate the read set, extending read timestamps when the version is
+	// unchanged (TicToc's key mechanism).
+	okAll := t.TxIndex.Validate()
+	if okAll {
+		for i := range t.reads {
+			r := &t.reads[i]
+			if r.rts >= commitTS {
+				continue
+			}
+			cur := r.rec.Word1.Load()
+			if cur&^lockBit != r.wts&^lockBit {
+				okAll = false
+				break
+			}
+			if cur&lockBit != 0 && !t.ownsLocked(r.rec) {
+				okAll = false
+				break
+			}
+			// Extend the read timestamp to commitTS.
+			for {
+				rts := r.rec.Word2.Load()
+				if rts >= commitTS || r.rec.Word2.CompareAndSwap(rts, commitTS) {
+					break
+				}
+			}
+		}
+	}
+	if !okAll {
+		t.unlockWrites(locked)
+		t.abort()
+		return engine.ErrAborted
+	}
+	for i := range t.writes {
+		w := &t.writes[i]
+		if w.del {
+			w.rec.SetData(nil)
+		} else if d := w.rec.Data(); d != nil && len(d) == len(w.buf) {
+			copy(d, w.buf)
+		} else {
+			nb := make([]byte, len(w.buf))
+			copy(nb, w.buf)
+			w.rec.SetData(nb)
+		}
+		w.rec.Word2.Store(commitTS)
+		w.rec.Word1.Store(commitTS) // clears the lock bit
+	}
+	t.TxIndex.Committed()
+	return nil
+}
+
+func (t *tx) ownsLocked(rec *common.Record) bool {
+	for i := range t.writes {
+		if t.writes[i].rec == rec {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *tx) unlockWrites(locked int) {
+	for i := 0; i < locked; i++ {
+		w := &t.writes[i]
+		if w.insert && t.db.indexes.Eager() {
+			continue
+		}
+		cur := w.rec.Word1.Load()
+		w.rec.Word1.Store(cur &^ lockBit)
+	}
+}
+
+func (t *tx) abort() {
+	for i := range t.writes {
+		w := &t.writes[i]
+		if w.insert && t.db.indexes.Eager() {
+			w.rec.SetData(nil)
+			w.rec.Word1.Store(0)
+		}
+	}
+	t.TxIndex.Aborted()
+}

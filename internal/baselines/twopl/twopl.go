@@ -1,0 +1,376 @@
+// Package twopl implements two-phase locking with the no-wait deadlock
+// prevention policy (§4.1): per-record reader/writer lock words, immediate
+// abort on any lock conflict, single-version storage with in-place updates
+// at commit, and lock release after the outcome (strict 2PL).
+package twopl
+
+import (
+	"runtime"
+
+	"cicada/internal/baselines/common"
+	"cicada/internal/engine"
+)
+
+// Word1 lock encoding: bit 63 = writer, low bits = reader count.
+const writerBit = uint64(1) << 63
+
+// DB is a 2PL no-wait database.
+type DB struct {
+	cfg     engine.Config
+	tables  []*common.Store
+	indexes *common.IndexSet
+	workers []*worker
+}
+
+// New creates a 2PL no-wait DB.
+func New(cfg engine.Config) engine.DB {
+	db := &DB{cfg: cfg, indexes: common.NewIndexSet(cfg)}
+	db.workers = make([]*worker, cfg.Workers)
+	for i := range db.workers {
+		w := &worker{db: db}
+		w.InitWorker(i)
+		w.tx.db = db
+		w.tx.own = make(map[uint64]int, 32)
+		db.workers[i] = w
+	}
+	return db
+}
+
+// Name implements engine.DB.
+func (db *DB) Name() string { return "2PL-NoWait" }
+
+// Workers implements engine.DB.
+func (db *DB) Workers() int { return db.cfg.Workers }
+
+// CreateTable implements engine.DB.
+func (db *DB) CreateTable(name string) engine.TableID {
+	db.tables = append(db.tables, common.NewStore())
+	return engine.TableID(len(db.tables) - 1)
+}
+
+// CreateHashIndex implements engine.DB.
+func (db *DB) CreateHashIndex(name string, buckets int) engine.IndexID {
+	return db.indexes.CreateHash(buckets)
+}
+
+// CreateOrderedIndex implements engine.DB.
+func (db *DB) CreateOrderedIndex(name string) engine.IndexID {
+	return db.indexes.CreateOrdered()
+}
+
+// Worker implements engine.DB.
+func (db *DB) Worker(id int) engine.Worker { return db.workers[id] }
+
+// Stats implements engine.DB.
+func (db *DB) Stats() engine.Stats {
+	bases := make([]*common.WorkerBase, len(db.workers))
+	for i, w := range db.workers {
+		bases[i] = &w.WorkerBase
+	}
+	return common.StatsOf(bases)
+}
+
+// CommitsLive implements engine.DB.
+func (db *DB) CommitsLive() uint64 {
+	var n uint64
+	for _, w := range db.workers {
+		n += w.CommitsLive()
+	}
+	return n
+}
+
+type worker struct {
+	common.WorkerBase
+	db *DB
+	tx tx
+}
+
+func (w *worker) Run(fn func(tx engine.Tx) error) error {
+	return w.RunLoop(func() error {
+		t := &w.tx
+		t.reset()
+		if err := fn(t); err != nil {
+			t.finish(false)
+			return err
+		}
+		return t.commit()
+	})
+}
+
+// RunRO implements engine.Worker; 2PL has no snapshots.
+func (w *worker) RunRO(fn func(tx engine.Tx) error) error { return w.Run(fn) }
+
+func (w *worker) Idle() { runtime.Gosched() }
+
+type lockMode uint8
+
+const (
+	lockNone lockMode = iota
+	lockShared
+	lockExclusive
+)
+
+type entry struct {
+	tbl    engine.TableID
+	rid    engine.RecordID
+	rec    *common.Record
+	mode   lockMode
+	buf    []byte // staged write (nil for pure reads)
+	write  bool
+	del    bool
+	insert bool
+}
+
+type tx struct {
+	db *DB
+	common.TxIndex
+	entries []entry
+	own     map[uint64]int
+	arena   []byte
+}
+
+func ownKey(t engine.TableID, r engine.RecordID) uint64 {
+	return uint64(t)<<48 | uint64(r)&0xffffffffffff
+}
+
+func (t *tx) reset() {
+	t.entries = t.entries[:0]
+	t.arena = t.arena[:0]
+	clear(t.own)
+	t.TxIndex.Reset(t.db.indexes)
+}
+
+func (t *tx) alloc(n int) []byte {
+	if cap(t.arena)-len(t.arena) < n {
+		t.arena = make([]byte, 0, 1<<16)
+	}
+	b := t.arena[len(t.arena) : len(t.arena)+n]
+	t.arena = t.arena[:len(t.arena)+n]
+	return b
+}
+
+// lockShared acquires a read lock with no-wait semantics.
+func acquireShared(rec *common.Record) bool {
+	for {
+		cur := rec.Word1.Load()
+		if cur&writerBit != 0 {
+			return false
+		}
+		if rec.Word1.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// acquireExclusive acquires a write lock with no-wait semantics. held is
+// the caller's current mode on this record (for upgrades).
+func acquireExclusive(rec *common.Record, held lockMode) bool {
+	for {
+		cur := rec.Word1.Load()
+		switch held {
+		case lockShared:
+			// Upgrade: succeeds only if we are the sole reader.
+			if cur != 1 {
+				return false
+			}
+			if rec.Word1.CompareAndSwap(1, writerBit) {
+				return true
+			}
+		default:
+			if cur != 0 {
+				return false
+			}
+			if rec.Word1.CompareAndSwap(0, writerBit) {
+				return true
+			}
+		}
+	}
+}
+
+func release(rec *common.Record, mode lockMode) {
+	switch mode {
+	case lockShared:
+		rec.Word1.Add(^uint64(0)) // decrement reader count
+	case lockExclusive:
+		rec.Word1.Store(0)
+	}
+}
+
+func (t *tx) find(tb engine.TableID, r engine.RecordID) *entry {
+	if i, ok := t.own[ownKey(tb, r)]; ok {
+		return &t.entries[i]
+	}
+	return nil
+}
+
+func (t *tx) add(e entry) *entry {
+	t.entries = append(t.entries, e)
+	t.own[ownKey(e.tbl, e.rid)] = len(t.entries) - 1
+	return &t.entries[len(t.entries)-1]
+}
+
+func (t *tx) Read(tb engine.TableID, r engine.RecordID) ([]byte, error) {
+	if e := t.find(tb, r); e != nil {
+		if e.del {
+			return nil, engine.ErrNotFound
+		}
+		if e.write {
+			return e.buf, nil
+		}
+		d := e.rec.Data()
+		if d == nil {
+			return nil, engine.ErrNotFound
+		}
+		return d, nil
+	}
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return nil, engine.ErrNotFound
+	}
+	if !acquireShared(rec) {
+		return nil, engine.ErrAborted // no-wait
+	}
+	t.add(entry{tbl: tb, rid: r, rec: rec, mode: lockShared})
+	d := rec.Data()
+	if d == nil {
+		return nil, engine.ErrNotFound
+	}
+	return d, nil
+}
+
+func (t *tx) writeLocked(tb engine.TableID, r engine.RecordID) (*entry, error) {
+	if e := t.find(tb, r); e != nil {
+		if e.mode != lockExclusive {
+			if !acquireExclusive(e.rec, e.mode) {
+				return nil, engine.ErrAborted
+			}
+			e.mode = lockExclusive
+		}
+		return e, nil
+	}
+	rec := t.db.tables[tb].Get(r)
+	if rec == nil {
+		return nil, engine.ErrNotFound
+	}
+	if !acquireExclusive(rec, lockNone) {
+		return nil, engine.ErrAborted
+	}
+	return t.add(entry{tbl: tb, rid: r, rec: rec, mode: lockExclusive}), nil
+}
+
+func (t *tx) Update(tb engine.TableID, r engine.RecordID, size int) ([]byte, error) {
+	e, err := t.writeLocked(tb, r)
+	if err != nil {
+		return nil, err
+	}
+	if e.del {
+		return nil, engine.ErrNotFound
+	}
+	if e.write {
+		if size >= 0 && size != len(e.buf) {
+			nb := t.alloc(size)
+			copy(nb, e.buf)
+			e.buf = nb
+		}
+		return e.buf, nil
+	}
+	d := e.rec.Data()
+	if d == nil {
+		return nil, engine.ErrNotFound
+	}
+	if size < 0 {
+		size = len(d)
+	}
+	buf := t.alloc(size)
+	n := copy(buf, d)
+	for ; n < size; n++ {
+		buf[n] = 0
+	}
+	e.buf = buf
+	e.write = true
+	return buf, nil
+}
+
+func (t *tx) Write(tb engine.TableID, r engine.RecordID, size int) ([]byte, error) {
+	e, err := t.writeLocked(tb, r)
+	if err != nil {
+		return nil, err
+	}
+	e.buf = t.alloc(size)
+	e.write = true
+	e.del = false
+	return e.buf, nil
+}
+
+func (t *tx) Insert(tb engine.TableID, size int) (engine.RecordID, []byte, error) {
+	store := t.db.tables[tb]
+	rid := store.Alloc()
+	rec := store.Get(rid)
+	rec.Word1.Store(writerBit) // born exclusively locked
+	e := t.add(entry{tbl: tb, rid: rid, rec: rec, mode: lockExclusive, write: true, insert: true})
+	e.buf = t.alloc(size)
+	return rid, e.buf, nil
+}
+
+func (t *tx) Delete(tb engine.TableID, r engine.RecordID) error {
+	e, err := t.writeLocked(tb, r)
+	if err != nil {
+		return err
+	}
+	if !e.insert && e.rec.Data() == nil && !e.write {
+		return engine.ErrNotFound
+	}
+	e.del = true
+	e.write = true
+	return nil
+}
+
+func (t *tx) IndexGet(i engine.IndexID, key uint64) (engine.RecordID, error) {
+	return t.TxIndex.Get(i, key)
+}
+func (t *tx) IndexScan(i engine.IndexID, lo, hi uint64, limit int, fn func(uint64, engine.RecordID) bool) error {
+	return t.TxIndex.Scan(i, lo, hi, limit, fn)
+}
+func (t *tx) IndexInsert(i engine.IndexID, key uint64, r engine.RecordID) error {
+	return t.TxIndex.Insert(i, key, r)
+}
+func (t *tx) IndexDelete(i engine.IndexID, key uint64, r engine.RecordID) error {
+	return t.TxIndex.Delete(i, key, r)
+}
+
+// commit validates index node stamps (ported phantom avoidance), installs
+// staged writes in place, and releases all locks.
+func (t *tx) commit() error {
+	if !t.TxIndex.Validate() {
+		t.finish(false)
+		return engine.ErrAborted
+	}
+	t.finish(true)
+	return nil
+}
+
+func (t *tx) finish(commit bool) {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if commit && e.write {
+			if e.del {
+				e.rec.SetData(nil)
+			} else if d := e.rec.Data(); d != nil && len(d) == len(e.buf) {
+				copy(d, e.buf)
+			} else {
+				nb := make([]byte, len(e.buf))
+				copy(nb, e.buf)
+				e.rec.SetData(nb)
+			}
+		}
+		if !commit && e.insert {
+			e.rec.SetData(nil)
+		}
+		release(e.rec, e.mode)
+	}
+	if commit {
+		t.TxIndex.Committed()
+	} else {
+		t.TxIndex.Aborted()
+	}
+}

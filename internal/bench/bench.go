@@ -1,0 +1,355 @@
+// Package bench is the experiment harness that regenerates the paper's
+// evaluation (§4): engine factories for Cicada and the six baselines,
+// fixed-duration throughput measurement with ramp-up, and runners for the
+// TPC-C and YCSB configurations used by every figure and table.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"cicada/internal/baselines/ermia"
+	"cicada/internal/baselines/hekaton"
+	"cicada/internal/baselines/mocc"
+	"cicada/internal/baselines/silo"
+	"cicada/internal/baselines/tictoc"
+	"cicada/internal/baselines/twopl"
+	"cicada/internal/cicadaeng"
+	"cicada/internal/core"
+	"cicada/internal/engine"
+	"cicada/internal/workload/tpcc"
+	"cicada/internal/workload/ycsb"
+)
+
+// EngineNames is the comparison order used in the paper's figures.
+var EngineNames = []string{"Cicada", "Silo'", "TicToc", "2PL-NoWait", "Hekaton", "ERMIA", "MOCC"}
+
+// Factory returns the factory for an engine name. Cicada uses the paper's
+// default options; use CicadaFactory for ablated variants.
+func Factory(name string) engine.Factory {
+	switch name {
+	case "Cicada":
+		return CicadaFactory(nil)
+	case "Silo'":
+		return silo.New
+	case "TicToc":
+		return tictoc.New
+	case "2PL-NoWait":
+		return twopl.New
+	case "Hekaton":
+		return hekaton.New
+	case "ERMIA":
+		return ermia.New
+	case "MOCC":
+		return mocc.New
+	}
+	panic("bench: unknown engine " + name)
+}
+
+// CicadaFactory builds a Cicada factory with the paper-default core options
+// optionally adjusted by mutate (used for the Figure 7/8/9/10 and Table 2
+// variants).
+func CicadaFactory(mutate func(*core.Options)) engine.Factory {
+	return func(cfg engine.Config) engine.DB {
+		opts := core.DefaultOptions(cfg.Workers)
+		if mutate != nil {
+			mutate(&opts)
+		}
+		return cicadaeng.New(cfg, opts)
+	}
+}
+
+// Result is one measurement point.
+type Result struct {
+	// Experiment identifies the figure/table.
+	Experiment string
+	// Engine is the scheme name (possibly a variant label).
+	Engine string
+	// Threads is the worker count.
+	Threads int
+	// Param is the swept parameter's value (skew, record size, backoff µs,
+	// GC interval µs, ...), 0 if none.
+	Param float64
+	// TPS is committed transactions per second during the measurement
+	// window (all transaction types, as in the paper).
+	TPS float64
+	// AbortRate is aborts / (aborts + commits) over the whole run.
+	AbortRate float64
+	// AbortTimeFrac is time spent on aborted execution plus backoff
+	// divided by busy time (Figure 10's "abort time").
+	AbortTimeFrac float64
+	// Extra carries experiment-specific metrics (records/s, space
+	// overhead, staleness).
+	Extra map[string]float64
+}
+
+// Durations controls measurement length; tests and benchmarks shrink them.
+type Durations struct {
+	Ramp    time.Duration
+	Measure time.Duration
+}
+
+// DefaultDurations is used by cmd/cicada-bench.
+var DefaultDurations = Durations{Ramp: 500 * time.Millisecond, Measure: 2 * time.Second}
+
+// runLoop drives per-worker generators until stop closes; it is shared by
+// the TPC-C and YCSB runners.
+func runLoop(db engine.DB, drive func(id int, wk engine.Worker, stop <-chan struct{})) (stop chan struct{}, done *sync.WaitGroup) {
+	stop = make(chan struct{})
+	done = &sync.WaitGroup{}
+	for id := 0; id < db.Workers(); id++ {
+		done.Add(1)
+		go func(id int) {
+			defer done.Done()
+			drive(id, db.Worker(id), stop)
+		}(id)
+	}
+	return stop, done
+}
+
+// measure samples committed throughput over the measurement window.
+func measure(db engine.DB, d Durations) float64 {
+	time.Sleep(d.Ramp)
+	c0 := db.CommitsLive()
+	t0 := time.Now()
+	time.Sleep(d.Measure)
+	c1 := db.CommitsLive()
+	return float64(c1-c0) / time.Since(t0).Seconds()
+}
+
+func finish(db engine.DB, res *Result) {
+	s := db.Stats()
+	res.AbortRate = s.AbortRate()
+	if s.BusyTime > 0 {
+		res.AbortTimeFrac = float64(s.AbortTime) / float64(s.BusyTime)
+	}
+}
+
+// TPCCOpts configures one TPC-C measurement.
+type TPCCOpts struct {
+	Warehouses int
+	Threads    int
+	NP         bool
+	Phantom    bool // eager index updates + phantom avoidance (Fig 3) vs deferred (Fig 4)
+	Scale      tpcc.Config
+	Durations  Durations
+	// OnStart runs after loading, just before the workers start (live
+	// sampling hooks).
+	OnStart func(db engine.DB)
+	// Inspect runs after measurement with the db still loaded (space
+	// overhead, staleness sampling).
+	Inspect func(db engine.DB, res *Result)
+}
+
+// RunTPCC measures one engine on TPC-C.
+func RunTPCC(name string, f engine.Factory, o TPCCOpts) Result {
+	cfg := o.Scale
+	cfg.Warehouses = o.Warehouses
+	cfg.NP = o.NP
+	db := f(engine.Config{Workers: o.Threads, PhantomAvoidance: o.Phantom,
+		HashBucketsHint: cfg.Warehouses * cfg.Items})
+	w := tpcc.Setup(db, cfg)
+	if err := w.Load(); err != nil {
+		panic(fmt.Sprintf("tpcc load (%s): %v", name, err))
+	}
+	engine.WarmUp(db)
+	runtime.GC() // keep loading garbage out of the measurement window
+	if o.OnStart != nil {
+		o.OnStart(db)
+	}
+	hists := make([]*latHist, o.Threads)
+	stop, done := runLoop(db, func(id int, wk engine.Worker, stop <-chan struct{}) {
+		g := w.NewGen(id)
+		h := &latHist{}
+		hists[id] = h
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			t0 := time.Now()
+			if err := g.RunOne(wk); err != nil {
+				if errors.Is(err, engine.ErrAborted) {
+					continue // bounded-retry abort (e.g. peers stopping)
+				}
+				panic(fmt.Sprintf("tpcc (%s, worker %d): %v", name, id, err))
+			}
+			h.add(time.Since(t0))
+		}
+	})
+	tps := measure(db, o.Durations)
+	close(stop)
+	done.Wait()
+	res := Result{Engine: name, Threads: o.Threads, TPS: tps}
+	res.Extra = map[string]float64{
+		"p50_us": float64(percentile(hists, 0.50)) / 1e3,
+		"p99_us": float64(percentile(hists, 0.99)) / 1e3,
+	}
+	finish(db, &res)
+	if o.Inspect != nil {
+		o.Inspect(db, &res)
+	}
+	return res
+}
+
+// YCSBOpts configures one YCSB measurement.
+type YCSBOpts struct {
+	Threads   int
+	Cfg       ycsb.Config
+	Phantom   bool
+	Durations Durations
+	// CountScans adds a records-scanned/s metric.
+	CountScans bool
+	// Inspect runs after measurement with the db still loaded.
+	Inspect func(db engine.DB, res *Result)
+}
+
+// RunYCSB measures one engine on YCSB.
+func RunYCSB(name string, f engine.Factory, o YCSBOpts) Result {
+	db := f(engine.Config{Workers: o.Threads, PhantomAvoidance: o.Phantom,
+		HashBucketsHint: o.Cfg.Records})
+	w := ycsb.Setup(db, o.Cfg)
+	if err := w.Load(); err != nil {
+		panic(fmt.Sprintf("ycsb load (%s): %v", name, err))
+	}
+	engine.WarmUp(db)
+	runtime.GC()
+	gens := make([]*ycsb.Gen, o.Threads)
+	hists := make([]*latHist, o.Threads)
+	stop, done := runLoop(db, func(id int, wk engine.Worker, stop <-chan struct{}) {
+		g := w.NewGen(id)
+		gens[id] = g
+		h := &latHist{}
+		hists[id] = h
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			t0 := time.Now()
+			if err := g.RunOne(wk); err != nil {
+				if errors.Is(err, engine.ErrAborted) {
+					continue
+				}
+				panic(fmt.Sprintf("ycsb (%s, worker %d): %v", name, id, err))
+			}
+			h.add(time.Since(t0))
+		}
+	})
+	var scanned0 uint64
+	readScanned := func() uint64 {
+		var n uint64
+		for _, g := range gens {
+			if g != nil {
+				n += g.Scanned
+			}
+		}
+		return n
+	}
+	time.Sleep(o.Durations.Ramp)
+	c0 := db.CommitsLive()
+	if o.CountScans {
+		scanned0 = readScanned()
+	}
+	t0 := time.Now()
+	time.Sleep(o.Durations.Measure)
+	c1 := db.CommitsLive()
+	elapsed := time.Since(t0).Seconds()
+	var scanRate float64
+	if o.CountScans {
+		// Racy reads of per-gen counters: acceptable for measurement.
+		scanRate = float64(readScanned()-scanned0) / elapsed
+	}
+	close(stop)
+	done.Wait()
+	res := Result{Engine: name, Threads: o.Threads, TPS: float64(c1-c0) / elapsed}
+	res.Extra = map[string]float64{
+		"p50_us": float64(percentile(hists, 0.50)) / 1e3,
+		"p99_us": float64(percentile(hists, 0.99)) / 1e3,
+	}
+	if o.CountScans {
+		res.Extra["records_scanned_per_s"] = scanRate
+	}
+	finish(db, &res)
+	if o.Inspect != nil {
+		o.Inspect(db, &res)
+	}
+	return res
+}
+
+// WriteCSV appends results to w as CSV rows:
+// experiment,engine,threads,param,tps,abort_rate,abort_time_frac,extras...
+func WriteCSV(w io.Writer, results []Result) {
+	for _, r := range results {
+		fmt.Fprintf(w, "%s,%s,%d,%g,%.1f,%.4f,%.4f", r.Experiment, r.Engine, r.Threads, r.Param, r.TPS, r.AbortRate, r.AbortTimeFrac)
+		keys := make([]string, 0, len(r.Extra))
+		for k := range r.Extra {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, ",%s=%.2f", k, r.Extra[k])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintTable renders results grouped like the paper's figures: one row per
+// engine, one column per swept value.
+func PrintTable(out io.Writer, title, paramName string, results []Result) {
+	fmt.Fprintf(out, "\n=== %s ===\n", title)
+	byEngine := map[string][]Result{}
+	var params []float64
+	seen := map[float64]bool{}
+	var engines []string
+	seenEng := map[string]bool{}
+	for _, r := range results {
+		byEngine[r.Engine] = append(byEngine[r.Engine], r)
+		key := r.Param
+		if paramName == "threads" {
+			key = float64(r.Threads)
+		}
+		if !seen[key] {
+			seen[key] = true
+			params = append(params, key)
+		}
+		if !seenEng[r.Engine] {
+			seenEng[r.Engine] = true
+			engines = append(engines, r.Engine)
+		}
+	}
+	sort.Float64s(params)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "engine")
+	for _, p := range params {
+		fmt.Fprintf(tw, "\t%s=%g", paramName, p)
+	}
+	fmt.Fprintln(tw)
+	for _, eng := range engines {
+		fmt.Fprintf(tw, "%s", eng)
+		for _, p := range params {
+			var cell string
+			for _, r := range byEngine[eng] {
+				key := r.Param
+				if paramName == "threads" {
+					key = float64(r.Threads)
+				}
+				if key == p {
+					cell = fmt.Sprintf("%.0f tps (%.0f%% ab)", r.TPS, 100*r.AbortRate)
+					break
+				}
+			}
+			fmt.Fprintf(tw, "\t%s", cell)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

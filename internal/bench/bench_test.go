@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"cicada/internal/workload/tpcc"
+	"cicada/internal/workload/ycsb"
+)
+
+// tinyScale shrinks everything so the full experiment matrix smoke-tests in
+// seconds.
+func tinyScale() Scale {
+	s := DefaultScale()
+	s.Threads = []int{2}
+	s.MaxThreads = 2
+	s.Engines = []string{"Cicada", "Silo'"}
+	s.TPCC = tpcc.SmallConfig(1)
+	y := ycsb.DefaultConfig()
+	y.Records = 5000
+	s.YCSB = y
+	s.Skews = []float64{0, 0.99}
+	s.RecordSizes = []int{8, 216}
+	s.GCIntervals = []time.Duration{10 * time.Microsecond, time.Millisecond}
+	s.Backoffs = []time.Duration{0, 10 * time.Microsecond}
+	s.Dur = Durations{Ramp: 20 * time.Millisecond, Measure: 60 * time.Millisecond}
+	return s
+}
+
+func checkResults(t *testing.T, rs []Result, wantLen int) {
+	t.Helper()
+	if len(rs) != wantLen {
+		t.Fatalf("got %d results, want %d", len(rs), wantLen)
+	}
+	for _, r := range rs {
+		if r.TPS <= 0 {
+			t.Errorf("%s %s threads=%d param=%g: tps %f", r.Experiment, r.Engine, r.Threads, r.Param, r.TPS)
+		}
+		if r.AbortRate < 0 || r.AbortRate > 1 {
+			t.Errorf("%s %s: abort rate %f", r.Experiment, r.Engine, r.AbortRate)
+		}
+	}
+}
+
+func TestFig3Smoke(t *testing.T) {
+	s := tinyScale()
+	checkResults(t, Fig3('a', s), 2)
+}
+
+func TestFig4Smoke(t *testing.T) {
+	s := tinyScale()
+	checkResults(t, Fig4('b', s), 2)
+}
+
+func TestFig5Smoke(t *testing.T) {
+	s := tinyScale()
+	checkResults(t, Fig5('a', s), 2)
+}
+
+func TestFig6Smoke(t *testing.T) {
+	s := tinyScale()
+	checkResults(t, Fig6('a', s), 2)
+	checkResults(t, Fig6('c', s), 4)
+}
+
+func TestFig7Smoke(t *testing.T) {
+	s := tinyScale()
+	rs := Fig7(s)
+	checkResults(t, rs, 6)
+	names := map[string]bool{}
+	for _, r := range rs {
+		names[r.Engine] = true
+	}
+	if !names["Cicada/FAA-clock"] {
+		t.Fatal("centralized-clock variant missing")
+	}
+}
+
+func TestFig8Smoke(t *testing.T) {
+	s := tinyScale()
+	rs := Fig8(s)
+	checkResults(t, rs, 6) // (Cicada, Cicada/no-inline, Silo') × 2 sizes
+}
+
+func TestFig9Smoke(t *testing.T) {
+	s := tinyScale()
+	rs := Fig9(s)
+	checkResults(t, rs, 6) // 3 warehouse settings × 2 intervals
+	for _, r := range rs {
+		if _, ok := r.Extra["space_overhead"]; !ok {
+			t.Fatalf("missing space overhead: %+v", r)
+		}
+	}
+}
+
+func TestFig10Smoke(t *testing.T) {
+	s := tinyScale()
+	rs := Fig10("ycsb", s)
+	checkResults(t, rs, 3) // auto + 2 manual
+	hasAuto := false
+	for _, r := range rs {
+		if r.Param == -1 {
+			hasAuto = true
+		}
+	}
+	if !hasAuto {
+		t.Fatal("auto point missing")
+	}
+}
+
+func TestFig11Smoke(t *testing.T) {
+	s := tinyScale()
+	checkResults(t, Fig11('a', s), 4)
+}
+
+func TestTable2Smoke(t *testing.T) {
+	s := tinyScale()
+	rs := Table2(s)
+	checkResults(t, rs, 5)
+}
+
+func TestScanBenchSmoke(t *testing.T) {
+	s := tinyScale()
+	rs := ScanBench(s)
+	checkResults(t, rs, 2)
+	for _, r := range rs {
+		if r.Extra["records_scanned_per_s"] <= 0 {
+			t.Fatalf("no scan rate: %+v", r)
+		}
+	}
+}
+
+func TestStalenessSmoke(t *testing.T) {
+	s := tinyScale()
+	rs := Staleness(s)
+	if len(rs) != 2 {
+		t.Fatalf("staleness rows: %+v", rs)
+	}
+	for _, r := range rs {
+		if r.Extra["staleness_avg_us"] <= 0 {
+			t.Fatalf("staleness: %+v", r)
+		}
+	}
+	// Single-threaded staleness is protocol-bound (microseconds); it must
+	// be far below the scheduling-bound multi-worker figure.
+	if rs[0].Extra["staleness_avg_us"] > 10_000 {
+		t.Fatalf("1-thread staleness too high: %+v", rs[0])
+	}
+}
+
+func TestRTSBench(t *testing.T) {
+	cond, faa := RTSUpdateBench(2, 30*time.Millisecond)
+	if cond <= 0 || faa <= 0 {
+		t.Fatalf("cond=%f faa=%f", cond, faa)
+	}
+	t.Logf("conditional rts updates: %.0f/s, fetch-add: %.0f/s", cond, faa)
+}
+
+func TestPrintTable(t *testing.T) {
+	var buf bytes.Buffer
+	rs := []Result{
+		{Engine: "Cicada", Threads: 1, TPS: 1000},
+		{Engine: "Cicada", Threads: 2, TPS: 1800},
+		{Engine: "Silo'", Threads: 1, TPS: 900},
+	}
+	PrintTable(&buf, "demo", "threads", rs)
+	out := buf.String()
+	if !strings.Contains(out, "Cicada") || !strings.Contains(out, "threads=2") {
+		t.Fatalf("table output:\n%s", out)
+	}
+}

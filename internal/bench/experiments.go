@@ -1,0 +1,510 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cicada/internal/cicadaeng"
+	"cicada/internal/clock"
+	"cicada/internal/core"
+	"cicada/internal/engine"
+	"cicada/internal/workload/tpcc"
+	"cicada/internal/workload/ycsb"
+)
+
+// Scale bundles the sweep parameters for every experiment so that tests,
+// testing.B benchmarks, and cmd/cicada-bench share one definition. The
+// paper's testbed values are noted next to each field; DefaultScale fits a
+// small machine and EXPERIMENTS.md records the mapping.
+type Scale struct {
+	// Threads is the thread sweep (paper: 1..28).
+	Threads []int
+	// MaxThreads is used by skew/size sweeps (paper: 28).
+	MaxThreads int
+	// Engines selects the schemes to compare.
+	Engines []string
+	// TPCC is the base TPC-C scale (Items is reduced from the spec's
+	// 100 000 by default; pass the full value for spec-scale runs).
+	TPCC tpcc.Config
+	// YCSB is the base YCSB configuration (paper: 10 M × 100 B records).
+	YCSB ycsb.Config
+	// Skews is the Zipf sweep for Figures 6b/6c/11 (paper: 0–0.99).
+	Skews []float64
+	// RecordSizes is the Figure 8 sweep (paper: up to 2000 B).
+	RecordSizes []int
+	// GCIntervals is the Figure 9 sweep (paper: 10 µs–100 ms).
+	GCIntervals []time.Duration
+	// Backoffs is the Figure 10 manual sweep.
+	Backoffs []time.Duration
+	// Dur is the per-point measurement length.
+	Dur Durations
+}
+
+// DefaultScale returns a laptop-scale configuration covering every sweep.
+func DefaultScale() Scale {
+	t := tpcc.DefaultConfig(1)
+	t.Items = 10_000
+	t.InitialOrdersPerDistrict = 300
+	t.CustomersPerDistrict = 600
+	y := ycsb.DefaultConfig()
+	y.Records = 200_000
+	return Scale{
+		Threads:     []int{1, 2, 4},
+		MaxThreads:  4,
+		Engines:     EngineNames,
+		TPCC:        t,
+		YCSB:        y,
+		Skews:       []float64{0, 0.4, 0.6, 0.8, 0.9, 0.99},
+		RecordSizes: []int{8, 24, 64, 100, 216, 512, 1000, 2000},
+		GCIntervals: []time.Duration{10 * time.Microsecond, 100 * time.Microsecond, time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond},
+		Backoffs:    []time.Duration{0, time.Microsecond, 5 * time.Microsecond, 20 * time.Microsecond, 100 * time.Microsecond, time.Millisecond},
+		Dur:         DefaultDurations,
+	}
+}
+
+func tag(results []Result, exp string) []Result {
+	for i := range results {
+		results[i].Experiment = exp
+	}
+	sort.SliceStable(results, func(a, b int) bool {
+		if results[a].Engine != results[b].Engine {
+			return results[a].Engine < results[b].Engine
+		}
+		if results[a].Threads != results[b].Threads {
+			return results[a].Threads < results[b].Threads
+		}
+		return results[a].Param < results[b].Param
+	})
+	return results
+}
+
+// tpccWarehouses resolves the warehouse count for a Figure 3/4 variant:
+// 'a' = 1 warehouse, 'b' = 4 warehouses, 'c' = warehouses = threads.
+func tpccWarehouses(sub byte, threads int) int {
+	switch sub {
+	case 'a':
+		return 1
+	case 'b':
+		return 4
+	default:
+		return threads
+	}
+}
+
+// Fig3 reproduces Figure 3: TPC-C full mix with eager index updates and
+// phantom avoidance, thread sweep.
+func Fig3(sub byte, s Scale) []Result {
+	var out []Result
+	for _, name := range s.Engines {
+		for _, th := range s.Threads {
+			out = append(out, RunTPCC(name, Factory(name), TPCCOpts{
+				Warehouses: tpccWarehouses(sub, th), Threads: th,
+				Phantom: true, Scale: s.TPCC, Durations: s.Dur,
+			}))
+		}
+	}
+	return tag(out, "fig3"+string(sub))
+}
+
+// Fig4 reproduces Figure 4: TPC-C with deferred index updates and no
+// phantom avoidance (Cicada uses single-version indexes here, like the
+// other schemes).
+func Fig4(sub byte, s Scale) []Result {
+	var out []Result
+	for _, name := range s.Engines {
+		for _, th := range s.Threads {
+			out = append(out, RunTPCC(name, Factory(name), TPCCOpts{
+				Warehouses: tpccWarehouses(sub, th), Threads: th,
+				Phantom: false, Scale: s.TPCC, Durations: s.Dur,
+			}))
+		}
+	}
+	return tag(out, "fig4"+string(sub))
+}
+
+// Fig5 reproduces Figure 5: TPC-C-NP (NewOrder + Payment only).
+func Fig5(sub byte, s Scale) []Result {
+	var out []Result
+	for _, name := range s.Engines {
+		for _, th := range s.Threads {
+			out = append(out, RunTPCC(name, Factory(name), TPCCOpts{
+				Warehouses: tpccWarehouses(sub, th), Threads: th, NP: true,
+				Phantom: false, Scale: s.TPCC, Durations: s.Dur,
+			}))
+		}
+	}
+	return tag(out, "fig5"+string(sub))
+}
+
+// Fig6 reproduces Figure 6: YCSB with 16 requests/transaction.
+// 'a' = write-intensive zipf-0.99 thread sweep; 'b' = write-intensive skew
+// sweep; 'c' = read-intensive skew sweep.
+func Fig6(sub byte, s Scale) []Result {
+	var out []Result
+	base := s.YCSB
+	base.ReqsPerTx = 16
+	switch sub {
+	case 'a':
+		base.ReadRatio = 0.5
+		base.Theta = 0.99
+		for _, name := range s.Engines {
+			for _, th := range s.Threads {
+				out = append(out, RunYCSB(name, Factory(name), YCSBOpts{
+					Threads: th, Cfg: base, Phantom: true, Durations: s.Dur,
+				}))
+			}
+		}
+	default:
+		if sub == 'b' {
+			base.ReadRatio = 0.5
+		} else {
+			base.ReadRatio = 0.95
+		}
+		for _, name := range s.Engines {
+			for _, skew := range s.Skews {
+				cfg := base
+				cfg.Theta = skew
+				r := RunYCSB(name, Factory(name), YCSBOpts{
+					Threads: s.MaxThreads, Cfg: cfg, Phantom: true, Durations: s.Dur,
+				})
+				r.Param = skew
+				out = append(out, r)
+			}
+		}
+	}
+	return tag(out, "fig6"+string(sub))
+}
+
+// Fig7 reproduces the multi-clock factor analysis (§4.6, Figure 7): tiny
+// read-intensive YCSB transactions on Cicada, Cicada with a centralized
+// timestamp counter, and the centralized-timestamp MVCC baselines.
+func Fig7(s Scale) []Result {
+	cfg := s.YCSB
+	cfg.ReqsPerTx = 1
+	cfg.ReadRatio = 0.95
+	cfg.Theta = 0.99
+	var out []Result
+	variants := []struct {
+		name string
+		f    engine.Factory
+	}{
+		{"Cicada", CicadaFactory(nil)},
+		{"Cicada/FAA-clock", CicadaFactory(func(o *core.Options) { o.Clock.Centralized = true })},
+		{"Hekaton", Factory("Hekaton")},
+		{"ERMIA", Factory("ERMIA")},
+		{"Silo'", Factory("Silo'")},
+		{"TicToc", Factory("TicToc")},
+	}
+	for _, v := range variants {
+		for _, th := range s.Threads {
+			out = append(out, RunYCSB(v.name, v.f, YCSBOpts{
+				Threads: th, Cfg: cfg, Phantom: true, Durations: s.Dur,
+			}))
+		}
+	}
+	return tag(out, "fig7")
+}
+
+// Fig8 reproduces Figure 8: read-intensive uniform YCSB with varying record
+// size, comparing Cicada with and without best-effort inlining against the
+// baselines.
+func Fig8(s Scale) []Result {
+	cfg := s.YCSB
+	cfg.ReqsPerTx = 16
+	cfg.ReadRatio = 0.95
+	cfg.Theta = 0
+	variants := []struct {
+		name string
+		f    engine.Factory
+	}{
+		{"Cicada", CicadaFactory(nil)},
+		{"Cicada/no-inline", CicadaFactory(func(o *core.Options) { o.Inlining = false })},
+	}
+	for _, name := range s.Engines {
+		if name == "Silo'" || name == "TicToc" {
+			variants = append(variants, struct {
+				name string
+				f    engine.Factory
+			}{name, Factory(name)})
+		}
+	}
+	var out []Result
+	for _, v := range variants {
+		for _, size := range s.RecordSizes {
+			c := cfg
+			c.RecordSize = size
+			r := RunYCSB(v.name, v.f, YCSBOpts{
+				Threads: s.MaxThreads, Cfg: c, Phantom: true, Durations: s.Dur,
+			})
+			r.Param = float64(size)
+			out = append(out, r)
+		}
+	}
+	return tag(out, "fig8")
+}
+
+// Fig9 reproduces Figure 9: TPC-C throughput under different minimum
+// quiescence (garbage collection) intervals, plus the space overhead
+// metric.
+func Fig9(s Scale) []Result {
+	var out []Result
+	warehouses := []int{1, 4, s.MaxThreads}
+	seen := map[int]bool{}
+	dedup := warehouses[:0]
+	for _, wh := range warehouses {
+		if !seen[wh] {
+			seen[wh] = true
+			dedup = append(dedup, wh)
+		}
+	}
+	warehouses = dedup
+	for _, wh := range warehouses {
+		for _, ival := range s.GCIntervals {
+			ival := ival
+			f := CicadaFactory(func(o *core.Options) { o.GCInterval = ival })
+			r := RunTPCC(fmt.Sprintf("Cicada/%dwh", wh), f, TPCCOpts{
+				Warehouses: wh, Threads: s.MaxThreads,
+				Phantom: true, Scale: s.TPCC, Durations: s.Dur,
+				Inspect: func(db engine.DB, res *Result) {
+					// Let maintenance drain at its configured cadence before
+					// measuring the footprint; a long GC interval still
+					// gates collection here, preserving the experiment's
+					// contrast (as in the paper, overhead is steady-state).
+					engine.WarmUp(db)
+					if cd, ok := db.(*cicadaeng.DB); ok {
+						if res.Extra == nil {
+							res.Extra = map[string]float64{}
+						}
+						res.Extra["space_overhead"] = cd.Engine().SpaceOverhead()
+					}
+				},
+			})
+			r.Param = float64(ival) / float64(time.Microsecond)
+			out = append(out, r)
+		}
+	}
+	return tag(out, "fig9")
+}
+
+// Fig10 reproduces Figure 10: throughput and abort time under contention
+// regulation (auto) versus fixed maximum backoff, for contended TPC-C,
+// TPC-C-NP, and single-request write-intensive YCSB. which selects
+// "tpcc", "tpccnp", or "ycsb".
+func Fig10(which string, s Scale) []Result {
+	var out []Result
+	run := func(label string, backoff time.Duration, auto bool) Result {
+		mut := func(o *core.Options) {
+			if !auto {
+				o.FixedMaxBackoff = backoff
+			}
+		}
+		f := CicadaFactory(mut)
+		var r Result
+		switch which {
+		case "ycsb":
+			cfg := s.YCSB
+			cfg.ReqsPerTx = 1
+			cfg.ReadRatio = 0.5
+			cfg.Theta = 0.99
+			r = RunYCSB(label, f, YCSBOpts{Threads: s.MaxThreads, Cfg: cfg, Phantom: true, Durations: s.Dur})
+		case "tpccnp":
+			r = RunTPCC(label, f, TPCCOpts{Warehouses: 4, Threads: s.MaxThreads, NP: true, Phantom: false, Scale: s.TPCC, Durations: s.Dur})
+		default:
+			r = RunTPCC(label, f, TPCCOpts{Warehouses: 4, Threads: s.MaxThreads, Phantom: true, Scale: s.TPCC, Durations: s.Dur})
+		}
+		if auto {
+			r.Param = -1 // rendered as the "auto" point
+		} else {
+			r.Param = float64(backoff) / float64(time.Microsecond)
+		}
+		return r
+	}
+	out = append(out, run("Cicada/auto", 0, true))
+	for _, b := range s.Backoffs {
+		out = append(out, run("Cicada/manual", b, false))
+	}
+	return tag(out, "fig10-"+which)
+}
+
+// Fig11 reproduces Figure 11 (Appendix B): YCSB with a single request per
+// transaction. 'a'/'b' write-intensive (skew sweep, thread sweep);
+// 'c'/'d' read-intensive.
+func Fig11(sub byte, s Scale) []Result {
+	cfg := s.YCSB
+	cfg.ReqsPerTx = 1
+	if sub == 'a' || sub == 'b' {
+		cfg.ReadRatio = 0.5
+	} else {
+		cfg.ReadRatio = 0.95
+	}
+	var out []Result
+	if sub == 'a' || sub == 'c' {
+		for _, name := range s.Engines {
+			for _, skew := range s.Skews {
+				c := cfg
+				c.Theta = skew
+				r := RunYCSB(name, Factory(name), YCSBOpts{
+					Threads: s.MaxThreads, Cfg: c, Phantom: true, Durations: s.Dur,
+				})
+				r.Param = skew
+				out = append(out, r)
+			}
+		}
+	} else {
+		cfg.Theta = 0.99
+		for _, name := range s.Engines {
+			for _, th := range s.Threads {
+				out = append(out, RunYCSB(name, Factory(name), YCSBOpts{
+					Threads: th, Cfg: cfg, Phantom: true, Durations: s.Dur,
+				}))
+			}
+		}
+	}
+	return tag(out, "fig11"+string(sub))
+}
+
+// Table2 reproduces Table 2: the throughput difference from disabling each
+// validation optimization on contended YCSB (16 requests/transaction, 50 %
+// RMW, zipf 0.99).
+func Table2(s Scale) []Result {
+	cfg := s.YCSB
+	cfg.ReqsPerTx = 16
+	cfg.ReadRatio = 0.5
+	cfg.Theta = 0.99
+	variants := []struct {
+		name string
+		mut  func(*core.Options)
+	}{
+		{"Cicada", nil},
+		{"No-wait", func(o *core.Options) { o.NoWaitPending = true }},
+		{"No-latest", func(o *core.Options) { o.NoWriteLatestRule = true }},
+		{"No-sort", func(o *core.Options) { o.NoSortWriteSet = true }},
+		{"No-precheck", func(o *core.Options) { o.NoPreCheck = true }},
+	}
+	var out []Result
+	for _, v := range variants {
+		out = append(out, RunYCSB(v.name, CicadaFactory(v.mut), YCSBOpts{
+			Threads: s.MaxThreads, Cfg: cfg, Phantom: true, Durations: s.Dur,
+		}))
+	}
+	return tag(out, "table2")
+}
+
+// ScanBench reproduces the §4.6 scan measurement: read-intensive YCSB with
+// scans executed as read-only transactions, with and without inlining,
+// reporting records scanned per second.
+func ScanBench(s Scale) []Result {
+	cfg := s.YCSB
+	cfg.ReqsPerTx = 1
+	cfg.ReadRatio = 0.95
+	cfg.Theta = 0.99
+	cfg.ScanFraction = 0.5
+	cfg.Ordered = true
+	variants := []struct {
+		name string
+		mut  func(*core.Options)
+	}{
+		{"Cicada", nil},
+		{"Cicada/no-inline", func(o *core.Options) { o.Inlining = false }},
+	}
+	var out []Result
+	for _, v := range variants {
+		out = append(out, RunYCSB(v.name, CicadaFactory(v.mut), YCSBOpts{
+			Threads: s.MaxThreads, Cfg: cfg, Phantom: true, Durations: s.Dur,
+			CountScans: true,
+		}))
+	}
+	return tag(out, "scan")
+}
+
+// Staleness measures read-only snapshot staleness during a TPC-C run
+// (§4.6): the clock distance between a worker's current write timestamp
+// and its read-only snapshot timestamp, sampled every 500 µs while the
+// workload runs (the clock atomics are safe to read from the sampler).
+func Staleness(s Scale) []Result {
+	var out []Result
+	threads := []int{1}
+	if s.MaxThreads > 1 {
+		threads = append(threads, s.MaxThreads)
+	}
+	for _, th := range threads {
+		out = append(out, stalenessAt(s, th))
+	}
+	return tag(out, "staleness")
+}
+
+func stalenessAt(s Scale, threads int) Result {
+	var samples []float64
+	var sampleMu sync.Mutex
+	sampling := make(chan struct{})
+	var sampler sync.WaitGroup
+	r := RunTPCC(fmt.Sprintf("Cicada/%dthr", threads), CicadaFactory(nil), TPCCOpts{
+		Warehouses: 4, Threads: threads, Phantom: true,
+		Scale: s.TPCC, Durations: s.Dur,
+		OnStart: func(db engine.DB) {
+			cd, ok := db.(*cicadaeng.DB)
+			if !ok {
+				return
+			}
+			dom := cd.Engine().Clock()
+			sampler.Add(1)
+			go func() {
+				defer sampler.Done()
+				tick := time.NewTicker(500 * time.Microsecond)
+				defer tick.Stop()
+				for {
+					select {
+					case <-sampling:
+						return
+					case <-tick.C:
+						sampleMu.Lock()
+						for id := 0; id < db.Workers(); id++ {
+							w := dom.WTS(id)
+							rts := dom.ReadTimestamp(id)
+							if w.ClockValue() > rts.ClockValue() {
+								samples = append(samples, float64(w.ClockValue()-rts.ClockValue()))
+							}
+						}
+						sampleMu.Unlock()
+					}
+				}
+			}()
+		},
+	})
+	close(sampling)
+	sampler.Wait()
+	sort.Float64s(samples)
+	if len(samples) > 0 {
+		var sum float64
+		for _, v := range samples {
+			sum += v
+		}
+		if r.Extra == nil {
+			r.Extra = map[string]float64{}
+		}
+		r.Extra["staleness_avg_us"] = sum / float64(len(samples)) / 1000
+		r.Extra["staleness_p999_us"] = samples[p999Index(len(samples))] / 1000
+		r.Extra["staleness_max_us"] = samples[len(samples)-1] / 1000
+	}
+	return r
+}
+
+// RTSUpdateBench measures the §3.4 claim that conditional read-timestamp
+// updates on one record vastly outpace unconditional atomic fetch-adds. It
+// returns operations/second for both modes.
+func RTSUpdateBench(workers int, dur time.Duration) (conditionalOps, fetchAddOps float64) {
+	return rtsBench(workers, dur)
+}
+
+var _ = clock.Timestamp(0) // keep clock import for staleness sampling
+
+// p999Index returns the index of the 99.9th-percentile sample.
+func p999Index(n int) int {
+	i := int(float64(n) * 0.999)
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}

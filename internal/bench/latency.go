@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"math/bits"
+	"time"
+)
+
+// latHist is a per-worker power-of-two latency histogram: cheap enough to
+// update on every transaction without perturbing the measurement. Bucket i
+// holds latencies in [2^i, 2^(i+1)) nanoseconds.
+type latHist struct {
+	buckets [48]uint64
+}
+
+func (h *latHist) add(d time.Duration) {
+	if d <= 0 {
+		d = 1
+	}
+	b := bits.Len64(uint64(d)) - 1
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
+	}
+	h.buckets[b]++
+}
+
+// percentile merges the histograms and returns the latency at quantile q
+// (0 < q ≤ 1), approximated by the bucket upper bound.
+func percentile(hists []*latHist, q float64) time.Duration {
+	var total uint64
+	var merged [48]uint64
+	for _, h := range hists {
+		if h == nil {
+			continue
+		}
+		for i, n := range h.buckets {
+			merged[i] += n
+			total += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i, n := range merged {
+		seen += n
+		if seen >= target {
+			return time.Duration(uint64(1) << uint(i+1))
+		}
+	}
+	return time.Duration(uint64(1) << 47)
+}

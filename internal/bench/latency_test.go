@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyHistogramPercentiles(t *testing.T) {
+	h := &latHist{}
+	// 90 fast ops (~1 µs), 10 slow ops (~1 ms).
+	for i := 0; i < 90; i++ {
+		h.add(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.add(time.Millisecond)
+	}
+	p50 := percentile([]*latHist{h}, 0.50)
+	p99 := percentile([]*latHist{h}, 0.99)
+	if p50 > 10*time.Microsecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if p99 < 500*time.Microsecond || p99 > 5*time.Millisecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+}
+
+func TestLatencyHistogramMerge(t *testing.T) {
+	a, b := &latHist{}, &latHist{}
+	for i := 0; i < 100; i++ {
+		a.add(time.Microsecond)
+		b.add(time.Millisecond)
+	}
+	p50 := percentile([]*latHist{a, b}, 0.50)
+	if p50 > 10*time.Microsecond {
+		t.Fatalf("merged p50 = %v (fast half should dominate)", p50)
+	}
+	p99 := percentile([]*latHist{a, b, nil}, 0.99)
+	if p99 < 500*time.Microsecond {
+		t.Fatalf("merged p99 = %v", p99)
+	}
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cicada/internal/clock"
+	"cicada/internal/storage"
+)
+
+// rtsBench compares conditional read-timestamp updates (Cicada's validation
+// step 2, §3.4) against unconditional atomic fetch-adds on a single shared
+// record. The paper's 28-core testbed reaches 2.3 B conditional updates/s
+// versus 55 M fetch-adds/s; the conditional write is cheap because a read
+// timestamp already ≥ tx.ts writes nothing.
+func rtsBench(workers int, dur time.Duration) (conditionalOps, fetchAddOps float64) {
+	run := func(op func(id int, iter uint64)) float64 {
+		var stop atomic.Bool
+		counts := make([]uint64, workers*8) // padded slots
+		var wg sync.WaitGroup
+		for id := 0; id < workers; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				var n uint64
+				for !stop.Load() {
+					op(id, n)
+					n++
+				}
+				counts[id*8] = n
+			}(id)
+		}
+		t0 := time.Now()
+		time.Sleep(dur)
+		stop.Store(true)
+		wg.Wait()
+		elapsed := time.Since(t0).Seconds()
+		var total uint64
+		for i := 0; i < workers; i++ {
+			total += counts[i*8]
+		}
+		return float64(total) / elapsed
+	}
+
+	v := storage.NewVersion(8)
+	conditionalOps = run(func(id int, iter uint64) {
+		// Workers mostly observe an rts already at or above their target,
+		// so the CAS is skipped — the common case in validation.
+		v.RaiseRTS(clock.Timestamp(iter))
+	})
+	var counter atomic.Uint64
+	fetchAddOps = run(func(id int, iter uint64) {
+		counter.Add(1)
+	})
+	return conditionalOps, fetchAddOps
+}

@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"cicada/internal/engine"
+	"cicada/internal/workload/tatp"
+)
+
+// TATPOpts configures one TATP measurement.
+type TATPOpts struct {
+	Threads   int
+	Cfg       tatp.Config
+	Durations Durations
+}
+
+// RunTATP measures one engine on the TATP mix (Appendix B).
+func RunTATP(name string, f engine.Factory, o TATPOpts) Result {
+	db := f(engine.Config{Workers: o.Threads, PhantomAvoidance: true,
+		HashBucketsHint: o.Cfg.Subscribers})
+	w := tatp.Setup(db, o.Cfg)
+	if err := w.Load(); err != nil {
+		panic(fmt.Sprintf("tatp load (%s): %v", name, err))
+	}
+	engine.WarmUp(db)
+	runtime.GC()
+	var direct uint64
+	var mu sync.Mutex
+	stop, done := runLoop(db, func(id int, wk engine.Worker, stop <-chan struct{}) {
+		g := w.NewGen(id)
+		for {
+			select {
+			case <-stop:
+				mu.Lock()
+				direct += g.DirectReads
+				mu.Unlock()
+				return
+			default:
+			}
+			if err := g.RunOne(wk); err != nil {
+				if errors.Is(err, engine.ErrAborted) {
+					continue
+				}
+				panic(fmt.Sprintf("tatp (%s, worker %d): %v", name, id, err))
+			}
+		}
+	})
+	time.Sleep(o.Durations.Ramp)
+	c0 := db.CommitsLive()
+	t0 := time.Now()
+	time.Sleep(o.Durations.Measure)
+	c1 := db.CommitsLive()
+	elapsed := time.Since(t0).Seconds()
+	close(stop)
+	done.Wait()
+	res := Result{Engine: name, Threads: o.Threads, TPS: float64(c1-c0) / elapsed}
+	finish(db, &res)
+	// GetSubscriberData's record read bypasses the transaction in direct
+	// mode (the tiny index-lookup transaction is still counted in TPS);
+	// report how many reads took the direct path.
+	wholeRun := (o.Durations.Ramp + o.Durations.Measure).Seconds()
+	res.Extra = map[string]float64{"direct_reads_per_s": float64(direct) / wholeRun}
+	return res
+}
+
+// TATP compares the engines on the TATP mix, plus Cicada with the
+// transaction-less direct-read optimization enabled (Appendix B).
+func TATP(s Scale) []Result {
+	cfg := tatp.DefaultConfig()
+	if s.YCSB.Records < cfg.Subscribers {
+		cfg.Subscribers = s.YCSB.Records
+	}
+	var out []Result
+	for _, name := range s.Engines {
+		out = append(out, RunTATP(name, Factory(name), TATPOpts{
+			Threads: s.MaxThreads, Cfg: cfg, Durations: s.Dur,
+		}))
+	}
+	direct := cfg
+	direct.DirectRead = true
+	out = append(out, RunTATP("Cicada/direct-read", CicadaFactory(nil), TATPOpts{
+		Threads: s.MaxThreads, Cfg: direct, Durations: s.Dur,
+	}))
+	return tag(out, "tatp")
+}

@@ -1,0 +1,313 @@
+// Package cicadaeng adapts the Cicada engine (internal/core) to the
+// scheme-agnostic engine.DB interface used by the workloads and the
+// benchmark harness, mirroring the paper's thin DBx1000 compatibility
+// wrapper (§4.2).
+//
+// Two index configurations are supported, matching the paper's experiments:
+//
+//   - Multi-version indexes (engine.Config.PhantomAvoidance = true): index
+//     nodes live in Cicada tables, updates are deferred until validation,
+//     and index node validation precludes phantoms (Figures 3, 5–11).
+//   - Single-version indexes without phantom avoidance
+//     (PhantomAvoidance = false): a conventional concurrent hash table and
+//     skip list with index updates deferred until after commit (Figure 4).
+package cicadaeng
+
+import (
+	"errors"
+
+	"cicada/internal/core"
+	"cicada/internal/engine"
+	"cicada/internal/index"
+	"cicada/internal/storage"
+	"cicada/internal/svindex"
+)
+
+// DB is a Cicada database exposed through the engine.DB interface.
+type DB struct {
+	eng     *core.Engine
+	cfg     engine.Config
+	tables  []*core.Table
+	indexes []dbIndex
+	workers []*worker
+}
+
+type dbIndex struct {
+	mv      index.MVIndex // PhantomAvoidance mode
+	svHash  *svindex.Hash // single-version mode
+	svTree  *svindex.SkipList
+	ordered bool
+}
+
+// New creates a Cicada DB. coreOpts.Workers is overridden from cfg.
+func New(cfg engine.Config, coreOpts core.Options) *DB {
+	coreOpts.Workers = cfg.Workers
+	db := &DB{eng: core.NewEngine(coreOpts), cfg: cfg}
+	db.workers = make([]*worker, cfg.Workers)
+	for i := range db.workers {
+		db.workers[i] = &worker{db: db, w: db.eng.Worker(i)}
+	}
+	return db
+}
+
+// Engine exposes the underlying core engine (for factor-analysis benches).
+func (db *DB) Engine() *core.Engine { return db.eng }
+
+// Name implements engine.DB.
+func (db *DB) Name() string { return "Cicada" }
+
+// Workers implements engine.DB.
+func (db *DB) Workers() int { return db.cfg.Workers }
+
+// CreateTable implements engine.DB.
+func (db *DB) CreateTable(name string) engine.TableID {
+	t := db.eng.CreateTable(name)
+	db.tables = append(db.tables, t)
+	return engine.TableID(len(db.tables) - 1)
+}
+
+// CreateHashIndex implements engine.DB.
+func (db *DB) CreateHashIndex(name string, buckets int) engine.IndexID {
+	var ix dbIndex
+	if db.cfg.PhantomAvoidance {
+		ix.mv = index.NewMVHash(db.eng, "__idx_"+name, buckets, false)
+	} else {
+		ix.svHash = svindex.NewHash(buckets)
+	}
+	db.indexes = append(db.indexes, ix)
+	return engine.IndexID(len(db.indexes) - 1)
+}
+
+// CreateOrderedIndex implements engine.DB.
+func (db *DB) CreateOrderedIndex(name string) engine.IndexID {
+	var ix dbIndex
+	ix.ordered = true
+	if db.cfg.PhantomAvoidance {
+		ix.mv = index.NewMVBTree(db.eng, "__idx_"+name, false)
+	} else {
+		ix.svTree = svindex.NewSkipList()
+	}
+	db.indexes = append(db.indexes, ix)
+	return engine.IndexID(len(db.indexes) - 1)
+}
+
+// Worker implements engine.DB.
+func (db *DB) Worker(id int) engine.Worker { return db.workers[id] }
+
+// Stats implements engine.DB.
+func (db *DB) Stats() engine.Stats {
+	s := db.eng.Stats()
+	return engine.Stats{
+		Commits:    s.Commits,
+		Aborts:     s.Aborts,
+		UserAborts: s.UserAborts,
+		AbortTime:  s.AbortTime,
+		BusyTime:   s.BusyTime,
+	}
+}
+
+// CommitsLive implements engine.DB.
+func (db *DB) CommitsLive() uint64 { return db.eng.CommitsLive() }
+
+type worker struct {
+	db *DB
+	w  *core.Worker
+	tx tx
+}
+
+func (w *worker) Run(fn func(tx engine.Tx) error) error {
+	w.tx.db = w.db
+	return mapErr(w.w.Run(func(ct *core.Txn) error {
+		w.tx.ct = ct
+		w.tx.svOps = w.tx.svOps[:0]
+		w.tx.hooked = false
+		return unmapErr(fn(&w.tx))
+	}))
+}
+
+func (w *worker) RunRO(fn func(tx engine.Tx) error) error {
+	w.tx.db = w.db
+	// A read-only Cicada transaction cannot abort on conflicts, but in the
+	// single-version index configuration an index entry can point at a
+	// record not yet visible at the snapshot; the workload signals a retry,
+	// which succeeds once the snapshot horizon advances. The retry is
+	// bounded: the horizon only advances when every worker runs
+	// maintenance, so if peers have stopped (e.g. benchmark shutdown) the
+	// abort is returned to the caller instead of spinning forever.
+	var err error
+	for attempt := 0; attempt < 1000; attempt++ {
+		err = mapErr(w.w.RunRO(func(ct *core.Txn) error {
+			w.tx.ct = ct
+			w.tx.svOps = w.tx.svOps[:0]
+			w.tx.hooked = false
+			return unmapErr(fn(&w.tx))
+		}))
+		if !errors.Is(err, engine.ErrAborted) {
+			return err
+		}
+		w.w.Idle()
+	}
+	return err
+}
+
+func (w *worker) Idle() { w.w.Idle() }
+
+// ReadDirect implements engine.DirectReader (Appendix B): a single-record
+// read without a transaction, valid because committed version data is
+// immutable in Cicada.
+func (w *worker) ReadDirect(tb engine.TableID, r engine.RecordID) ([]byte, bool) {
+	return w.w.ReadDirect(w.db.tables[tb], storage.RecordID(r))
+}
+
+// mapErr converts core errors to engine errors on the way out.
+func mapErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, core.ErrAborted):
+		return engine.ErrAborted
+	case errors.Is(err, core.ErrNotFound):
+		return engine.ErrNotFound
+	}
+	return err
+}
+
+// unmapErr converts engine errors from workload callbacks into core errors
+// so core.Worker.Run's retry logic sees its own sentinel.
+func unmapErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, engine.ErrAborted):
+		return core.ErrAborted
+	}
+	return err
+}
+
+// svOp is a deferred single-version index update (Figure 4 mode).
+type svOp struct {
+	idx    engine.IndexID
+	key    uint64
+	rid    engine.RecordID
+	insert bool
+}
+
+type tx struct {
+	db     *DB
+	ct     *core.Txn
+	svOps  []svOp
+	hooked bool
+}
+
+func (t *tx) table(id engine.TableID) *core.Table { return t.db.tables[id] }
+
+func (t *tx) Read(tb engine.TableID, r engine.RecordID) ([]byte, error) {
+	d, err := t.ct.Read(t.table(tb), storage.RecordID(r))
+	return d, mapErr(err)
+}
+
+func (t *tx) Update(tb engine.TableID, r engine.RecordID, size int) ([]byte, error) {
+	d, err := t.ct.Update(t.table(tb), storage.RecordID(r), size)
+	return d, mapErr(err)
+}
+
+func (t *tx) Write(tb engine.TableID, r engine.RecordID, size int) ([]byte, error) {
+	d, err := t.ct.Write(t.table(tb), storage.RecordID(r), size)
+	return d, mapErr(err)
+}
+
+func (t *tx) Insert(tb engine.TableID, size int) (engine.RecordID, []byte, error) {
+	rid, d, err := t.ct.Insert(t.table(tb), size)
+	return engine.RecordID(rid), d, mapErr(err)
+}
+
+func (t *tx) Delete(tb engine.TableID, r engine.RecordID) error {
+	return mapErr(t.ct.Delete(t.table(tb), storage.RecordID(r)))
+}
+
+func (t *tx) IndexGet(i engine.IndexID, key uint64) (engine.RecordID, error) {
+	ix := &t.db.indexes[i]
+	if ix.mv != nil {
+		rid, err := ix.mv.Get(t.ct, key)
+		return engine.RecordID(rid), mapErr(err)
+	}
+	// Single-version mode: check own deferred inserts first.
+	for j := len(t.svOps) - 1; j >= 0; j-- {
+		op := &t.svOps[j]
+		if op.idx == i && op.key == key {
+			if op.insert {
+				return op.rid, nil
+			}
+			return 0, engine.ErrNotFound
+		}
+	}
+	if ix.svHash != nil {
+		rid, ok, _ := ix.svHash.Get(key)
+		if !ok {
+			return 0, engine.ErrNotFound
+		}
+		return rid, nil
+	}
+	rid, ok := ix.svTree.Get(key, nil)
+	if !ok {
+		return 0, engine.ErrNotFound
+	}
+	return rid, nil
+}
+
+func (t *tx) IndexScan(i engine.IndexID, lo, hi uint64, limit int, fn func(key uint64, r engine.RecordID) bool) error {
+	ix := &t.db.indexes[i]
+	if !ix.ordered {
+		return index.ErrUnsupported
+	}
+	if ix.mv != nil {
+		return mapErr(ix.mv.Scan(t.ct, lo, hi, limit, func(k uint64, r storage.RecordID) bool {
+			return fn(k, engine.RecordID(r))
+		}))
+	}
+	ix.svTree.Scan(lo, hi, limit, nil, fn)
+	return nil
+}
+
+func (t *tx) IndexInsert(i engine.IndexID, key uint64, r engine.RecordID) error {
+	ix := &t.db.indexes[i]
+	if ix.mv != nil {
+		return mapErr(ix.mv.Insert(t.ct, key, storage.RecordID(r)))
+	}
+	t.deferSV(svOp{idx: i, key: key, rid: r, insert: true})
+	return nil
+}
+
+func (t *tx) IndexDelete(i engine.IndexID, key uint64, r engine.RecordID) error {
+	ix := &t.db.indexes[i]
+	if ix.mv != nil {
+		return mapErr(ix.mv.Delete(t.ct, key, storage.RecordID(r)))
+	}
+	t.deferSV(svOp{idx: i, key: key, rid: r})
+	return nil
+}
+
+// deferSV queues a single-version index update to be applied after the
+// transaction commits (deferred index updates, Figure 4 mode).
+func (t *tx) deferSV(op svOp) {
+	t.svOps = append(t.svOps, op)
+	if t.hooked {
+		return
+	}
+	t.hooked = true
+	t.ct.AddOnCommit(func() {
+		for _, op := range t.svOps {
+			ix := &t.db.indexes[op.idx]
+			switch {
+			case ix.svHash != nil && op.insert:
+				ix.svHash.Insert(op.key, op.rid)
+			case ix.svHash != nil:
+				ix.svHash.Delete(op.key, op.rid)
+			case op.insert:
+				ix.svTree.Insert(op.key, op.rid)
+			default:
+				ix.svTree.Delete(op.key, op.rid)
+			}
+		}
+	})
+}

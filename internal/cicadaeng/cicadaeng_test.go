@@ -1,0 +1,171 @@
+package cicadaeng
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"cicada/internal/core"
+	"cicada/internal/engine"
+)
+
+func newDB(t *testing.T, workers int, phantom bool) *DB {
+	t.Helper()
+	return New(engine.Config{Workers: workers, PhantomAvoidance: phantom}, core.DefaultOptions(workers))
+}
+
+func TestErrorMapping(t *testing.T) {
+	db := newDB(t, 1, true)
+	tbl := db.CreateTable("t")
+	w := db.Worker(0)
+	// core.ErrNotFound must surface as engine.ErrNotFound.
+	err := w.Run(func(tx engine.Tx) error {
+		_, err := tx.Read(tbl, 12345)
+		return err
+	})
+	if !errors.Is(err, engine.ErrNotFound) {
+		t.Fatalf("unmapped error: %v", err)
+	}
+	// Application errors pass through unchanged.
+	sentinel := errors.New("app error")
+	if err := w.Run(func(tx engine.Tx) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Fatalf("app error mangled: %v", err)
+	}
+}
+
+func TestWorkloadAbortSignalRetries(t *testing.T) {
+	db := newDB(t, 1, true)
+	w := db.Worker(0)
+	// A workload returning engine.ErrAborted asks for a retry; Run must
+	// loop, not return it.
+	attempts := 0
+	err := w.Run(func(tx engine.Tx) error {
+		attempts++
+		if attempts < 3 {
+			return engine.ErrAborted
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 {
+		t.Fatalf("err=%v attempts=%d", err, attempts)
+	}
+}
+
+func TestSVDeferredOverlay(t *testing.T) {
+	db := newDB(t, 1, false) // single-version deferred index mode
+	tbl := db.CreateTable("t")
+	hidx := db.CreateHashIndex("h", 64)
+	oidx := db.CreateOrderedIndex("o")
+	w := db.Worker(0)
+
+	if err := w.Run(func(tx engine.Tx) error {
+		rid, buf, err := tx.Insert(tbl, 8)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(buf, 7)
+		if err := tx.IndexInsert(hidx, 1, rid); err != nil {
+			return err
+		}
+		if err := tx.IndexInsert(oidx, 1, rid); err != nil {
+			return err
+		}
+		// Own deferred insert is visible to point lookups.
+		got, err := tx.IndexGet(hidx, 1)
+		if err != nil || got != rid {
+			t.Errorf("own hash get: %d %v", got, err)
+		}
+		// Delete then get: the overlay hides the pending insert.
+		if err := tx.IndexDelete(hidx, 1, rid); err != nil {
+			return err
+		}
+		if _, err := tx.IndexGet(hidx, 1); !errors.Is(err, engine.ErrNotFound) {
+			t.Errorf("own deferred delete not honored: %v", err)
+		}
+		// Re-insert so the commit applies it.
+		return tx.IndexInsert(hidx, 1, rid)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(func(tx engine.Tx) error {
+		if _, err := tx.IndexGet(hidx, 1); err != nil {
+			return err
+		}
+		n := 0
+		if err := tx.IndexScan(oidx, 0, 10, -1, func(uint64, engine.RecordID) bool { n++; return true }); err != nil {
+			return err
+		}
+		if n != 1 {
+			t.Errorf("ordered entries: %d", n)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanOnHashIndexUnsupported(t *testing.T) {
+	for _, phantom := range []bool{true, false} {
+		db := newDB(t, 1, phantom)
+		db.CreateTable("t")
+		hidx := db.CreateHashIndex("h", 64)
+		err := db.Worker(0).Run(func(tx engine.Tx) error {
+			return tx.IndexScan(hidx, 0, 10, -1, func(uint64, engine.RecordID) bool { return true })
+		})
+		if err == nil {
+			t.Fatalf("phantom=%v: scan on hash index succeeded", phantom)
+		}
+	}
+}
+
+func TestReadDirectCapability(t *testing.T) {
+	db := newDB(t, 1, true)
+	tbl := db.CreateTable("t")
+	w := db.Worker(0)
+	var rid engine.RecordID
+	if err := w.Run(func(tx engine.Tx) error {
+		r, buf, err := tx.Insert(tbl, 8)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(buf, 99)
+		rid = r
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dr, ok := w.(engine.DirectReader)
+	if !ok {
+		t.Fatal("cicada worker does not implement DirectReader")
+	}
+	engine.WarmUp(db)
+	d, ok := dr.ReadDirect(tbl, rid)
+	if !ok || binary.LittleEndian.Uint64(d) != 99 {
+		t.Fatalf("direct read: %v %v", d, ok)
+	}
+	if _, ok := dr.ReadDirect(tbl, rid+100); ok {
+		t.Fatal("direct read of absent record succeeded")
+	}
+}
+
+func TestStatsAndCommitsLive(t *testing.T) {
+	db := newDB(t, 2, true)
+	tbl := db.CreateTable("t")
+	for i := 0; i < 5; i++ {
+		if err := db.Worker(0).Run(func(tx engine.Tx) error {
+			_, _, err := tx.Insert(tbl, 1)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.CommitsLive(); got != 5 {
+		t.Fatalf("CommitsLive = %d", got)
+	}
+	if s := db.Stats(); s.Commits != 5 {
+		t.Fatalf("Stats.Commits = %d", s.Commits)
+	}
+	if db.Name() != "Cicada" || db.Workers() != 2 {
+		t.Fatalf("identity: %s %d", db.Name(), db.Workers())
+	}
+}

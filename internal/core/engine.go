@@ -1,0 +1,449 @@
+// Package core implements the Cicada transaction engine: optimistic
+// multi-version execution (§3.2), best-effort inlining hooks (§3.3),
+// serializable multi-version validation with its performance optimizations
+// (§3.4, §3.5), rapid garbage collection (§3.8), and contention regulation
+// (§3.9), all on top of the multi-clock timestamp allocation in
+// internal/clock (§3.1) and the version storage in internal/storage.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"cicada/internal/clock"
+	"cicada/internal/storage"
+)
+
+// Errors returned by transaction operations.
+var (
+	// ErrAborted reports a concurrency conflict; the caller should retry
+	// the transaction (Worker.Run does this automatically).
+	ErrAborted = errors.New("cicada: transaction aborted")
+	// ErrNotFound reports that no committed record version is visible at
+	// the transaction's timestamp.
+	ErrNotFound = errors.New("cicada: record not found")
+	// ErrReadOnly reports a write attempted in a read-only transaction.
+	ErrReadOnly = errors.New("cicada: write in read-only transaction")
+	// ErrTxnClosed reports use of a finished transaction.
+	ErrTxnClosed = errors.New("cicada: transaction is closed")
+)
+
+// TableID identifies a table within an Engine.
+type TableID int
+
+// Options configures an Engine. The zero value is not valid; use
+// DefaultOptions and adjust.
+type Options struct {
+	// Workers is the number of worker threads (goroutines) that will run
+	// transactions. Worker IDs are 0..Workers-1; worker 0 is the leader.
+	Workers int
+	// Inlining enables best-effort inlining and promotion (§3.3).
+	Inlining bool
+	// NoWaitPending makes readers speculatively ignore PENDING versions
+	// instead of spin-waiting, as Hekaton does (Table 2 "No-wait").
+	NoWaitPending bool
+	// NoWriteLatestRule disables the write-latest-version-only early abort
+	// for RMW accesses (Table 2 "No-latest").
+	NoWriteLatestRule bool
+	// NoSortWriteSet disables contention-aware write-set sorting (Table 2
+	// "No-sort").
+	NoSortWriteSet bool
+	// NoPreCheck disables the early version consistency check (Table 2
+	// "No-precheck").
+	NoPreCheck bool
+	// GCInterval is the minimum interval between a worker's quiescence
+	// declarations; it bounds garbage collection frequency (§3.8, Fig 9).
+	GCInterval time.Duration
+	// BackoffUpdatePeriod is the leader's hill-climbing period (§3.9).
+	BackoffUpdatePeriod time.Duration
+	// BackoffStep is the hill-climbing step for the maximum backoff (§3.9).
+	BackoffStep time.Duration
+	// FixedMaxBackoff, when ≥ 0, freezes the maximum backoff (disabling
+	// hill climbing) for the Figure 10 manual-backoff sweeps. A negative
+	// value selects automatic contention regulation.
+	FixedMaxBackoff time.Duration
+	// AdaptiveSkipThreshold is the number of consecutive commits after
+	// which a worker omits write-set sorting and the early consistency
+	// check (§3.5). Paper default: 5.
+	AdaptiveSkipThreshold int
+	// Clock configures timestamp allocation; set Clock.Centralized for the
+	// Figure 7 shared-counter ablation.
+	Clock clock.Options
+}
+
+// DefaultOptions returns the paper's default configuration for n workers.
+func DefaultOptions(n int) Options {
+	return Options{
+		Workers:               n,
+		Inlining:              true,
+		GCInterval:            10 * time.Microsecond,
+		BackoffUpdatePeriod:   5 * time.Millisecond,
+		BackoffStep:           500 * time.Nanosecond,
+		FixedMaxBackoff:       -1,
+		AdaptiveSkipThreshold: 5,
+	}
+}
+
+// LogEntry describes one new version in a committed transaction's write or
+// insert set, as handed to the durability Logger (§3.7).
+type LogEntry struct {
+	Table   TableID
+	Record  storage.RecordID
+	Data    []byte // nil for a delete
+	Deleted bool
+}
+
+// Logger is the customizable durability hook invoked after validation and
+// before the write phase (§3.4, §3.7). Returning an error aborts the
+// transaction.
+type Logger interface {
+	Log(worker int, ts clock.Timestamp, entries []LogEntry) error
+}
+
+// Table pairs a storage table with its engine-assigned ID.
+type Table struct {
+	ID TableID
+	st *storage.Table
+}
+
+// Storage exposes the underlying storage table (used by checkpointing).
+func (t *Table) Storage() *storage.Table { return t.st }
+
+// Engine is a Cicada database instance: a set of tables, a clock domain, and
+// per-worker execution state.
+type Engine struct {
+	opts    Options
+	clock   *clock.Domain
+	tables  []*Table
+	byName  map[string]*Table
+	workers []*Worker
+	logger  Logger
+
+	// epoch counts completed quiescence rounds; it drives epoch-delayed
+	// version reuse.
+	epoch atomic.Uint64
+	// quiesce holds one flag per worker, set by the worker during
+	// maintenance and cleared by the leader after a full round.
+	quiesce []atomic.Bool
+	// reg is the contention regulator (§3.9).
+	reg regulator
+}
+
+// NewEngine creates an engine with the given options.
+func NewEngine(opts Options) *Engine {
+	if opts.Workers < 1 {
+		panic("core: Options.Workers must be ≥ 1")
+	}
+	if opts.GCInterval <= 0 {
+		opts.GCInterval = 10 * time.Microsecond
+	}
+	if opts.BackoffUpdatePeriod <= 0 {
+		opts.BackoffUpdatePeriod = 5 * time.Millisecond
+	}
+	if opts.BackoffStep <= 0 {
+		opts.BackoffStep = 500 * time.Nanosecond
+	}
+	if opts.AdaptiveSkipThreshold <= 0 {
+		opts.AdaptiveSkipThreshold = 5
+	}
+	e := &Engine{
+		opts:    opts,
+		clock:   clock.NewDomain(opts.Workers, opts.Clock),
+		byName:  make(map[string]*Table),
+		quiesce: make([]atomic.Bool, opts.Workers),
+	}
+	e.reg.init(&opts)
+	e.workers = make([]*Worker, opts.Workers)
+	for i := range e.workers {
+		e.workers[i] = newWorker(e, i)
+	}
+	return e
+}
+
+// Options returns the engine's configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// Clock returns the engine's clock domain.
+func (e *Engine) Clock() *clock.Domain { return e.clock }
+
+// SetLogger installs the durability hook. It must be called before
+// transactions run.
+func (e *Engine) SetLogger(l Logger) { e.logger = l }
+
+// CreateTable registers a new table. inlining may be disabled per table for
+// the Figure 8 ablation; it is ANDed with Options.Inlining.
+func (e *Engine) CreateTable(name string) *Table {
+	if _, dup := e.byName[name]; dup {
+		panic(fmt.Sprintf("core: duplicate table %q", name))
+	}
+	t := &Table{
+		ID: TableID(len(e.tables)),
+		st: storage.NewTable(name, e.opts.Workers, e.opts.Inlining),
+	}
+	e.tables = append(e.tables, t)
+	e.byName[name] = t
+	return t
+}
+
+// TableByID returns the table with the given ID.
+func (e *Engine) TableByID(id TableID) *Table { return e.tables[id] }
+
+// TableByName returns the named table, or nil.
+func (e *Engine) TableByName(name string) *Table { return e.byName[name] }
+
+// Tables returns all tables in creation order.
+func (e *Engine) Tables() []*Table { return e.tables }
+
+// Worker returns the per-worker execution handle for id.
+func (e *Engine) Worker(id int) *Worker { return e.workers[id] }
+
+// MaxBackoff returns the current globally coordinated maximum backoff.
+func (e *Engine) MaxBackoff() time.Duration { return e.reg.max() }
+
+// Epoch returns the number of completed quiescence rounds.
+func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
+
+// CommitsLive returns the current committed-transaction count across all
+// workers; safe to call concurrently (used for live throughput sampling and
+// by the contention regulator).
+func (e *Engine) CommitsLive() uint64 {
+	var n uint64
+	for _, w := range e.workers {
+		n += w.commits.Load()
+	}
+	return n
+}
+
+// Stats aggregates all workers' counters.
+func (e *Engine) Stats() Stats {
+	var s Stats
+	for _, w := range e.workers {
+		s.add(&w.stats)
+	}
+	return s
+}
+
+// SpaceOverhead returns the total version count divided by the total record
+// count minus one, as a fraction (Figure 9's space overhead metric). It is a
+// racy scan intended for measurement, not coordination.
+func (e *Engine) SpaceOverhead() float64 {
+	var records, versions uint64
+	for _, t := range e.tables {
+		capacity := t.st.Cap()
+		for rid := storage.RecordID(0); uint64(rid) < capacity; rid++ {
+			h := t.st.Head(rid)
+			if h == nil {
+				continue
+			}
+			n := uint64(0)
+			for v := h.Latest(); v != nil; v = v.Next() {
+				n++
+				if n > 1<<20 {
+					break // defensive: racing chain mutation
+				}
+			}
+			if n > 0 {
+				records++
+				versions += n
+			}
+		}
+	}
+	if records == 0 {
+		return 0
+	}
+	return float64(versions)/float64(records) - 1
+}
+
+// Stats are per-worker transaction counters.
+type Stats struct {
+	// Commits counts committed transactions.
+	Commits uint64
+	// Aborts counts concurrency-control aborts (before any retries).
+	Aborts uint64
+	// UserAborts counts application-requested rollbacks.
+	UserAborts uint64
+	// AbortTime is the time spent executing transactions that aborted plus
+	// backoff time, for the Figure 10 abort-time ratio.
+	AbortTime time.Duration
+	// BusyTime is the total time spent processing transactions.
+	BusyTime time.Duration
+}
+
+func (s *Stats) add(o *Stats) {
+	s.Commits += o.Commits
+	s.Aborts += o.Aborts
+	s.UserAborts += o.UserAborts
+	s.AbortTime += o.AbortTime
+	s.BusyTime += o.BusyTime
+}
+
+// AbortRate returns aborts / (aborts + commits).
+func (s *Stats) AbortRate() float64 {
+	total := s.Aborts + s.Commits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(total)
+}
+
+// Worker is the per-thread execution context: reusable transaction state,
+// the version pool, the garbage collection queue, and maintenance bookkeeping.
+// A Worker must only be used from one goroutine at a time.
+type Worker struct {
+	id  int
+	eng *Engine
+
+	pool  storage.VersionPool
+	txn   Txn
+	rng   *rand.Rand
+	stats Stats
+	// commits mirrors stats.Commits atomically for the leader's contention
+	// regulator and for live throughput sampling by the bench harness.
+	commits atomic.Uint64
+
+	// gcQueue is the local garbage collection queue (§3.8); items are
+	// appended at commit and consumed from the front once min_rts passes.
+	gcQueue     []gcItem
+	gcHead      int
+	limbo       []limboBatch
+	lastQuiesce time.Time
+
+	// consecutiveCommits drives adaptive omission of write-set sorting and
+	// the early consistency check (§3.5).
+	consecutiveCommits int
+}
+
+func newWorker(e *Engine, id int) *Worker {
+	w := &Worker{
+		id:  id,
+		eng: e,
+		rng: rand.New(rand.NewSource(int64(id)*1_000_003 + 17)),
+	}
+	w.txn.worker = w
+	w.txn.eng = e
+	w.txn.ownWrites = make(map[uint64]int, 64)
+	return w
+}
+
+// ID returns the worker's thread ID.
+func (w *Worker) ID() int { return w.id }
+
+// Stats returns a copy of the worker's counters.
+func (w *Worker) Stats() Stats { return w.stats }
+
+// Begin starts a read-write transaction.
+func (w *Worker) Begin() *Txn {
+	t := &w.txn
+	t.begin(w.eng.clock.NewWriteTimestamp(w.id), false)
+	return t
+}
+
+// BeginRO starts a read-only transaction at thread.rts. Read-only
+// transactions never track or validate their read set and always see a
+// consistent snapshot (§3.1).
+func (w *Worker) BeginRO() *Txn {
+	t := &w.txn
+	t.begin(w.eng.clock.ReadTimestamp(w.id), true)
+	return t
+}
+
+// Run executes fn inside a read-write transaction, retrying on ErrAborted
+// with the engine's contention regulation. Any other error from fn aborts
+// the transaction and is returned.
+func (w *Worker) Run(fn func(t *Txn) error) error {
+	for {
+		start := time.Now()
+		t := w.Begin()
+		err := fn(t)
+		if err == nil {
+			err = t.Commit()
+		} else {
+			t.Abort()
+		}
+		w.stats.BusyTime += time.Since(start)
+		if err == nil {
+			w.Maintain()
+			return nil
+		}
+		if !errors.Is(err, ErrAborted) {
+			w.stats.UserAborts++
+			w.Maintain()
+			return err
+		}
+		w.stats.AbortTime += time.Since(start)
+		w.backoff()
+		w.Maintain()
+	}
+}
+
+// RunExternal is Run with external consistency (§3.1): it does not return
+// until min_wts exceeds the committed transaction's timestamp, so once the
+// caller observes the commit, every future transaction on any worker is
+// serialized after it — commit acknowledgment order matches timestamp
+// order. The paper reports roughly 100 µs of added latency; other pending
+// transactions continue during the wait. All workers must keep running
+// maintenance (Run/RunRO/Idle) or min_wts cannot advance.
+func (w *Worker) RunExternal(fn func(t *Txn) error) error {
+	for {
+		start := time.Now()
+		t := w.Begin()
+		ts := t.ts
+		err := fn(t)
+		if err == nil {
+			err = t.Commit()
+		} else {
+			t.Abort()
+		}
+		w.stats.BusyTime += time.Since(start)
+		if err == nil {
+			w.Maintain()
+			for w.eng.clock.MinWTS() <= ts {
+				w.Idle()
+			}
+			return nil
+		}
+		if !errors.Is(err, ErrAborted) {
+			w.stats.UserAborts++
+			w.Maintain()
+			return err
+		}
+		w.stats.AbortTime += time.Since(start)
+		w.backoff()
+		w.Maintain()
+	}
+}
+
+// ObserveTimestamp establishes causal ordering (§3.1): after observing a
+// timestamp from another thread or system, the worker's future transactions
+// receive later timestamps. The clock adjustment is instant because
+// Cicada's multi-clock does not tie clock increments to real time, and
+// one-sided synchronization corrects the drift.
+func (w *Worker) ObserveTimestamp(ts clock.Timestamp) {
+	w.eng.clock.AdvanceForCausality(w.id, ts)
+}
+
+// RunRO executes fn inside a read-only transaction. Read-only transactions
+// cannot abort due to conflicts.
+func (w *Worker) RunRO(fn func(t *Txn) error) error {
+	start := time.Now()
+	t := w.BeginRO()
+	err := fn(t)
+	if err == nil {
+		err = t.Commit()
+	} else {
+		t.Abort()
+	}
+	w.stats.BusyTime += time.Since(start)
+	w.Maintain()
+	return err
+}
+
+// SnapshotTS returns the timestamp a read-only transaction would run at now;
+// exposed for the snapshot-staleness measurement (§4.6).
+func (w *Worker) SnapshotTS() clock.Timestamp { return w.eng.clock.ReadTimestamp(w.id) }
+
+// CurrentTS returns the worker's last allocated write timestamp.
+func (w *Worker) CurrentTS() clock.Timestamp { return w.eng.clock.WTS(w.id) }

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cicada/internal/storage"
+)
+
+// auditChains walks every version chain in the engine and verifies the
+// structural invariants that hold whenever no transaction is active:
+// strictly descending wts, no PENDING versions, rts ≥ wts for committed
+// versions, and bounded length.
+func auditChains(t *testing.T, e *Engine) (chains, versions int) {
+	t.Helper()
+	for _, tbl := range e.Tables() {
+		capacity := tbl.Storage().Cap()
+		for rid := storage.RecordID(0); uint64(rid) < capacity; rid++ {
+			h := tbl.Storage().Head(rid)
+			if h == nil {
+				continue
+			}
+			prev := ^uint64(0)
+			n := 0
+			for v := h.Latest(); v != nil; v = v.Next() {
+				if uint64(v.WTS) >= prev {
+					t.Fatalf("table %s rid %d: wts %v not below %d", tbl.Storage().Name(), rid, v.WTS, prev)
+				}
+				prev = uint64(v.WTS)
+				switch v.Status() {
+				case storage.StatusPending:
+					t.Fatalf("table %s rid %d: PENDING version at rest", tbl.Storage().Name(), rid)
+				case storage.StatusCommitted, storage.StatusDeleted:
+					if v.RTS() < v.WTS {
+						t.Fatalf("table %s rid %d: rts %v below wts %v", tbl.Storage().Name(), rid, v.RTS(), v.WTS)
+					}
+				}
+				n++
+				if n > 100000 {
+					t.Fatalf("table %s rid %d: chain too long (cycle?)", tbl.Storage().Name(), rid)
+				}
+			}
+			if n > 0 {
+				chains++
+				versions += n
+			}
+		}
+	}
+	return chains, versions
+}
+
+// TestChainInvariantsAfterStress runs the concurrent counter workload and
+// then audits every version chain.
+func TestChainInvariantsAfterStress(t *testing.T) {
+	e := newTestEngine(4, nil)
+	tbl := e.CreateTable("t")
+	w0 := e.Worker(0)
+	const records = 32
+	rids := make([]storage.RecordID, records)
+	for i := range rids {
+		rids[i] = mustInsert(t, w0, tbl, []byte{0, 0, 0, 0, 0, 0, 0, 0})
+	}
+	var wg sync.WaitGroup
+	for id := 0; id < 4; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)))
+			w := e.Worker(id)
+			for i := 0; i < 400; i++ {
+				rid := rids[rng.Intn(records)]
+				if err := w.Run(func(tx *Txn) error {
+					buf, err := tx.Update(tbl, rid, -1)
+					if err != nil {
+						return err
+					}
+					putU64(buf, u64(buf)+1)
+					return nil
+				}); err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Drain garbage collection: the burst outpaces quiescence rounds, so
+	// give maintenance a few rounds plus one trailing commit per record to
+	// trigger chain detachment.
+	advanceEpochs(t, e, 4)
+	for _, rid := range rids {
+		rid := rid
+		if err := w0.Run(func(tx *Txn) error {
+			buf, err := tx.Update(tbl, rid, -1)
+			if err != nil {
+				return err
+			}
+			buf[7] = 1
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	advanceEpochs(t, e, 4)
+	for id := 0; id < 4; id++ {
+		e.Worker(id).collectGarbage()
+	}
+	chains, versions := auditChains(t, e)
+	if chains == 0 {
+		t.Fatal("no chains audited")
+	}
+	// After draining, chains must be short.
+	if versions > chains*4 {
+		t.Fatalf("%d versions across %d chains: GC not keeping up", versions, chains)
+	}
+}
+
+// TestChainInvariantsWithDeletes mixes deletes and re-inserts, then audits.
+func TestChainInvariantsWithDeletes(t *testing.T) {
+	e := newTestEngine(2, nil)
+	tbl := e.CreateTable("t")
+	w0 := e.Worker(0)
+	var mu sync.Mutex
+	live := make(map[storage.RecordID]bool)
+	for i := 0; i < 16; i++ {
+		rid := mustInsert(t, w0, tbl, []byte{1})
+		live[rid] = true
+	}
+	var wg sync.WaitGroup
+	for id := 0; id < 2; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id) + 5))
+			w := e.Worker(id)
+			for i := 0; i < 300; i++ {
+				mu.Lock()
+				var rid storage.RecordID
+				for r := range live {
+					rid = r
+					break
+				}
+				mu.Unlock()
+				if rng.Intn(3) == 0 {
+					err := w.Run(func(tx *Txn) error {
+						if err := tx.Delete(tbl, rid); err != nil {
+							return nil // already gone
+						}
+						return nil
+					})
+					if err != nil {
+						t.Errorf("delete: %v", err)
+						return
+					}
+					var newRid storage.RecordID
+					if err := w.Run(func(tx *Txn) error {
+						r, buf, err := tx.Insert(tbl, 1)
+						if err != nil {
+							return err
+						}
+						buf[0] = 1
+						newRid = r
+						return nil
+					}); err != nil {
+						t.Errorf("insert: %v", err)
+						return
+					}
+					mu.Lock()
+					delete(live, rid)
+					live[newRid] = true
+					mu.Unlock()
+				} else {
+					_ = w.Run(func(tx *Txn) error {
+						buf, err := tx.Update(tbl, rid, -1)
+						if err != nil {
+							return nil
+						}
+						buf[0]++
+						return nil
+					})
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	auditChains(t, e)
+}

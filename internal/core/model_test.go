@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"cicada/internal/storage"
+)
+
+// TestModelBasedCRUD runs long random single-worker operation sequences
+// against a plain map model: after every committed transaction the engine
+// and the model must agree exactly, and aborted transactions must leave no
+// trace. This exercises read-own-writes, write-after-read upgrades,
+// insert+delete-in-transaction, resizes, and rollback paths.
+func TestModelBasedCRUD(t *testing.T) {
+	e := newTestEngine(1, nil)
+	tbl := e.CreateTable("t")
+	w := e.Worker(0)
+	rng := rand.New(rand.NewSource(99))
+
+	model := map[storage.RecordID][]byte{}
+	var ids []storage.RecordID
+	sentinel := errors.New("rollback")
+
+	for txn := 0; txn < 2000; txn++ {
+		pending := map[storage.RecordID][]byte{}
+		var pendingNew []storage.RecordID
+		rollback := rng.Intn(4) == 0
+		err := w.Run(func(tx *Txn) error {
+			// Reset tentative state in case the transaction retries.
+			clear(pending)
+			pendingNew = pendingNew[:0]
+			ops := 1 + rng.Intn(6)
+			for k := 0; k < ops; k++ {
+				switch op := rng.Intn(10); {
+				case op < 3 && len(ids) > 0: // read, compare to model+pending
+					rid := ids[rng.Intn(len(ids))]
+					want, inPending := pending[rid]
+					if !inPending {
+						want = model[rid]
+					}
+					d, err := tx.Read(tbl, rid)
+					if errors.Is(err, ErrNotFound) {
+						if want != nil {
+							t.Fatalf("txn %d: read %d absent, model has %x", txn, rid, want)
+						}
+						continue
+					}
+					if err != nil {
+						return err
+					}
+					if want == nil || !bytes.Equal(d, want) {
+						t.Fatalf("txn %d: read %d = %x, want %x", txn, rid, d, want)
+					}
+				case op < 6 && len(ids) > 0: // update (RMW)
+					rid := ids[rng.Intn(len(ids))]
+					size := 1 + rng.Intn(300)
+					buf, err := tx.Update(tbl, rid, size)
+					if errors.Is(err, ErrNotFound) {
+						continue
+					}
+					if err != nil {
+						return err
+					}
+					rng.Read(buf)
+					pending[rid] = append([]byte(nil), buf...)
+				case op < 7: // blind write to an existing id
+					if len(ids) == 0 {
+						continue
+					}
+					rid := ids[rng.Intn(len(ids))]
+					cur, inPending := pending[rid]
+					if !inPending {
+						cur = model[rid]
+					}
+					if cur == nil {
+						continue // blind-writing deleted records resurrects; skip in model
+					}
+					size := 1 + rng.Intn(300)
+					buf, err := tx.Write(tbl, rid, size)
+					if err != nil {
+						return err
+					}
+					rng.Read(buf)
+					pending[rid] = append([]byte(nil), buf...)
+				case op < 9: // insert
+					size := 1 + rng.Intn(300)
+					rid, buf, err := tx.Insert(tbl, size)
+					if err != nil {
+						return err
+					}
+					rng.Read(buf)
+					pending[rid] = append([]byte(nil), buf...)
+					pendingNew = append(pendingNew, rid)
+				default: // delete
+					if len(ids) == 0 {
+						continue
+					}
+					rid := ids[rng.Intn(len(ids))]
+					err := tx.Delete(tbl, rid)
+					if errors.Is(err, ErrNotFound) {
+						continue
+					}
+					if err != nil {
+						return err
+					}
+					pending[rid] = nil
+				}
+			}
+			if rollback {
+				return sentinel
+			}
+			return nil
+		})
+		if rollback {
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("txn %d: rollback returned %v", txn, err)
+			}
+			continue // model unchanged
+		}
+		if err != nil {
+			t.Fatalf("txn %d: %v", txn, err)
+		}
+		for rid, data := range pending {
+			if data == nil {
+				delete(model, rid)
+			} else {
+				model[rid] = data
+			}
+		}
+		for _, rid := range pendingNew {
+			if model[rid] != nil {
+				ids = append(ids, rid)
+			}
+		}
+		// Occasional full audit.
+		if txn%200 == 199 {
+			if err := w.Run(func(tx *Txn) error {
+				for _, rid := range ids {
+					d, err := tx.Read(tbl, rid)
+					want := model[rid]
+					if errors.Is(err, ErrNotFound) {
+						if want != nil {
+							t.Fatalf("audit: %d absent, want %x", rid, want)
+						}
+						continue
+					}
+					if err != nil {
+						return err
+					}
+					if !bytes.Equal(d, want) {
+						t.Fatalf("audit: %d = %x, want %x", rid, d, want)
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"errors"
+
+	"cicada/internal/clock"
+	"cicada/internal/storage"
+)
+
+// RecoverInstall installs a committed version during recovery replay
+// (§3.7): the version is installed unless a version with a later write
+// timestamp already exists for the record — each record keeps only the
+// latest version. A deleted record installs nothing (deletions are resolved
+// by the replayer, which keeps only each record's newest entry). The engine
+// must not be running transactions.
+func (t *Table) RecoverInstall(rid storage.RecordID, wts clock.Timestamp, data []byte) {
+	t.st.RecoverEnsure(rid)
+	h := t.st.Head(rid)
+	if cur := h.Latest(); cur != nil && cur.WTS >= wts {
+		return
+	}
+	var v *storage.Version
+	if t.st.Inlining() && len(data) <= storage.InlineSize {
+		if iv, ok := h.TryAcquireInline(len(data)); ok {
+			v = iv
+		}
+	}
+	if v == nil {
+		v = storage.NewVersion(len(data))
+	}
+	copy(v.Data, data)
+	v.WTS = wts
+	v.SetRTS(wts)
+	v.SetNext(h.Latest())
+	v.SetStatus(storage.StatusCommitted)
+	for {
+		cur := h.Latest()
+		if cur != nil && cur.WTS >= wts {
+			return
+		}
+		v.SetNext(cur)
+		if h.CASLatest(cur, v) {
+			return
+		}
+	}
+}
+
+// RecoverReserve grows the table's record space without installing data, so
+// record IDs observed in logs but superseded by deletes stay unallocated for
+// reuse accounting.
+func (t *Table) RecoverReserve(rid storage.RecordID) { t.st.RecoverEnsure(rid) }
+
+// SnapshotRecord returns the record data and write timestamp visible at ts,
+// for checkpointing (§3.7). ts must be a safe snapshot timestamp (at or
+// below every worker's read timestamp) so that no pending version can fall
+// below it; pending and aborted versions are skipped without waiting.
+func (t *Table) SnapshotRecord(rid storage.RecordID, ts clock.Timestamp) (data []byte, wts clock.Timestamp, ok bool) {
+	h := t.st.Head(rid)
+	if h == nil {
+		return nil, 0, false
+	}
+restart:
+	prevWTS := ^clock.Timestamp(0)
+	for v := h.Latest(); v != nil; v = v.Next() {
+		if v.WTS >= prevWTS {
+			goto restart
+		}
+		prevWTS = v.WTS
+		if v.WTS > ts {
+			continue
+		}
+		switch v.Status() {
+		case storage.StatusCommitted:
+			return v.Data, v.WTS, true
+		case storage.StatusDeleted:
+			return nil, 0, false
+		case storage.StatusUnused:
+			goto restart
+		}
+	}
+	return nil, 0, false
+}
+
+// ReinsertExpiring implements the paper's timestamp-wraparound handling
+// (§3.1): versions whose write timestamps are about to expire are
+// reinserted as new versions with the latest timestamp and identical record
+// data, incrementally (up to limit records per call) so the cost is spread
+// over days in a long-lived deployment. It scans record IDs starting at
+// *cursor and advances it; records whose latest committed version has
+// wts ≥ before are skipped (recently updated data never needs reinsertion).
+// It returns the number of reinserted records. Read-only transactions are
+// unaffected, as the reinserted data is identical.
+func (w *Worker) ReinsertExpiring(t *Table, before clock.Timestamp, cursor *storage.RecordID, limit int) (int, error) {
+	capacity := storage.RecordID(t.st.Cap())
+	n := 0
+	for n < limit && *cursor < capacity {
+		rid := *cursor
+		*cursor++
+		h := t.st.Head(rid)
+		if h == nil {
+			continue
+		}
+		v := h.Latest()
+		for v != nil {
+			st := v.Status()
+			if st == storage.StatusCommitted || st == storage.StatusDeleted {
+				break
+			}
+			v = v.Next()
+		}
+		if v == nil || v.Status() == storage.StatusDeleted || v.WTS >= before {
+			continue
+		}
+		err := w.Run(func(tx *Txn) error {
+			// Identity RMW: a new version with the same data and a fresh
+			// timestamp. Concurrent writers win; that also refreshes.
+			_, err := tx.Update(t, rid, -1)
+			if errors.Is(err, ErrNotFound) {
+				return nil // deleted meanwhile
+			}
+			return err
+		})
+		if err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// RecoverFinish initializes the engine's clocks so that every new timestamp
+// is later than any replayed version's write timestamp (§3.7).
+func (e *Engine) RecoverFinish(maxReplayed clock.Timestamp) {
+	e.clock.AdvanceAllPast(maxReplayed)
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"cicada/internal/storage"
+)
+
+// TestReinsertExpiring verifies the §3.1 wraparound maintenance: records
+// with old write timestamps are reinserted with fresh timestamps and
+// identical data, while recently written records are left alone.
+func TestReinsertExpiring(t *testing.T) {
+	e := newTestEngine(1, nil)
+	tbl := e.CreateTable("t")
+	w := e.Worker(0)
+	const n = 20
+	rids := make([]storage.RecordID, n)
+	for i := range rids {
+		rids[i] = mustInsert(t, w, tbl, []byte{byte(i), 0xEE})
+	}
+	oldWTS := make([]Timestamp, n)
+	for i, rid := range rids {
+		oldWTS[i] = headWTS(t, tbl, rid)
+	}
+	// Freshen the last five records; they must not be reinserted.
+	horizon := e.Clock().WTS(0)
+	for i := n - 5; i < n; i++ {
+		i := i
+		if err := w.Run(func(tx *Txn) error {
+			buf, err := tx.Update(tbl, rids[i], -1)
+			if err != nil {
+				return err
+			}
+			buf[1] = 0xFF
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var cursor storage.RecordID
+	total := 0
+	for {
+		moved, err := w.ReinsertExpiring(tbl, horizon, &cursor, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += moved
+		if moved == 0 && uint64(cursor) >= tbl.Storage().Cap() {
+			break
+		}
+	}
+	if total != n-5 {
+		t.Fatalf("reinserted %d records, want %d", total, n-5)
+	}
+	for i, rid := range rids {
+		got := mustRead(t, w, tbl, rid)
+		if got[0] != byte(i) {
+			t.Fatalf("record %d data changed: %x", i, got)
+		}
+		newWTS := headWTS(t, tbl, rid)
+		if i < n-5 && newWTS <= oldWTS[i] {
+			t.Fatalf("record %d not refreshed: %v -> %v", i, oldWTS[i], newWTS)
+		}
+	}
+}
+
+// Timestamp is shorthand in tests.
+type Timestamp = uint64
+
+func headWTS(t *testing.T, tbl *Table, rid storage.RecordID) Timestamp {
+	t.Helper()
+	for v := tbl.Storage().Head(rid).Latest(); v != nil; v = v.Next() {
+		if v.Status() == storage.StatusCommitted {
+			return Timestamp(v.WTS)
+		}
+	}
+	t.Fatalf("record %d has no committed version", rid)
+	return 0
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"cicada/internal/clock"
+	"cicada/internal/storage"
+)
+
+// The serializability checker (DESIGN.md §6): concurrent workers run random
+// transactions over a small keyspace, logging for every committed
+// transaction its timestamp, the value observed by each read, and the value
+// installed by each write. Every record value is the 8-byte timestamp of the
+// transaction that wrote it, so the history can be replayed in timestamp
+// order: Theorem 1 requires that each read observes exactly the value of the
+// latest earlier write.
+
+type opLog struct {
+	ts  clock.Timestamp
+	ops []obsOp
+}
+
+// obsOp is one operation in transaction order; preserving the order matters
+// because reads after own writes must observe the transaction's own value.
+type obsOp struct {
+	write bool
+	rid   storage.RecordID
+	val   uint64 // observed value for reads (0 = absent)
+}
+
+func runSerializabilityStress(t *testing.T, workers, records, txPerWorker int, mutate func(*Options)) {
+	t.Helper()
+	e := newTestEngine(workers, mutate)
+	tbl := e.CreateTable("t")
+
+	// Preload half the records so absent reads occur too.
+	rids := make([]storage.RecordID, records)
+	w0 := e.Worker(0)
+	for i := range rids {
+		if i%2 == 0 {
+			var rid storage.RecordID
+			if err := w0.Run(func(tx *Txn) error {
+				r, buf, err := tx.Insert(tbl, 8)
+				if err != nil {
+					return err
+				}
+				putU64(buf, uint64(tx.Timestamp()))
+				rid = r
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			rids[i] = rid
+		} else {
+			rids[i] = tbl.Storage().Reserve(1)
+		}
+	}
+	// Record the preload writes for the replay baseline.
+	var mu sync.Mutex
+	var history []opLog
+
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := e.Worker(id)
+			rng := rand.New(rand.NewSource(int64(id)*7919 + 13))
+			local := make([]opLog, 0, txPerWorker)
+			for n := 0; n < txPerWorker; n++ {
+				var lg opLog
+				err := w.Run(func(tx *Txn) error {
+					lg = opLog{ts: tx.Timestamp()}
+					ops := 1 + rng.Intn(5)
+					for k := 0; k < ops; k++ {
+						rid := rids[rng.Intn(len(rids))]
+						switch rng.Intn(10) {
+						case 0, 1, 2, 3, 4: // read
+							d, err := tx.Read(tbl, rid)
+							obs := obsOp{rid: rid}
+							if err == nil {
+								obs.val = u64(d)
+							} else if !errors.Is(err, ErrNotFound) {
+								return err
+							}
+							lg.ops = append(lg.ops, obs)
+						case 5, 6, 7: // RMW
+							buf, err := tx.Update(tbl, rid, -1)
+							if errors.Is(err, ErrNotFound) {
+								lg.ops = append(lg.ops, obsOp{rid: rid})
+								continue
+							}
+							if err != nil {
+								return err
+							}
+							lg.ops = append(lg.ops, obsOp{rid: rid, val: u64(buf)})
+							putU64(buf, uint64(tx.Timestamp()))
+							lg.ops = append(lg.ops, obsOp{write: true, rid: rid})
+						default: // blind write
+							buf, err := tx.Write(tbl, rid, 8)
+							if err != nil {
+								return err
+							}
+							putU64(buf, uint64(tx.Timestamp()))
+							lg.ops = append(lg.ops, obsOp{write: true, rid: rid})
+						}
+					}
+					return nil
+				})
+				if err == nil {
+					local = append(local, lg)
+				} else if !errors.Is(err, ErrAborted) {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+			mu.Lock()
+			history = append(history, local...)
+			mu.Unlock()
+		}(id)
+	}
+	wg.Wait()
+
+	// Replay the committed history serially in timestamp order (Theorem 1).
+	// Within a transaction, operations replay in execution order so reads
+	// after own writes observe the transaction's own value. The first read
+	// of a record with unknown state adopts the observed value as baseline
+	// (it was written by the preloader, whose timestamp precedes all
+	// workers').
+	sort.Slice(history, func(i, j int) bool { return history[i].ts < history[j].ts })
+	state := make(map[storage.RecordID]uint64, records)
+	known := make(map[storage.RecordID]bool, records)
+	violations := 0
+	for _, lg := range history {
+		ownWrote := make(map[storage.RecordID]bool, 4)
+		for _, op := range lg.ops {
+			if op.write {
+				ownWrote[op.rid] = true
+				continue
+			}
+			want, ok := state[op.rid], known[op.rid]
+			if ownWrote[op.rid] {
+				want, ok = uint64(lg.ts), true
+			}
+			if !ok {
+				state[op.rid] = op.val
+				known[op.rid] = true
+				continue
+			}
+			if want != op.val {
+				t.Errorf("ts %v: read of %d saw %d, serial replay expects %d",
+					lg.ts, op.rid, op.val, want)
+				violations++
+				if violations > 10 {
+					t.Fatal("too many violations")
+				}
+			}
+		}
+		for rid := range ownWrote {
+			state[rid] = uint64(lg.ts)
+			known[rid] = true
+		}
+	}
+	s := e.Stats()
+	if s.Commits == 0 {
+		t.Fatal("no transactions committed")
+	}
+	t.Logf("commits=%d aborts=%d abortRate=%.2f%%", s.Commits, s.Aborts, 100*s.AbortRate())
+}
+
+func TestSerializabilityDefault(t *testing.T) {
+	runSerializabilityStress(t, 4, 16, 300, nil)
+}
+
+func TestSerializabilityHighContention(t *testing.T) {
+	runSerializabilityStress(t, 8, 4, 200, nil)
+}
+
+func TestSerializabilityNoWait(t *testing.T) {
+	runSerializabilityStress(t, 4, 8, 200, func(o *Options) { o.NoWaitPending = true })
+}
+
+func TestSerializabilityNoLatest(t *testing.T) {
+	runSerializabilityStress(t, 4, 8, 200, func(o *Options) { o.NoWriteLatestRule = true })
+}
+
+func TestSerializabilityNoSortNoPrecheck(t *testing.T) {
+	runSerializabilityStress(t, 4, 8, 200, func(o *Options) {
+		o.NoSortWriteSet = true
+		o.NoPreCheck = true
+	})
+}
+
+func TestSerializabilityNoInlining(t *testing.T) {
+	runSerializabilityStress(t, 4, 8, 200, func(o *Options) { o.Inlining = false })
+}
+
+func TestSerializabilityCentralizedClock(t *testing.T) {
+	runSerializabilityStress(t, 4, 8, 200, func(o *Options) { o.Clock.Centralized = true })
+}
+
+func TestSerializabilitySlowGC(t *testing.T) {
+	runSerializabilityStress(t, 4, 8, 150, func(o *Options) { o.GCInterval = 50 * time.Millisecond })
+}
+
+func TestSerializabilityFixedBackoff(t *testing.T) {
+	runSerializabilityStress(t, 4, 8, 150, func(o *Options) { o.FixedMaxBackoff = 5 * time.Microsecond })
+}
+
+// TestReadOnlyConsistentUnderWrites checks that read-only snapshot
+// transactions always observe a consistent state: workers keep two records
+// summing to a constant while read-only transactions verify the invariant.
+func TestReadOnlyConsistentUnderWrites(t *testing.T) {
+	const total = 1000
+	e := newTestEngine(3, nil)
+	tbl := e.CreateTable("t")
+	w0 := e.Worker(0)
+	var a, b storage.RecordID
+	if err := w0.Run(func(tx *Txn) error {
+		var buf []byte
+		var err error
+		a, buf, err = tx.Insert(tbl, 8)
+		if err != nil {
+			return err
+		}
+		putU64(buf, total/2)
+		b, buf, err = tx.Insert(tbl, 8)
+		if err != nil {
+			return err
+		}
+		putU64(buf, total/2)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	advanceEpochs(t, e, 3) // move min_wts past the preload insert
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for id := 0; id < 2; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := e.Worker(id)
+			rng := rand.New(rand.NewSource(int64(id)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				amount := uint64(rng.Intn(10))
+				_ = w.Run(func(tx *Txn) error {
+					ab, err := tx.Update(tbl, a, -1)
+					if err != nil {
+						return err
+					}
+					bb, err := tx.Update(tbl, b, -1)
+					if err != nil {
+						return err
+					}
+					av, bv := u64(ab), u64(bb)
+					if av < amount {
+						return nil
+					}
+					putU64(ab, av-amount)
+					putU64(bb, bv+amount)
+					return nil
+				})
+			}
+		}(id)
+	}
+	reader := e.Worker(2)
+	deadline := time.Now().Add(500 * time.Millisecond)
+	checks := 0
+	for time.Now().Before(deadline) {
+		err := reader.RunRO(func(tx *Txn) error {
+			ad, err := tx.Read(tbl, a)
+			if err != nil {
+				return err
+			}
+			bd, err := tx.Read(tbl, b)
+			if err != nil {
+				return err
+			}
+			if got := u64(ad) + u64(bd); got != total {
+				return fmt.Errorf("snapshot sum %d != %d", got, total)
+			}
+			checks++
+			return nil
+		})
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if checks == 0 {
+		t.Fatal("no snapshot checks ran")
+	}
+	// Final audit with a read-write transaction.
+	if err := w0.Run(func(tx *Txn) error {
+		ad, err := tx.Read(tbl, a)
+		if err != nil {
+			return err
+		}
+		bd, err := tx.Read(tbl, b)
+		if err != nil {
+			return err
+		}
+		if got := u64(ad) + u64(bd); got != total {
+			return fmt.Errorf("final sum %d != %d", got, total)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

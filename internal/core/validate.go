@@ -1,0 +1,345 @@
+package core
+
+import (
+	"cicada/internal/clock"
+	"cicada/internal/storage"
+)
+
+// Commit validates and commits the transaction (§3.4, §3.5). On a conflict
+// it rolls back and returns ErrAborted. The validation order is:
+//
+//  0. pre-commit hooks (deferred multi-version index updates, §3.6)
+//  1. contention-aware write-set sorting (adaptively skipped)
+//  2. early version consistency check (adaptively skipped)
+//  3. pending version installation, in write-set order
+//  4. read timestamp update
+//  5. version consistency check
+//  6. logging
+//  7. write phase: flip PENDING → COMMITTED/DELETED
+func (t *Txn) Commit() error {
+	if !t.active {
+		return ErrTxnClosed
+	}
+	w := t.worker
+	if t.readOnly {
+		// Read-only transactions never validate (§3.1).
+		t.active = false
+		w.stats.Commits++
+		w.commits.Add(1)
+		t.runCommitHooks()
+		return nil
+	}
+	for _, hook := range t.preCommit {
+		if err := hook(t); err != nil {
+			t.rollbackCC()
+			return ErrAborted
+		}
+	}
+	opts := &t.eng.opts
+	skip := w.consecutiveCommits >= opts.AdaptiveSkipThreshold
+	if len(t.writes) > 0 {
+		if !opts.NoSortWriteSet && !skip {
+			t.sortWriteSetByContention()
+		}
+		if !opts.NoPreCheck && !skip {
+			if !t.checkVersionConsistency() {
+				return t.failCommit()
+			}
+		}
+		for _, i := range t.writes {
+			a := &t.accesses[i]
+			if a.newVer == nil || a.installed {
+				continue
+			}
+			if !t.install(a) {
+				return t.failCommit()
+			}
+		}
+	}
+	for _, i := range t.reads {
+		a := &t.accesses[i]
+		if a.readVer != nil {
+			a.readVer.RaiseRTS(t.ts)
+		} else if h := a.tbl.st.Head(a.rid); h != nil {
+			h.RaiseAbsentRTS(t.ts)
+		}
+	}
+	if !t.checkVersionConsistency() {
+		return t.failCommit()
+	}
+	if lg := t.eng.logger; lg != nil {
+		if err := t.log(lg); err != nil {
+			return t.failCommit()
+		}
+	}
+	// Write phase: make the new versions usable by other transactions.
+	for _, i := range t.writes {
+		a := &t.accesses[i]
+		if a.newVer == nil {
+			continue
+		}
+		if a.kind == accDelete {
+			a.newVer.SetStatus(storage.StatusDeleted)
+		} else {
+			a.newVer.SetStatus(storage.StatusCommitted)
+		}
+	}
+	w.enqueueGC(t)
+	t.eng.clock.OnCommit(w.id)
+	w.consecutiveCommits++
+	w.stats.Commits++
+	w.commits.Add(1)
+	t.active = false
+	t.runCommitHooks()
+	return nil
+}
+
+func (t *Txn) runCommitHooks() {
+	for _, fn := range t.onCommit {
+		fn()
+	}
+}
+
+// Abort rolls the transaction back at the application's request.
+func (t *Txn) Abort() {
+	if !t.active {
+		return
+	}
+	t.rollback()
+}
+
+// failCommit records a concurrency-control abort and rolls back.
+func (t *Txn) failCommit() error {
+	t.rollbackCC()
+	return ErrAborted
+}
+
+// rollbackCC is a rollback caused by a conflict: it grants the clock boost
+// and resets the adaptive-skip streak.
+func (t *Txn) rollbackCC() {
+	w := t.worker
+	w.stats.Aborts++
+	w.consecutiveCommits = 0
+	t.eng.clock.OnAbort(w.id)
+	t.rollback()
+}
+
+// rollback undoes the transaction: installed pending versions become
+// ABORTED (and are unlinked from the list head when possible); uninstalled
+// staged versions are deallocated for immediate reuse, which is safe because
+// they were never reachable (§3.4). Insert record IDs are reclaimed.
+func (t *Txn) rollback() {
+	w := t.worker
+	for _, i := range t.writes {
+		a := &t.accesses[i]
+		nv := a.newVer
+		if nv == nil {
+			continue
+		}
+		h := a.tbl.st.Head(a.rid)
+		if !a.installed {
+			t.unstage(h, nv)
+			if a.kind == accInsert {
+				a.tbl.st.FreeRecordID(w.id, a.rid)
+			}
+			continue
+		}
+		nv.SetStatus(storage.StatusAborted)
+		// Opportunistic unlink at the list head; mid-list aborted versions
+		// are skipped by readers and reclaimed by chain detachment later.
+		if h.Latest() == nv && h.CASLatest(nv, nv.Next()) {
+			nv.SetNext(nil)
+			if a.kind == accInsert {
+				// The record ID was never published (index updates are
+				// deferred), so no concurrent reader can hold nv.
+				t.unstage(h, nv)
+				a.tbl.st.FreeRecordID(w.id, a.rid)
+			} else {
+				w.addLimbo(limboEntry{v: nv, h: h})
+			}
+		}
+	}
+	t.active = false
+	for _, fn := range t.onAbort {
+		fn()
+	}
+}
+
+// sortWriteSetByContention partially sorts the write set in descending order
+// of approximate contention — the wts of each record's latest version — so
+// validation touches the most contended records first and detects conflicts
+// before installing versions that would become garbage (§3.5). Only the
+// top-k entries are sorted (k=8), costing O(n·k).
+const contentionSortK = 8
+
+func (t *Txn) sortWriteSetByContention() {
+	n := len(t.writes)
+	if n < 2 {
+		return
+	}
+	keys := make([]clock.Timestamp, n)
+	for j, i := range t.writes {
+		a := &t.accesses[i]
+		if a.newVer == nil || a.kind == accInsert {
+			keys[j] = 0
+			continue
+		}
+		if v := a.tbl.st.Head(a.rid).Latest(); v != nil {
+			keys[j] = v.WTS
+		}
+	}
+	k := contentionSortK
+	if k > n {
+		k = n
+	}
+	// Partial selection sort: place the k most contended entries first.
+	for sel := 0; sel < k; sel++ {
+		best := sel
+		for j := sel + 1; j < n; j++ {
+			if keys[j] > keys[best] {
+				best = j
+			}
+		}
+		if best != sel {
+			keys[sel], keys[best] = keys[best], keys[sel]
+			t.writes[sel], t.writes[best] = t.writes[best], t.writes[sel]
+		}
+	}
+}
+
+// install links the access's staged version into the record's version list
+// as PENDING, keeping the list sorted by wts (§3.4 pending version
+// installation). It performs the same early aborts as the read phase.
+// Installation is deadlock-free: insertion position is determined by
+// transaction timestamps, so no dependency cycle can form.
+func (t *Txn) install(a *access) bool {
+	h := a.tbl.st.Head(a.rid)
+	nv := a.newVer
+	nv.WTS = t.ts
+	nv.SetRTS(t.ts)
+	nv.SetStatus(storage.StatusPending)
+	checkLatest := !t.eng.opts.NoWriteLatestRule &&
+		(a.kind == accRMW || a.kind == accDelete)
+	for {
+		var prev *storage.Version
+		cur := h.Latest()
+		prevWTS := ^clock.Timestamp(0)
+		restart := false
+		for cur != nil && cur.WTS > t.ts {
+			if cur.WTS >= prevWTS {
+				restart = true
+				break
+			}
+			if checkLatest && cur.Status() != storage.StatusAborted {
+				// write-latest-version-only: a COMMITTED or PENDING later
+				// version will abort this RMW anyway (§3.2).
+				return false
+			}
+			prevWTS = cur.WTS
+			prev = cur
+			cur = cur.Next()
+		}
+		if restart {
+			continue
+		}
+		if cur != nil && cur.WTS == t.ts {
+			// Duplicate timestamp cannot happen (Lemma 1); a recycled node
+			// is the only explanation — restart.
+			continue
+		}
+		// Early abort against the version just below the insertion point:
+		// if the first committed version below was read after tx.ts, the
+		// consistency check must fail (§3.4).
+		if vis := firstCommitted(cur); vis != nil {
+			if vis.RTS() > t.ts {
+				return false
+			}
+		} else if h.AbsentRTS() > t.ts && a.kind != accInsert {
+			return false
+		}
+		nv.SetNext(cur)
+		var ok bool
+		if prev == nil {
+			ok = h.CASLatest(cur, nv)
+		} else {
+			ok = prev.CASNext(cur, nv)
+		}
+		if ok {
+			a.installed = true
+			a.laterVer = prev
+			return true
+		}
+	}
+}
+
+// firstCommitted returns the first COMMITTED or DELETED version at or below
+// v, without waiting on PENDING versions (they are handled by the
+// consistency check).
+func firstCommitted(v *storage.Version) *storage.Version {
+	for ; v != nil; v = v.Next() {
+		switch v.Status() {
+		case storage.StatusCommitted, storage.StatusDeleted:
+			return v
+		}
+	}
+	return nil
+}
+
+// checkVersionConsistency verifies (a) that every previously visible version
+// in the read set is still the currently visible version, and (b) that the
+// currently visible version of every record in the write set has rts ≤
+// tx.ts (§3.4). It is used both as the early precheck and as the required
+// final check; repeated searches resume from each access's later_version
+// (§3.5).
+func (t *Txn) checkVersionConsistency() bool {
+	for _, i := range t.reads {
+		a := &t.accesses[i]
+		vis := t.resumeSearch(a)
+		if vis != a.readVer {
+			return false
+		}
+	}
+	for _, i := range t.writes {
+		a := &t.accesses[i]
+		if a.newVer == nil || a.kind == accInsert {
+			continue
+		}
+		if a.kind == accRMW || a.kind == accDelete {
+			continue // covered by the read-set pass above, plus rts was
+			// checked during the read phase and at installation
+		}
+		// Blind write: the currently visible version must not have been
+		// read after tx.ts.
+		vis := t.resumeSearch(a)
+		if vis != nil {
+			if vis.RTS() > t.ts {
+				return false
+			}
+		} else if h := a.tbl.st.Head(a.rid); h.AbsentRTS() > t.ts {
+			return false
+		}
+	}
+	return true
+}
+
+// log hands the write and insert sets to the durability logger (§3.7).
+func (t *Txn) log(lg Logger) error {
+	t.logBuf = t.logBuf[:0]
+	for _, i := range t.writes {
+		a := &t.accesses[i]
+		if a.newVer == nil || a.promoted {
+			continue
+		}
+		e := LogEntry{Table: a.tbl.ID, Record: a.rid}
+		if a.kind == accDelete {
+			e.Deleted = true
+		} else {
+			e.Data = a.newVer.Data
+		}
+		t.logBuf = append(t.logBuf, e)
+	}
+	if len(t.logBuf) == 0 {
+		return nil
+	}
+	return lg.Log(t.worker.id, t.ts, t.logBuf)
+}

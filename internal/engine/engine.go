@@ -1,0 +1,157 @@
+// Package engine defines the scheme-agnostic database interface shared by
+// the workloads (TPC-C, YCSB) and the benchmark harness, in the spirit of
+// the DBx1000 framework the paper uses (§4.2): Cicada and every baseline
+// concurrency control scheme implement the same interface but keep separate
+// data storage and transaction processing engines, so benchmark code is
+// shared while engines are compared directly.
+package engine
+
+import (
+	"errors"
+	"time"
+)
+
+// TableID identifies a table within a DB.
+type TableID int
+
+// IndexID identifies an index within a DB.
+type IndexID int
+
+// RecordID locates a record within a table. Indexes store RecordIDs as
+// values (§3.6).
+type RecordID uint64
+
+// InvalidRecordID is a sentinel for "no record".
+const InvalidRecordID = ^RecordID(0)
+
+// Errors shared by all engines.
+var (
+	// ErrAborted reports a concurrency conflict; Worker.Run retries.
+	ErrAborted = errors.New("engine: transaction aborted")
+	// ErrNotFound reports a missing record or index key.
+	ErrNotFound = errors.New("engine: not found")
+	// ErrUserAbort requests a rollback without retry (e.g., the 1 % of
+	// TPC-C NewOrder transactions that roll back by specification).
+	ErrUserAbort = errors.New("engine: user abort")
+)
+
+// Tx is one transaction. Buffers returned by Read are valid until the
+// transaction finishes and must not be modified; buffers returned by
+// Update/Write/Insert are staged local copies the caller fills in.
+type Tx interface {
+	// Read returns the record's data.
+	Read(t TableID, r RecordID) ([]byte, error)
+	// Update stages a read-modify-write and returns a writable buffer
+	// initialized with the current data (resized to size if size ≥ 0).
+	Update(t TableID, r RecordID, size int) ([]byte, error)
+	// Write stages a blind write of size bytes and returns the buffer.
+	Write(t TableID, r RecordID, size int) ([]byte, error)
+	// Insert creates a record and returns its ID and data buffer.
+	Insert(t TableID, size int) (RecordID, []byte, error)
+	// Delete removes the record.
+	Delete(t TableID, r RecordID) error
+
+	// IndexGet returns a record ID for key, or ErrNotFound.
+	IndexGet(i IndexID, key uint64) (RecordID, error)
+	// IndexScan visits entries with lo ≤ key ≤ hi in key order until fn
+	// returns false or limit entries have been visited (limit < 0 means
+	// unlimited). Only ordered indexes support scans.
+	IndexScan(i IndexID, lo, hi uint64, limit int, fn func(key uint64, r RecordID) bool) error
+	// IndexInsert adds (key → r) to the index.
+	IndexInsert(i IndexID, key uint64, r RecordID) error
+	// IndexDelete removes (key → r) from the index.
+	IndexDelete(i IndexID, key uint64, r RecordID) error
+}
+
+// Worker is a per-thread handle; it must be used from one goroutine at a
+// time.
+type Worker interface {
+	// Run executes fn in a read-write transaction, retrying on ErrAborted
+	// with the engine's backoff policy. fn may run many times; it must be
+	// idempotent up to its transaction operations.
+	Run(fn func(tx Tx) error) error
+	// RunRO executes fn in a read-only transaction if the engine supports
+	// snapshots, else in a regular transaction.
+	RunRO(fn func(tx Tx) error) error
+	// Idle lets the worker run maintenance while it has no work.
+	Idle()
+}
+
+// DirectReader is an optional Worker capability: reading a single record
+// without a transaction (Cicada, Appendix B). Engines whose record data is
+// always consistent can serve such reads with no locking or copying;
+// workloads test for the capability with a type assertion.
+type DirectReader interface {
+	// ReadDirect returns the record's data at a recent consistent snapshot,
+	// or ok=false if no committed version is visible.
+	ReadDirect(t TableID, r RecordID) ([]byte, bool)
+}
+
+// Stats aggregates transaction outcome counters across workers.
+type Stats struct {
+	Commits    uint64
+	Aborts     uint64
+	UserAborts uint64
+	AbortTime  time.Duration
+	BusyTime   time.Duration
+}
+
+// AbortRate returns aborts / (aborts + commits).
+func (s Stats) AbortRate() float64 {
+	total := s.Aborts + s.Commits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(total)
+}
+
+// DB is a database instance under one concurrency control scheme.
+type DB interface {
+	// Name identifies the concurrency control scheme ("Cicada", "Silo'",
+	// "TicToc", ...).
+	Name() string
+	// CreateTable registers a table before any transactions run.
+	CreateTable(name string) TableID
+	// CreateHashIndex registers an unordered index (point queries only).
+	CreateHashIndex(name string, buckets int) IndexID
+	// CreateOrderedIndex registers an ordered index (point + range).
+	CreateOrderedIndex(name string) IndexID
+	// Worker returns the handle for worker id (0 ≤ id < Workers()).
+	Worker(id int) Worker
+	// Workers returns the configured worker count.
+	Workers() int
+	// Stats aggregates all workers' counters. Call it only while workers
+	// are paused or finished.
+	Stats() Stats
+	// CommitsLive returns the current committed-transaction count; it is
+	// safe to call concurrently (used for live throughput sampling).
+	CommitsLive() uint64
+}
+
+// Config carries the knobs shared by every engine's constructor.
+type Config struct {
+	// Workers is the number of worker threads.
+	Workers int
+	// PhantomAvoidance selects eager index updates with index node
+	// validation (Figure 3 mode). When false, engines defer index updates
+	// until after validation and skip node validation (Figure 4 mode).
+	PhantomAvoidance bool
+	// HashBucketsHint sizes hash indexes (entries, not buckets).
+	HashBucketsHint int
+}
+
+// Factory builds a DB for a scheme.
+type Factory func(cfg Config) DB
+
+// WarmUp drives every worker's idle maintenance for a short period so
+// engine watermarks (read-only snapshot timestamps, garbage collection
+// horizons) advance past all loaded data before measurement begins. Call it
+// between loading and running a workload.
+func WarmUp(db DB) {
+	for r := 0; r < 50; r++ {
+		for id := 0; id < db.Workers(); id++ {
+			db.Worker(id).Idle()
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}

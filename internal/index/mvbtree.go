@@ -1,0 +1,454 @@
+package index
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"cicada/internal/core"
+	"cicada/internal/storage"
+)
+
+// MVBTree is Cicada's multi-version ordered index: a B+-tree whose nodes are
+// records in a Cicada table (§3.6). Node reads join the transaction's read
+// set, so any structural change that could affect a committed transaction's
+// result — including phantoms for range scans and absent-key probes — is
+// caught by version validation. Node writes stay thread-local until
+// validation, so aborted transactions never perturb global index state.
+//
+// Entries are composite (key, val) pairs ordered lexicographically, which
+// supports duplicate keys with distinct record IDs. Deletion is lazy: pairs
+// are removed but nodes are never merged, as in many production trees.
+//
+// Node records are 202 bytes — within the 216-byte inline limit, so hot
+// nodes are inlined into their record heads by best-effort inlining.
+const (
+	nodeSize = 202
+	leafCap  = 12 // (key, val) pairs per leaf
+	intCap   = 8  // separators per internal node; children = intCap + 1
+)
+
+// Leaf layout:   [0]=1  [1]=n  [2:10)=next-leaf rid+1  [10:202)=n×(key,val)
+// Internal:      [0]=0  [1]=n  [2:74)=9×(child rid+1)  [74:202)=8×(key,val)
+func nodeIsLeaf(b []byte) bool { return b[0] == 1 }
+func nodeN(b []byte) int       { return int(b[1]) }
+func setNodeN(b []byte, n int) { b[1] = byte(n) }
+
+func leafNext(b []byte) (storage.RecordID, bool) {
+	v := binary.LittleEndian.Uint64(b[2:10])
+	if v == 0 {
+		return 0, false
+	}
+	return storage.RecordID(v - 1), true
+}
+func setLeafNext(b []byte, rid storage.RecordID, ok bool) {
+	if !ok {
+		binary.LittleEndian.PutUint64(b[2:10], 0)
+		return
+	}
+	binary.LittleEndian.PutUint64(b[2:10], uint64(rid)+1)
+}
+func leafPair(b []byte, i int) (uint64, uint64) {
+	off := 10 + i*16
+	return binary.LittleEndian.Uint64(b[off:]), binary.LittleEndian.Uint64(b[off+8:])
+}
+func setLeafPair(b []byte, i int, k, v uint64) {
+	off := 10 + i*16
+	binary.LittleEndian.PutUint64(b[off:], k)
+	binary.LittleEndian.PutUint64(b[off+8:], v)
+}
+
+func intChild(b []byte, i int) storage.RecordID {
+	return storage.RecordID(binary.LittleEndian.Uint64(b[2+i*8:]) - 1)
+}
+func setIntChild(b []byte, i int, rid storage.RecordID) {
+	binary.LittleEndian.PutUint64(b[2+i*8:], uint64(rid)+1)
+}
+func intSep(b []byte, i int) (uint64, uint64) {
+	off := 74 + i*16
+	return binary.LittleEndian.Uint64(b[off:]), binary.LittleEndian.Uint64(b[off+8:])
+}
+func setIntSep(b []byte, i int, k, v uint64) {
+	off := 74 + i*16
+	binary.LittleEndian.PutUint64(b[off:], k)
+	binary.LittleEndian.PutUint64(b[off+8:], v)
+}
+
+// cmpKV orders composite (key, val) pairs.
+func cmpKV(k1, v1, k2, v2 uint64) int {
+	switch {
+	case k1 < k2:
+		return -1
+	case k1 > k2:
+		return 1
+	case v1 < v2:
+		return -1
+	case v1 > v2:
+		return 1
+	}
+	return 0
+}
+
+// MVBTree's meta record (record 0 of the node table) stores the root node's
+// record ID + 1.
+type MVBTree struct {
+	tbl    *core.Table
+	meta   storage.RecordID
+	unique bool
+}
+
+// NewMVBTree creates a multi-version B+-tree backed by its own node table.
+func NewMVBTree(e *core.Engine, name string, unique bool) *MVBTree {
+	t := &MVBTree{tbl: e.CreateTable(name), unique: unique}
+	t.meta = t.tbl.Storage().Reserve(1)
+	return t
+}
+
+// Table exposes the backing node table.
+func (t *MVBTree) Table() *core.Table { return t.tbl }
+
+// root returns the root node record ID, or ok=false for an empty tree. The
+// meta read joins the read set, so a committed transaction's view of the
+// root is validated.
+func (t *MVBTree) root(tx *core.Txn) (storage.RecordID, bool, error) {
+	data, err := tx.Read(t.tbl, t.meta)
+	if errors.Is(err, core.ErrNotFound) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	v := binary.LittleEndian.Uint64(data)
+	if v == 0 {
+		return 0, false, nil
+	}
+	return storage.RecordID(v - 1), true, nil
+}
+
+func (t *MVBTree) setRoot(tx *core.Txn, rid storage.RecordID) error {
+	buf, err := tx.Write(t.tbl, t.meta, 8)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(buf, uint64(rid)+1)
+	return nil
+}
+
+// descendToLeaf walks from the root to the leaf that would contain
+// (key, val), reading every node on the path inside tx.
+func (t *MVBTree) descendToLeaf(tx *core.Txn, key, val uint64) (storage.RecordID, []byte, error) {
+	rid, ok, err := t.root(tx)
+	if err != nil {
+		return 0, nil, err
+	}
+	if !ok {
+		return 0, nil, core.ErrNotFound
+	}
+	for {
+		data, err := tx.Read(t.tbl, rid)
+		if err != nil {
+			return 0, nil, fmt.Errorf("btree: node %d: %w", rid, err)
+		}
+		if nodeIsLeaf(data) {
+			return rid, data, nil
+		}
+		n := nodeN(data)
+		i := 0
+		for i < n {
+			sk, sv := intSep(data, i)
+			if cmpKV(key, val, sk, sv) < 0 {
+				break
+			}
+			i++
+		}
+		rid = intChild(data, i)
+	}
+}
+
+// Get returns the first record ID with the given key.
+func (t *MVBTree) Get(tx *core.Txn, key uint64) (storage.RecordID, error) {
+	var out storage.RecordID
+	found := false
+	err := t.Scan(tx, key, key, 1, func(_ uint64, rid storage.RecordID) bool {
+		out, found = rid, true
+		return false
+	})
+	if err != nil {
+		return storage.InvalidRecordID, err
+	}
+	if !found {
+		return storage.InvalidRecordID, core.ErrNotFound
+	}
+	return out, nil
+}
+
+// Scan visits pairs with lo ≤ key ≤ hi in (key, val) order until fn returns
+// false or limit entries are emitted (limit < 0 = unlimited). Every leaf
+// touched is in the read set, which precludes phantoms.
+func (t *MVBTree) Scan(tx *core.Txn, lo, hi uint64, limit int, fn func(key uint64, rid storage.RecordID) bool) error {
+	rid, data, err := t.descendToLeaf(tx, lo, 0)
+	if errors.Is(err, core.ErrNotFound) {
+		return nil // empty tree
+	}
+	if err != nil {
+		return err
+	}
+	emitted := 0
+	for {
+		n := nodeN(data)
+		for i := 0; i < n; i++ {
+			k, v := leafPair(data, i)
+			if k < lo {
+				continue
+			}
+			if k > hi {
+				return nil
+			}
+			if !fn(k, storage.RecordID(v)) {
+				return nil
+			}
+			emitted++
+			if limit >= 0 && emitted >= limit {
+				return nil
+			}
+		}
+		next, ok := leafNext(data)
+		if !ok {
+			return nil
+		}
+		rid = next
+		data, err = tx.Read(t.tbl, rid)
+		if err != nil {
+			return fmt.Errorf("btree: leaf %d: %w", rid, err)
+		}
+	}
+}
+
+// Insert adds (key → rid). For a unique index it returns ErrDuplicate if key
+// already exists; it always returns ErrDuplicate for an exact (key, rid)
+// duplicate.
+func (t *MVBTree) Insert(tx *core.Txn, key uint64, rid storage.RecordID) error {
+	if t.unique {
+		if _, err := t.Get(tx, key); err == nil {
+			return ErrDuplicate
+		} else if !errors.Is(err, core.ErrNotFound) {
+			return err
+		}
+	}
+	root, ok, err := t.root(tx)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		leafRid, buf, err := tx.Insert(t.tbl, nodeSize)
+		if err != nil {
+			return err
+		}
+		clearBytes(buf)
+		buf[0] = 1
+		setNodeN(buf, 1)
+		setLeafPair(buf, 0, key, uint64(rid))
+		return t.setRoot(tx, leafRid)
+	}
+	sepK, sepV, right, split, err := t.insertRec(tx, root, key, uint64(rid))
+	if err != nil {
+		return err
+	}
+	if !split {
+		return nil
+	}
+	// Grow the tree: new internal root over (old root, right).
+	newRoot, buf, err := tx.Insert(t.tbl, nodeSize)
+	if err != nil {
+		return err
+	}
+	clearBytes(buf)
+	setNodeN(buf, 1)
+	setIntChild(buf, 0, root)
+	setIntChild(buf, 1, right)
+	setIntSep(buf, 0, sepK, sepV)
+	return t.setRoot(tx, newRoot)
+}
+
+// insertRec inserts into the subtree rooted at rid; on a split it returns
+// the separator and the new right sibling's record ID.
+func (t *MVBTree) insertRec(tx *core.Txn, rid storage.RecordID, key, val uint64) (sepK, sepV uint64, right storage.RecordID, split bool, err error) {
+	data, err := tx.Read(t.tbl, rid)
+	if err != nil {
+		return 0, 0, 0, false, fmt.Errorf("btree: node %d: %w", rid, err)
+	}
+	if nodeIsLeaf(data) {
+		return t.insertLeaf(tx, rid, data, key, val)
+	}
+	n := nodeN(data)
+	ci := 0
+	for ci < n {
+		sk, sv := intSep(data, ci)
+		if cmpKV(key, val, sk, sv) < 0 {
+			break
+		}
+		ci++
+	}
+	childSepK, childSepV, childRight, childSplit, err := t.insertRec(tx, intChild(data, ci), key, val)
+	if err != nil || !childSplit {
+		return 0, 0, 0, false, err
+	}
+	// Insert (childSep, childRight) after child ci.
+	if n < intCap {
+		buf, err := tx.Update(t.tbl, rid, -1)
+		if err != nil {
+			return 0, 0, 0, false, err
+		}
+		for j := n; j > ci; j-- {
+			sk, sv := intSep(buf, j-1)
+			setIntSep(buf, j, sk, sv)
+			setIntChild(buf, j+1, intChild(buf, j))
+		}
+		setIntSep(buf, ci, childSepK, childSepV)
+		setIntChild(buf, ci+1, childRight)
+		setNodeN(buf, n+1)
+		return 0, 0, 0, false, nil
+	}
+	// Split the internal node: gather intCap+1 separators and intCap+2
+	// children, promote the middle separator.
+	var seps [intCap + 1][2]uint64
+	var kids [intCap + 2]storage.RecordID
+	for j := 0; j < ci; j++ {
+		sk, sv := intSep(data, j)
+		seps[j] = [2]uint64{sk, sv}
+	}
+	seps[ci] = [2]uint64{childSepK, childSepV}
+	for j := ci; j < n; j++ {
+		sk, sv := intSep(data, j)
+		seps[j+1] = [2]uint64{sk, sv}
+	}
+	for j := 0; j <= ci; j++ {
+		kids[j] = intChild(data, j)
+	}
+	kids[ci+1] = childRight
+	for j := ci + 1; j <= n; j++ {
+		kids[j+1] = intChild(data, j)
+	}
+	const mid = (intCap + 1) / 2 // promoted separator index
+	rightRid, rbuf, err := tx.Insert(t.tbl, nodeSize)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	clearBytes(rbuf)
+	rn := intCap - mid
+	setNodeN(rbuf, rn)
+	for j := 0; j < rn; j++ {
+		setIntSep(rbuf, j, seps[mid+1+j][0], seps[mid+1+j][1])
+	}
+	for j := 0; j <= rn; j++ {
+		setIntChild(rbuf, j, kids[mid+1+j])
+	}
+	lbuf, err := tx.Update(t.tbl, rid, -1)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	clearBytes(lbuf)
+	setNodeN(lbuf, mid)
+	for j := 0; j < mid; j++ {
+		setIntSep(lbuf, j, seps[j][0], seps[j][1])
+	}
+	for j := 0; j <= mid; j++ {
+		setIntChild(lbuf, j, kids[j])
+	}
+	return seps[mid][0], seps[mid][1], rightRid, true, nil
+}
+
+func (t *MVBTree) insertLeaf(tx *core.Txn, rid storage.RecordID, data []byte, key, val uint64) (sepK, sepV uint64, right storage.RecordID, split bool, err error) {
+	n := nodeN(data)
+	pos := 0
+	for pos < n {
+		k, v := leafPair(data, pos)
+		c := cmpKV(key, val, k, v)
+		if c == 0 {
+			return 0, 0, 0, false, ErrDuplicate
+		}
+		if c < 0 {
+			break
+		}
+		pos++
+	}
+	if n < leafCap {
+		buf, err := tx.Update(t.tbl, rid, -1)
+		if err != nil {
+			return 0, 0, 0, false, err
+		}
+		for j := n; j > pos; j-- {
+			k, v := leafPair(buf, j-1)
+			setLeafPair(buf, j, k, v)
+		}
+		setLeafPair(buf, pos, key, val)
+		setNodeN(buf, n+1)
+		return 0, 0, 0, false, nil
+	}
+	// Split: distribute leafCap+1 pairs across the two leaves.
+	var pairs [leafCap + 1][2]uint64
+	for j := 0; j < pos; j++ {
+		k, v := leafPair(data, j)
+		pairs[j] = [2]uint64{k, v}
+	}
+	pairs[pos] = [2]uint64{key, val}
+	for j := pos; j < n; j++ {
+		k, v := leafPair(data, j)
+		pairs[j+1] = [2]uint64{k, v}
+	}
+	const keep = (leafCap + 1 + 1) / 2 // left keeps 7 of 13
+	rightRid, rbuf, err := tx.Insert(t.tbl, nodeSize)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	clearBytes(rbuf)
+	rbuf[0] = 1
+	rn := leafCap + 1 - keep
+	setNodeN(rbuf, rn)
+	oldNext, oldOK := leafNext(data)
+	setLeafNext(rbuf, oldNext, oldOK)
+	for j := 0; j < rn; j++ {
+		setLeafPair(rbuf, j, pairs[keep+j][0], pairs[keep+j][1])
+	}
+	lbuf, err := tx.Update(t.tbl, rid, -1)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	clearBytes(lbuf[10:]) // keep flags; next is rewritten below
+	setNodeN(lbuf, keep)
+	setLeafNext(lbuf, rightRid, true)
+	for j := 0; j < keep; j++ {
+		setLeafPair(lbuf, j, pairs[j][0], pairs[j][1])
+	}
+	return pairs[keep][0], pairs[keep][1], rightRid, true, nil
+}
+
+// Delete removes (key → rid); ErrNotFound if absent. Leaves are never
+// merged (lazy deletion).
+func (t *MVBTree) Delete(tx *core.Txn, key uint64, rid storage.RecordID) error {
+	leafRid, data, err := t.descendToLeaf(tx, key, uint64(rid))
+	if errors.Is(err, core.ErrNotFound) {
+		return core.ErrNotFound
+	}
+	if err != nil {
+		return err
+	}
+	n := nodeN(data)
+	for i := 0; i < n; i++ {
+		k, v := leafPair(data, i)
+		if k == key && v == uint64(rid) {
+			buf, uerr := tx.Update(t.tbl, leafRid, -1)
+			if uerr != nil {
+				return uerr
+			}
+			for j := i; j < n-1; j++ {
+				nk, nv := leafPair(buf, j+1)
+				setLeafPair(buf, j, nk, nv)
+			}
+			setLeafPair(buf, n-1, 0, 0)
+			setNodeN(buf, n-1)
+			return nil
+		}
+	}
+	return core.ErrNotFound
+}

@@ -1,0 +1,259 @@
+// Package index implements Cicada's multi-version indexes (§3.6). Both the
+// hash index and the B+-tree store their nodes as records in ordinary Cicada
+// tables: node reads join the transaction's read set and node writes stay in
+// thread-local memory until validation, so index updates are deferred
+// automatically, aborted transactions never touch global index state, and
+// index-node validation precludes phantoms. Node records are sized to fit
+// Cicada's inline limit (≤ 216 bytes), so hot index nodes avoid indirection
+// via best-effort inlining (§3.3, §4.6).
+package index
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"cicada/internal/core"
+	"cicada/internal/storage"
+)
+
+// Errors returned by index operations (in addition to transaction errors).
+var (
+	// ErrDuplicate reports a unique-key violation.
+	ErrDuplicate = errors.New("index: duplicate key")
+	// ErrUnsupported reports a scan on an unordered index.
+	ErrUnsupported = errors.New("index: operation not supported")
+)
+
+// MVIndex is the interface shared by the multi-version hash index and
+// B+-tree. All operations run inside the caller's transaction.
+type MVIndex interface {
+	// Get returns the first record ID for key.
+	Get(tx *core.Txn, key uint64) (storage.RecordID, error)
+	// Insert adds (key → rid).
+	Insert(tx *core.Txn, key uint64, rid storage.RecordID) error
+	// Delete removes (key → rid).
+	Delete(tx *core.Txn, key uint64, rid storage.RecordID) error
+	// Scan visits entries with lo ≤ key ≤ hi in key order (ordered
+	// indexes only) until fn returns false or limit entries are emitted.
+	Scan(tx *core.Txn, lo, hi uint64, limit int, fn func(key uint64, rid storage.RecordID) bool) error
+}
+
+// Hash bucket record layout (fits the 216-byte inline limit):
+//
+//	[0:2)    count (uint16)
+//	[2:10)   overflow bucket record ID + 1 (uint64, 0 = none)
+//	[10:202) pairs: bucketCap × (key uint64, rid uint64)
+const (
+	bucketCap  = 12
+	bucketHdr  = 10
+	bucketSize = bucketHdr + bucketCap*16
+)
+
+// MVHash is Cicada's multi-version hash index: a fixed array of bucket
+// records plus overflow bucket chains, all stored in a Cicada table. An
+// absent bucket record means an empty bucket, so no initialization pass is
+// needed; absent-bucket reads are validated like any other read.
+type MVHash struct {
+	tbl     *core.Table
+	buckets uint64
+	unique  bool
+}
+
+// NewMVHash creates a multi-version hash index backed by its own table.
+// buckets is rounded up to a power of two.
+func NewMVHash(e *core.Engine, name string, capacityHint int, unique bool) *MVHash {
+	n := uint64(1)
+	for int(n) < capacityHint/bucketCap+1 {
+		n <<= 1
+	}
+	h := &MVHash{tbl: e.CreateTable(name), buckets: n, unique: unique}
+	h.tbl.Storage().Reserve(n) // bucket heads exist; no versions yet
+	return h
+}
+
+// Table exposes the backing table (for inspection in tests/benchmarks).
+func (h *MVHash) Table() *core.Table { return h.tbl }
+
+func (h *MVHash) bucket(key uint64) storage.RecordID {
+	return storage.RecordID((key * 0x9E3779B97F4A7C15) & (h.buckets - 1))
+}
+
+func bucketCount(b []byte) int       { return int(binary.LittleEndian.Uint16(b[0:2])) }
+func setBucketCount(b []byte, n int) { binary.LittleEndian.PutUint16(b[0:2], uint16(n)) }
+func bucketOverflow(b []byte) (storage.RecordID, bool) {
+	v := binary.LittleEndian.Uint64(b[2:10])
+	if v == 0 {
+		return 0, false
+	}
+	return storage.RecordID(v - 1), true
+}
+func setBucketOverflow(b []byte, rid storage.RecordID) {
+	binary.LittleEndian.PutUint64(b[2:10], uint64(rid)+1)
+}
+func bucketPair(b []byte, i int) (uint64, storage.RecordID) {
+	off := bucketHdr + i*16
+	return binary.LittleEndian.Uint64(b[off:]),
+		storage.RecordID(binary.LittleEndian.Uint64(b[off+8:]))
+}
+func setBucketPair(b []byte, i int, key uint64, rid storage.RecordID) {
+	off := bucketHdr + i*16
+	binary.LittleEndian.PutUint64(b[off:], key)
+	binary.LittleEndian.PutUint64(b[off+8:], uint64(rid))
+}
+
+// Get returns the first record ID for key.
+func (h *MVHash) Get(tx *core.Txn, key uint64) (storage.RecordID, error) {
+	cur := h.bucket(key)
+	for {
+		data, err := tx.Read(h.tbl, cur)
+		if errors.Is(err, core.ErrNotFound) {
+			return storage.InvalidRecordID, core.ErrNotFound
+		}
+		if err != nil {
+			return storage.InvalidRecordID, err
+		}
+		n := bucketCount(data)
+		for i := 0; i < n; i++ {
+			if k, r := bucketPair(data, i); k == key {
+				return r, nil
+			}
+		}
+		ov, ok := bucketOverflow(data)
+		if !ok {
+			return storage.InvalidRecordID, core.ErrNotFound
+		}
+		cur = ov
+	}
+}
+
+// GetAll appends every record ID for key to dst.
+func (h *MVHash) GetAll(tx *core.Txn, key uint64, dst []storage.RecordID) ([]storage.RecordID, error) {
+	cur := h.bucket(key)
+	for {
+		data, err := tx.Read(h.tbl, cur)
+		if errors.Is(err, core.ErrNotFound) {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, err
+		}
+		n := bucketCount(data)
+		for i := 0; i < n; i++ {
+			if k, r := bucketPair(data, i); k == key {
+				dst = append(dst, r)
+			}
+		}
+		ov, ok := bucketOverflow(data)
+		if !ok {
+			return dst, nil
+		}
+		cur = ov
+	}
+}
+
+// Insert adds (key → rid), allocating overflow buckets as needed. For a
+// unique index it returns ErrDuplicate if the key exists.
+func (h *MVHash) Insert(tx *core.Txn, key uint64, rid storage.RecordID) error {
+	cur := h.bucket(key)
+	for {
+		data, err := tx.Read(h.tbl, cur)
+		if errors.Is(err, core.ErrNotFound) {
+			// Empty bucket: materialize it with a blind write (validated
+			// against concurrent materialization via the absent-read check).
+			buf, werr := tx.Write(h.tbl, cur, bucketSize)
+			if werr != nil {
+				return werr
+			}
+			clearBytes(buf)
+			setBucketCount(buf, 1)
+			setBucketPair(buf, 0, key, rid)
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		n := bucketCount(data)
+		if h.unique {
+			for i := 0; i < n; i++ {
+				if k, _ := bucketPair(data, i); k == key {
+					return ErrDuplicate
+				}
+			}
+		}
+		if n < bucketCap {
+			buf, uerr := tx.Update(h.tbl, cur, -1)
+			if uerr != nil {
+				return uerr
+			}
+			setBucketCount(buf, n+1)
+			setBucketPair(buf, n, key, rid)
+			return nil
+		}
+		ov, ok := bucketOverflow(data)
+		if ok {
+			cur = ov
+			continue
+		}
+		if h.unique {
+			// Uniqueness was checked on every bucket in the chain; fall
+			// through to allocate the overflow.
+		}
+		ovRid, ovBuf, ierr := tx.Insert(h.tbl, bucketSize)
+		if ierr != nil {
+			return ierr
+		}
+		clearBytes(ovBuf)
+		setBucketCount(ovBuf, 1)
+		setBucketPair(ovBuf, 0, key, rid)
+		buf, uerr := tx.Update(h.tbl, cur, -1)
+		if uerr != nil {
+			return uerr
+		}
+		setBucketOverflow(buf, ovRid)
+		return nil
+	}
+}
+
+// Delete removes (key → rid); ErrNotFound if the pair is absent.
+func (h *MVHash) Delete(tx *core.Txn, key uint64, rid storage.RecordID) error {
+	cur := h.bucket(key)
+	for {
+		data, err := tx.Read(h.tbl, cur)
+		if errors.Is(err, core.ErrNotFound) {
+			return core.ErrNotFound
+		}
+		if err != nil {
+			return err
+		}
+		n := bucketCount(data)
+		for i := 0; i < n; i++ {
+			if k, r := bucketPair(data, i); k == key && r == rid {
+				buf, uerr := tx.Update(h.tbl, cur, -1)
+				if uerr != nil {
+					return uerr
+				}
+				lk, lr := bucketPair(buf, n-1)
+				setBucketPair(buf, i, lk, lr)
+				setBucketPair(buf, n-1, 0, 0)
+				setBucketCount(buf, n-1)
+				return nil
+			}
+		}
+		ov, ok := bucketOverflow(data)
+		if !ok {
+			return core.ErrNotFound
+		}
+		cur = ov
+	}
+}
+
+// Scan is unsupported on hash indexes.
+func (h *MVHash) Scan(tx *core.Txn, lo, hi uint64, limit int, fn func(uint64, storage.RecordID) bool) error {
+	return ErrUnsupported
+}
+
+func clearBytes(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

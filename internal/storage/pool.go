@@ -1,0 +1,80 @@
+package storage
+
+import "math/bits"
+
+// VersionPool is a per-worker free list of non-inline versions, bucketed by
+// power-of-two size class. Cicada's rapid garbage collection returns detached
+// versions to the committing worker's local pool (§3.8), so version
+// allocation rarely reaches the global allocator in steady state.
+//
+// A VersionPool is not safe for concurrent use; each worker owns one.
+type VersionPool struct {
+	classes [poolClasses][]*Version
+	// Gets and News count pool hits and fresh allocations, exposed for the
+	// space-overhead measurements in Figure 9.
+	Gets uint64
+	News uint64
+}
+
+const (
+	poolMinShift = 6 // smallest class: 64 bytes
+	poolClasses  = 11
+	poolMaxSize  = 1 << (poolMinShift + poolClasses - 1) // 64 KiB
+)
+
+func poolClass(size int) int {
+	if size <= 1<<poolMinShift {
+		return 0
+	}
+	c := bits.Len(uint(size-1)) - poolMinShift
+	return c
+}
+
+// Get returns a version with room for size bytes, reusing a pooled one when
+// possible.
+func (p *VersionPool) Get(size int) *Version {
+	p.Gets++
+	if size <= poolMaxSize {
+		c := poolClass(size)
+		if n := len(p.classes[c]); n > 0 {
+			v := p.classes[c][n-1]
+			p.classes[c] = p.classes[c][:n-1]
+			v.Reset(size)
+			return v
+		}
+		// Allocate at full class capacity so the buffer can serve any
+		// future request in the class.
+		p.News++
+		v := NewVersion(1 << (poolMinShift + c))
+		v.Reset(size)
+		return v
+	}
+	p.News++
+	return NewVersion(size)
+}
+
+// Put returns a version to the pool. Inline versions are never pooled: their
+// storage belongs to the record head.
+func (p *VersionPool) Put(v *Version) {
+	if v == nil || v.inline {
+		return
+	}
+	size := cap(v.buf)
+	if size == 0 || size > poolMaxSize {
+		return
+	}
+	c := poolClass(size)
+	if 1<<(poolMinShift+c) != size {
+		// Buffer is not exactly a class size (externally built); round down
+		// so Get's capacity promise holds.
+		if c == 0 {
+			return
+		}
+		c--
+	}
+	if len(p.classes[c]) >= 1024 {
+		return // cap pool growth; let the Go GC take the rest
+	}
+	v.next.Store(nil)
+	p.classes[c] = append(p.classes[c], v)
+}

@@ -1,0 +1,289 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"cicada/internal/clock"
+)
+
+func TestStatusString(t *testing.T) {
+	cases := map[Status]string{
+		StatusUnused:    "UNUSED",
+		StatusPending:   "PENDING",
+		StatusCommitted: "COMMITTED",
+		StatusAborted:   "ABORTED",
+		StatusDeleted:   "DELETED",
+		Status(99):      "INVALID",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestRaiseRTSMonotonic(t *testing.T) {
+	v := NewVersion(8)
+	v.RaiseRTS(100)
+	if v.RTS() != 100 {
+		t.Fatalf("rts = %v, want 100", v.RTS())
+	}
+	v.RaiseRTS(50) // lower: must not move
+	if v.RTS() != 100 {
+		t.Fatalf("rts lowered to %v", v.RTS())
+	}
+	v.RaiseRTS(200)
+	if v.RTS() != 200 {
+		t.Fatalf("rts = %v, want 200", v.RTS())
+	}
+}
+
+func TestRaiseRTSConcurrent(t *testing.T) {
+	v := NewVersion(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= 1000; i++ {
+				v.RaiseRTS(clock.Timestamp(i*8 + w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := v.RTS(); got != clock.Timestamp(1000*8+7) {
+		t.Fatalf("final rts = %v, want %v", got, 1000*8+7)
+	}
+}
+
+func TestVersionResetReusesBuffer(t *testing.T) {
+	v := NewVersion(128)
+	buf := &v.buf[0]
+	v.Reset(64)
+	if &v.buf[0] != buf {
+		t.Fatal("Reset reallocated a sufficient buffer")
+	}
+	if len(v.Data) != 64 {
+		t.Fatalf("Data len = %d, want 64", len(v.Data))
+	}
+	v.Reset(256)
+	if len(v.Data) != 256 {
+		t.Fatalf("Data len = %d, want 256", len(v.Data))
+	}
+}
+
+func TestTableAllocAndHead(t *testing.T) {
+	tbl := NewTable("t", 2, true)
+	if tbl.Head(0) != nil {
+		t.Fatal("head exists before allocation")
+	}
+	rid := tbl.AllocRecordID(0)
+	if rid != 0 {
+		t.Fatalf("first rid = %d", rid)
+	}
+	h := tbl.Head(rid)
+	if h == nil {
+		t.Fatal("allocated head missing")
+	}
+	if h.Latest() != nil {
+		t.Fatal("fresh head has a version")
+	}
+	if tbl.Cap() != 1 {
+		t.Fatalf("cap = %d", tbl.Cap())
+	}
+}
+
+func TestTableGrowthAcrossPages(t *testing.T) {
+	tbl := NewTable("t", 1, true)
+	n := uint64(pageSize*3 + 17)
+	first := tbl.Reserve(n)
+	if first != 0 {
+		t.Fatalf("first = %d", first)
+	}
+	for i := uint64(0); i < n; i += 997 {
+		if tbl.Head(RecordID(i)) == nil {
+			t.Fatalf("head %d missing after reserve", i)
+		}
+	}
+	if tbl.Head(RecordID(n+pageSize)) != nil {
+		t.Fatal("head beyond reservation exists")
+	}
+}
+
+func TestTableConcurrentAlloc(t *testing.T) {
+	const workers = 8
+	const per = 2000
+	tbl := NewTable("t", workers, true)
+	got := make([][]RecordID, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ids := make([]RecordID, 0, per)
+			for i := 0; i < per; i++ {
+				ids = append(ids, tbl.AllocRecordID(w))
+			}
+			got[w] = ids
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[RecordID]bool, workers*per)
+	for _, ids := range got {
+		for _, rid := range ids {
+			if seen[rid] {
+				t.Fatalf("duplicate rid %d", rid)
+			}
+			seen[rid] = true
+			if tbl.Head(rid) == nil {
+				t.Fatalf("rid %d has no head", rid)
+			}
+		}
+	}
+}
+
+func TestFreeRecordIDReuse(t *testing.T) {
+	tbl := NewTable("t", 1, true)
+	rid := tbl.AllocRecordID(0)
+	v := NewVersion(8)
+	tbl.Head(rid).latest.Store(v)
+	tbl.FreeRecordID(0, rid)
+	if tbl.Head(rid).Latest() != nil {
+		t.Fatal("freed head retains version list")
+	}
+	again := tbl.AllocRecordID(0)
+	if again != rid {
+		t.Fatalf("freed rid not reused: got %d want %d", again, rid)
+	}
+}
+
+func TestInlineAcquireRelease(t *testing.T) {
+	tbl := NewTable("t", 1, true)
+	h := tbl.Head(tbl.AllocRecordID(0))
+	v, ok := h.TryAcquireInline(100)
+	if !ok {
+		t.Fatal("inline acquire failed on fresh head")
+	}
+	if !v.Inline() {
+		t.Fatal("acquired version not marked inline")
+	}
+	if len(v.Data) != 100 {
+		t.Fatalf("inline data len = %d", len(v.Data))
+	}
+	if _, ok := h.TryAcquireInline(10); ok {
+		t.Fatal("double inline acquire succeeded")
+	}
+	v.SetStatus(StatusCommitted) // simulate commit; then reclaim
+	h.ReleaseInline()
+	if _, ok := h.TryAcquireInline(InlineSize); !ok {
+		t.Fatal("inline not reusable after release")
+	}
+}
+
+func TestInlineTooLarge(t *testing.T) {
+	tbl := NewTable("t", 1, true)
+	h := tbl.Head(tbl.AllocRecordID(0))
+	if _, ok := h.TryAcquireInline(InlineSize + 1); ok {
+		t.Fatal("oversized inline acquire succeeded")
+	}
+}
+
+func TestInlineConcurrentAcquire(t *testing.T) {
+	tbl := NewTable("t", 1, true)
+	h := tbl.Head(tbl.AllocRecordID(0))
+	var wins atomic32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, ok := h.TryAcquireInline(8); ok {
+				wins.add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if wins.load() != 1 {
+		t.Fatalf("inline acquired %d times", wins.load())
+	}
+}
+
+type atomic32 struct {
+	v sync.Mutex
+	n int
+}
+
+func (a *atomic32) add(d int) { a.v.Lock(); a.n += d; a.v.Unlock() }
+func (a *atomic32) load() int { a.v.Lock(); defer a.v.Unlock(); return a.n }
+
+func TestGCLock(t *testing.T) {
+	tbl := NewTable("t", 1, true)
+	h := tbl.Head(tbl.AllocRecordID(0))
+	if !h.TryLockGC() {
+		t.Fatal("first gc lock failed")
+	}
+	if h.TryLockGC() {
+		t.Fatal("second gc lock succeeded")
+	}
+	h.UnlockGC()
+	if !h.TryLockGC() {
+		t.Fatal("gc lock not reusable")
+	}
+}
+
+func TestPoolClassProperty(t *testing.T) {
+	f := func(raw uint16) bool {
+		size := int(raw)%poolMaxSize + 1
+		c := poolClass(size)
+		if c < 0 || c >= poolClasses {
+			return false
+		}
+		return 1<<(poolMinShift+c) >= size && (c == 0 || 1<<(poolMinShift+c-1) < size)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolReuse(t *testing.T) {
+	var p VersionPool
+	v := p.Get(100)
+	if len(v.Data) != 100 {
+		t.Fatalf("data len = %d", len(v.Data))
+	}
+	p.Put(v)
+	v2 := p.Get(80)
+	if v2 != v {
+		t.Fatal("pool did not reuse same-class version")
+	}
+	if p.News != 1 {
+		t.Fatalf("News = %d, want 1", p.News)
+	}
+}
+
+func TestPoolNeverPoolsInline(t *testing.T) {
+	tbl := NewTable("t", 1, true)
+	h := tbl.Head(tbl.AllocRecordID(0))
+	v, _ := h.TryAcquireInline(8)
+	var p VersionPool
+	p.Put(v)
+	got := p.Get(8)
+	if got == v {
+		t.Fatal("inline version leaked into pool")
+	}
+}
+
+func TestPoolLargeBypasses(t *testing.T) {
+	var p VersionPool
+	v := p.Get(poolMaxSize * 2)
+	if len(v.Data) != poolMaxSize*2 {
+		t.Fatalf("large get len = %d", len(v.Data))
+	}
+	p.Put(v)
+	v2 := p.Get(poolMaxSize * 2)
+	if v2 == v {
+		t.Fatal("oversized version was pooled")
+	}
+}

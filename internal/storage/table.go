@@ -1,0 +1,250 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cicada/internal/clock"
+)
+
+// RecordID locates a record within a table: it is the record's index in the
+// table's expandable head array. Indexes store RecordIDs as values, never raw
+// pointers (§3.6).
+type RecordID uint64
+
+// InvalidRecordID is a sentinel for "no record".
+const InvalidRecordID = ^RecordID(0)
+
+// pageShift selects the number of record heads per page. With 4096 heads of
+// ~320 bytes each a page is ~1.3 MiB, mirroring the paper's 2 MiB pages.
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+// Head is the per-record metadata node stored in the table array: the anchor
+// of the version list, the embedded inline version, and the separate garbage
+// collection structure (gc lock and record.min_wts, §3.8).
+type Head struct {
+	// latest points to the newest version in the record's version list.
+	latest atomic.Pointer[Version]
+	// inlined is the preallocated inline version; its Data aliases inlineBuf.
+	inlined Version
+	// inlineBuf is the inline version's embedded payload buffer.
+	inlineBuf [InlineSize]byte
+	// gcLock serializes concurrent garbage collection of this record.
+	gcLock atomic.Uint32
+	// gcMinWTS is record.min_wts: the write timestamp below which the
+	// record's versions have been detached. It guards against dangling
+	// garbage collection items.
+	gcMinWTS atomic.Uint64
+	// absentRTS is the maximum timestamp of a (possibly committed)
+	// transaction that observed this record as absent (no visible version).
+	// Writers installing a version below it must abort, which closes the
+	// read-absent / blind-write race for direct record-ID access; index
+	// accesses get the same guarantee from index node validation (§3.6).
+	absentRTS atomic.Uint64
+}
+
+// AbsentRTS returns the record's absence read timestamp.
+func (h *Head) AbsentRTS() clock.Timestamp { return clock.Timestamp(h.absentRTS.Load()) }
+
+// RaiseAbsentRTS raises the absence read timestamp to at least ts.
+func (h *Head) RaiseAbsentRTS(ts clock.Timestamp) {
+	for {
+		cur := h.absentRTS.Load()
+		if cur >= uint64(ts) || h.absentRTS.CompareAndSwap(cur, uint64(ts)) {
+			return
+		}
+	}
+}
+
+// Latest returns the newest version in the record's version list, or nil if
+// the record has never been written.
+func (h *Head) Latest() *Version { return h.latest.Load() }
+
+// CASLatest atomically swings the list anchor; used for version installation
+// at the head position and for unlinking an aborted latest version.
+func (h *Head) CASLatest(old, new *Version) bool {
+	return h.latest.CompareAndSwap(old, new)
+}
+
+// InlineVersion returns the head-embedded inline version slot.
+func (h *Head) InlineVersion() *Version { return &h.inlined }
+
+// TryAcquireInline attempts to take ownership of the inline version for a
+// new write of size bytes using a CAS on its status (UNUSED → PENDING). On
+// success the inline version's Data is sized to size and the caller owns the
+// slot (§3.3).
+func (h *Head) TryAcquireInline(size int) (*Version, bool) {
+	if size > InlineSize {
+		return nil, false
+	}
+	v := &h.inlined
+	if !v.CASStatus(StatusUnused, StatusPending) {
+		return nil, false
+	}
+	v.inline = true
+	v.WTS = 0
+	v.rts.Store(0)
+	v.next.Store(nil)
+	v.Data = h.inlineBuf[:size]
+	return v, true
+}
+
+// ReleaseInline returns the inline version to the UNUSED state so a future
+// write can claim it. The caller must guarantee the slot is unreachable.
+func (h *Head) ReleaseInline() {
+	v := &h.inlined
+	v.WTS = 0
+	v.rts.Store(0)
+	v.next.Store(nil)
+	v.Data = nil
+	v.SetStatus(StatusUnused)
+}
+
+// TryLockGC attempts to acquire the record's garbage collection lock.
+func (h *Head) TryLockGC() bool { return h.gcLock.CompareAndSwap(0, 1) }
+
+// UnlockGC releases the garbage collection lock.
+func (h *Head) UnlockGC() { h.gcLock.Store(0) }
+
+// GCMinWTS returns record.min_wts.
+func (h *Head) GCMinWTS() clock.Timestamp { return clock.Timestamp(h.gcMinWTS.Load()) }
+
+// SetGCMinWTS stores record.min_wts; called under the gc lock.
+func (h *Head) SetGCMinWTS(ts clock.Timestamp) { h.gcMinWTS.Store(uint64(ts)) }
+
+type page struct {
+	heads [pageSize]Head
+}
+
+// Table is an expandable array of record heads with two-level paging. Record
+// IDs are allocated from a bump counter with per-worker caching plus
+// per-worker free lists of reclaimed IDs.
+type Table struct {
+	name string
+	// dir is the page directory. It grows copy-on-write under growMu;
+	// readers load it atomically and never observe a shrink.
+	dir    atomic.Pointer[[]*page]
+	growMu sync.Mutex
+	// next is the bump allocator for never-used record IDs.
+	next atomic.Uint64
+	// inlining enables best-effort inlining for this table.
+	inlining bool
+	// free holds per-worker free lists of reclaimed record IDs.
+	free []freeList
+}
+
+type freeList struct {
+	ids []RecordID
+	_   [64]byte // keep workers' free lists on separate cache lines
+}
+
+// NewTable creates a table for up to workers concurrent workers. inlining
+// controls best-effort inlining (disable it for the Figure 8 ablation).
+func NewTable(name string, workers int, inlining bool) *Table {
+	if workers < 1 {
+		panic("storage: table needs at least one worker slot")
+	}
+	t := &Table{name: name, inlining: inlining, free: make([]freeList, workers)}
+	empty := make([]*page, 0)
+	t.dir.Store(&empty)
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Inlining reports whether best-effort inlining is enabled.
+func (t *Table) Inlining() bool { return t.inlining }
+
+// Cap returns the number of record IDs ever allocated (the array's logical
+// length). Heads for all IDs below Cap are addressable.
+func (t *Table) Cap() uint64 { return t.next.Load() }
+
+// Head returns the record head for rid, or nil if rid has never been
+// allocated.
+func (t *Table) Head(rid RecordID) *Head {
+	dir := *t.dir.Load()
+	pi := uint64(rid) >> pageShift
+	if pi >= uint64(len(dir)) {
+		return nil
+	}
+	return &dir[pi].heads[uint64(rid)&pageMask]
+}
+
+// AllocRecordID returns an unused record ID for worker. Reclaimed IDs are
+// reused before the bump allocator grows the table.
+func (t *Table) AllocRecordID(worker int) RecordID {
+	fl := &t.free[worker]
+	if n := len(fl.ids); n > 0 {
+		rid := fl.ids[n-1]
+		fl.ids = fl.ids[:n-1]
+		return rid
+	}
+	rid := RecordID(t.next.Add(1) - 1)
+	t.ensure(rid)
+	return rid
+}
+
+// FreeRecordID returns a reclaimed record ID to worker's free list. The
+// caller (garbage collection) must guarantee the record is unreachable.
+func (t *Table) FreeRecordID(worker int, rid RecordID) {
+	h := t.Head(rid)
+	h.latest.Store(nil)
+	h.SetGCMinWTS(0)
+	h.absentRTS.Store(0)
+	h.ReleaseInline()
+	fl := &t.free[worker]
+	fl.ids = append(fl.ids, rid)
+}
+
+// ensure grows the page directory to cover rid.
+func (t *Table) ensure(rid RecordID) {
+	need := (uint64(rid) >> pageShift) + 1
+	if uint64(len(*t.dir.Load())) >= need {
+		return
+	}
+	t.growMu.Lock()
+	defer t.growMu.Unlock()
+	cur := *t.dir.Load()
+	if uint64(len(cur)) >= need {
+		return
+	}
+	grown := make([]*page, need)
+	copy(grown, cur)
+	for i := uint64(len(cur)); i < need; i++ {
+		grown[i] = new(page)
+	}
+	t.dir.Store(&grown)
+}
+
+// RecoverEnsure raises the bump allocator past rid and materializes its
+// head; used by recovery replay.
+func (t *Table) RecoverEnsure(rid RecordID) {
+	for {
+		cur := t.next.Load()
+		if cur > uint64(rid) {
+			break
+		}
+		if t.next.CompareAndSwap(cur, uint64(rid)+1) {
+			break
+		}
+	}
+	t.ensure(rid)
+}
+
+// Reserve pre-allocates heads for n records and returns the first ID. It is
+// used by bulk loaders.
+func (t *Table) Reserve(n uint64) RecordID {
+	first := t.next.Add(n) - n
+	t.ensure(RecordID(first + n - 1))
+	return RecordID(first)
+}
+
+func (t *Table) String() string {
+	return fmt.Sprintf("Table(%s, cap=%d)", t.name, t.Cap())
+}

@@ -1,0 +1,108 @@
+// Package svindex provides the single-version index substrate used by the
+// baseline engines (and by Cicada in the Figure 4 configuration): a sharded
+// concurrent hash index and a lazy concurrent skip list, both with structure
+// stamps that implement Silo-style index node validation for phantom
+// avoidance (§3.6, §4.1). The skip list stands in for Masstree: scans and
+// absent-key probes record per-node stamps, and inserts/deletes bump the
+// stamps a Masstree leaf-node version would cover, so phantom conflicts
+// abort exactly the transactions Silo's node validation would abort.
+package svindex
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cicada/internal/engine"
+)
+
+const hashShards = 256
+
+type hashShard struct {
+	mu sync.RWMutex
+	m  map[uint64][]engine.RecordID
+	// stamp is the shard's structure version: bumped on every insert and
+	// delete, observed by absent-key probes for phantom validation.
+	stamp atomic.Uint64
+	_     [40]byte
+}
+
+// Hash is a concurrent non-unique hash index mapping uint64 keys to record
+// IDs.
+type Hash struct {
+	shards [hashShards]hashShard
+}
+
+// NewHash creates a hash index sized for roughly capacity entries.
+func NewHash(capacity int) *Hash {
+	h := &Hash{}
+	per := capacity/hashShards + 1
+	for i := range h.shards {
+		h.shards[i].m = make(map[uint64][]engine.RecordID, per)
+	}
+	return h
+}
+
+func (h *Hash) shard(key uint64) *hashShard {
+	// Fibonacci hashing spreads sequential keys across shards.
+	return &h.shards[(key*0x9E3779B97F4A7C15)>>56%hashShards]
+}
+
+// Get returns the first record ID for key. On a miss it returns the shard's
+// stamp so the caller can validate the absence at commit.
+func (h *Hash) Get(key uint64) (rid engine.RecordID, ok bool, stamp uint64) {
+	s := h.shard(key)
+	s.mu.RLock()
+	rids := s.m[key]
+	if len(rids) > 0 {
+		rid, ok = rids[0], true
+	} else {
+		stamp = s.stamp.Load()
+	}
+	s.mu.RUnlock()
+	return rid, ok, stamp
+}
+
+// GetAll appends all record IDs for key to dst.
+func (h *Hash) GetAll(key uint64, dst []engine.RecordID) []engine.RecordID {
+	s := h.shard(key)
+	s.mu.RLock()
+	dst = append(dst, s.m[key]...)
+	s.mu.RUnlock()
+	return dst
+}
+
+// Stamp returns the current stamp of key's shard.
+func (h *Hash) Stamp(key uint64) uint64 {
+	return h.shard(key).stamp.Load()
+}
+
+// Insert adds (key → rid).
+func (h *Hash) Insert(key uint64, rid engine.RecordID) {
+	s := h.shard(key)
+	s.mu.Lock()
+	s.m[key] = append(s.m[key], rid)
+	s.stamp.Add(1)
+	s.mu.Unlock()
+}
+
+// Delete removes (key → rid); it reports whether the pair existed.
+func (h *Hash) Delete(key uint64, rid engine.RecordID) bool {
+	s := h.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rids := s.m[key]
+	for i, r := range rids {
+		if r == rid {
+			rids[i] = rids[len(rids)-1]
+			rids = rids[:len(rids)-1]
+			if len(rids) == 0 {
+				delete(s.m, key)
+			} else {
+				s.m[key] = rids
+			}
+			s.stamp.Add(1)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+package svindex
+
+import (
+	"sync"
+	"testing"
+
+	"cicada/internal/engine"
+)
+
+// TestGetSkipsMarkedDuplicate is a regression test: when the first node for
+// a key is logically deleted (marked) but another rid for the same key
+// exists, Get must return the survivor, not a miss.
+func TestGetSkipsMarkedDuplicate(t *testing.T) {
+	s := NewSkipList()
+	s.Insert(7, 1)
+	s.Insert(7, 2)
+	s.Insert(7, 3)
+	// Delete the lowest rid: its node is the first match for key 7.
+	if !s.Delete(7, 1) {
+		t.Fatal("delete failed")
+	}
+	rid, ok := s.Get(7, nil)
+	if !ok || rid != 2 {
+		t.Fatalf("Get(7) = %d, %v; want 2, true", rid, ok)
+	}
+	s.Delete(7, 2)
+	rid, ok = s.Get(7, nil)
+	if !ok || rid != 3 {
+		t.Fatalf("Get(7) = %d, %v; want 3, true", rid, ok)
+	}
+	s.Delete(7, 3)
+	if _, ok := s.Get(7, nil); ok {
+		t.Fatal("Get(7) found a fully deleted key")
+	}
+}
+
+// TestConcurrentGetDuringDeletes hammers Get while duplicates of the same
+// key are inserted and deleted; Get must never return a missing key while
+// at least one rid is always live.
+func TestConcurrentGetDuringDeletes(t *testing.T) {
+	s := NewSkipList()
+	s.Insert(42, 0) // rid 0 is permanent
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5000; i++ {
+			rid := engine.RecordID(1 + i%8)
+			s.Insert(42, rid)
+			s.Delete(42, rid)
+		}
+		close(stop)
+	}()
+	misses := 0
+	for {
+		select {
+		case <-stop:
+			wg.Wait()
+			if misses > 0 {
+				t.Fatalf("Get missed %d times despite a permanent entry", misses)
+			}
+			return
+		default:
+		}
+		if _, ok := s.Get(42, nil); !ok {
+			misses++
+		}
+	}
+}

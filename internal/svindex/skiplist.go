@@ -1,0 +1,298 @@
+package svindex
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cicada/internal/engine"
+)
+
+// SkipList is a lazy concurrent skip list (Herlihy & Shavit §14.3) over
+// composite (key, rid) pairs, so duplicate keys with distinct record IDs are
+// supported. Lookups and scans are lock-free; inserts and deletes lock only
+// the affected predecessors. Every node carries a structure stamp used for
+// Silo-style phantom avoidance: an insert bumps its level-0 predecessor's
+// stamp and a delete bumps both the victim's and the predecessor's, so any
+// scan or absent-key probe whose result could change observes a stamp change.
+type SkipList struct {
+	head *slNode
+	tail *slNode
+	seed atomic.Uint64
+}
+
+const slMaxLevel = 20
+
+type slNode struct {
+	key uint64
+	rid engine.RecordID
+
+	mu          sync.Mutex
+	marked      atomic.Bool
+	fullyLinked atomic.Bool
+	stamp       atomic.Uint64
+	topLevel    int
+	next        [slMaxLevel]atomic.Pointer[slNode]
+
+	isHead, isTail bool
+}
+
+// less orders nodes by (key, rid) with head < everything < tail.
+func (n *slNode) less(key uint64, rid engine.RecordID) bool {
+	if n.isHead {
+		return true
+	}
+	if n.isTail {
+		return false
+	}
+	return n.key < key || (n.key == key && n.rid < rid)
+}
+
+func (n *slNode) equals(key uint64, rid engine.RecordID) bool {
+	return !n.isHead && !n.isTail && n.key == key && n.rid == rid
+}
+
+// NewSkipList creates an empty list.
+func NewSkipList() *SkipList {
+	s := &SkipList{
+		head: &slNode{isHead: true, topLevel: slMaxLevel - 1},
+		tail: &slNode{isTail: true, topLevel: slMaxLevel - 1},
+	}
+	s.head.fullyLinked.Store(true)
+	s.tail.fullyLinked.Store(true)
+	for i := 0; i < slMaxLevel; i++ {
+		s.head.next[i].Store(s.tail)
+	}
+	s.seed.Store(0x2545F4914F6CDD1D)
+	return s
+}
+
+// randomLevel draws a geometric level using a shared xorshift state; the
+// occasional lost race on the seed only perturbs the distribution.
+func (s *SkipList) randomLevel() int {
+	x := s.seed.Load()
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.seed.Store(x)
+	lvl := 0
+	for x&1 == 1 && lvl < slMaxLevel-1 {
+		lvl++
+		x >>= 1
+	}
+	return lvl
+}
+
+// find fills preds/succs for (key, rid) and returns the level at which an
+// exact match was found, or -1.
+func (s *SkipList) find(key uint64, rid engine.RecordID, preds, succs *[slMaxLevel]*slNode) int {
+	found := -1
+	pred := s.head
+	for level := slMaxLevel - 1; level >= 0; level-- {
+		curr := pred.next[level].Load()
+		for curr.less(key, rid) {
+			pred = curr
+			curr = pred.next[level].Load()
+		}
+		if found == -1 && curr.equals(key, rid) {
+			found = level
+		}
+		preds[level] = pred
+		succs[level] = curr
+	}
+	return found
+}
+
+// Insert adds (key, rid); it reports false if the pair already exists.
+func (s *SkipList) Insert(key uint64, rid engine.RecordID) bool {
+	topLevel := s.randomLevel()
+	var preds, succs [slMaxLevel]*slNode
+	for {
+		if lFound := s.find(key, rid, &preds, &succs); lFound != -1 {
+			n := succs[lFound]
+			if !n.marked.Load() {
+				for !n.fullyLinked.Load() {
+					runtime.Gosched()
+				}
+				return false
+			}
+			continue // being removed; retry
+		}
+		// Lock unique predecessors bottom-up.
+		var locked [slMaxLevel]*slNode
+		nLocked := 0
+		valid := true
+		for level := 0; valid && level <= topLevel; level++ {
+			pred, succ := preds[level], succs[level]
+			if nLocked == 0 || locked[nLocked-1] != pred {
+				pred.mu.Lock()
+				locked[nLocked] = pred
+				nLocked++
+			}
+			valid = !pred.marked.Load() && !succ.marked.Load() &&
+				pred.next[level].Load() == succ
+		}
+		if !valid {
+			for i := nLocked - 1; i >= 0; i-- {
+				locked[i].mu.Unlock()
+			}
+			continue
+		}
+		n := &slNode{key: key, rid: rid, topLevel: topLevel}
+		for level := 0; level <= topLevel; level++ {
+			n.next[level].Store(succs[level])
+		}
+		for level := 0; level <= topLevel; level++ {
+			preds[level].next[level].Store(n)
+		}
+		n.fullyLinked.Store(true)
+		// Phantom avoidance: the level-0 predecessor's key range gained an
+		// entry.
+		preds[0].stamp.Add(1)
+		for i := nLocked - 1; i >= 0; i-- {
+			locked[i].mu.Unlock()
+		}
+		return true
+	}
+}
+
+// Delete removes (key, rid); it reports whether the pair existed.
+func (s *SkipList) Delete(key uint64, rid engine.RecordID) bool {
+	var preds, succs [slMaxLevel]*slNode
+	var victim *slNode
+	isMarked := false
+	topLevel := -1
+	for {
+		lFound := s.find(key, rid, &preds, &succs)
+		if !isMarked {
+			if lFound == -1 {
+				return false
+			}
+			victim = succs[lFound]
+			if !victim.fullyLinked.Load() || victim.topLevel != lFound || victim.marked.Load() {
+				return false
+			}
+			topLevel = victim.topLevel
+			victim.mu.Lock()
+			if victim.marked.Load() {
+				victim.mu.Unlock()
+				return false
+			}
+			victim.marked.Store(true)
+			victim.stamp.Add(1)
+			isMarked = true
+		}
+		var locked [slMaxLevel]*slNode
+		nLocked := 0
+		valid := true
+		for level := 0; valid && level <= topLevel; level++ {
+			pred := preds[level]
+			if nLocked == 0 || locked[nLocked-1] != pred {
+				pred.mu.Lock()
+				locked[nLocked] = pred
+				nLocked++
+			}
+			valid = !pred.marked.Load() && pred.next[level].Load() == victim
+		}
+		if !valid {
+			for i := nLocked - 1; i >= 0; i-- {
+				locked[i].mu.Unlock()
+			}
+			continue
+		}
+		for level := topLevel; level >= 0; level-- {
+			preds[level].next[level].Store(victim.next[level].Load())
+		}
+		preds[0].stamp.Add(1)
+		for i := nLocked - 1; i >= 0; i-- {
+			locked[i].mu.Unlock()
+		}
+		victim.mu.Unlock()
+		return true
+	}
+}
+
+// NodeStamp is an observation of one index node's structure stamp, recorded
+// during a scan or an absent-key probe and re-validated at commit.
+type NodeStamp struct {
+	node  *slNode
+	stamp uint64
+}
+
+// Valid reports whether the node's stamp is unchanged since the observation.
+func (o NodeStamp) Valid() bool { return o.node.stamp.Load() == o.stamp }
+
+// Refresh returns the observation re-taken at the node's current stamp. It
+// is used after a transaction's own index updates so they do not invalidate
+// its own earlier observations (Silo treats own node modifications the same
+// way).
+func (o NodeStamp) Refresh() NodeStamp {
+	return NodeStamp{node: o.node, stamp: o.node.stamp.Load()}
+}
+
+// Get returns the first record ID with the given key. On a miss, obs
+// receives the stamp of the node preceding where the key would be.
+func (s *SkipList) Get(key uint64, obs *[]NodeStamp) (engine.RecordID, bool) {
+	pred := s.head
+	for level := slMaxLevel - 1; level >= 0; level-- {
+		curr := pred.next[level].Load()
+		for curr.less(key, 0) {
+			pred = curr
+			curr = pred.next[level].Load()
+		}
+	}
+	for curr := pred.next[0].Load(); !curr.isTail && curr.key == key; curr = curr.next[0].Load() {
+		if !curr.marked.Load() {
+			return curr.rid, true
+		}
+	}
+	if obs != nil {
+		*obs = append(*obs, NodeStamp{node: pred, stamp: pred.stamp.Load()})
+	}
+	return 0, false
+}
+
+// Scan visits pairs with lo ≤ key ≤ hi in order until fn returns false or
+// limit entries have been emitted (limit < 0 = unlimited). When obs is
+// non-nil, the stamps of the visited nodes — including the predecessor of lo
+// and the first node beyond hi — are recorded for phantom validation.
+func (s *SkipList) Scan(lo, hi uint64, limit int, obs *[]NodeStamp, fn func(key uint64, rid engine.RecordID) bool) {
+	pred := s.head
+	for level := slMaxLevel - 1; level >= 0; level-- {
+		curr := pred.next[level].Load()
+		for curr.less(lo, 0) {
+			pred = curr
+			curr = pred.next[level].Load()
+		}
+	}
+	if obs != nil {
+		*obs = append(*obs, NodeStamp{node: pred, stamp: pred.stamp.Load()})
+	}
+	emitted := 0
+	for curr := pred.next[0].Load(); !curr.isTail && curr.key <= hi; curr = curr.next[0].Load() {
+		if curr.marked.Load() {
+			continue
+		}
+		if obs != nil {
+			*obs = append(*obs, NodeStamp{node: curr, stamp: curr.stamp.Load()})
+		}
+		if !fn(curr.key, curr.rid) {
+			return
+		}
+		emitted++
+		if limit >= 0 && emitted >= limit {
+			return
+		}
+	}
+}
+
+// Len counts unmarked entries; O(n), for tests.
+func (s *SkipList) Len() int {
+	n := 0
+	for curr := s.head.next[0].Load(); !curr.isTail; curr = curr.next[0].Load() {
+		if !curr.marked.Load() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,251 @@
+package svindex
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"cicada/internal/engine"
+)
+
+func TestHashBasic(t *testing.T) {
+	h := NewHash(100)
+	if _, ok, _ := h.Get(42); ok {
+		t.Fatal("empty hash hit")
+	}
+	h.Insert(42, 7)
+	rid, ok, _ := h.Get(42)
+	if !ok || rid != 7 {
+		t.Fatalf("get: %d %v", rid, ok)
+	}
+	h.Insert(42, 8)
+	all := h.GetAll(42, nil)
+	if len(all) != 2 {
+		t.Fatalf("getall: %v", all)
+	}
+	if !h.Delete(42, 7) {
+		t.Fatal("delete existing failed")
+	}
+	if h.Delete(42, 7) {
+		t.Fatal("double delete succeeded")
+	}
+	rid, ok, _ = h.Get(42)
+	if !ok || rid != 8 {
+		t.Fatalf("after delete: %d %v", rid, ok)
+	}
+}
+
+func TestHashAbsentStampChanges(t *testing.T) {
+	h := NewHash(100)
+	_, ok, stamp := h.Get(99)
+	if ok {
+		t.Fatal("hit")
+	}
+	h.Insert(99, 1)
+	if h.Stamp(99) == stamp {
+		t.Fatal("stamp unchanged after insert")
+	}
+}
+
+func TestHashConcurrent(t *testing.T) {
+	h := NewHash(1000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				key := uint64(i)
+				h.Insert(key, engine.RecordID(w*1000+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 0; i < 1000; i++ {
+		if got := h.GetAll(uint64(i), nil); len(got) != 8 {
+			t.Fatalf("key %d has %d entries", i, len(got))
+		}
+	}
+}
+
+func TestSkipListBasic(t *testing.T) {
+	s := NewSkipList()
+	if _, ok := s.Get(5, nil); ok {
+		t.Fatal("empty list hit")
+	}
+	if !s.Insert(5, 50) {
+		t.Fatal("insert failed")
+	}
+	if s.Insert(5, 50) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if !s.Insert(5, 51) {
+		t.Fatal("same-key different-rid insert failed")
+	}
+	rid, ok := s.Get(5, nil)
+	if !ok || rid != 50 {
+		t.Fatalf("get: %d %v", rid, ok)
+	}
+	if !s.Delete(5, 50) {
+		t.Fatal("delete failed")
+	}
+	if s.Delete(5, 50) {
+		t.Fatal("double delete succeeded")
+	}
+	rid, ok = s.Get(5, nil)
+	if !ok || rid != 51 {
+		t.Fatalf("after delete: %d %v", rid, ok)
+	}
+}
+
+func TestSkipListOrderedScan(t *testing.T) {
+	s := NewSkipList()
+	keys := rand.New(rand.NewSource(1)).Perm(500)
+	for _, k := range keys {
+		s.Insert(uint64(k), engine.RecordID(k*10))
+	}
+	var got []uint64
+	s.Scan(100, 199, -1, nil, func(k uint64, r engine.RecordID) bool {
+		if r != engine.RecordID(k*10) {
+			t.Fatalf("key %d has rid %d", k, r)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 100 || !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("scan returned %d keys, sorted=%v", len(got),
+			sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }))
+	}
+	if got[0] != 100 || got[99] != 199 {
+		t.Fatalf("range [%d,%d]", got[0], got[99])
+	}
+}
+
+func TestSkipListScanLimit(t *testing.T) {
+	s := NewSkipList()
+	for i := 0; i < 100; i++ {
+		s.Insert(uint64(i), engine.RecordID(i))
+	}
+	n := 0
+	s.Scan(0, 99, 10, nil, func(k uint64, r engine.RecordID) bool { n++; return true })
+	if n != 10 {
+		t.Fatalf("limit scan visited %d", n)
+	}
+	n = 0
+	s.Scan(0, 99, -1, nil, func(k uint64, r engine.RecordID) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early-stop scan visited %d", n)
+	}
+}
+
+func TestSkipListPhantomStamps(t *testing.T) {
+	s := NewSkipList()
+	s.Insert(10, 1)
+	s.Insert(30, 3)
+	// Absent probe for 20 records the predecessor (10).
+	var obs []NodeStamp
+	if _, ok := s.Get(20, &obs); ok {
+		t.Fatal("absent key hit")
+	}
+	if len(obs) != 1 || !obs[0].Valid() {
+		t.Fatalf("obs %v", obs)
+	}
+	// A phantom insert invalidates the observation.
+	s.Insert(20, 2)
+	if obs[0].Valid() {
+		t.Fatal("stamp still valid after phantom insert")
+	}
+
+	// Scan observation invalidated by insert inside the range.
+	obs = obs[:0]
+	s.Scan(0, 100, -1, &obs, func(k uint64, r engine.RecordID) bool { return true })
+	allValid := func() bool {
+		for _, o := range obs {
+			if !o.Valid() {
+				return false
+			}
+		}
+		return true
+	}
+	if !allValid() {
+		t.Fatal("fresh scan stamps invalid")
+	}
+	s.Insert(25, 9)
+	if allValid() {
+		t.Fatal("scan stamps valid after phantom insert")
+	}
+
+	// Delete also invalidates.
+	obs = obs[:0]
+	s.Scan(0, 100, -1, &obs, func(k uint64, r engine.RecordID) bool { return true })
+	s.Delete(25, 9)
+	if allValid() {
+		t.Fatal("scan stamps valid after delete")
+	}
+}
+
+func TestSkipListConcurrent(t *testing.T) {
+	s := NewSkipList()
+	const workers = 8
+	const per = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				k := uint64(rng.Intn(200))
+				r := engine.RecordID(w*per + i)
+				if s.Insert(k, r) && rng.Intn(2) == 0 {
+					s.Delete(k, r)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Structural audit: level-0 order strictly increasing by (key, rid).
+	var prevK uint64
+	var prevR engine.RecordID
+	first := true
+	s.Scan(0, ^uint64(0), -1, nil, func(k uint64, r engine.RecordID) bool {
+		if !first {
+			if k < prevK || (k == prevK && r <= prevR) {
+				t.Fatalf("order violation: (%d,%d) after (%d,%d)", k, r, prevK, prevR)
+			}
+		}
+		first = false
+		prevK, prevR = k, r
+		return true
+	})
+}
+
+func TestSkipListInsertDeleteProperty(t *testing.T) {
+	s := NewSkipList()
+	present := map[[2]uint64]bool{}
+	f := func(key uint16, rid uint16, del bool) bool {
+		k, r := uint64(key%64), engine.RecordID(rid%64)
+		id := [2]uint64{k, uint64(r)}
+		if del {
+			want := present[id]
+			got := s.Delete(k, r)
+			if got != want {
+				return false
+			}
+			delete(present, id)
+		} else {
+			want := !present[id]
+			got := s.Insert(k, r)
+			if got != want {
+				return false
+			}
+			present[id] = true
+		}
+		return s.Len() == len(present)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

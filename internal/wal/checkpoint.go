@@ -1,0 +1,174 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cicada/internal/clock"
+	"cicada/internal/storage"
+)
+
+// StartCheckpointer runs Checkpoint every interval in a background
+// goroutine (the paper's checkpointer threads, §3.7) until the returned
+// stop function is called. Checkpoint errors are delivered to onErr (which
+// may be nil).
+func (m *Manager) StartCheckpointer(interval time.Duration, onErr func(error)) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				if err := m.Checkpoint(); err != nil && onErr != nil {
+					onErr(err)
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Checkpoint writes a transaction-consistent snapshot of every table: the
+// latest committed version of each record as of a safe snapshot timestamp
+// (§3.7). It runs concurrently with transactions — snapshot reads take no
+// locks — and on success purges sealed redo chunks and older checkpoints
+// whose contents the new checkpoint covers.
+func (m *Manager) Checkpoint() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// min_wts recorded at the start; the snapshot is taken at min_rts,
+	// below which no version can still be pending.
+	minWTS := m.eng.Clock().MinWTS()
+	snapTS := m.eng.Clock().MinRTS()
+	tmp := filepath.Join(m.opts.Dir, fmt.Sprintf("checkpoint-%09d.tmp", m.ckptSeq))
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], ckptMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(snapTS))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(m.eng.Tables())))
+	if _, err := w.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	var rec []byte
+	for _, tbl := range m.eng.Tables() {
+		capacity := tbl.Storage().Cap()
+		for rid := storage.RecordID(0); uint64(rid) < capacity; rid++ {
+			data, wts, ok := tbl.SnapshotRecord(rid, snapTS)
+			if !ok {
+				continue
+			}
+			need := 4 + 8 + 8 + 4 + len(data) + 4
+			if cap(rec) < need {
+				rec = make([]byte, need*2)
+			}
+			rec = rec[:need]
+			binary.LittleEndian.PutUint32(rec[0:], uint32(tbl.ID))
+			binary.LittleEndian.PutUint64(rec[4:], uint64(rid))
+			binary.LittleEndian.PutUint64(rec[12:], uint64(wts))
+			binary.LittleEndian.PutUint32(rec[20:], uint32(len(data)))
+			copy(rec[24:], data)
+			crc := crc32.ChecksumIEEE(rec[:need-4])
+			binary.LittleEndian.PutUint32(rec[need-4:], crc)
+			if _, err := w.Write(rec); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	final := filepath.Join(m.opts.Dir, fmt.Sprintf("checkpoint-%09d.ckpt", m.ckptSeq))
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	m.ckptSeq++
+	m.purge(minWTS, final)
+	return nil
+}
+
+// purge removes sealed redo chunks whose newest entry predates the recorded
+// min_wts (they are fully covered by the checkpoint) and older checkpoints.
+func (m *Manager) purge(minWTS clock.Timestamp, keepCkpt string) {
+	entries, err := os.ReadDir(m.opts.Dir)
+	if err != nil {
+		return
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		switch {
+		case strings.HasSuffix(name, ".sealed.log"):
+			if ts, ok := sealedMaxTS(name); ok && ts < minWTS {
+				os.Remove(filepath.Join(m.opts.Dir, name))
+			}
+		case strings.HasSuffix(name, ".ckpt"):
+			if name != filepath.Base(keepCkpt) {
+				os.Remove(filepath.Join(m.opts.Dir, name))
+			}
+		case strings.HasSuffix(name, ".tmp"):
+			if filepath.Join(m.opts.Dir, name) != keepCkpt {
+				os.Remove(filepath.Join(m.opts.Dir, name))
+			}
+		}
+	}
+}
+
+// sealedMaxTS parses the max write timestamp embedded in a sealed chunk
+// name: redo-<logger>-<seq>-<maxts>.sealed.log.
+func sealedMaxTS(name string) (clock.Timestamp, bool) {
+	base := strings.TrimSuffix(name, ".sealed.log")
+	i := strings.LastIndexByte(base, '-')
+	if i < 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(base[i+1:], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return clock.Timestamp(v), true
+}
+
+// latestCheckpoint returns the newest complete checkpoint file in dir.
+func latestCheckpoint(dir string) (string, bool) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", false
+	}
+	var names []string
+	for _, ent := range entries {
+		if strings.HasPrefix(ent.Name(), "checkpoint-") && strings.HasSuffix(ent.Name(), ".ckpt") {
+			names = append(names, ent.Name())
+		}
+	}
+	if len(names) == 0 {
+		return "", false
+	}
+	sort.Strings(names)
+	return filepath.Join(dir, names[len(names)-1]), true
+}

@@ -1,0 +1,157 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cicada/internal/core"
+)
+
+// TestAttachFailsOnUnwritableDir: Attach surfaces filesystem errors.
+func TestAttachFailsOnUnwritableDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: directory permissions are not enforced")
+	}
+	dir := t.TempDir()
+	if err := os.Chmod(dir, 0o500); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o700)
+	e := newEngine(1)
+	e.CreateTable("t")
+	if _, err := Attach(e, Options{Dir: filepath.Join(dir, "sub")}); err == nil {
+		t.Fatal("Attach on unwritable dir succeeded")
+	}
+}
+
+// TestLoggerFailureAbortsTransactions: once the logger hits an I/O error,
+// commits abort instead of losing durability silently.
+func TestLoggerFailureAbortsTransactions(t *testing.T) {
+	dir := t.TempDir()
+	e := newEngine(1)
+	tbl := e.CreateTable("t")
+	m, err := Attach(e, Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := e.Worker(0)
+	if err := w.Run(func(tx *core.Txn) error {
+		_, buf, err := tx.Insert(tbl, 8)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(buf, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Inject a write failure by closing the logger's file underneath it.
+	lg := m.loggers[0]
+	lg.mu.Lock()
+	lg.f.Close()
+	lg.mu.Unlock()
+
+	tx := w.Begin()
+	_, buf, err := tx.Insert(tbl, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint64(buf, 2)
+	if err := tx.Commit(); !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("commit with broken logger: %v", err)
+	}
+	m.stopLoggers()
+}
+
+// TestRecoverEmptyDir: recovering from an empty directory yields an empty,
+// usable database.
+func TestRecoverEmptyDir(t *testing.T) {
+	dir := t.TempDir()
+	e := newEngine(1)
+	tbl := e.CreateTable("t")
+	stats, err := Recover(e, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Installed != 0 || stats.RedoRecords != 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if err := e.Worker(0).Run(func(tx *core.Txn) error {
+		_, buf, err := tx.Insert(tbl, 8)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(buf, 5)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverIgnoresCorruptCheckpoint: a checkpoint with a corrupted record
+// stops cleanly at the corruption; the redo logs still recover the data.
+func TestRecoverIgnoresCorruptCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	e := newEngine(1)
+	tbl := e.CreateTable("t")
+	m, err := Attach(e, Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := e.Worker(0)
+	for i := 0; i < 10; i++ {
+		if err := w.Run(func(tx *core.Txn) error {
+			_, buf, err := tx.Insert(tbl, 8)
+			if err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint64(buf, uint64(i))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Fabricate a corrupt checkpoint that sorts as the newest.
+	bad := filepath.Join(dir, "checkpoint-000000099.ckpt")
+	hdr := make([]byte, 16+40)
+	binary.LittleEndian.PutUint32(hdr, ckptMagic)
+	for i := 16; i < len(hdr); i++ {
+		hdr[i] = 0xAB // garbage record
+	}
+	if err := os.WriteFile(bad, hdr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e2 := newEngine(1)
+	tbl2 := e2.CreateTable("t")
+	stats, err := Recover(e2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RedoRecords != 10 {
+		t.Fatalf("replayed %d", stats.RedoRecords)
+	}
+	if got := tableState(t, e2, tbl2); len(got) != 10 {
+		t.Fatalf("recovered %d records", len(got))
+	}
+}
+
+// TestRecoverRejectsNonCheckpointFile: a file with a wrong magic errors out
+// rather than silently recovering nothing.
+func TestRecoverRejectsNonCheckpointFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "checkpoint-000000001.ckpt"),
+		[]byte("not a checkpoint at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(1)
+	e.CreateTable("t")
+	if _, err := Recover(e, dir); err == nil {
+		t.Fatal("bad checkpoint accepted")
+	}
+}

@@ -1,0 +1,224 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"cicada/internal/clock"
+	"cicada/internal/core"
+	"cicada/internal/storage"
+)
+
+// RecoverStats summarizes a recovery run.
+type RecoverStats struct {
+	// CheckpointRecords is the number of records loaded from the checkpoint.
+	CheckpointRecords int
+	// RedoRecords is the number of redo log records replayed.
+	RedoRecords int
+	// Installed is the number of record versions installed.
+	Installed int
+	// Deleted is the number of records whose newest entry was a delete.
+	Deleted int
+	// MaxTS is the newest write timestamp observed.
+	MaxTS clock.Timestamp
+}
+
+type replayKey struct {
+	table core.TableID
+	rid   storage.RecordID
+}
+
+type replayVal struct {
+	wts     clock.Timestamp
+	data    []byte
+	deleted bool
+}
+
+// Recover replays the newest checkpoint plus all redo logs in dir into eng,
+// which must be freshly created with the same table schema (CreateTable
+// calls in the same order) and must not be running transactions. Each
+// record keeps only its newest version; a record whose newest entry is a
+// delete is not recreated, preserving deletion durability (§3.7). Replay is
+// partitioned across goroutines by record. Afterward the engine's clocks
+// are initialized past every replayed timestamp.
+func Recover(eng *core.Engine, dir string) (RecoverStats, error) {
+	var stats RecoverStats
+	state := make(map[replayKey]replayVal, 1<<16)
+
+	apply := func(k replayKey, v replayVal) {
+		if cur, ok := state[k]; ok && cur.wts >= v.wts {
+			return
+		}
+		state[k] = v
+		if v.wts > stats.MaxTS {
+			stats.MaxTS = v.wts
+		}
+	}
+
+	if ckpt, ok := latestCheckpoint(dir); ok {
+		n, err := readCheckpoint(ckpt, apply)
+		if err != nil {
+			return stats, fmt.Errorf("checkpoint %s: %w", ckpt, err)
+		}
+		stats.CheckpointRecords = n
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return stats, err
+	}
+	var logs []string
+	for _, ent := range entries {
+		if strings.HasPrefix(ent.Name(), "redo-") && strings.HasSuffix(ent.Name(), ".log") {
+			logs = append(logs, filepath.Join(dir, ent.Name()))
+		}
+	}
+	sort.Strings(logs)
+	for _, path := range logs {
+		n, err := readRedo(path, apply)
+		if err != nil {
+			return stats, fmt.Errorf("redo %s: %w", path, err)
+		}
+		stats.RedoRecords += n
+	}
+
+	// Install in parallel, partitioned by record so no two goroutines touch
+	// the same head (§3.7 parallel replay).
+	keys := make([]replayKey, 0, len(state))
+	for k := range state {
+		keys = append(keys, k)
+	}
+	nShards := runtime.GOMAXPROCS(0) * 2
+	if nShards < 2 {
+		nShards = 2
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for s := 0; s < nShards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			installed, deleted := 0, 0
+			for i := s; i < len(keys); i += nShards {
+				k := keys[i]
+				v := state[k]
+				tbl := eng.TableByID(k.table)
+				if v.deleted {
+					tbl.RecoverReserve(k.rid)
+					deleted++
+					continue
+				}
+				tbl.RecoverInstall(k.rid, v.wts, v.data)
+				installed++
+			}
+			mu.Lock()
+			stats.Installed += installed
+			stats.Deleted += deleted
+			mu.Unlock()
+		}(s)
+	}
+	wg.Wait()
+	eng.RecoverFinish(stats.MaxTS)
+	return stats, nil
+}
+
+// readCheckpoint streams checkpoint records into apply, stopping cleanly at
+// a truncated or corrupt tail.
+func readCheckpoint(path string, apply func(replayKey, replayVal)) (int, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if len(buf) < 16 || binary.LittleEndian.Uint32(buf) != ckptMagic {
+		return 0, errors.New("bad checkpoint header")
+	}
+	o := 16
+	n := 0
+	for o+24 <= len(buf) {
+		table := core.TableID(binary.LittleEndian.Uint32(buf[o:]))
+		rid := storage.RecordID(binary.LittleEndian.Uint64(buf[o+4:]))
+		wts := clock.Timestamp(binary.LittleEndian.Uint64(buf[o+12:]))
+		dlen := int(binary.LittleEndian.Uint32(buf[o+20:]))
+		end := o + 24 + dlen + 4
+		if end > len(buf) {
+			break
+		}
+		crc := binary.LittleEndian.Uint32(buf[end-4:])
+		if crc32.ChecksumIEEE(buf[o:end-4]) != crc {
+			break
+		}
+		data := make([]byte, dlen)
+		copy(data, buf[o+24:o+24+dlen])
+		apply(replayKey{table: table, rid: rid}, replayVal{wts: wts, data: data})
+		n++
+		o = end
+	}
+	return n, nil
+}
+
+// readRedo streams redo records into apply, stopping cleanly at a truncated
+// or corrupt tail (a crash mid-write).
+func readRedo(path string, apply func(replayKey, replayVal)) (int, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	o := 0
+	n := 0
+	for o+20 <= len(buf) {
+		if binary.LittleEndian.Uint32(buf[o:]) != redoMagic {
+			break
+		}
+		ts := clock.Timestamp(binary.LittleEndian.Uint64(buf[o+4:]))
+		nEntries := int(binary.LittleEndian.Uint32(buf[o+16:]))
+		p := o + 20
+		type pending struct {
+			k replayKey
+			v replayVal
+		}
+		pendings := make([]pending, 0, nEntries)
+		ok := true
+		for e := 0; e < nEntries; e++ {
+			if p+17 > len(buf) {
+				ok = false
+				break
+			}
+			table := core.TableID(binary.LittleEndian.Uint32(buf[p:]))
+			rid := storage.RecordID(binary.LittleEndian.Uint64(buf[p+4:]))
+			deleted := buf[p+12] == 1
+			dlen := int(binary.LittleEndian.Uint32(buf[p+13:]))
+			p += 17
+			if p+dlen > len(buf) {
+				ok = false
+				break
+			}
+			data := make([]byte, dlen)
+			copy(data, buf[p:p+dlen])
+			p += dlen
+			pendings = append(pendings, pending{
+				k: replayKey{table: table, rid: rid},
+				v: replayVal{wts: ts, data: data, deleted: deleted},
+			})
+		}
+		if !ok || p+4 > len(buf) {
+			break
+		}
+		crc := binary.LittleEndian.Uint32(buf[p:])
+		if crc32.ChecksumIEEE(buf[o+4:p]) != crc {
+			break
+		}
+		for _, pd := range pendings {
+			apply(pd.k, pd.v)
+		}
+		n++
+		o = p + 4
+	}
+	return n, nil
+}

@@ -1,0 +1,307 @@
+// Package wal implements Cicada's durability and recovery design (§3.7):
+// parallel value logging through logger threads that each service a group of
+// workers, group commit, background checkpointing of the latest committed
+// versions, log/checkpoint purging, and parallel replay that installs each
+// record's newest version.
+//
+// A worker hands its validated transaction's write set to its logger before
+// marking versions COMMITTED (the engine's Logger hook runs between
+// validation and the write phase). Loggers append redo records to per-logger
+// chunked files and make them durable on a group-commit interval, following
+// the paper's note that durability may be realized after commit when the
+// application allows it; call Flush for a durability barrier.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"cicada/internal/clock"
+	"cicada/internal/core"
+)
+
+const (
+	redoMagic = 0xC1CADA10
+	ckptMagic = 0xC1CADA2C
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Dir is the directory for redo logs and checkpoints.
+	Dir string
+	// Loggers is the number of logger threads; each services
+	// Workers/Loggers workers (paper: one per NUMA-node worker group).
+	// Default: 1 per 4 workers.
+	Loggers int
+	// GroupCommit is the flush/fsync interval (§3.7 group commit).
+	// Default: 1 ms.
+	GroupCommit time.Duration
+	// ChunkSize rotates redo log files at this size. Default: 1 MiB.
+	ChunkSize int64
+}
+
+func (o *Options) setDefaults(workers int) {
+	if o.Loggers <= 0 {
+		o.Loggers = (workers + 3) / 4
+	}
+	if o.Loggers > workers {
+		o.Loggers = workers
+	}
+	if o.GroupCommit <= 0 {
+		o.GroupCommit = time.Millisecond
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = 1 << 20
+	}
+}
+
+// Manager owns the logger threads and checkpointing for one engine.
+type Manager struct {
+	eng     *core.Engine
+	opts    Options
+	loggers []*logger
+	ckptSeq int
+	mu      sync.Mutex // serializes Checkpoint/Close
+	closed  bool
+}
+
+// Attach creates the log directory, starts logger threads, and installs the
+// engine's durability hook. It must be called before transactions run.
+func Attach(eng *core.Engine, opts Options) (*Manager, error) {
+	opts.setDefaults(eng.Options().Workers)
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	m := &Manager{eng: eng, opts: opts}
+	for i := 0; i < opts.Loggers; i++ {
+		lg, err := newLogger(opts.Dir, i, opts)
+		if err != nil {
+			m.stopLoggers()
+			return nil, err
+		}
+		m.loggers = append(m.loggers, lg)
+	}
+	eng.SetLogger(m)
+	return m, nil
+}
+
+// Log implements core.Logger: encode the redo record and hand it to the
+// worker's logger.
+func (m *Manager) Log(worker int, ts clock.Timestamp, entries []core.LogEntry) error {
+	lg := m.loggers[worker%len(m.loggers)]
+	return lg.submit(ts, worker, entries)
+}
+
+// Flush forces all buffered redo records to stable storage (a durability
+// barrier, in place of waiting out the group-commit interval).
+func (m *Manager) Flush() error {
+	for _, lg := range m.loggers {
+		if err := lg.flushSync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes and stops the loggers.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	err := m.Flush()
+	m.stopLoggers()
+	return err
+}
+
+func (m *Manager) stopLoggers() {
+	for _, lg := range m.loggers {
+		lg.stop()
+	}
+}
+
+// logger owns one chunked redo stream. Workers append redo records under
+// the logger mutex (the OS page cache absorbs the append); a background
+// group-commit goroutine makes the stream durable every GroupCommit
+// interval, so workers never wait for fsync — the paper’s group commit
+// amortization (§3.7).
+type logger struct {
+	dir   string
+	id    int
+	opts  Options
+	done  chan struct{}
+	mu    sync.Mutex // guards file state
+	f     *os.File
+	size  int64
+	seq   int
+	maxTS clock.Timestamp
+	err   error
+}
+
+func newLogger(dir string, id int, opts Options) (*logger, error) {
+	lg := &logger{
+		dir:  dir,
+		id:   id,
+		opts: opts,
+		done: make(chan struct{}),
+	}
+	if err := lg.openChunk(); err != nil {
+		return nil, err
+	}
+	go lg.run()
+	return lg, nil
+}
+
+func (lg *logger) chunkPath(seq int) string {
+	return filepath.Join(lg.dir, fmt.Sprintf("redo-%03d-%09d.log", lg.id, seq))
+}
+
+func (lg *logger) openChunk() error {
+	f, err := os.OpenFile(lg.chunkPath(lg.seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	lg.f = f
+	lg.size = 0
+	return nil
+}
+
+// submit encodes and appends one transaction's redo record. The entry data
+// is copied into the encoded buffer, so the caller's buffers may be reused
+// immediately. A logging failure is returned to the worker, which aborts
+// the transaction (§3.4).
+func (lg *logger) submit(ts clock.Timestamp, worker int, entries []core.LogEntry) error {
+	buf := encodeRedo(ts, worker, entries)
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	if lg.err != nil {
+		return lg.err
+	}
+	if lg.f == nil {
+		return fmt.Errorf("wal: logger %d stopped", lg.id)
+	}
+	lg.writeLocked(buf, ts)
+	return lg.err
+}
+
+func encodeRedo(ts clock.Timestamp, worker int, entries []core.LogEntry) []byte {
+	size := 4 + 8 + 4 + 4
+	for _, e := range entries {
+		size += 4 + 8 + 1 + 4 + len(e.Data)
+	}
+	size += 4 // crc
+	buf := make([]byte, size)
+	o := 0
+	binary.LittleEndian.PutUint32(buf[o:], redoMagic)
+	o += 4
+	binary.LittleEndian.PutUint64(buf[o:], uint64(ts))
+	o += 8
+	binary.LittleEndian.PutUint32(buf[o:], uint32(worker))
+	o += 4
+	binary.LittleEndian.PutUint32(buf[o:], uint32(len(entries)))
+	o += 4
+	for _, e := range entries {
+		binary.LittleEndian.PutUint32(buf[o:], uint32(e.Table))
+		o += 4
+		binary.LittleEndian.PutUint64(buf[o:], uint64(e.Record))
+		o += 8
+		if e.Deleted {
+			buf[o] = 1
+		}
+		o++
+		binary.LittleEndian.PutUint32(buf[o:], uint32(len(e.Data)))
+		o += 4
+		copy(buf[o:], e.Data)
+		o += len(e.Data)
+	}
+	crc := crc32.ChecksumIEEE(buf[4 : size-4])
+	binary.LittleEndian.PutUint32(buf[size-4:], crc)
+	return buf
+}
+
+// run is the group-commit goroutine: it fsyncs the stream every GroupCommit
+// interval until stopped.
+func (lg *logger) run() {
+	tick := time.NewTicker(lg.opts.GroupCommit)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			lg.mu.Lock()
+			lg.syncLocked()
+			lg.mu.Unlock()
+		case <-lg.done:
+			lg.mu.Lock()
+			lg.syncLocked()
+			if lg.f != nil {
+				lg.f.Close()
+				lg.f = nil
+			}
+			lg.mu.Unlock()
+			return
+		}
+	}
+}
+
+func (lg *logger) writeLocked(buf []byte, ts clock.Timestamp) {
+	if _, err := lg.f.Write(buf); err != nil {
+		lg.err = err
+		return
+	}
+	if ts > lg.maxTS {
+		lg.maxTS = ts
+	}
+	lg.size += int64(len(buf))
+	if lg.size >= lg.opts.ChunkSize {
+		lg.rotateLocked()
+	}
+}
+
+// rotateLocked closes the current chunk (renaming it to embed its maximum
+// write timestamp, which drives purging) and opens the next.
+func (lg *logger) rotateLocked() {
+	lg.f.Sync()
+	lg.f.Close()
+	closed := lg.chunkPath(lg.seq)
+	sealed := filepath.Join(lg.dir, fmt.Sprintf("redo-%03d-%09d-%020d.sealed.log", lg.id, lg.seq, uint64(lg.maxTS)))
+	if err := os.Rename(closed, sealed); err != nil {
+		lg.err = err
+		return
+	}
+	lg.seq++
+	lg.maxTS = 0
+	if err := lg.openChunk(); err != nil {
+		lg.err = err
+	}
+}
+
+func (lg *logger) syncLocked() {
+	if lg.err == nil && lg.f != nil {
+		if err := lg.f.Sync(); err != nil {
+			lg.err = err
+		}
+	}
+}
+
+// flushSync fsyncs the stream (a durability barrier).
+func (lg *logger) flushSync() error {
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	lg.syncLocked()
+	return lg.err
+}
+
+func (lg *logger) stop() {
+	select {
+	case <-lg.done:
+	default:
+		close(lg.done)
+	}
+}

@@ -1,0 +1,155 @@
+package tatp
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"cicada/internal/baselines/silo"
+	"cicada/internal/cicadaeng"
+	"cicada/internal/core"
+	"cicada/internal/engine"
+)
+
+func TestKeyPackingDisjoint(t *testing.T) {
+	f := func(s1, s2 uint16, a, b uint8) bool {
+		sa, sb := uint64(s1)+1, uint64(s2)+1
+		ai := uint64(a%4) + 1
+		sf := uint64(b%4) + 1
+		st := uint64(b%3) * 8
+		// Keys for different subscribers never collide.
+		if sa != sb {
+			if aiKey(sa, ai) == aiKey(sb, ai) || sfKey(sa, sf) == sfKey(sb, sf) ||
+				cfKey(sa, sf, st) == cfKey(sb, sf, st) {
+				return false
+			}
+		}
+		// CF keys for the same (s, sf) are ordered by start time.
+		return cfKey(sa, sf, 0) < cfKey(sa, sf, 8) && cfKey(sa, sf, 8) < cfKey(sa, sf, 16)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runMix(t *testing.T, db engine.DB, cfg Config, perWorker int) uint64 {
+	t.Helper()
+	w := Setup(db, cfg)
+	if err := w.Load(); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	engine.WarmUp(db)
+	var direct uint64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for id := 0; id < db.Workers(); id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			g := w.NewGen(id)
+			wk := db.Worker(id)
+			for i := 0; i < perWorker; i++ {
+				if err := g.RunOne(wk); err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+			mu.Lock()
+			direct += g.DirectReads
+			mu.Unlock()
+		}(id)
+	}
+	wg.Wait()
+	return direct
+}
+
+func TestTATPOnCicada(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Subscribers = 2000
+	db := cicadaeng.New(engine.Config{Workers: 4, PhantomAvoidance: true}, core.DefaultOptions(4))
+	runMix(t, db, cfg, 300)
+	if s := db.Stats(); s.Commits == 0 {
+		t.Fatal("no commits")
+	}
+}
+
+func TestTATPOnSilo(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Subscribers = 2000
+	db := silo.New(engine.Config{Workers: 2, PhantomAvoidance: true})
+	runMix(t, db, cfg, 300)
+}
+
+func TestTATPDirectReads(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Subscribers = 1000
+	cfg.DirectRead = true
+	db := cicadaeng.New(engine.Config{Workers: 2, PhantomAvoidance: true}, core.DefaultOptions(2))
+	direct := runMix(t, db, cfg, 400)
+	if direct == 0 {
+		t.Fatal("no direct reads served despite DirectRead=true")
+	}
+}
+
+func TestTATPDirectReadFallbackOnBaselines(t *testing.T) {
+	// Baselines don't implement DirectReader; DirectRead must fall back to
+	// the transactional path without error.
+	cfg := DefaultConfig()
+	cfg.Subscribers = 500
+	cfg.DirectRead = true
+	db := silo.New(engine.Config{Workers: 1, PhantomAvoidance: true})
+	direct := runMix(t, db, cfg, 200)
+	if direct != 0 {
+		t.Fatalf("silo served %d direct reads", direct)
+	}
+}
+
+// TestCallForwardingChurn exercises insert/delete consistency: after heavy
+// churn every CF index entry must point to a live record.
+func TestCallForwardingChurn(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Subscribers = 200
+	db := cicadaeng.New(engine.Config{Workers: 4, PhantomAvoidance: true}, core.DefaultOptions(4))
+	w := Setup(db, cfg)
+	if err := w.Load(); err != nil {
+		t.Fatal(err)
+	}
+	engine.WarmUp(db)
+	var wg sync.WaitGroup
+	for id := 0; id < 4; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			g := w.NewGen(id)
+			wk := db.Worker(id)
+			for i := 0; i < 500; i++ {
+				var err error
+				if i%2 == 0 {
+					err = g.InsertCallForwarding(wk)
+				} else {
+					err = g.DeleteCallForwarding(wk)
+				}
+				if err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Audit: every CF index entry resolves to a readable record.
+	if err := db.Worker(0).Run(func(tx engine.Tx) error {
+		return tx.IndexScan(w.iCF, 0, ^uint64(0), -1, func(key uint64, rid engine.RecordID) bool {
+			if _, err := tx.Read(w.tCF, rid); err != nil {
+				t.Errorf("dangling CF entry key=%d rid=%d: %v", key, rid, err)
+				return false
+			}
+			return true
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"cicada/internal/engine"
+)
+
+// CheckConsistency runs the TPC-C consistency assertions (spec clause 3.3.2
+// subset) in one transaction per warehouse:
+//
+//  1. W_YTD = Σ D_YTD over the warehouse's districts.
+//  2. For every district: D_NEXT_O_ID - 1 = max(O_ID) in the order and
+//     new-order indexes.
+//  3. The new-order index has no entry ≥ D_NEXT_O_ID.
+//
+// It must be called while no other transactions run.
+func (w *Workload) CheckConsistency() error {
+	wk := w.db.Worker(0)
+	for wh := uint64(1); wh <= uint64(w.cfg.Warehouses); wh++ {
+		wh := wh
+		if err := wk.Run(func(tx engine.Tx) error {
+			wrid, err := tx.IndexGet(w.iWarehouse, wh)
+			if err != nil {
+				return err
+			}
+			wrec, err := tx.Read(w.tWarehouse, wrid)
+			if err != nil {
+				return err
+			}
+			wytd := getI(wrec, wYTD)
+			var dsum int64
+			for d := uint64(1); d <= uint64(w.cfg.Districts); d++ {
+				drid, err := tx.IndexGet(w.iDistrict, dKey(wh, d))
+				if err != nil {
+					return err
+				}
+				drec, err := tx.Read(w.tDistrict, drid)
+				if err != nil {
+					return err
+				}
+				dsum += getI(drec, dYTD)
+				next := getU(drec, dNextOID)
+
+				// Max order ID in i_order_cust is expensive to derive;
+				// check via i_new_order (no entry ≥ next) and i_order
+				// (order next-1 exists, order next does not).
+				if next > 1 {
+					if _, err := tx.IndexGet(w.iOrder, oKey(wh, d, next-1)); err != nil {
+						return fmt.Errorf("w%d d%d: order %d missing (next=%d): %w", wh, d, next-1, next, err)
+					}
+				}
+				if _, err := tx.IndexGet(w.iOrder, oKey(wh, d, next)); err == nil {
+					return fmt.Errorf("w%d d%d: order %d exists beyond next=%d", wh, d, next, next)
+				}
+				bad := false
+				if err := tx.IndexScan(w.iNewOrder, noKey(wh, d, next), noKey(wh, d, maxOrder), 1,
+					func(key uint64, _ engine.RecordID) bool {
+						bad = true
+						return false
+					}); err != nil {
+					return err
+				}
+				if bad {
+					return fmt.Errorf("w%d d%d: new-order entry beyond next=%d", wh, d, next)
+				}
+			}
+			if wytd != dsum {
+				return fmt.Errorf("w%d: W_YTD %d != Σ D_YTD %d", wh, wytd, dsum)
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+		if err := w.checkOrderLines(wk, wh); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkOrderLines verifies consistency condition 4: for a sample of recent
+// orders in each district, O_OL_CNT equals the number of order-line index
+// entries, and each line's record is readable.
+func (w *Workload) checkOrderLines(wk engine.Worker, wh uint64) error {
+	return wk.Run(func(tx engine.Tx) error {
+		for d := uint64(1); d <= uint64(w.cfg.Districts); d++ {
+			drid, err := tx.IndexGet(w.iDistrict, dKey(wh, d))
+			if err != nil {
+				return err
+			}
+			drec, err := tx.Read(w.tDistrict, drid)
+			if err != nil {
+				return err
+			}
+			next := getU(drec, dNextOID)
+			lo := uint64(1)
+			if next > 5 {
+				lo = next - 5 // sample the five most recent orders
+			}
+			for o := lo; o < next; o++ {
+				orid, err := tx.IndexGet(w.iOrder, oKey(wh, d, o))
+				if err != nil {
+					return fmt.Errorf("w%d d%d: order %d missing: %w", wh, d, o, err)
+				}
+				orec, err := tx.Read(w.tOrder, orid)
+				if err != nil {
+					return err
+				}
+				want := getU(orec, oOLCnt)
+				var got uint64
+				if err := tx.IndexScan(w.iOrderLine, olKey(wh, d, o, 0), olKey(wh, d, o, 15), -1,
+					func(_ uint64, lrid engine.RecordID) bool {
+						got++
+						return true
+					}); err != nil {
+					return err
+				}
+				if got != want {
+					return fmt.Errorf("w%d d%d o%d: O_OL_CNT %d but %d order lines indexed", wh, d, o, want, got)
+				}
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,73 @@
+// Package tpcc implements the TPC-C benchmark (§4.2): the full five-
+// transaction mix (NewOrder 45 %, Payment 43 %, OrderStatus 4 %, Delivery
+// 4 %, StockLevel 4 %), the TPC-C-NP subset (NewOrder and Payment only,
+// Figure 5), the standard loader, and the consistency checks used by the
+// tests. A worker thread mostly interacts with its home warehouse; about
+// 10 % of NewOrder and 15 % of Payment transactions access a remote
+// warehouse, matching the paper's configuration.
+package tpcc
+
+import "math/rand"
+
+// Composite index keys are packed into uint64s. Field widths: warehouse 20
+// bits, district 4 bits (1–10), customer 12 bits (1–3000), order 28 bits,
+// order line 4 bits (1–15), item 17 bits (1–100000).
+const (
+	maxOrder = (1 << 28) - 1
+)
+
+func dKey(w, d uint64) uint64        { return w<<4 | d }
+func cKey(w, d, c uint64) uint64     { return w<<16 | d<<12 | c }
+func cLastKey(w, d, l uint64) uint64 { return w<<28 | d<<24 | l }
+func sKey(w, i uint64) uint64        { return w<<17 | i }
+func oKey(w, d, o uint64) uint64     { return w<<32 | d<<28 | o }
+
+// oCustKey orders a customer's orders newest-first: the order ID is stored
+// inverted so an ascending scan with limit 1 returns the latest order.
+func oCustKey(w, d, c, o uint64) uint64 {
+	return w<<44 | d<<40 | c<<28 | (maxOrder - o)
+}
+
+// oCustOrder recovers the order ID from an oCustKey.
+func oCustOrder(key uint64) uint64 { return maxOrder - (key & maxOrder) }
+
+func noKey(w, d, o uint64) uint64 { return w<<32 | d<<28 | o }
+
+// noOrder recovers the order ID from a noKey.
+func noOrder(key uint64) uint64 { return key & maxOrder }
+
+func olKey(w, d, o, ol uint64) uint64 { return w<<36 | d<<32 | o<<4 | ol }
+
+// NURand is TPC-C's non-uniform random function (clause 2.1.6). The C
+// constants are fixed per run, as permitted.
+const (
+	cLast = 173
+	cID   = 271
+	cItem = 3849
+)
+
+func nuRand(rng *rand.Rand, a, x, y, c uint64) uint64 {
+	return ((uint64(rng.Int63n(int64(a+1)))|(uint64(rng.Int63n(int64(y-x+1)))+x))+c)%(y-x+1) + x
+}
+
+// lastNameID draws the customer last-name identifier in [0, 999]. The TPC-C
+// syllable-composed last name is a bijection of this identifier, so indexes
+// and comparisons use the identifier directly.
+func lastNameID(rng *rand.Rand) uint64 { return nuRand(rng, 255, 0, 999, cLast) }
+
+// customerID draws a customer ID in [1, 3000].
+func customerID(rng *rand.Rand) uint64 { return nuRand(rng, 1023, 1, 3000, cID) }
+
+// itemID draws an item ID in [1, items].
+func itemID(rng *rand.Rand, items uint64) uint64 { return nuRand(rng, 8191, 1, items, cItem) }
+
+// lastNameSyllables composes the textual last name for an identifier, per
+// the TPC-C specification (used by the loader to fill C_LAST text).
+var lastNameSyllables = [10]string{
+	"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+}
+
+// LastName returns the TPC-C last name string for an identifier in [0, 999].
+func LastName(id uint64) string {
+	return lastNameSyllables[id/100%10] + lastNameSyllables[id/10%10] + lastNameSyllables[id%10]
+}

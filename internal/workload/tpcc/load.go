@@ -1,0 +1,256 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"cicada/internal/engine"
+)
+
+// Load populates the database per the TPC-C specification: items shared
+// across warehouses; per warehouse 10 districts, 3000 customers per
+// district, stock for every item, and 3000 initial orders per district of
+// which the newest 900 are undelivered (scaled by Config). Warehouses are
+// loaded in parallel across workers.
+func (w *Workload) Load() error {
+	// Items (single worker; read-mostly shared data).
+	wk := w.db.Worker(0)
+	const itemBatch = 200
+	for lo := 1; lo <= w.cfg.Items; lo += itemBatch {
+		hi := lo + itemBatch - 1
+		if hi > w.cfg.Items {
+			hi = w.cfg.Items
+		}
+		rng := rand.New(rand.NewSource(int64(lo)))
+		if err := wk.Run(func(tx engine.Tx) error {
+			for i := lo; i <= hi; i++ {
+				rid, buf, err := tx.Insert(w.tItem, itemSize)
+				if err != nil {
+					return err
+				}
+				zero(buf)
+				putI(buf, iPrice, int64(100+rng.Intn(9901))) // $1.00–$100.00
+				putU(buf, iIMID, uint64(1+rng.Intn(10000)))
+				if err := tx.IndexInsert(w.iItem, uint64(i), rid); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return fmt.Errorf("load items [%d,%d]: %w", lo, hi, err)
+		}
+	}
+	// Warehouses in parallel.
+	nw := w.db.Workers()
+	errs := make([]error, nw)
+	var wg sync.WaitGroup
+	for id := 0; id < nw; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for wh := 1 + id; wh <= w.cfg.Warehouses; wh += nw {
+				if err := w.loadWarehouse(w.db.Worker(id), uint64(wh)); err != nil {
+					errs[id] = fmt.Errorf("warehouse %d: %w", wh, err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func (w *Workload) loadWarehouse(wk engine.Worker, wh uint64) error {
+	rng := rand.New(rand.NewSource(int64(wh) * 31))
+	if err := wk.Run(func(tx engine.Tx) error {
+		rid, buf, err := tx.Insert(w.tWarehouse, warehouseSize)
+		if err != nil {
+			return err
+		}
+		zero(buf)
+		putI(buf, wYTD, 30_000_000) // $300,000.00
+		putI(buf, wTax, int64(rng.Intn(2001)))
+		return tx.IndexInsert(w.iWarehouse, wh, rid)
+	}); err != nil {
+		return err
+	}
+	for d := uint64(1); d <= uint64(w.cfg.Districts); d++ {
+		if err := wk.Run(func(tx engine.Tx) error {
+			rid, buf, err := tx.Insert(w.tDistrict, districtSize)
+			if err != nil {
+				return err
+			}
+			zero(buf)
+			putI(buf, dYTD, 3_000_000) // $30,000.00
+			putI(buf, dTax, int64(rng.Intn(2001)))
+			putU(buf, dNextOID, uint64(w.cfg.InitialOrdersPerDistrict)+1)
+			return tx.IndexInsert(w.iDistrict, dKey(wh, d), rid)
+		}); err != nil {
+			return err
+		}
+		if err := w.loadCustomers(wk, rng, wh, d); err != nil {
+			return err
+		}
+		if err := w.loadOrders(wk, rng, wh, d); err != nil {
+			return err
+		}
+	}
+	return w.loadStock(wk, rng, wh)
+}
+
+func (w *Workload) loadCustomers(wk engine.Worker, rng *rand.Rand, wh, d uint64) error {
+	const batch = 100
+	for lo := 1; lo <= w.cfg.CustomersPerDistrict; lo += batch {
+		hi := lo + batch - 1
+		if hi > w.cfg.CustomersPerDistrict {
+			hi = w.cfg.CustomersPerDistrict
+		}
+		if err := wk.Run(func(tx engine.Tx) error {
+			for c := lo; c <= hi; c++ {
+				rid, buf, err := tx.Insert(w.tCustomer, customerSize)
+				if err != nil {
+					return err
+				}
+				zero(buf)
+				putI(buf, cBalance, -1000) // -$10.00
+				putI(buf, cYTDPayment, 1000)
+				putI(buf, cDiscount, int64(rng.Intn(5001)))
+				if rng.Intn(10) == 0 {
+					buf[cCredit] = 1 // 10 % bad credit
+				}
+				// First 1000 customers use sequential last names, the rest
+				// NURand, per the specification.
+				var last uint64
+				if c <= 1000 {
+					last = uint64(c - 1)
+				} else {
+					last = lastNameID(rng)
+				}
+				putU(buf, cLastID, last)
+				putU(buf, cFirst, rng.Uint64())
+				putU(buf, cIDOff, uint64(c))
+				copy(buf[cLastText:cLastText+16], LastName(last))
+				if err := tx.IndexInsert(w.iCustomer, cKey(wh, d, uint64(c)), rid); err != nil {
+					return err
+				}
+				if err := tx.IndexInsert(w.iCustLast, cLastKey(wh, d, last), rid); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *Workload) loadOrders(wk engine.Worker, rng *rand.Rand, wh, d uint64) error {
+	n := w.cfg.InitialOrdersPerDistrict
+	if n == 0 {
+		return nil
+	}
+	// Orders are assigned to a random permutation of customers.
+	perm := rng.Perm(w.cfg.CustomersPerDistrict)
+	undeliveredFrom := n - n*3/10 + 1 // newest 30 % are undelivered
+	const batch = 20
+	for lo := 1; lo <= n; lo += batch {
+		hi := lo + batch - 1
+		if hi > n {
+			hi = n
+		}
+		if err := wk.Run(func(tx engine.Tx) error {
+			for o := lo; o <= hi; o++ {
+				c := uint64(perm[(o-1)%len(perm)] + 1)
+				olCnt := uint64(5 + rng.Intn(11))
+				delivered := o < undeliveredFrom
+				rid, buf, err := tx.Insert(w.tOrder, orderSize)
+				if err != nil {
+					return err
+				}
+				zero(buf)
+				putU(buf, oCID, c)
+				putU(buf, oEntryD, uint64(o))
+				if delivered {
+					putU(buf, oCarrierID, uint64(1+rng.Intn(10)))
+				}
+				putU(buf, oOLCnt, olCnt)
+				putU(buf, oAllLocal, 1)
+				if err := tx.IndexInsert(w.iOrder, oKey(wh, d, uint64(o)), rid); err != nil {
+					return err
+				}
+				if err := tx.IndexInsert(w.iOrderCust, oCustKey(wh, d, c, uint64(o)), rid); err != nil {
+					return err
+				}
+				if !delivered {
+					nrid, nbuf, err := tx.Insert(w.tNewOrder, newOrderSize)
+					if err != nil {
+						return err
+					}
+					putU(nbuf, noOID, uint64(o))
+					if err := tx.IndexInsert(w.iNewOrder, noKey(wh, d, uint64(o)), nrid); err != nil {
+						return err
+					}
+				}
+				for ol := uint64(1); ol <= olCnt; ol++ {
+					lrid, lbuf, err := tx.Insert(w.tOrderLine, orderLineSize)
+					if err != nil {
+						return err
+					}
+					zero(lbuf)
+					putU(lbuf, olIID, uint64(1+rng.Intn(w.cfg.Items)))
+					putU(lbuf, olSupplyWID, wh)
+					if delivered {
+						putU(lbuf, olDeliveryD, uint64(o))
+						putI(lbuf, olAmount, 0)
+					} else {
+						putI(lbuf, olAmount, int64(1+rng.Intn(999999)))
+					}
+					putU(lbuf, olQuantity, 5)
+					if err := tx.IndexInsert(w.iOrderLine, olKey(wh, d, uint64(o), ol), lrid); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *Workload) loadStock(wk engine.Worker, rng *rand.Rand, wh uint64) error {
+	const batch = 100
+	for lo := 1; lo <= w.cfg.Items; lo += batch {
+		hi := lo + batch - 1
+		if hi > w.cfg.Items {
+			hi = w.cfg.Items
+		}
+		if err := wk.Run(func(tx engine.Tx) error {
+			for i := lo; i <= hi; i++ {
+				rid, buf, err := tx.Insert(w.tStock, stockSize)
+				if err != nil {
+					return err
+				}
+				zero(buf)
+				putI(buf, sQuantity, int64(10+rng.Intn(91)))
+				if err := tx.IndexInsert(w.iStock, sKey(wh, uint64(i)), rid); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package tpcc
+
+import "encoding/binary"
+
+// Record layouts. Monetary amounts are int64 cents (two's complement in a
+// uint64 field); rates (tax, discount) are int64 basis points. Fixed text
+// fields are retained as padding so record sizes — and therefore memory
+// traffic and inlining behavior — are realistic: WAREHOUSE and DISTRICT fit
+// Cicada's 216-byte inline limit, CUSTOMER (with its 500-byte C_DATA) and
+// STOCK do not, matching the paper's small/large record distinction.
+const (
+	warehouseSize = 96
+	wYTD          = 0 // int64 cents
+	wTax          = 8 // int64 basis points
+
+	districtSize = 112
+	dYTD         = 0
+	dTax         = 8
+	dNextOID     = 16
+
+	customerSize = 664
+	cBalance     = 0   // int64 cents
+	cYTDPayment  = 8   // int64 cents
+	cPaymentCnt  = 16  // uint64
+	cDeliveryCnt = 24  // uint64
+	cDiscount    = 32  // int64 basis points
+	cCredit      = 40  // byte: 0 = GC, 1 = BC
+	cLastID      = 48  // uint64 last-name identifier
+	cFirst       = 56  // uint64 surrogate for C_FIRST ordering
+	cLastText    = 64  // 16 bytes of C_LAST text
+	cIDOff       = 80  // uint64 C_ID (recovers the ID after name lookups)
+	cData        = 164 // 500 bytes C_DATA
+
+	historySize = 48
+	hAmount     = 0
+	hCID        = 8
+	hCDID       = 16
+	hCWID       = 24
+	hDID        = 32
+	hWID        = 40
+
+	orderSize  = 48
+	oCID       = 0
+	oEntryD    = 8
+	oCarrierID = 16
+	oOLCnt     = 24
+	oAllLocal  = 32
+
+	newOrderSize = 8
+	noOID        = 0
+
+	orderLineSize = 64
+	olIID         = 0
+	olSupplyWID   = 8
+	olDeliveryD   = 16
+	olQuantity    = 24
+	olAmount      = 32
+	olDistInfo    = 40 // 24 bytes
+
+	itemSize = 88
+	iPrice   = 0
+	iIMID    = 8
+	iName    = 16 // 24 bytes
+	iData    = 40 // 50 bytes (rounded up into padding)
+
+	stockSize  = 328
+	sQuantity  = 0 // int64
+	sYTD       = 8
+	sOrderCnt  = 16
+	sRemoteCnt = 24
+	sDist      = 32  // 10 × 24 bytes
+	sData      = 272 // 50 bytes
+)
+
+func getU(b []byte, off int) uint64    { return binary.LittleEndian.Uint64(b[off:]) }
+func putU(b []byte, off int, v uint64) { binary.LittleEndian.PutUint64(b[off:], v) }
+func getI(b []byte, off int) int64     { return int64(binary.LittleEndian.Uint64(b[off:])) }
+func putI(b []byte, off int, v int64)  { binary.LittleEndian.PutUint64(b[off:], uint64(v)) }
+func addI(b []byte, off int, d int64)  { putI(b, off, getI(b, off)+d) }
+func incU(b []byte, off int)           { putU(b, off, getU(b, off)+1) }

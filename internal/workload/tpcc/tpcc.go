@@ -1,0 +1,106 @@
+package tpcc
+
+import "cicada/internal/engine"
+
+// Config scales the benchmark. DefaultConfig matches the paper's settings;
+// tests shrink Items/CustomersPerDistrict/InitialOrders for speed.
+type Config struct {
+	// Warehouses is the warehouse count: 1 and 4 for the contended
+	// experiments, one per thread for the uncontended ones (§4.4).
+	Warehouses int
+	// Items is the ITEM/STOCK cardinality (spec: 100 000).
+	Items int
+	// Districts per warehouse (spec: 10).
+	Districts int
+	// CustomersPerDistrict (spec: 3000).
+	CustomersPerDistrict int
+	// InitialOrdersPerDistrict preloads this many orders, the newest 30 %
+	// of which are undelivered (spec: 3000 / 900).
+	InitialOrdersPerDistrict int
+	// NP selects the TPC-C-NP mix: NewOrder and Payment only (Figure 5).
+	NP bool
+}
+
+// DefaultConfig returns the specification-scale configuration.
+func DefaultConfig(warehouses int) Config {
+	return Config{
+		Warehouses:               warehouses,
+		Items:                    100_000,
+		Districts:                10,
+		CustomersPerDistrict:     3000,
+		InitialOrdersPerDistrict: 3000,
+	}
+}
+
+// SmallConfig returns a reduced-scale configuration for tests.
+func SmallConfig(warehouses int) Config {
+	return Config{
+		Warehouses:               warehouses,
+		Items:                    1000,
+		Districts:                10,
+		CustomersPerDistrict:     60,
+		InitialOrdersPerDistrict: 30,
+	}
+}
+
+// Workload is a TPC-C instance bound to a DB.
+type Workload struct {
+	cfg Config
+	db  engine.DB
+
+	tWarehouse engine.TableID
+	tDistrict  engine.TableID
+	tCustomer  engine.TableID
+	tHistory   engine.TableID
+	tOrder     engine.TableID
+	tNewOrder  engine.TableID
+	tOrderLine engine.TableID
+	tItem      engine.TableID
+	tStock     engine.TableID
+
+	iWarehouse engine.IndexID // hash, key w
+	iDistrict  engine.IndexID // hash, dKey
+	iCustomer  engine.IndexID // hash, cKey
+	iCustLast  engine.IndexID // ordered, cLastKey (duplicates)
+	iItem      engine.IndexID // hash, item id
+	iStock     engine.IndexID // hash, sKey
+	iOrder     engine.IndexID // hash, oKey
+	iOrderCust engine.IndexID // ordered, oCustKey (newest first)
+	iNewOrder  engine.IndexID // ordered, noKey
+	iOrderLine engine.IndexID // ordered, olKey
+}
+
+// Setup registers the TPC-C tables and indexes on db. Hash indexes are used
+// for the tables that need no range queries and ordered indexes elsewhere,
+// as in the DBx1000 implementations the paper uses (§4.2).
+func Setup(db engine.DB, cfg Config) *Workload {
+	w := &Workload{cfg: cfg, db: db}
+	w.tWarehouse = db.CreateTable("warehouse")
+	w.tDistrict = db.CreateTable("district")
+	w.tCustomer = db.CreateTable("customer")
+	w.tHistory = db.CreateTable("history")
+	w.tOrder = db.CreateTable("orders")
+	w.tNewOrder = db.CreateTable("new_order")
+	w.tOrderLine = db.CreateTable("order_line")
+	w.tItem = db.CreateTable("item")
+	w.tStock = db.CreateTable("stock")
+
+	nW := cfg.Warehouses
+	w.iWarehouse = db.CreateHashIndex("i_warehouse", nW*2)
+	w.iDistrict = db.CreateHashIndex("i_district", nW*cfg.Districts*2)
+	w.iCustomer = db.CreateHashIndex("i_customer", nW*cfg.Districts*cfg.CustomersPerDistrict)
+	w.iCustLast = db.CreateOrderedIndex("i_customer_last")
+	w.iItem = db.CreateHashIndex("i_item", cfg.Items)
+	w.iStock = db.CreateHashIndex("i_stock", nW*cfg.Items)
+	w.iOrder = db.CreateHashIndex("i_order", nW*cfg.Districts*cfg.InitialOrdersPerDistrict*4)
+	w.iOrderCust = db.CreateOrderedIndex("i_order_cust")
+	w.iNewOrder = db.CreateOrderedIndex("i_new_order")
+	w.iOrderLine = db.CreateOrderedIndex("i_order_line")
+	return w
+}
+
+// Config returns the workload configuration.
+func (w *Workload) Config() Config { return w.cfg }
+
+// DB returns the bound database.
+func (w *Workload) DB() engine.DB { return w.db }

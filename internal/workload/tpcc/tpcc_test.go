@@ -1,0 +1,218 @@
+package tpcc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"cicada/internal/baselines/silo"
+	"cicada/internal/baselines/twopl"
+	"cicada/internal/cicadaeng"
+	"cicada/internal/core"
+	"cicada/internal/engine"
+)
+
+func TestKeyPackingRoundTrip(t *testing.T) {
+	f := func(wr uint16, dr, cr uint16, or uint32, olr uint8) bool {
+		w := uint64(wr%1024) + 1
+		d := uint64(dr%10) + 1
+		c := uint64(cr%3000) + 1
+		o := uint64(or % maxOrder)
+		ol := uint64(olr%15) + 1
+		if oCustOrder(oCustKey(w, d, c, o)) != o {
+			return false
+		}
+		if noOrder(noKey(w, d, o)) != o {
+			return false
+		}
+		// Keys must be strictly ordered by order ID within (w,d,c)/(w,d).
+		if o+1 <= maxOrder {
+			if !(oCustKey(w, d, c, o+1) < oCustKey(w, d, c, o)) {
+				return false // newer orders sort first (inverted)
+			}
+			if !(noKey(w, d, o) < noKey(w, d, o+1)) {
+				return false
+			}
+			if !(olKey(w, d, o, ol) < olKey(w, d, o+1, 1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLastName(t *testing.T) {
+	if got := LastName(0); got != "BARBARBAR" {
+		t.Fatalf("LastName(0) = %q", got)
+	}
+	if got := LastName(999); got != "EINGEINGEING" {
+		t.Fatalf("LastName(999) = %q", got)
+	}
+	if got := LastName(371); got != "PRICALLYOUGHT" {
+		t.Fatalf("LastName(371) = %q", got)
+	}
+}
+
+func TestNURandRange(t *testing.T) {
+	g := NewGenForTest()
+	for i := 0; i < 10000; i++ {
+		if c := customerID(g.rng); c < 1 || c > 3000 {
+			t.Fatalf("customerID %d", c)
+		}
+		if l := lastNameID(g.rng); l > 999 {
+			t.Fatalf("lastNameID %d", l)
+		}
+		if it := itemID(g.rng, 100000); it < 1 || it > 100000 {
+			t.Fatalf("itemID %d", it)
+		}
+	}
+}
+
+// NewGenForTest builds a generator without a workload for RNG tests.
+func NewGenForTest() *Gen {
+	w := &Workload{cfg: SmallConfig(1)}
+	return w.NewGen(0)
+}
+
+func runMix(t *testing.T, db engine.DB, cfg Config, perWorker int) {
+	t.Helper()
+	w := Setup(db, cfg)
+	if err := w.Load(); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if err := w.CheckConsistency(); err != nil {
+		t.Fatalf("post-load consistency: %v", err)
+	}
+	engine.WarmUp(db)
+	var wg sync.WaitGroup
+	for id := 0; id < db.Workers(); id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			g := w.NewGen(id)
+			wk := db.Worker(id)
+			for i := 0; i < perWorker; i++ {
+				err := g.RunOne(wk)
+				if errors.Is(err, engine.ErrAborted) {
+					i-- // bounded-retry abort; try again
+					continue
+				}
+				if err != nil {
+					t.Errorf("worker %d tx %d: %v", id, i, err)
+					return
+				}
+			}
+			var total uint64
+			for _, c := range g.Counts {
+				total += c
+			}
+			if total != uint64(perWorker) {
+				t.Errorf("worker %d: %d of %d committed", id, total, perWorker)
+			}
+		}(id)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Let the loosely synchronized clocks converge before checking: the
+	// checker's snapshot must not trail a faster worker's last commit
+	// (visible with single-version indexes, which are not snapshotted).
+	engine.WarmUp(db)
+	if err := w.CheckConsistency(); err != nil {
+		t.Fatalf("post-run consistency: %v", err)
+	}
+	if s := db.Stats(); s.Commits == 0 {
+		t.Fatal("no commits")
+	}
+}
+
+func TestTPCCOnCicada(t *testing.T) {
+	db := cicadaeng.New(engine.Config{Workers: 4, PhantomAvoidance: true}, core.DefaultOptions(4))
+	runMix(t, db, SmallConfig(2), 150)
+}
+
+func TestTPCCOnCicadaSVIndex(t *testing.T) {
+	db := cicadaeng.New(engine.Config{Workers: 2, PhantomAvoidance: false}, core.DefaultOptions(2))
+	runMix(t, db, SmallConfig(1), 100)
+}
+
+func TestTPCCOnSilo(t *testing.T) {
+	db := silo.New(engine.Config{Workers: 4, PhantomAvoidance: true})
+	runMix(t, db, SmallConfig(2), 150)
+}
+
+func TestTPCCOnTwoPL(t *testing.T) {
+	db := twopl.New(engine.Config{Workers: 2, PhantomAvoidance: true})
+	runMix(t, db, SmallConfig(1), 100)
+}
+
+func TestTPCCNPMix(t *testing.T) {
+	cfg := SmallConfig(1)
+	cfg.NP = true
+	db := cicadaeng.New(engine.Config{Workers: 2, PhantomAvoidance: true}, core.DefaultOptions(2))
+	w := Setup(db, cfg)
+	if err := w.Load(); err != nil {
+		t.Fatal(err)
+	}
+	g := w.NewGen(0)
+	wk := db.Worker(0)
+	for i := 0; i < 200; i++ {
+		if err := g.RunOne(wk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Counts[TxOrderStatus]+g.Counts[TxDelivery]+g.Counts[TxStockLevel] != 0 {
+		t.Fatalf("NP mix ran non-NP transactions: %v", g.Counts)
+	}
+	if g.Counts[TxNewOrder] == 0 || g.Counts[TxPayment] == 0 {
+		t.Fatalf("NP mix counts: %v", g.Counts)
+	}
+	if err := w.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeliveryDrainsNewOrders verifies Delivery actually consumes NEW-ORDER
+// entries oldest-first and credits customers.
+func TestDeliveryDrainsNewOrders(t *testing.T) {
+	cfg := SmallConfig(1)
+	db := cicadaeng.New(engine.Config{Workers: 1, PhantomAvoidance: true}, core.DefaultOptions(1))
+	w := Setup(db, cfg)
+	if err := w.Load(); err != nil {
+		t.Fatal(err)
+	}
+	wk := db.Worker(0)
+	g := w.NewGen(0)
+	countNewOrders := func() int {
+		n := 0
+		if err := wk.Run(func(tx engine.Tx) error {
+			n = 0
+			for d := uint64(1); d <= uint64(cfg.Districts); d++ {
+				if err := tx.IndexScan(w.iNewOrder, noKey(1, d, 0), noKey(1, d, maxOrder), -1,
+					func(uint64, engine.RecordID) bool { n++; return true }); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	before := countNewOrders()
+	if before == 0 {
+		t.Fatal("loader created no new orders")
+	}
+	if err := g.Delivery(wk); err != nil {
+		t.Fatal(err)
+	}
+	after := countNewOrders()
+	if after != before-cfg.Districts {
+		t.Fatalf("delivery consumed %d entries, want %d", before-after, cfg.Districts)
+	}
+}

@@ -1,0 +1,602 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"cicada/internal/engine"
+)
+
+// TxType enumerates the TPC-C transaction types.
+type TxType int
+
+// Transaction types in mix order.
+const (
+	TxNewOrder TxType = iota
+	TxPayment
+	TxOrderStatus
+	TxDelivery
+	TxStockLevel
+	txTypes
+)
+
+// String returns the transaction type name.
+func (t TxType) String() string {
+	return [...]string{"NewOrder", "Payment", "OrderStatus", "Delivery", "StockLevel"}[t]
+}
+
+// retryNF wraps a transaction body so that an ErrNotFound that escapes —
+// which, once loading is complete, can only be a transiently inconsistent
+// read under an optimistic scheme (e.g., an index entry observed while its
+// record insert is still uncommitted, or mid-abort) — retries the
+// transaction instead of failing the workload. Validation would have
+// aborted such a transaction anyway; this mirrors how the DBx1000 harness
+// treats "impossible" lookup misses.
+func retryNF(fn func(tx engine.Tx) error) func(engine.Tx) error {
+	return func(tx engine.Tx) error {
+		err := fn(tx)
+		if errors.Is(err, engine.ErrNotFound) {
+			return engine.ErrAborted
+		}
+		return err
+	}
+}
+
+// Gen drives TPC-C transactions for one worker. Inputs for each transaction
+// are drawn before the transaction starts so retries replay identical
+// inputs. Not safe for concurrent use.
+type Gen struct {
+	w    *Workload
+	rng  *rand.Rand
+	home uint64
+	// Counts tallies committed transactions per type.
+	Counts [txTypes]uint64
+	// Sink consumes read results.
+	Sink uint64
+
+	scratchRids []engine.RecordID
+	scratchIids map[uint64]struct{}
+}
+
+// NewGen creates a generator for worker id, whose home warehouse is
+// id mod Warehouses + 1 (workers mostly interact with their local
+// warehouse, §4.2).
+func (w *Workload) NewGen(id int) *Gen {
+	return &Gen{
+		w:           w,
+		rng:         rand.New(rand.NewSource(int64(id)*69997 + 3)),
+		home:        uint64(id%w.cfg.Warehouses) + 1,
+		scratchIids: make(map[uint64]struct{}, 64),
+	}
+}
+
+// RunOne draws a transaction type from the mix and executes it.
+func (g *Gen) RunOne(wk engine.Worker) error {
+	var typ TxType
+	if g.w.cfg.NP {
+		if g.rng.Intn(100) < 50 {
+			typ = TxNewOrder
+		} else {
+			typ = TxPayment
+		}
+	} else {
+		switch roll := g.rng.Intn(100); {
+		case roll < 45:
+			typ = TxNewOrder
+		case roll < 88:
+			typ = TxPayment
+		case roll < 92:
+			typ = TxOrderStatus
+		case roll < 96:
+			typ = TxDelivery
+		default:
+			typ = TxStockLevel
+		}
+	}
+	var err error
+	switch typ {
+	case TxNewOrder:
+		err = g.NewOrder(wk)
+		if errors.Is(err, engine.ErrUserAbort) {
+			// The 1 % rollback counts as a completed NewOrder per spec.
+			err = nil
+		}
+	case TxPayment:
+		err = g.Payment(wk)
+	case TxOrderStatus:
+		err = g.OrderStatus(wk)
+	case TxDelivery:
+		err = g.Delivery(wk)
+	default:
+		err = g.StockLevel(wk)
+	}
+	if err == nil {
+		g.Counts[typ]++
+	}
+	return err
+}
+
+type newOrderItem struct {
+	iid    uint64
+	supply uint64
+	qty    int64
+}
+
+// NewOrder implements the TPC-C NewOrder transaction. 1 % of transactions
+// roll back on an invalid item; about 1 % of items come from a remote
+// warehouse, giving the ~10 % remote-transaction rate at 10 lines (§4.2).
+func (g *Gen) NewOrder(wk engine.Worker) error {
+	w := g.w
+	wh := g.home
+	d := uint64(1 + g.rng.Intn(w.cfg.Districts))
+	c := customerID(g.rng)
+	if uint64(w.cfg.CustomersPerDistrict) < 3000 {
+		c = uint64(1 + g.rng.Intn(w.cfg.CustomersPerDistrict))
+	}
+	olCnt := 5 + g.rng.Intn(11)
+	rollback := g.rng.Intn(100) == 0
+	items := make([]newOrderItem, olCnt)
+	allLocal := uint64(1)
+	for i := range items {
+		it := &items[i]
+		it.iid = itemID(g.rng, uint64(w.cfg.Items))
+		it.supply = wh
+		if w.cfg.Warehouses > 1 && g.rng.Intn(100) == 0 {
+			for it.supply == wh {
+				it.supply = uint64(1 + g.rng.Intn(w.cfg.Warehouses))
+			}
+			allLocal = 0
+		}
+		it.qty = int64(1 + g.rng.Intn(10))
+	}
+	if rollback {
+		items[olCnt-1].iid = 0 // unused item ID: triggers the rollback
+	}
+	return wk.Run(retryNF(func(tx engine.Tx) error {
+		wrid, err := tx.IndexGet(w.iWarehouse, wh)
+		if err != nil {
+			return fmt.Errorf("warehouse %d: %w", wh, err)
+		}
+		wrec, err := tx.Read(w.tWarehouse, wrid)
+		if err != nil {
+			return err
+		}
+		wtax := getI(wrec, wTax)
+
+		drid, err := tx.IndexGet(w.iDistrict, dKey(wh, d))
+		if err != nil {
+			return err
+		}
+		drec, err := tx.Update(w.tDistrict, drid, -1)
+		if err != nil {
+			return err
+		}
+		dtax := getI(drec, dTax)
+		oid := getU(drec, dNextOID)
+		putU(drec, dNextOID, oid+1)
+
+		crid, err := tx.IndexGet(w.iCustomer, cKey(wh, d, c))
+		if err != nil {
+			return err
+		}
+		crec, err := tx.Read(w.tCustomer, crid)
+		if err != nil {
+			return err
+		}
+		discount := getI(crec, cDiscount)
+
+		orid, obuf, err := tx.Insert(w.tOrder, orderSize)
+		if err != nil {
+			return err
+		}
+		zero(obuf)
+		putU(obuf, oCID, c)
+		putU(obuf, oEntryD, oid)
+		putU(obuf, oOLCnt, uint64(olCnt))
+		putU(obuf, oAllLocal, allLocal)
+		if err := tx.IndexInsert(w.iOrder, oKey(wh, d, oid), orid); err != nil {
+			return err
+		}
+		if err := tx.IndexInsert(w.iOrderCust, oCustKey(wh, d, c, oid), orid); err != nil {
+			return err
+		}
+		nrid, nbuf, err := tx.Insert(w.tNewOrder, newOrderSize)
+		if err != nil {
+			return err
+		}
+		putU(nbuf, noOID, oid)
+		if err := tx.IndexInsert(w.iNewOrder, noKey(wh, d, oid), nrid); err != nil {
+			return err
+		}
+
+		total := int64(0)
+		for i, it := range items {
+			irid, err := tx.IndexGet(w.iItem, it.iid)
+			if errors.Is(err, engine.ErrNotFound) {
+				return engine.ErrUserAbort // spec clause 2.4.1.4 rollback
+			}
+			if err != nil {
+				return err
+			}
+			irec, err := tx.Read(w.tItem, irid)
+			if err != nil {
+				return err
+			}
+			price := getI(irec, iPrice)
+
+			srid, err := tx.IndexGet(w.iStock, sKey(it.supply, it.iid))
+			if err != nil {
+				return err
+			}
+			srec, err := tx.Update(w.tStock, srid, -1)
+			if err != nil {
+				return err
+			}
+			q := getI(srec, sQuantity)
+			if q-it.qty >= 10 {
+				putI(srec, sQuantity, q-it.qty)
+			} else {
+				putI(srec, sQuantity, q-it.qty+91)
+			}
+			addI(srec, sYTD, it.qty)
+			incU(srec, sOrderCnt)
+			if it.supply != wh {
+				incU(srec, sRemoteCnt)
+			}
+
+			amount := it.qty * price
+			total += amount
+			lrid, lbuf, err := tx.Insert(w.tOrderLine, orderLineSize)
+			if err != nil {
+				return err
+			}
+			zero(lbuf)
+			putU(lbuf, olIID, it.iid)
+			putU(lbuf, olSupplyWID, it.supply)
+			putU(lbuf, olQuantity, uint64(it.qty))
+			putI(lbuf, olAmount, amount)
+			copy(lbuf[olDistInfo:olDistInfo+24], srec[sDist+int(d-1)*24:])
+			if err := tx.IndexInsert(w.iOrderLine, olKey(wh, d, oid, uint64(i+1)), lrid); err != nil {
+				return err
+			}
+		}
+		// total *(1 - discount) * (1 + wtax + dtax), in fixed point.
+		g.Sink += uint64(total * (10000 - discount) / 10000 * (10000 + wtax + dtax) / 10000)
+		return nil
+	}))
+}
+
+// Payment implements the TPC-C Payment transaction: 60 % customer selection
+// by last name, 15 % remote customers (§4.2).
+func (g *Gen) Payment(wk engine.Worker) error {
+	w := g.w
+	wh := g.home
+	d := uint64(1 + g.rng.Intn(w.cfg.Districts))
+	cwh, cd := wh, d
+	if w.cfg.Warehouses > 1 && g.rng.Intn(100) < 15 {
+		for cwh == wh {
+			cwh = uint64(1 + g.rng.Intn(w.cfg.Warehouses))
+		}
+		cd = uint64(1 + g.rng.Intn(w.cfg.Districts))
+	}
+	byLast := g.rng.Intn(100) < 60
+	var c, last uint64
+	if byLast {
+		last = lastNameID(g.rng)
+		if w.cfg.CustomersPerDistrict < 1000 {
+			last = uint64(g.rng.Intn(w.cfg.CustomersPerDistrict))
+		}
+	} else {
+		c = customerID(g.rng)
+		if uint64(w.cfg.CustomersPerDistrict) < 3000 {
+			c = uint64(1 + g.rng.Intn(w.cfg.CustomersPerDistrict))
+		}
+	}
+	amount := int64(100 + g.rng.Intn(500_000)) // $1.00–$5000.00
+
+	return wk.Run(retryNF(func(tx engine.Tx) error {
+		wrid, err := tx.IndexGet(w.iWarehouse, wh)
+		if err != nil {
+			return err
+		}
+		wrec, err := tx.Update(w.tWarehouse, wrid, -1)
+		if err != nil {
+			return err
+		}
+		addI(wrec, wYTD, amount)
+
+		drid, err := tx.IndexGet(w.iDistrict, dKey(wh, d))
+		if err != nil {
+			return err
+		}
+		drec, err := tx.Update(w.tDistrict, drid, -1)
+		if err != nil {
+			return err
+		}
+		addI(drec, dYTD, amount)
+
+		var crid engine.RecordID
+		if byLast {
+			crid, err = g.customerByLast(tx, cwh, cd, last)
+			if errors.Is(err, engine.ErrNotFound) {
+				return nil // no customer with this name; treat as no-op
+			}
+		} else {
+			crid, err = tx.IndexGet(w.iCustomer, cKey(cwh, cd, c))
+		}
+		if err != nil {
+			return err
+		}
+		crec, err := tx.Update(w.tCustomer, crid, -1)
+		if err != nil {
+			return err
+		}
+		addI(crec, cBalance, -amount)
+		addI(crec, cYTDPayment, amount)
+		incU(crec, cPaymentCnt)
+		if crec[cCredit] == 1 {
+			// Bad credit: prepend payment info to C_DATA (500 bytes).
+			copy(crec[cData+32:cData+500], crec[cData:cData+468])
+			putU(crec, cData, getU(crec, cIDOff))
+			putI(crec, cData+8, amount)
+		}
+
+		hrid, hbuf, err := tx.Insert(w.tHistory, historySize)
+		if err != nil {
+			return err
+		}
+		_ = hrid
+		zero(hbuf)
+		putI(hbuf, hAmount, amount)
+		putU(hbuf, hCWID, cwh)
+		putU(hbuf, hDID, d)
+		putU(hbuf, hWID, wh)
+		return nil
+	}))
+}
+
+// customerByLast resolves a customer by last name: all matching customers
+// are read, sorted by C_FIRST, and the middle one is chosen (spec clause
+// 2.5.2.2).
+func (g *Gen) customerByLast(tx engine.Tx, wh, d, last uint64) (engine.RecordID, error) {
+	w := g.w
+	key := cLastKey(wh, d, last)
+	g.scratchRids = g.scratchRids[:0]
+	err := tx.IndexScan(w.iCustLast, key, key, -1, func(_ uint64, rid engine.RecordID) bool {
+		g.scratchRids = append(g.scratchRids, rid)
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if len(g.scratchRids) == 0 {
+		return 0, engine.ErrNotFound
+	}
+	type cf struct {
+		rid   engine.RecordID
+		first uint64
+	}
+	matches := make([]cf, 0, len(g.scratchRids))
+	for _, rid := range g.scratchRids {
+		crec, err := tx.Read(w.tCustomer, rid)
+		if err != nil {
+			return 0, err
+		}
+		matches = append(matches, cf{rid: rid, first: getU(crec, cFirst)})
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i].first < matches[j].first })
+	return matches[(len(matches)-1)/2].rid, nil
+}
+
+// OrderStatus implements the read-only OrderStatus transaction; it runs as
+// a read-only snapshot transaction where the engine supports them (§4.2
+// optimization (1)).
+func (g *Gen) OrderStatus(wk engine.Worker) error {
+	w := g.w
+	wh := g.home
+	d := uint64(1 + g.rng.Intn(w.cfg.Districts))
+	byLast := g.rng.Intn(100) < 60
+	var c, last uint64
+	if byLast {
+		last = lastNameID(g.rng)
+		if w.cfg.CustomersPerDistrict < 1000 {
+			last = uint64(g.rng.Intn(w.cfg.CustomersPerDistrict))
+		}
+	} else {
+		c = customerID(g.rng)
+		if uint64(w.cfg.CustomersPerDistrict) < 3000 {
+			c = uint64(1 + g.rng.Intn(w.cfg.CustomersPerDistrict))
+		}
+	}
+	return wk.RunRO(retryNF(func(tx engine.Tx) error {
+		var crid engine.RecordID
+		var err error
+		if byLast {
+			crid, err = g.customerByLast(tx, wh, d, last)
+			if errors.Is(err, engine.ErrNotFound) {
+				return nil
+			}
+		} else {
+			crid, err = tx.IndexGet(w.iCustomer, cKey(wh, d, c))
+		}
+		if err != nil {
+			return err
+		}
+		crec, err := tx.Read(w.tCustomer, crid)
+		if err != nil {
+			return err
+		}
+		g.Sink += uint64(getI(crec, cBalance))
+		if byLast {
+			c = getU(crec, cIDOff)
+		}
+		// Latest order for the customer: the customer-order index stores
+		// inverted order IDs, so the first entry is the newest.
+		var oid uint64
+		found := false
+		lo := oCustKey(wh, d, c, maxOrder)
+		hi := oCustKey(wh, d, c, 0)
+		if err := tx.IndexScan(w.iOrderCust, lo, hi, 1, func(key uint64, rid engine.RecordID) bool {
+			oid = oCustOrder(key)
+			found = true
+			return false
+		}); err != nil {
+			return err
+		}
+		if !found {
+			return nil
+		}
+		orid, err := tx.IndexGet(w.iOrder, oKey(wh, d, oid))
+		if err != nil {
+			return err
+		}
+		orec, err := tx.Read(w.tOrder, orid)
+		if err != nil {
+			return err
+		}
+		g.Sink += getU(orec, oCarrierID)
+		return tx.IndexScan(w.iOrderLine, olKey(wh, d, oid, 0), olKey(wh, d, oid, 15), -1,
+			func(_ uint64, lrid engine.RecordID) bool {
+				lrec, err := tx.Read(w.tOrderLine, lrid)
+				if err == nil {
+					g.Sink += getU(lrec, olIID)
+				}
+				return true
+			})
+	}))
+}
+
+// Delivery implements the Delivery transaction: for each district, the
+// oldest undelivered order is delivered (NEW-ORDER entry removed, carrier
+// assigned, order lines stamped, customer balance credited).
+func (g *Gen) Delivery(wk engine.Worker) error {
+	w := g.w
+	wh := g.home
+	carrier := uint64(1 + g.rng.Intn(10))
+	return wk.Run(retryNF(func(tx engine.Tx) error {
+		for d := uint64(1); d <= uint64(w.cfg.Districts); d++ {
+			var oid uint64
+			var nrid engine.RecordID
+			found := false
+			if err := tx.IndexScan(w.iNewOrder, noKey(wh, d, 0), noKey(wh, d, maxOrder), 1,
+				func(key uint64, rid engine.RecordID) bool {
+					oid = noOrder(key)
+					nrid = rid
+					found = true
+					return false
+				}); err != nil {
+				return err
+			}
+			if !found {
+				continue // no undelivered order in this district
+			}
+			if err := tx.IndexDelete(w.iNewOrder, noKey(wh, d, oid), nrid); err != nil {
+				return err
+			}
+			if err := tx.Delete(w.tNewOrder, nrid); err != nil {
+				return err
+			}
+			orid, err := tx.IndexGet(w.iOrder, oKey(wh, d, oid))
+			if err != nil {
+				return err
+			}
+			orec, err := tx.Update(w.tOrder, orid, -1)
+			if err != nil {
+				return err
+			}
+			c := getU(orec, oCID)
+			putU(orec, oCarrierID, carrier)
+
+			// Collect the order's lines first, then update them.
+			g.scratchRids = g.scratchRids[:0]
+			if err := tx.IndexScan(w.iOrderLine, olKey(wh, d, oid, 0), olKey(wh, d, oid, 15), -1,
+				func(_ uint64, rid engine.RecordID) bool {
+					g.scratchRids = append(g.scratchRids, rid)
+					return true
+				}); err != nil {
+				return err
+			}
+			sum := int64(0)
+			for _, lrid := range g.scratchRids {
+				lrec, err := tx.Update(w.tOrderLine, lrid, -1)
+				if err != nil {
+					return err
+				}
+				putU(lrec, olDeliveryD, oid)
+				sum += getI(lrec, olAmount)
+			}
+			crid, err := tx.IndexGet(w.iCustomer, cKey(wh, d, c))
+			if err != nil {
+				return err
+			}
+			crec, err := tx.Update(w.tCustomer, crid, -1)
+			if err != nil {
+				return err
+			}
+			addI(crec, cBalance, sum)
+			incU(crec, cDeliveryCnt)
+		}
+		return nil
+	}))
+}
+
+// StockLevel implements the read-only StockLevel transaction: count stock
+// below a threshold among the items of the district's last 20 orders.
+func (g *Gen) StockLevel(wk engine.Worker) error {
+	w := g.w
+	wh := g.home
+	d := uint64(1 + g.rng.Intn(w.cfg.Districts))
+	threshold := int64(10 + g.rng.Intn(11))
+	return wk.RunRO(retryNF(func(tx engine.Tx) error {
+		drid, err := tx.IndexGet(w.iDistrict, dKey(wh, d))
+		if err != nil {
+			return err
+		}
+		drec, err := tx.Read(w.tDistrict, drid)
+		if err != nil {
+			return err
+		}
+		next := getU(drec, dNextOID)
+		lo := uint64(1)
+		if next > 20 {
+			lo = next - 20
+		}
+		if next == 0 || lo >= next {
+			return nil
+		}
+		clear(g.scratchIids)
+		g.scratchRids = g.scratchRids[:0]
+		if err := tx.IndexScan(w.iOrderLine, olKey(wh, d, lo, 0), olKey(wh, d, next-1, 15), -1,
+			func(_ uint64, rid engine.RecordID) bool {
+				g.scratchRids = append(g.scratchRids, rid)
+				return true
+			}); err != nil {
+			return err
+		}
+		for _, lrid := range g.scratchRids {
+			lrec, err := tx.Read(w.tOrderLine, lrid)
+			if err != nil {
+				return err
+			}
+			g.scratchIids[getU(lrec, olIID)] = struct{}{}
+		}
+		low := uint64(0)
+		for iid := range g.scratchIids {
+			srid, err := tx.IndexGet(w.iStock, sKey(wh, iid))
+			if err != nil {
+				return err
+			}
+			srec, err := tx.Read(w.tStock, srid)
+			if err != nil {
+				return err
+			}
+			if getI(srec, sQuantity) < threshold {
+				low++
+			}
+		}
+		g.Sink += low
+		return nil
+	}))
+}

@@ -1,0 +1,168 @@
+package ycsb
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"cicada/internal/baselines/tictoc"
+	"cicada/internal/cicadaeng"
+	"cicada/internal/core"
+	"cicada/internal/engine"
+)
+
+func TestZipfBoundsAndSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZipf(1000, 0.99, rng)
+	counts := make(map[uint64]int)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		k := z.Next()
+		if k >= 1000 {
+			t.Fatalf("zipf out of range: %d", k)
+		}
+		counts[k]++
+	}
+	// With theta 0.99 the hottest key takes a large share.
+	if counts[0] < draws/20 {
+		t.Fatalf("key 0 drawn %d times; zipf not skewed", counts[0])
+	}
+	if counts[0] < counts[500] {
+		t.Fatal("rank 0 not hotter than rank 500")
+	}
+}
+
+func TestZipfUniformTheta(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		z := NewZipf(100, 0.5, rng)
+		for i := 0; i < 100; i++ {
+			if z.Next() >= 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func smallCfg() Config {
+	return Config{
+		Records:    2000,
+		RecordSize: 100,
+		ReqsPerTx:  8,
+		ReadRatio:  0.5,
+		Theta:      0.9,
+		MaxScanLen: 20,
+	}
+}
+
+func TestYCSBIncrementsAreExact(t *testing.T) {
+	const workers = 4
+	const perWorker = 200
+	db := cicadaeng.New(engine.Config{Workers: workers, PhantomAvoidance: true}, core.DefaultOptions(workers))
+	w := Setup(db, smallCfg())
+	if err := w.Load(); err != nil {
+		t.Fatal(err)
+	}
+	engine.WarmUp(db)
+	expect := make([]map[uint64]uint64, workers)
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			g := w.NewGen(id)
+			wk := db.Worker(id)
+			local := make(map[uint64]uint64)
+			for i := 0; i < perWorker; i++ {
+				if err := g.RunOne(wk); err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+				for j, key := range g.keys {
+					if g.rmws[j] {
+						local[key]++
+					}
+				}
+			}
+			expect[id] = local
+		}(id)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	want := make(map[uint64]uint64)
+	for _, m := range expect {
+		for k, n := range m {
+			want[k] += n
+		}
+	}
+	wk := db.Worker(0)
+	if err := wk.Run(func(tx engine.Tx) error {
+		for key, n := range want {
+			rid, err := tx.IndexGet(w.Index(), key)
+			if err != nil {
+				return err
+			}
+			d, err := tx.Read(w.Table(), rid)
+			if err != nil {
+				return err
+			}
+			got := binary.LittleEndian.Uint64(d)
+			if got != key+n {
+				t.Errorf("key %d: value %d, want %d (+%d increments)", key, got, key+n, n)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestYCSBScansOnTicToc(t *testing.T) {
+	cfg := smallCfg()
+	cfg.ScanFraction = 0.3
+	cfg.ReqsPerTx = 4
+	db := tictoc.New(engine.Config{Workers: 2, PhantomAvoidance: true})
+	w := Setup(db, cfg)
+	if err := w.Load(); err != nil {
+		t.Fatal(err)
+	}
+	engine.WarmUp(db)
+	g := w.NewGen(0)
+	wk := db.Worker(0)
+	for i := 0; i < 300; i++ {
+		if err := g.RunOne(wk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Scanned == 0 {
+		t.Fatal("no records scanned")
+	}
+}
+
+func TestYCSBRecordSizes(t *testing.T) {
+	for _, size := range []int{8, 64, 216, 1000} {
+		cfg := smallCfg()
+		cfg.Records = 200
+		cfg.RecordSize = size
+		db := cicadaeng.New(engine.Config{Workers: 1, PhantomAvoidance: true}, core.DefaultOptions(1))
+		w := Setup(db, cfg)
+		if err := w.Load(); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		g := w.NewGen(0)
+		wk := db.Worker(0)
+		for i := 0; i < 50; i++ {
+			if err := g.RunOne(wk); err != nil {
+				t.Fatalf("size %d: %v", size, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package ycsb
+
+import "math"
+
+// Zipf is the YCSB Zipfian generator (Gray et al.'s quick algorithm, as used
+// by YCSB and DBx1000): item ranks follow P(i) ∝ 1/i^theta over n items.
+// math/rand's built-in Zipf uses a different parameterization (s > 1), so
+// the benchmark-standard theta ∈ (0, 1) form is implemented here.
+type Zipf struct {
+	n      uint64
+	theta  float64
+	alpha  float64
+	zetan  float64
+	eta    float64
+	zeta2  float64
+	random interface{ Float64() float64 }
+}
+
+// NewZipf creates a generator over [0, n) with skew theta ∈ (0, 1).
+func NewZipf(n uint64, theta float64, rng interface{ Float64() float64 }) *Zipf {
+	z := &Zipf{n: n, theta: theta, random: rng}
+	z.zeta2 = zeta(2, theta)
+	z.zetan = zeta(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// zeta computes the generalized harmonic number H_{n,theta}. It is O(n) and
+// runs once per generator; DBx1000 precomputes it the same way.
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1.0 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next key in [0, n).
+func (z *Zipf) Next() uint64 {
+	u := z.random.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	idx := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if idx >= z.n {
+		idx = z.n - 1
+	}
+	return idx
+}

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerates every figure/table of the paper's evaluation into results/.
+# Usage: scripts/run_experiments.sh [extra cicada-bench flags...]
+# Paper-scale data: scripts/run_experiments.sh -full -measure 5s
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go build -o /tmp/cicada-bench ./cmd/cicada-bench
+mkdir -p results
+
+run() {
+  out="results/$1.txt"
+  shift
+  echo ">>> $* -> $out"
+  /tmp/cicada-bench -measure "${MEASURE:-1s}" -ramp "${RAMP:-300ms}" "$@" >"$out" 2>&1
+}
+
+run fig3 "$@" fig3a fig3b fig3c
+run fig45 "$@" fig4a fig4b fig4c fig5a fig5b
+run fig6 "$@" fig6a fig6b fig6c
+run fig7 "$@" fig7
+run fig8 "$@" fig8
+run fig9 "$@" fig9
+run fig10 "$@" fig10
+run fig11 "$@" fig11a fig11b fig11c fig11d
+run misc "$@" table2 scan staleness rts tatp
+
+echo "done; see results/"
