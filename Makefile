@@ -1,0 +1,34 @@
+GO ?= go
+
+# Hot-path packages covered by the invariant assertions and race job.
+RACE_PKGS = ./internal/core/... ./internal/clock/... ./internal/storage/...
+
+.PHONY: all build test lint vet race bench clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Custom concurrency analyzers (see docs/CONCURRENCY.md). Exits non-zero on
+# any finding; suppress only with a reviewed //lint:allow marker.
+lint:
+	$(GO) run ./cmd/cicada-lint ./...
+
+# Race detector plus the cicada_invariants assertion build over the hot-path
+# packages. Short mode keeps this CI-sized; drop -short locally for the full
+# stress runs.
+race:
+	$(GO) test -race -short -tags cicada_invariants $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,177 @@
+// Package analysis is a self-contained static-analysis framework for the
+// cicada module, modeled on golang.org/x/tools/go/analysis but built purely
+// on the standard library (go/ast, go/parser, go/types) so the repository
+// carries no external dependencies.
+//
+// It exists to machine-check the concurrency discipline Cicada's correctness
+// depends on (see docs/CONCURRENCY.md): per-worker clocks read with
+// one-sided synchronization (§3.1), version status words flipped
+// PENDING→COMMITTED through sanctioned helpers (§3.2), the lock-order
+// contract of rapid garbage collection (§3.8), and bounded busy-waiting.
+// The concrete rules live in the four analyzers in this package:
+// mixedatomic, statusorder, locksdiscipline, and nakedspin, all runnable via
+// cmd/cicada-lint.
+//
+// Findings can be suppressed with a marker comment on the offending line or
+// the line directly above it:
+//
+//	//lint:allow <analyzer>[,<analyzer>...] <reason>
+//
+// A reason is required: suppressions document intentional, reviewed
+// exceptions (e.g. a cold path that may take a mutex).
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:allow markers.
+	Name string
+	// Doc is a short description of what the analyzer enforces.
+	Doc string
+	// Module, when set, runs the analyzer once over the whole program (for
+	// cross-package aggregation) instead of once per package.
+	Module bool
+	// Run executes the check and reports findings through the Pass.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer run with its inputs and its report sink.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Prog is the loaded program (all packages, including dependencies).
+	Prog *Program
+	// Pkg is the package under analysis; nil for module-level analyzers.
+	Pkg *Package
+	// Targets are the packages selected for analysis. Per-package analyzers
+	// see their own package in Pkg; module-level analyzers iterate Targets.
+	Targets []*Package
+
+	report func(token.Pos, string)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, fmt.Sprintf(format, args...))
+}
+
+// A Diagnostic is one finding, with its position resolved.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run executes the analyzers over the target packages of prog and returns
+// the surviving diagnostics (after //lint:allow suppression), sorted by
+// position.
+func Run(prog *Program, targets []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allow := buildAllowIndex(prog, targets)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		collect := func(name string) func(token.Pos, string) {
+			return func(pos token.Pos, msg string) {
+				position := prog.Fset.Position(pos)
+				if allow.allows(position, name) {
+					return
+				}
+				diags = append(diags, Diagnostic{Pos: position, Analyzer: name, Message: msg})
+			}
+		}
+		if a.Module {
+			pass := &Pass{Analyzer: a, Prog: prog, Targets: targets, report: collect(a.Name)}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+			}
+			continue
+		}
+		for _, pkg := range targets {
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, Targets: targets, report: collect(a.Name)}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s: package %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// allowIndex maps file:line to the set of analyzer names suppressed there.
+type allowIndex map[string]map[int]map[string]bool
+
+// allows reports whether a finding at position is suppressed by a marker on
+// the same line or the line directly above.
+func (idx allowIndex) allows(pos token.Position, analyzer string) bool {
+	lines := idx[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if names := lines[line]; names != nil && (names[analyzer] || names["*"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// buildAllowIndex scans the target packages' comments for //lint:allow
+// markers.
+func buildAllowIndex(prog *Program, targets []*Package) allowIndex {
+	idx := make(allowIndex)
+	for _, pkg := range targets {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					rest, ok := strings.CutPrefix(text, "lint:allow")
+					if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						// A marker without a reason is ignored: suppressions
+						// must document why the exception is safe.
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					lines := idx[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]map[string]bool)
+						idx[pos.Filename] = lines
+					}
+					names := lines[pos.Line]
+					if names == nil {
+						names = make(map[string]bool)
+						lines[pos.Line] = names
+					}
+					for _, name := range strings.Split(fields[0], ",") {
+						if name = strings.TrimSpace(name); name != "" {
+							names[name] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return idx
+}

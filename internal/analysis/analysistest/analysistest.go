@@ -1,0 +1,107 @@
+// Package analysistest runs an analyzer over fixture packages and checks its
+// diagnostics against expectations written in the fixtures, in the style of
+// golang.org/x/tools/go/analysis/analysistest (reimplemented on the standard
+// library so the repository stays dependency-free).
+//
+// Fixtures live under <testdata>/src/<path>/... (GOPATH-style). A line that
+// should trigger a diagnostic carries a comment:
+//
+//	x = 1 // want `regexp matching the message`
+//
+// Multiple backquoted regexps on one line expect multiple diagnostics. Lines
+// without a want comment must produce no diagnostics; unmatched expectations
+// and unexpected diagnostics both fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"cicada/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("want((?:\\s+`[^`]*`)+)")
+var wantArgRE = regexp.MustCompile("`([^`]*)`")
+
+// Run loads the fixture packages matching patterns from testdata/src and
+// checks a's diagnostics against the // want expectations in their sources.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &analysis.Loader{Root: root, Prefix: ""}
+	prog, targets, err := l.Load(patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(targets) == 0 {
+		t.Fatalf("no fixture packages matched %v under %s", patterns, root)
+	}
+
+	type expect struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	expects := make(map[string][]*expect) // "file:line" -> expectations
+	for _, pkg := range targets {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+						re, err := regexp.Compile(arg[1])
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", key, arg[1], err)
+						}
+						expects[key] = append(expects[key], &expect{re: re})
+					}
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.Run(prog, targets, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		var hit *expect
+		for _, e := range expects[key] {
+			if !e.matched && e.re.MatchString(d.Message) {
+				hit = e
+				break
+			}
+		}
+		if hit == nil {
+			t.Errorf("%s: unexpected diagnostic: %s", rel(root, key), d.Message)
+			continue
+		}
+		hit.matched = true
+	}
+	for key, es := range expects {
+		for _, e := range es {
+			if !e.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", rel(root, key), e.re)
+			}
+		}
+	}
+}
+
+func rel(root, key string) string {
+	if r, err := filepath.Rel(root, key); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return key
+}

@@ -1,0 +1,24 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"cicada/internal/analysis"
+	"cicada/internal/analysis/analysistest"
+)
+
+func TestMixedAtomic(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.MixedAtomic, "mixedatomic/...")
+}
+
+func TestStatusOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.StatusOrder, "statusorder/...")
+}
+
+func TestLocksDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LocksDiscipline, "locksdiscipline/...")
+}
+
+func TestNakedSpin(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NakedSpin, "nakedspin/...")
+}

@@ -1,0 +1,299 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed, type-checked package.
+type Package struct {
+	// Path is the package's import path ("cicada/internal/core", or a
+	// testdata-relative path for analyzer fixtures).
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// Name is the package name from the package clauses.
+	Name string
+	// Files are the parsed source files (with comments).
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's recordings for Files.
+	Info *types.Info
+}
+
+// A Program is a set of packages loaded against one token.FileSet.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+	byPath   map[string]*Package
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (p *Program) Package(path string) *Package { return p.byPath[path] }
+
+// A Loader loads a tree of Go packages using only the standard library: the
+// tree's own packages are resolved by directory layout, everything else
+// (stdlib) is type-checked from GOROOT source via go/importer. This keeps
+// the linter dependency-free and usable offline.
+type Loader struct {
+	// Root is the absolute directory of the source tree.
+	Root string
+	// Prefix is the import-path prefix that maps to Root: the module path
+	// ("cicada") for the real repository, or "" for analysistest fixture
+	// trees laid out GOPATH-style under testdata/src.
+	Prefix string
+	// Tags are additional build tags to apply when selecting files.
+	Tags []string
+}
+
+type loader struct {
+	Loader
+	fset    *token.FileSet
+	ctx     build.Context
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// Load parses and type-checks the packages under the loader's root that
+// match patterns (an import path, or a subtree pattern ending in "/...";
+// "..." alone matches everything), plus their in-tree dependencies. The
+// returned targets are the matching packages only.
+func (l *Loader) Load(patterns ...string) (prog *Program, targets []*Package, err error) {
+	ld := &loader{
+		Loader:  *l,
+		fset:    token.NewFileSet(),
+		ctx:     build.Default,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	ld.ctx.BuildTags = append([]string(nil), l.Tags...)
+	ld.ctx.CgoEnabled = false
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+
+	var paths []string
+	seen := make(map[string]bool)
+	walkErr := filepath.WalkDir(ld.Root, func(dir string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		base := filepath.Base(dir)
+		if dir != ld.Root && (strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") ||
+			base == "testdata" || base == "vendor" || base == "results") {
+			return filepath.SkipDir
+		}
+		importPath, ok := ld.pathForDir(dir)
+		if !ok || seen[importPath] {
+			return nil
+		}
+		if matchAny(importPath, ld.Prefix, patterns) && hasGoFiles(dir) {
+			seen[importPath] = true
+			paths = append(paths, importPath)
+		}
+		return nil
+	})
+	if walkErr != nil {
+		return nil, nil, walkErr
+	}
+	sort.Strings(paths)
+
+	for _, p := range paths {
+		pkg, err := ld.load(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		if pkg != nil {
+			targets = append(targets, pkg)
+		}
+	}
+	prog = &Program{Fset: ld.fset, byPath: ld.pkgs}
+	for _, p := range ld.pkgs {
+		prog.Packages = append(prog.Packages, p)
+	}
+	sort.Slice(prog.Packages, func(i, j int) bool { return prog.Packages[i].Path < prog.Packages[j].Path })
+	return prog, targets, nil
+}
+
+// pathForDir maps a directory under Root to its import path.
+func (l *loader) pathForDir(dir string) (string, bool) {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", false
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		if l.Prefix == "" {
+			return "", false
+		}
+		return l.Prefix, true
+	}
+	if l.Prefix == "" {
+		return rel, true
+	}
+	return l.Prefix + "/" + rel, true
+}
+
+// dirForPath maps an import path to a directory under Root, if it is an
+// in-tree path.
+func (l *loader) dirForPath(importPath string) (string, bool) {
+	if l.Prefix == "" {
+		dir := filepath.Join(l.Root, filepath.FromSlash(importPath))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, true
+		}
+		return "", false
+	}
+	if importPath == l.Prefix {
+		return l.Root, true
+	}
+	if rest, ok := strings.CutPrefix(importPath, l.Prefix+"/"); ok {
+		return filepath.Join(l.Root, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+func matchAny(importPath, prefix string, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	for _, pat := range patterns {
+		if pat == "..." || pat == "./..." {
+			return true
+		}
+		pat = strings.TrimPrefix(pat, "./")
+		if prefix != "" && !strings.HasPrefix(pat, prefix) {
+			// Accept root-relative patterns like "internal/core/...".
+			pat = prefix + "/" + pat
+		}
+		if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+			if importPath == sub || strings.HasPrefix(importPath, sub+"/") {
+				return true
+			}
+			continue
+		}
+		if importPath == pat {
+			return true
+		}
+	}
+	return false
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// load parses and type-checks one in-tree package (memoized). It returns
+// (nil, nil) for directories whose files are all excluded by build tags.
+func (l *loader) load(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	dir, ok := l.dirForPath(importPath)
+	if !ok {
+		return nil, fmt.Errorf("package %s is outside the source tree", importPath)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := l.ctx.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		names = append(names, name)
+	}
+	if len(files) == 0 {
+		l.pkgs[importPath] = nil
+		return nil, nil
+	}
+	pkgName := files[0].Name.Name
+	for i, f := range files {
+		if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("%s: mixed package names %s and %s (%s)",
+				importPath, pkgName, f.Name.Name, names[i])
+		}
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) { return l.importPkg(p) }),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type errors in %s: %v", importPath, typeErrs[0])
+	}
+	pkg := &Package{Path: importPath, Dir: dir, Name: pkgName, Files: files, Types: tpkg, Info: info}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// importPkg resolves an import: in-tree packages recursively through the
+// loader, the standard library through the GOROOT source importer.
+func (l *loader) importPkg(importPath string) (*types.Package, error) {
+	if importPath == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.dirForPath(importPath); ok {
+		pkg, err := l.load(importPath)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("package %s has no buildable files", importPath)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(importPath)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadModule type-checks the whole cicada module with the stdlib-only
+// loader; a failure here means the linter cannot see the real code.
+func TestLoadModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &Loader{Root: root, Prefix: "cicada"}
+	prog, targets, err := l.Load("...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) < 10 {
+		t.Fatalf("expected to load the full module, got %d packages", len(targets))
+	}
+	for _, want := range []string{"cicada", "cicada/internal/core", "cicada/internal/storage", "cicada/internal/clock"} {
+		if prog.Package(want) == nil {
+			t.Errorf("package %s not loaded", want)
+		}
+	}
+	core := prog.Package("cicada/internal/core")
+	if core.Types.Scope().Lookup("Engine") == nil {
+		t.Error("core.Engine not in type-checked scope")
+	}
+}
+
+// TestLoadSubtreePattern restricts loading to one subtree.
+func TestLoadSubtreePattern(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := &Loader{Root: root, Prefix: "cicada"}
+	_, targets, err := l.Load("internal/clock/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) != 1 || targets[0].Path != "cicada/internal/clock" {
+		t.Fatalf("unexpected targets: %+v", targets)
+	}
+}

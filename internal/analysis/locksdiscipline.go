@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LocksDiscipline enforces the lock-order contract of the hot-path packages
+// (internal/core, internal/clock, internal/storage, internal/gc):
+//
+//  1. Hot paths are lock-free: acquiring a sync.Mutex/RWMutex in these
+//     packages is flagged. Genuinely cold paths (page-directory growth)
+//     carry a reviewed //lint:allow locksdiscipline marker.
+//  2. Lock order — the per-record GC lock is the innermost lock: after a
+//     TryLockGC in a function, acquiring a mutex, growing the table
+//     (ensure/Reserve/AllocRecordID take the table grow lock), sleeping, or
+//     blocking on a channel is flagged. Rapid GC (§3.8) holds the record's
+//     GC lock only for pointer detachment.
+//  3. A function that acquires the GC lock must also contain its release
+//     (UnlockGC), keeping the critical section reviewable in one place.
+var LocksDiscipline = &Analyzer{
+	Name: "locksdiscipline",
+	Doc:  "flags mutex use and GC-lock-order violations in the hot-path packages",
+	Run:  runLocksDiscipline,
+}
+
+// locksHotPathSuffixes selects the packages the discipline applies to, by
+// import-path suffix (so fixtures can model them under testdata).
+var locksHotPathSuffixes = []string{
+	"internal/core", "internal/clock", "internal/storage", "internal/gc",
+}
+
+// locksTableGrowFuncs are storage.Table methods that may take the table grow
+// lock.
+var locksTableGrowFuncs = map[string]bool{"ensure": true, "Reserve": true, "AllocRecordID": true, "RecoverEnsure": true}
+
+func isHotPathPackage(path string) bool {
+	for _, s := range locksHotPathSuffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// isMutexLock reports whether fn is sync.Mutex.Lock / sync.RWMutex.Lock /
+// sync.RWMutex.RLock (TryLock variants do not block and are not flagged).
+func isMutexLock(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	if fn.Name() != "Lock" && fn.Name() != "RLock" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+func runLocksDiscipline(pass *Pass) error {
+	if !isHotPathPackage(pass.Pkg.Path) {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncLocks(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFuncLocks(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	var gcLockPos token.Pos // first TryLockGC call
+	var hasUnlock bool
+	type blockSite struct {
+		pos  token.Pos
+		what string
+	}
+	var blocking []blockSite
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			fn := CalleeFunc(info, n)
+			switch {
+			case isMutexLock(fn):
+				pass.Reportf(n.Pos(),
+					"%s acquired in hot-path package %s; Cicada hot paths are lock-free — annotate genuinely cold paths with //lint:allow locksdiscipline <reason>",
+					fn.Name(), pass.Pkg.Path)
+				blocking = append(blocking, blockSite{n.Pos(), "mutex " + fn.Name()})
+			case fn != nil && fn.Name() == "TryLockGC":
+				if !gcLockPos.IsValid() || n.Pos() < gcLockPos {
+					gcLockPos = n.Pos()
+				}
+			case fn != nil && fn.Name() == "UnlockGC":
+				hasUnlock = true
+			case fn != nil && locksTableGrowFuncs[fn.Name()] && recvIsStorageTable(fn):
+				blocking = append(blocking, blockSite{n.Pos(), fn.Name() + " (takes the table grow lock)"})
+			case IsPkgFunc(fn, "time", "Sleep"):
+				blocking = append(blocking, blockSite{n.Pos(), "time.Sleep"})
+			}
+		case *ast.SendStmt:
+			blocking = append(blocking, blockSite{n.Pos(), "channel send"})
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				blocking = append(blocking, blockSite{n.Pos(), "channel receive"})
+			}
+		case *ast.SelectStmt:
+			blocking = append(blocking, blockSite{n.Pos(), "select"})
+		}
+		return true
+	})
+
+	if !gcLockPos.IsValid() {
+		return
+	}
+	if !hasUnlock {
+		pass.Reportf(gcLockPos,
+			"TryLockGC with no UnlockGC in %s: the GC critical section must be released in the function that acquires it",
+			fd.Name.Name)
+	}
+	for _, b := range blocking {
+		if b.pos > gcLockPos {
+			pass.Reportf(b.pos,
+				"%s after TryLockGC in %s violates the lock order: the record GC lock is innermost and must not be held across blocking operations or the table grow lock",
+				b.what, fd.Name.Name)
+		}
+	}
+}
+
+// recvIsStorageTable reports whether fn is a method on a type named Table in
+// a storage package.
+func recvIsStorageTable(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Table" && isStoragePackage(named.Obj().Pkg().Path())
+}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MixedAtomic flags struct fields that are accessed both through sync/atomic
+// functions and through plain loads/stores anywhere in the module — the
+// classic bug class of in-memory CC reproductions: one missed atomic.Load on
+// a version word or a worker clock produces rare, unreproducible
+// serializability violations. It runs module-wide because the atomic and the
+// plain access typically live in different packages (e.g. a field written
+// atomically in internal/clock and read plainly by a baseline engine).
+//
+// It additionally flags copies of typed atomics (atomic.Uint64 and friends
+// used other than via their methods or their address), which silently drop
+// atomicity.
+var MixedAtomic = &Analyzer{
+	Name:   "mixedatomic",
+	Doc:    "flags struct fields accessed both atomically (sync/atomic) and non-atomically",
+	Module: true,
+	Run:    runMixedAtomic,
+}
+
+// atomicFuncPrefixes are the sync/atomic function families that take a
+// pointer to the word they operate on as their first argument.
+var atomicFuncPrefixes = []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"}
+
+func isAtomicPointerFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, p := range atomicFuncPrefixes {
+		if strings.HasPrefix(fn.Name(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+type fieldAccess struct {
+	pos  token.Pos
+	pkg  string
+	kind string // "read" or "write"
+}
+
+func runMixedAtomic(pass *Pass) error {
+	// atomicSites: field object -> first atomic access position.
+	atomicSites := make(map[*types.Var]token.Pos)
+	// plainSites: field object -> plain accesses.
+	plainSites := make(map[*types.Var][]fieldAccess)
+	// consumed marks selector nodes that are the &x.f argument of an atomic
+	// call so the plain-access pass skips them.
+	consumed := make(map[*ast.SelectorExpr]bool)
+
+	for _, pkg := range pass.Targets {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				if !isAtomicPointerFunc(CalleeFunc(pkg.Info, call)) {
+					return true
+				}
+				unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || unary.Op != token.AND {
+					return true
+				}
+				sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if field := FieldOf(pkg.Info, sel); field != nil {
+					if _, dup := atomicSites[field]; !dup {
+						atomicSites[field] = sel.Pos()
+					}
+					consumed[sel] = true
+				}
+				return true
+			})
+		}
+	}
+
+	for _, pkg := range pass.Targets {
+		for _, f := range pkg.Files {
+			WithParents(f, func(n ast.Node, stack []ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				field := FieldOf(pkg.Info, sel)
+				if field == nil {
+					return true
+				}
+				checkAtomicCopy(pass, pkg, sel, field, stack)
+				if consumed[sel] {
+					return true
+				}
+				if isAddressTaken(stack) {
+					// &x.f on its own is neither a read nor a write; aliased
+					// atomics are the pointer owner's responsibility.
+					return true
+				}
+				kind := "read"
+				if IsWrite(stack, sel) {
+					kind = "write"
+				}
+				plainSites[field] = append(plainSites[field], fieldAccess{pos: sel.Pos(), pkg: pkg.Path, kind: kind})
+				return true
+			})
+		}
+	}
+
+	for field, sites := range plainSites {
+		atomicPos, ok := atomicSites[field]
+		if !ok {
+			continue
+		}
+		owner := "?"
+		if o := OwnerStruct(field); o != nil {
+			owner = o.Name()
+		}
+		for _, site := range sites {
+			pass.Reportf(site.pos,
+				"non-atomic %s of field %s.%s, which is accessed with sync/atomic at %s; use atomic.Load/Store or a typed atomic",
+				site.kind, owner, field.Name(), pass.Prog.Fset.Position(atomicPos))
+		}
+	}
+	return nil
+}
+
+// isAddressTaken reports whether the expression whose stack is given appears
+// directly under a unary & operator.
+func isAddressTaken(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.UnaryExpr:
+			return parent.Op == token.AND
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// checkAtomicCopy reports uses of typed-atomic fields (atomic.Uint64 etc.)
+// other than method calls on them or taking their address: assigning or
+// passing them by value copies the word without synchronization (and is
+// flagged by vet's copylocks as well; repeated here so one linter covers the
+// whole discipline).
+func checkAtomicCopy(pass *Pass, pkg *Package, sel *ast.SelectorExpr, field *types.Var, stack []ast.Node) {
+	name := AtomicTypeName(field.Type())
+	if name == "" {
+		return
+	}
+	// Permitted contexts: receiver of a method call (x.f.Load()), address
+	// taking (&x.f), or a nested field selection used the same way.
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.UnaryExpr:
+			if parent.Op == token.AND {
+				return
+			}
+		case *ast.SelectorExpr:
+			// x.f.Load — fine if f is the X of a method selector.
+			if parent.X == sel || ast.Unparen(parent.X) == sel {
+				return
+			}
+		}
+		break
+	}
+	pass.Reportf(sel.Pos(),
+		"atomic.%s field %s is copied or used by value; call its methods or take its address",
+		name, field.Name())
+}

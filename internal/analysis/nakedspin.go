@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// NakedSpin flags busy-wait loops with no backoff: a loop that polls an
+// atomic word (or spins with an empty body) without runtime.Gosched,
+// time.Sleep, a channel operation, or a CAS/store that makes progress. On
+// Go's cooperative scheduler a naked spin can livelock an entire P —
+// Cicada's reader spin on PENDING versions (§3.2) must yield, exactly as
+// core.searchVisible does.
+//
+// The check is deliberately conservative: a loop containing any call it
+// cannot classify (an arbitrary function may yield internally) is skipped,
+// and a loop that captures a loaded value into a variable is treated as
+// making progress — that is the shape of chain traversals
+// (v = v.Next.Load()) and CAS retry loops, not of naked polling. Flagged
+// loops therefore consist purely of atomic loads compared in place and
+// local control flow.
+var NakedSpin = &Analyzer{
+	Name: "nakedspin",
+	Doc:  "flags busy-wait loops that poll atomics without runtime.Gosched or backoff",
+	Run:  runNakedSpin,
+}
+
+func runNakedSpin(pass *Pass) error {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok {
+				return true
+			}
+			checkSpinLoop(pass, loop)
+			return true
+		})
+	}
+	return nil
+}
+
+// spinScan classifies everything inside a loop (cond + post + body,
+// excluding nested function literals, whose bodies run on their own terms).
+type spinScan struct {
+	polls    int // atomic load calls
+	yields   int // Gosched / Sleep / chan ops / select / mutex ops
+	progress int // atomic stores, CAS, adds, swaps
+	unknown  int // calls we cannot classify
+}
+
+func checkSpinLoop(pass *Pass, loop *ast.ForStmt) {
+	info := pass.Pkg.Info
+	var scan spinScan
+	captured := capturedCalls(loop)
+	classify := func(root ast.Node) {
+		if root == nil {
+			return
+		}
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SendStmt, *ast.SelectStmt, *ast.RangeStmt, *ast.GoStmt, *ast.DeferStmt:
+				scan.yields++
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					scan.yields++
+				}
+			case *ast.CallExpr:
+				classifySpinCall(info, n, &scan, captured)
+			}
+			return true
+		})
+	}
+	classify(loop.Cond)
+	classify(loop.Post)
+	classify(loop.Body)
+
+	if scan.yields > 0 || scan.progress > 0 || scan.unknown > 0 {
+		return
+	}
+	if scan.polls == 0 {
+		// No atomic polling: either a pure computation loop (not our
+		// business) or an empty spin on a local condition; only flag the
+		// completely empty `for {}` / `for cond {}` shell if it polls
+		// something — a plain infinite loop is the infiniteloop vet check's
+		// territory, not a concurrency-discipline issue.
+		return
+	}
+	pass.Reportf(loop.Pos(),
+		"busy-wait loop polls an atomic without yielding; add runtime.Gosched() or backoff (see docs/CONCURRENCY.md)")
+}
+
+// capturedCalls collects every call expression inside the loop whose result
+// is bound to a variable (assignment RHS or var-decl initializer). An atomic
+// Load in that position advances local state — a list walk or CAS-retry
+// snapshot — rather than polling a fixed word.
+func capturedCalls(loop *ast.ForStmt) map[*ast.CallExpr]bool {
+	captured := make(map[*ast.CallExpr]bool)
+	mark := func(expr ast.Expr) {
+		ast.Inspect(expr, func(m ast.Node) bool {
+			if c, ok := m.(*ast.CallExpr); ok {
+				captured[c] = true
+			}
+			return true
+		})
+	}
+	for _, root := range []ast.Node{loop.Post, loop.Body} {
+		if root == nil {
+			continue
+		}
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					mark(rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					mark(v)
+				}
+			}
+			return true
+		})
+	}
+	return captured
+}
+
+// classifySpinCall buckets a call inside a candidate spin loop.
+func classifySpinCall(info *types.Info, call *ast.CallExpr, scan *spinScan, captured map[*ast.CallExpr]bool) {
+	fn := CalleeFunc(info, call)
+	if fn == nil {
+		// Conversion or builtin: len/cap etc. are harmless; an indirect call
+		// is unknowable.
+		switch ast.Unparen(call.Fun).(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			scan.unknown++
+		}
+		return
+	}
+	pkg := fn.Pkg()
+	switch {
+	case IsPkgFunc(fn, "runtime", "Gosched"), IsPkgFunc(fn, "time", "Sleep"):
+		scan.yields++
+	case pkg != nil && pkg.Path() == "sync":
+		scan.yields++ // mutex/cond interaction blocks or releases; not a naked spin
+	case isAtomicMethodOrFunc(fn, "Load"):
+		if captured[call] {
+			scan.progress++
+		} else {
+			scan.polls++
+		}
+	case isAtomicMethodOrFunc(fn, "Store"), isAtomicMethodOrFunc(fn, "Add"),
+		isAtomicMethodOrFunc(fn, "Swap"), isAtomicMethodOrFunc(fn, "CompareAndSwap"),
+		isAtomicMethodOrFunc(fn, "And"), isAtomicMethodOrFunc(fn, "Or"):
+		scan.progress++
+	default:
+		scan.unknown++
+	}
+}
+
+// isAtomicMethodOrFunc reports whether fn is a sync/atomic package function
+// or typed-atomic method whose name starts with prefix (LoadUint64,
+// Uint64.Load, CompareAndSwapPointer, ...).
+func isAtomicMethodOrFunc(fn *types.Func, prefix string) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	if !strings.HasPrefix(fn.Name(), prefix) {
+		return false
+	}
+	// Distinguish Load from LoadUint64 vs methods named exactly Load: both
+	// are fine — the prefix families do not collide across buckets.
+	return true
+}

@@ -1,0 +1,7 @@
+package analysis
+
+// All returns the full suite of concurrency-discipline analyzers, in the
+// order cmd/cicada-lint runs them.
+func All() []*Analyzer {
+	return []*Analyzer{MixedAtomic, StatusOrder, LocksDiscipline, NakedSpin}
+}

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// StatusOrder enforces the version-word discipline of §3.2/§3.4: the
+// concurrency-carrying words of storage.Version (WTS, rts, status, next) and
+// storage.Head (latest, gcLock, gcMinWTS, absentRTS) may only be touched
+// through the sanctioned helpers — methods declared on the owning type in
+// internal/storage. Everything else (the engine's install path, recovery,
+// pools, GC) must go through PrepareInstall/SetStatus/CASStatus/SetNext/...
+// so that the PENDING→COMMITTED ordering and the rts/next publication rules
+// live in exactly one place.
+//
+// Concretely it flags:
+//   - any write to Version.WTS outside a method of Version (WTS is exported
+//     because timestamps are read pervasively, but it must only be written
+//     before a version becomes reachable — PrepareInstall's contract);
+//   - any direct access (read or write, including method calls on the field
+//     like v.status.Store) to the unexported guarded fields from a function
+//     that is not a method on the owning type. This is only possible inside
+//     the storage package itself — e.g. a Table method poking a Head's list
+//     anchor instead of using a Head helper.
+var StatusOrder = &Analyzer{
+	Name: "statusorder",
+	Doc:  "flags version status/wts/rts/next accesses that bypass the sanctioned storage helpers",
+	Run:  runStatusOrder,
+}
+
+// statusOrderTargetSuffix identifies the storage package by import-path
+// suffix so analyzer fixtures can provide their own miniature storage
+// package.
+var statusOrderTargetSuffix = "internal/storage"
+
+// statusGuardedFields lists, per owning type, the guarded fields and whether
+// reads are allowed outside the helpers (WTS is read-everywhere,
+// write-guarded).
+var statusGuardedFields = map[string]map[string]struct{ writeOnly bool }{
+	"Version": {
+		"WTS":    {writeOnly: true},
+		"rts":    {},
+		"status": {},
+		"next":   {},
+	},
+	"Head": {
+		"latest":    {},
+		"gcLock":    {},
+		"gcMinWTS":  {},
+		"absentRTS": {},
+	},
+}
+
+func isStoragePackage(path string) bool {
+	return path == statusOrderTargetSuffix || strings.HasSuffix(path, "/"+statusOrderTargetSuffix)
+}
+
+func runStatusOrder(pass *Pass) error {
+	// Locate the storage package this package can see: itself, or one of its
+	// direct imports.
+	var storagePkg *types.Package
+	if isStoragePackage(pass.Pkg.Path) {
+		storagePkg = pass.Pkg.Types
+	} else {
+		for _, imp := range pass.Pkg.Types.Imports() {
+			if isStoragePackage(imp.Path()) {
+				storagePkg = imp
+				break
+			}
+		}
+	}
+	if storagePkg == nil {
+		return nil // no storage types in scope, nothing to check
+	}
+
+	// Resolve the guarded field objects once.
+	type guard struct {
+		owner     *types.TypeName
+		writeOnly bool
+	}
+	guarded := make(map[*types.Var]guard)
+	for typeName, fields := range statusGuardedFields {
+		tn, ok := storagePkg.Scope().Lookup(typeName).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if g, ok := fields[f.Name()]; ok {
+				guarded[f] = guard{owner: tn, writeOnly: g.writeOnly}
+			}
+		}
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+
+	for _, f := range pass.Pkg.Files {
+		WithParents(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := FieldOf(pass.Pkg.Info, sel)
+			if field == nil {
+				return true
+			}
+			g, ok := guarded[field]
+			if !ok {
+				return true
+			}
+			if g.writeOnly && !IsWrite(stack, sel) {
+				return true
+			}
+			if fd := EnclosingFuncDecl(stack); fd != nil {
+				if recv := ReceiverBase(pass.Pkg.Info, fd); recv == g.owner {
+					return true // sanctioned helper: method on the owning type
+				}
+			}
+			verb := "access to"
+			if IsWrite(stack, sel) {
+				verb = "write to"
+			}
+			pass.Reportf(sel.Pos(),
+				"%s %s.%s bypasses the sanctioned helpers in internal/storage; use the %s methods (PrepareInstall/SetStatus/SetNext/...)",
+				verb, g.owner.Name(), field.Name(), g.owner.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+// Fixture for the locksdiscipline analyzer: mutex use in a hot-path package,
+// GC-lock ordering, and missing-release detection.
+package core
+
+import (
+	"sync"
+	"time"
+
+	"locksdiscipline/internal/storage"
+)
+
+type engine struct{ mu sync.Mutex }
+
+func (e *engine) hot() {
+	e.mu.Lock() // want `Lock acquired in hot-path package`
+	e.mu.Unlock()
+}
+
+func collectLeaks(h *storage.Head) {
+	if !h.TryLockGC() { // want `TryLockGC with no UnlockGC in collectLeaks`
+		return
+	}
+}
+
+func collectBlocks(h *storage.Head, t *storage.Table) {
+	if !h.TryLockGC() {
+		return
+	}
+	t.Reserve(1)                 // want `Reserve \(takes the table grow lock\) after TryLockGC`
+	time.Sleep(time.Millisecond) // want `time.Sleep after TryLockGC`
+	h.UnlockGC()
+}
+
+func collectWaits(h *storage.Head, ch chan int) {
+	if !h.TryLockGC() {
+		return
+	}
+	<-ch // want `channel receive after TryLockGC`
+	h.UnlockGC()
+}
+
+func collectGood(h *storage.Head) {
+	if !h.TryLockGC() {
+		return
+	}
+	h.UnlockGC()
+}
+
+func coldPath(e *engine) {
+	//lint:allow locksdiscipline engine construction is single-threaded
+	e.mu.Lock()
+	e.mu.Unlock()
+}

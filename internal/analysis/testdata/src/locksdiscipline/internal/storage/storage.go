@@ -1,0 +1,25 @@
+// Miniature storage package for the locksdiscipline fixture: a Head with the
+// per-record GC lock and a Table whose growth path takes a mutex behind a
+// reviewed suppression.
+package storage
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type Head struct{ gcLock atomic.Uint32 }
+
+func (h *Head) TryLockGC() bool { return h.gcLock.CompareAndSwap(0, 1) }
+func (h *Head) UnlockGC()       { h.gcLock.Store(0) }
+
+type Table struct{ growMu sync.Mutex }
+
+// Reserve models the cold table-growth path: the mutex is sanctioned by the
+// marker, exactly as storage.Table.ensure is in the real repository.
+func (t *Table) Reserve(n int) {
+	//lint:allow locksdiscipline page-directory growth is a cold path, amortized over thousands of inserts
+	t.growMu.Lock()
+	defer t.growMu.Unlock()
+	_ = n
+}

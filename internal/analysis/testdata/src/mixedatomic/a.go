@@ -1,0 +1,66 @@
+// Fixture for the mixedatomic analyzer: fields accessed both through
+// sync/atomic functions and plainly, typed-atomic copies, and clean
+// patterns that must not be flagged.
+package mixedatomic
+
+import (
+	"sync/atomic"
+
+	"mixedatomic/sub"
+)
+
+type counter struct {
+	hits  uint64
+	flips uint64
+	typed atomic.Uint64
+	plain uint64
+}
+
+func (c *counter) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counter) read() uint64 {
+	return c.hits // want `non-atomic read of field counter.hits`
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want `non-atomic write of field counter.hits`
+	c.hits++   // want `non-atomic write of field counter.hits`
+}
+
+func (c *counter) atomicOnly() {
+	atomic.StoreUint64(&c.flips, 1)
+	if atomic.LoadUint64(&c.flips) == 1 { // ok: both accesses atomic
+		return
+	}
+}
+
+func (c *counter) allowed() uint64 {
+	//lint:allow mixedatomic snapshot read for stats; tearing is acceptable
+	return c.hits
+}
+
+func (c *counter) copyTyped() atomic.Uint64 {
+	return c.typed // want `atomic.Uint64 field typed is copied or used by value`
+}
+
+func (c *counter) useTyped() uint64 {
+	return c.typed.Load() // ok: method call on the typed atomic
+}
+
+func (c *counter) addrTyped() *atomic.Uint64 {
+	return &c.typed // ok: address-taking
+}
+
+func (c *counter) plainOnly() uint64 {
+	c.plain++
+	return c.plain // ok: never accessed atomically anywhere
+}
+
+// crossPackageRead reads a field that sub accesses atomically: the analyzer
+// aggregates over the whole module, so this is flagged even though the
+// atomic access lives in another package.
+func crossPackageRead(g *sub.Gauge) uint64 {
+	return g.Level // want `non-atomic read of field Gauge.Level`
+}

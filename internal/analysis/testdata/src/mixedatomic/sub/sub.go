@@ -1,0 +1,14 @@
+// Package sub provides the cross-package half of the mixedatomic fixture.
+package sub
+
+import "sync/atomic"
+
+type Gauge struct {
+	// Level is written atomically here and read plainly by the parent
+	// fixture package.
+	Level uint64
+}
+
+func (g *Gauge) Set(v uint64) {
+	atomic.StoreUint64(&g.Level, v)
+}

@@ -1,0 +1,99 @@
+// Fixture for the nakedspin analyzer: busy-wait loops with and without
+// yields, CAS retry loops (lock-free progress, not flagged), and loops with
+// unclassifiable calls (conservatively skipped).
+package nakedspin
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+type state struct {
+	flag atomic.Uint32
+	word uint64
+}
+
+func spinCond(s *state) {
+	for s.flag.Load() == 0 { // want `busy-wait loop polls an atomic without yielding`
+	}
+}
+
+func spinBody(s *state) {
+	for { // want `busy-wait loop polls an atomic without yielding`
+		if s.flag.Load() == 1 {
+			break
+		}
+	}
+}
+
+func spinFuncStyle(s *state) {
+	for atomic.LoadUint64(&s.word) == 0 { // want `busy-wait loop polls an atomic without yielding`
+	}
+}
+
+func spinYield(s *state) {
+	for s.flag.Load() == 0 {
+		runtime.Gosched() // ok: yields the processor
+	}
+}
+
+func spinSleep(s *state) {
+	for s.flag.Load() == 0 {
+		time.Sleep(time.Microsecond) // ok: backs off
+	}
+}
+
+func casRetry(s *state) {
+	for { // ok: CAS makes lock-free progress
+		if s.flag.CompareAndSwap(0, 1) {
+			return
+		}
+	}
+}
+
+func storeMax(s *state, v uint64) {
+	for { // ok: CAS retry loop
+		cur := atomic.LoadUint64(&s.word)
+		if cur >= v || atomic.CompareAndSwapUint64(&s.word, cur, v) {
+			return
+		}
+	}
+}
+
+type node struct {
+	done atomic.Bool
+	next atomic.Pointer[node]
+}
+
+func walkChain(head *node) int {
+	n := 0
+	for v := head; v != nil; v = v.next.Load() { // ok: traversal captures the load
+		if v.done.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+func unknownCallee(s *state) {
+	for s.flag.Load() == 0 {
+		observe() // ok: unclassified call may yield internally
+	}
+}
+
+func observe() {}
+
+func computeLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // ok: no atomic polling at all
+		total += i
+	}
+	return total
+}
+
+func allowedSpin(s *state) {
+	//lint:allow nakedspin bounded two-iteration wait measured in the hekaton repro
+	for s.flag.Load() == 0 {
+	}
+}

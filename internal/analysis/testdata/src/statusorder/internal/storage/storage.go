@@ -1,0 +1,50 @@
+// Miniature model of cicada/internal/storage for the statusorder fixture:
+// same type and field names, so the analyzer's suffix-based target matching
+// finds it.
+package storage
+
+import "sync/atomic"
+
+type Version struct {
+	WTS    uint64
+	rts    atomic.Uint64
+	status atomic.Uint32
+	next   atomic.Pointer[Version]
+}
+
+// PrepareInstall is a sanctioned helper: a method on the owning type.
+func (v *Version) PrepareInstall(ts uint64) {
+	v.WTS = ts
+	v.rts.Store(ts)
+	v.status.Store(1)
+}
+
+func (v *Version) Status() uint32    { return v.status.Load() }
+func (v *Version) Next() *Version    { return v.next.Load() }
+func (v *Version) SetNext(n *Version) { v.next.Store(n) }
+
+type Head struct {
+	latest atomic.Pointer[Version]
+	gcLock atomic.Uint32
+}
+
+func (h *Head) Latest() *Version { return h.latest.Load() }
+
+type Table struct{}
+
+// Poke is a method on Table, not Head: touching the Head's list anchor here
+// bypasses the Head helpers.
+func (t *Table) Poke(h *Head) {
+	h.latest.Store(nil) // want `access to Head.latest bypasses the sanctioned helpers`
+}
+
+// Naked is a free function: no guarded field access is sanctioned here.
+func Naked(v *Version) {
+	v.WTS = 9         // want `write to Version.WTS bypasses the sanctioned helpers`
+	v.status.Store(2) // want `access to Version.status bypasses the sanctioned helpers`
+}
+
+// ReadWTS is fine: WTS is write-guarded only; reads are pervasive.
+func ReadWTS(v *Version) uint64 {
+	return v.WTS
+}

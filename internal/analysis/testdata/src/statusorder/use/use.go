@@ -1,0 +1,16 @@
+// Consumer half of the statusorder fixture: an engine-like package that must
+// route version-word writes through the storage helpers.
+package use
+
+import "statusorder/internal/storage"
+
+func Install(v *storage.Version, ts uint64) {
+	v.WTS = ts // want `write to Version.WTS bypasses the sanctioned helpers`
+	v.PrepareInstall(ts)
+	_ = v.WTS // ok: reading WTS is unrestricted
+}
+
+func Recovery(v *storage.Version, ts uint64) {
+	//lint:allow statusorder recovery replay runs single-threaded before the version is reachable
+	v.WTS = ts
+}

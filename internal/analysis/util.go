@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WithParents walks root in depth-first order, calling fn with each node and
+// the stack of its ancestors (outermost first). Returning false skips the
+// node's children.
+func WithParents(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// ReceiverBase returns the named type of fn's receiver (dereferenced), or
+// nil if fn is not a method or the receiver type is not named.
+func ReceiverBase(info *types.Info, fn *ast.FuncDecl) *types.TypeName {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := info.Types[fn.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// CalleeFunc resolves the called function or method of call, or nil for
+// indirect calls, conversions, and builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether fn is a package-level function pkgPath.name.
+func IsPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// FieldOf returns the struct field a selector expression resolves to, or nil
+// if sel is not a field selection (e.g. a method or qualified identifier).
+func FieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// AtomicTypeName returns the sync/atomic type name of t (e.g. "Uint64",
+// "Pointer") if t is one of the typed atomics, dereferencing one pointer
+// level; otherwise "".
+func AtomicTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	var obj *types.TypeName
+	switch n := t.(type) {
+	case *types.Named:
+		obj = n.Obj()
+	case *types.Alias:
+		obj = n.Obj()
+	default:
+		return ""
+	}
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	return obj.Name()
+}
+
+// OwnerStruct returns the named type that declares field, found by scanning
+// the declaring package's named struct types (types.Var carries no back
+// pointer to its struct). It handles fields of named structs declared at
+// package level, which covers this module's layout.
+func OwnerStruct(field *types.Var) *types.TypeName {
+	pkg := field.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				return tn
+			}
+		}
+	}
+	return nil
+}
+
+// EnclosingFuncDecl returns the innermost *ast.FuncDecl on the ancestor
+// stack, or nil.
+func EnclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// IsWrite reports whether expression n (whose ancestor stack is given,
+// outermost first) is the direct target of an assignment or ++/--.
+// Address-taking (&n) is not counted: by itself it is neither a read nor a
+// write.
+func IsWrite(stack []ast.Node, n ast.Expr) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.AssignStmt:
+			for _, lhs := range parent.Lhs {
+				if ast.Unparen(lhs) == n {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return ast.Unparen(parent.X) == n
+		default:
+			return false
+		}
+	}
+	return false
+}

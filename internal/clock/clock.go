@@ -218,6 +218,10 @@ func (d *Domain) NewWriteTimestamp(id int) Timestamp {
 	}
 	w.lastAdjusted = adjusted
 	ts := Compose(adjusted, id)
+	if invariantsEnabled {
+		assertf(uint64(ts) > w.wts.Load(),
+			"worker %d write timestamp %v not after %v", id, ts, Timestamp(w.wts.Load()))
+	}
 	w.wts.Store(uint64(ts))
 	return ts
 }
@@ -293,6 +297,7 @@ func (d *Domain) RefreshIdle(id int) {
 // the leader thread after observing a full quiescence round and returns the
 // new watermarks.
 func (d *Domain) UpdateMins() (minWTS, minRTS Timestamp) {
+	prevW, prevR := d.minWTS.Load(), d.minRTS.Load()
 	minW := ^uint64(0)
 	minR := ^uint64(0)
 	for i := range d.workers {
@@ -305,7 +310,16 @@ func (d *Domain) UpdateMins() (minWTS, minRTS Timestamp) {
 	}
 	storeMax(&d.minWTS, minW)
 	storeMax(&d.minRTS, minR)
-	return Timestamp(d.minWTS.Load()), Timestamp(d.minRTS.Load())
+	newW, newR := d.minWTS.Load(), d.minRTS.Load()
+	if invariantsEnabled {
+		// The watermarks advance monotonically (§3.6) and min_rts stays
+		// strictly below min_wts: every worker's rts is some historical
+		// min_wts-1, and min_wts never moves backward.
+		assertf(newW >= prevW, "min_wts moved backward: %v -> %v", Timestamp(prevW), Timestamp(newW))
+		assertf(newR >= prevR, "min_rts moved backward: %v -> %v", Timestamp(prevR), Timestamp(newR))
+		assertf(newR < newW, "min_rts %v not below min_wts %v", Timestamp(newR), Timestamp(newW))
+	}
+	return Timestamp(newW), Timestamp(newR)
 }
 
 // storeMax monotonically raises an atomic to at least v.

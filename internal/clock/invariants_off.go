@@ -1,0 +1,10 @@
+//go:build !cicada_invariants
+
+package clock
+
+// invariantsEnabled gates the runtime assertion hooks in this package (build
+// tag cicada_invariants). In this build they compile to nothing.
+const invariantsEnabled = false
+
+// assertf is a no-op in builds without the cicada_invariants tag.
+func assertf(cond bool, format string, args ...any) {}

@@ -1,0 +1,16 @@
+//go:build cicada_invariants
+
+package clock
+
+import "fmt"
+
+// invariantsEnabled gates the runtime assertion hooks in this package (build
+// tag cicada_invariants).
+const invariantsEnabled = true
+
+// assertf panics with a formatted message if cond is false.
+func assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic("cicada invariant violation: " + fmt.Sprintf(format, args...))
+	}
+}

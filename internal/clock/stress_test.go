@@ -55,6 +55,56 @@ func TestConcurrentSyncAndAllocation(t *testing.T) {
 	}
 }
 
+// TestWatermarkMonotoneUnderRace hammers allocation and read-refresh on all
+// workers while a single maintenance goroutine (mirroring the engine's
+// leader) recomputes the watermarks: min_wts and min_rts must never move
+// backwards and min_rts must stay strictly below min_wts. Run with -race and
+// -tags cicada_invariants to also arm the in-clock assertions.
+func TestWatermarkMonotoneUnderRace(t *testing.T) {
+	const workers = 4
+	d := NewDomain(workers, Options{SyncInterval: time.Microsecond})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d.NewWriteTimestamp(id)
+				if i%32 == 0 {
+					d.MaybeSync(id)
+					d.RefreshRead(id)
+				}
+			}
+		}(id)
+	}
+	rounds := 4000
+	if testing.Short() {
+		rounds = 500
+	}
+	var prevW, prevR Timestamp
+	for i := 0; i < rounds; i++ {
+		minW, minR := d.UpdateMins()
+		if minW < prevW {
+			t.Fatalf("round %d: min_wts moved backwards: %v then %v", i, prevW, minW)
+		}
+		if minR < prevR {
+			t.Fatalf("round %d: min_rts moved backwards: %v then %v", i, prevR, minR)
+		}
+		if minR >= minW {
+			t.Fatalf("round %d: min_rts %v not below min_wts %v", i, minR, minW)
+		}
+		prevW, prevR = minW, minR
+	}
+	close(stop)
+	wg.Wait()
+}
+
 // TestBoostExceedsResidualSkew: after an abort the boosted timestamp is
 // ahead of a freshly synchronized peer's next timestamp (the purpose of
 // temporary clock boosting).

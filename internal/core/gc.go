@@ -164,6 +164,16 @@ func (w *Worker) collect(it gcItem, minRTS clock.Timestamp) {
 	var batch []limboEntry
 	for c := chain; c != nil; {
 		next := c.Next()
+		if invariantsEnabled {
+			// Reclamation safety (§3.8): every detached version is earlier
+			// than the collected version (list order) and below the min_rts
+			// horizon, so no current or future transaction can read it; and a
+			// PENDING version can never fall below min_rts, because its
+			// writer's timestamp is ≥ min_wts > min_rts.
+			storage.Assertf(c.WTS < it.wts, "gc: detached wts %v not below collected wts %v", c.WTS, it.wts)
+			storage.Assertf(c.WTS < minRTS, "gc: reclaiming wts %v at or above min_rts %v", c.WTS, minRTS)
+			storage.Assertf(c.Status() != storage.StatusPending, "gc: detached PENDING version (wts %v)", c.WTS)
+		}
 		batch = append(batch, limboEntry{v: c, h: h})
 		c = next
 	}

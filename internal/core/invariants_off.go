@@ -1,0 +1,7 @@
+//go:build !cicada_invariants
+
+package core
+
+// invariantsEnabled gates the runtime assertion hooks in this package (build
+// tag cicada_invariants). In this build they compile to nothing.
+const invariantsEnabled = false

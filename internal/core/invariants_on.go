@@ -1,0 +1,9 @@
+//go:build cicada_invariants
+
+package core
+
+// invariantsEnabled gates the runtime assertion hooks in this package (build
+// tag cicada_invariants). The checks themselves live next to the code they
+// guard in validate.go and gc.go; storage.Assertf and the storage check
+// helpers do the heavy lifting.
+const invariantsEnabled = true

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cicada/internal/storage"
+)
+
+// skipGone converts ErrNotFound (the record was churned away) into a clean
+// commit; every other error — ErrAborted in particular — must propagate so
+// Run can retry the closed transaction.
+func skipGone(err error) error {
+	if errors.Is(err, ErrNotFound) {
+		return errSkipTxn
+	}
+	return err
+}
+
+var errSkipTxn = errors.New("race test: record gone, skip")
+
+// TestRaceMixedWorkload drives concurrent transfers, delete/insert churn,
+// read-only scans, and explicit garbage collection across four workers, in
+// both pending-wait modes. The balance total is conserved by every committed
+// transaction, so any serializability or visibility race shows up as a sum
+// mismatch; auditChains catches structural chain corruption. Run it under
+// -race and -tags cicada_invariants for the full effect.
+func TestRaceMixedWorkload(t *testing.T) {
+	modes := []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"waitpending", nil},
+		{"nowait", func(o *Options) { o.NoWaitPending = true }},
+	}
+	for _, mode := range modes {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			runRaceMixedWorkload(t, mode.mutate)
+		})
+	}
+}
+
+func runRaceMixedWorkload(t *testing.T, mutate func(*Options)) {
+	const (
+		workers = 4
+		records = 24
+		seed    = uint64(1000)
+	)
+	iters := 300
+	if testing.Short() {
+		iters = 80
+	}
+	e := newTestEngine(workers, mutate)
+	tbl := e.CreateTable("accounts")
+	w0 := e.Worker(0)
+
+	var mu sync.Mutex
+	rids := make([]storage.RecordID, records)
+	for i := range rids {
+		buf := make([]byte, 8)
+		putU64(buf, seed)
+		rids[i] = mustInsert(t, w0, tbl, buf)
+	}
+
+	pick := func(rng *rand.Rand) (int, storage.RecordID) {
+		mu.Lock()
+		i := rng.Intn(records)
+		rid := rids[i]
+		mu.Unlock()
+		return i, rid
+	}
+
+	var wg sync.WaitGroup
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id) * 7771))
+			w := e.Worker(id)
+			for i := 0; i < iters; i++ {
+				switch rng.Intn(8) {
+				case 0: // churn: delete a record and re-insert its balance
+					slot, rid := pick(rng)
+					var newRid storage.RecordID
+					replaced := false
+					err := w.Run(func(tx *Txn) error {
+						replaced = false
+						data, err := tx.Read(tbl, rid)
+						if err != nil {
+							return skipGone(err) // lost a churn race
+						}
+						bal := u64(data)
+						if err := tx.Delete(tbl, rid); err != nil {
+							return skipGone(err)
+						}
+						r, buf, err := tx.Insert(tbl, 8)
+						if err != nil {
+							return err
+						}
+						putU64(buf, bal)
+						newRid = r
+						replaced = true
+						return nil
+					})
+					if err != nil && !errors.Is(err, errSkipTxn) {
+						t.Errorf("worker %d churn: %v", id, err)
+						return
+					}
+					if replaced {
+						mu.Lock()
+						if rids[slot] == rid {
+							rids[slot] = newRid
+						}
+						mu.Unlock()
+					}
+				case 1: // read-only scan of a few records
+					_ = w.RunRO(func(tx *Txn) error {
+						for k := 0; k < 4; k++ {
+							_, rid := pick(rng)
+							if _, err := tx.Read(tbl, rid); err != nil {
+								return skipGone(err)
+							}
+						}
+						return nil
+					})
+				default: // transfer between two accounts
+					_, from := pick(rng)
+					_, to := pick(rng)
+					if from == to {
+						continue
+					}
+					amount := uint64(rng.Intn(10) + 1)
+					if err := w.Run(func(tx *Txn) error {
+						src, err := tx.Update(tbl, from, -1)
+						if err != nil {
+							return skipGone(err) // churned away mid-flight
+						}
+						dst, err := tx.Update(tbl, to, -1)
+						if err != nil {
+							return skipGone(err)
+						}
+						if u64(src) < amount {
+							return errSkipTxn
+						}
+						putU64(src, u64(src)-amount)
+						putU64(dst, u64(dst)+amount)
+						return nil
+					}); err != nil && !errors.Is(err, errSkipTxn) {
+						t.Errorf("worker %d transfer: %v", id, err)
+						return
+					}
+				}
+				if i%32 == 31 {
+					w.collectGarbage()
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	advanceEpochs(t, e, 4)
+	for id := 0; id < workers; id++ {
+		e.Worker(id).collectGarbage()
+	}
+
+	var total uint64
+	if err := w0.Run(func(tx *Txn) error {
+		total = 0
+		mu.Lock()
+		snapshot := append([]storage.RecordID(nil), rids...)
+		mu.Unlock()
+		for _, rid := range snapshot {
+			data, err := tx.Read(tbl, rid)
+			if err != nil {
+				return err
+			}
+			total += u64(data)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("final sum: %v", err)
+	}
+	if want := uint64(records) * seed; total != want {
+		t.Fatalf("balance total %d, want %d: a committed transfer was lost or duplicated", total, want)
+	}
+	if chains, _ := auditChains(t, e); chains == 0 {
+		t.Fatal("no chains audited")
+	}
+}

@@ -29,8 +29,7 @@ func (t *Table) RecoverInstall(rid storage.RecordID, wts clock.Timestamp, data [
 		v = storage.NewVersion(len(data))
 	}
 	copy(v.Data, data)
-	v.WTS = wts
-	v.SetRTS(wts)
+	v.PrepareInstall(wts)
 	v.SetNext(h.Latest())
 	v.SetStatus(storage.StatusCommitted)
 	for {

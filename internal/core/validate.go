@@ -78,6 +78,13 @@ func (t *Txn) Commit() error {
 		if a.newVer == nil {
 			continue
 		}
+		if invariantsEnabled && a.installed && !opts.NoWaitPending {
+			// At the moment a pending version commits, the committed version
+			// below it must not have been read beyond tx.ts (§3.4). Under
+			// NoWaitPending speculative readers may violate this and abort
+			// later instead, so the check is skipped there.
+			storage.CheckCommitOrder(a.newVer, "commit")
+		}
 		if a.kind == accDelete {
 			a.newVer.SetStatus(storage.StatusDeleted)
 		} else {
@@ -215,9 +222,7 @@ func (t *Txn) sortWriteSetByContention() {
 func (t *Txn) install(a *access) bool {
 	h := a.tbl.st.Head(a.rid)
 	nv := a.newVer
-	nv.WTS = t.ts
-	nv.SetRTS(t.ts)
-	nv.SetStatus(storage.StatusPending)
+	nv.PrepareInstall(t.ts)
 	checkLatest := !t.eng.opts.NoWriteLatestRule &&
 		(a.kind == accRMW || a.kind == accDelete)
 	for {
@@ -265,6 +270,9 @@ func (t *Txn) install(a *access) bool {
 			ok = prev.CASNext(cur, nv)
 		}
 		if ok {
+			if invariantsEnabled {
+				storage.CheckChainSorted(h.Latest(), "install")
+			}
 			a.installed = true
 			a.laterVer = prev
 			return true

@@ -75,6 +75,6 @@ func (p *VersionPool) Put(v *Version) {
 	if len(p.classes[c]) >= 1024 {
 		return // cap pool growth; let the Go GC take the rest
 	}
-	v.next.Store(nil)
+	v.SetNext(nil)
 	p.classes[c] = append(p.classes[c], v)
 }

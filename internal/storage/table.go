@@ -86,23 +86,24 @@ func (h *Head) TryAcquireInline(size int) (*Version, bool) {
 	if !v.CASStatus(StatusUnused, StatusPending) {
 		return nil, false
 	}
-	v.inline = true
-	v.WTS = 0
-	v.rts.Store(0)
-	v.next.Store(nil)
-	v.Data = h.inlineBuf[:size]
+	v.bindInline(h.inlineBuf[:size])
 	return v, true
 }
 
 // ReleaseInline returns the inline version to the UNUSED state so a future
 // write can claim it. The caller must guarantee the slot is unreachable.
 func (h *Head) ReleaseInline() {
-	v := &h.inlined
-	v.WTS = 0
-	v.rts.Store(0)
-	v.next.Store(nil)
-	v.Data = nil
-	v.SetStatus(StatusUnused)
+	h.inlined.clearInline()
+}
+
+// ResetForFree clears the head for record-ID reuse: version list anchor,
+// record.min_wts, absence timestamp, and the inline slot. The caller
+// (garbage collection) must guarantee the record is unreachable.
+func (h *Head) ResetForFree() {
+	h.latest.Store(nil)
+	h.gcMinWTS.Store(0)
+	h.absentRTS.Store(0)
+	h.ReleaseInline()
 }
 
 // TryLockGC attempts to acquire the record's garbage collection lock.
@@ -193,11 +194,7 @@ func (t *Table) AllocRecordID(worker int) RecordID {
 // FreeRecordID returns a reclaimed record ID to worker's free list. The
 // caller (garbage collection) must guarantee the record is unreachable.
 func (t *Table) FreeRecordID(worker int, rid RecordID) {
-	h := t.Head(rid)
-	h.latest.Store(nil)
-	h.SetGCMinWTS(0)
-	h.absentRTS.Store(0)
-	h.ReleaseInline()
+	t.Head(rid).ResetForFree()
 	fl := &t.free[worker]
 	fl.ids = append(fl.ids, rid)
 }
@@ -208,6 +205,7 @@ func (t *Table) ensure(rid RecordID) {
 	if uint64(len(*t.dir.Load())) >= need {
 		return
 	}
+	//lint:allow locksdiscipline page-directory growth is a cold path amortized over pageSize inserts; the fast path above is a lock-free load
 	t.growMu.Lock()
 	defer t.growMu.Unlock()
 	cur := *t.dir.Load()

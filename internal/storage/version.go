@@ -101,6 +101,16 @@ func (v *Version) RaiseRTS(ts clock.Timestamp) {
 // version creation before the version is reachable.
 func (v *Version) SetRTS(ts clock.Timestamp) { v.rts.Store(uint64(ts)) }
 
+// PrepareInstall initializes the version's timestamp words for installation
+// at ts: wts = rts = ts, status = PENDING. It is the only sanctioned way to
+// write WTS outside this package; it must run before the version becomes
+// reachable (the statusorder analyzer enforces this discipline).
+func (v *Version) PrepareInstall(ts clock.Timestamp) {
+	v.WTS = ts
+	v.rts.Store(uint64(ts))
+	v.status.Store(uint32(StatusPending))
+}
+
 // Status returns the version's commit status.
 func (v *Version) Status() Status { return Status(v.status.Load()) }
 
@@ -126,6 +136,26 @@ func (v *Version) CASNext(old, new *Version) bool {
 
 // Inline reports whether this version is a head-embedded inline slot.
 func (v *Version) Inline() bool { return v.inline }
+
+// bindInline marks v as the head-embedded slot and points its Data at the
+// head's buffer. The caller owns the slot (status is already PENDING).
+func (v *Version) bindInline(data []byte) {
+	v.inline = true
+	v.WTS = 0
+	v.rts.Store(0)
+	v.next.Store(nil)
+	v.Data = data
+}
+
+// clearInline returns an inline slot to the UNUSED state. The caller must
+// guarantee the slot is unreachable.
+func (v *Version) clearInline() {
+	v.WTS = 0
+	v.rts.Store(0)
+	v.next.Store(nil)
+	v.Data = nil
+	v.status.Store(uint32(StatusUnused))
+}
 
 // Reset prepares a pooled (non-inline) version for reuse with room for size
 // bytes of data.
