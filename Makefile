@@ -1,9 +1,12 @@
 GO ?= go
 
 # Hot-path packages covered by the invariant assertions and race job.
-RACE_PKGS = ./internal/core/... ./internal/clock/... ./internal/storage/...
+# internal/telemetry rides along: its write side is deliberately
+# unsynchronized (single-writer atomic words), so the race detector is the
+# proof that the discipline holds.
+RACE_PKGS = ./internal/core/... ./internal/clock/... ./internal/storage/... ./internal/telemetry/...
 
-.PHONY: all build test lint vet race bench clean
+.PHONY: all build test lint vet race bench telemetry-smoke clean
 
 all: build lint test
 
@@ -29,6 +32,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Telemetry-on vs telemetry-off throughput comparison; asserts the
+# regression stays under the smoke bound (see docs/OBSERVABILITY.md).
+telemetry-smoke:
+	$(GO) test -tags telemetry_smoke -run TelemetryOverhead -v ./internal/bench/
 
 clean:
 	$(GO) clean ./...

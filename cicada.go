@@ -29,12 +29,14 @@
 package cicada
 
 import (
+	"net/http"
 	"time"
 
 	"cicada/internal/clock"
 	"cicada/internal/core"
 	"cicada/internal/index"
 	"cicada/internal/storage"
+	"cicada/internal/telemetry"
 	"cicada/internal/wal"
 )
 
@@ -74,6 +76,17 @@ type Config struct {
 	// CentralizedClock replaces multi-clock timestamping with a shared
 	// atomic counter, as conventional MVCC schemes use (for comparison).
 	CentralizedClock bool
+	// PendingWaitLimit bounds the spin-wait on a PENDING version (§3.2):
+	// after this many status checks the waiter aborts with the
+	// pending_wait reason instead of spinning further. 0 (the default)
+	// waits indefinitely, as the paper specifies.
+	PendingWaitLimit int
+	// Telemetry enables the metrics registry and the aborted-transaction
+	// flight recorder (see docs/OBSERVABILITY.md); scrape them with
+	// MetricsHandler or MetricValues. Off by default: the engine then
+	// keeps only its always-on outcome counters and skips all hot-path
+	// latency timing.
+	Telemetry bool
 
 	// NoWaitPending, NoWriteLatestRule, NoSortWriteSet and NoPreCheck
 	// disable individual performance optimizations (Table 2 ablations).
@@ -92,6 +105,7 @@ func DefaultConfig(n int) Config {
 type DB struct {
 	eng *core.Engine
 	wal *wal.Manager
+	reg *telemetry.Registry
 }
 
 // Open creates a database. Tables and indexes must be created before
@@ -112,7 +126,14 @@ func Open(cfg Config) *DB {
 		opts.FixedMaxBackoff = -1
 	}
 	opts.Clock.Centralized = cfg.CentralizedClock
-	return &DB{eng: core.NewEngine(opts)}
+	opts.PendingWaitLimit = cfg.PendingWaitLimit
+	db := &DB{}
+	if cfg.Telemetry {
+		db.reg = telemetry.NewRegistry(cfg.Workers)
+		opts.Metrics = db.reg
+	}
+	db.eng = core.NewEngine(opts)
+	return db
 }
 
 // Table is a handle to a Cicada table: an expandable array of multi-version
@@ -138,17 +159,26 @@ func (db *DB) Worker(id int) *Worker {
 // Workers returns the configured worker count.
 func (db *DB) Workers() int { return db.eng.Options().Workers }
 
-// Stats aggregates transaction counters across workers. Call while workers
-// are paused or finished.
-func (db *DB) Stats() Stats {
-	s := db.eng.Stats()
-	return Stats{
-		Commits:    s.Commits,
-		Aborts:     s.Aborts,
-		UserAborts: s.UserAborts,
-		AbortTime:  s.AbortTime,
-		BusyTime:   s.BusyTime,
+// Stats aggregates transaction counters across workers. Safe to call while
+// workers run: every counter is read atomically (slightly stale, never
+// torn), though the fields are mutually consistent only at quiescence.
+func (db *DB) Stats() Stats { return statsFromCore(db.eng.Stats()) }
+
+func statsFromCore(s core.Stats) Stats {
+	out := Stats{
+		Commits:        s.Commits,
+		Aborts:         s.Aborts,
+		UserAborts:     s.UserAborts,
+		AbortTime:      s.AbortTime,
+		BusyTime:       s.BusyTime,
+		AbortsByReason: make(map[string]uint64, core.NumAbortReasons),
 	}
+	for r := core.AbortReason(0); r < core.NumAbortReasons; r++ {
+		if n := s.AbortsByReason[r]; n > 0 {
+			out.AbortsByReason[r.String()] = n
+		}
+	}
+	return out
 }
 
 // CommittedTxns returns the live committed-transaction count (safe to call
@@ -165,6 +195,27 @@ func (db *DB) SpaceOverhead() float64 { return db.eng.SpaceOverhead() }
 // Engine exposes the internal engine for benchmarks within this module.
 func (db *DB) Engine() *core.Engine { return db.eng }
 
+// MetricsHandler returns an http.Handler serving the database's metrics:
+// /metrics (Prometheus text), /debug/vars (expvar-style JSON), and
+// /debug/txntrace (recent aborted transactions, newest first). It returns
+// nil unless Config.Telemetry was set.
+func (db *DB) MetricsHandler() http.Handler {
+	if db.reg == nil {
+		return nil
+	}
+	return telemetry.Handler(db.reg)
+}
+
+// MetricValues returns a flat snapshot of every metric, labels folded into
+// the key (see docs/OBSERVABILITY.md for the name list). It returns nil
+// unless Config.Telemetry was set.
+func (db *DB) MetricValues() map[string]float64 {
+	if db.reg == nil {
+		return nil
+	}
+	return db.reg.Values()
+}
+
 // Stats are aggregate transaction outcome counters.
 type Stats struct {
 	Commits    uint64
@@ -172,6 +223,12 @@ type Stats struct {
 	UserAborts uint64
 	AbortTime  time.Duration
 	BusyTime   time.Duration
+	// AbortsByReason splits the aborts by cause, keyed by reason name
+	// (rts_early, write_latest, precheck, validation, pending_wait,
+	// precommit_hook, logger, user). Zero-count reasons are omitted. The
+	// "user" entry mirrors UserAborts and is not part of Aborts; all
+	// other entries sum to Aborts.
+	AbortsByReason map[string]uint64
 }
 
 // AbortRate returns aborts / (aborts + commits).
@@ -247,17 +304,9 @@ func (w *Worker) ReadDirect(t *Table, rid RecordID) ([]byte, bool) {
 // now; useful for measuring snapshot staleness.
 func (w *Worker) SnapshotTimestamp() Timestamp { return w.w.SnapshotTS() }
 
-// Stats returns this worker's counters.
-func (w *Worker) Stats() Stats {
-	s := w.w.Stats()
-	return Stats{
-		Commits:    s.Commits,
-		Aborts:     s.Aborts,
-		UserAborts: s.UserAborts,
-		AbortTime:  s.AbortTime,
-		BusyTime:   s.BusyTime,
-	}
-}
+// Stats returns this worker's counters. Safe to call while the worker runs
+// (see DB.Stats).
+func (w *Worker) Stats() Stats { return statsFromCore(w.w.Stats()) }
 
 // Txn is a transaction. All operations must happen on the worker's
 // goroutine between Run's invocation and return.

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"cicada/internal/bench"
+	"cicada/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +40,8 @@ func main() {
 		records = flag.Int("ycsb-records", 0, "override YCSB record count")
 		items   = flag.Int("tpcc-items", 0, "override TPC-C item count")
 		sizes   = flag.String("record-sizes", "", "comma-separated Figure 8 record sizes")
+		metrics = flag.String("metrics-addr", "", "serve live metrics on this address (/metrics, /debug/vars, /debug/txntrace) and export per-trial telemetry")
+		telFlag = flag.Bool("telemetry", false, "collect per-trial telemetry without serving HTTP")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -96,6 +99,18 @@ func main() {
 			}
 			s.RecordSizes = append(s.RecordSizes, n)
 		}
+	}
+
+	if *metrics != "" || *telFlag {
+		bench.Telemetry = telemetry.NewLive()
+	}
+	if *metrics != "" {
+		_, addr, err := telemetry.Serve(*metrics, bench.Telemetry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve -metrics-addr: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (also /debug/vars, /debug/txntrace)\n", addr)
 	}
 
 	exps := flag.Args()

@@ -41,6 +41,48 @@ func isAtomicPointerFunc(fn *types.Func) bool {
 	return false
 }
 
+// telemetryPkgSuffix identifies the engine's observability package, whose
+// word helpers and per-worker shard types participate in the atomic
+// discipline. Suffix matching keeps the analyzer testable from GOPATH-style
+// fixtures, like the hot-path suffixes of the other analyzers.
+const telemetryPkgSuffix = "internal/telemetry"
+
+// telemetryWordFuncs are the telemetry package's sanctioned single-writer
+// accessors: they perform the atomic load/store pair internally, so a call
+// counts as an atomic access of the pointed-to field and any plain access
+// of the same field elsewhere is a bug.
+var telemetryWordFuncs = map[string]bool{
+	"OwnerAddUint64": true,
+	"OwnerIncUint64": true,
+	"ReadUint64":     true,
+}
+
+func isTelemetryWordFunc(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil &&
+		strings.HasSuffix(fn.Pkg().Path(), telemetryPkgSuffix) &&
+		telemetryWordFuncs[fn.Name()]
+}
+
+// telemetryShardTypeName returns the type name if t is a value-typed
+// telemetry shard (CounterShard, GaugeShard, HistogramShard,
+// RecorderShard, ...): structs of per-worker atomic words that must only be
+// used through methods or a pointer. Pointers to shards copy fine and
+// return "".
+func telemetryShardTypeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), telemetryPkgSuffix) {
+		return ""
+	}
+	if !strings.HasSuffix(obj.Name(), "Shard") {
+		return ""
+	}
+	return obj.Name()
+}
+
 type fieldAccess struct {
 	pos  token.Pos
 	pkg  string
@@ -63,7 +105,8 @@ func runMixedAtomic(pass *Pass) error {
 				if !ok || len(call.Args) == 0 {
 					return true
 				}
-				if !isAtomicPointerFunc(CalleeFunc(pkg.Info, call)) {
+				fn := CalleeFunc(pkg.Info, call)
+				if !isAtomicPointerFunc(fn) && !isTelemetryWordFunc(fn) {
 					return true
 				}
 				unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
@@ -150,12 +193,17 @@ func isAddressTaken(stack []ast.Node) bool {
 }
 
 // checkAtomicCopy reports uses of typed-atomic fields (atomic.Uint64 etc.)
-// other than method calls on them or taking their address: assigning or
-// passing them by value copies the word without synchronization (and is
-// flagged by vet's copylocks as well; repeated here so one linter covers the
-// whole discipline).
+// and of value-typed telemetry shards other than method calls on them or
+// taking their address: assigning or passing them by value copies atomic
+// words without synchronization (and is flagged by vet's copylocks as well;
+// repeated here so one linter covers the whole discipline).
 func checkAtomicCopy(pass *Pass, pkg *Package, sel *ast.SelectorExpr, field *types.Var, stack []ast.Node) {
 	name := AtomicTypeName(field.Type())
+	qual := "atomic"
+	if name == "" {
+		name = telemetryShardTypeName(field.Type())
+		qual = "telemetry"
+	}
 	if name == "" {
 		return
 	}
@@ -178,6 +226,6 @@ func checkAtomicCopy(pass *Pass, pkg *Package, sel *ast.SelectorExpr, field *typ
 		break
 	}
 	pass.Reportf(sel.Pos(),
-		"atomic.%s field %s is copied or used by value; call its methods or take its address",
-		name, field.Name())
+		"%s.%s field %s is copied or used by value; call its methods or take its address",
+		qual, name, field.Name())
 }

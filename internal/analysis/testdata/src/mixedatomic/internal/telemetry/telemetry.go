@@ -1,0 +1,29 @@
+// Package telemetry fakes the engine's observability package for the
+// mixedatomic fixture (the analyzer matches the internal/telemetry import
+// path suffix): the Owner*/Read* word helpers are sanctioned atomic
+// accessors, and value-typed *Shard structs must not be copied.
+package telemetry
+
+import "sync/atomic"
+
+// OwnerAddUint64 adds d to the single-writer word at p.
+func OwnerAddUint64(p *uint64, d uint64) {
+	atomic.StoreUint64(p, atomic.LoadUint64(p)+d)
+}
+
+// OwnerIncUint64 increments the single-writer word at p.
+func OwnerIncUint64(p *uint64) { OwnerAddUint64(p, 1) }
+
+// ReadUint64 atomically reads the word at p.
+func ReadUint64(p *uint64) uint64 { return atomic.LoadUint64(p) }
+
+// CounterShard is one worker's padded counter word.
+type CounterShard struct {
+	v atomic.Uint64
+}
+
+// Inc is the owner-only increment.
+func (s *CounterShard) Inc() { s.v.Store(s.v.Load() + 1) }
+
+// Value atomically reads the shard.
+func (s *CounterShard) Value() uint64 { return s.v.Load() }

@@ -1,0 +1,44 @@
+// Telemetry half of the mixedatomic fixture: the package's word helpers
+// count as atomic accesses, so mixing them with plain accesses is flagged,
+// and value-typed shards must not be copied.
+package mixedatomic
+
+import (
+	"mixedatomic/internal/telemetry"
+)
+
+type wordStats struct {
+	commits uint64
+	idle    uint64
+	shard   telemetry.CounterShard
+}
+
+func (s *wordStats) inc() {
+	telemetry.OwnerIncUint64(&s.commits) // sanctioned single-writer accessor
+}
+
+func (s *wordStats) badRead() uint64 {
+	return s.commits // want `non-atomic read of field wordStats.commits`
+}
+
+func (s *wordStats) goodRead() uint64 {
+	return telemetry.ReadUint64(&s.commits) // ok: sanctioned accessor
+}
+
+func (s *wordStats) plainPair() uint64 {
+	s.idle++
+	return s.idle // ok: never accessed through atomics or helpers
+}
+
+func (s *wordStats) copyShard() telemetry.CounterShard {
+	return s.shard // want `telemetry.CounterShard field shard is copied or used by value`
+}
+
+func (s *wordStats) useShard() uint64 {
+	s.shard.Inc()
+	return s.shard.Value() // ok: method calls on the shard
+}
+
+func (s *wordStats) addrShard() *telemetry.CounterShard {
+	return &s.shard // ok: address-taking
+}

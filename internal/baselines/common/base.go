@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cicada/internal/engine"
+	"cicada/internal/telemetry"
 )
 
 // MaxBackoff is DBx1000's fixed maximum backoff: an aborted transaction
@@ -17,11 +18,20 @@ const MaxBackoff = 100 * time.Microsecond
 
 // WorkerBase carries the per-worker bookkeeping shared by every baseline:
 // outcome counters and the DBx1000 backoff loop.
+//
+// Each counter word has exactly one writer — the owning worker goroutine —
+// which updates it with an atomic load/store pair (never a locked RMW).
+// Readers (StatsOf, CommitsLiveOf, metric scrapes) may run concurrently and
+// observe values that are slightly stale but never torn.
 type WorkerBase struct {
-	ID      int
-	Rng     *rand.Rand
-	Stats   engine.Stats
-	commits atomic.Uint64
+	ID  int
+	Rng *rand.Rand
+
+	commits    atomic.Uint64
+	aborts     atomic.Uint64
+	userAborts atomic.Uint64
+	abortNs    atomic.Int64
+	busyNs     atomic.Int64
 }
 
 // InitWorker seeds a worker's state.
@@ -33,6 +43,19 @@ func (w *WorkerBase) InitWorker(id int) {
 // CommitsLive returns the worker's committed count (atomic).
 func (w *WorkerBase) CommitsLive() uint64 { return w.commits.Load() }
 
+// Snapshot returns the worker's counters. Safe to call while the worker
+// runs; each field is read atomically (the fields are mutually consistent
+// only when the worker is quiescent).
+func (w *WorkerBase) Snapshot() engine.Stats {
+	return engine.Stats{
+		Commits:    w.commits.Load(),
+		Aborts:     w.aborts.Load(),
+		UserAborts: w.userAborts.Load(),
+		AbortTime:  time.Duration(w.abortNs.Load()),
+		BusyTime:   time.Duration(w.busyNs.Load()),
+	}
+}
+
 // RunLoop drives attempt until it commits or fails with a non-retryable
 // error. attempt must run one full transaction (execute + validate +
 // commit/abort) and return nil, engine.ErrAborted, or an application error.
@@ -41,18 +64,17 @@ func (w *WorkerBase) RunLoop(attempt func() error) error {
 		start := time.Now()
 		err := attempt()
 		elapsed := time.Since(start)
-		w.Stats.BusyTime += elapsed
+		w.busyNs.Store(w.busyNs.Load() + int64(elapsed))
 		if err == nil {
-			w.Stats.Commits++
-			w.commits.Add(1)
+			w.commits.Store(w.commits.Load() + 1)
 			return nil
 		}
 		if !errors.Is(err, engine.ErrAborted) {
-			w.Stats.UserAborts++
+			w.userAborts.Store(w.userAborts.Load() + 1)
 			return err
 		}
-		w.Stats.Aborts++
-		w.Stats.AbortTime += elapsed
+		w.aborts.Store(w.aborts.Load() + 1)
+		w.abortNs.Store(w.abortNs.Load() + int64(elapsed))
 		w.Backoff()
 	}
 }
@@ -61,7 +83,7 @@ func (w *WorkerBase) RunLoop(attempt func() error) error {
 // microsecond-scale backoff is honored on coarse-timer platforms.
 func (w *WorkerBase) Backoff() {
 	d := time.Duration(w.Rng.Int63n(int64(MaxBackoff) + 1))
-	w.Stats.AbortTime += d
+	w.abortNs.Store(w.abortNs.Load() + int64(d))
 	if d == 0 {
 		runtime.Gosched()
 		return
@@ -72,15 +94,17 @@ func (w *WorkerBase) Backoff() {
 	}
 }
 
-// StatsOf aggregates worker stats. Call while workers are quiescent.
+// StatsOf aggregates worker stats. Safe while workers run (each worker's
+// words are read atomically); exact only once workers are quiescent.
 func StatsOf(ws []*WorkerBase) engine.Stats {
 	var s engine.Stats
 	for _, w := range ws {
-		s.Commits += w.Stats.Commits
-		s.Aborts += w.Stats.Aborts
-		s.UserAborts += w.Stats.UserAborts
-		s.AbortTime += w.Stats.AbortTime
-		s.BusyTime += w.Stats.BusyTime
+		snap := w.Snapshot()
+		s.Commits += snap.Commits
+		s.Aborts += snap.Aborts
+		s.UserAborts += snap.UserAborts
+		s.AbortTime += snap.AbortTime
+		s.BusyTime += snap.BusyTime
 	}
 	return s
 }
@@ -92,6 +116,34 @@ func CommitsLiveOf(ws []*WorkerBase) uint64 {
 		n += w.CommitsLive()
 	}
 	return n
+}
+
+// RegisterMetrics registers the engine_* counter families shared by all
+// engines, labeled with the scheme name, so a baseline's series line up
+// with Cicada's for side-by-side comparison. The values are computed at
+// scrape time from the workers' single-writer counters; the hot path is
+// untouched. nil reg is a no-op.
+func RegisterMetrics(reg *telemetry.Registry, name string, ws []*WorkerBase) {
+	if reg == nil {
+		return
+	}
+	stat := func(f func(s *engine.Stats) float64) func() float64 {
+		return func() float64 {
+			s := StatsOf(ws)
+			return f(&s)
+		}
+	}
+	engLabel := telemetry.Label{Key: "engine", Value: name}
+	reg.CounterFunc("engine_commits_total", "Committed transactions.",
+		stat(func(s *engine.Stats) float64 { return float64(s.Commits) }), engLabel)
+	reg.CounterFunc("engine_aborts_total", "Concurrency-control aborts.",
+		stat(func(s *engine.Stats) float64 { return float64(s.Aborts) }), engLabel)
+	reg.CounterFunc("engine_user_aborts_total", "Application-requested rollbacks.",
+		stat(func(s *engine.Stats) float64 { return float64(s.UserAborts) }), engLabel)
+	reg.CounterFunc("engine_busy_seconds_total", "Time spent processing transactions.",
+		stat(func(s *engine.Stats) float64 { return s.BusyTime.Seconds() }), engLabel)
+	reg.CounterFunc("engine_abort_seconds_total", "Time spent on aborted work and backoff.",
+		stat(func(s *engine.Stats) float64 { return s.AbortTime.Seconds() }), engLabel)
 }
 
 // Yield is a scheduling hint used inside consistent-read retry loops.

@@ -37,6 +37,7 @@ func New(cfg engine.Config) engine.DB {
 		w.tx.own = make(map[uint64]int, 32)
 		db.workers[i] = w
 	}
+	common.RegisterMetrics(cfg.Metrics, db.Name(), db.bases())
 	return db
 }
 
@@ -66,12 +67,15 @@ func (db *DB) CreateOrderedIndex(name string) engine.IndexID {
 func (db *DB) Worker(id int) engine.Worker { return db.workers[id] }
 
 // Stats implements engine.DB.
-func (db *DB) Stats() engine.Stats {
+func (db *DB) Stats() engine.Stats { return common.StatsOf(db.bases()) }
+
+// bases collects the workers' shared bookkeeping for aggregation.
+func (db *DB) bases() []*common.WorkerBase {
 	bases := make([]*common.WorkerBase, len(db.workers))
 	for i, w := range db.workers {
 		bases[i] = &w.WorkerBase
 	}
-	return common.StatsOf(bases)
+	return bases
 }
 
 // CommitsLive implements engine.DB.

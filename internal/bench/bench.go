@@ -23,12 +23,54 @@ import (
 	"cicada/internal/cicadaeng"
 	"cicada/internal/core"
 	"cicada/internal/engine"
+	"cicada/internal/telemetry"
 	"cicada/internal/workload/tpcc"
 	"cicada/internal/workload/ycsb"
 )
 
 // EngineNames is the comparison order used in the paper's figures.
 var EngineNames = []string{"Cicada", "Silo'", "TicToc", "2PL-NoWait", "Hekaton", "ERMIA", "MOCC"}
+
+// Telemetry, when non-nil, gives every trial a fresh metric registry: the
+// registry is installed into the engine's Config, published to the Live
+// handle (so a -metrics-addr HTTP endpoint follows the trial currently
+// running), and its values are exported into Result.Telemetry when the
+// trial ends. nil (the default) keeps trials telemetry-free.
+var Telemetry *telemetry.Live
+
+// trialRegistry creates and publishes a per-trial registry, or returns nil
+// when telemetry is disabled.
+func trialRegistry(workers int) *telemetry.Registry {
+	if Telemetry == nil {
+		return nil
+	}
+	reg := telemetry.NewRegistry(workers)
+	Telemetry.Set(reg)
+	return reg
+}
+
+// telemetryBase snapshots the monotone series at measurement start so the
+// exported deltas cover exactly the measurement window.
+func telemetryBase(reg *telemetry.Registry) map[string]float64 {
+	if reg == nil {
+		return nil
+	}
+	return reg.MonotoneValues()
+}
+
+// exportTelemetry stores the trial's final metric values in res.Telemetry,
+// adding a ".delta" entry (final minus measurement-window start) for each
+// monotone series captured in base.
+func exportTelemetry(res *Result, reg *telemetry.Registry, base map[string]float64) {
+	if reg == nil {
+		return
+	}
+	vals := reg.Values()
+	for k, v := range base {
+		vals[k+".delta"] = vals[k] - v
+	}
+	res.Telemetry = vals
+}
 
 // Factory returns the factory for an engine name. Cicada uses the paper's
 // default options; use CicadaFactory for ablated variants.
@@ -87,6 +129,10 @@ type Result struct {
 	// Extra carries experiment-specific metrics (records/s, space
 	// overhead, staleness).
 	Extra map[string]float64
+	// Telemetry carries the trial's final metric values plus
+	// measurement-window deltas (".delta" suffix) for monotone series,
+	// populated only when the package-level Telemetry handle is set.
+	Telemetry map[string]float64
 }
 
 // Durations controls measurement length; tests and benchmarks shrink them.
@@ -113,14 +159,16 @@ func runLoop(db engine.DB, drive func(id int, wk engine.Worker, stop <-chan stru
 	return stop, done
 }
 
-// measure samples committed throughput over the measurement window.
-func measure(db engine.DB, d Durations) float64 {
+// measure samples committed throughput over the measurement window; base is
+// the telemetry snapshot taken as the window opens (nil if disabled).
+func measure(db engine.DB, d Durations, reg *telemetry.Registry) (tps float64, base map[string]float64) {
 	time.Sleep(d.Ramp)
+	base = telemetryBase(reg)
 	c0 := db.CommitsLive()
 	t0 := time.Now()
 	time.Sleep(d.Measure)
 	c1 := db.CommitsLive()
-	return float64(c1-c0) / time.Since(t0).Seconds()
+	return float64(c1-c0) / time.Since(t0).Seconds(), base
 }
 
 func finish(db engine.DB, res *Result) {
@@ -152,8 +200,9 @@ func RunTPCC(name string, f engine.Factory, o TPCCOpts) Result {
 	cfg := o.Scale
 	cfg.Warehouses = o.Warehouses
 	cfg.NP = o.NP
+	reg := trialRegistry(o.Threads)
 	db := f(engine.Config{Workers: o.Threads, PhantomAvoidance: o.Phantom,
-		HashBucketsHint: cfg.Warehouses * cfg.Items})
+		HashBucketsHint: cfg.Warehouses * cfg.Items, Metrics: reg})
 	w := tpcc.Setup(db, cfg)
 	if err := w.Load(); err != nil {
 		panic(fmt.Sprintf("tpcc load (%s): %v", name, err))
@@ -184,7 +233,7 @@ func RunTPCC(name string, f engine.Factory, o TPCCOpts) Result {
 			h.add(time.Since(t0))
 		}
 	})
-	tps := measure(db, o.Durations)
+	tps, telBase := measure(db, o.Durations, reg)
 	close(stop)
 	done.Wait()
 	res := Result{Engine: name, Threads: o.Threads, TPS: tps}
@@ -193,6 +242,7 @@ func RunTPCC(name string, f engine.Factory, o TPCCOpts) Result {
 		"p99_us": float64(percentile(hists, 0.99)) / 1e3,
 	}
 	finish(db, &res)
+	exportTelemetry(&res, reg, telBase)
 	if o.Inspect != nil {
 		o.Inspect(db, &res)
 	}
@@ -213,8 +263,9 @@ type YCSBOpts struct {
 
 // RunYCSB measures one engine on YCSB.
 func RunYCSB(name string, f engine.Factory, o YCSBOpts) Result {
+	reg := trialRegistry(o.Threads)
 	db := f(engine.Config{Workers: o.Threads, PhantomAvoidance: o.Phantom,
-		HashBucketsHint: o.Cfg.Records})
+		HashBucketsHint: o.Cfg.Records, Metrics: reg})
 	w := ycsb.Setup(db, o.Cfg)
 	if err := w.Load(); err != nil {
 		panic(fmt.Sprintf("ycsb load (%s): %v", name, err))
@@ -255,6 +306,7 @@ func RunYCSB(name string, f engine.Factory, o YCSBOpts) Result {
 		return n
 	}
 	time.Sleep(o.Durations.Ramp)
+	telBase := telemetryBase(reg)
 	c0 := db.CommitsLive()
 	if o.CountScans {
 		scanned0 = readScanned()
@@ -279,6 +331,7 @@ func RunYCSB(name string, f engine.Factory, o YCSBOpts) Result {
 		res.Extra["records_scanned_per_s"] = scanRate
 	}
 	finish(db, &res)
+	exportTelemetry(&res, reg, telBase)
 	if o.Inspect != nil {
 		o.Inspect(db, &res)
 	}
@@ -287,6 +340,8 @@ func RunYCSB(name string, f engine.Factory, o YCSBOpts) Result {
 
 // WriteCSV appends results to w as CSV rows:
 // experiment,engine,threads,param,tps,abort_rate,abort_time_frac,extras...
+// Telemetry values, when collected, follow the extras as tel:name=value
+// pairs.
 func WriteCSV(w io.Writer, results []Result) {
 	for _, r := range results {
 		fmt.Fprintf(w, "%s,%s,%d,%g,%.1f,%.4f,%.4f", r.Experiment, r.Engine, r.Threads, r.Param, r.TPS, r.AbortRate, r.AbortTimeFrac)
@@ -297,6 +352,14 @@ func WriteCSV(w io.Writer, results []Result) {
 		sort.Strings(keys)
 		for _, k := range keys {
 			fmt.Fprintf(w, ",%s=%.2f", k, r.Extra[k])
+		}
+		telKeys := make([]string, 0, len(r.Telemetry))
+		for k := range r.Telemetry {
+			telKeys = append(telKeys, k)
+		}
+		sort.Strings(telKeys)
+		for _, k := range telKeys {
+			fmt.Fprintf(w, ",tel:%s=%g", k, r.Telemetry[k])
 		}
 		fmt.Fprintln(w)
 	}

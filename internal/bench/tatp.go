@@ -20,8 +20,9 @@ type TATPOpts struct {
 
 // RunTATP measures one engine on the TATP mix (Appendix B).
 func RunTATP(name string, f engine.Factory, o TATPOpts) Result {
+	reg := trialRegistry(o.Threads)
 	db := f(engine.Config{Workers: o.Threads, PhantomAvoidance: true,
-		HashBucketsHint: o.Cfg.Subscribers})
+		HashBucketsHint: o.Cfg.Subscribers, Metrics: reg})
 	w := tatp.Setup(db, o.Cfg)
 	if err := w.Load(); err != nil {
 		panic(fmt.Sprintf("tatp load (%s): %v", name, err))
@@ -50,6 +51,7 @@ func RunTATP(name string, f engine.Factory, o TATPOpts) Result {
 		}
 	})
 	time.Sleep(o.Durations.Ramp)
+	telBase := telemetryBase(reg)
 	c0 := db.CommitsLive()
 	t0 := time.Now()
 	time.Sleep(o.Durations.Measure)
@@ -64,6 +66,7 @@ func RunTATP(name string, f engine.Factory, o TATPOpts) Result {
 	// report how many reads took the direct path.
 	wholeRun := (o.Durations.Ramp + o.Durations.Measure).Seconds()
 	res.Extra = map[string]float64{"direct_reads_per_s": float64(direct) / wholeRun}
+	exportTelemetry(&res, reg, telBase)
 	return res
 }
 

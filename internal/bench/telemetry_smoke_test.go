@@ -1,0 +1,66 @@
+//go:build telemetry_smoke
+
+package bench
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"cicada/internal/telemetry"
+	"cicada/internal/workload/ycsb"
+)
+
+// telemetrySmokeBound is the maximum relative throughput regression this
+// smoke test tolerates between telemetry-off and telemetry-on runs. The
+// acceptance target on a quiet benchmark machine is < 3% (see
+// docs/OBSERVABILITY.md); CI machines are shared and the windows here are
+// short, so the assertion is looser — it exists to catch a hot path
+// accidentally made expensive (a lock, an allocation, an unconditional
+// time.Now), not to certify the 3% number.
+const telemetrySmokeBound = 0.15
+
+// TestTelemetryOverheadSmoke compares YCSB throughput with telemetry
+// disabled and enabled. Run with: go test -tags telemetry_smoke -run
+// TelemetryOverhead ./internal/bench/
+func TestTelemetryOverheadSmoke(t *testing.T) {
+	threads := runtime.GOMAXPROCS(0)
+	if threads > 4 {
+		threads = 4
+	}
+	cfg := ycsb.DefaultConfig()
+	cfg.Records = 100_000
+	cfg.ReqsPerTx = 4
+	cfg.Theta = 0 // uniform: keeps abort noise out of the comparison
+	o := YCSBOpts{
+		Threads:   threads,
+		Cfg:       cfg,
+		Durations: Durations{Ramp: 100 * time.Millisecond, Measure: 500 * time.Millisecond},
+	}
+
+	const trials = 3
+	run := func(live *telemetry.Live) float64 {
+		prev := Telemetry
+		Telemetry = live
+		defer func() { Telemetry = prev }()
+		best := 0.0
+		for i := 0; i < trials; i++ {
+			if tps := RunYCSB("Cicada", Factory("Cicada"), o).TPS; tps > best {
+				best = tps
+			}
+		}
+		return best
+	}
+
+	off := run(nil)
+	on := run(telemetry.NewLive())
+	if off <= 0 || on <= 0 {
+		t.Fatalf("degenerate throughput: off=%.0f on=%.0f", off, on)
+	}
+	delta := (off - on) / off
+	t.Logf("telemetry off: %.0f tps, on: %.0f tps, regression %.2f%%", off, on, 100*delta)
+	if delta > telemetrySmokeBound {
+		t.Errorf("telemetry overhead %.2f%% exceeds %.0f%% smoke bound",
+			100*delta, 100*telemetrySmokeBound)
+	}
+}

@@ -39,9 +39,11 @@ type dbIndex struct {
 	ordered bool
 }
 
-// New creates a Cicada DB. coreOpts.Workers is overridden from cfg.
+// New creates a Cicada DB. coreOpts.Workers and coreOpts.Metrics are
+// overridden from cfg.
 func New(cfg engine.Config, coreOpts core.Options) *DB {
 	coreOpts.Workers = cfg.Workers
+	coreOpts.Metrics = cfg.Metrics
 	db := &DB{eng: core.NewEngine(coreOpts), cfg: cfg}
 	db.workers = make([]*worker, cfg.Workers)
 	for i := range db.workers {

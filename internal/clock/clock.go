@@ -343,6 +343,56 @@ func (d *Domain) MinRTS() Timestamp { return Timestamp(d.minRTS.Load()) }
 // WTS returns worker id's last allocated write timestamp.
 func (d *Domain) WTS(id int) Timestamp { return Timestamp(d.workers[id].wts.Load()) }
 
+// MaxWTS returns the maximum of all workers' last allocated write
+// timestamps. Like MinWTS it reads each published word atomically but not at
+// one instant; it is a monitoring accessor, not a coordination primitive.
+func (d *Domain) MaxWTS() Timestamp {
+	var max uint64
+	for i := range d.workers {
+		if w := d.workers[i].wts.Load(); w > max {
+			max = w
+		}
+	}
+	return Timestamp(max)
+}
+
+// ClockSpreadTicks returns the current gap between the fastest and slowest
+// worker clocks in ticks — the residual drift that one-sided synchronization
+// and clock boosting keep bounded (§3.1). Monitoring only.
+func (d *Domain) ClockSpreadTicks() uint64 {
+	min, max := ^uint64(0), uint64(0)
+	for i := range d.workers {
+		c := d.workers[i].clock.Load()
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max < min {
+		return 0
+	}
+	return max - min
+}
+
+// MaxSnapshotAgeTicks returns how far the oldest worker's read-only snapshot
+// timestamp lags the newest write timestamp, in ticks: the staleness bound of
+// read-only transactions (§3.1, §4.6). Monitoring only.
+func (d *Domain) MaxSnapshotAgeTicks() uint64 {
+	maxW := d.MaxWTS().ClockValue()
+	minR := ^uint64(0)
+	for i := range d.workers {
+		if r := Timestamp(d.workers[i].rts.Load()).ClockValue(); r < minR {
+			minR = r
+		}
+	}
+	if minR >= maxW {
+		return 0
+	}
+	return maxW - minR
+}
+
 // AdvanceAllPast raises every worker's clock so all future timestamps are
 // later than after; used when initializing clocks after recovery replay
 // (§3.7).

@@ -102,6 +102,7 @@ func (r *regulator) maybeAdjust(now time.Time, commits uint64, rng *rand.Rand) {
 // time.Sleep, whose scheduler granularity would distort microsecond-scale
 // backoff (and would stall the single-CPU testbed).
 func (w *Worker) backoff() {
+	w.stats.incBackoff()
 	max := w.eng.reg.max()
 	if max <= 0 {
 		runtime.Gosched()
@@ -112,7 +113,7 @@ func (w *Worker) backoff() {
 		runtime.Gosched()
 		return
 	}
-	w.stats.AbortTime += d
+	w.stats.addAbortTime(d)
 	if d > 2*time.Millisecond {
 		time.Sleep(d)
 		return

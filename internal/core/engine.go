@@ -15,6 +15,7 @@ import (
 
 	"cicada/internal/clock"
 	"cicada/internal/storage"
+	"cicada/internal/telemetry"
 )
 
 // Errors returned by transaction operations.
@@ -69,9 +70,20 @@ type Options struct {
 	// which a worker omits write-set sorting and the early consistency
 	// check (§3.5). Paper default: 5.
 	AdaptiveSkipThreshold int
+	// PendingWaitLimit bounds how many times a transaction yields while
+	// spin-waiting on one PENDING version before aborting with
+	// AbortPendingWait. 0 (the default, matching the paper) waits
+	// indefinitely; the writer is validating and resolves shortly.
+	PendingWaitLimit int
 	// Clock configures timestamp allocation; set Clock.Centralized for the
 	// Figure 7 shared-counter ablation.
 	Clock clock.Options
+	// Metrics, when non-nil, receives the engine's metric registrations and
+	// per-worker instrumentation (abort taxonomy, phase latency histograms,
+	// GC/clock/backoff gauges, aborted-transaction flight recorder). The
+	// registry must have at least Workers shards. When nil, the engine runs
+	// with counters only and adds no timing calls to the hot path.
+	Metrics *telemetry.Registry
 }
 
 // DefaultOptions returns the paper's default configuration for n workers.
@@ -160,6 +172,9 @@ func NewEngine(opts Options) *Engine {
 	for i := range e.workers {
 		e.workers[i] = newWorker(e, i)
 	}
+	if opts.Metrics != nil {
+		e.initTelemetry(opts.Metrics)
+	}
 	return e
 }
 
@@ -212,16 +227,19 @@ func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
 func (e *Engine) CommitsLive() uint64 {
 	var n uint64
 	for _, w := range e.workers {
-		n += w.commits.Load()
+		n += w.stats.commits.Load()
 	}
 	return n
 }
 
-// Stats aggregates all workers' counters.
+// Stats aggregates all workers' counters. Safe to call while workers run:
+// every counter is a single-writer atomic word, so the result may lag
+// in-flight transactions but is never torn.
 func (e *Engine) Stats() Stats {
 	var s Stats
 	for _, w := range e.workers {
-		s.add(&w.stats)
+		ws := w.stats.snapshot()
+		s.add(&ws)
 	}
 	return s
 }
@@ -270,6 +288,11 @@ type Stats struct {
 	AbortTime time.Duration
 	// BusyTime is the total time spent processing transactions.
 	BusyTime time.Duration
+	// AbortsByReason splits aborts by cause, indexed by AbortReason. The
+	// entries other than AbortUser sum to Aborts; the AbortUser entry
+	// mirrors UserAborts (user rollbacks are not concurrency-control
+	// aborts and stay out of the Aborts aggregate, as before).
+	AbortsByReason [NumAbortReasons]uint64
 }
 
 func (s *Stats) add(o *Stats) {
@@ -278,6 +301,9 @@ func (s *Stats) add(o *Stats) {
 	s.UserAborts += o.UserAborts
 	s.AbortTime += o.AbortTime
 	s.BusyTime += o.BusyTime
+	for i := range s.AbortsByReason {
+		s.AbortsByReason[i] += o.AbortsByReason[i]
+	}
 }
 
 // AbortRate returns aborts / (aborts + commits).
@@ -296,13 +322,16 @@ type Worker struct {
 	id  int
 	eng *Engine
 
-	pool  storage.VersionPool
-	txn   Txn
-	rng   *rand.Rand
-	stats Stats
-	// commits mirrors stats.Commits atomically for the leader's contention
-	// regulator and for live throughput sampling by the bench harness.
-	commits atomic.Uint64
+	pool storage.VersionPool
+	txn  Txn
+	rng  *rand.Rand
+	// stats holds the worker's counters as single-writer atomic words, so
+	// the leader's contention regulator, Engine.Stats, and live scrapers
+	// read them without racing the worker.
+	stats workerStats
+	// tel caches telemetry shard pointers (phase histograms, GC gauge,
+	// flight recorder); nil when Options.Metrics is unset.
+	tel *workerTel
 
 	// gcQueue is the local garbage collection queue (§3.8); items are
 	// appended at commit and consumed from the front once min_rts passes.
@@ -331,8 +360,9 @@ func newWorker(e *Engine, id int) *Worker {
 // ID returns the worker's thread ID.
 func (w *Worker) ID() int { return w.id }
 
-// Stats returns a copy of the worker's counters.
-func (w *Worker) Stats() Stats { return w.stats }
+// Stats returns a copy of the worker's counters; safe to call from any
+// goroutine while the worker runs.
+func (w *Worker) Stats() Stats { return w.stats.snapshot() }
 
 // Begin starts a read-write transaction.
 func (w *Worker) Begin() *Txn {
@@ -363,17 +393,17 @@ func (w *Worker) Run(fn func(t *Txn) error) error {
 		} else {
 			t.Abort()
 		}
-		w.stats.BusyTime += time.Since(start)
+		w.stats.addBusyTime(time.Since(start))
 		if err == nil {
 			w.Maintain()
 			return nil
 		}
 		if !errors.Is(err, ErrAborted) {
-			w.stats.UserAborts++
+			w.stats.incUserAbort()
 			w.Maintain()
 			return err
 		}
-		w.stats.AbortTime += time.Since(start)
+		w.stats.addAbortTime(time.Since(start))
 		w.backoff()
 		w.Maintain()
 	}
@@ -397,7 +427,7 @@ func (w *Worker) RunExternal(fn func(t *Txn) error) error {
 		} else {
 			t.Abort()
 		}
-		w.stats.BusyTime += time.Since(start)
+		w.stats.addBusyTime(time.Since(start))
 		if err == nil {
 			w.Maintain()
 			for w.eng.clock.MinWTS() <= ts {
@@ -406,11 +436,11 @@ func (w *Worker) RunExternal(fn func(t *Txn) error) error {
 			return nil
 		}
 		if !errors.Is(err, ErrAborted) {
-			w.stats.UserAborts++
+			w.stats.incUserAbort()
 			w.Maintain()
 			return err
 		}
-		w.stats.AbortTime += time.Since(start)
+		w.stats.addAbortTime(time.Since(start))
 		w.backoff()
 		w.Maintain()
 	}
@@ -436,7 +466,7 @@ func (w *Worker) RunRO(fn func(t *Txn) error) error {
 	} else {
 		t.Abort()
 	}
-	w.stats.BusyTime += time.Since(start)
+	w.stats.addBusyTime(time.Since(start))
 	w.Maintain()
 	return err
 }

@@ -74,6 +74,10 @@ func (w *Worker) Maintain() {
 		}
 		w.collectGarbage()
 		w.processLimbo()
+		if tel := w.tel; tel != nil {
+			tel.gcDepth.Set(int64(len(w.gcQueue) - w.gcHead))
+			tel.phase[phaseQuiesce].ObserveDuration(time.Since(now))
+		}
 	}
 	e.clock.MaybeSync(w.id)
 }
@@ -107,7 +111,7 @@ func (w *Worker) leaderMaintain(now time.Time) {
 	}
 	var commits uint64
 	for _, ww := range e.workers {
-		commits += ww.commits.Load()
+		commits += ww.stats.commits.Load()
 	}
 	e.reg.maybeAdjust(now, commits, w.rng)
 }
@@ -214,6 +218,7 @@ func (w *Worker) limboAppend() *limboBatch {
 func (w *Worker) processLimbo() {
 	epoch := w.eng.epoch.Load()
 	n := 0
+	reclaimed := uint64(0)
 	for n < len(w.limbo) && w.limbo[n].epoch+limboDelayEpochs <= epoch {
 		b := &w.limbo[n]
 		for _, e := range b.entries {
@@ -223,10 +228,14 @@ func (w *Worker) processLimbo() {
 				w.pool.Put(e.v)
 			}
 		}
+		reclaimed += uint64(len(b.entries))
 		for _, f := range b.frees {
 			f.tbl.st.FreeRecordID(w.id, f.rid)
 		}
 		n++
+	}
+	if reclaimed > 0 {
+		w.stats.addReclaimed(reclaimed)
 	}
 	if n > 0 {
 		w.limbo = append(w.limbo[:0], w.limbo[n:]...)

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// AbortReason classifies concurrency-control aborts (plus user-requested
+// rollbacks) for the abort taxonomy exported through Stats.AbortsByReason and
+// the telemetry registry.
+type AbortReason uint8
+
+const (
+	// AbortRTSEarly is the read-phase early abort: the visible version was
+	// already read at a timestamp later than tx.ts (§3.2).
+	AbortRTSEarly AbortReason = iota
+	// AbortWriteLatest is the write-latest-version-only rule for RMW and
+	// delete accesses: a committed or pending version later than tx.ts
+	// exists (§3.2).
+	AbortWriteLatest
+	// AbortPreCheck is a failure of the early version consistency check
+	// before pending-version installation (§3.5).
+	AbortPreCheck
+	// AbortValidation is a failure of the mandatory version consistency
+	// check, including the rts re-checks during installation (§3.4).
+	AbortValidation
+	// AbortPendingWait is a pending-version spin-wait that exceeded
+	// Options.PendingWaitLimit.
+	AbortPendingWait
+	// AbortPreCommit is a pre-commit hook failure (deferred index updates,
+	// §3.6).
+	AbortPreCommit
+	// AbortLogger is a durability-logger failure (§3.7).
+	AbortLogger
+	// AbortUser is an application-requested rollback (fn returned a non-nil,
+	// non-ErrAborted error to Worker.Run).
+	AbortUser
+
+	// NumAbortReasons is the number of abort reasons.
+	NumAbortReasons
+)
+
+// abortReasonNames maps AbortReason values to stable metric label values.
+var abortReasonNames = [NumAbortReasons]string{
+	"rts_early",
+	"write_latest",
+	"precheck",
+	"validation",
+	"pending_wait",
+	"precommit_hook",
+	"logger",
+	"user",
+}
+
+// String returns the reason's stable name (used as a metric label).
+func (r AbortReason) String() string {
+	if r < NumAbortReasons {
+		return abortReasonNames[r]
+	}
+	return "unknown"
+}
+
+// AbortReasonNames returns the stable names of all abort reasons, indexed by
+// AbortReason.
+func AbortReasonNames() []string {
+	return abortReasonNames[:]
+}
+
+// workerStats is the per-worker counter block. Every field is a single-writer
+// atomic word: only the owning worker's goroutine updates it (with atomic
+// load/store pairs — no RMW, no locks), and any goroutine may read it, so
+// Engine.Stats and live scrapers never race with running workers. Readers can
+// observe a set of counters that is mid-transaction stale but never torn.
+type workerStats struct {
+	commits     atomic.Uint64
+	aborts      atomic.Uint64
+	userAborts  atomic.Uint64
+	abortNs     atomic.Int64
+	busyNs      atomic.Int64
+	backoffs    atomic.Uint64
+	gcReclaimed atomic.Uint64
+	promotions  atomic.Uint64
+
+	abortsByReason [NumAbortReasons]atomic.Uint64
+}
+
+// Owner-only update helpers: single-writer words need no RMW.
+
+func (s *workerStats) incCommit() {
+	s.commits.Store(s.commits.Load() + 1)
+}
+
+// incAbort records a concurrency-control abort with its reason (never
+// AbortUser — user rollbacks go through incUserAbort).
+func (s *workerStats) incAbort(r AbortReason) {
+	s.aborts.Store(s.aborts.Load() + 1)
+	b := &s.abortsByReason[r]
+	b.Store(b.Load() + 1)
+}
+
+func (s *workerStats) incUserAbort() {
+	s.userAborts.Store(s.userAborts.Load() + 1)
+	b := &s.abortsByReason[AbortUser]
+	b.Store(b.Load() + 1)
+}
+
+func (s *workerStats) addAbortTime(d time.Duration) {
+	s.abortNs.Store(s.abortNs.Load() + int64(d))
+}
+
+func (s *workerStats) addBusyTime(d time.Duration) {
+	s.busyNs.Store(s.busyNs.Load() + int64(d))
+}
+
+func (s *workerStats) incBackoff() {
+	s.backoffs.Store(s.backoffs.Load() + 1)
+}
+
+func (s *workerStats) addReclaimed(n uint64) {
+	s.gcReclaimed.Store(s.gcReclaimed.Load() + n)
+}
+
+func (s *workerStats) incPromotion() {
+	s.promotions.Store(s.promotions.Load() + 1)
+}
+
+// snapshot reads the counters into a plain Stats value; safe from any
+// goroutine.
+func (s *workerStats) snapshot() Stats {
+	out := Stats{
+		Commits:    s.commits.Load(),
+		Aborts:     s.aborts.Load(),
+		UserAborts: s.userAborts.Load(),
+		AbortTime:  time.Duration(s.abortNs.Load()),
+		BusyTime:   time.Duration(s.busyNs.Load()),
+	}
+	for i := range s.abortsByReason {
+		out.AbortsByReason[i] = s.abortsByReason[i].Load()
+	}
+	return out
+}

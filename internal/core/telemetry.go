@@ -1,0 +1,167 @@
+package core
+
+import (
+	"time"
+
+	"cicada/internal/telemetry"
+)
+
+// Transaction phases instrumented with latency histograms. Execute is the
+// read phase (Begin to Commit entry), validate covers pre-commit hooks
+// through logging (§3.4 steps 0–6), write is the PENDING→COMMITTED flip plus
+// GC enqueue, and quiescence is one maintenance round (§3.8).
+const (
+	phaseExecute = iota
+	phaseValidate
+	phaseWrite
+	phaseQuiesce
+	numPhases
+)
+
+var phaseNames = [numPhases]string{"execute", "validate", "write", "quiescence"}
+
+// flightRecorderDepth is the per-worker ring depth of the aborted-transaction
+// flight recorder.
+const flightRecorderDepth = 64
+
+// workerTel caches one worker's shard pointers so hot-path instrumentation
+// never touches the registry. A nil *workerTel (telemetry disabled) costs one
+// predictable branch per instrumentation site and zero time.Now calls.
+type workerTel struct {
+	phase    [numPhases]*telemetry.HistogramShard
+	abortLat *telemetry.HistogramShard
+	gcDepth  *telemetry.GaugeShard
+	rec      *telemetry.RecorderShard
+}
+
+// nonNegNs converts a duration to nanoseconds, clamping negatives to zero.
+func nonNegNs(d time.Duration) uint64 {
+	if d < 0 {
+		return 0
+	}
+	return uint64(d)
+}
+
+// initTelemetry registers the engine's metrics in reg and hands each worker
+// its shard pointers. Called once from NewEngine when Options.Metrics is set;
+// registration is cold (the registry takes a mutex), everything wired into
+// workers is lock-free.
+func (e *Engine) initTelemetry(reg *telemetry.Registry) {
+	if reg.Workers() < e.opts.Workers {
+		panic("core: telemetry registry has fewer shards than engine workers")
+	}
+	stat := func(f func(s *Stats) float64) func() float64 {
+		return func() float64 {
+			s := e.Stats()
+			return f(&s)
+		}
+	}
+	engLabel := telemetry.Label{Key: "engine", Value: "cicada"}
+
+	// Engine-comparable counters (same families as the baseline engines).
+	reg.CounterFunc("engine_commits_total", "Committed transactions.",
+		stat(func(s *Stats) float64 { return float64(s.Commits) }), engLabel)
+	reg.CounterFunc("engine_aborts_total", "Concurrency-control aborts.",
+		stat(func(s *Stats) float64 { return float64(s.Aborts) }), engLabel)
+	reg.CounterFunc("engine_user_aborts_total", "Application-requested rollbacks.",
+		stat(func(s *Stats) float64 { return float64(s.UserAborts) }), engLabel)
+	reg.CounterFunc("engine_busy_seconds_total", "Time spent processing transactions.",
+		stat(func(s *Stats) float64 { return s.BusyTime.Seconds() }), engLabel)
+	reg.CounterFunc("engine_abort_seconds_total", "Time spent on aborted work and backoff.",
+		stat(func(s *Stats) float64 { return s.AbortTime.Seconds() }), engLabel)
+
+	// Abort taxonomy: one series per reason, scraped straight from the
+	// workers' single-writer counters.
+	for r := AbortReason(0); r < NumAbortReasons; r++ {
+		rr := r
+		reg.CounterFunc("cicada_aborts_total", "Aborted transactions by reason.",
+			func() float64 {
+				var n uint64
+				for _, w := range e.workers {
+					n += w.stats.abortsByReason[rr].Load()
+				}
+				return float64(n)
+			}, telemetry.Label{Key: "reason", Value: rr.String()})
+	}
+
+	// Phase latency histograms for committed work plus the total latency of
+	// aborted attempts.
+	var phaseHists [numPhases]*telemetry.Histogram
+	for p := range phaseHists {
+		phaseHists[p] = reg.Histogram("cicada_phase_latency_ns",
+			"Transaction phase latency in nanoseconds.",
+			telemetry.Label{Key: "phase", Value: phaseNames[p]})
+	}
+	abortHist := reg.Histogram("cicada_abort_latency_ns",
+		"Begin-to-abort latency of concurrency-control aborts in nanoseconds.")
+
+	// Garbage collection (§3.8).
+	gcDepth := reg.Gauge("cicada_gc_queue_depth",
+		"Committed versions queued for garbage collection, summed over workers.")
+	reg.CounterFunc("cicada_gc_reclaimed_versions_total",
+		"Versions returned to pools after epoch-delayed limbo (§3.8).",
+		func() float64 {
+			var n uint64
+			for _, w := range e.workers {
+				n += w.stats.gcReclaimed.Load()
+			}
+			return float64(n)
+		})
+	reg.CounterFunc("cicada_inline_promotions_total",
+		"Reads upgraded to inline-slot promotion writes (§3.3).",
+		func() float64 {
+			var n uint64
+			for _, w := range e.workers {
+				n += w.stats.promotions.Load()
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("cicada_epoch", "Completed quiescence rounds.",
+		func() float64 { return float64(e.Epoch()) })
+
+	// Multi-clock health (§3.1).
+	reg.GaugeFunc("cicada_clock_min_wts", "min_wts watermark (clock ticks).",
+		func() float64 { return float64(e.clock.MinWTS().ClockValue()) })
+	reg.GaugeFunc("cicada_clock_min_rts", "min_rts GC horizon (clock ticks).",
+		func() float64 { return float64(e.clock.MinRTS().ClockValue()) })
+	reg.GaugeFunc("cicada_clock_spread_ticks",
+		"Fastest-minus-slowest worker clock: the drift one-sided synchronization corrects.",
+		func() float64 { return float64(e.clock.ClockSpreadTicks()) })
+	reg.GaugeFunc("cicada_snapshot_age_ticks",
+		"Lag of the oldest read-only snapshot timestamp behind the newest write timestamp.",
+		func() float64 { return float64(e.clock.MaxSnapshotAgeTicks()) })
+	reg.CounterFunc("cicada_clock_boost_events_total",
+		"Temporary clock boosts granted (one per concurrency-control abort, §3.1).",
+		stat(func(s *Stats) float64 { return float64(s.Aborts) }))
+
+	// Contention regulation (§3.9).
+	reg.GaugeFunc("cicada_backoff_max_ns",
+		"Globally coordinated maximum backoff chosen by the hill climber.",
+		func() float64 { return float64(e.MaxBackoff()) })
+	reg.CounterFunc("cicada_backoff_events_total", "Post-abort backoffs taken.",
+		func() float64 {
+			var n uint64
+			for _, w := range e.workers {
+				n += w.stats.backoffs.Load()
+			}
+			return float64(n)
+		})
+
+	rec := reg.Recorder()
+	if rec == nil {
+		rec = telemetry.NewRecorder(e.opts.Workers, flightRecorderDepth, AbortReasonNames())
+		reg.SetRecorder(rec)
+	}
+
+	for _, w := range e.workers {
+		t := &workerTel{
+			abortLat: abortHist.Shard(w.id),
+			gcDepth:  gcDepth.Shard(w.id),
+			rec:      rec.Shard(w.id),
+		}
+		for p := range t.phase {
+			t.phase[p] = phaseHists[p].Shard(w.id)
+		}
+		w.tel = t
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"runtime"
+	"time"
 
 	"cicada/internal/clock"
 	"cicada/internal/storage"
@@ -47,6 +48,15 @@ type Txn struct {
 	ts       clock.Timestamp
 	readOnly bool
 	active   bool
+	// pendingTimedOut is set when a PENDING spin-wait exceeded
+	// Options.PendingWaitLimit; the caller aborts with AbortPendingWait.
+	pendingTimedOut bool
+	// telStart / telValStart mark the begin and validation-entry times for
+	// phase latency histograms and the flight recorder. Only set when the
+	// worker has telemetry attached (worker.tel != nil), so a disabled
+	// engine makes no extra time.Now calls.
+	telStart    time.Time
+	telValStart time.Time
 
 	accesses []access
 	// writes holds indexes into accesses for write-type entries, in
@@ -75,6 +85,11 @@ func (t *Txn) begin(ts clock.Timestamp, readOnly bool) {
 	t.ts = ts
 	t.readOnly = readOnly
 	t.active = true
+	t.pendingTimedOut = false
+	if t.worker.tel != nil {
+		t.telStart = time.Now()
+		t.telValStart = time.Time{}
+	}
 	t.accesses = t.accesses[:0]
 	t.writes = t.writes[:0]
 	t.reads = t.reads[:0]
@@ -104,6 +119,8 @@ func (t *Txn) Engine() *Engine { return t.eng }
 // recycled node (out-of-order wts or an UNUSED inline slot).
 func (t *Txn) searchVisible(h *storage.Head) (visible, later *storage.Version) {
 	noWait := t.eng.opts.NoWaitPending
+	waitLimit := t.eng.opts.PendingWaitLimit
+	spins := 0
 restart:
 	later = nil
 	prevWTS := ^clock.Timestamp(0)
@@ -133,6 +150,13 @@ restart:
 				v = v.Next()
 				continue
 			}
+			if waitLimit > 0 {
+				spins++
+				if spins > waitLimit {
+					t.pendingTimedOut = true
+					return nil, later
+				}
+			}
 			runtime.Gosched()
 			// Re-check the same version; the writer is validating and will
 			// commit or abort shortly.
@@ -156,6 +180,8 @@ func (t *Txn) resumeSearch(a *access) (visible *storage.Version) {
 		return nil // read of a never-allocated record ID
 	}
 	noWait := t.eng.opts.NoWaitPending
+	waitLimit := t.eng.opts.PendingWaitLimit
+	spins := 0
 restart:
 	var v *storage.Version
 	prevWTS := ^clock.Timestamp(0)
@@ -191,6 +217,15 @@ restart:
 			if noWait {
 				v = v.Next()
 				continue
+			}
+			if waitLimit > 0 {
+				spins++
+				if spins > waitLimit {
+					// Make the consistency check fail; Commit classifies
+					// the abort as AbortPendingWait via the flag.
+					t.pendingTimedOut = true
+					return nil
+				}
 			}
 			runtime.Gosched()
 		case storage.StatusAborted:
@@ -228,8 +263,8 @@ func laterBlocksRMW(h *storage.Head, ts clock.Timestamp, ownNew *storage.Version
 // are conflict aborts: they count toward the abort statistics, grant the
 // temporary clock boost, and reset the adaptive-skip streak, exactly like
 // validation-phase aborts.
-func (t *Txn) abortNow() error {
-	t.rollbackCC()
+func (t *Txn) abortNow(reason AbortReason) error {
+	t.rollbackCC(reason)
 	return ErrAborted
 }
 
@@ -269,6 +304,9 @@ func (t *Txn) Read(tbl *Table, rid storage.RecordID) ([]byte, error) {
 			return nil, ErrNotFound
 		}
 		return visible.Data, nil
+	}
+	if t.pendingTimedOut {
+		return nil, t.abortNow(AbortPendingWait)
 	}
 	t.trackRead(tbl, rid, visible, later)
 	if visible == nil || visible.Status() == storage.StatusDeleted {
@@ -314,6 +352,7 @@ func (t *Txn) maybePromote(tbl *Table, h *storage.Head, rid storage.RecordID, v 
 	a.newVer = inlineV
 	a.promoted = true
 	t.writes = append(t.writes, i)
+	t.worker.stats.incPromotion()
 }
 
 // stage prepares a new local version of size bytes for the record, trying
@@ -375,8 +414,11 @@ func (t *Txn) Write(tbl *Table, rid storage.RecordID, size int) ([]byte, error) 
 	// Early abort: if the currently visible version was read as late as a
 	// timestamp after ours, validation cannot succeed (§3.2).
 	visible, later := t.searchVisible(h)
+	if t.pendingTimedOut {
+		return nil, t.abortNow(AbortPendingWait)
+	}
 	if visible != nil && visible.RTS() > t.ts {
-		return nil, t.abortNow()
+		return nil, t.abortNow(AbortRTSEarly)
 	}
 	nv := t.stage(h, size)
 	t.accesses = append(t.accesses, access{
@@ -457,16 +499,19 @@ func (t *Txn) Update(tbl *Table, rid storage.RecordID, newSize int) ([]byte, err
 		return nil, ErrNotFound
 	}
 	visible, later := t.searchVisible(h)
+	if t.pendingTimedOut {
+		return nil, t.abortNow(AbortPendingWait)
+	}
 	if visible == nil || visible.Status() == storage.StatusDeleted {
 		t.trackRead(tbl, rid, visible, later)
 		return nil, ErrNotFound
 	}
 	// Early aborts (§3.2): rts check and write-latest-version-only.
 	if visible.RTS() > t.ts {
-		return nil, t.abortNow()
+		return nil, t.abortNow(AbortRTSEarly)
 	}
 	if !t.eng.opts.NoWriteLatestRule && later != nil && laterBlocksRMW(h, t.ts, nil) {
-		return nil, t.abortNow()
+		return nil, t.abortNow(AbortWriteLatest)
 	}
 	size := newSize
 	if size < 0 {
@@ -561,15 +606,18 @@ func (t *Txn) Delete(tbl *Table, rid storage.RecordID) error {
 		return ErrNotFound
 	}
 	visible, later := t.searchVisible(h)
+	if t.pendingTimedOut {
+		return t.abortNow(AbortPendingWait)
+	}
 	if visible == nil || visible.Status() == storage.StatusDeleted {
 		t.trackRead(tbl, rid, visible, later)
 		return ErrNotFound
 	}
 	if visible.RTS() > t.ts {
-		return t.abortNow()
+		return t.abortNow(AbortRTSEarly)
 	}
 	if !t.eng.opts.NoWriteLatestRule && later != nil && laterBlocksRMW(h, t.ts, nil) {
-		return t.abortNow()
+		return t.abortNow(AbortWriteLatest)
 	}
 	nv := t.stage(h, 0)
 	t.accesses = append(t.accesses, access{
@@ -592,10 +640,10 @@ func (w *Worker) ReadDirect(tbl *Table, rid storage.RecordID) ([]byte, bool) {
 	}
 	ts := w.eng.clock.ReadTimestamp(w.id)
 	t := &w.txn // reuse search machinery; no state is recorded
-	saved := t.ts
+	saved, savedTimeout := t.ts, t.pendingTimedOut
 	t.ts = ts
 	v, _ := t.searchVisible(h)
-	t.ts = saved
+	t.ts, t.pendingTimedOut = saved, savedTimeout
 	if v == nil || v.Status() == storage.StatusDeleted {
 		return nil, false
 	}

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"time"
+
 	"cicada/internal/clock"
 	"cicada/internal/storage"
+	"cicada/internal/telemetry"
 )
 
 // Commit validates and commits the transaction (§3.4, §3.5). On a conflict
@@ -21,17 +24,24 @@ func (t *Txn) Commit() error {
 		return ErrTxnClosed
 	}
 	w := t.worker
+	tel := w.tel
 	if t.readOnly {
 		// Read-only transactions never validate (§3.1).
 		t.active = false
-		w.stats.Commits++
-		w.commits.Add(1)
+		w.stats.incCommit()
+		if tel != nil {
+			tel.phase[phaseExecute].ObserveDuration(time.Since(t.telStart))
+		}
 		t.runCommitHooks()
 		return nil
 	}
+	if tel != nil {
+		t.telValStart = time.Now()
+		tel.phase[phaseExecute].ObserveDuration(t.telValStart.Sub(t.telStart))
+	}
 	for _, hook := range t.preCommit {
 		if err := hook(t); err != nil {
-			t.rollbackCC()
+			t.rollbackCC(AbortPreCommit)
 			return ErrAborted
 		}
 	}
@@ -43,7 +53,7 @@ func (t *Txn) Commit() error {
 		}
 		if !opts.NoPreCheck && !skip {
 			if !t.checkVersionConsistency() {
-				return t.failCommit()
+				return t.failCommit(t.checkAbortReason(AbortPreCheck))
 			}
 		}
 		for _, i := range t.writes {
@@ -51,8 +61,8 @@ func (t *Txn) Commit() error {
 			if a.newVer == nil || a.installed {
 				continue
 			}
-			if !t.install(a) {
-				return t.failCommit()
+			if ok, reason := t.install(a); !ok {
+				return t.failCommit(reason)
 			}
 		}
 	}
@@ -65,12 +75,17 @@ func (t *Txn) Commit() error {
 		}
 	}
 	if !t.checkVersionConsistency() {
-		return t.failCommit()
+		return t.failCommit(t.checkAbortReason(AbortValidation))
 	}
 	if lg := t.eng.logger; lg != nil {
 		if err := t.log(lg); err != nil {
-			return t.failCommit()
+			return t.failCommit(AbortLogger)
 		}
+	}
+	var writeStart time.Time
+	if tel != nil {
+		writeStart = time.Now()
+		tel.phase[phaseValidate].ObserveDuration(writeStart.Sub(t.telValStart))
 	}
 	// Write phase: make the new versions usable by other transactions.
 	for _, i := range t.writes {
@@ -94,11 +109,22 @@ func (t *Txn) Commit() error {
 	w.enqueueGC(t)
 	t.eng.clock.OnCommit(w.id)
 	w.consecutiveCommits++
-	w.stats.Commits++
-	w.commits.Add(1)
+	w.stats.incCommit()
+	if tel != nil {
+		tel.phase[phaseWrite].ObserveDuration(time.Since(writeStart))
+	}
 	t.active = false
 	t.runCommitHooks()
 	return nil
+}
+
+// checkAbortReason classifies a consistency-check failure: a pending-wait
+// timeout inside resumeSearch overrides the generic reason.
+func (t *Txn) checkAbortReason(generic AbortReason) AbortReason {
+	if t.pendingTimedOut {
+		return AbortPendingWait
+	}
+	return generic
 }
 
 func (t *Txn) runCommitHooks() {
@@ -116,18 +142,39 @@ func (t *Txn) Abort() {
 }
 
 // failCommit records a concurrency-control abort and rolls back.
-func (t *Txn) failCommit() error {
-	t.rollbackCC()
+func (t *Txn) failCommit(reason AbortReason) error {
+	t.rollbackCC(reason)
 	return ErrAborted
 }
 
-// rollbackCC is a rollback caused by a conflict: it grants the clock boost
-// and resets the adaptive-skip streak.
-func (t *Txn) rollbackCC() {
+// rollbackCC is a rollback caused by a conflict: it grants the clock boost,
+// resets the adaptive-skip streak, and feeds the abort taxonomy, latency
+// histogram, and flight recorder.
+func (t *Txn) rollbackCC(reason AbortReason) {
 	w := t.worker
-	w.stats.Aborts++
+	w.stats.incAbort(reason)
 	w.consecutiveCommits = 0
 	t.eng.clock.OnAbort(w.id)
+	if tel := w.tel; tel != nil {
+		now := time.Now()
+		var execNs, valNs uint64
+		if t.telValStart.IsZero() {
+			execNs = nonNegNs(now.Sub(t.telStart))
+		} else {
+			execNs = nonNegNs(t.telValStart.Sub(t.telStart))
+			valNs = nonNegNs(now.Sub(t.telValStart))
+		}
+		tel.abortLat.ObserveDuration(now.Sub(t.telStart))
+		tel.rec.Record(telemetry.TraceSample{
+			TS:            uint64(t.ts),
+			Reason:        uint64(reason),
+			StartUnixNano: t.telStart.UnixNano(),
+			ExecuteNs:     execNs,
+			ValidateNs:    valNs,
+			Reads:         uint64(len(t.reads)),
+			Writes:        uint64(len(t.writes)),
+		})
+	}
 	t.rollback()
 }
 
@@ -216,10 +263,11 @@ func (t *Txn) sortWriteSetByContention() {
 
 // install links the access's staged version into the record's version list
 // as PENDING, keeping the list sorted by wts (§3.4 pending version
-// installation). It performs the same early aborts as the read phase.
-// Installation is deadlock-free: insertion position is determined by
-// transaction timestamps, so no dependency cycle can form.
-func (t *Txn) install(a *access) bool {
+// installation). It performs the same early aborts as the read phase; on
+// failure it reports the abort reason (the write-latest rule or the rts
+// re-check). Installation is deadlock-free: insertion position is determined
+// by transaction timestamps, so no dependency cycle can form.
+func (t *Txn) install(a *access) (bool, AbortReason) {
 	h := a.tbl.st.Head(a.rid)
 	nv := a.newVer
 	nv.PrepareInstall(t.ts)
@@ -238,7 +286,7 @@ func (t *Txn) install(a *access) bool {
 			if checkLatest && cur.Status() != storage.StatusAborted {
 				// write-latest-version-only: a COMMITTED or PENDING later
 				// version will abort this RMW anyway (§3.2).
-				return false
+				return false, AbortWriteLatest
 			}
 			prevWTS = cur.WTS
 			prev = cur
@@ -257,10 +305,10 @@ func (t *Txn) install(a *access) bool {
 		// consistency check must fail (§3.4).
 		if vis := firstCommitted(cur); vis != nil {
 			if vis.RTS() > t.ts {
-				return false
+				return false, AbortValidation
 			}
 		} else if h.AbsentRTS() > t.ts && a.kind != accInsert {
-			return false
+			return false, AbortValidation
 		}
 		nv.SetNext(cur)
 		var ok bool
@@ -275,7 +323,7 @@ func (t *Txn) install(a *access) bool {
 			}
 			a.installed = true
 			a.laterVer = prev
-			return true
+			return true, 0
 		}
 	}
 }
@@ -303,7 +351,9 @@ func (t *Txn) checkVersionConsistency() bool {
 	for _, i := range t.reads {
 		a := &t.accesses[i]
 		vis := t.resumeSearch(a)
-		if vis != a.readVer {
+		if t.pendingTimedOut || vis != a.readVer {
+			// A pending-wait timeout fails the check even when the
+			// indeterminate result happens to match (e.g. an absent read).
 			return false
 		}
 	}
@@ -319,6 +369,9 @@ func (t *Txn) checkVersionConsistency() bool {
 		// Blind write: the currently visible version must not have been
 		// read after tx.ts.
 		vis := t.resumeSearch(a)
+		if t.pendingTimedOut {
+			return false
+		}
 		if vis != nil {
 			if vis.RTS() > t.ts {
 				return false

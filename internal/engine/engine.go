@@ -9,6 +9,8 @@ package engine
 import (
 	"errors"
 	"time"
+
+	"cicada/internal/telemetry"
 )
 
 // TableID identifies a table within a DB.
@@ -138,6 +140,13 @@ type Config struct {
 	PhantomAvoidance bool
 	// HashBucketsHint sizes hash indexes (entries, not buckets).
 	HashBucketsHint int
+	// Metrics, when non-nil, receives the engine's metric registrations.
+	// The registry must be built with at least Workers shards. Every engine
+	// registers the shared engine_* counter families labeled with its
+	// scheme name so the seven engines report comparable series; Cicada
+	// additionally registers its cicada_* internals (see
+	// docs/OBSERVABILITY.md). nil disables telemetry at zero cost.
+	Metrics *telemetry.Registry
 }
 
 // Factory builds a DB for a scheme.

@@ -1,0 +1,88 @@
+package telemetry
+
+import "sync/atomic"
+
+// CounterShard is one worker's slice of a sharded counter, padded to its own
+// cache line so one worker's updates never invalidate a neighbour's. Exactly
+// one goroutine (the owning worker) may write a shard; any goroutine may
+// read it.
+//
+// Do not copy a shard: a copy silently forks the word (cicada-lint's
+// mixedatomic analyzer flags by-value uses of telemetry types).
+type CounterShard struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Inc adds one. Owner-only: the single-writer discipline makes an atomic
+// load/store pair sufficient — no RMW, no lock.
+func (s *CounterShard) Inc() { s.v.Store(s.v.Load() + 1) }
+
+// Add adds d. Owner-only.
+func (s *CounterShard) Add(d uint64) { s.v.Store(s.v.Load() + d) }
+
+// Value returns the shard's current value; safe from any goroutine.
+func (s *CounterShard) Value() uint64 { return s.v.Load() }
+
+// Counter is a per-worker sharded monotone counter.
+type Counter struct {
+	shards []CounterShard
+}
+
+func newCounter(workers int) *Counter {
+	return &Counter{shards: make([]CounterShard, workers)}
+}
+
+// Shard returns worker id's shard.
+func (c *Counter) Shard(id int) *CounterShard { return &c.shards[id] }
+
+// Total sums all shards. The result can lag concurrent writers by a few
+// increments but never goes backward relative to a later scrape of the same
+// writer set.
+func (c *Counter) Total() uint64 {
+	var n uint64
+	for i := range c.shards {
+		n += c.shards[i].Value()
+	}
+	return n
+}
+
+// GaugeShard is one worker's slice of a sharded gauge (same ownership rules
+// as CounterShard).
+type GaugeShard struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Set stores v. Owner-only (a gauge shard has one writer; readers see the
+// last written value).
+func (s *GaugeShard) Set(v int64) { s.v.Store(v) }
+
+// Add adds d. Owner-only.
+func (s *GaugeShard) Add(d int64) { s.v.Store(s.v.Load() + d) }
+
+// Value returns the shard's current value; safe from any goroutine.
+func (s *GaugeShard) Value() int64 { return s.v.Load() }
+
+// Gauge is a per-worker sharded gauge; Total sums the shards, so per-worker
+// quantities (queue depths) aggregate naturally. Engine-global gauges use
+// shard 0 only.
+type Gauge struct {
+	shards []GaugeShard
+}
+
+func newGauge(workers int) *Gauge {
+	return &Gauge{shards: make([]GaugeShard, workers)}
+}
+
+// Shard returns worker id's shard.
+func (g *Gauge) Shard(id int) *GaugeShard { return &g.shards[id] }
+
+// Total sums all shards.
+func (g *Gauge) Total() int64 {
+	var n int64
+	for i := range g.shards {
+		n += g.shards[i].Value()
+	}
+	return n
+}

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Log-linear bucket layout. Values (nanoseconds) below 2^histMinShift share
+// bucket 0; each power-of-two octave [2^k, 2^(k+1)) for k in
+// [histMinShift, histMaxShift] is divided into histSub equal linear
+// sub-buckets; values at or above 2^(histMaxShift+1) clamp into the top
+// bucket. Reporting a bucket's upper bound therefore overestimates a value
+// by at most one sub-bucket width, i.e. a relative error of at most
+// 1/histSub = 12.5% (absolute 2^histMinShift ns inside bucket 0).
+const (
+	histSubBits  = 3
+	histSub      = 1 << histSubBits // linear sub-buckets per octave
+	histMinShift = 8                // bucket 0: [0, 256) ns
+	histMaxShift = 39               // top octave: [2^39, 2^40) ns ≈ 9.2 min
+	histOctaves  = histMaxShift - histMinShift + 1
+
+	// HistBuckets is the bucket count of every histogram.
+	HistBuckets = 1 + histOctaves*histSub
+)
+
+// histBucketOf maps a nanosecond value to its bucket index.
+func histBucketOf(v uint64) int {
+	if v < 1<<histMinShift {
+		return 0
+	}
+	oct := bits.Len64(v) - 1
+	if oct > histMaxShift {
+		return HistBuckets - 1
+	}
+	sub := (v >> (uint(oct) - histSubBits)) & (histSub - 1)
+	return 1 + (oct-histMinShift)*histSub + int(sub)
+}
+
+// HistBucketUpper returns the inclusive upper value bound reported for
+// bucket i, in nanoseconds.
+func HistBucketUpper(i int) float64 {
+	if i <= 0 {
+		return float64(uint64(1) << histMinShift)
+	}
+	i--
+	oct := uint(histMinShift + i/histSub)
+	sub := uint64(i%histSub) + 1
+	return float64(uint64(1)<<oct + sub<<(oct-histSubBits))
+}
+
+// HistogramShard is one worker's bucket array. Exactly one goroutine (the
+// owning worker) may Observe into a shard; snapshots may be taken from any
+// goroutine at any time.
+type HistogramShard struct {
+	buckets [HistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records a nanosecond value. Owner-only; allocation-free; three
+// single-writer load/store pairs, no RMW.
+func (s *HistogramShard) Observe(v uint64) {
+	b := &s.buckets[histBucketOf(v)]
+	b.Store(b.Load() + 1)
+	s.count.Store(s.count.Load() + 1)
+	s.sum.Store(s.sum.Load() + v)
+}
+
+// ObserveDuration records a duration (negative durations count as zero).
+func (s *HistogramShard) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.Observe(uint64(d))
+}
+
+// snapshotInto accumulates the shard into snap.
+func (s *HistogramShard) snapshotInto(snap *HistogramSnapshot) {
+	for i := range s.buckets {
+		snap.Buckets[i] += s.buckets[i].Load()
+	}
+	snap.Count += s.count.Load()
+	snap.Sum += s.sum.Load()
+}
+
+// Histogram is a per-worker sharded log-linear histogram of nanosecond
+// values (latencies).
+type Histogram struct {
+	shards []HistogramShard
+}
+
+func newHistogram(workers int) *Histogram {
+	return &Histogram{shards: make([]HistogramShard, workers)}
+}
+
+// Shard returns worker id's shard.
+func (h *Histogram) Shard(id int) *HistogramShard { return &h.shards[id] }
+
+// Snapshot merges all shards. Buckets are read individually atomically but
+// not at one instant: a snapshot taken while workers record can be
+// transiently inconsistent (Count may not equal the bucket sum); it is
+// always element-wise ≥ any earlier snapshot of the same shards.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var snap HistogramSnapshot
+	for i := range h.shards {
+		h.shards[i].snapshotInto(&snap)
+	}
+	return snap
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram; snapshots merge
+// by element-wise addition, which is associative and commutative, so any
+// merge tree over worker shards yields the same result.
+type HistogramSnapshot struct {
+	Buckets [HistBuckets]uint64
+	Count   uint64
+	Sum     uint64
+}
+
+// Merge adds o into s.
+func (s *HistogramSnapshot) Merge(o *HistogramSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// Quantile returns the value (ns) at quantile q (0 < q ≤ 1), reported as
+// the containing bucket's upper bound: an overestimate by at most 12.5%
+// relative (256 ns absolute below 256 ns). Returns 0 for an empty snapshot.
+func (s *HistogramSnapshot) Quantile(q float64) float64 {
+	var total uint64
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var seen uint64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen >= rank {
+			return HistBucketUpper(i)
+		}
+	}
+	return HistBucketUpper(HistBuckets - 1)
+}
+
+// Mean returns the average recorded value (ns), exact up to scrape
+// staleness (Sum and Count are tracked directly).
+func (s *HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

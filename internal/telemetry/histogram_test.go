@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestHistBucketOfBounds checks the bucket mapping is monotone and that the
+// reported upper bound always dominates the recorded value.
+func TestHistBucketOfBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	prev := -1
+	for _, v := range []uint64{0, 1, 255, 256, 257, 511, 512, 1 << 20, 1 << 39, 1<<40 - 1, 1 << 40, 1 << 63} {
+		b := histBucketOf(v)
+		if b < 0 || b >= HistBuckets {
+			t.Fatalf("bucket %d out of range for %d", b, v)
+		}
+		if up := HistBucketUpper(b); float64(v) > up && b != HistBuckets-1 {
+			t.Fatalf("upper bound %g < value %d (bucket %d)", up, v, b)
+		}
+		_ = prev
+	}
+	// Monotonicity over random increasing pairs.
+	for i := 0; i < 10000; i++ {
+		a := rng.Uint64() >> uint(rng.Intn(50))
+		b := a + uint64(rng.Intn(1<<20))
+		if histBucketOf(a) > histBucketOf(b) {
+			t.Fatalf("bucket not monotone: bucket(%d)=%d > bucket(%d)=%d",
+				a, histBucketOf(a), b, histBucketOf(b))
+		}
+	}
+}
+
+// TestHistogramQuantileAccuracy drives random workloads through a histogram
+// and checks every reported quantile against the exact order statistic: the
+// estimate must be >= the exact value and overshoot by at most one
+// sub-bucket (12.5% relative, or the 256 ns floor of bucket 0).
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	distributions := []struct {
+		name string
+		gen  func(r *rand.Rand) uint64
+	}{
+		{"uniform", func(r *rand.Rand) uint64 { return uint64(r.Intn(5_000_000)) }},
+		{"exponentialish", func(r *rand.Rand) uint64 { return uint64(1) << uint(r.Intn(34)) }},
+		{"smallvalues", func(r *rand.Rand) uint64 { return uint64(r.Intn(512)) }},
+		{"heavytail", func(r *rand.Rand) uint64 {
+			if r.Intn(100) == 0 {
+				return uint64(r.Int63n(1 << 38))
+			}
+			return uint64(r.Intn(100_000))
+		}},
+	}
+	for _, dist := range distributions {
+		t.Run(dist.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			h := newHistogram(4)
+			var values []uint64
+			for i := 0; i < 50_000; i++ {
+				v := dist.gen(rng)
+				h.Shard(i % 4).Observe(v)
+				values = append(values, v)
+			}
+			sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+			snap := h.Snapshot()
+			if snap.Count != uint64(len(values)) {
+				t.Fatalf("count %d, want %d", snap.Count, len(values))
+			}
+			for _, q := range []float64{0.001, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0} {
+				rank := uint64(q * float64(len(values)))
+				if rank == 0 {
+					rank = 1
+				}
+				if rank > uint64(len(values)) {
+					rank = uint64(len(values))
+				}
+				exact := float64(values[rank-1])
+				got := snap.Quantile(q)
+				hi := exact * 1.125
+				if hi < 256 {
+					hi = 256
+				}
+				if got < exact || got > hi {
+					t.Errorf("q=%g: estimate %g outside [%g, %g]", q, got, exact, hi)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramQuantileEmpty checks the zero-value cases.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var s HistogramSnapshot
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %g, want 0", got)
+	}
+	if got := s.Mean(); got != 0 {
+		t.Fatalf("empty mean = %g, want 0", got)
+	}
+}
+
+// TestHistogramMergeAssociativity checks (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+// exactly, bucket by bucket — the property that makes scrape-side merge
+// trees order-independent.
+func TestHistogramMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mk := func() HistogramSnapshot {
+		h := newHistogram(1)
+		for i := 0; i < 1000; i++ {
+			h.Shard(0).Observe(uint64(rng.Intn(1 << 30)))
+		}
+		return h.Snapshot()
+	}
+	a, b, c := mk(), mk(), mk()
+
+	left := a // copies: snapshots are plain value types
+	left.Merge(&b)
+	left.Merge(&c)
+
+	bc := b
+	bc.Merge(&c)
+	right := a
+	right.Merge(&bc)
+
+	if left != right {
+		t.Fatalf("merge not associative: (a+b)+c != a+(b+c)")
+	}
+	if left.Count != a.Count+b.Count+c.Count {
+		t.Fatalf("merged count %d, want %d", left.Count, a.Count+b.Count+c.Count)
+	}
+	if left.Sum != a.Sum+b.Sum+c.Sum {
+		t.Fatalf("merged sum %d, want %d", left.Sum, a.Sum+b.Sum+c.Sum)
+	}
+}
+
+// TestHistogramConcurrentSnapshot runs one recording goroutine per shard
+// with continuous snapshotting from the main goroutine. Run under -race this
+// validates the single-writer protocol; the final snapshot must account for
+// every observation.
+func TestHistogramConcurrentSnapshot(t *testing.T) {
+	const workers, perWorker = 4, 20_000
+	h := newHistogram(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)))
+			s := h.Shard(id)
+			for i := 0; i < perWorker; i++ {
+				s.Observe(uint64(rng.Intn(1 << 25)))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		snap := h.Snapshot()
+		if snap.Count > workers*perWorker {
+			t.Fatalf("snapshot count %d exceeds total records %d", snap.Count, workers*perWorker)
+		}
+		select {
+		case <-done:
+			final := h.Snapshot()
+			if final.Count != workers*perWorker {
+				t.Fatalf("final count %d, want %d", final.Count, workers*perWorker)
+			}
+			var bucketSum uint64
+			for _, n := range final.Buckets {
+				bucketSum += n
+			}
+			if bucketSum != final.Count {
+				t.Fatalf("quiescent bucket sum %d != count %d", bucketSum, final.Count)
+			}
+			return
+		default:
+		}
+	}
+}

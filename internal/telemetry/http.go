@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+)
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format. Counters and gauges are one sample each; histograms render as
+// summaries (quantile series plus _sum and _count), which keeps the output
+// compact while exposing tail latency directly.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	lastFamily := ""
+	for _, m := range r.snapshotMetrics() {
+		if m.family != lastFamily {
+			lastFamily = m.family
+			if m.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", m.family, m.help)
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", m.family, promType(m.kind))
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "%s %d\n", m.fullName(), m.counter.Total())
+		case kindGauge:
+			fmt.Fprintf(w, "%s %d\n", m.fullName(), m.gauge.Total())
+		case kindCounterFunc, kindGaugeFunc:
+			fmt.Fprintf(w, "%s %g\n", m.fullName(), m.fn())
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			for _, q := range histQuantiles {
+				fmt.Fprintf(w, "%s%s %g\n", m.family, mergeLabels(m.labels, "quantile", strconv.FormatFloat(q, 'g', -1, 64)), s.Quantile(q))
+			}
+			fmt.Fprintf(w, "%s_sum%s %d\n", m.family, m.labels, s.Sum)
+			fmt.Fprintf(w, "%s_count%s %d\n", m.family, m.labels, s.Count)
+		}
+	}
+}
+
+func promType(k metricKind) string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "summary"
+	default:
+		return "gauge"
+	}
+}
+
+// mergeLabels appends one key=value pair to an already-rendered label set.
+func mergeLabels(labels, key, value string) string {
+	pair := fmt.Sprintf("%s=%q", key, value)
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// WriteJSON renders the registry as an expvar-style flat JSON object
+// (sorted keys, labels folded into names as in Values).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	vals := r.Values()
+	// Encode with sorted keys for stable output.
+	out := make(map[string]json.Number, len(vals))
+	for _, k := range sortedKeys(vals) {
+		out[k] = json.Number(strconv.FormatFloat(vals[k], 'g', -1, 64))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Live is an atomically swappable registry pointer: a long-lived HTTP
+// endpoint serves whichever registry is current, so a benchmark harness can
+// install a fresh registry per trial while scrapers keep one stable URL.
+type Live struct {
+	reg atomic.Pointer[Registry]
+}
+
+// NewLive returns a Live with no registry installed (endpoints return 503
+// until Set is called).
+func NewLive() *Live { return &Live{} }
+
+// Set installs r as the current registry.
+func (l *Live) Set(r *Registry) { l.reg.Store(r) }
+
+// Registry returns the current registry, or nil.
+func (l *Live) Registry() *Registry { return l.reg.Load() }
+
+// Handler returns an http.Handler serving the live registry:
+//
+//	/metrics         Prometheus text exposition format
+//	/debug/vars      expvar-style flat JSON
+//	/debug/txntrace  JSON dump of the aborted-transaction flight recorder
+//	                 (?n=max entries, default 64)
+func (l *Live) Handler() http.Handler {
+	mux := http.NewServeMux()
+	withReg := func(fn func(w http.ResponseWriter, req *http.Request, r *Registry)) http.HandlerFunc {
+		return func(w http.ResponseWriter, req *http.Request) {
+			r := l.Registry()
+			if r == nil {
+				http.Error(w, "telemetry: no registry installed", http.StatusServiceUnavailable)
+				return
+			}
+			fn(w, req, r)
+		}
+	}
+	mux.HandleFunc("/metrics", withReg(func(w http.ResponseWriter, _ *http.Request, r *Registry) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	}))
+	mux.HandleFunc("/debug/vars", withReg(func(w http.ResponseWriter, _ *http.Request, r *Registry) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	}))
+	mux.HandleFunc("/debug/txntrace", withReg(func(w http.ResponseWriter, req *http.Request, r *Registry) {
+		rec := r.Recorder()
+		if rec == nil {
+			http.Error(w, "telemetry: no flight recorder attached", http.StatusNotFound)
+			return
+		}
+		n := 64
+		if s := req.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rec.Dump(n))
+	}))
+	return mux
+}
+
+// Handler returns a static handler for a single registry (the Live
+// machinery with the registry pre-installed).
+func Handler(r *Registry) http.Handler {
+	l := NewLive()
+	l.Set(r)
+	return l.Handler()
+}
+
+// Serve listens on addr and serves l's handler until the returned server is
+// shut down. It returns the bound address (useful with ":0").
+func Serve(addr string, l *Live) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: l.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

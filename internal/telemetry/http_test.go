@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestRegistry() *Registry {
+	r := NewRegistry(2)
+	c := r.Counter("cicada_commits_total", "Committed transactions.")
+	c.Shard(0).Add(40)
+	c.Shard(1).Add(2)
+	h := r.Histogram("cicada_commit_latency_ns", "Commit latency.", Label{"phase", "validate"})
+	h.Shard(0).Observe(2048)
+	rec := NewRecorder(2, 4, []string{"rts_early"})
+	rec.Shard(1).Record(TraceSample{TS: 77, Reason: 0, StartUnixNano: 123, Reads: 5})
+	r.SetRecorder(rec)
+	return r
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	srv := httptest.NewServer(Handler(newTestRegistry()))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, "cicada_commits_total 42") {
+		t.Errorf("/metrics missing summed counter:\n%s", body)
+	}
+	if !strings.Contains(body, `cicada_commit_latency_ns{phase="validate",quantile="0.99"}`) {
+		t.Errorf("/metrics missing quantile series:\n%s", body)
+	}
+
+	code, body = get(t, srv, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	var vars map[string]float64
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v\n%s", err, body)
+	}
+	if vars["cicada_commits_total"] != 42 {
+		t.Errorf("vars counter = %g, want 42", vars["cicada_commits_total"])
+	}
+
+	code, body = get(t, srv, "/debug/txntrace")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/txntrace status %d", code)
+	}
+	var traces []Trace
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("/debug/txntrace not JSON: %v\n%s", err, body)
+	}
+	if len(traces) != 1 || traces[0].Worker != 1 || traces[0].TS != 77 || traces[0].Reason != "rts_early" {
+		t.Errorf("txntrace = %+v", traces)
+	}
+}
+
+func TestHandlerNoRegistry(t *testing.T) {
+	srv := httptest.NewServer(NewLive().Handler())
+	defer srv.Close()
+	if code, _ := get(t, srv, "/metrics"); code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", code)
+	}
+}
+
+func TestLiveSwap(t *testing.T) {
+	l := NewLive()
+	srv := httptest.NewServer(l.Handler())
+	defer srv.Close()
+
+	r1 := NewRegistry(1)
+	r1.Counter("trial_total", "h").Shard(0).Add(1)
+	l.Set(r1)
+	if _, body := get(t, srv, "/metrics"); !strings.Contains(body, "trial_total 1") {
+		t.Fatalf("first registry not served:\n%s", body)
+	}
+
+	r2 := NewRegistry(1)
+	r2.Counter("trial_total", "h").Shard(0).Add(2)
+	l.Set(r2)
+	if _, body := get(t, srv, "/metrics"); !strings.Contains(body, "trial_total 2") {
+		t.Fatalf("swapped registry not served:\n%s", body)
+	}
+}
+
+func TestServe(t *testing.T) {
+	l := NewLive()
+	l.Set(newTestRegistry())
+	srv, addr, err := Serve("127.0.0.1:0", l)
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "cicada_commits_total") {
+		t.Fatalf("served output missing counter:\n%s", body)
+	}
+}
+
+func TestRecorderNotAttached(t *testing.T) {
+	r := NewRegistry(1)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	if code, _ := get(t, srv, "/debug/txntrace"); code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", code)
+	}
+}

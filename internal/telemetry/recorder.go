@@ -1,0 +1,154 @@
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// TraceSample is one aborted transaction's timeline as captured by the
+// engine: when it started, how long each phase ran, what it touched, and
+// why it died. All fields are plain words so recording stays
+// allocation-free.
+type TraceSample struct {
+	// TS is the transaction timestamp (raw clock.Timestamp bits).
+	TS uint64
+	// Reason indexes the recorder's reason-name table (the engine's abort
+	// taxonomy).
+	Reason uint64
+	// StartUnixNano is the wall-clock begin time.
+	StartUnixNano int64
+	// ExecuteNs and ValidateNs are the phase durations up to the abort; a
+	// read-phase abort has ValidateNs == 0.
+	ExecuteNs  uint64
+	ValidateNs uint64
+	// Reads and Writes are the read- and write-set sizes at abort time.
+	Reads  uint64
+	Writes uint64
+}
+
+// traceSlot is one ring entry, written through a seqlock: the writer bumps
+// seq to odd, stores the payload words, then bumps seq to even. Readers
+// retry or skip slots whose seq is odd or changed mid-read. Every word is
+// atomic, so the pattern is race-detector-clean; the seqlock only protects
+// against torn multi-word entries.
+type traceSlot struct {
+	seq      atomic.Uint64
+	ts       atomic.Uint64
+	reason   atomic.Uint64
+	start    atomic.Int64
+	exec     atomic.Uint64
+	validate atomic.Uint64
+	reads    atomic.Uint64
+	writes   atomic.Uint64
+}
+
+// RecorderShard is one worker's ring. Exactly one goroutine may Record into
+// a shard; Dump may run from any goroutine at any time.
+type RecorderShard struct {
+	next  atomic.Uint64 // entries ever recorded; owner-only writer
+	slots []traceSlot
+	_     [32]byte
+}
+
+// Record appends sample, overwriting the oldest entry once the ring is
+// full. Owner-only; allocation-free; no locks or RMW.
+func (s *RecorderShard) Record(sample TraceSample) {
+	i := s.next.Load()
+	slot := &s.slots[i%uint64(len(s.slots))]
+	seq := slot.seq.Load()
+	slot.seq.Store(seq + 1) // odd: writing
+	slot.ts.Store(sample.TS)
+	slot.reason.Store(sample.Reason)
+	slot.start.Store(sample.StartUnixNano)
+	slot.exec.Store(sample.ExecuteNs)
+	slot.validate.Store(sample.ValidateNs)
+	slot.reads.Store(sample.Reads)
+	slot.writes.Store(sample.Writes)
+	slot.seq.Store(seq + 2) // even: stable
+	s.next.Store(i + 1)
+}
+
+// Trace is one dumped flight-recorder entry.
+type Trace struct {
+	Worker        int    `json:"worker"`
+	TS            uint64 `json:"ts"`
+	Reason        string `json:"reason"`
+	StartUnixNano int64  `json:"start_unix_nano"`
+	ExecuteNs     uint64 `json:"execute_ns"`
+	ValidateNs    uint64 `json:"validate_ns"`
+	Reads         uint64 `json:"reads"`
+	Writes        uint64 `json:"writes"`
+}
+
+// Recorder is the per-worker transaction flight recorder: each worker owns
+// a fixed-depth ring of its most recent aborted transactions.
+type Recorder struct {
+	shards  []RecorderShard
+	reasons []string
+}
+
+// NewRecorder creates a recorder with one ring of the given depth per
+// worker. reasons maps TraceSample.Reason indexes to names for dumps.
+func NewRecorder(workers, depth int, reasons []string) *Recorder {
+	if depth < 1 {
+		depth = 1
+	}
+	r := &Recorder{shards: make([]RecorderShard, workers), reasons: reasons}
+	for i := range r.shards {
+		r.shards[i].slots = make([]traceSlot, depth)
+	}
+	return r
+}
+
+// Shard returns worker id's ring.
+func (r *Recorder) Shard(id int) *RecorderShard { return &r.shards[id] }
+
+// reasonName maps a reason index to its name.
+func (r *Recorder) reasonName(i uint64) string {
+	if i < uint64(len(r.reasons)) {
+		return r.reasons[i]
+	}
+	return "unknown"
+}
+
+// Dump collects up to max stable entries across all workers, newest first
+// (by wall-clock start). Entries being overwritten concurrently are
+// skipped, so a dump under load can return slightly fewer than max.
+func (r *Recorder) Dump(max int) []Trace {
+	var out []Trace
+	for w := range r.shards {
+		s := &r.shards[w]
+		depth := uint64(len(s.slots))
+		next := s.next.Load()
+		n := next
+		if n > depth {
+			n = depth
+		}
+		for k := uint64(0); k < n; k++ {
+			slot := &s.slots[(next-1-k)%depth]
+			seq1 := slot.seq.Load()
+			if seq1%2 != 0 || seq1 == 0 {
+				continue // mid-write or never written
+			}
+			tr := Trace{
+				Worker:        w,
+				TS:            slot.ts.Load(),
+				Reason:        r.reasonName(slot.reason.Load()),
+				StartUnixNano: slot.start.Load(),
+				ExecuteNs:     slot.exec.Load(),
+				ValidateNs:    slot.validate.Load(),
+				Reads:         slot.reads.Load(),
+				Writes:        slot.writes.Load(),
+			}
+			if slot.seq.Load() != seq1 {
+				continue // overwritten while reading
+			}
+			out = append(out, tr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartUnixNano > out[j].StartUnixNano })
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}

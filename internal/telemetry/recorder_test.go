@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRecorderWrapAndOrder(t *testing.T) {
+	reasons := []string{"rts_early", "validation"}
+	rec := NewRecorder(1, 4, reasons)
+	s := rec.Shard(0)
+	for i := 1; i <= 6; i++ {
+		s.Record(TraceSample{
+			TS:            uint64(i),
+			Reason:        uint64(i % 2),
+			StartUnixNano: int64(i * 1000),
+			ExecuteNs:     uint64(i),
+			Reads:         2,
+			Writes:        1,
+		})
+	}
+	got := rec.Dump(10)
+	if len(got) != 4 {
+		t.Fatalf("dumped %d entries, want 4 (ring depth)", len(got))
+	}
+	// Newest first: entries 6,5,4,3.
+	for i, wantTS := range []uint64{6, 5, 4, 3} {
+		if got[i].TS != wantTS {
+			t.Fatalf("entry %d: ts=%d, want %d", i, got[i].TS, wantTS)
+		}
+	}
+	if got[0].Reason != "rts_early" || got[1].Reason != "validation" {
+		t.Fatalf("reason mapping wrong: %q, %q", got[0].Reason, got[1].Reason)
+	}
+	if got := rec.Dump(2); len(got) != 2 {
+		t.Fatalf("Dump(2) returned %d entries", len(got))
+	}
+}
+
+func TestRecorderUnknownReason(t *testing.T) {
+	rec := NewRecorder(1, 2, []string{"only"})
+	rec.Shard(0).Record(TraceSample{Reason: 99, StartUnixNano: 1})
+	got := rec.Dump(1)
+	if len(got) != 1 || got[0].Reason != "unknown" {
+		t.Fatalf("got %+v, want one entry with reason unknown", got)
+	}
+}
+
+func TestRecorderEmptyDump(t *testing.T) {
+	rec := NewRecorder(2, 8, nil)
+	if got := rec.Dump(10); len(got) != 0 {
+		t.Fatalf("empty recorder dumped %d entries", len(got))
+	}
+}
+
+// TestRecorderConcurrent records from one goroutine per shard while the main
+// goroutine dumps continuously; meaningful under -race (validates the
+// all-atomic seqlock), and dumps must never contain garbage reasons.
+func TestRecorderConcurrent(t *testing.T) {
+	const workers, perWorker = 4, 10_000
+	reasons := []string{"a", "b", "c"}
+	rec := NewRecorder(workers, 16, reasons)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s := rec.Shard(id)
+			for i := 0; i < perWorker; i++ {
+				s.Record(TraceSample{
+					TS:            uint64(i),
+					Reason:        uint64(i % len(reasons)),
+					StartUnixNano: int64(i),
+				})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		for _, tr := range rec.Dump(64) {
+			if tr.Reason == "unknown" {
+				t.Fatal("dump returned unknown reason for in-range sample")
+			}
+		}
+		select {
+		case <-done:
+			got := rec.Dump(0)
+			if len(got) != workers*16 {
+				t.Fatalf("quiescent dump returned %d entries, want %d", len(got), workers*16)
+			}
+			return
+		default:
+		}
+	}
+}

@@ -1,0 +1,265 @@
+// Package telemetry is the engine's observability layer: per-worker,
+// allocation-free metrics whose write side is completely unsynchronized, in
+// the same one-sided discipline as the multi-clock (§3.1) — each hot-path
+// word has exactly one writer, writers never take locks or issue
+// read-modify-write instructions, and readers tolerate slightly stale
+// values by doing plain atomic loads.
+//
+// Three primitive families cover the engine's needs:
+//
+//   - Counter / Gauge: one cache-line-padded atomic word per worker.
+//     The owning worker updates its shard with an atomic load/store pair
+//     (a single-writer word needs no RMW); scrapers sum the shards.
+//   - Histogram: a per-worker log-linear bucket array (8 linear sub-buckets
+//     per power-of-two octave, bounding the relative quantile error at
+//     1/8). Snapshots merge across shards by plain addition, so merging is
+//     associative and scrape-time work never touches the hot path.
+//   - Recorder: a per-worker ring buffer of recently aborted transactions
+//     ("flight recorder") written through a seqlock built from atomic
+//     stores, for postmortem conflict debugging.
+//
+// A Registry names the metrics and renders them as Prometheus text,
+// expvar-style JSON, and a transaction-trace dump (see http.go). Metric
+// registration is cold and mutex-guarded; everything on the record path is
+// lock-free and allocation-free.
+//
+// Staleness contract: a scrape observes each shard word atomically but the
+// set of words is not read at one instant — totals can be mid-transaction
+// inconsistent (e.g. a histogram's count may momentarily disagree with the
+// sum of its buckets, commits+aborts may lag a transaction that is
+// currently finishing). Every word is monotone (counters) or
+// last-write-wins (gauges), so successive scrapes converge. See
+// docs/OBSERVABILITY.md for the full contract.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one constant metric label pair, fixed at registration.
+type Label struct {
+	Key, Value string
+}
+
+// metricKind discriminates the registry's metric table.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+// metric is one registered metric family member.
+type metric struct {
+	family string // e.g. "cicada_aborts_total"
+	labels string // rendered label set, e.g. `{reason="rts_early"}`, or ""
+	help   string
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64 // kindCounterFunc / kindGaugeFunc
+	hist    *Histogram
+}
+
+// fullName returns family plus the rendered label set.
+func (m *metric) fullName() string { return m.family + m.labels }
+
+// Registry holds a set of named metrics for one engine instance plus an
+// optional transaction flight recorder. Registration is mutex-guarded and
+// must finish before the hot path runs; scraping is safe at any time.
+type Registry struct {
+	workers int
+
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]bool
+	rec     *Recorder
+}
+
+// NewRegistry creates a registry whose sharded metrics have one shard per
+// worker (1 ≤ workers).
+func NewRegistry(workers int) *Registry {
+	if workers < 1 {
+		panic("telemetry: NewRegistry needs at least one worker")
+	}
+	return &Registry{workers: workers, byName: make(map[string]bool)}
+}
+
+// Workers returns the shard count of this registry's sharded metrics.
+func (r *Registry) Workers() int { return r.workers }
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) add(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.byName[m.fullName()] {
+		panic("telemetry: duplicate metric " + m.fullName())
+	}
+	r.byName[m.fullName()] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers a sharded monotone counter.
+func (r *Registry) Counter(family, help string, labels ...Label) *Counter {
+	c := newCounter(r.workers)
+	r.add(&metric{family: family, labels: renderLabels(labels), help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// Gauge registers a sharded last-write-wins gauge.
+func (r *Registry) Gauge(family, help string, labels ...Label) *Gauge {
+	g := newGauge(r.workers)
+	r.add(&metric{family: family, labels: renderLabels(labels), help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// CounterFunc registers a counter whose value is computed at scrape time
+// (e.g. summing an engine's own atomic words). fn must be safe to call from
+// any goroutine and should be monotone.
+func (r *Registry) CounterFunc(family, help string, fn func() float64, labels ...Label) {
+	r.add(&metric{family: family, labels: renderLabels(labels), help: help, kind: kindCounterFunc, fn: fn})
+}
+
+// GaugeFunc registers a gauge computed at scrape time.
+func (r *Registry) GaugeFunc(family, help string, fn func() float64, labels ...Label) {
+	r.add(&metric{family: family, labels: renderLabels(labels), help: help, kind: kindGaugeFunc, fn: fn})
+}
+
+// Histogram registers a sharded log-linear histogram of nanosecond values.
+func (r *Registry) Histogram(family, help string, labels ...Label) *Histogram {
+	h := newHistogram(r.workers)
+	r.add(&metric{family: family, labels: renderLabels(labels), help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// SetRecorder attaches the transaction flight recorder served at
+// /debug/txntrace.
+func (r *Registry) SetRecorder(rec *Recorder) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rec = rec
+}
+
+// Recorder returns the attached flight recorder, or nil.
+func (r *Registry) Recorder() *Recorder {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rec
+}
+
+// snapshotMetrics returns the metric table (registration is append-only, so
+// holding the slice after unlock is safe).
+func (r *Registry) snapshotMetrics() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.metrics
+}
+
+// histQuantiles are the quantiles rendered for each histogram in the
+// Prometheus summary output and in Values.
+var histQuantiles = []float64{0.5, 0.9, 0.99, 0.999}
+
+// sanitizeKey flattens a full metric name (family plus labels) into a flat
+// map key: cicada_aborts_total{reason="rts_early"} →
+// cicada_aborts_total_rts_early.
+func sanitizeKey(full string) string {
+	i := strings.IndexByte(full, '{')
+	if i < 0 {
+		return full
+	}
+	var b strings.Builder
+	b.WriteString(full[:i])
+	for _, l := range strings.Split(strings.Trim(full[i:], "{}"), ",") {
+		if _, v, ok := strings.Cut(l, "="); ok {
+			b.WriteByte('_')
+			b.WriteString(strings.Trim(v, `"`))
+		}
+	}
+	return b.String()
+}
+
+// Values renders every metric into a flat name → value map (labels folded
+// into the key). Histograms contribute _count, _sum and quantile entries
+// (_p50, _p90, _p99, _p999, in nanoseconds). Intended for per-trial export
+// into benchmark results.
+func (r *Registry) Values() map[string]float64 {
+	out := make(map[string]float64)
+	for _, m := range r.snapshotMetrics() {
+		key := sanitizeKey(m.fullName())
+		switch m.kind {
+		case kindCounter:
+			out[key] = float64(m.counter.Total())
+		case kindGauge:
+			out[key] = float64(m.gauge.Total())
+		case kindCounterFunc, kindGaugeFunc:
+			out[key] = m.fn()
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			out[key+"_count"] = float64(s.Count)
+			out[key+"_sum"] = float64(s.Sum)
+			for _, q := range histQuantiles {
+				out[fmt.Sprintf("%s_p%s", key, quantileSuffix(q))] = s.Quantile(q)
+			}
+		}
+	}
+	return out
+}
+
+// MonotoneValues renders only the monotone series — counters, counter
+// funcs, and histogram _count/_sum — keyed as in Values. Two calls
+// bracketing a window yield meaningful deltas; gauges are excluded because
+// differencing a last-write-wins value is not a rate.
+func (r *Registry) MonotoneValues() map[string]float64 {
+	out := make(map[string]float64)
+	for _, m := range r.snapshotMetrics() {
+		key := sanitizeKey(m.fullName())
+		switch m.kind {
+		case kindCounter:
+			out[key] = float64(m.counter.Total())
+		case kindCounterFunc:
+			out[key] = m.fn()
+		case kindHistogram:
+			s := m.hist.Snapshot()
+			out[key+"_count"] = float64(s.Count)
+			out[key+"_sum"] = float64(s.Sum)
+		}
+	}
+	return out
+}
+
+func quantileSuffix(q float64) string {
+	s := fmt.Sprintf("%g", q*100) // 0.5 → "50", 0.999 → "99.9"
+	return strings.ReplaceAll(s, ".", "")
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterSharding(t *testing.T) {
+	r := NewRegistry(3)
+	c := r.Counter("test_total", "help")
+	c.Shard(0).Inc()
+	c.Shard(1).Add(10)
+	c.Shard(2).Add(100)
+	if got := c.Total(); got != 111 {
+		t.Fatalf("Total = %d, want 111", got)
+	}
+	if got := c.Shard(1).Value(); got != 10 {
+		t.Fatalf("Shard(1) = %d, want 10", got)
+	}
+}
+
+func TestGaugeSharding(t *testing.T) {
+	r := NewRegistry(2)
+	g := r.Gauge("test_depth", "help")
+	g.Shard(0).Set(5)
+	g.Shard(1).Set(-2)
+	g.Shard(1).Add(3)
+	if got := g.Total(); got != 6 {
+		t.Fatalf("Total = %d, want 6", got)
+	}
+}
+
+// TestCounterConcurrentReaders hammers one shard per goroutine while another
+// goroutine sums totals; meaningful under -race.
+func TestCounterConcurrentReaders(t *testing.T) {
+	const workers, perWorker = 4, 50_000
+	r := NewRegistry(workers)
+	c := r.Counter("race_total", "help")
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			s := c.Shard(id)
+			for i := 0; i < perWorker; i++ {
+				s.Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		if c.Total() > workers*perWorker {
+			t.Fatal("total exceeded writes")
+		}
+		select {
+		case <-done:
+			if got := c.Total(); got != workers*perWorker {
+				t.Fatalf("final total %d, want %d", got, workers*perWorker)
+			}
+			return
+		default:
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry(1)
+	r.Counter("dup_total", "help", Label{"k", "v"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	r.Counter("dup_total", "other help", Label{"k", "v"})
+}
+
+func TestOwnerWordHelpers(t *testing.T) {
+	var w uint64
+	OwnerIncUint64(&w)
+	OwnerAddUint64(&w, 41)
+	if got := ReadUint64(&w); got != 42 {
+		t.Fatalf("word = %d, want 42", got)
+	}
+}
+
+func TestSanitizeKey(t *testing.T) {
+	cases := map[string]string{
+		"plain_total":                            "plain_total",
+		`cicada_aborts_total{reason="rts_early"}`: "cicada_aborts_total_rts_early",
+		`x{a="1",b="2"}`:                          "x_1_2",
+	}
+	for in, want := range cases {
+		if got := sanitizeKey(in); got != want {
+			t.Errorf("sanitizeKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestValues(t *testing.T) {
+	r := NewRegistry(2)
+	c := r.Counter("commits_total", "h", Label{"engine", "cicada"})
+	c.Shard(0).Add(7)
+	g := r.Gauge("gc_queue_depth", "h")
+	g.Shard(1).Set(3)
+	r.GaugeFunc("clock_drift", "h", func() float64 { return 1.5 })
+	h := r.Histogram("latency_ns", "h", Label{"phase", "execute"})
+	for i := 0; i < 100; i++ {
+		h.Shard(0).Observe(1000)
+	}
+
+	vals := r.Values()
+	if vals["commits_total_cicada"] != 7 {
+		t.Errorf("counter = %g, want 7", vals["commits_total_cicada"])
+	}
+	if vals["gc_queue_depth"] != 3 {
+		t.Errorf("gauge = %g, want 3", vals["gc_queue_depth"])
+	}
+	if vals["clock_drift"] != 1.5 {
+		t.Errorf("gaugefunc = %g, want 1.5", vals["clock_drift"])
+	}
+	if vals["latency_ns_execute_count"] != 100 {
+		t.Errorf("hist count = %g, want 100", vals["latency_ns_execute_count"])
+	}
+	if vals["latency_ns_execute_sum"] != 100_000 {
+		t.Errorf("hist sum = %g, want 100000", vals["latency_ns_execute_sum"])
+	}
+	p50 := vals["latency_ns_execute_p50"]
+	if p50 < 1000 || p50 > 1125 {
+		t.Errorf("p50 = %g, want within [1000, 1125]", p50)
+	}
+	if _, ok := vals["latency_ns_execute_p999"]; !ok {
+		t.Error("missing p999 key")
+	}
+}
+
+func TestQuantileSuffix(t *testing.T) {
+	cases := map[float64]string{0.5: "50", 0.9: "90", 0.99: "99", 0.999: "999"}
+	for q, want := range cases {
+		if got := quantileSuffix(q); got != want {
+			t.Errorf("quantileSuffix(%g) = %q, want %q", q, got, want)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry(1)
+	c := r.Counter("cicada_aborts_total", "Aborted transactions.", Label{"reason", "rts_early"})
+	c.Shard(0).Add(3)
+	r.Counter("cicada_aborts_total", "Aborted transactions.", Label{"reason", "write_latest"})
+	g := r.Gauge("cicada_gc_queue_depth", "GC queue depth.")
+	g.Shard(0).Set(9)
+	h := r.Histogram("cicada_commit_latency_ns", "Commit latency.", Label{"phase", "execute"})
+	h.Shard(0).Observe(500)
+	h.Shard(0).Observe(500)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP cicada_aborts_total Aborted transactions.\n",
+		"# TYPE cicada_aborts_total counter\n",
+		`cicada_aborts_total{reason="rts_early"} 3`,
+		`cicada_aborts_total{reason="write_latest"} 0`,
+		"# TYPE cicada_gc_queue_depth gauge\n",
+		"cicada_gc_queue_depth 9",
+		"# TYPE cicada_commit_latency_ns summary\n",
+		`cicada_commit_latency_ns{phase="execute",quantile="0.5"}`,
+		`cicada_commit_latency_ns{phase="execute",quantile="0.999"}`,
+		`cicada_commit_latency_ns_sum{phase="execute"} 1000`,
+		`cicada_commit_latency_ns_count{phase="execute"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n---\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE header per family even with multiple label sets.
+	if n := strings.Count(out, "# TYPE cicada_aborts_total"); n != 1 {
+		t.Errorf("family header repeated %d times", n)
+	}
+}

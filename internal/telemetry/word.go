@@ -1,0 +1,29 @@
+package telemetry
+
+import "sync/atomic"
+
+// Raw-word accessors: the same single-writer discipline as CounterShard, for
+// plain uint64 fields in structs that cannot embed telemetry types (e.g.
+// pre-existing per-worker counters that a scraper must now read live).
+//
+// A word accessed through these helpers must be accessed through them (or
+// sync/atomic) everywhere — cicada-lint's mixedatomic analyzer recognizes
+// them as sanctioned atomic accessors and flags any remaining plain access
+// of the same field module-wide.
+
+// OwnerAddUint64 adds d to a single-writer word with an atomic load/store
+// pair. Only the word's owning goroutine may call it.
+func OwnerAddUint64(p *uint64, d uint64) {
+	atomic.StoreUint64(p, atomic.LoadUint64(p)+d)
+}
+
+// OwnerIncUint64 adds one to a single-writer word. Owner-only.
+func OwnerIncUint64(p *uint64) {
+	atomic.StoreUint64(p, atomic.LoadUint64(p)+1)
+}
+
+// ReadUint64 atomically reads a word maintained by the owner-side helpers;
+// safe from any goroutine, may lag the owner by an in-flight update.
+func ReadUint64(p *uint64) uint64 {
+	return atomic.LoadUint64(p)
+}
