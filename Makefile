@@ -6,7 +6,11 @@ GO ?= go
 # proof that the discipline holds.
 RACE_PKGS = ./internal/core/... ./internal/clock/... ./internal/storage/... ./internal/telemetry/...
 
-.PHONY: all build test lint vet race bench telemetry-smoke clean
+.PHONY: all build test lint vet race bench bench-smoke bench-json telemetry-smoke clean
+
+# Packages with the hot-path microbenchmarks and allocation-budget tests
+# (docs/PERFORMANCE.md).
+BENCH_PKGS = ./internal/core/ ./internal/index/ ./internal/svindex/
 
 all: build lint test
 
@@ -31,7 +35,19 @@ race:
 	$(GO) test -race -short -tags cicada_invariants $(RACE_PKGS)
 
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS)
+
+# PR gate: allocation-budget tests plus a one-iteration benchmark compile/run
+# pass. Catches hot-path regressions without CI-length benchmark runs.
+bench-smoke:
+	$(GO) test -run 'TestAllocBudget|TestRepeated' $(BENCH_PKGS)
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem $(BENCH_PKGS)
+
+# Refresh the committed perf-trajectory seeds. Thread counts scale to the
+# machine; see docs/PERFORMANCE.md for how to read the files.
+bench-json:
+	$(GO) run ./cmd/cicada-bench -engines Cicada -ramp 200ms -measure 500ms -json BENCH_ycsb.json fig6a
+	$(GO) run ./cmd/cicada-bench -engines Cicada -ramp 200ms -measure 500ms -json BENCH_tpcc.json fig3c
 
 # Telemetry-on vs telemetry-off throughput comparison; asserts the
 # regression stays under the smoke bound (see docs/OBSERVABILITY.md).

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -42,6 +43,12 @@ func main() {
 		sizes   = flag.String("record-sizes", "", "comma-separated Figure 8 record sizes")
 		metrics = flag.String("metrics-addr", "", "serve live metrics on this address (/metrics, /debug/vars, /debug/txntrace) and export per-trial telemetry")
 		telFlag = flag.Bool("telemetry", false, "collect per-trial telemetry without serving HTTP")
+
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile covering all experiments to this file")
+		memProfile   = flag.String("memprofile", "", "write an allocation (heap) profile at exit to this file")
+		mutexProfile = flag.String("mutexprofile", "", "write a mutex contention profile at exit to this file")
+		jsonPath     = flag.String("json", "", "write all results as a JSON report to this file (see docs/PERFORMANCE.md)")
+		jsonNote     = flag.String("json-note", "", "free-form note recorded in the JSON report's metadata")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -130,12 +137,82 @@ func main() {
 		defer f.Close()
 		csvOut = f
 	}
+
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(100)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create -cpuprofile file: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var all []bench.Result
 	for _, exp := range exps {
 		rs := runExperiment(exp, s)
+		all = append(all, rs...)
 		if csvOut != nil {
 			bench.WriteCSV(csvOut, rs)
 		}
 	}
+
+	if *jsonPath != "" {
+		if err := writeJSONReport(*jsonPath, exps, *jsonNote, all); err != nil {
+			fmt.Fprintf(os.Stderr, "write -json file: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *memProfile != "" {
+		if err := writeProfile("allocs", *memProfile, true); err != nil {
+			fmt.Fprintf(os.Stderr, "write -memprofile file: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *mutexProfile != "" {
+		if err := writeProfile("mutex", *mutexProfile, false); err != nil {
+			fmt.Fprintf(os.Stderr, "write -mutexprofile file: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeJSONReport stores the run's results as the perf-trajectory JSON
+// format (docs/PERFORMANCE.md).
+func writeJSONReport(path string, exps []string, note string, results []bench.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteJSON(f, bench.NewRunMeta(exps, note), results); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeProfile dumps a named runtime profile; gcFirst forces a GC so the
+// allocation profile reflects live retention accurately.
+func writeProfile(name, path string, gcFirst bool) error {
+	if gcFirst {
+		runtime.GC()
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func runExperiment(exp string, s bench.Scale) []bench.Result {

@@ -110,29 +110,29 @@ func CicadaFactory(mutate func(*core.Options)) engine.Factory {
 // Result is one measurement point.
 type Result struct {
 	// Experiment identifies the figure/table.
-	Experiment string
+	Experiment string `json:"experiment"`
 	// Engine is the scheme name (possibly a variant label).
-	Engine string
+	Engine string `json:"engine"`
 	// Threads is the worker count.
-	Threads int
+	Threads int `json:"threads"`
 	// Param is the swept parameter's value (skew, record size, backoff µs,
 	// GC interval µs, ...), 0 if none.
-	Param float64
+	Param float64 `json:"param"`
 	// TPS is committed transactions per second during the measurement
 	// window (all transaction types, as in the paper).
-	TPS float64
+	TPS float64 `json:"tps"`
 	// AbortRate is aborts / (aborts + commits) over the whole run.
-	AbortRate float64
+	AbortRate float64 `json:"abort_rate"`
 	// AbortTimeFrac is time spent on aborted execution plus backoff
 	// divided by busy time (Figure 10's "abort time").
-	AbortTimeFrac float64
+	AbortTimeFrac float64 `json:"abort_time_frac"`
 	// Extra carries experiment-specific metrics (records/s, space
 	// overhead, staleness).
-	Extra map[string]float64
+	Extra map[string]float64 `json:"extra,omitempty"`
 	// Telemetry carries the trial's final metric values plus
 	// measurement-window deltas (".delta" suffix) for monotone series,
 	// populated only when the package-level Telemetry handle is set.
-	Telemetry map[string]float64
+	Telemetry map[string]float64 `json:"telemetry,omitempty"`
 }
 
 // Durations controls measurement length; tests and benchmarks shrink them.

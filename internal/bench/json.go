@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+)
+
+// JSONSchemaVersion identifies the BENCH_*.json layout; bump it when Result
+// or RunMeta change shape so trajectory tooling can detect old files.
+const JSONSchemaVersion = 1
+
+// RunMeta describes the machine and configuration that produced a JSON
+// benchmark report, so numbers from different PRs compare meaningfully.
+type RunMeta struct {
+	SchemaVersion int      `json:"schema_version"`
+	CreatedAt     string   `json:"created_at"` // RFC 3339
+	GoVersion     string   `json:"go_version"`
+	GOOS          string   `json:"goos"`
+	GOARCH        string   `json:"goarch"`
+	NumCPU        int      `json:"num_cpu"`
+	Experiments   []string `json:"experiments"`
+	Note          string   `json:"note,omitempty"`
+}
+
+// JSONReport is the file layout written by cicada-bench -json and committed
+// as BENCH_ycsb.json / BENCH_tpcc.json (the perf trajectory seeds).
+type JSONReport struct {
+	Meta    RunMeta  `json:"meta"`
+	Results []Result `json:"results"`
+}
+
+// NewRunMeta fills the environment fields; the caller adds experiments.
+func NewRunMeta(experiments []string, note string) RunMeta {
+	return RunMeta{
+		SchemaVersion: JSONSchemaVersion,
+		CreatedAt:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Experiments:   experiments,
+		Note:          note,
+	}
+}
+
+// WriteJSON writes results as an indented, stable-key-order JSON report
+// (encoding/json sorts map keys, so diffs between runs stay readable).
+func WriteJSON(w io.Writer, meta RunMeta, results []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(JSONReport{Meta: meta, Results: results})
+}

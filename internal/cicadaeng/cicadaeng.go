@@ -290,26 +290,39 @@ func (t *tx) IndexDelete(i engine.IndexID, key uint64, r engine.RecordID) error 
 }
 
 // deferSV queues a single-version index update to be applied after the
-// transaction commits (deferred index updates, Figure 4 mode).
+// transaction commits (deferred index updates, Figure 4 mode). The tx is
+// its own commit hook (core.TxnHook), so registration allocates nothing.
 func (t *tx) deferSV(op svOp) {
 	t.svOps = append(t.svOps, op)
 	if t.hooked {
 		return
 	}
 	t.hooked = true
-	t.ct.AddOnCommit(func() {
-		for _, op := range t.svOps {
-			ix := &t.db.indexes[op.idx]
-			switch {
-			case ix.svHash != nil && op.insert:
-				ix.svHash.Insert(op.key, op.rid)
-			case ix.svHash != nil:
-				ix.svHash.Delete(op.key, op.rid)
-			case op.insert:
-				ix.svTree.Insert(op.key, op.rid)
-			default:
-				ix.svTree.Delete(op.key, op.rid)
-			}
-		}
-	})
+	t.ct.AddHook(t)
 }
+
+// TxnPreCommit implements core.TxnHook; single-version index updates have no
+// validation-time work.
+func (t *tx) TxnPreCommit(*core.Txn) error { return nil }
+
+// TxnCommitted implements core.TxnHook: apply the deferred single-version
+// index updates now that the transaction's outcome is decided.
+func (t *tx) TxnCommitted(*core.Txn) {
+	for _, op := range t.svOps {
+		ix := &t.db.indexes[op.idx]
+		switch {
+		case ix.svHash != nil && op.insert:
+			ix.svHash.Insert(op.key, op.rid)
+		case ix.svHash != nil:
+			ix.svHash.Delete(op.key, op.rid)
+		case op.insert:
+			ix.svTree.Insert(op.key, op.rid)
+		default:
+			ix.svTree.Delete(op.key, op.rid)
+		}
+	}
+}
+
+// TxnAborted implements core.TxnHook; an aborted transaction's deferred
+// updates are simply dropped.
+func (t *tx) TxnAborted(*core.Txn) {}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"testing"
+
+	"cicada/internal/storage"
+)
+
+// Allocation-budget tests: the steady-state transaction hot path must not
+// allocate (docs/PERFORMANCE.md). Budgets are enforced with
+// testing.AllocsPerRun after a warm-up that reaches the reusable buffers'
+// high-water marks (access sets, GC queue, limbo batches, version pool).
+
+const allocWarmup = 5000
+
+// assertZeroAllocs warms fn up and then requires an average of zero
+// allocations per run.
+func assertZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; budgets enforced in non-race builds")
+	}
+	for i := 0; i < allocWarmup; i++ {
+		fn()
+	}
+	if avg := testing.AllocsPerRun(2000, fn); avg != 0 {
+		t.Errorf("%s: %.3f allocs/op; budget is 0", name, avg)
+	}
+}
+
+func TestAllocBudgetTxnRead(t *testing.T) {
+	_, tbl, w := benchSetup(t, 16)
+	fn := func(tx *Txn) error {
+		_, err := tx.Read(tbl, 0)
+		return err
+	}
+	assertZeroAllocs(t, "single-key read txn", func() {
+		if err := w.Run(fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAllocBudgetTxnReadOnly(t *testing.T) {
+	_, tbl, w := benchSetup(t, 16)
+	fn := func(tx *Txn) error {
+		_, err := tx.Read(tbl, 0)
+		return err
+	}
+	assertZeroAllocs(t, "read-only snapshot txn", func() {
+		if err := w.RunRO(fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAllocBudgetTxnRMW(t *testing.T) {
+	_, tbl, w := benchSetup(t, 16)
+	fn := func(tx *Txn) error {
+		buf, err := tx.Update(tbl, 0, -1)
+		if err != nil {
+			return err
+		}
+		buf[0]++
+		return nil
+	}
+	assertZeroAllocs(t, "single-key RMW txn", func() {
+		if err := w.Run(fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAllocBudgetTxnRMW8(t *testing.T) {
+	_, tbl, w := benchSetup(t, 16)
+	fn := func(tx *Txn) error {
+		for r := storage.RecordID(0); r < 8; r++ {
+			buf, err := tx.Update(tbl, r, -1)
+			if err != nil {
+				return err
+			}
+			buf[0]++
+		}
+		return nil
+	}
+	assertZeroAllocs(t, "8-key RMW txn (write-set sort + precheck)", func() {
+		if err := w.Run(fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestAllocBudgetTxnInsertDelete(t *testing.T) {
+	_, tbl, w := benchSetup(t, 16)
+	var rid storage.RecordID
+	ins := func(tx *Txn) error {
+		r, buf, err := tx.Insert(tbl, benchRecordSize)
+		if err != nil {
+			return err
+		}
+		buf[0] = 1
+		rid = r
+		return nil
+	}
+	del := func(tx *Txn) error { return tx.Delete(tbl, rid) }
+	assertZeroAllocs(t, "insert+delete txn pair", func() {
+		if err := w.Run(ins); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Run(del); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestAllocBudgetTypedHook proves registering a long-lived TxnHook object is
+// allocation-free, unlike the legacy closure API.
+func TestAllocBudgetTypedHook(t *testing.T) {
+	_, tbl, w := benchSetup(t, 16)
+	h := &countingHook{}
+	fn := func(tx *Txn) error {
+		tx.AddHook(h)
+		buf, err := tx.Update(tbl, 0, -1)
+		if err != nil {
+			return err
+		}
+		buf[0]++
+		return nil
+	}
+	assertZeroAllocs(t, "RMW txn with typed hook", func() {
+		if err := w.Run(fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if h.committed == 0 {
+		t.Fatal("hook never ran")
+	}
+}
+
+type countingHook struct {
+	pre, committed, aborted int
+}
+
+func (h *countingHook) TxnPreCommit(*Txn) error { h.pre++; return nil }
+func (h *countingHook) TxnCommitted(*Txn)       { h.committed++ }
+func (h *countingHook) TxnAborted(*Txn)         { h.aborted++ }
+
+// TestRepeatedReadDedup is the regression test for read-set dedup: re-reads
+// of the same (table, record) must resolve through the own-writes table and
+// not grow the read set or validation work.
+func TestRepeatedReadDedup(t *testing.T) {
+	_, tbl, w := benchSetup(t, 4)
+	err := w.Run(func(tx *Txn) error {
+		var first []byte
+		for i := 0; i < 100; i++ {
+			d, err := tx.Read(tbl, 0)
+			if err != nil {
+				return err
+			}
+			if i == 0 {
+				first = d
+			} else if &d[0] != &first[0] {
+				t.Error("re-read returned a different version")
+			}
+		}
+		if got := len(tx.reads); got != 1 {
+			t.Errorf("read set after 100 re-reads = %d; want 1", got)
+		}
+		if got := len(tx.accesses); got != 1 {
+			t.Errorf("access set after 100 re-reads = %d; want 1", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepeatedAbsentReadDedup covers the absent-record flavor: repeated
+// misses of the same record ID track a single validated absent read.
+func TestRepeatedAbsentReadDedup(t *testing.T) {
+	_, tbl, w := benchSetup(t, 4)
+	err := w.Run(func(tx *Txn) error {
+		const missing = storage.RecordID(9999)
+		for i := 0; i < 100; i++ {
+			if _, err := tx.Read(tbl, missing); err != ErrNotFound {
+				t.Fatalf("read %d: %v; want ErrNotFound", i, err)
+			}
+		}
+		if got := len(tx.reads); got != 1 {
+			t.Errorf("read set after 100 absent re-reads = %d; want 1", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepeatedUpdateDedup: repeated Updates of one key stay a single
+// write-set entry (read-own-writes).
+func TestRepeatedUpdateDedup(t *testing.T) {
+	_, tbl, w := benchSetup(t, 4)
+	err := w.Run(func(tx *Txn) error {
+		for i := 0; i < 100; i++ {
+			buf, err := tx.Update(tbl, 0, -1)
+			if err != nil {
+				return err
+			}
+			buf[0]++
+		}
+		if got := len(tx.writes); got != 1 {
+			t.Errorf("write set after 100 updates = %d; want 1", got)
+		}
+		if got := len(tx.accesses); got != 1 {
+			t.Errorf("access set after 100 updates = %d; want 1", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -335,9 +335,14 @@ type Worker struct {
 
 	// gcQueue is the local garbage collection queue (§3.8); items are
 	// appended at commit and consumed from the front once min_rts passes.
-	gcQueue     []gcItem
-	gcHead      int
-	limbo       []limboBatch
+	gcQueue []gcItem
+	gcHead  int
+	limbo   []limboBatch
+	// limboSpare recycles drained limbo batches (with their entry/free
+	// slice capacity) so steady-state epoch turnover does not allocate.
+	limboSpare []limboBatch
+	// gcScratch is collect's reusable detached-version staging buffer.
+	gcScratch   []limboEntry
 	lastQuiesce time.Time
 
 	// consecutiveCommits drives adaptive omission of write-set sorting and
@@ -353,7 +358,7 @@ func newWorker(e *Engine, id int) *Worker {
 	}
 	w.txn.worker = w
 	w.txn.eng = e
-	w.txn.ownWrites = make(map[uint64]int, 64)
+	w.txn.own.init(64)
 	return w
 }
 

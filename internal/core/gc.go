@@ -165,7 +165,7 @@ func (w *Worker) collect(it gcItem, minRTS clock.Timestamp) {
 		}
 	}
 	h.UnlockGC()
-	var batch []limboEntry
+	batch := w.gcScratch[:0]
 	for c := chain; c != nil; {
 		next := c.Next()
 		if invariantsEnabled {
@@ -188,6 +188,7 @@ func (w *Worker) collect(it gcItem, minRTS clock.Timestamp) {
 	for _, e := range batch {
 		w.addLimbo(e)
 	}
+	w.gcScratch = batch[:0]
 }
 
 // addLimbo defers a detached version's reuse by limboDelayEpochs quiescence
@@ -209,7 +210,13 @@ func (w *Worker) limboAppend() *limboBatch {
 	if n := len(w.limbo); n > 0 && w.limbo[n-1].epoch == epoch {
 		return &w.limbo[n-1]
 	}
-	w.limbo = append(w.limbo, limboBatch{epoch: epoch})
+	var b limboBatch
+	if n := len(w.limboSpare); n > 0 {
+		b = w.limboSpare[n-1] // reuse drained entry/free slice capacity
+		w.limboSpare = w.limboSpare[:n-1]
+	}
+	b.epoch = epoch
+	w.limbo = append(w.limbo, b)
 	return &w.limbo[len(w.limbo)-1]
 }
 
@@ -238,6 +245,13 @@ func (w *Worker) processLimbo() {
 		w.stats.addReclaimed(reclaimed)
 	}
 	if n > 0 {
+		for i := 0; i < n; i++ {
+			b := w.limbo[i]
+			b.epoch = 0
+			b.entries = b.entries[:0]
+			b.frees = b.frees[:0]
+			w.limboSpare = append(w.limboSpare, b)
+		}
 		w.limbo = append(w.limbo[:0], w.limbo[n:]...)
 	}
 }

@@ -1,0 +1,134 @@
+package core
+
+import "math/bits"
+
+// ownTable maps (table, record) keys to access-set indexes for
+// read-own-writes, replacing a Go map on the per-access hot path. It is an
+// open-addressed linear-probe table with generation-stamped slots: begin()
+// resets it by bumping the generation instead of clearing memory, so a
+// transaction pays no per-begin cost proportional to table capacity and no
+// map-runtime hashing per access.
+//
+// Slot states (per generation): empty (stale gen), live (idx ≥ 0), or
+// tombstone (idx == ownTombstone, left by del so later probes keep walking).
+// The table is sized to the worker's access-set high-water mark and only
+// grows; growth is the sole allocation and stops in steady state.
+type ownTable struct {
+	keys []uint64
+	idxs []int32
+	gens []uint32
+	gen  uint32
+	// live counts non-tombstone entries this generation; tombs counts
+	// tombstones. Growth triggers on their sum to bound probe lengths.
+	live  int
+	tombs int
+	shift uint // 64 - log2(len(keys)), for fibonacci hashing
+}
+
+const (
+	ownMinSize   = 64
+	ownTombstone = int32(-1)
+)
+
+func (o *ownTable) init(capacity int) {
+	size := ownMinSize
+	for size < capacity*2 {
+		size <<= 1
+	}
+	o.keys = make([]uint64, size)
+	o.idxs = make([]int32, size)
+	o.gens = make([]uint32, size)
+	o.gen = 1
+	o.shift = uint(64 - bits.TrailingZeros(uint(size)))
+	o.live, o.tombs = 0, 0
+}
+
+// reset prepares the table for a new transaction in O(1).
+func (o *ownTable) reset() {
+	o.gen++
+	if o.gen == 0 {
+		// Generation wrapped: clear stamps so stale slots cannot alias.
+		clear(o.gens)
+		o.gen = 1
+	}
+	o.live, o.tombs = 0, 0
+}
+
+func (o *ownTable) slot(key uint64) int {
+	return int((key * 0x9E3779B97F4A7C15) >> o.shift)
+}
+
+// get returns the access index stored for key.
+func (o *ownTable) get(key uint64) (int, bool) {
+	mask := len(o.keys) - 1
+	for s := o.slot(key); ; s = (s + 1) & mask {
+		if o.gens[s] != o.gen {
+			return 0, false
+		}
+		if o.keys[s] == key && o.idxs[s] != ownTombstone {
+			return int(o.idxs[s]), true
+		}
+	}
+}
+
+// put inserts or overwrites key → idx.
+func (o *ownTable) put(key uint64, idx int) {
+	if (o.live+o.tombs+1)*4 >= len(o.keys)*3 {
+		o.grow()
+	}
+	mask := len(o.keys) - 1
+	insert := -1
+	for s := o.slot(key); ; s = (s + 1) & mask {
+		if o.gens[s] != o.gen {
+			if insert < 0 {
+				insert = s
+			}
+			break
+		}
+		if o.keys[s] == key {
+			if o.idxs[s] == ownTombstone {
+				o.tombs--
+				o.live++
+			}
+			o.idxs[s] = int32(idx)
+			return
+		}
+		if o.idxs[s] == ownTombstone && insert < 0 {
+			insert = s // reuse the first tombstone once key is known absent
+		}
+	}
+	if o.gens[insert] == o.gen {
+		o.tombs-- // reusing a tombstone slot
+	}
+	o.keys[insert] = key
+	o.idxs[insert] = int32(idx)
+	o.gens[insert] = o.gen
+	o.live++
+}
+
+// del removes key, leaving a tombstone so probe chains stay intact.
+func (o *ownTable) del(key uint64) {
+	mask := len(o.keys) - 1
+	for s := o.slot(key); ; s = (s + 1) & mask {
+		if o.gens[s] != o.gen {
+			return
+		}
+		if o.keys[s] == key && o.idxs[s] != ownTombstone {
+			o.idxs[s] = ownTombstone
+			o.live--
+			o.tombs++
+			return
+		}
+	}
+}
+
+// grow doubles the table and rehashes the current generation's live entries.
+func (o *ownTable) grow() {
+	oldKeys, oldIdxs, oldGens, oldGen := o.keys, o.idxs, o.gens, o.gen
+	o.init(len(oldKeys)) // init doubles: size < cap*2 → 2*len
+	for s := range oldKeys {
+		if oldGens[s] == oldGen && oldIdxs[s] != ownTombstone {
+			o.put(oldKeys[s], int(oldIdxs[s]))
+		}
+	}
+}

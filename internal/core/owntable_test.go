@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestOwnTableBasic(t *testing.T) {
+	var o ownTable
+	o.init(4)
+	if _, ok := o.get(42); ok {
+		t.Fatal("empty table reported a hit")
+	}
+	o.put(42, 7)
+	if i, ok := o.get(42); !ok || i != 7 {
+		t.Fatalf("get(42) = %d,%v; want 7,true", i, ok)
+	}
+	o.put(42, 9) // overwrite
+	if i, _ := o.get(42); i != 9 {
+		t.Fatalf("overwrite: get(42) = %d; want 9", i)
+	}
+	o.del(42)
+	if _, ok := o.get(42); ok {
+		t.Fatal("deleted key still present")
+	}
+	o.put(42, 3) // revive through the tombstone
+	if i, ok := o.get(42); !ok || i != 3 {
+		t.Fatalf("revived get(42) = %d,%v; want 3,true", i, ok)
+	}
+}
+
+func TestOwnTableZeroKey(t *testing.T) {
+	// ownKey(0, 0) == 0: the zero key must be a first-class citizen.
+	var o ownTable
+	o.init(4)
+	o.put(0, 5)
+	if i, ok := o.get(0); !ok || i != 5 {
+		t.Fatalf("get(0) = %d,%v; want 5,true", i, ok)
+	}
+	o.reset()
+	if _, ok := o.get(0); ok {
+		t.Fatal("reset did not clear the zero key")
+	}
+}
+
+func TestOwnTableReset(t *testing.T) {
+	var o ownTable
+	o.init(4)
+	for k := uint64(0); k < 10; k++ {
+		o.put(k, int(k))
+	}
+	o.reset()
+	for k := uint64(0); k < 10; k++ {
+		if _, ok := o.get(k); ok {
+			t.Fatalf("key %d survived reset", k)
+		}
+	}
+	o.put(3, 33)
+	if i, ok := o.get(3); !ok || i != 33 {
+		t.Fatalf("post-reset get(3) = %d,%v; want 33,true", i, ok)
+	}
+}
+
+func TestOwnTableGenerationWrap(t *testing.T) {
+	var o ownTable
+	o.init(4)
+	o.put(1, 1)
+	o.gen = ^uint32(0) - 1
+	o.reset() // gen = max
+	o.put(2, 2)
+	o.reset() // gen wraps: stamps must be cleared
+	if _, ok := o.get(1); ok {
+		t.Fatal("stale entry visible after generation wrap")
+	}
+	if _, ok := o.get(2); ok {
+		t.Fatal("previous-gen entry visible after generation wrap")
+	}
+	o.put(3, 3)
+	if i, ok := o.get(3); !ok || i != 3 {
+		t.Fatalf("post-wrap get(3) = %d,%v; want 3,true", i, ok)
+	}
+}
+
+// TestOwnTableVsMap cross-checks the probe table against a Go map under a
+// random workload of puts, deletes, overwrites, and resets, including
+// adversarial keys that collide in the upper hash bits.
+func TestOwnTableVsMap(t *testing.T) {
+	var o ownTable
+	o.init(4)
+	ref := map[uint64]int{}
+	rng := rand.New(rand.NewSource(1))
+	keyFor := func(r *rand.Rand) uint64 {
+		k := uint64(r.Intn(200))
+		if r.Intn(2) == 0 {
+			k <<= 40 // sparse high-bit keys stress the hash distribution
+		}
+		return k
+	}
+	for step := 0; step < 200_000; step++ {
+		switch r := rng.Intn(100); {
+		case r < 55:
+			k := keyFor(rng)
+			v := rng.Intn(1 << 20)
+			o.put(k, v)
+			ref[k] = v
+		case r < 75:
+			k := keyFor(rng)
+			o.del(k)
+			delete(ref, k)
+		case r < 99:
+			k := keyFor(rng)
+			got, ok := o.get(k)
+			want, wantOK := ref[k]
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("step %d: get(%#x) = %d,%v; want %d,%v", step, k, got, ok, want, wantOK)
+			}
+		default:
+			o.reset()
+			clear(ref)
+		}
+	}
+}
+
+func TestOwnTableGrowth(t *testing.T) {
+	var o ownTable
+	o.init(4)
+	const n = 10_000
+	for k := uint64(0); k < n; k++ {
+		o.put(k, int(k)*3)
+	}
+	for k := uint64(0); k < n; k++ {
+		if i, ok := o.get(k); !ok || i != int(k)*3 {
+			t.Fatalf("after growth: get(%d) = %d,%v; want %d,true", k, i, ok, int(k)*3)
+		}
+	}
+	if o.live != n {
+		t.Fatalf("live = %d; want %d", o.live, n)
+	}
+}

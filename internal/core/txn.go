@@ -64,17 +64,34 @@ type Txn struct {
 	writes []int
 	// reads holds indexes into accesses for read-set entries.
 	reads []int
-	// ownWrites maps (table,record) → accesses index for read-own-writes.
-	ownWrites map[uint64]int
+	// own maps (table,record) → accesses index for read-own-writes and
+	// read-set dedup, without per-access map-runtime hashing.
+	own ownTable
+	// sortKeys is the reusable contention-sort scratch (§3.5); sized to the
+	// write-set high-water mark.
+	sortKeys []clock.Timestamp
 	// logBuf is the reusable log entry buffer handed to the Logger.
 	logBuf []LogEntry
-	// hooks run during validation (used by the multi-version index layer
-	// to defer index updates until validation, §3.6).
-	preCommit []func(*Txn) error
-	// onCommit/onAbort run after the outcome is decided (deferred
-	// single-version index updates, workload bookkeeping).
-	onCommit []func()
-	onAbort  []func()
+	// hooks receive lifecycle callbacks: pre-commit at the start of
+	// validation (deferred multi-version index updates, §3.6), then
+	// committed or aborted once the outcome is decided. The slice is reused
+	// across transactions.
+	hooks []TxnHook
+}
+
+// TxnHook observes a transaction's lifecycle with typed callbacks. Hook
+// values registered with AddHook are typically long-lived per-worker
+// objects, so registration allocates nothing — unlike the closure-based
+// AddPreCommit/AddOnCommit/AddOnAbort convenience wrappers, which box one
+// adapter per call and are kept for tests and cold paths.
+type TxnHook interface {
+	// TxnPreCommit runs at the start of validation, in registration order;
+	// returning an error aborts the transaction.
+	TxnPreCommit(t *Txn) error
+	// TxnCommitted runs after a successful commit.
+	TxnCommitted(t *Txn)
+	// TxnAborted runs after a rollback.
+	TxnAborted(t *Txn)
 }
 
 func ownKey(tbl TableID, rid storage.RecordID) uint64 {
@@ -94,10 +111,11 @@ func (t *Txn) begin(ts clock.Timestamp, readOnly bool) {
 	t.writes = t.writes[:0]
 	t.reads = t.reads[:0]
 	t.logBuf = t.logBuf[:0]
-	t.preCommit = t.preCommit[:0]
-	t.onCommit = t.onCommit[:0]
-	t.onAbort = t.onAbort[:0]
-	clear(t.ownWrites)
+	for i := range t.hooks {
+		t.hooks[i] = nil // drop references; keep capacity
+	}
+	t.hooks = t.hooks[:0]
+	t.own.reset()
 }
 
 // Timestamp returns the transaction's timestamp.
@@ -277,7 +295,7 @@ func (t *Txn) Read(tbl *Table, rid storage.RecordID) ([]byte, error) {
 	if !t.active {
 		return nil, ErrTxnClosed
 	}
-	if i, ok := t.ownWrites[ownKey(tbl.ID, rid)]; ok {
+	if i, ok := t.own.get(ownKey(tbl.ID, rid)); ok {
 		a := &t.accesses[i]
 		switch a.kind {
 		case accDelete:
@@ -324,7 +342,7 @@ func (t *Txn) trackRead(tbl *Table, rid storage.RecordID, visible, later *storag
 	})
 	i := len(t.accesses) - 1
 	t.reads = append(t.reads, i)
-	t.ownWrites[ownKey(tbl.ID, rid)] = i
+	t.own.put(ownKey(tbl.ID, rid), i)
 }
 
 // maybePromote upgrades a read of a cold, non-inline latest version to an
@@ -346,7 +364,7 @@ func (t *Txn) maybePromote(tbl *Table, h *storage.Head, rid storage.RecordID, v 
 		return
 	}
 	copy(inlineV.Data, v.Data)
-	i := t.ownWrites[ownKey(tbl.ID, rid)] // read entry added just before
+	i, _ := t.own.get(ownKey(tbl.ID, rid)) // read entry added just before
 	a := &t.accesses[i]
 	a.kind = accRMW
 	a.newVer = inlineV
@@ -389,7 +407,7 @@ func (t *Txn) Write(tbl *Table, rid storage.RecordID, size int) ([]byte, error) 
 	if t.readOnly {
 		return nil, ErrReadOnly
 	}
-	if i, ok := t.ownWrites[ownKey(tbl.ID, rid)]; ok {
+	if i, ok := t.own.get(ownKey(tbl.ID, rid)); ok {
 		a := &t.accesses[i]
 		switch a.kind {
 		case accDelete:
@@ -426,7 +444,7 @@ func (t *Txn) Write(tbl *Table, rid storage.RecordID, size int) ([]byte, error) 
 	})
 	i := len(t.accesses) - 1
 	t.writes = append(t.writes, i)
-	t.ownWrites[ownKey(tbl.ID, rid)] = i
+	t.own.put(ownKey(tbl.ID, rid), i)
 	return nv.Data, nil
 }
 
@@ -463,7 +481,7 @@ func (t *Txn) Update(tbl *Table, rid storage.RecordID, newSize int) ([]byte, err
 	if t.readOnly {
 		return nil, ErrReadOnly
 	}
-	if i, ok := t.ownWrites[ownKey(tbl.ID, rid)]; ok {
+	if i, ok := t.own.get(ownKey(tbl.ID, rid)); ok {
 		a := &t.accesses[i]
 		switch a.kind {
 		case accDelete:
@@ -532,7 +550,7 @@ func (t *Txn) Update(tbl *Table, rid storage.RecordID, newSize int) ([]byte, err
 	i := len(t.accesses) - 1
 	t.writes = append(t.writes, i)
 	t.reads = append(t.reads, i)
-	t.ownWrites[ownKey(tbl.ID, rid)] = i
+	t.own.put(ownKey(tbl.ID, rid), i)
 	return nv.Data, nil
 }
 
@@ -554,7 +572,7 @@ func (t *Txn) Insert(tbl *Table, size int) (storage.RecordID, []byte, error) {
 	})
 	i := len(t.accesses) - 1
 	t.writes = append(t.writes, i)
-	t.ownWrites[ownKey(tbl.ID, rid)] = i
+	t.own.put(ownKey(tbl.ID, rid), i)
 	return rid, nv.Data, nil
 }
 
@@ -568,7 +586,7 @@ func (t *Txn) Delete(tbl *Table, rid storage.RecordID) error {
 	if t.readOnly {
 		return ErrReadOnly
 	}
-	if i, ok := t.ownWrites[ownKey(tbl.ID, rid)]; ok {
+	if i, ok := t.own.get(ownKey(tbl.ID, rid)); ok {
 		a := &t.accesses[i]
 		switch a.kind {
 		case accDelete:
@@ -579,7 +597,7 @@ func (t *Txn) Delete(tbl *Table, rid storage.RecordID) error {
 			a.newVer = nil
 			a.kind = accDelete
 			tbl.st.FreeRecordID(t.worker.id, rid)
-			delete(t.ownWrites, ownKey(tbl.ID, rid))
+			t.own.del(ownKey(tbl.ID, rid))
 			// Remove from the write list lazily: validation skips nil newVer.
 			return nil
 		case accRead:
@@ -626,7 +644,7 @@ func (t *Txn) Delete(tbl *Table, rid storage.RecordID) error {
 	i := len(t.accesses) - 1
 	t.writes = append(t.writes, i)
 	t.reads = append(t.reads, i)
-	t.ownWrites[ownKey(tbl.ID, rid)] = i
+	t.own.put(ownKey(tbl.ID, rid), i)
 	return nil
 }
 
@@ -650,12 +668,40 @@ func (w *Worker) ReadDirect(tbl *Table, rid storage.RecordID) ([]byte, bool) {
 	return v.Data, true
 }
 
-// AddPreCommit registers a hook that runs at the start of validation; the
-// multi-version index layer uses it to apply deferred index updates (§3.6).
-func (t *Txn) AddPreCommit(fn func(*Txn) error) { t.preCommit = append(t.preCommit, fn) }
+// AddHook registers a typed lifecycle hook for the current transaction.
+// Registering a long-lived hook object (e.g. a per-worker adapter struct)
+// does not allocate; the hook list is cleared when the next transaction
+// begins.
+func (t *Txn) AddHook(h TxnHook) { t.hooks = append(t.hooks, h) }
 
-// AddOnCommit registers a hook that runs after a successful commit.
-func (t *Txn) AddOnCommit(fn func()) { t.onCommit = append(t.onCommit, fn) }
+// preCommitFunc, onCommitFunc, and onAbortFunc adapt bare closures to
+// TxnHook for the legacy convenience API. Each registration boxes one
+// adapter value; hot paths should implement TxnHook on a reusable object
+// and call AddHook instead.
+type preCommitFunc struct{ fn func(*Txn) error }
 
-// AddOnAbort registers a hook that runs after a rollback.
-func (t *Txn) AddOnAbort(fn func()) { t.onAbort = append(t.onAbort, fn) }
+func (h preCommitFunc) TxnPreCommit(t *Txn) error { return h.fn(t) }
+func (preCommitFunc) TxnCommitted(*Txn)           {}
+func (preCommitFunc) TxnAborted(*Txn)             {}
+
+type onCommitFunc struct{ fn func() }
+
+func (onCommitFunc) TxnPreCommit(*Txn) error { return nil }
+func (h onCommitFunc) TxnCommitted(*Txn)     { h.fn() }
+func (onCommitFunc) TxnAborted(*Txn)         {}
+
+type onAbortFunc struct{ fn func() }
+
+func (onAbortFunc) TxnPreCommit(*Txn) error { return nil }
+func (onAbortFunc) TxnCommitted(*Txn)       {}
+func (h onAbortFunc) TxnAborted(*Txn)       { h.fn() }
+
+// AddPreCommit registers a closure that runs at the start of validation;
+// returning an error aborts the transaction.
+func (t *Txn) AddPreCommit(fn func(*Txn) error) { t.AddHook(preCommitFunc{fn}) }
+
+// AddOnCommit registers a closure that runs after a successful commit.
+func (t *Txn) AddOnCommit(fn func()) { t.AddHook(onCommitFunc{fn}) }
+
+// AddOnAbort registers a closure that runs after a rollback.
+func (t *Txn) AddOnAbort(fn func()) { t.AddHook(onAbortFunc{fn}) }

@@ -39,8 +39,8 @@ func (t *Txn) Commit() error {
 		t.telValStart = time.Now()
 		tel.phase[phaseExecute].ObserveDuration(t.telValStart.Sub(t.telStart))
 	}
-	for _, hook := range t.preCommit {
-		if err := hook(t); err != nil {
+	for _, h := range t.hooks {
+		if err := h.TxnPreCommit(t); err != nil {
 			t.rollbackCC(AbortPreCommit)
 			return ErrAborted
 		}
@@ -128,8 +128,8 @@ func (t *Txn) checkAbortReason(generic AbortReason) AbortReason {
 }
 
 func (t *Txn) runCommitHooks() {
-	for _, fn := range t.onCommit {
-		fn()
+	for _, h := range t.hooks {
+		h.TxnCommitted(t)
 	}
 }
 
@@ -214,8 +214,8 @@ func (t *Txn) rollback() {
 		}
 	}
 	t.active = false
-	for _, fn := range t.onAbort {
-		fn()
+	for _, h := range t.hooks {
+		h.TxnAborted(t)
 	}
 }
 
@@ -231,7 +231,12 @@ func (t *Txn) sortWriteSetByContention() {
 	if n < 2 {
 		return
 	}
-	keys := make([]clock.Timestamp, n)
+	// Reuse the per-Txn scratch; it grows to the write-set high-water mark
+	// and then validation is allocation-free.
+	if cap(t.sortKeys) < n {
+		t.sortKeys = make([]clock.Timestamp, n)
+	}
+	keys := t.sortKeys[:n]
 	for j, i := range t.writes {
 		a := &t.accesses[i]
 		if a.newVer == nil || a.kind == accInsert {

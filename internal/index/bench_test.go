@@ -1,0 +1,137 @@
+package index
+
+import (
+	"testing"
+
+	"cicada/internal/core"
+	"cicada/internal/storage"
+)
+
+// Microbenchmarks for the multi-version index hot paths. Index nodes are
+// ordinary Cicada records, so these exercise the engine's read/RMW machinery
+// through the index encoding layer; the allocation-budget contract
+// (docs/PERFORMANCE.md) requires steady-state Get and Insert+Delete cycles
+// to stay allocation-free.
+
+const benchKeys = 1024
+
+func benchHash(tb testing.TB) (*MVHash, *core.Worker) {
+	tb.Helper()
+	e := core.NewEngine(core.DefaultOptions(1))
+	h := NewMVHash(e, "idx", benchKeys, false)
+	w := e.Worker(0)
+	for i := 0; i < benchKeys; i++ {
+		if err := w.Run(func(tx *core.Txn) error {
+			return h.Insert(tx, uint64(i), storage.RecordID(i))
+		}); err != nil {
+			tb.Fatalf("preload: %v", err)
+		}
+	}
+	return h, w
+}
+
+func BenchmarkMVHashGet(b *testing.B) {
+	h, w := benchHash(b)
+	var k uint64
+	fn := func(tx *core.Txn) error {
+		_, err := h.Get(tx, k)
+		return err
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k = uint64(i % benchKeys)
+		if err := w.Run(fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMVHashInsert measures an insert+delete cycle on a fresh key, the
+// steady-state shape of secondary index maintenance.
+func BenchmarkMVHashInsert(b *testing.B) {
+	h, w := benchHash(b)
+	const k = benchKeys + 1
+	fn := func(tx *core.Txn) error {
+		if err := h.Insert(tx, k, 7); err != nil {
+			return err
+		}
+		return h.Delete(tx, k, 7)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Run(fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchTree(tb testing.TB) (*MVBTree, *core.Worker) {
+	tb.Helper()
+	e := core.NewEngine(core.DefaultOptions(1))
+	t := NewMVBTree(e, "idx", false)
+	w := e.Worker(0)
+	for i := 0; i < benchKeys; i++ {
+		if err := w.Run(func(tx *core.Txn) error {
+			return t.Insert(tx, uint64(i*2), storage.RecordID(i))
+		}); err != nil {
+			tb.Fatalf("preload: %v", err)
+		}
+	}
+	return t, w
+}
+
+func BenchmarkMVBTreeGet(b *testing.B) {
+	t, w := benchTree(b)
+	var k uint64
+	fn := func(tx *core.Txn) error {
+		_, err := t.Get(tx, k)
+		return err
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k = uint64((i % benchKeys) * 2)
+		if err := w.Run(fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMVBTreeInsert measures an insert+delete cycle on a key between
+// the preloaded ones (no node splits in steady state).
+func BenchmarkMVBTreeInsert(b *testing.B) {
+	t, w := benchTree(b)
+	fn := func(tx *core.Txn) error {
+		if err := t.Insert(tx, 101, 7); err != nil {
+			return err
+		}
+		return t.Delete(tx, 101, 7)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Run(fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMVBTreeScan16(b *testing.B) {
+	t, w := benchTree(b)
+	var sum uint64
+	fn := func(tx *core.Txn) error {
+		return t.Scan(tx, 100, 100+31, 16, func(k uint64, rid storage.RecordID) bool {
+			sum += uint64(rid)
+			return true
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Run(fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

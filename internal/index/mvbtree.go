@@ -74,6 +74,16 @@ func setIntSep(b []byte, i int, k, v uint64) {
 	binary.LittleEndian.PutUint64(b[off+8:], v)
 }
 
+// wrapNodeErr adds node context to unexpected node-read failures. Aborts are
+// the common case under contention and are passed through untouched so the
+// abort/retry hot path does not allocate an error wrapper.
+func wrapNodeErr(what string, rid storage.RecordID, err error) error {
+	if errors.Is(err, core.ErrAborted) {
+		return err
+	}
+	return fmt.Errorf("btree: %s %d: %w", what, rid, err)
+}
+
 // cmpKV orders composite (key, val) pairs.
 func cmpKV(k1, v1, k2, v2 uint64) int {
 	switch {
@@ -147,7 +157,7 @@ func (t *MVBTree) descendToLeaf(tx *core.Txn, key, val uint64) (storage.RecordID
 	for {
 		data, err := tx.Read(t.tbl, rid)
 		if err != nil {
-			return 0, nil, fmt.Errorf("btree: node %d: %w", rid, err)
+			return 0, nil, wrapNodeErr("node", rid, err)
 		}
 		if nodeIsLeaf(data) {
 			return rid, data, nil
@@ -219,7 +229,7 @@ func (t *MVBTree) Scan(tx *core.Txn, lo, hi uint64, limit int, fn func(key uint6
 		rid = next
 		data, err = tx.Read(t.tbl, rid)
 		if err != nil {
-			return fmt.Errorf("btree: leaf %d: %w", rid, err)
+			return wrapNodeErr("leaf", rid, err)
 		}
 	}
 }
@@ -275,7 +285,7 @@ func (t *MVBTree) Insert(tx *core.Txn, key uint64, rid storage.RecordID) error {
 func (t *MVBTree) insertRec(tx *core.Txn, rid storage.RecordID, key, val uint64) (sepK, sepV uint64, right storage.RecordID, split bool, err error) {
 	data, err := tx.Read(t.tbl, rid)
 	if err != nil {
-		return 0, 0, 0, false, fmt.Errorf("btree: node %d: %w", rid, err)
+		return 0, 0, 0, false, wrapNodeErr("node", rid, err)
 	}
 	if nodeIsLeaf(data) {
 		return t.insertLeaf(tx, rid, data, key, val)

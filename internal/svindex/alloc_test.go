@@ -1,0 +1,99 @@
+package svindex
+
+import (
+	"testing"
+
+	"cicada/internal/engine"
+)
+
+// Allocation budgets for the single-version index substrate
+// (docs/PERFORMANCE.md). Lookups and scans are allocation-free. Structural
+// ops have small documented budgets: SkipList.Insert allocates its node
+// (1 alloc), and Hash.Insert of a key whose slice was freed by an emptying
+// delete re-allocates the slice (1 alloc); while a key's slice capacity
+// survives, Hash.Insert amortizes to 0.
+
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; budgets enforced in non-race builds")
+	}
+}
+
+func TestAllocBudgetSVHashGet(t *testing.T) {
+	skipIfRace(t)
+	h := benchHashIdx(t)
+	if avg := testing.AllocsPerRun(1000, func() {
+		if _, ok, _ := h.Get(42); !ok {
+			t.Fatal("miss")
+		}
+	}); avg != 0 {
+		t.Errorf("Hash.Get: %.3f allocs/op; budget is 0", avg)
+	}
+}
+
+func TestAllocBudgetSVHashInsertDelete(t *testing.T) {
+	skipIfRace(t)
+	h := benchHashIdx(t)
+	// Delete empties the key and frees its slice, so each cycle re-allocates
+	// it: documented budget 1.
+	if avg := testing.AllocsPerRun(1000, func() {
+		h.Insert(benchKeys+1, 7)
+		h.Delete(benchKeys+1, 7)
+	}); avg > 1 {
+		t.Errorf("Hash insert+delete: %.3f allocs/op; budget is 1", avg)
+	}
+	// While the key retains other entries, inserts reuse slice capacity and
+	// amortize to 0 (warm the capacity first).
+	h.Insert(0, 500)
+	for i := 0; i < 64; i++ {
+		h.Insert(0, engine.RecordID(1000+i))
+	}
+	for i := 0; i < 64; i++ {
+		h.Delete(0, engine.RecordID(1000+i))
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		h.Insert(0, 777)
+		h.Delete(0, 777)
+	}); avg != 0 {
+		t.Errorf("Hash insert+delete (warm slice): %.3f allocs/op; budget is 0", avg)
+	}
+}
+
+func TestAllocBudgetSVSkipListGet(t *testing.T) {
+	skipIfRace(t)
+	s := benchSkip(t)
+	if avg := testing.AllocsPerRun(1000, func() {
+		if _, ok := s.Get(42*2, nil); !ok {
+			t.Fatal("miss")
+		}
+	}); avg != 0 {
+		t.Errorf("SkipList.Get: %.3f allocs/op; budget is 0", avg)
+	}
+}
+
+func TestAllocBudgetSVSkipListScan(t *testing.T) {
+	skipIfRace(t)
+	s := benchSkip(t)
+	var sum uint64
+	if avg := testing.AllocsPerRun(1000, func() {
+		s.Scan(100, 100+31, 16, nil, func(k uint64, rid engine.RecordID) bool {
+			sum += uint64(rid)
+			return true
+		})
+	}); avg != 0 {
+		t.Errorf("SkipList.Scan: %.3f allocs/op; budget is 0", avg)
+	}
+}
+
+func TestAllocBudgetSVSkipListInsertDelete(t *testing.T) {
+	skipIfRace(t)
+	s := benchSkip(t)
+	// Each insert allocates the new node: documented budget 1.
+	if avg := testing.AllocsPerRun(1000, func() {
+		s.Insert(101, 7)
+		s.Delete(101, 7)
+	}); avg > 1 {
+		t.Errorf("SkipList insert+delete: %.3f allocs/op; budget is 1", avg)
+	}
+}

@@ -1,0 +1,89 @@
+package svindex
+
+import (
+	"testing"
+
+	"cicada/internal/engine"
+)
+
+// Microbenchmarks for the single-version index substrate. Budgets
+// (docs/PERFORMANCE.md): Hash.Get and SkipList.Get/Scan are allocation-free;
+// Hash.Insert amortizes to 0 while the key's slice capacity survives (a
+// delete that empties a key frees its slice, so a re-insert costs 1 alloc);
+// SkipList.Insert allocates its node (1 alloc).
+
+const benchKeys = 1024
+
+func benchHashIdx(tb testing.TB) *Hash {
+	tb.Helper()
+	h := NewHash(benchKeys)
+	for i := 0; i < benchKeys; i++ {
+		h.Insert(uint64(i), engine.RecordID(i))
+	}
+	return h
+}
+
+func BenchmarkSVIndexHashGet(b *testing.B) {
+	h := benchHashIdx(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, _ := h.Get(uint64(i % benchKeys)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkSVIndexHashInsertDelete(b *testing.B) {
+	h := benchHashIdx(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Insert(benchKeys+1, 7)
+		h.Delete(benchKeys+1, 7)
+	}
+}
+
+func benchSkip(tb testing.TB) *SkipList {
+	tb.Helper()
+	s := NewSkipList()
+	for i := 0; i < benchKeys; i++ {
+		s.Insert(uint64(i*2), engine.RecordID(i))
+	}
+	return s
+}
+
+func BenchmarkSVIndexSkipListGet(b *testing.B) {
+	s := benchSkip(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(uint64((i%benchKeys)*2), nil); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkSVIndexSkipListInsertDelete(b *testing.B) {
+	s := benchSkip(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(101, 7)
+		s.Delete(101, 7)
+	}
+}
+
+func BenchmarkSVIndexSkipListScan16(b *testing.B) {
+	s := benchSkip(b)
+	var sum uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Scan(100, 100+31, 16, nil, func(k uint64, rid engine.RecordID) bool {
+			sum += uint64(rid)
+			return true
+		})
+	}
+	_ = sum
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package svindex
+
+const raceEnabled = false
