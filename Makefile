@@ -3,10 +3,12 @@ GO ?= go
 # Hot-path packages covered by the invariant assertions and race job.
 # internal/telemetry rides along: its write side is deliberately
 # unsynchronized (single-writer atomic words), so the race detector is the
-# proof that the discipline holds.
-RACE_PKGS = ./internal/core/... ./internal/clock/... ./internal/storage/... ./internal/telemetry/...
+# proof that the discipline holds. internal/wal and internal/fault ride
+# along too: logger goroutines, the group-commit path, and crash-freezing
+# registries are all cross-goroutine (docs/DURABILITY.md).
+RACE_PKGS = ./internal/core/... ./internal/clock/... ./internal/storage/... ./internal/telemetry/... ./internal/wal/... ./internal/fault/...
 
-.PHONY: all build test lint vet race bench bench-smoke bench-json telemetry-smoke clean
+.PHONY: all build test lint vet race bench bench-smoke bench-json telemetry-smoke torture docs-lint clean
 
 # Packages with the hot-path microbenchmarks and allocation-budget tests
 # (docs/PERFORMANCE.md).
@@ -53,6 +55,17 @@ bench-json:
 # regression stays under the smoke bound (see docs/OBSERVABILITY.md).
 telemetry-smoke:
 	$(GO) test -tags telemetry_smoke -run TelemetryOverhead -v ./internal/bench/
+
+# Seeded WAL crash-recovery torture (docs/DURABILITY.md): randomized crash
+# points, torn writes, and recovery verified against lost-ack /
+# resurrected-abort / fabricated-write oracles. ~1 s for 60 seeds.
+torture:
+	CICADA_TORTURE_SEEDS=60 $(GO) test -run TestTortureRecovery -count=1 ./internal/wal/
+
+# Docs drift gate: every internal/ path and docs/*.md link mentioned in the
+# documentation must exist in the tree.
+docs-lint:
+	./scripts/docs_lint.sh
 
 clean:
 	$(GO) clean ./...

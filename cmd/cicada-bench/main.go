@@ -49,8 +49,15 @@ func main() {
 		mutexProfile = flag.String("mutexprofile", "", "write a mutex contention profile at exit to this file")
 		jsonPath     = flag.String("json", "", "write all results as a JSON report to this file (see docs/PERFORMANCE.md)")
 		jsonNote     = flag.String("json-note", "", "free-form note recorded in the JSON report's metadata")
+
+		torture        = flag.Bool("torture", false, "run WAL crash-recovery torture instead of benchmarks (docs/DURABILITY.md)")
+		tortureSeeds   = flag.Int("torture-seeds", 50, "number of seeded torture runs")
+		tortureWorkers = flag.Int("torture-workers", 4, "committing workers per torture run")
 	)
 	flag.Parse()
+	if *torture {
+		os.Exit(runTorture(*tortureSeeds, *tortureWorkers))
+	}
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: cicada-bench [flags] <experiment> [...]; see -h")
 		os.Exit(2)

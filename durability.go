@@ -1,9 +1,42 @@
+// Durability (§3.7): parallel value logging with group commit,
+// checkpointing, and crash recovery. AttachWAL makes a DB durable; DB.Recover
+// rebuilds a fresh DB from the log directory after a crash.
+//
+// The durability contract, in brief (docs/DURABILITY.md has the full
+// specification):
+//
+//   - A transaction's redo record is on the OS page cache before its commit
+//     returns, and on stable storage after the next group-commit interval
+//     or WAL.Flush, whichever comes first. Flush is the acknowledgment
+//     barrier: data flushed before a crash is never lost.
+//   - Every on-disk record carries a length prefix and a CRC32C, so
+//     recovery detects torn writes and bit flips. Damage at the tail of a
+//     log is dropped and reported (ErrTornTail in RecoverStats.TailFaults);
+//     recovery still succeeds and never replays past a corrupt point.
+//   - Checkpoints install atomically (temp file, fsync, rename, directory
+//     fsync): a crash during checkpointing leaves the previous state.
 package cicada
 
 import (
 	"time"
 
 	"cicada/internal/wal"
+)
+
+// Typed recovery errors, re-exported from the WAL implementation for use
+// with errors.Is against Recover results and RecoverStats.TailFaults.
+var (
+	// ErrTornTail matches a dropped corrupt/truncated log tail report.
+	ErrTornTail = wal.ErrTornTail
+	// ErrCorruptLength matches a record rejected for an impossible length
+	// prefix or entry count before anything was sized from it.
+	ErrCorruptLength = wal.ErrCorruptLength
+	// ErrChecksum matches a record whose CRC32C did not verify.
+	ErrChecksum = wal.ErrChecksum
+	// ErrBadCheckpoint is returned by Recover when a checkpoint file's
+	// header is not a checkpoint header; recovery fails rather than
+	// silently recovering nothing.
+	ErrBadCheckpoint = wal.ErrBadCheckpoint
 )
 
 // WALConfig configures durability (§3.7).

@@ -21,6 +21,7 @@ import (
 	"cicada/internal/index"
 	"cicada/internal/storage"
 	"cicada/internal/svindex"
+	"cicada/internal/wal"
 )
 
 // DB is a Cicada database exposed through the engine.DB interface.
@@ -54,6 +55,17 @@ func New(cfg engine.Config, coreOpts core.Options) *DB {
 
 // Engine exposes the underlying core engine (for factor-analysis benches).
 func (db *DB) Engine() *core.Engine { return db.eng }
+
+// AttachWAL makes the DB durable: it starts internal/wal logger threads in
+// dir and installs the redo-logging hook, so every later commit is logged
+// and group-committed (§3.7; docs/DURABILITY.md). Call it after New and
+// before running transactions; close the returned manager to flush and
+// stop logging. Recovery goes through wal.Recover on the core engine of a
+// freshly constructed DB with the same schema.
+func (db *DB) AttachWAL(dir string, opts wal.Options) (*wal.Manager, error) {
+	opts.Dir = dir
+	return wal.Attach(db.eng, opts)
+}
 
 // Name implements engine.DB.
 func (db *DB) Name() string { return "Cicada" }

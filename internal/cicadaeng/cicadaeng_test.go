@@ -7,6 +7,7 @@ import (
 
 	"cicada/internal/core"
 	"cicada/internal/engine"
+	"cicada/internal/wal"
 )
 
 func newDB(t *testing.T, workers int, phantom bool) *DB {
@@ -167,5 +168,48 @@ func TestStatsAndCommitsLive(t *testing.T) {
 	}
 	if db.Name() != "Cicada" || db.Workers() != 2 {
 		t.Fatalf("identity: %s %d", db.Name(), db.Workers())
+	}
+}
+
+func TestAttachWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := newDB(t, 1, true)
+	tbl := db.CreateTable("t")
+	m, err := db.AttachWAL(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rid engine.RecordID
+	if err := db.Worker(0).Run(func(tx engine.Tx) error {
+		r, buf, err := tx.Insert(tbl, 8)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(buf, 424242)
+		rid = r
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recover through the core engine of a fresh DB with the same schema.
+	db2 := newDB(t, 1, true)
+	tbl2 := db2.CreateTable("t")
+	if _, err := wal.Recover(db2.Engine(), dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Worker(0).Run(func(tx engine.Tx) error {
+		d, err := tx.Read(tbl2, rid)
+		if err != nil {
+			return err
+		}
+		if v := binary.LittleEndian.Uint64(d); v != 424242 {
+			t.Errorf("recovered %d", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"cicada/internal/clock"
+	"cicada/internal/fault"
 	"cicada/internal/storage"
 	"cicada/internal/telemetry"
 )
@@ -78,6 +79,9 @@ func (t *Txn) Commit() error {
 		return t.failCommit(t.checkAbortReason(AbortValidation))
 	}
 	if lg := t.eng.logger; lg != nil {
+		if err := fault.Inject(fault.CoreLog); err != nil {
+			return t.failCommit(AbortLogger)
+		}
 		if err := t.log(lg); err != nil {
 			return t.failCommit(AbortLogger)
 		}

@@ -1,0 +1,401 @@
+// Package fault provides named failpoints for crash and fault injection in
+// the durability path (and any other subsystem that opts in). Production
+// code threads calls like
+//
+//	if err := fault.Inject(fault.WALSync); err != nil { ... }
+//	n, err := fault.Write(fault.WALAppend, f, buf)
+//
+// through its I/O sites. With no registry enabled — the default — every
+// hook is a single atomic pointer load that compares against nil and
+// returns: no allocation, no branch on shared mutable state, nothing on the
+// transaction hot path (the engine's zero-allocation budgets in
+// internal/core/alloc_test.go run with the hooks compiled in).
+//
+// Tests enable a Registry holding armed Triggers. A trigger names a Site, a
+// deterministic firing schedule (skip the first After passes, then fire
+// Times times), and an Action:
+//
+//   - Error: return ErrInjected without side effects ("error-once" /
+//     "error-n-times" via Times).
+//   - ShortWrite: write a seed-chosen strict prefix of the buffer, then
+//     return ErrInjected — a short write the caller must treat as failed.
+//   - TornWrite: write a strict prefix of the buffer, then crash the
+//     registry — the on-disk state ends with a record truncated mid-body,
+//     exactly what a power failure during a write leaves behind.
+//   - Crash: crash the registry without writing.
+//   - Panic: crash the registry and panic with *CrashPanic, for tests that
+//     exercise unwind paths. The other actions never panic.
+//
+// "Crashing" freezes the registry: every subsequent hook at every site
+// returns ErrCrashed and performs no I/O, so the files on disk are frozen
+// at the crash instant — a process death simulated in-process. The torture
+// harness (internal/wal's RunTorture) then recovers from that frozen state
+// and checks the durability contract (see docs/DURABILITY.md for the
+// failure model and the full failpoint catalog).
+//
+// All scheduling is deterministic given the registry seed: the same seed
+// and the same sequence of hook calls fire the same triggers and cut torn
+// writes at the same offsets.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Site names one failpoint. Sites are registered by the packages that call
+// the hooks; the catalog below lists every site in the repository (also
+// documented in docs/DURABILITY.md).
+type Site string
+
+// The failpoint catalog.
+const (
+	// WALAppend covers a redo-record append to a logger's chunk file
+	// (internal/wal, logger.writeLocked). Write site: supports torn and
+	// short writes.
+	WALAppend Site = "wal/append"
+	// WALSync covers a group-commit or barrier fsync of a redo chunk
+	// (internal/wal, logger.syncLocked).
+	WALSync Site = "wal/sync"
+	// WALRotate covers sealing a full redo chunk (sync + rename + dir
+	// sync) before opening its successor (internal/wal, rotateLocked).
+	WALRotate Site = "wal/rotate"
+	// CheckpointWrite covers writing one record into a checkpoint temp
+	// file (internal/wal, Manager.Checkpoint).
+	CheckpointWrite Site = "wal/checkpoint-write"
+	// CheckpointSync covers the temp file fsync before install.
+	CheckpointSync Site = "wal/checkpoint-sync"
+	// CheckpointRename covers the atomic install rename
+	// (checkpoint-*.tmp → checkpoint-*.ckpt) and the directory fsync
+	// that makes it durable.
+	CheckpointRename Site = "wal/checkpoint-rename"
+	// CheckpointPurge covers post-checkpoint purging of sealed redo
+	// chunks and superseded checkpoints.
+	CheckpointPurge Site = "wal/checkpoint-purge"
+	// ReplayRead covers reading a redo log or checkpoint file during
+	// recovery (internal/wal, Recover).
+	ReplayRead Site = "wal/replay-read"
+	// CoreLog covers the engine's durability hook: the hand-off of a
+	// validated transaction's write set to the logger, between validation
+	// and the write phase (internal/core, Txn.Commit step 6).
+	CoreLog Site = "core/log"
+)
+
+// Sites returns the full failpoint catalog.
+func Sites() []Site {
+	return []Site{WALAppend, WALSync, WALRotate, CheckpointWrite,
+		CheckpointSync, CheckpointRename, CheckpointPurge, ReplayRead, CoreLog}
+}
+
+// Action is what a trigger does when it fires.
+type Action uint8
+
+const (
+	// Error returns ErrInjected from the hook; no I/O happens.
+	Error Action = iota
+	// ShortWrite writes a strict prefix, then returns ErrInjected. At a
+	// non-write site it behaves like Error.
+	ShortWrite
+	// TornWrite writes a strict prefix, then crashes the registry. At a
+	// non-write site it behaves like Crash.
+	TornWrite
+	// Crash freezes the registry: this hook and every later one return
+	// ErrCrashed without performing I/O.
+	Crash
+	// Panic freezes the registry like Crash, then panics with
+	// *CrashPanic. Only tests that recover the panic should arm it.
+	Panic
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case Error:
+		return "error"
+	case ShortWrite:
+		return "short-write"
+	case TornWrite:
+		return "torn-write"
+	case Crash:
+		return "crash"
+	case Panic:
+		return "panic"
+	}
+	return fmt.Sprintf("action(%d)", uint8(a))
+}
+
+// Errors returned by fired triggers. Production code should treat both as
+// it treats any I/O error from the wrapped operation.
+var (
+	// ErrInjected reports a fired Error or ShortWrite trigger.
+	ErrInjected = errors.New("fault: injected error")
+	// ErrCrashed reports a hook called on a crashed (frozen) registry.
+	ErrCrashed = errors.New("fault: crashed at failpoint")
+)
+
+// CrashPanic is the panic value of a fired Panic trigger.
+type CrashPanic struct {
+	Site Site
+}
+
+func (c *CrashPanic) Error() string { return fmt.Sprintf("fault: crash panic at %s", c.Site) }
+
+// Trigger arms one failpoint.
+type Trigger struct {
+	// Site is the failpoint to arm.
+	Site Site
+	// Action is what happens when the trigger fires.
+	Action Action
+	// After skips the first After passes through the site before firing,
+	// so a crash can be planted "N appends from now".
+	After int
+	// Times is how many passes fire for Error/ShortWrite (0 means once).
+	// Crash-family actions freeze the registry on the first firing.
+	Times int
+}
+
+// String renders the trigger compactly, e.g. "wal/append:torn-write@17".
+func (t Trigger) String() string {
+	s := fmt.Sprintf("%s:%s@%d", t.Site, t.Action, t.After)
+	if t.Times > 1 {
+		s += fmt.Sprintf("x%d", t.Times)
+	}
+	return s
+}
+
+type armed struct {
+	Trigger
+	passes int
+	fired  int
+}
+
+func (a *armed) exhausted() bool {
+	times := a.Times
+	if times <= 0 {
+		times = 1
+	}
+	return a.fired >= times
+}
+
+// Registry holds armed triggers and the deterministic RNG that drives
+// them. A Registry is safe for concurrent use; hooks from any goroutine
+// serialize on its mutex (acceptable: registries exist only in tests).
+type Registry struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	triggers []*armed
+	hits     map[Site]uint64
+	crashed  bool
+	crashAt  Site
+	crashCh  chan struct{}
+}
+
+// NewRegistry creates a registry whose trigger schedule and torn-write cut
+// points are fully determined by seed.
+func NewRegistry(seed int64) *Registry {
+	return &Registry{
+		rng:     rand.New(rand.NewSource(seed)),
+		hits:    make(map[Site]uint64),
+		crashCh: make(chan struct{}),
+	}
+}
+
+// Arm adds a trigger.
+func (r *Registry) Arm(t Trigger) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.triggers = append(r.triggers, &armed{Trigger: t})
+}
+
+// crashSites are the sites ArmRandomCrash draws from: the durability
+// write/sync path, where a process can die with work in flight.
+var crashSites = []Site{WALAppend, WALSync, WALRotate, CheckpointWrite,
+	CheckpointSync, CheckpointRename, CoreLog}
+
+// ArmRandomCrash arms a crash at a seed-chosen site after a seed-chosen
+// number of passes in [0, maxAfter). Write-capable sites get a torn write
+// half the time, so recovery sees truncated-mid-body records; the rest
+// crash cleanly between operations. The chosen trigger is returned for
+// reporting.
+func (r *Registry) ArmRandomCrash(maxAfter int) Trigger {
+	return r.ArmRandomCrashAt(crashSites, maxAfter)
+}
+
+// ArmRandomCrashAt is ArmRandomCrash restricted to the given sites —
+// harnesses exclude sites their workload never passes, so the crash
+// reliably fires. maxAfter applies to high-traffic sites (appends, the
+// commit hook); sync- and rotation-class sites, passed orders of magnitude
+// less often, get a proportionally tighter schedule.
+func (r *Registry) ArmRandomCrashAt(sites []Site, maxAfter int) Trigger {
+	if maxAfter < 1 {
+		maxAfter = 1
+	}
+	r.mu.Lock()
+	site := sites[r.rng.Intn(len(sites))]
+	action := Crash
+	if site == WALAppend && r.rng.Intn(2) == 0 {
+		action = TornWrite
+	}
+	max := maxAfter
+	switch site {
+	case WALSync, CheckpointWrite:
+		max = maxAfter/4 + 1
+	case WALRotate, CheckpointSync, CheckpointRename, CheckpointPurge:
+		max = maxAfter/16 + 1
+	}
+	t := Trigger{Site: site, Action: action, After: r.rng.Intn(max)}
+	r.mu.Unlock()
+	r.Arm(t)
+	return t
+}
+
+// Crashed reports whether a crash-family trigger has fired.
+func (r *Registry) Crashed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.crashed
+}
+
+// CrashSite returns the site of the fired crash (empty if none).
+func (r *Registry) CrashSite() Site {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.crashAt
+}
+
+// CrashSignal returns a channel closed when a crash fires.
+func (r *Registry) CrashSignal() <-chan struct{} { return r.crashCh }
+
+// Hits returns how many times site has been passed (fired or not).
+func (r *Registry) Hits(site Site) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hits[site]
+}
+
+// match records a pass through site and returns the trigger to fire, if
+// any. Caller holds r.mu.
+func (r *Registry) match(site Site) *armed {
+	r.hits[site]++
+	for _, t := range r.triggers {
+		if t.Site != site || t.exhausted() {
+			continue
+		}
+		t.passes++
+		if t.passes <= t.After {
+			continue
+		}
+		t.fired++
+		return t
+	}
+	return nil
+}
+
+// crash freezes the registry. Caller holds r.mu.
+func (r *Registry) crash(site Site) {
+	if !r.crashed {
+		r.crashed = true
+		r.crashAt = site
+		close(r.crashCh)
+	}
+}
+
+func (r *Registry) inject(site Site) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.crashed {
+		return ErrCrashed
+	}
+	t := r.match(site)
+	if t == nil {
+		return nil
+	}
+	switch t.Action {
+	case Error, ShortWrite:
+		return ErrInjected
+	case Crash, TornWrite:
+		r.crash(site)
+		return ErrCrashed
+	case Panic:
+		r.crash(site)
+		panic(&CrashPanic{Site: site})
+	}
+	return nil
+}
+
+func (r *Registry) write(site Site, w io.Writer, buf []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.crashed {
+		return 0, ErrCrashed
+	}
+	t := r.match(site)
+	if t == nil {
+		return w.Write(buf)
+	}
+	switch t.Action {
+	case Error:
+		return 0, ErrInjected
+	case ShortWrite, TornWrite:
+		cut := 0
+		if len(buf) > 1 {
+			cut = 1 + r.rng.Intn(len(buf)-1) // strict prefix, mid-body
+		}
+		n := 0
+		if cut > 0 {
+			n, _ = w.Write(buf[:cut])
+		}
+		if t.Action == TornWrite {
+			r.crash(site)
+			return n, ErrCrashed
+		}
+		return n, ErrInjected
+	case Crash:
+		r.crash(site)
+		return 0, ErrCrashed
+	case Panic:
+		r.crash(site)
+		panic(&CrashPanic{Site: site})
+	}
+	return w.Write(buf)
+}
+
+// active is the enabled registry; nil means every hook is a no-op.
+var active atomic.Pointer[Registry]
+
+// Enable installs r as the process-wide registry. Tests that enable a
+// registry must Disable it before finishing (use defer); concurrently
+// running tests in other packages are unaffected because the hooks live
+// only in the durability path.
+func Enable(r *Registry) { active.Store(r) }
+
+// Disable removes the process-wide registry; hooks return to no-ops.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether a registry is installed.
+func Enabled() bool { return active.Load() != nil }
+
+// Inject is the plain failpoint hook: nil unless an armed trigger at site
+// fires. With no registry enabled it is a single atomic load.
+func Inject(site Site) error {
+	r := active.Load()
+	if r == nil {
+		return nil
+	}
+	return r.inject(site)
+}
+
+// Write routes a write through the failpoint at site: with no registry it
+// is w.Write(buf); with one, an armed trigger may fail the write, write a
+// seed-chosen prefix (short/torn write), or crash the registry.
+func Write(site Site, w io.Writer, buf []byte) (int, error) {
+	r := active.Load()
+	if r == nil {
+		return w.Write(buf)
+	}
+	return r.write(site, w, buf)
+}

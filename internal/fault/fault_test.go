@@ -1,0 +1,185 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestDisabledHooksAreNoOps: with no registry, Inject is nil and Write is a
+// transparent pass-through.
+func TestDisabledHooksAreNoOps(t *testing.T) {
+	Disable()
+	if Enabled() {
+		t.Fatal("Enabled with no registry")
+	}
+	if err := Inject(WALSync); err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	var buf bytes.Buffer
+	n, err := Write(WALAppend, &buf, []byte("hello"))
+	if n != 5 || err != nil || buf.String() != "hello" {
+		t.Fatalf("Write: n=%d err=%v buf=%q", n, err, buf.String())
+	}
+}
+
+// TestDisabledHookAllocs: the disabled hooks must not allocate — they sit
+// on the durability path of every commit when a WAL is attached.
+func TestDisabledHookAllocs(t *testing.T) {
+	Disable()
+	var sink bytes.Buffer
+	payload := []byte("x")
+	sink.Write(payload) // pre-grow so the measured runs reuse capacity
+	if n := testing.AllocsPerRun(100, func() {
+		_ = Inject(CoreLog)
+		sink.Reset()
+		_, _ = Write(WALAppend, &sink, payload)
+	}); n != 0 {
+		t.Fatalf("disabled hooks allocate %v/op", n)
+	}
+}
+
+// TestErrorOnceAndNTimes: After/Times schedule errors deterministically.
+func TestErrorOnceAndNTimes(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(Trigger{Site: WALSync, Action: Error, After: 2, Times: 3})
+	Enable(r)
+	defer Disable()
+	for pass := 1; pass <= 8; pass++ {
+		err := Inject(WALSync)
+		wantErr := pass >= 3 && pass <= 5
+		if (err != nil) != wantErr {
+			t.Fatalf("pass %d: err=%v want fired=%v", pass, err, wantErr)
+		}
+		if wantErr && !errors.Is(err, ErrInjected) {
+			t.Fatalf("pass %d: %v not ErrInjected", pass, err)
+		}
+	}
+	if got := r.Hits(WALSync); got != 8 {
+		t.Fatalf("hits %d", got)
+	}
+}
+
+// TestShortWriteWritesStrictPrefix: a short write leaves a strict prefix
+// behind and reports ErrInjected; the next write passes through.
+func TestShortWriteWritesStrictPrefix(t *testing.T) {
+	r := NewRegistry(42)
+	r.Arm(Trigger{Site: WALAppend, Action: ShortWrite})
+	Enable(r)
+	defer Disable()
+	payload := []byte("0123456789abcdef")
+	var buf bytes.Buffer
+	n, err := Write(WALAppend, &buf, payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err %v", err)
+	}
+	if n <= 0 || n >= len(payload) || buf.Len() != n {
+		t.Fatalf("cut %d of %d (buffered %d): not a strict mid-body prefix", n, len(payload), buf.Len())
+	}
+	if !bytes.Equal(buf.Bytes(), payload[:n]) {
+		t.Fatal("prefix mismatch")
+	}
+	if n2, err := Write(WALAppend, &buf, payload); err != nil || n2 != len(payload) {
+		t.Fatalf("post-trigger write: n=%d err=%v", n2, err)
+	}
+}
+
+// TestTornWriteCrashesAndFreezes: a torn write leaves a prefix, crashes the
+// registry, and every later hook at every site fails without I/O.
+func TestTornWriteCrashesAndFreezes(t *testing.T) {
+	r := NewRegistry(7)
+	r.Arm(Trigger{Site: WALAppend, Action: TornWrite, After: 1})
+	Enable(r)
+	defer Disable()
+	var buf bytes.Buffer
+	if n, err := Write(WALAppend, &buf, []byte("first")); n != 5 || err != nil {
+		t.Fatalf("pre-trigger write: n=%d err=%v", n, err)
+	}
+	n, err := Write(WALAppend, &buf, []byte("0123456789"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write err %v", err)
+	}
+	if n <= 0 || n >= 10 {
+		t.Fatalf("torn cut %d not mid-body", n)
+	}
+	if !r.Crashed() || r.CrashSite() != WALAppend {
+		t.Fatalf("crashed=%v site=%q", r.Crashed(), r.CrashSite())
+	}
+	select {
+	case <-r.CrashSignal():
+	default:
+		t.Fatal("crash signal not closed")
+	}
+	frozen := buf.Len()
+	if _, err := Write(CheckpointWrite, &buf, []byte("more")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write err %v", err)
+	}
+	if buf.Len() != frozen {
+		t.Fatal("post-crash write performed I/O")
+	}
+	if err := Inject(WALSync); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash inject err %v", err)
+	}
+}
+
+// TestPanicAction: Panic crashes the registry and panics with *CrashPanic.
+func TestPanicAction(t *testing.T) {
+	r := NewRegistry(3)
+	r.Arm(Trigger{Site: CoreLog, Action: Panic})
+	Enable(r)
+	defer Disable()
+	defer func() {
+		v := recover()
+		cp, ok := v.(*CrashPanic)
+		if !ok || cp.Site != CoreLog {
+			t.Fatalf("recovered %v", v)
+		}
+		if !r.Crashed() {
+			t.Fatal("panic did not freeze the registry")
+		}
+	}()
+	_ = Inject(CoreLog)
+	t.Fatal("unreachable")
+}
+
+// TestDeterministicSchedule: identical seeds produce identical triggers and
+// identical torn-write cut points.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() (Trigger, int) {
+		r := NewRegistry(99)
+		trig := r.ArmRandomCrash(10)
+		Enable(r)
+		defer Disable()
+		var buf bytes.Buffer
+		payload := make([]byte, 64)
+		for i := 0; i < 50; i++ {
+			if _, err := Write(trig.Site, &buf, payload); err != nil {
+				break
+			}
+		}
+		return trig, buf.Len()
+	}
+	t1, n1 := run()
+	t2, n2 := run()
+	if t1 != t2 || n1 != n2 {
+		t.Fatalf("nondeterministic: %v/%d vs %v/%d", t1, n1, t2, n2)
+	}
+}
+
+// TestSitesCatalogComplete: the catalog function returns every declared
+// site exactly once (docs/DURABILITY.md mirrors this list).
+func TestSitesCatalogComplete(t *testing.T) {
+	seen := map[Site]bool{}
+	for _, s := range Sites() {
+		if seen[s] {
+			t.Fatalf("duplicate site %q", s)
+		}
+		seen[s] = true
+	}
+	for _, s := range []Site{WALAppend, WALSync, WALRotate, CheckpointWrite,
+		CheckpointSync, CheckpointRename, CheckpointPurge, ReplayRead, CoreLog} {
+		if !seen[s] {
+			t.Fatalf("site %q missing from catalog", s)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"cicada/internal/clock"
+	"cicada/internal/fault"
 	"cicada/internal/storage"
 )
 
@@ -46,12 +47,21 @@ func (m *Manager) StartCheckpointer(interval time.Duration, onErr func(error)) (
 // (§3.7). It runs concurrently with transactions — snapshot reads take no
 // locks — and on success purges sealed redo chunks and older checkpoints
 // whose contents the new checkpoint covers.
+//
+// Installation is atomic: the snapshot streams into a .tmp file (never read
+// by recovery), is fsynced, renamed to .ckpt, and the directory is fsynced.
+// A crash at any point leaves either the previous checkpoint set or the new
+// one — never a half-written file recovery would prefer.
 func (m *Manager) Checkpoint() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	// min_wts recorded at the start; the snapshot is taken at min_rts,
-	// below which no version can still be pending.
-	minWTS := m.eng.Clock().MinWTS()
+	// The snapshot is taken at min_rts: every version below it is decided
+	// (pending versions carry wts ≥ min_rts), so the checkpoint completely
+	// describes state below snapTS — value or absence. snapTS is therefore
+	// also the purge horizon: a sealed chunk whose newest entry is older is
+	// fully covered, and recovery ignores redo entries below a loaded
+	// checkpoint's snapTS (absence in the checkpoint means deleted, which
+	// is what keeps purging from resurrecting deleted records).
 	snapTS := m.eng.Clock().MinRTS()
 	tmp := filepath.Join(m.opts.Dir, fmt.Sprintf("checkpoint-%09d.tmp", m.ckptSeq))
 	f, err := os.Create(tmp)
@@ -85,15 +95,19 @@ func (m *Manager) Checkpoint() error {
 			binary.LittleEndian.PutUint64(rec[12:], uint64(wts))
 			binary.LittleEndian.PutUint32(rec[20:], uint32(len(data)))
 			copy(rec[24:], data)
-			crc := crc32.ChecksumIEEE(rec[:need-4])
+			crc := crc32.Checksum(rec[:need-4], castagnoli)
 			binary.LittleEndian.PutUint32(rec[need-4:], crc)
-			if _, err := w.Write(rec); err != nil {
+			if _, err := fault.Write(fault.CheckpointWrite, w, rec); err != nil {
 				f.Close()
 				return err
 			}
 		}
 	}
 	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := fault.Inject(fault.CheckpointSync); err != nil {
 		f.Close()
 		return err
 	}
@@ -104,18 +118,28 @@ func (m *Manager) Checkpoint() error {
 	if err := f.Close(); err != nil {
 		return err
 	}
+	if err := fault.Inject(fault.CheckpointRename); err != nil {
+		return err
+	}
 	final := filepath.Join(m.opts.Dir, fmt.Sprintf("checkpoint-%09d.ckpt", m.ckptSeq))
 	if err := os.Rename(tmp, final); err != nil {
 		return err
 	}
+	if err := syncDir(m.opts.Dir); err != nil {
+		return err
+	}
 	m.ckptSeq++
-	m.purge(minWTS, final)
+	m.purge(snapTS, final)
 	return nil
 }
 
-// purge removes sealed redo chunks whose newest entry predates the recorded
-// min_wts (they are fully covered by the checkpoint) and older checkpoints.
-func (m *Manager) purge(minWTS clock.Timestamp, keepCkpt string) {
+// purge removes sealed redo chunks whose newest entry predates the
+// checkpoint's snapshot timestamp (they are fully covered by it, absences
+// included) and older checkpoints.
+func (m *Manager) purge(snapTS clock.Timestamp, keepCkpt string) {
+	if err := fault.Inject(fault.CheckpointPurge); err != nil {
+		return
+	}
 	entries, err := os.ReadDir(m.opts.Dir)
 	if err != nil {
 		return
@@ -124,7 +148,7 @@ func (m *Manager) purge(minWTS clock.Timestamp, keepCkpt string) {
 		name := ent.Name()
 		switch {
 		case strings.HasSuffix(name, ".sealed.log"):
-			if ts, ok := sealedMaxTS(name); ok && ts < minWTS {
+			if ts, ok := sealedMaxTS(name); ok && ts < snapTS {
 				os.Remove(filepath.Join(m.opts.Dir, name))
 			}
 		case strings.HasSuffix(name, ".ckpt"):

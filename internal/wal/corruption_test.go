@@ -1,0 +1,297 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cicada/internal/clock"
+	"cicada/internal/core"
+	"cicada/internal/storage"
+)
+
+// buildRedoLog writes a redo log of n single-entry records (rid i holds
+// value base+i at timestamp 100+i) and returns its raw bytes.
+func buildRedoLog(t *testing.T, path string, n int, base uint64) []byte {
+	t.Helper()
+	var out []byte
+	for i := 0; i < n; i++ {
+		data := make([]byte, 8)
+		binary.LittleEndian.PutUint64(data, base+uint64(i))
+		rec := encodeRedo(clock.Timestamp(100+i), 0, []core.LogEntry{{
+			Table: 0, Record: storage.RecordID(i), Data: data,
+		}})
+		out = append(out, rec...)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// buildCheckpoint writes a v2 checkpoint of n records (rid i holds value
+// base+i at timestamp ts) and returns its raw bytes.
+func buildCheckpoint(t *testing.T, path string, n int, base uint64, ts clock.Timestamp) []byte {
+	t.Helper()
+	out := make([]byte, 16)
+	binary.LittleEndian.PutUint32(out[0:], ckptMagic)
+	binary.LittleEndian.PutUint64(out[4:], uint64(ts))
+	binary.LittleEndian.PutUint32(out[12:], 1)
+	for i := 0; i < n; i++ {
+		rec := make([]byte, 28+8)
+		binary.LittleEndian.PutUint32(rec[0:], 0) // table
+		binary.LittleEndian.PutUint64(rec[4:], uint64(i))
+		binary.LittleEndian.PutUint64(rec[12:], uint64(ts))
+		binary.LittleEndian.PutUint32(rec[20:], 8)
+		binary.LittleEndian.PutUint64(rec[24:], base+uint64(i))
+		crc := crc32.Checksum(rec[:len(rec)-4], castagnoli)
+		binary.LittleEndian.PutUint32(rec[len(rec)-4:], crc)
+		out = append(out, rec...)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func recoverInto(t *testing.T, dir string) (RecoverStats, map[storage.RecordID]uint64, error) {
+	t.Helper()
+	e := newEngine(1)
+	tbl := e.CreateTable("t")
+	stats, err := Recover(e, dir)
+	if err != nil {
+		return stats, nil, err
+	}
+	vals := make(map[storage.RecordID]uint64)
+	for rid, d := range tableState(t, e, tbl) {
+		vals[rid] = binary.LittleEndian.Uint64(d)
+	}
+	return stats, vals, nil
+}
+
+// TestCorruptionMatrix damages a known-good log set in every framing-level
+// way and asserts the exact typed error and the exact surviving state.
+func TestCorruptionMatrix(t *testing.T) {
+	const nRecs = 10
+	// Offset of record k in a log built by buildRedoLog (fixed-size
+	// records: header 24 + entry prefix 17 + data 8 + crc 4).
+	recSize := redoHdrLen + redoEntryLen + 8 + 4
+	cases := []struct {
+		name string
+		// corrupt mutates the log directory after buildRedoLog.
+		corrupt func(t *testing.T, dir, logPath string, raw []byte)
+		// wantErr non-nil means Recover itself must fail with it.
+		wantErr error
+		// wantCause is matched (errors.Is) against the torn tail's cause.
+		wantCause error
+		// wantRecords is how many rids must survive with correct values.
+		wantRecords int
+		wantTorn    int
+	}{
+		{
+			name: "bit-flip-record-magic",
+			corrupt: func(t *testing.T, dir, logPath string, raw []byte) {
+				raw[6*recSize] ^= 0x01 // magic byte of record 6
+				os.WriteFile(logPath, raw, 0o644)
+			},
+			wantRecords: 6,
+			wantTorn:    1,
+		},
+		{
+			name: "bit-flip-body",
+			corrupt: func(t *testing.T, dir, logPath string, raw []byte) {
+				raw[4*recSize+redoHdrLen+redoEntryLen] ^= 0x80 // data byte of record 4
+				os.WriteFile(logPath, raw, 0o644)
+			},
+			wantCause:   ErrChecksum,
+			wantRecords: 4,
+			wantTorn:    1,
+		},
+		{
+			name: "truncated-tail",
+			corrupt: func(t *testing.T, dir, logPath string, raw []byte) {
+				os.WriteFile(logPath, raw[:9*recSize+5], 0o644) // record 9 cut mid-header
+			},
+			wantRecords: 9,
+			wantTorn:    1,
+		},
+		{
+			name: "corrupt-length-prefix-huge",
+			corrupt: func(t *testing.T, dir, logPath string, raw []byte) {
+				// recLen of record 7 claims 3 GiB; must be rejected before
+				// it sizes anything (satellite: no huge allocation).
+				binary.LittleEndian.PutUint32(raw[7*recSize+4:], 3<<30)
+				os.WriteFile(logPath, raw, 0o644)
+			},
+			wantCause:   ErrCorruptLength,
+			wantRecords: 7,
+			wantTorn:    1,
+		},
+		{
+			name: "huge-entry-count-valid-crc",
+			corrupt: func(t *testing.T, dir, logPath string, raw []byte) {
+				// nEntries of record 3 claims 2^31 entries, CRC recomputed
+				// so the frame itself verifies — the count bound alone must
+				// reject it (regression: the old reader allocated
+				// make([]pending, 0, nEntries) straight from disk).
+				rec := raw[3*recSize : 4*recSize]
+				binary.LittleEndian.PutUint32(rec[20:], 1<<31)
+				crc := crc32.Checksum(rec[:len(rec)-4], castagnoli)
+				binary.LittleEndian.PutUint32(rec[len(rec)-4:], crc)
+				os.WriteFile(logPath, raw, 0o644)
+			},
+			wantCause:   ErrCorruptLength,
+			wantRecords: 3,
+			wantTorn:    1,
+		},
+		{
+			name: "truncated-checkpoint",
+			corrupt: func(t *testing.T, dir, logPath string, raw []byte) {
+				// A checkpoint holding older values for all rids, cut
+				// mid-record: its survivors load, its tail is dropped, and
+				// the intact redo log re-covers everything anyway.
+				ckpt := filepath.Join(dir, "checkpoint-000000000.ckpt")
+				craw := buildCheckpoint(t, ckpt, nRecs, 5000, 50)
+				os.WriteFile(ckpt, craw[:len(craw)-13], 0o644)
+			},
+			wantRecords: nRecs,
+			wantTorn:    1,
+		},
+		{
+			name: "bad-checkpoint-header",
+			corrupt: func(t *testing.T, dir, logPath string, raw []byte) {
+				ckpt := filepath.Join(dir, "checkpoint-000000000.ckpt")
+				os.WriteFile(ckpt, []byte("not a checkpoint at all"), 0o644)
+			},
+			wantErr: ErrBadCheckpoint,
+		},
+		{
+			name: "empty-log",
+			corrupt: func(t *testing.T, dir, logPath string, raw []byte) {
+				os.WriteFile(logPath, nil, 0o644)
+			},
+			wantRecords: 0,
+		},
+		{
+			name: "checkpoint-newer-than-log",
+			corrupt: func(t *testing.T, dir, logPath string, raw []byte) {
+				// Checkpoint timestamps (1000) beat the log's (100..109):
+				// newest version wins, so the checkpoint values stand.
+				ckpt := filepath.Join(dir, "checkpoint-000000000.ckpt")
+				buildCheckpoint(t, ckpt, nRecs, 9000, 1000)
+			},
+			wantRecords: nRecs,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			logPath := filepath.Join(dir, "redo-000-000000000.log")
+			raw := buildRedoLog(t, logPath, nRecs, 7000)
+			tc.corrupt(t, dir, logPath, raw)
+
+			stats, vals, err := recoverInto(t, dir)
+			if tc.wantErr != nil {
+				if !errors.Is(err, tc.wantErr) {
+					t.Fatalf("err=%v, want %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			if stats.TornTails != tc.wantTorn {
+				t.Fatalf("torn tails %d, want %d (faults %v)", stats.TornTails, tc.wantTorn, stats.TailFaults)
+			}
+			for _, f := range stats.TailFaults {
+				if !errors.Is(f, ErrTornTail) {
+					t.Fatalf("tail fault %v does not match ErrTornTail", f)
+				}
+				var tt *TornTailError
+				if !errors.As(f, &tt) || tt.Dropped <= 0 {
+					t.Fatalf("tail fault %v is not a populated *TornTailError", f)
+				}
+				if tc.wantCause != nil && !errors.Is(f, tc.wantCause) {
+					t.Fatalf("tail fault cause %v, want %v", f, tc.wantCause)
+				}
+			}
+			if len(vals) != tc.wantRecords {
+				t.Fatalf("recovered %d records, want %d: %v", len(vals), tc.wantRecords, vals)
+			}
+			for rid, v := range vals {
+				want := uint64(7000) + uint64(rid) // log value
+				if tc.name == "checkpoint-newer-than-log" {
+					want = 9000 + uint64(rid) // checkpoint wins on timestamp
+				}
+				if tc.name == "truncated-checkpoint" && v != want {
+					// Records whose checkpoint copy survived but whose redo
+					// copy is newer must still show the redo value.
+					t.Fatalf("rid %d: %d, want redo value %d", rid, v, want)
+				}
+				if v != want {
+					t.Fatalf("rid %d: %d, want %d", rid, v, want)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointHorizonAuthoritative pins the purge-safety contract: below
+// a loaded checkpoint's snapshot timestamp the checkpoint is authoritative,
+// absences included. A redo entry older than the snapshot whose record the
+// checkpoint does not hold was deleted before the snapshot was taken (and
+// its delete may live in a chunk the checkpointer purged), so replaying it
+// would resurrect the record; entries newer than the snapshot still apply.
+// This is the deterministic form of the lost-record violation the torture
+// harness caught when purge used a horizon above the snapshot timestamp.
+func TestCheckpointHorizonAuthoritative(t *testing.T) {
+	dir := t.TempDir()
+	// Checkpoint at snapTS 1000 holding only rid 0 (value 9000).
+	buildCheckpoint(t, filepath.Join(dir, "checkpoint-000000000.ckpt"), 1, 9000, 1000)
+	// Redo log: rid 1 written at ts 500 (below the horizon, absent from the
+	// checkpoint ⇒ deleted before the snapshot), rid 0 updated at ts 1500.
+	old := make([]byte, 8)
+	binary.LittleEndian.PutUint64(old, 111)
+	upd := make([]byte, 8)
+	binary.LittleEndian.PutUint64(upd, 222)
+	var out []byte
+	out = append(out, encodeRedo(500, 0, []core.LogEntry{{Table: 0, Record: 1, Data: old}})...)
+	out = append(out, encodeRedo(1500, 0, []core.LogEntry{{Table: 0, Record: 0, Data: upd}})...)
+	if err := os.WriteFile(filepath.Join(dir, "redo-000-000000000.log"), out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, vals, err := recoverInto(t, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RedoRecords != 2 || stats.CheckpointRecords != 1 {
+		t.Fatalf("stats %+v, want 2 redo records read and 1 checkpoint record", stats)
+	}
+	if len(vals) != 1 || vals[0] != 222 {
+		t.Fatalf("recovered %v, want only rid 0 = 222 (rid 1 predates the checkpoint and must stay deleted)", vals)
+	}
+	if stats.MaxTS < 1500 {
+		t.Fatalf("MaxTS = %d, want ≥ 1500", stats.MaxTS)
+	}
+}
+
+// TestTornTailErrorShape pins the error type contract: Is(ErrTornTail),
+// Unwrap to the cause, and a message naming file/offset/bytes.
+func TestTornTailErrorShape(t *testing.T) {
+	e := &TornTailError{Path: "redo-0.log", Offset: 128, Dropped: 37, Cause: ErrChecksum}
+	if !errors.Is(e, ErrTornTail) || !errors.Is(e, ErrChecksum) {
+		t.Fatal("Is chain broken")
+	}
+	msg := e.Error()
+	for _, want := range []string{"redo-0.log", "128", "37"} {
+		if !bytes.Contains([]byte(msg), []byte(want)) {
+			t.Fatalf("message %q missing %q", msg, want)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed recovery errors. Recovery distinguishes damage it can absorb (a
+// torn tail: everything after the corrupt point is dropped, reported in
+// RecoverStats.TailFaults) from damage it must refuse (a checkpoint file
+// that is not a checkpoint at all).
+var (
+	// ErrTornTail marks a redo log or checkpoint whose final bytes were
+	// corrupt or truncated — a crash mid-write. Recovery drops the tail,
+	// keeps every record before it, and succeeds; each dropped tail is a
+	// *TornTailError in RecoverStats.TailFaults matching this sentinel
+	// via errors.Is.
+	ErrTornTail = errors.New("wal: torn or corrupt log tail dropped")
+	// ErrCorruptLength marks a record whose length prefix or entry count
+	// is impossible (out of the file's bounds or past the sanity cap).
+	// The length is validated before any allocation is sized from it, so
+	// a corrupt prefix can never cause a huge allocation or a panic.
+	ErrCorruptLength = errors.New("wal: corrupt record length")
+	// ErrChecksum marks a record whose CRC32C does not match its body.
+	ErrChecksum = errors.New("wal: record checksum mismatch")
+	// ErrBadCheckpoint marks a checkpoint file whose header is not a
+	// checkpoint header; recovery fails rather than silently recovering
+	// nothing.
+	ErrBadCheckpoint = errors.New("wal: bad checkpoint header")
+)
+
+// TornTailError reports one dropped log tail: file, offset of the first
+// bad byte, how many bytes were dropped, and the framing violation that
+// condemned them. It matches ErrTornTail and its Cause via errors.Is.
+type TornTailError struct {
+	// Path is the damaged file.
+	Path string
+	// Offset is the byte offset of the first rejected record.
+	Offset int64
+	// Dropped is the number of bytes from Offset to end of file.
+	Dropped int64
+	// Cause is the framing violation: ErrCorruptLength, ErrChecksum, or
+	// a description of the truncation.
+	Cause error
+}
+
+// Error implements error.
+func (e *TornTailError) Error() string {
+	return fmt.Sprintf("wal: %s: dropped %d-byte tail at offset %d: %v",
+		e.Path, e.Dropped, e.Offset, e.Cause)
+}
+
+// Unwrap exposes the framing violation to errors.Is/As.
+func (e *TornTailError) Unwrap() error { return e.Cause }
+
+// Is matches the ErrTornTail sentinel.
+func (e *TornTailError) Is(target error) bool { return target == ErrTornTail }

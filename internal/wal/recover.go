@@ -2,7 +2,6 @@ package wal
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -14,19 +13,33 @@ import (
 
 	"cicada/internal/clock"
 	"cicada/internal/core"
+	"cicada/internal/fault"
 	"cicada/internal/storage"
+	"cicada/internal/telemetry"
 )
 
 // RecoverStats summarizes a recovery run.
 type RecoverStats struct {
 	// CheckpointRecords is the number of records loaded from the checkpoint.
 	CheckpointRecords int
+	// CheckpointsLoaded is 1 if a checkpoint was found and loaded, else 0.
+	CheckpointsLoaded int
 	// RedoRecords is the number of redo log records replayed.
 	RedoRecords int
 	// Installed is the number of record versions installed.
 	Installed int
 	// Deleted is the number of records whose newest entry was a delete.
 	Deleted int
+	// TornTails is the number of files whose final bytes were dropped as
+	// corrupt or truncated (a crash mid-write). Recovery still succeeds;
+	// the details are in TailFaults.
+	TornTails int
+	// TornBytes is the total number of dropped tail bytes.
+	TornBytes int64
+	// TailFaults holds one *TornTailError per dropped tail; every entry
+	// matches ErrTornTail via errors.Is, and its Cause explains the
+	// framing violation (ErrChecksum, ErrCorruptLength, truncation).
+	TailFaults []error
 	// MaxTS is the newest write timestamp observed.
 	MaxTS clock.Timestamp
 }
@@ -46,9 +59,23 @@ type replayVal struct {
 // which must be freshly created with the same table schema (CreateTable
 // calls in the same order) and must not be running transactions. Each
 // record keeps only its newest version; a record whose newest entry is a
-// delete is not recreated, preserving deletion durability (§3.7). Replay is
-// partitioned across goroutines by record. Afterward the engine's clocks
-// are initialized past every replayed timestamp.
+// delete is not recreated, preserving deletion durability (§3.7). When a
+// checkpoint is loaded, redo entries older than its snapshot timestamp are
+// ignored: the checkpoint completely describes state below that horizon —
+// value or absence — which is what lets checkpointing purge old chunks
+// without resurrecting records they deleted. Replay is partitioned across
+// goroutines by record. Afterward the engine's clocks are initialized past
+// every replayed timestamp (and past the checkpoint snapshot).
+//
+// A corrupt or truncated tail in any file is dropped and reported in the
+// returned stats, never replayed past (see ErrTornTail); an unreadable
+// file or a checkpoint with a foreign header is an error. If the engine
+// was built with a telemetry registry (core.Options.Metrics), recovery
+// registers its counters there: wal_recovery_redo_records_total,
+// wal_recovery_checkpoint_records_total, wal_recovery_installed_total,
+// wal_recovery_deleted_total, wal_recovery_torn_tails_total, and
+// wal_recovery_checkpoints_loaded_total. Recovery runs once per engine, so
+// the counters register once per registry.
 func Recover(eng *core.Engine, dir string) (RecoverStats, error) {
 	var stats RecoverStats
 	state := make(map[replayKey]replayVal, 1<<16)
@@ -62,13 +89,29 @@ func Recover(eng *core.Engine, dir string) (RecoverStats, error) {
 			stats.MaxTS = v.wts
 		}
 	}
+	tail := func(torn *TornTailError) {
+		if torn == nil {
+			return
+		}
+		stats.TornTails++
+		stats.TornBytes += torn.Dropped
+		stats.TailFaults = append(stats.TailFaults, torn)
+	}
 
+	var ckptSnap clock.Timestamp
+	haveCkpt := false
 	if ckpt, ok := latestCheckpoint(dir); ok {
-		n, err := readCheckpoint(ckpt, apply)
+		snapTS, n, torn, err := readCheckpoint(ckpt, apply)
 		if err != nil {
 			return stats, fmt.Errorf("checkpoint %s: %w", ckpt, err)
 		}
 		stats.CheckpointRecords = n
+		stats.CheckpointsLoaded = 1
+		haveCkpt, ckptSnap = true, snapTS
+		if snapTS > stats.MaxTS {
+			stats.MaxTS = snapTS
+		}
+		tail(torn)
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -81,12 +124,26 @@ func Recover(eng *core.Engine, dir string) (RecoverStats, error) {
 		}
 	}
 	sort.Strings(logs)
+	// Below the checkpoint snapshot the checkpoint is authoritative,
+	// absences included: an entry older than snapTS whose record is not in
+	// the checkpoint was deleted before the snapshot, and replaying it
+	// would resurrect the record (its delete may live in a purged chunk).
+	applyRedo := apply
+	if haveCkpt {
+		applyRedo = func(k replayKey, v replayVal) {
+			if v.wts < ckptSnap {
+				return
+			}
+			apply(k, v)
+		}
+	}
 	for _, path := range logs {
-		n, err := readRedo(path, apply)
+		n, torn, err := readRedo(path, applyRedo)
 		if err != nil {
 			return stats, fmt.Errorf("redo %s: %w", path, err)
 		}
 		stats.RedoRecords += n
+		tail(torn)
 	}
 
 	// Install in parallel, partitioned by record so no two goroutines touch
@@ -126,99 +183,155 @@ func Recover(eng *core.Engine, dir string) (RecoverStats, error) {
 	}
 	wg.Wait()
 	eng.RecoverFinish(stats.MaxTS)
+	if reg := eng.Options().Metrics; reg != nil {
+		registerRecoveryMetrics(reg, &stats)
+	}
 	return stats, nil
 }
 
-// readCheckpoint streams checkpoint records into apply, stopping cleanly at
-// a truncated or corrupt tail.
-func readCheckpoint(path string, apply func(replayKey, replayVal)) (int, error) {
+// registerRecoveryMetrics publishes a completed recovery's stats as
+// counters (cold path; shard 0 carries the whole value).
+func registerRecoveryMetrics(reg *telemetry.Registry, stats *RecoverStats) {
+	set := func(family, help string, v uint64) {
+		reg.Counter(family, help).Shard(0).Add(v)
+	}
+	set("wal_recovery_redo_records_total", "Redo log records replayed by recovery.", uint64(stats.RedoRecords))
+	set("wal_recovery_checkpoint_records_total", "Records loaded from the checkpoint during recovery.", uint64(stats.CheckpointRecords))
+	set("wal_recovery_installed_total", "Record versions installed by recovery.", uint64(stats.Installed))
+	set("wal_recovery_deleted_total", "Records whose newest replayed entry was a delete.", uint64(stats.Deleted))
+	set("wal_recovery_torn_tails_total", "Corrupt or truncated log tails dropped by recovery (ErrTornTail).", uint64(stats.TornTails))
+	set("wal_recovery_checkpoints_loaded_total", "Checkpoints loaded by recovery (0 or 1 per run).", uint64(stats.CheckpointsLoaded))
+}
+
+// tornTail builds the dropped-tail report for a file cut at offset o.
+func tornTail(path string, o, size int, cause error) *TornTailError {
+	return &TornTailError{Path: path, Offset: int64(o), Dropped: int64(size - o), Cause: cause}
+}
+
+// readCheckpoint streams checkpoint records into apply. A corrupt or
+// truncated record ends the stream: the remaining bytes are dropped and
+// reported as a torn tail (a checkpoint being written when the process
+// died is ignored anyway — only a renamed .ckpt is ever read — so a torn
+// record here means media damage; the redo logs re-cover the data). A file
+// whose header is not a checkpoint header returns ErrBadCheckpoint. The
+// first return is the snapshot timestamp from the header.
+func readCheckpoint(path string, apply func(replayKey, replayVal)) (clock.Timestamp, int, *TornTailError, error) {
+	if err := fault.Inject(fault.ReplayRead); err != nil {
+		return 0, 0, nil, err
+	}
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return 0, err
+		return 0, 0, nil, err
 	}
 	if len(buf) < 16 || binary.LittleEndian.Uint32(buf) != ckptMagic {
-		return 0, errors.New("bad checkpoint header")
+		return 0, 0, nil, ErrBadCheckpoint
 	}
+	snapTS := clock.Timestamp(binary.LittleEndian.Uint64(buf[4:]))
 	o := 16
 	n := 0
-	for o+24 <= len(buf) {
+	for o < len(buf) {
+		// Record: table(4) rid(8) wts(8) dlen(4) data(dlen) crc32c(4).
+		if len(buf)-o < 28 {
+			return snapTS, n, tornTail(path, o, len(buf), fmt.Errorf("truncated record header (%d bytes)", len(buf)-o)), nil
+		}
 		table := core.TableID(binary.LittleEndian.Uint32(buf[o:]))
 		rid := storage.RecordID(binary.LittleEndian.Uint64(buf[o+4:]))
 		wts := clock.Timestamp(binary.LittleEndian.Uint64(buf[o+12:]))
-		dlen := int(binary.LittleEndian.Uint32(buf[o+20:]))
-		end := o + 24 + dlen + 4
+		dlen := binary.LittleEndian.Uint32(buf[o+20:])
+		// Bounds-check the length prefix before using it for anything —
+		// a corrupt dlen must not size an allocation or an offset jump.
+		if uint64(dlen) > maxRecordLen {
+			return snapTS, n, tornTail(path, o, len(buf), ErrCorruptLength), nil
+		}
+		end := o + 24 + int(dlen) + 4
 		if end > len(buf) {
-			break
+			return snapTS, n, tornTail(path, o, len(buf), fmt.Errorf("record extends past end of file: %w", ErrCorruptLength)), nil
 		}
 		crc := binary.LittleEndian.Uint32(buf[end-4:])
-		if crc32.ChecksumIEEE(buf[o:end-4]) != crc {
-			break
+		if crc32.Checksum(buf[o:end-4], castagnoli) != crc {
+			return snapTS, n, tornTail(path, o, len(buf), ErrChecksum), nil
 		}
 		data := make([]byte, dlen)
-		copy(data, buf[o+24:o+24+dlen])
+		copy(data, buf[o+24:end-4])
 		apply(replayKey{table: table, rid: rid}, replayVal{wts: wts, data: data})
 		n++
 		o = end
 	}
-	return n, nil
+	return snapTS, n, nil, nil
 }
 
-// readRedo streams redo records into apply, stopping cleanly at a truncated
-// or corrupt tail (a crash mid-write).
-func readRedo(path string, apply func(replayKey, replayVal)) (int, error) {
+// readRedo streams redo records into apply. Frames are validated
+// outside-in: magic, then the record length prefix (bounds-checked before
+// it sizes anything), then the CRC32C over the whole frame, and only then
+// are entries parsed. The first bad frame ends the stream — everything
+// after it is dropped and reported as a torn tail, because a record
+// boundary cannot be trusted past a corrupt length or checksum.
+func readRedo(path string, apply func(replayKey, replayVal)) (int, *TornTailError, error) {
+	if err := fault.Inject(fault.ReplayRead); err != nil {
+		return 0, nil, err
+	}
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	o := 0
 	n := 0
-	for o+20 <= len(buf) {
+	for o < len(buf) {
+		rest := len(buf) - o
+		if rest < redoMinLen {
+			return n, tornTail(path, o, len(buf), fmt.Errorf("truncated record header (%d bytes)", rest)), nil
+		}
 		if binary.LittleEndian.Uint32(buf[o:]) != redoMagic {
-			break
+			return n, tornTail(path, o, len(buf), fmt.Errorf("bad record magic %#x", binary.LittleEndian.Uint32(buf[o:]))), nil
 		}
-		ts := clock.Timestamp(binary.LittleEndian.Uint64(buf[o+4:]))
-		nEntries := int(binary.LittleEndian.Uint32(buf[o+16:]))
-		p := o + 20
-		type pending struct {
-			k replayKey
-			v replayVal
+		recLen := binary.LittleEndian.Uint32(buf[o+4:])
+		if recLen < redoMinLen || uint64(recLen) > maxRecordLen {
+			return n, tornTail(path, o, len(buf), ErrCorruptLength), nil
 		}
-		pendings := make([]pending, 0, nEntries)
+		if int(recLen) > rest {
+			return n, tornTail(path, o, len(buf), fmt.Errorf("record extends past end of file: %w", ErrCorruptLength)), nil
+		}
+		rec := buf[o : o+int(recLen)]
+		crc := binary.LittleEndian.Uint32(rec[len(rec)-4:])
+		if crc32.Checksum(rec[:len(rec)-4], castagnoli) != crc {
+			return n, tornTail(path, o, len(buf), ErrChecksum), nil
+		}
+		ts := clock.Timestamp(binary.LittleEndian.Uint64(rec[8:]))
+		nEntries := binary.LittleEndian.Uint32(rec[20:])
+		// Entry count must fit in the frame; checked before the slice
+		// below is sized from it (the CRC already vouches for the frame,
+		// but a length is never trusted without its own bound).
+		if uint64(nEntries) > uint64(len(rec)-redoMinLen)/redoEntryLen {
+			return n, tornTail(path, o, len(buf), ErrCorruptLength), nil
+		}
+		p := redoHdrLen
+		body := rec[:len(rec)-4]
 		ok := true
-		for e := 0; e < nEntries; e++ {
-			if p+17 > len(buf) {
+		for e := uint32(0); e < nEntries && ok; e++ {
+			if p+redoEntryLen > len(body) {
 				ok = false
 				break
 			}
-			table := core.TableID(binary.LittleEndian.Uint32(buf[p:]))
-			rid := storage.RecordID(binary.LittleEndian.Uint64(buf[p+4:]))
-			deleted := buf[p+12] == 1
-			dlen := int(binary.LittleEndian.Uint32(buf[p+13:]))
-			p += 17
-			if p+dlen > len(buf) {
+			table := core.TableID(binary.LittleEndian.Uint32(body[p:]))
+			rid := storage.RecordID(binary.LittleEndian.Uint64(body[p+4:]))
+			deleted := body[p+12] == 1
+			dlen := binary.LittleEndian.Uint32(body[p+13:])
+			p += redoEntryLen
+			if uint64(dlen) > uint64(len(body)-p) {
 				ok = false
 				break
 			}
 			data := make([]byte, dlen)
-			copy(data, buf[p:p+dlen])
-			p += dlen
-			pendings = append(pendings, pending{
-				k: replayKey{table: table, rid: rid},
-				v: replayVal{wts: ts, data: data, deleted: deleted},
-			})
+			copy(data, body[p:p+int(dlen)])
+			p += int(dlen)
+			apply(replayKey{table: table, rid: rid},
+				replayVal{wts: ts, data: data, deleted: deleted})
 		}
-		if !ok || p+4 > len(buf) {
-			break
-		}
-		crc := binary.LittleEndian.Uint32(buf[p:])
-		if crc32.ChecksumIEEE(buf[o+4:p]) != crc {
-			break
-		}
-		for _, pd := range pendings {
-			apply(pd.k, pd.v)
+		if !ok {
+			return n, tornTail(path, o, len(buf), ErrCorruptLength), nil
 		}
 		n++
-		o = p + 4
+		o += int(recLen)
 	}
-	return n, nil
+	return n, nil, nil
 }

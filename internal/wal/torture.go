@@ -1,0 +1,323 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cicada/internal/core"
+	"cicada/internal/fault"
+	"cicada/internal/storage"
+)
+
+// poisonBase marks values written by transactions that deliberately abort.
+// A recovered record carrying a poison value is a resurrected abort — the
+// write phase leaked into the log, or replay installed an uncommitted
+// version.
+const poisonBase = uint64(1) << 62
+
+// errCrashStop is the user-abort a torture worker returns once the fault
+// registry has crashed, breaking out of Worker.Run's ErrAborted retry loop
+// (post-crash, every logger hand-off fails and would otherwise retry
+// forever).
+var errCrashStop = errors.New("wal torture: registry crashed, stop worker")
+
+// errPoisonAbort is the user-abort of a poison transaction.
+var errPoisonAbort = errors.New("wal torture: deliberate abort")
+
+// TortureConfig configures one randomized crash-recovery run.
+type TortureConfig struct {
+	// Seed drives everything random in the run: the crash site and
+	// schedule, torn-write cut points, and each worker's operation mix.
+	// The same seed replays the same torture.
+	Seed int64
+	// Dir is the WAL directory (typically a fresh temp dir).
+	Dir string
+	// Workers is the number of committing workers. Default 4.
+	Workers int
+	// Records is the number of records contended over. Default 32.
+	Records int
+	// Ops is the per-worker operation budget. Default 400.
+	Ops int
+	// CrashAfterMax bounds the random crash schedule: the armed trigger
+	// fires after [0, CrashAfterMax) passes through its site. Default 50.
+	CrashAfterMax int
+	// Checkpoint also runs a background checkpointer, exposing the
+	// checkpoint write/sync/rename/purge failpoints to the crash draw.
+	Checkpoint bool
+}
+
+func (c *TortureConfig) setDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Records <= 0 {
+		c.Records = 32
+	}
+	if c.Ops <= 0 {
+		c.Ops = 400
+	}
+	if c.CrashAfterMax <= 0 {
+		c.CrashAfterMax = 50
+	}
+}
+
+// TortureReport is the outcome of one RunTorture call.
+type TortureReport struct {
+	// Trigger is the armed crash, e.g. "wal/append:torn-write@17".
+	Trigger string
+	// Crashed reports whether the trigger actually fired (a trigger
+	// scheduled past the run's activity never fires; the run then ends
+	// as a clean shutdown, which is verified all the same).
+	Crashed bool
+	// CrashSite is the site that crashed, if any.
+	CrashSite string
+	// Commits and PoisonAborts count acknowledged commits and deliberate
+	// aborts issued before the crash.
+	Commits      int
+	PoisonAborts int
+	// Recovery is the stats of the post-crash recovery.
+	Recovery RecoverStats
+	// Violations lists every durability-contract violation found; empty
+	// means the run passed.
+	Violations []string
+}
+
+// RunTorture executes one seeded crash-recovery torture: workers hammer a
+// shared table with read-modify-write increments (plus deliberate aborts
+// that write poison values), a random failpoint crashes the WAL mid-run,
+// and recovery into a fresh engine is checked against three oracles kept
+// per record:
+//
+//	durable[i]   — highest value acknowledged before a successful Flush
+//	               (a durability barrier): a floor; losing it is a lost ack.
+//	attempted[i] — highest value any commit attempt handed to the logger:
+//	               a ceiling; recovering above it is a fabricated write.
+//	poison       — values written only by aborted transactions: recovering
+//	               one is a resurrected abort.
+//
+// The recovered value may exceed the highest *acknowledged* value — group
+// commit means a transaction can be logged and die before its ack — and
+// may exceed durable[i] because an in-process "crash" (registry freeze)
+// does not discard the OS page cache. The invariant is
+// durable[i] ≤ recovered[i] ≤ attempted[i], never poisoned.
+func RunTorture(cfg TortureConfig) (TortureReport, error) {
+	cfg.setDefaults()
+	var rep TortureReport
+
+	eng := core.NewEngine(core.DefaultOptions(cfg.Workers))
+	tbl := eng.CreateTable("torture")
+	m, err := Attach(eng, Options{
+		Dir:         cfg.Dir,
+		GroupCommit: 200 * time.Microsecond,
+		ChunkSize:   8 << 10,
+	})
+	if err != nil {
+		return rep, err
+	}
+
+	// Seed phase (no faults): every record starts at value 1, flushed, so
+	// the durable floor is meaningful from the first operation.
+	rids := make([]storage.RecordID, cfg.Records)
+	w0 := eng.Worker(0)
+	for i := range rids {
+		i := i
+		if err := w0.Run(func(tx *core.Txn) error {
+			rid, buf, err := tx.Insert(tbl, 8)
+			if err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint64(buf, 1)
+			rids[i] = rid
+			return nil
+		}); err != nil {
+			return rep, fmt.Errorf("seed: %w", err)
+		}
+	}
+	if err := m.Flush(); err != nil {
+		return rep, fmt.Errorf("seed flush: %w", err)
+	}
+
+	acked := make([]atomic.Uint64, cfg.Records)
+	attempted := make([]atomic.Uint64, cfg.Records)
+	durable := make([]uint64, cfg.Records)
+	for i := range durable {
+		acked[i].Store(1)
+		attempted[i].Store(1)
+		durable[i] = 1
+	}
+
+	reg := fault.NewRegistry(cfg.Seed)
+	sites := []fault.Site{fault.WALAppend, fault.WALSync, fault.WALRotate, fault.CoreLog}
+	if cfg.Checkpoint {
+		sites = append(sites, fault.CheckpointWrite, fault.CheckpointSync, fault.CheckpointRename)
+	}
+	trig := reg.ArmRandomCrashAt(sites, cfg.CrashAfterMax)
+	rep.Trigger = trig.String()
+	fault.Enable(reg)
+	defer fault.Disable()
+
+	// Flusher: snapshot acked *before* the barrier; only a successful
+	// Flush promotes the snapshot to the durable floor.
+	var durableMu sync.Mutex
+	stopFlush := make(chan struct{})
+	var bg sync.WaitGroup
+	bg.Add(1)
+	go func() {
+		defer bg.Done()
+		snap := make([]uint64, cfg.Records)
+		for {
+			select {
+			case <-stopFlush:
+				return
+			case <-reg.CrashSignal():
+				return
+			case <-time.After(300 * time.Microsecond):
+			}
+			for i := range snap {
+				snap[i] = acked[i].Load()
+			}
+			if m.Flush() != nil {
+				continue
+			}
+			durableMu.Lock()
+			for i, v := range snap {
+				if v > durable[i] {
+					durable[i] = v
+				}
+			}
+			durableMu.Unlock()
+		}
+	}()
+	if cfg.Checkpoint {
+		bg.Add(1)
+		go func() {
+			defer bg.Done()
+			for {
+				select {
+				case <-stopFlush:
+					return
+				case <-reg.CrashSignal():
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+				_ = m.Checkpoint() // post-crash errors are the point
+			}
+		}()
+	}
+
+	var commits, poisons atomic.Int64
+	var wg sync.WaitGroup
+	for id := 0; id < cfg.Workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed ^ int64(id)<<32))
+			w := eng.Worker(id)
+			for op := 0; op < cfg.Ops; op++ {
+				if reg.Crashed() {
+					return
+				}
+				idx := rng.Intn(len(rids))
+				poison := rng.Intn(8) == 0
+				var wrote uint64
+				err := w.Run(func(tx *core.Txn) error {
+					if reg.Crashed() {
+						return errCrashStop
+					}
+					buf, err := tx.Update(tbl, rids[idx], -1)
+					if err != nil {
+						return err
+					}
+					v := binary.LittleEndian.Uint64(buf)
+					if poison {
+						binary.LittleEndian.PutUint64(buf, poisonBase|v)
+						return errPoisonAbort
+					}
+					wrote = v + 1
+					// Ceiling first: the logger may persist this value
+					// even if the ack never happens.
+					for {
+						cur := attempted[idx].Load()
+						if wrote <= cur || attempted[idx].CompareAndSwap(cur, wrote) {
+							break
+						}
+					}
+					binary.LittleEndian.PutUint64(buf, wrote)
+					return nil
+				})
+				switch {
+				case err == nil:
+					commits.Add(1)
+					for {
+						cur := acked[idx].Load()
+						if wrote <= cur || acked[idx].CompareAndSwap(cur, wrote) {
+							break
+						}
+					}
+				case errors.Is(err, errPoisonAbort):
+					poisons.Add(1)
+				case errors.Is(err, errCrashStop):
+					return
+				default:
+					// Post-crash logger failure surfaced as a user abort.
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(stopFlush)
+	bg.Wait()
+	_ = m.Close() // fails after a crash; the frozen files are the test input
+
+	rep.Crashed = reg.Crashed()
+	rep.CrashSite = string(reg.CrashSite())
+	rep.Commits = int(commits.Load())
+	rep.PoisonAborts = int(poisons.Load())
+	fault.Disable()
+
+	// Recovery into a fresh engine with the same schema.
+	eng2 := core.NewEngine(core.DefaultOptions(cfg.Workers))
+	tbl2 := eng2.CreateTable("torture")
+	stats, err := Recover(eng2, cfg.Dir)
+	if err != nil {
+		return rep, fmt.Errorf("recover (trigger %s): %w", rep.Trigger, err)
+	}
+	rep.Recovery = stats
+
+	violate := func(format string, args ...any) {
+		rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+	}
+	if err := eng2.Worker(0).Run(func(tx *core.Txn) error {
+		for i, rid := range rids {
+			d, err := tx.Read(tbl2, rid)
+			if errors.Is(err, core.ErrNotFound) {
+				violate("record %d lost entirely (durable floor %d)", i, durable[i])
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			v := binary.LittleEndian.Uint64(d)
+			if v >= poisonBase {
+				violate("record %d resurrected an aborted write %#x", i, v)
+				continue
+			}
+			if v < durable[i] {
+				violate("record %d lost acked value: recovered %d < durable %d", i, v, durable[i])
+			}
+			if max := attempted[i].Load(); v > max {
+				violate("record %d fabricated value: recovered %d > attempted %d", i, v, max)
+			}
+		}
+		return nil
+	}); err != nil {
+		return rep, fmt.Errorf("verify read: %w", err)
+	}
+	return rep, nil
+}

@@ -10,6 +10,21 @@
 // chunked files and make them durable on a group-commit interval, following
 // the paper's note that durability may be realized after commit when the
 // application allows it; call Flush for a durability barrier.
+//
+// Every on-disk record is framed with a length prefix and a CRC32C
+// trailer, so recovery validates sizes before trusting them and detects
+// bit flips and torn writes. A corrupt or truncated final record is
+// dropped — not an error — and surfaces as a *TornTailError in
+// RecoverStats.TailFaults; corruption is never replayed past. Checkpoints
+// install atomically (temp file → fsync → rename → directory fsync), so a
+// crash leaves either the old checkpoint set or the new one, never a
+// half-written file that recovery would prefer.
+//
+// The package's I/O sites carry internal/fault failpoints (a no-op unless
+// a test enables a registry); RunTorture drives randomized crash-recovery
+// runs over them. The on-disk format, the group-commit acknowledgment
+// contract, the failure model, and the failpoint catalog are specified in
+// docs/DURABILITY.md.
 package wal
 
 import (
@@ -23,12 +38,34 @@ import (
 
 	"cicada/internal/clock"
 	"cicada/internal/core"
+	"cicada/internal/fault"
 )
 
 const (
-	redoMagic = 0xC1CADA10
-	ckptMagic = 0xC1CADA2C
+	// redoMagic opens every redo record (format v2: length-prefixed,
+	// CRC32C). v1 records (0xC1CADA10, CRC32-IEEE, no length prefix) are
+	// not readable by this version.
+	redoMagic = 0xC1CADA11
+	// ckptMagic opens a checkpoint file (format v2, CRC32C records).
+	ckptMagic = 0xC1CADA2D
+
+	// redoHdrLen is the fixed redo record header:
+	// magic(4) recLen(4) ts(8) worker(4) nEntries(4).
+	redoHdrLen = 24
+	// redoEntryLen is the fixed per-entry prefix:
+	// table(4) rid(8) flags(1) dlen(4).
+	redoEntryLen = 17
+	// redoMinLen is the smallest legal record: header plus CRC trailer.
+	redoMinLen = redoHdrLen + 4
+	// maxRecordLen caps any length field read from disk before it sizes
+	// an allocation or an offset jump; a corrupt prefix beyond it is
+	// rejected as ErrCorruptLength.
+	maxRecordLen = 64 << 20
 )
+
+// castagnoli is the CRC32C polynomial table used for all record framing
+// (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Options configures a Manager.
 type Options struct {
@@ -127,6 +164,21 @@ func (m *Manager) stopLoggers() {
 	}
 }
 
+// syncDir fsyncs a directory so a completed rename or create is durable —
+// the second half of the atomic-install protocol (temp file → fsync →
+// rename → directory fsync).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // logger owns one chunked redo stream. Workers append redo records under
 // the logger mutex (the OS page cache absorbs the append); a background
 // group-commit goroutine makes the stream durable every GroupCommit
@@ -191,22 +243,27 @@ func (lg *logger) submit(ts clock.Timestamp, worker int, entries []core.LogEntry
 	return lg.err
 }
 
+// encodeRedo frames one transaction's write set as a redo record:
+//
+//	magic(4) recLen(4) ts(8) worker(4) nEntries(4)
+//	  per entry: table(4) rid(8) flags(1) dlen(4) data(dlen)
+//	crc32c(4)  — over everything before it, magic included
+//
+// recLen is the total record length in bytes, so recovery can bounds-check
+// the frame before parsing entries (see readRedo).
 func encodeRedo(ts clock.Timestamp, worker int, entries []core.LogEntry) []byte {
-	size := 4 + 8 + 4 + 4
+	size := redoHdrLen
 	for _, e := range entries {
-		size += 4 + 8 + 1 + 4 + len(e.Data)
+		size += redoEntryLen + len(e.Data)
 	}
 	size += 4 // crc
 	buf := make([]byte, size)
-	o := 0
-	binary.LittleEndian.PutUint32(buf[o:], redoMagic)
-	o += 4
-	binary.LittleEndian.PutUint64(buf[o:], uint64(ts))
-	o += 8
-	binary.LittleEndian.PutUint32(buf[o:], uint32(worker))
-	o += 4
-	binary.LittleEndian.PutUint32(buf[o:], uint32(len(entries)))
-	o += 4
+	binary.LittleEndian.PutUint32(buf[0:], redoMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(size))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(ts))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(worker))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(len(entries)))
+	o := redoHdrLen
 	for _, e := range entries {
 		binary.LittleEndian.PutUint32(buf[o:], uint32(e.Table))
 		o += 4
@@ -221,7 +278,7 @@ func encodeRedo(ts clock.Timestamp, worker int, entries []core.LogEntry) []byte 
 		copy(buf[o:], e.Data)
 		o += len(e.Data)
 	}
-	crc := crc32.ChecksumIEEE(buf[4 : size-4])
+	crc := crc32.Checksum(buf[:size-4], castagnoli)
 	binary.LittleEndian.PutUint32(buf[size-4:], crc)
 	return buf
 }
@@ -251,8 +308,16 @@ func (lg *logger) run() {
 }
 
 func (lg *logger) writeLocked(buf []byte, ts clock.Timestamp) {
-	if _, err := lg.f.Write(buf); err != nil {
+	n, err := fault.Write(fault.WALAppend, lg.f, buf)
+	if err != nil {
+		// A short or torn write may have left a partial record on disk;
+		// recovery's tail-truncation drops it. The stream is poisoned so
+		// no later record can be appended after the damage.
 		lg.err = err
+		return
+	}
+	if n < len(buf) {
+		lg.err = fmt.Errorf("wal: short append: %d of %d bytes", n, len(buf))
 		return
 	}
 	if ts > lg.maxTS {
@@ -267,11 +332,19 @@ func (lg *logger) writeLocked(buf []byte, ts clock.Timestamp) {
 // rotateLocked closes the current chunk (renaming it to embed its maximum
 // write timestamp, which drives purging) and opens the next.
 func (lg *logger) rotateLocked() {
+	if err := fault.Inject(fault.WALRotate); err != nil {
+		lg.err = err
+		return
+	}
 	lg.f.Sync()
 	lg.f.Close()
 	closed := lg.chunkPath(lg.seq)
 	sealed := filepath.Join(lg.dir, fmt.Sprintf("redo-%03d-%09d-%020d.sealed.log", lg.id, lg.seq, uint64(lg.maxTS)))
 	if err := os.Rename(closed, sealed); err != nil {
+		lg.err = err
+		return
+	}
+	if err := syncDir(lg.dir); err != nil {
 		lg.err = err
 		return
 	}
@@ -283,10 +356,15 @@ func (lg *logger) rotateLocked() {
 }
 
 func (lg *logger) syncLocked() {
-	if lg.err == nil && lg.f != nil {
-		if err := lg.f.Sync(); err != nil {
-			lg.err = err
-		}
+	if lg.err != nil || lg.f == nil {
+		return
+	}
+	if err := fault.Inject(fault.WALSync); err != nil {
+		lg.err = err
+		return
+	}
+	if err := lg.f.Sync(); err != nil {
+		lg.err = err
 	}
 }
 

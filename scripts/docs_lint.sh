@@ -1,0 +1,47 @@
+#!/bin/sh
+# docs_lint.sh — fail if the documentation references paths that don't
+# exist. Two classes of drift are checked across README.md, DESIGN.md, and
+# docs/*.md:
+#
+#   1. internal/... and cmd/... package paths (prose or code spans)
+#   2. docs/<page>.md markdown links
+#
+# Run from the repository root (make docs-lint).
+set -eu
+
+fail=0
+files="README.md DESIGN.md docs/*.md"
+
+# 1. Repo paths. Extract tokens that look like internal/..., cmd/...,
+# examples/..., or scripts/... and require each to exist (as given, or
+# with a trailing component stripped for foo/bar.go:123-style refs).
+for f in $files; do
+    grep -oE '(internal|cmd|examples|scripts)/[A-Za-z0-9_./-]*' "$f" |
+        sed -e 's|[.,:;)]*$||' -e 's|/$||' -e 's|/\.\.\.$||' | sort -u |
+        while read -r p; do
+            [ -e "$p" ] && continue
+            # Tolerate Go qualified names (internal/foo/pkg.Symbol).
+            [ -e "$(echo "$p" | sed 's|\.[A-Za-z_][A-Za-z0-9_]*$||')" ] && continue
+            echo "$f: references nonexistent path: $p"
+            touch .docs_lint_failed
+        done
+done
+
+# 2. Markdown links to docs pages, from the repo root or between docs.
+for f in $files; do
+    dir=$(dirname "$f")
+    grep -oE '\]\([A-Za-z0-9_./-]+\.md(#[A-Za-z0-9_-]+)?\)' "$f" |
+        sed -e 's|^](||' -e 's|)$||' -e 's|#.*$||' | sort -u |
+        while read -r p; do
+            if [ -e "$dir/$p" ] || [ -e "$p" ]; then continue; fi
+            echo "$f: broken markdown link: $p"
+            touch .docs_lint_failed
+        done
+done
+
+if [ -e .docs_lint_failed ]; then
+    rm -f .docs_lint_failed
+    echo "docs-lint: FAIL"
+    exit 1
+fi
+echo "docs-lint: OK"
