@@ -8,7 +8,7 @@ GO ?= go
 # registries are all cross-goroutine (docs/DURABILITY.md).
 RACE_PKGS = ./internal/core/... ./internal/clock/... ./internal/storage/... ./internal/telemetry/... ./internal/wal/... ./internal/fault/...
 
-.PHONY: all build test lint vet race bench bench-smoke bench-json telemetry-smoke torture docs-lint clean
+.PHONY: all build test lint vet check race bench bench-smoke bench-json telemetry-smoke torture docs-lint clean
 
 # Packages with the hot-path microbenchmarks and allocation-budget tests
 # (docs/PERFORMANCE.md).
@@ -25,10 +25,16 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Custom concurrency analyzers (see docs/CONCURRENCY.md). Exits non-zero on
-# any finding; suppress only with a reviewed //lint:allow marker.
+# The full analyzer suite (see docs/STATIC_ANALYSIS.md): four intra-function
+# concurrency passes plus hotpathalloc, lockorder, failpointcover, and
+# metricdrift. Exits 1 on any finding, 2 on internal error; suppress only
+# with a reviewed //lint:allow marker.
 lint:
 	$(GO) run ./cmd/cicada-lint ./...
+
+# The consolidated static gate CI runs on every push: compile, go vet, the
+# full cicada-lint suite, and the docs drift check.
+check: build vet lint docs-lint
 
 # Race detector plus the cicada_invariants assertion build over the hot-path
 # packages. Short mode keeps this CI-sized; drop -short locally for the full

@@ -1,14 +1,26 @@
-// Command cicada-lint runs the repository's concurrency analyzers
-// (mixedatomic, statusorder, locksdiscipline, nakedspin) over the module.
+// Command cicada-lint runs the repository's static analyzers — the
+// intra-function concurrency passes (mixedatomic, statusorder,
+// locksdiscipline, nakedspin) and the whole-program guardrails
+// (hotpathalloc, lockorder, failpointcover, metricdrift) — over the module.
 //
 // Usage:
 //
-//	cicada-lint [-tags tag,tag] [-list] [pattern ...]
+//	cicada-lint [-tags tag,tag] [-list] [-json] [-update-escape-baseline] [pattern ...]
 //
 // Patterns follow the usual go tool shapes: "./...", "internal/core/...",
 // or an import path relative to the module root. With no patterns, the whole
-// module is checked. The exit status is 1 if any diagnostic is reported,
-// 2 on usage or load errors, and 0 otherwise.
+// module is checked. The exit status is 0 when clean, 1 if any diagnostic is
+// reported, and 2 on usage, load, or internal errors — so CI can tell "found
+// problems" from "could not look".
+//
+// With -json, findings are emitted as a single JSON array of
+// {"file","line","col","analyzer","message"} objects on stdout (an empty
+// array when clean) for machine annotation; errors still go to stderr.
+//
+// -update-escape-baseline regenerates internal/analysis/escapes_baseline.json
+// from the current compiler escape output for the //cicada:noalloc set,
+// preserving existing justifications; new entries get a TODO reason that
+// hotpathalloc flags until a human fills it in. See docs/STATIC_ANALYSIS.md.
 //
 // Findings can be suppressed at the site with a reviewed marker:
 //
@@ -19,6 +31,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,11 +41,23 @@ import (
 	"cicada/internal/analysis"
 )
 
+// jsonDiag is the machine-readable finding shape for -json mode.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	tags := flag.String("tags", "", "comma-separated build tags to enable (e.g. cicada_invariants)")
 	list := flag.Bool("list", false, "list registered analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	updateBaseline := flag.Bool("update-escape-baseline", false,
+		"regenerate "+analysis.EscapeBaselinePath+" from current compiler output and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cicada-lint [-tags tag,tag] [-list] [pattern ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: cicada-lint [-tags tag,tag] [-list] [-json] [-update-escape-baseline] [pattern ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -74,21 +99,55 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *updateBaseline {
+		if err := analysis.UpdateEscapeBaseline(prog, targets); err != nil {
+			fmt.Fprintf(os.Stderr, "cicada-lint: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "cicada-lint: wrote %s\n", analysis.EscapeBaselinePath)
+		return
+	}
+
 	diags, err := analysis.Run(prog, targets, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cicada-lint: %v\n", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		pos := d.Pos
-		if rel, rerr := filepath.Rel(root, pos.Filename); rerr == nil && !strings.HasPrefix(rel, "..") {
-			pos.Filename = rel
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     relToRoot(root, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
 		}
-		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "cicada-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			pos := d.Pos
+			pos.Filename = relToRoot(root, pos.Filename)
+			fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// relToRoot shortens an in-tree absolute path to a root-relative one.
+func relToRoot(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return file
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

@@ -22,3 +22,15 @@ func TestLocksDiscipline(t *testing.T) {
 func TestNakedSpin(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.NakedSpin, "nakedspin/...")
 }
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.LockOrder, "lockorder/...")
+}
+
+func TestFailpointCover(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.FailpointCover, "failpointcover/...")
+}
+
+func TestMetricDrift(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.MetricDrift, "metricdrift/...")
+}

@@ -1,0 +1,396 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// FailpointCover proves the crash-injection story of docs/DURABILITY.md is
+// complete, in two parts:
+//
+//  1. Coverage: every file-I/O call site in the WAL packages
+//     (write/sync/rename/truncate-class operations on files, plus buffered
+//     writes that front them) must be dominated by a named fault hook —
+//     a fault.Inject/fault.Write call earlier in the same function, or, for
+//     helpers like syncDir, a hook before every call site of the enclosing
+//     function (computed interprocedurally). An I/O site the torture
+//     harness cannot crash is durability logic that is never tested.
+//
+//  2. Drift: the failpoint names must agree across the three places they
+//     live — the Site constants in internal/fault, the fault.Sites()
+//     catalog function, and the catalog table in docs/DURABILITY.md — and
+//     every declared site must actually be hooked somewhere.
+//
+// The drift checks that need whole-program knowledge (unused sites, doc
+// sync) only run when both the fault package and a WAL package are among
+// the analyzed targets, so narrowed pattern runs do not misreport.
+var FailpointCover = &Analyzer{
+	Name:   "failpointcover",
+	Doc:    "asserts WAL I/O sites are dominated by fault hooks and the failpoint catalog is in sync",
+	Module: true,
+	Run:    runFailpointCover,
+}
+
+// failpointDocPath is the failpoint catalog's documentation page, relative
+// to the tree that contains the WAL package.
+const failpointDocPath = "docs/DURABILITY.md"
+
+func isWALPackage(path string) bool {
+	return path == "internal/wal" || strings.HasSuffix(path, "/internal/wal")
+}
+
+func isFaultPackage(path string) bool {
+	return path == "internal/fault" || strings.HasSuffix(path, "/internal/fault")
+}
+
+// isFaultHook reports whether fn is the fault package's Inject or Write
+// hook.
+func isFaultHook(fn *types.Func) bool {
+	return fn != nil && fn.Pkg() != nil && isFaultPackage(fn.Pkg().Path()) &&
+		(fn.Name() == "Inject" || fn.Name() == "Write")
+}
+
+// ioKind classifies a durability-relevant file-I/O call, or "" if the call
+// is not one.
+func ioKind(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return ""
+	}
+	if sig.Recv() == nil {
+		if fn.Pkg().Path() != "os" {
+			return ""
+		}
+		switch fn.Name() {
+		case "Rename", "Remove", "RemoveAll", "Truncate", "WriteFile":
+			return "os." + fn.Name()
+		}
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	recv := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	switch recv {
+	case "os.File":
+		switch fn.Name() {
+		case "Write", "WriteAt", "WriteString", "ReadFrom", "Sync", "Truncate":
+			return "(*os.File)." + fn.Name()
+		}
+	case "bufio.Writer":
+		switch fn.Name() {
+		case "Write", "WriteString", "Flush", "ReadFrom":
+			return "(*bufio.Writer)." + fn.Name()
+		}
+	}
+	return ""
+}
+
+// walFuncCover summarizes one WAL function for the domination analysis.
+type walFuncCover struct {
+	fn        *types.Func
+	hookPos   []token.Pos // fault hook call positions, sorted
+	callSites []walCall   // calls to this function from WAL packages
+}
+
+type walCall struct {
+	caller *types.Func
+	pos    token.Pos
+}
+
+type walIOSite struct {
+	caller *types.Func
+	pos    token.Pos
+	kind   string
+}
+
+func runFailpointCover(pass *Pass) error {
+	var walPkgs, faultPkgs []*Package
+	for _, pkg := range pass.Targets {
+		switch {
+		case isWALPackage(pkg.Path):
+			walPkgs = append(walPkgs, pkg)
+		case isFaultPackage(pkg.Path):
+			faultPkgs = append(faultPkgs, pkg)
+		}
+	}
+	if len(walPkgs) == 0 {
+		return nil
+	}
+
+	// Pass 1 over the WAL packages: per-function hook positions, the
+	// WAL-internal call graph, and the I/O sites to judge.
+	covers := make(map[*types.Func]*walFuncCover)
+	coverFor := func(fn *types.Func) *walFuncCover {
+		c := covers[fn]
+		if c == nil {
+			c = &walFuncCover{fn: fn}
+			covers[fn] = c
+		}
+		return c
+	}
+	var ioSites []walIOSite
+	usedSites := make(map[string]token.Pos) // site name -> first hook using it
+	for _, pkg := range walPkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				cover := coverFor(obj)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := CalleeFunc(pkg.Info, call)
+					switch {
+					case isFaultHook(fn):
+						cover.hookPos = append(cover.hookPos, call.Pos())
+						if name, ok := faultSiteArg(pkg.Info, call); ok {
+							if _, seen := usedSites[name]; !seen {
+								usedSites[name] = call.Pos()
+							}
+						}
+					case ioKind(fn) != "":
+						ioSites = append(ioSites, walIOSite{caller: obj, pos: call.Pos(), kind: ioKind(fn)})
+					case fn != nil && fn.Pkg() != nil && isWALPackage(fn.Pkg().Path()):
+						coverFor(fn).callSites = append(coverFor(fn).callSites, walCall{caller: obj, pos: call.Pos()})
+					}
+					return true
+				})
+			}
+		}
+	}
+	// Hooks used elsewhere (e.g. core's commit hand-off) count for the
+	// drift checks even though their I/O lives outside the WAL.
+	for _, pkg := range pass.Targets {
+		if isWALPackage(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn := CalleeFunc(pkg.Info, call); isFaultHook(fn) {
+					if name, ok := faultSiteArg(pkg.Info, call); ok {
+						if _, seen := usedSites[name]; !seen {
+							usedSites[name] = call.Pos()
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	for _, c := range covers {
+		sort.Slice(c.hookPos, func(i, j int) bool { return c.hookPos[i] < c.hookPos[j] })
+	}
+
+	// Domination: an I/O site is covered if a hook precedes it in its own
+	// function, or every WAL call site of the enclosing function is itself
+	// at a dominated position (fixed-point with a visiting guard).
+	type visitKey struct {
+		fn  *types.Func
+		pos token.Pos
+	}
+	visiting := make(map[*types.Func]bool)
+	var dominatedAt func(fn *types.Func, pos token.Pos) bool
+	dominatedAt = func(fn *types.Func, pos token.Pos) bool {
+		c := covers[fn]
+		if c == nil {
+			return false
+		}
+		for _, h := range c.hookPos {
+			if h < pos {
+				return true
+			}
+		}
+		if len(c.callSites) == 0 || visiting[fn] {
+			return false
+		}
+		visiting[fn] = true
+		defer delete(visiting, fn)
+		for _, cs := range c.callSites {
+			if !dominatedAt(cs.caller, cs.pos) {
+				return false
+			}
+		}
+		return true
+	}
+	_ = visitKey{}
+	for _, io := range ioSites {
+		if !dominatedAt(io.caller, io.pos) {
+			pass.Reportf(io.pos,
+				"%s in %s is not dominated by a fault hook: a crash cannot be injected at this I/O, so the torture harness never tests it (add fault.Inject/fault.Write before it, or hook every caller)",
+				io.kind, io.caller.Name())
+		}
+	}
+
+	// Drift checks need the whole program: the fault package's catalog and
+	// a view of every hook call site.
+	if len(faultPkgs) == 0 {
+		return nil
+	}
+	declared, sitesFn := faultCatalog(faultPkgs[0])
+	for name, pos := range declared {
+		if _, ok := sitesFn[name]; !ok && len(sitesFn) > 0 {
+			pass.Reportf(pos,
+				"failpoint %q is declared but missing from the Sites() catalog function", name)
+		}
+		if _, ok := usedSites[name]; !ok {
+			pass.Reportf(pos,
+				"failpoint %q is declared but never passed to a fault hook: dead catalog entry or missing injection point", name)
+		}
+	}
+	for name, pos := range usedSites {
+		if _, ok := declared[name]; !ok {
+			pass.Reportf(pos,
+				"fault hook uses site %q which is not a declared Site constant in the fault package catalog", name)
+		}
+	}
+
+	doc, err := pass.Prog.FindDoc(walPkgs[0].Dir, failpointDocPath)
+	if err != nil {
+		// A tree without the durability page has nothing to drift against.
+		return nil
+	}
+	docSites := docFailpointSites(doc)
+	for name, pos := range declared {
+		if _, ok := docSites[name]; !ok {
+			pass.Reportf(pos,
+				"failpoint %q is not listed in the %s catalog table", name, failpointDocPath)
+		}
+	}
+	var docNames []string
+	for name := range docSites {
+		docNames = append(docNames, name)
+	}
+	sort.Strings(docNames)
+	for _, name := range docNames {
+		if _, ok := declared[name]; !ok {
+			pass.Reportf(docSites[name],
+				"documented failpoint %q does not exist in the fault package catalog (stale doc entry)", name)
+		}
+	}
+	return nil
+}
+
+// faultSiteArg extracts the constant string value of a hook call's site
+// argument.
+func faultSiteArg(info *types.Info, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// faultCatalog returns the declared Site constants (name -> pos) and the
+// set of constants referenced in the Sites() catalog function.
+func faultCatalog(pkg *Package) (declared map[string]token.Pos, sitesFn map[string]bool) {
+	declared = make(map[string]token.Pos)
+	sitesFn = make(map[string]bool)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						c, _ := pkg.Info.Defs[name].(*types.Const)
+						if c == nil || !isSiteType(c.Type()) || c.Val().Kind() != constant.String {
+							continue
+						}
+						declared[constant.StringVal(c.Val())] = name.Pos()
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Name.Name != "Sites" || d.Body == nil {
+					continue
+				}
+				ast.Inspect(d.Body, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if c, ok := pkg.Info.Uses[id].(*types.Const); ok && isSiteType(c.Type()) && c.Val().Kind() == constant.String {
+						sitesFn[constant.StringVal(c.Val())] = true
+					}
+					return true
+				})
+			}
+		}
+	}
+	return declared, sitesFn
+}
+
+// isSiteType reports whether t is (or aliases) a named type called Site in
+// a fault package.
+func isSiteType(t types.Type) bool {
+	var obj *types.TypeName
+	switch n := t.(type) {
+	case *types.Named:
+		obj = n.Obj()
+	case *types.Alias:
+		obj = n.Obj()
+	default:
+		return false
+	}
+	return obj.Name() == "Site" && obj.Pkg() != nil && isFaultPackage(obj.Pkg().Path())
+}
+
+// docSiteRE matches a backticked failpoint name in a markdown table row.
+var docSiteRE = regexp.MustCompile("`([a-z0-9-]+(?:/[a-z0-9-]+)+)`")
+
+// docFailpointSites extracts site names from the doc's table rows
+// (name -> position of first mention). Only exact site-shaped tokens count;
+// glob summaries like `wal/checkpoint-*` are ignored.
+func docFailpointSites(doc *DocFile) map[string]token.Pos {
+	sites := make(map[string]token.Pos)
+	for i, line := range doc.Lines {
+		if !strings.HasPrefix(strings.TrimSpace(line), "|") {
+			continue
+		}
+		for _, m := range docSiteRE.FindAllStringSubmatchIndex(line, -1) {
+			name := line[m[2]:m[3]]
+			// Reject partial matches inside a longer token (e.g. a glob).
+			if m[3] < len(line) && line[m[3]] != '`' {
+				continue
+			}
+			if _, ok := sites[name]; !ok {
+				sites[name] = doc.Pos(i+1, m[2]+1)
+			}
+		}
+	}
+	return sites
+}

@@ -1,0 +1,379 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// HotPathAlloc turns the zero-allocation property of the steady-state
+// transaction path (docs/PERFORMANCE.md) into a compile-time gate. Functions
+// on that path carry a directive in their doc comment:
+//
+//	//cicada:noalloc
+//
+// The analyzer drives the real compiler's escape analysis (go build
+// -gcflags=-m) over the annotated packages and flags every heap-escape
+// diagnostic inside an annotated function's body that is not sanctioned by
+// the committed baseline (internal/analysis/escapes_baseline.json). Each
+// baseline entry names the function, the exact compiler message, and a
+// one-line justification — typically an amortized growth path behind a
+// high-water mark, or a panic message on an unreachable invariant branch.
+//
+// Stale baseline entries (the escape no longer occurs, or the function lost
+// its annotation) are flagged too, so the baseline can only shrink or be
+// consciously grown; regenerate it with cicada-lint -update-escape-baseline.
+//
+// Escapes inlined from a *different* function's body keep their original
+// source position and therefore are not attributed to the annotated caller;
+// the AllocsPerRun budget tests remain the runtime backstop for those.
+var HotPathAlloc = &Analyzer{
+	Name:   "hotpathalloc",
+	Doc:    "flags new heap escapes in //cicada:noalloc functions against the committed baseline",
+	Module: true,
+	Run:    runHotPathAlloc,
+}
+
+// EscapeBaselinePath is the committed baseline, relative to the module root.
+const EscapeBaselinePath = "internal/analysis/escapes_baseline.json"
+
+// noallocDirective is the doc-comment directive marking a function as part
+// of the zero-allocation steady-state set.
+const noallocDirective = "//cicada:noalloc"
+
+// EscapeEntry sanctions one compiler escape diagnostic in one annotated
+// function.
+type EscapeEntry struct {
+	// Pkg is the import path of the function's package.
+	Pkg string `json:"pkg"`
+	// Func is the function's fully qualified name, as types.Func.FullName
+	// renders it (e.g. "(*cicada/internal/core.Txn).Update").
+	Func string `json:"func"`
+	// Message is the exact compiler diagnostic text ("moved to heap: x",
+	// "make([]uint64, size) escapes to heap", ...).
+	Message string `json:"message"`
+	// Reason is the mandatory one-line justification.
+	Reason string `json:"reason"`
+}
+
+// EscapeBaseline is the schema of escapes_baseline.json.
+type EscapeBaseline struct {
+	Comment string        `json:"comment,omitempty"`
+	Entries []EscapeEntry `json:"entries"`
+}
+
+// noallocFunc is one annotated function.
+type noallocFunc struct {
+	pkg      *Package
+	decl     *ast.FuncDecl
+	obj      *types.Func
+	fullName string
+	file     string // absolute path
+	from, to int    // body line range, inclusive
+}
+
+// escapeDiag is one attributed compiler escape diagnostic.
+type escapeDiag struct {
+	fn      *noallocFunc
+	pos     token.Pos
+	message string
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	funcs, err := collectNoallocFuncs(pass.Prog, pass.Targets)
+	if err != nil {
+		return err
+	}
+	if len(funcs) == 0 {
+		return nil
+	}
+	diags, err := collectEscapes(pass.Prog, funcs)
+	if err != nil {
+		return err
+	}
+	baseline, err := loadEscapeBaseline(filepath.Join(pass.Prog.Root, EscapeBaselinePath))
+	if err != nil {
+		return err
+	}
+
+	type key struct{ fn, msg string }
+	sanctioned := make(map[key]*EscapeEntry)
+	for i := range baseline.Entries {
+		e := &baseline.Entries[i]
+		sanctioned[key{e.Func, e.Message}] = e
+	}
+	used := make(map[key]bool)
+	for _, d := range diags {
+		k := key{d.fn.fullName, d.message}
+		if e, ok := sanctioned[k]; ok {
+			used[k] = true
+			if r := strings.TrimSpace(e.Reason); r == "" || strings.HasPrefix(r, "TODO") {
+				pass.Reportf(d.pos,
+					"escape in %s is baselined without a justification: %q needs a reason in %s",
+					d.fn.fullName, d.message, EscapeBaselinePath)
+			}
+			continue
+		}
+		pass.Reportf(d.pos,
+			"heap escape in //cicada:noalloc function %s: %s (sanction it with a justified entry in %s, or keep the hot path allocation-free)",
+			d.fn.fullName, d.message, EscapeBaselinePath)
+	}
+
+	// Stale entries: only judged for packages that were analyzed, so a
+	// narrowed pattern run does not misreport entries of unloaded packages.
+	analyzed := make(map[string]bool)
+	annotated := make(map[string]*noallocFunc)
+	for _, f := range funcs {
+		analyzed[f.pkg.Path] = true
+		annotated[f.fullName] = f
+	}
+	for i := range baseline.Entries {
+		e := &baseline.Entries[i]
+		if !analyzed[e.Pkg] || used[key{e.Func, e.Message}] {
+			continue
+		}
+		if f, ok := annotated[e.Func]; ok {
+			pass.Reportf(f.decl.Pos(),
+				"stale escape baseline entry for %s: %q no longer reported by the compiler; remove it from %s",
+				e.Func, e.Message, EscapeBaselinePath)
+		} else {
+			pass.Reportf(token.NoPos,
+				"stale escape baseline entry: %s is not a //cicada:noalloc function in %s; remove %q from %s",
+				e.Func, e.Pkg, e.Message, EscapeBaselinePath)
+		}
+	}
+	return nil
+}
+
+// collectNoallocFuncs finds every //cicada:noalloc function declaration in
+// the target packages.
+func collectNoallocFuncs(prog *Program, targets []*Package) ([]*noallocFunc, error) {
+	var funcs []*noallocFunc
+	for _, pkg := range targets {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil || fd.Body == nil {
+					continue
+				}
+				if !hasNoallocDirective(fd.Doc) {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					return nil, fmt.Errorf("hotpathalloc: cannot resolve %s in %s", fd.Name.Name, pkg.Path)
+				}
+				start := prog.Fset.Position(fd.Pos())
+				end := prog.Fset.Position(fd.End())
+				funcs = append(funcs, &noallocFunc{
+					pkg:      pkg,
+					decl:     fd,
+					obj:      obj,
+					fullName: obj.FullName(),
+					file:     start.Filename,
+					from:     start.Line,
+					to:       end.Line,
+				})
+			}
+		}
+	}
+	return funcs, nil
+}
+
+func hasNoallocDirective(doc *ast.CommentGroup) bool {
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == noallocDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// escapeLineRE matches one compiler diagnostic line: file:line:col: message.
+var escapeLineRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+)$`)
+
+// collectEscapes compiles the annotated packages with -gcflags=-m and
+// attributes heap-escape diagnostics to annotated function bodies.
+func collectEscapes(prog *Program, funcs []*noallocFunc) ([]escapeDiag, error) {
+	dirs := make(map[string]bool)
+	for _, f := range funcs {
+		rel, err := filepath.Rel(prog.Root, f.pkg.Dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("hotpathalloc: package %s is outside the root", f.pkg.Path)
+		}
+		dirs["./"+filepath.ToSlash(rel)] = true
+	}
+	args := []string{"build"}
+	if len(prog.Tags) > 0 {
+		args = append(args, "-tags", strings.Join(prog.Tags, ","))
+	}
+	args = append(args, "-gcflags=-m")
+	var patterns []string
+	for d := range dirs {
+		patterns = append(patterns, d)
+	}
+	sort.Strings(patterns)
+	args = append(args, patterns...)
+
+	cmd := exec.Command("go", args...)
+	cmd.Dir = prog.Root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("hotpathalloc: go %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+
+	// Index annotated functions by file for attribution.
+	byFile := make(map[string][]*noallocFunc)
+	for _, f := range funcs {
+		byFile[f.file] = append(byFile[f.file], f)
+	}
+
+	var diags []escapeDiag
+	for _, line := range strings.Split(string(out), "\n") {
+		m := escapeLineRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(prog.Root, file)
+		}
+		lineNo := atoiSafe(m[2])
+		col := atoiSafe(m[3])
+		for _, f := range byFile[file] {
+			if lineNo < f.from || lineNo > f.to {
+				continue
+			}
+			diags = append(diags, escapeDiag{
+				fn:      f,
+				pos:     posInFile(prog.Fset, file, lineNo, col),
+				message: msg,
+			})
+			break
+		}
+	}
+	return diags, nil
+}
+
+func atoiSafe(s string) int {
+	n := 0
+	for _, c := range s {
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// posInFile resolves (file, line, col) to a token.Pos in fset, or NoPos.
+func posInFile(fset *token.FileSet, file string, line, col int) token.Pos {
+	var tf *token.File
+	fset.Iterate(func(f *token.File) bool {
+		if f.Name() == file {
+			tf = f
+			return false
+		}
+		return true
+	})
+	if tf == nil || line < 1 || line > tf.LineCount() {
+		return token.NoPos
+	}
+	p := tf.LineStart(line)
+	if col > 1 {
+		p += token.Pos(col - 1)
+	}
+	return p
+}
+
+// loadEscapeBaseline reads the baseline; a missing file is an empty
+// baseline.
+func loadEscapeBaseline(path string) (*EscapeBaseline, error) {
+	var b EscapeBaseline
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &b, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("hotpathalloc: %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// UpdateEscapeBaseline regenerates the baseline from the current compiler
+// output, preserving the reasons of entries that still occur. New entries
+// get a placeholder reason that hotpathalloc flags until a human justifies
+// it. Used by cicada-lint -update-escape-baseline.
+func UpdateEscapeBaseline(prog *Program, targets []*Package) error {
+	funcs, err := collectNoallocFuncs(prog, targets)
+	if err != nil {
+		return err
+	}
+	diags, err := collectEscapes(prog, funcs)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(prog.Root, EscapeBaselinePath)
+	old, err := loadEscapeBaseline(path)
+	if err != nil {
+		return err
+	}
+	type key struct{ fn, msg string }
+	reasons := make(map[key]string)
+	for _, e := range old.Entries {
+		reasons[key{e.Func, e.Message}] = e.Reason
+	}
+	seen := make(map[key]bool)
+	b := EscapeBaseline{Comment: old.Comment}
+	if b.Comment == "" {
+		b.Comment = "Sanctioned compiler escapes in //cicada:noalloc functions. " +
+			"Every entry needs a one-line reason; regenerate with: go run ./cmd/cicada-lint -update-escape-baseline ./..."
+	}
+	for _, d := range diags {
+		k := key{d.fn.fullName, d.message}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		reason := reasons[k]
+		if reason == "" {
+			reason = "TODO: justify this escape or remove the allocation"
+		}
+		b.Entries = append(b.Entries, EscapeEntry{
+			Pkg:     d.fn.pkg.Path,
+			Func:    d.fn.fullName,
+			Message: d.message,
+			Reason:  reason,
+		})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.Pkg != c.Pkg {
+			return a.Pkg < c.Pkg
+		}
+		if a.Func != c.Func {
+			return a.Func < c.Func
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

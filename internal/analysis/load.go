@@ -35,11 +35,97 @@ type Package struct {
 type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package
-	byPath   map[string]*Package
+	// Root is the absolute source-tree directory the program was loaded
+	// from (the module root for the real repository, a fixture tree for
+	// analyzer tests).
+	Root string
+	// Prefix is the import-path prefix mapping to Root ("cicada", or ""
+	// for fixture trees).
+	Prefix string
+	// Tags are the extra build tags the program was loaded with.
+	Tags []string
+
+	byPath map[string]*Package
+	docs   map[string]*DocFile
 }
 
 // Package returns the loaded package with the given import path, or nil.
 func (p *Program) Package(path string) *Package { return p.byPath[path] }
+
+// A DocFile is a non-Go file (documentation) registered in the program's
+// FileSet so that analyzers can report findings at real doc positions.
+type DocFile struct {
+	// Path is the absolute path of the file.
+	Path string
+	// Content is the file's full text.
+	Content string
+	// Lines are Content split on newlines (1-indexed via Pos).
+	Lines []string
+
+	tf *token.File
+}
+
+// Pos returns the token.Pos of the given 1-based line and column.
+func (d *DocFile) Pos(line, col int) token.Pos {
+	if line < 1 || line > d.tf.LineCount() {
+		return d.tf.Pos(0)
+	}
+	p := d.tf.LineStart(line)
+	if col > 1 {
+		p += token.Pos(col - 1)
+	}
+	return p
+}
+
+// Doc reads and memoizes the file at path (absolute, or relative to the
+// program root), registering it in the FileSet so its positions resolve
+// like source positions.
+func (p *Program) Doc(path string) (*DocFile, error) {
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(p.Root, path)
+	}
+	if d, ok := p.docs[path]; ok {
+		return d, nil
+	}
+	content, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	tf := p.Fset.AddFile(path, -1, len(content))
+	tf.SetLinesForContent(content)
+	d := &DocFile{
+		Path:    path,
+		Content: string(content),
+		Lines:   strings.Split(string(content), "\n"),
+		tf:      tf,
+	}
+	if p.docs == nil {
+		p.docs = make(map[string]*DocFile)
+	}
+	p.docs[path] = d
+	return d, nil
+}
+
+// FindDoc walks up from dir (absolute, at or below the program root)
+// looking for rel (e.g. "docs/DURABILITY.md"), stopping after checking the
+// root itself. It lets one analyzer serve both the real repository (docs at
+// the module root) and fixture trees (docs inside the fixture subtree).
+func (p *Program) FindDoc(dir, rel string) (*DocFile, error) {
+	for {
+		cand := filepath.Join(dir, rel)
+		if _, err := os.Stat(cand); err == nil {
+			return p.Doc(cand)
+		}
+		if dir == p.Root {
+			return nil, fmt.Errorf("%s not found between %s and %s", rel, dir, p.Root)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir || len(parent) < len(p.Root) {
+			return nil, fmt.Errorf("%s not found under %s", rel, p.Root)
+		}
+		dir = parent
+	}
+}
 
 // A Loader loads a tree of Go packages using only the standard library: the
 // tree's own packages are resolved by directory layout, everything else
@@ -119,7 +205,12 @@ func (l *Loader) Load(patterns ...string) (prog *Program, targets []*Package, er
 			targets = append(targets, pkg)
 		}
 	}
-	prog = &Program{Fset: ld.fset, byPath: ld.pkgs}
+	root, err := filepath.Abs(ld.Root)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog = &Program{Fset: ld.fset, Root: root, Prefix: ld.Prefix,
+		Tags: append([]string(nil), ld.Tags...), byPath: ld.pkgs}
 	for _, p := range ld.pkgs {
 		prog.Packages = append(prog.Packages, p)
 	}

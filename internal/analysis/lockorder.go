@@ -1,0 +1,378 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds an interprocedural lock-acquisition graph over the
+// analyzed packages and reports ordering cycles as potential deadlocks,
+// extending locksdiscipline's per-function rules to whole-program order.
+//
+// Locks are identified at class granularity: a sync.Mutex/RWMutex struct
+// field is one lock per (type, field), a package-level mutex variable is one
+// lock, and the sanctioned per-record GC spin lock (TryLockGC/UnlockGC) is
+// one lock per receiver type. An edge A → B is recorded when B is acquired
+// — directly, or transitively through calls — while A may still be held:
+// from A's acquisition to its release in the same function (a deferred
+// release holds to function end). Function literals run inline except under
+// `go`, whose body executes on another goroutine and establishes no order
+// for the spawner.
+//
+// Two different instances of the same lock class are not distinguished, so
+// hand-over-hand locking within one class is reported as a self-cycle; when
+// the acquisition order is proven by construction (e.g. sorted key order),
+// suppress the site with //lint:allow lockorder <reason>.
+var LockOrder = &Analyzer{
+	Name:   "lockorder",
+	Doc:    "reports cycles in the interprocedural lock-acquisition graph (potential deadlocks)",
+	Module: true,
+	Run:    runLockOrder,
+}
+
+// lockEventKind discriminates the per-function event stream.
+type lockEventKind uint8
+
+const (
+	evAcquire lockEventKind = iota
+	evRelease
+	evCall
+)
+
+type lockEvent struct {
+	kind     lockEventKind
+	pos      token.Pos
+	lock     string      // evAcquire/evRelease: lock ID
+	deferred bool        // evRelease: inside a defer statement
+	callee   *types.Func // evCall
+}
+
+// funcLocks is one function's summary.
+type funcLocks struct {
+	fn     *types.Func
+	events []lockEvent
+	end    token.Pos // body end
+}
+
+// lockEdge is one witnessed acquisition-order edge.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	inFunc   string
+}
+
+func runLockOrder(pass *Pass) error {
+	summaries := make(map[*types.Func]*funcLocks)
+	var order []*funcLocks
+	for _, pkg := range pass.Targets {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				s := collectLockEvents(pkg, fd, obj)
+				summaries[obj] = s
+				order = append(order, s)
+			}
+		}
+	}
+
+	// reach[f] = every lock f may acquire, directly or transitively.
+	reach := make(map[*types.Func]map[string]bool)
+	for f := range summaries {
+		reach[f] = make(map[string]bool)
+	}
+	for changed := true; changed; {
+		changed = false
+		for f, s := range summaries {
+			r := reach[f]
+			for _, ev := range s.events {
+				switch ev.kind {
+				case evAcquire:
+					if !r[ev.lock] {
+						r[ev.lock] = true
+						changed = true
+					}
+				case evCall:
+					for l := range reach[ev.callee] {
+						if !r[l] {
+							r[l] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Held-region edge construction.
+	edges := make(map[[2]string]lockEdge)
+	addEdge := func(from, to string, pos token.Pos, in string) {
+		k := [2]string{from, to}
+		if _, ok := edges[k]; !ok {
+			edges[k] = lockEdge{from: from, to: to, pos: pos, inFunc: in}
+		}
+	}
+	for _, s := range order {
+		for i, ev := range s.events {
+			if ev.kind != evAcquire {
+				continue
+			}
+			end := s.end
+			for _, rel := range s.events[i+1:] {
+				if rel.kind == evRelease && rel.lock == ev.lock && !rel.deferred {
+					end = rel.pos
+					break
+				}
+			}
+			for _, inner := range s.events[i+1:] {
+				if inner.pos >= end {
+					break
+				}
+				switch inner.kind {
+				case evAcquire:
+					addEdge(ev.lock, inner.lock, inner.pos, s.fn.Name())
+				case evCall:
+					for l := range reach[inner.callee] {
+						addEdge(ev.lock, l, inner.pos, s.fn.Name())
+					}
+				}
+			}
+		}
+	}
+
+	reportLockCycles(pass, edges)
+	return nil
+}
+
+// reportLockCycles finds strongly connected components in the edge graph and
+// reports every edge participating in a cycle (including self-loops).
+func reportLockCycles(pass *Pass, edges map[[2]string]lockEdge) {
+	adj := make(map[string][]string)
+	nodes := make(map[string]bool)
+	for k := range edges {
+		adj[k[0]] = append(adj[k[0]], k[1])
+		nodes[k[0]], nodes[k[1]] = true, true
+	}
+	for n := range adj {
+		sort.Strings(adj[n])
+	}
+
+	// Tarjan's SCC.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	comp := make(map[string]int)
+	var stack []string
+	next, nComp := 0, 0
+	var strong func(v string)
+	strong = func(v string) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = nComp
+				if w == v {
+					break
+				}
+			}
+			nComp++
+		}
+	}
+	var sortedNodes []string
+	for n := range nodes {
+		sortedNodes = append(sortedNodes, n)
+	}
+	sort.Strings(sortedNodes)
+	for _, n := range sortedNodes {
+		if _, seen := index[n]; !seen {
+			strong(n)
+		}
+	}
+
+	compSize := make(map[int]int)
+	for _, c := range comp {
+		compSize[c]++
+	}
+	var cyclic []lockEdge
+	for k, e := range edges {
+		if k[0] == k[1] {
+			cyclic = append(cyclic, e) // self-loop: same class re-acquired while held
+			continue
+		}
+		if comp[k[0]] == comp[k[1]] && compSize[comp[k[0]]] > 1 {
+			cyclic = append(cyclic, e)
+		}
+	}
+	sort.Slice(cyclic, func(i, j int) bool {
+		if cyclic[i].from != cyclic[j].from {
+			return cyclic[i].from < cyclic[j].from
+		}
+		return cyclic[i].to < cyclic[j].to
+	})
+	for _, e := range cyclic {
+		if e.from == e.to {
+			pass.Reportf(e.pos,
+				"lock %s acquired in %s while an instance of the same lock class may already be held: hand-over-hand within one class deadlocks unless instance order is proven — //lint:allow lockorder <why the order is safe> if it is",
+				e.from, e.inFunc)
+			continue
+		}
+		var members []string
+		for n, c := range comp {
+			if c == comp[e.from] {
+				members = append(members, n)
+			}
+		}
+		sort.Strings(members)
+		pass.Reportf(e.pos,
+			"lock-order cycle: %s acquired in %s while %s is held; cycle members: %s — pick one global order or break the nesting",
+			e.to, e.inFunc, e.from, strings.Join(members, " ↔ "))
+	}
+}
+
+// collectLockEvents walks one function body, recording acquisitions,
+// releases, and in-tree calls in source order. Function-literal bodies are
+// included except when the literal (or call) is spawned with `go`.
+func collectLockEvents(pkg *Package, fd *ast.FuncDecl, obj *types.Func) *funcLocks {
+	s := &funcLocks{fn: obj, end: fd.Body.End()}
+	info := pkg.Info
+	WithParents(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false // runs on another goroutine: no order for the spawner
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := CalleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		deferred := underDefer(stack)
+		switch {
+		case isMutexLock(fn):
+			if id, ok := lockIDForCall(pkg, obj, call); ok {
+				s.events = append(s.events, lockEvent{kind: evAcquire, pos: call.Pos(), lock: id})
+			}
+		case isMutexRelease(fn):
+			if id, ok := lockIDForCall(pkg, obj, call); ok {
+				s.events = append(s.events, lockEvent{kind: evRelease, pos: call.Pos(), lock: id, deferred: deferred})
+			}
+		case fn.Name() == "TryLockGC":
+			if id, ok := gcLockID(fn); ok {
+				s.events = append(s.events, lockEvent{kind: evAcquire, pos: call.Pos(), lock: id})
+			}
+		case fn.Name() == "UnlockGC":
+			if id, ok := gcLockID(fn); ok {
+				s.events = append(s.events, lockEvent{kind: evRelease, pos: call.Pos(), lock: id, deferred: deferred})
+			}
+		default:
+			s.events = append(s.events, lockEvent{kind: evCall, pos: call.Pos(), callee: fn})
+		}
+		return true
+	})
+	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].pos < s.events[j].pos })
+	return s
+}
+
+func underDefer(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if _, ok := stack[i].(*ast.DeferStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// isMutexRelease reports whether fn is sync.Mutex.Unlock / RWMutex.Unlock /
+// RWMutex.RUnlock.
+func isMutexRelease(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	return fn.Name() == "Unlock" || fn.Name() == "RUnlock"
+}
+
+// lockIDForCall identifies the lock of a mutex method call by its receiver
+// expression: a struct field is (owner type, field); a package-level
+// variable is (package, var); a local variable is (package, func, var).
+func lockIDForCall(pkg *Package, enclosing *types.Func, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch recv := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if field := FieldOf(pkg.Info, recv); field != nil {
+			if owner := OwnerStruct(field); owner != nil {
+				return lockName(owner.Pkg(), owner.Name()+"."+field.Name()), true
+			}
+			if field.Pkg() != nil {
+				return lockName(field.Pkg(), field.Name()), true
+			}
+		}
+		return "", false
+	case *ast.Ident:
+		obj, _ := pkg.Info.Uses[recv].(*types.Var)
+		if obj == nil || obj.Pkg() == nil {
+			return "", false
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return lockName(obj.Pkg(), obj.Name()), true
+		}
+		return lockName(obj.Pkg(), enclosing.Name()+"."+obj.Name()), true
+	}
+	return "", false
+}
+
+// gcLockID identifies the per-record GC spin lock by the receiver type of
+// its sanctioned helpers.
+func gcLockID(fn *types.Func) (string, bool) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	return lockName(named.Obj().Pkg(), named.Obj().Name()+".gcLock"), true
+}
+
+// lockName renders a display ID: the package path's last element plus the
+// qualified member, e.g. "wal.logger.mu".
+func lockName(pkg *types.Package, member string) string {
+	path := pkg.Path()
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[i+1:]
+	}
+	return fmt.Sprintf("%s.%s", path, member)
+}

@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// MetricDrift cross-checks the metric families registered through
+// internal/telemetry against the reference tables in docs/OBSERVABILITY.md,
+// in both directions:
+//
+//   - code → doc: every family name passed to a Registry registration
+//     method (Counter, Gauge, Histogram, CounterFunc, GaugeFunc) in an
+//     analyzed package must be mentioned (backticked) somewhere in the doc.
+//     A metric nobody can look up is operationally invisible.
+//   - doc → code: every row of a reference table whose header column is
+//     "Metric" must name a family some analyzed package actually registers.
+//     A stale row sends an operator hunting for a series that never appears.
+//
+// Family names are resolved as constants, including through one level of
+// local helper closure (e.g. wal.Recover's `set := func(family, ...)`
+// wrapper): a func literal bound to a local variable that forwards a
+// parameter into a registration call is treated as a registration point for
+// the constant arguments at its call sites.
+//
+// The doc → code direction needs every registering package loaded, so it
+// runs only when the target set is the whole program (a `./...` run);
+// narrowed pattern runs check code → doc only.
+var MetricDrift = &Analyzer{
+	Name:   "metricdrift",
+	Doc:    "cross-checks registered telemetry metric families against docs/OBSERVABILITY.md",
+	Module: true,
+	Run:    runMetricDrift,
+}
+
+// metricDocPath is the metric reference page, relative to the tree that
+// contains the registering packages.
+const metricDocPath = "docs/OBSERVABILITY.md"
+
+// isRegistryMethod reports whether fn is a registration method on the
+// telemetry Registry (matched by receiver type name and package suffix so
+// fixtures can supply their own telemetry package).
+func isRegistryMethod(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Counter", "Gauge", "Histogram", "CounterFunc", "GaugeFunc":
+	default:
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == "internal/telemetry" || strings.HasSuffix(path, "/telemetry") || path == "telemetry"
+}
+
+// metricHelper is a local closure that forwards one of its parameters as a
+// registration family name.
+type metricHelper struct {
+	famIndex int
+}
+
+func runMetricDrift(pass *Pass) error {
+	registered := make(map[string]token.Pos) // family -> first registration
+	var anyPkg *Package
+	for _, pkg := range pass.Targets {
+		if pkg.Path == "internal/telemetry" || strings.HasSuffix(pkg.Path, "/telemetry") {
+			// The telemetry package itself registers nothing for real; its
+			// examples would pollute the set.
+			continue
+		}
+		if anyPkg == nil {
+			anyPkg = pkg
+		}
+		collectRegistrations(pkg, registered)
+	}
+	if anyPkg == nil {
+		return nil
+	}
+	if len(registered) == 0 {
+		return nil
+	}
+
+	doc, err := pass.Prog.FindDoc(anyPkg.Dir, metricDocPath)
+	if err != nil {
+		// No reference page in this tree: nothing to drift against.
+		return nil
+	}
+	mentioned := docMetricMentions(doc)
+	tableRows := docMetricTableRows(doc)
+
+	var families []string
+	for f := range registered {
+		families = append(families, f)
+	}
+	sort.Strings(families)
+	for _, f := range families {
+		if !mentioned[f] {
+			pass.Reportf(registered[f],
+				"metric family %q is registered but never mentioned in %s: add it to the metric reference (or it is operationally invisible)",
+				f, metricDocPath)
+		}
+	}
+
+	// Reverse direction only when the whole program is in scope.
+	if len(pass.Targets) != len(pass.Prog.Packages) {
+		return nil
+	}
+	var rows []string
+	for name := range tableRows {
+		rows = append(rows, name)
+	}
+	sort.Strings(rows)
+	for _, name := range rows {
+		if _, ok := registered[name]; !ok {
+			pass.Reportf(tableRows[name],
+				"documented metric %q is not registered by any package: stale reference-table row in %s",
+				name, metricDocPath)
+		}
+	}
+	return nil
+}
+
+// collectRegistrations records every constant family name passed to a
+// Registry registration method in pkg, resolving one level of local helper
+// closures.
+func collectRegistrations(pkg *Package, out map[string]token.Pos) {
+	record := func(name string, pos token.Pos) {
+		if _, ok := out[name]; !ok {
+			out[name] = pos
+		}
+	}
+	helpers := make(map[*types.Var]metricHelper)
+	for _, f := range pkg.Files {
+		WithParents(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := CalleeFunc(pkg.Info, call)
+			if !isRegistryMethod(fn) || len(call.Args) == 0 {
+				return true
+			}
+			if name, ok := constString(pkg.Info, call.Args[0]); ok {
+				record(name, call.Pos())
+				return true
+			}
+			// Non-constant family: if it is a parameter of an enclosing
+			// func literal bound to a local variable, the variable is a
+			// registration helper and its call sites carry the names.
+			if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+				if param, _ := pkg.Info.Uses[id].(*types.Var); param != nil {
+					if v, idx := helperBinding(pkg.Info, stack, param); v != nil {
+						helpers[v] = metricHelper{famIndex: idx}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(helpers) == 0 {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, _ := pkg.Info.Uses[id].(*types.Var)
+			h, ok := helpers[v]
+			if !ok || h.famIndex >= len(call.Args) {
+				return true
+			}
+			if name, ok := constString(pkg.Info, call.Args[h.famIndex]); ok {
+				record(name, call.Pos())
+			}
+			return true
+		})
+	}
+}
+
+// helperBinding checks whether param is a parameter of the innermost func
+// literal on the stack and that literal is bound to a local variable
+// (`set := func(...) {...}`); it returns the variable and the parameter's
+// index.
+func helperBinding(info *types.Info, stack []ast.Node, param *types.Var) (*types.Var, int) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		lit, ok := stack[i].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		idx := -1
+		pos := 0
+		for _, field := range lit.Type.Params.List {
+			for _, name := range field.Names {
+				if info.Defs[name] == param {
+					idx = pos
+				}
+				pos++
+			}
+		}
+		if idx < 0 {
+			return nil, 0 // param belongs to an outer function: stop at innermost literal
+		}
+		if i == 0 {
+			return nil, 0
+		}
+		assign, ok := stack[i-1].(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 || assign.Rhs[0] != lit {
+			return nil, 0
+		}
+		lhs, ok := assign.Lhs[0].(*ast.Ident)
+		if !ok {
+			return nil, 0
+		}
+		if v, _ := info.Defs[lhs].(*types.Var); v != nil {
+			return v, idx
+		}
+		if v, _ := info.Uses[lhs].(*types.Var); v != nil {
+			return v, idx
+		}
+		return nil, 0
+	}
+	return nil, 0
+}
+
+// constString returns the constant string value of an expression, if any.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// metricNameRE matches a backticked metric family, optionally with a
+// `{label=...}` suffix, e.g. `engine_commits_total{engine=...}`.
+var metricNameRE = regexp.MustCompile("`([a-z][a-z0-9_]*)(?:\\{[^`}]*\\})?`")
+
+// docMetricMentions returns every family name mentioned (backticked)
+// anywhere in the doc.
+func docMetricMentions(doc *DocFile) map[string]bool {
+	mentioned := make(map[string]bool)
+	for _, m := range metricNameRE.FindAllStringSubmatch(doc.Content, -1) {
+		mentioned[m[1]] = true
+	}
+	return mentioned
+}
+
+// docMetricTableRows extracts the first-column family names from reference
+// tables whose first header cell is "Metric" (name -> row position). Other
+// tables (label taxonomies, configuration switches) are not metric rows.
+func docMetricTableRows(doc *DocFile) map[string]token.Pos {
+	rows := make(map[string]token.Pos)
+	inTable := false
+	for i, line := range doc.Lines {
+		t := strings.TrimSpace(line)
+		if !strings.HasPrefix(t, "|") {
+			inTable = false
+			continue
+		}
+		cells := strings.Split(t, "|")
+		if len(cells) < 2 {
+			continue
+		}
+		first := strings.TrimSpace(cells[1])
+		if !inTable {
+			inTable = first == "Metric"
+			continue
+		}
+		if strings.HasPrefix(first, "---") || first == "" {
+			continue
+		}
+		m := metricNameRE.FindStringSubmatch(first)
+		if m == nil || !strings.HasPrefix(first, "`") {
+			continue
+		}
+		name := m[1]
+		if _, ok := rows[name]; !ok {
+			col := strings.Index(line, "`"+name) + 2
+			rows[name] = doc.Pos(i+1, col)
+		}
+	}
+	return rows
+}

@@ -1,7 +1,11 @@
 package analysis
 
-// All returns the full suite of concurrency-discipline analyzers, in the
-// order cmd/cicada-lint runs them.
+// All returns the full analyzer suite, in the order cmd/cicada-lint runs
+// them: first the four intra-function concurrency-discipline passes, then
+// the four whole-program guardrails.
 func All() []*Analyzer {
-	return []*Analyzer{MixedAtomic, StatusOrder, LocksDiscipline, NakedSpin}
+	return []*Analyzer{
+		MixedAtomic, StatusOrder, LocksDiscipline, NakedSpin,
+		HotPathAlloc, LockOrder, FailpointCover, MetricDrift,
+	}
 }

@@ -1,0 +1,27 @@
+// Fixture fault package: a miniature of the real registry surface — a Site
+// type, the constant catalog, Sites(), and the two hook functions.
+package fault
+
+import "io"
+
+// Site names one failpoint.
+type Site string
+
+const (
+	WALAppend Site = "wal/append"
+	WALSync   Site = "wal/sync"
+	Orphan    Site = "wal/orphan"    // want `failpoint "wal/orphan" is declared but never passed to a fault hook`
+	NoCatalog Site = "wal/nocatalog" // want `failpoint "wal/nocatalog" is declared but missing from the Sites\(\) catalog function`
+)
+
+// Sites returns the catalog (deliberately missing NoCatalog).
+func Sites() []Site { return []Site{WALAppend, WALSync, Orphan} }
+
+// Inject fires the failpoint, if armed.
+func Inject(site Site) error { _ = site; return nil }
+
+// Write is the hooked write path.
+func Write(site Site, w io.Writer, buf []byte) (int, error) {
+	_ = site
+	return w.Write(buf)
+}

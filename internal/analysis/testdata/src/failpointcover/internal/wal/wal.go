@@ -1,0 +1,63 @@
+// Fixture WAL package: hook-dominated I/O (direct and interprocedural),
+// undominated I/O, and a hook called with an undeclared site name.
+package wal
+
+import (
+	"bufio"
+	"os"
+
+	"failpointcover/internal/fault"
+)
+
+// appendRecord routes the write through the hook itself: covered.
+func appendRecord(f *os.File, buf []byte) error {
+	_, err := fault.Write(fault.WALAppend, f, buf)
+	return err
+}
+
+// syncLog hooks before the fsync: covered.
+func syncLog(f *os.File) error {
+	if err := fault.Inject(fault.WALSync); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// rotate has no hook at all: both I/O sites are uncrashable.
+func rotate(f *os.File) error {
+	if err := f.Sync(); err != nil { // want `\(\*os.File\).Sync in rotate is not dominated by a fault hook`
+		return err
+	}
+	return os.Rename("log.old", "log") // want `os.Rename in rotate is not dominated by a fault hook`
+}
+
+// syncDir has no local hook but every caller hooks first: covered
+// interprocedurally.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// checkpoint hooks (with a site that is not in the declared catalog), then
+// flushes and fsyncs the directory through the helper.
+func checkpoint(w *bufio.Writer, dir string) error {
+	if err := fault.Inject("wal/undeclared"); err != nil { // want `fault hook uses site "wal/undeclared" which is not a declared Site constant`
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// purge hooks NoCatalog so the constant counts as used.
+func purge(path string) error {
+	if err := fault.Inject(fault.NoCatalog); err != nil {
+		return err
+	}
+	return os.Remove(path)
+}

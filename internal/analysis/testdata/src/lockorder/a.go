@@ -1,0 +1,84 @@
+// Fixture for the lockorder analyzer: inconsistent cross-lock acquisition
+// order (direct and through a helper call), hand-over-hand self-cycles, and
+// the goroutine-body exemption.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+var (
+	a A
+	b B
+)
+
+// lockAB acquires A then B: one half of the cycle.
+func lockAB() {
+	a.mu.Lock()
+	b.mu.Lock() // want `lock-order cycle: lockorder.B.mu acquired in lockAB while lockorder.A.mu is held`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// lockBA acquires B, then reaches A through a helper: the other half,
+// witnessed at the call edge.
+func lockBA() {
+	b.mu.Lock()
+	helperLockA() // want `lock-order cycle: lockorder.A.mu acquired in lockBA while lockorder.B.mu is held`
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func helperLockA() {
+	a.mu.Lock()
+}
+
+type node struct{ mu sync.Mutex }
+
+// handOverHand re-acquires the same lock class while holding an instance.
+func handOverHand(n, m *node) {
+	n.mu.Lock()
+	m.mu.Lock() // want `lock lockorder.node.mu acquired in handOverHand while an instance of the same lock class may already be held`
+	n.mu.Unlock()
+	m.mu.Unlock()
+}
+
+type link struct{ mu sync.Mutex }
+
+// handOverHandSorted is the same shape with a reviewed suppression.
+func handOverHandSorted(n, m *link) {
+	n.mu.Lock()
+	m.mu.Lock() //lint:allow lockorder links are locked in ascending address order
+	n.mu.Unlock()
+	m.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+var (
+	c C
+	d D
+)
+
+// spawnOrder locks D inside a spawned goroutine while C is held: the
+// goroutine body runs on another goroutine, so no C→D edge exists and the
+// D→C order in lockDC is not a cycle.
+func spawnOrder() {
+	c.mu.Lock()
+	go func() {
+		d.mu.Lock()
+		d.mu.Unlock()
+	}()
+	c.mu.Unlock()
+}
+
+func lockDC() {
+	d.mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	d.mu.Unlock()
+}

@@ -1,0 +1,18 @@
+// Fixture registering package: documented and undocumented families,
+// directly and through a local helper closure.
+package app
+
+import "metricdrift/internal/telemetry"
+
+func register(reg *telemetry.Registry) {
+	reg.Counter("app_good_total", "documented counter")
+	reg.Gauge("app_missing_total", "undocumented gauge") // want `metric family "app_missing_total" is registered but never mentioned in docs/OBSERVABILITY.md`
+
+	// A local helper forwarding the family name: the analyzer propagates
+	// constants one level through it.
+	set := func(family, help string, v uint64) {
+		reg.CounterFunc(family, help, func() float64 { return float64(v) })
+	}
+	set("app_helper_total", "documented helper counter", 1)
+	set("app_helper_missing_total", "undocumented helper counter", 2) // want `metric family "app_helper_missing_total" is registered but never mentioned in docs/OBSERVABILITY.md`
+}

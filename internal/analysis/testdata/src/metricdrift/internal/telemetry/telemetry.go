@@ -1,0 +1,28 @@
+// Fixture telemetry package: just enough Registry surface for the
+// metricdrift analyzer to recognize registration calls.
+package telemetry
+
+// Label is one metric label pair.
+type Label struct{ Key, Value string }
+
+// Registry is the metric registry.
+type Registry struct{}
+
+// Counter registers a counter family.
+func (r *Registry) Counter(family, help string, labels ...Label) *Registry { _ = family; return r }
+
+// Gauge registers a gauge family.
+func (r *Registry) Gauge(family, help string, labels ...Label) *Registry { _ = family; return r }
+
+// Histogram registers a histogram family.
+func (r *Registry) Histogram(family, help string, labels ...Label) *Registry { _ = family; return r }
+
+// CounterFunc registers a pull-style counter.
+func (r *Registry) CounterFunc(family, help string, fn func() float64, labels ...Label) {
+	_, _ = family, fn
+}
+
+// GaugeFunc registers a pull-style gauge.
+func (r *Registry) GaugeFunc(family, help string, fn func() float64, labels ...Label) {
+	_, _ = family, fn
+}

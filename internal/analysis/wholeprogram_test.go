@@ -1,0 +1,231 @@
+package analysis_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cicada/internal/analysis"
+)
+
+// writeTree materializes a file map under a fresh temp directory.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// copyTree copies a fixture subtree into a fresh temp directory so a test
+// can mutate it.
+func copyTree(t *testing.T, src string) string {
+	t.Helper()
+	root := t.TempDir()
+	err := filepath.WalkDir(src, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil {
+			return err
+		}
+		dst := filepath.Join(root, rel)
+		if d.IsDir() {
+			return os.MkdirAll(dst, 0o755)
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(dst, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func runOn(t *testing.T, root, prefix string, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	l := &analysis.Loader{Root: root, Prefix: prefix}
+	prog, targets, err := l.Load("...")
+	if err != nil {
+		t.Fatalf("loading %s: %v", root, err)
+	}
+	diags, err := analysis.Run(prog, targets, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	return diags
+}
+
+func findDiag(diags []analysis.Diagnostic, substr string) *analysis.Diagnostic {
+	for i := range diags {
+		if strings.Contains(diags[i].Message, substr) {
+			return &diags[i]
+		}
+	}
+	return nil
+}
+
+const allocFixture = `package alloc
+
+//cicada:noalloc
+func Clean(x int) int { return x + 1 }
+
+// Escapes allocates a slice that outlives the call.
+//
+//cicada:noalloc
+func Escapes(n int) []int {
+	return make([]int, n)
+}
+`
+
+const allocFixtureFixed = `package alloc
+
+//cicada:noalloc
+func Clean(x int) int { return x + 1 }
+
+// Escapes no longer escapes.
+//
+//cicada:noalloc
+func Escapes(n int) []int {
+	_ = n
+	return nil
+}
+`
+
+// TestHotPathAllocRegression walks the full escape-gate lifecycle in a
+// throwaway module: a new escape in a //cicada:noalloc function fails, a
+// baseline entry without a justification still fails, a justified entry
+// passes, and removing the allocation turns the entry stale.
+func TestHotPathAllocRegression(t *testing.T) {
+	if _, err := os.Stat(filepath.Join(os.Getenv("GOROOT"), "bin")); err != nil && os.Getenv("GOROOT") != "" {
+		t.Skip("no go toolchain available")
+	}
+	root := writeTree(t, map[string]string{
+		"go.mod":         "module hotpathalloc\n\ngo 1.22\n",
+		"alloc/alloc.go": allocFixture,
+	})
+
+	diags := runOn(t, root, "hotpathalloc", analysis.HotPathAlloc)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic for the new escape, got %d: %v", len(diags), diags)
+	}
+	if d := findDiag(diags, "heap escape in //cicada:noalloc function hotpathalloc/alloc.Escapes"); d == nil {
+		t.Fatalf("unexpected diagnostic: %s", diags[0].Message)
+	}
+
+	// Sanction it: the generated entry carries a TODO reason, which the
+	// analyzer still flags.
+	l := &analysis.Loader{Root: root, Prefix: "hotpathalloc"}
+	prog, targets, err := l.Load("...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := analysis.UpdateEscapeBaseline(prog, targets); err != nil {
+		t.Fatal(err)
+	}
+	diags = runOn(t, root, "hotpathalloc", analysis.HotPathAlloc)
+	if d := findDiag(diags, "baselined without a justification"); d == nil || len(diags) != 1 {
+		t.Fatalf("want exactly the missing-justification diagnostic, got %v", diags)
+	}
+
+	// Justify it: clean.
+	basePath := filepath.Join(root, analysis.EscapeBaselinePath)
+	data, err := os.ReadFile(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline analysis.EscapeBaseline
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline.Entries) != 1 {
+		t.Fatalf("want 1 baseline entry, got %d", len(baseline.Entries))
+	}
+	baseline.Entries[0].Reason = "fixture: deliberate escape"
+	data, err = json.Marshal(&baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(basePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if diags = runOn(t, root, "hotpathalloc", analysis.HotPathAlloc); len(diags) != 0 {
+		t.Fatalf("want clean after justification, got %v", diags)
+	}
+
+	// Remove the allocation: the sanctioned entry is now stale.
+	if err := os.WriteFile(filepath.Join(root, "alloc/alloc.go"), []byte(allocFixtureFixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags = runOn(t, root, "hotpathalloc", analysis.HotPathAlloc)
+	if d := findDiag(diags, "stale escape baseline entry"); d == nil || len(diags) != 1 {
+		t.Fatalf("want exactly the stale-entry diagnostic, got %v", diags)
+	}
+}
+
+// TestFailpointCoverDocDrift mutates the failpointcover fixture's
+// DURABILITY.md and checks both doc directions, with findings positioned in
+// the markdown file itself.
+func TestFailpointCoverDocDrift(t *testing.T) {
+	root := copyTree(t, filepath.Join("testdata", "src", "failpointcover"))
+	docPath := filepath.Join(root, "docs", "DURABILITY.md")
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := strings.Replace(string(data), "| `wal/orphan` | reserved for rotation |\n", "", 1)
+	doc += "| `wal/ghost` | never existed |\n"
+	if err := os.WriteFile(docPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := runOn(t, root, "failpointcover", analysis.FailpointCover)
+	missing := findDiag(diags, `failpoint "wal/orphan" is not listed in the docs/DURABILITY.md catalog table`)
+	if missing == nil {
+		t.Errorf("missing-from-doc direction did not fire: %v", diags)
+	}
+	ghost := findDiag(diags, `documented failpoint "wal/ghost" does not exist`)
+	if ghost == nil {
+		t.Errorf("stale-doc-entry direction did not fire: %v", diags)
+	} else if !strings.HasSuffix(ghost.Pos.Filename, "DURABILITY.md") {
+		t.Errorf("stale-doc finding should point into the markdown file, got %s", ghost.Pos)
+	}
+}
+
+// TestMetricDriftDocStale appends a stale reference-table row to the
+// metricdrift fixture's OBSERVABILITY.md and checks the doc → code
+// direction reports it at the markdown position.
+func TestMetricDriftDocStale(t *testing.T) {
+	root := copyTree(t, filepath.Join("testdata", "src", "metricdrift"))
+	docPath := filepath.Join(root, "docs", "OBSERVABILITY.md")
+	f, err := os.OpenFile(docPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\n| Metric | Meaning |\n|---|---|\n| `app_stale_total` | Gone. |\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	diags := runOn(t, root, "metricdrift", analysis.MetricDrift)
+	stale := findDiag(diags, `documented metric "app_stale_total" is not registered`)
+	if stale == nil {
+		t.Fatalf("stale-row direction did not fire: %v", diags)
+	}
+	if !strings.HasSuffix(stale.Pos.Filename, "OBSERVABILITY.md") {
+		t.Errorf("stale-row finding should point into the markdown file, got %s", stale.Pos)
+	}
+}

@@ -388,6 +388,8 @@ func (w *Worker) BeginRO() *Txn {
 // Run executes fn inside a read-write transaction, retrying on ErrAborted
 // with the engine's contention regulation. Any other error from fn aborts
 // the transaction and is returned.
+//
+//cicada:noalloc
 func (w *Worker) Run(fn func(t *Txn) error) error {
 	for {
 		start := time.Now()
@@ -421,6 +423,8 @@ func (w *Worker) Run(fn func(t *Txn) error) error {
 // order. The paper reports roughly 100 µs of added latency; other pending
 // transactions continue during the wait. All workers must keep running
 // maintenance (Run/RunRO/Idle) or min_wts cannot advance.
+//
+//cicada:noalloc
 func (w *Worker) RunExternal(fn func(t *Txn) error) error {
 	for {
 		start := time.Now()
@@ -462,6 +466,8 @@ func (w *Worker) ObserveTimestamp(ts clock.Timestamp) {
 
 // RunRO executes fn inside a read-only transaction. Read-only transactions
 // cannot abort due to conflicts.
+//
+//cicada:noalloc
 func (w *Worker) RunRO(fn func(t *Txn) error) error {
 	start := time.Now()
 	t := w.BeginRO()

@@ -44,6 +44,8 @@ func (o *ownTable) init(capacity int) {
 }
 
 // reset prepares the table for a new transaction in O(1).
+//
+//cicada:noalloc
 func (o *ownTable) reset() {
 	o.gen++
 	if o.gen == 0 {
@@ -54,11 +56,14 @@ func (o *ownTable) reset() {
 	o.live, o.tombs = 0, 0
 }
 
+//cicada:noalloc
 func (o *ownTable) slot(key uint64) int {
 	return int((key * 0x9E3779B97F4A7C15) >> o.shift)
 }
 
 // get returns the access index stored for key.
+//
+//cicada:noalloc
 func (o *ownTable) get(key uint64) (int, bool) {
 	mask := len(o.keys) - 1
 	for s := o.slot(key); ; s = (s + 1) & mask {
@@ -72,6 +77,8 @@ func (o *ownTable) get(key uint64) (int, bool) {
 }
 
 // put inserts or overwrites key → idx.
+//
+//cicada:noalloc
 func (o *ownTable) put(key uint64, idx int) {
 	if (o.live+o.tombs+1)*4 >= len(o.keys)*3 {
 		o.grow()
@@ -107,6 +114,8 @@ func (o *ownTable) put(key uint64, idx int) {
 }
 
 // del removes key, leaving a tombstone so probe chains stay intact.
+//
+//cicada:noalloc
 func (o *ownTable) del(key uint64) {
 	mask := len(o.keys) - 1
 	for s := o.slot(key); ; s = (s + 1) & mask {
@@ -123,6 +132,8 @@ func (o *ownTable) del(key uint64) {
 }
 
 // grow doubles the table and rehashes the current generation's live entries.
+//
+//cicada:noalloc
 func (o *ownTable) grow() {
 	oldKeys, oldIdxs, oldGens, oldGen := o.keys, o.idxs, o.gens, o.gen
 	o.init(len(oldKeys)) // init doubles: size < cap*2 → 2*len

@@ -94,10 +94,12 @@ type TxnHook interface {
 	TxnAborted(t *Txn)
 }
 
+//cicada:noalloc
 func ownKey(tbl TableID, rid storage.RecordID) uint64 {
 	return uint64(tbl)<<48 | uint64(rid)&0xffffffffffff
 }
 
+//cicada:noalloc
 func (t *Txn) begin(ts clock.Timestamp, readOnly bool) {
 	t.ts = ts
 	t.readOnly = readOnly
@@ -135,6 +137,8 @@ func (t *Txn) Engine() *Engine { return t.eng }
 // ts (§3.2). It spin-waits on PENDING versions (or speculatively skips them
 // with Options.NoWaitPending) and restarts if it observes evidence of a
 // recycled node (out-of-order wts or an UNUSED inline slot).
+//
+//cicada:noalloc
 func (t *Txn) searchVisible(h *storage.Head) (visible, later *storage.Version) {
 	noWait := t.eng.opts.NoWaitPending
 	waitLimit := t.eng.opts.PendingWaitLimit
@@ -192,6 +196,8 @@ restart:
 // resumeSearch re-runs the visibility search during validation, resuming
 // from the access's remembered laterVer when possible (§3.5 incremental
 // version search). It skips the transaction's own pending version.
+//
+//cicada:noalloc
 func (t *Txn) resumeSearch(a *access) (visible *storage.Version) {
 	h := a.tbl.st.Head(a.rid)
 	if h == nil {
@@ -261,6 +267,8 @@ restart:
 // hasCommittedOrPendingLater reports whether a version later than tx.ts that
 // is COMMITTED or PENDING exists above the given access's visible version.
 // Used by the write-latest-version-only early abort rule for RMW (§3.2).
+//
+//cicada:noalloc
 func laterBlocksRMW(h *storage.Head, ts clock.Timestamp, ownNew *storage.Version) bool {
 	for v := h.Latest(); v != nil; v = v.Next() {
 		if v.WTS <= ts {
@@ -281,6 +289,8 @@ func laterBlocksRMW(h *storage.Head, ts clock.Timestamp, ownNew *storage.Version
 // are conflict aborts: they count toward the abort statistics, grant the
 // temporary clock boost, and reset the adaptive-skip streak, exactly like
 // validation-phase aborts.
+//
+//cicada:noalloc
 func (t *Txn) abortNow(reason AbortReason) error {
 	t.rollbackCC(reason)
 	return ErrAborted
@@ -291,6 +301,8 @@ func (t *Txn) abortNow(reason AbortReason) error {
 // finishes and must not be modified (record data is immutable once
 // committed, so no local copy or re-validation read is needed — Cicada has
 // no "extra reads", §2.1/§3.2).
+//
+//cicada:noalloc
 func (t *Txn) Read(tbl *Table, rid storage.RecordID) ([]byte, error) {
 	if !t.active {
 		return nil, ErrTxnClosed
@@ -336,6 +348,8 @@ func (t *Txn) Read(tbl *Table, rid storage.RecordID) ([]byte, error) {
 
 // trackRead records a read-set entry (including absent reads, which are
 // validated against later inserts).
+//
+//cicada:noalloc
 func (t *Txn) trackRead(tbl *Table, rid storage.RecordID, visible, later *storage.Version) {
 	t.accesses = append(t.accesses, access{
 		tbl: tbl, rid: rid, kind: accRead, readVer: visible, laterVer: later,
@@ -349,6 +363,8 @@ func (t *Txn) trackRead(tbl *Table, rid storage.RecordID, visible, later *storag
 // inlining promotion write (§3.3). Conditions: the version is early enough
 // ((v.wts) < min_rts, so concurrent writes are rare), it is the latest
 // version, and the inline slot is free.
+//
+//cicada:noalloc
 func (t *Txn) maybePromote(tbl *Table, h *storage.Head, rid storage.RecordID, v *storage.Version) {
 	if !tbl.st.Inlining() || v.Inline() || len(v.Data) > storage.InlineSize {
 		return
@@ -375,6 +391,8 @@ func (t *Txn) maybePromote(tbl *Table, h *storage.Head, rid storage.RecordID, v 
 
 // stage prepares a new local version of size bytes for the record, trying
 // the inline slot first (§3.3).
+//
+//cicada:noalloc
 func (t *Txn) stage(h *storage.Head, size int) *storage.Version {
 	if h != nil && t.eng.opts.Inlining {
 		if v, ok := h.TryAcquireInline(size); ok {
@@ -385,6 +403,8 @@ func (t *Txn) stage(h *storage.Head, size int) *storage.Version {
 }
 
 // unstage releases a staged version that was never installed.
+//
+//cicada:noalloc
 func (t *Txn) unstage(h *storage.Head, v *storage.Version) {
 	if v == nil {
 		return
@@ -400,6 +420,8 @@ func (t *Txn) unstage(h *storage.Head, v *storage.Version) {
 // previous value, so no read dependency is recorded and the version may
 // commit below a later committed version (§3.4 note on write-only
 // operations). It returns a writable buffer for the new record data.
+//
+//cicada:noalloc
 func (t *Txn) Write(tbl *Table, rid storage.RecordID, size int) ([]byte, error) {
 	if !t.active {
 		return nil, ErrTxnClosed
@@ -451,6 +473,8 @@ func (t *Txn) Write(tbl *Table, rid storage.RecordID, size int) ([]byte, error) 
 // restageOwn revises an existing own-write entry (write-after-write within
 // one transaction), resizing its staged buffer. The caller has verified the
 // entry is a write-type access.
+//
+//cicada:noalloc
 func (t *Txn) restageOwn(i, size int) ([]byte, error) {
 	a := &t.accesses[i]
 	nv := a.newVer
@@ -474,6 +498,8 @@ func (t *Txn) restageOwn(i, size int) ([]byte, error) {
 // initialized with a copy of the visible record data (resized to newSize if
 // newSize ≥ 0). The read dependency is recorded and the write-latest-
 // version-only early abort applies (§3.2).
+//
+//cicada:noalloc
 func (t *Txn) Update(tbl *Table, rid storage.RecordID, newSize int) ([]byte, error) {
 	if !t.active {
 		return nil, ErrTxnClosed
@@ -557,6 +583,8 @@ func (t *Txn) Update(tbl *Table, rid storage.RecordID, newSize int) ([]byte, err
 // Insert creates a new record and returns its ID plus a writable buffer for
 // its data. The record ID is private to the transaction until commit; on
 // abort it is reclaimed immediately without the ABA problem (§3.4).
+//
+//cicada:noalloc
 func (t *Txn) Insert(tbl *Table, size int) (storage.RecordID, []byte, error) {
 	if !t.active {
 		return storage.InvalidRecordID, nil, ErrTxnClosed
@@ -579,6 +607,8 @@ func (t *Txn) Insert(tbl *Table, size int) (storage.RecordID, []byte, error) {
 // Delete stages a record deletion: a zero-length version whose status
 // becomes DELETED on commit, letting garbage collection reclaim the record
 // ID (§3.2).
+//
+//cicada:noalloc
 func (t *Txn) Delete(tbl *Table, rid storage.RecordID) error {
 	if !t.active {
 		return ErrTxnClosed
@@ -651,6 +681,8 @@ func (t *Txn) Delete(tbl *Table, rid storage.RecordID) error {
 // ReadDirect reads a single record without a transaction (Appendix B).
 // Record data is always consistent in Cicada, so locating the visible
 // version at the worker's read timestamp needs no locking or local copy.
+//
+//cicada:noalloc
 func (w *Worker) ReadDirect(tbl *Table, rid storage.RecordID) ([]byte, bool) {
 	h := tbl.st.Head(rid)
 	if h == nil {

@@ -20,6 +20,8 @@ import (
 //  5. version consistency check
 //  6. logging
 //  7. write phase: flip PENDING → COMMITTED/DELETED
+//
+//cicada:noalloc
 func (t *Txn) Commit() error {
 	if !t.active {
 		return ErrTxnClosed
@@ -124,6 +126,8 @@ func (t *Txn) Commit() error {
 
 // checkAbortReason classifies a consistency-check failure: a pending-wait
 // timeout inside resumeSearch overrides the generic reason.
+//
+//cicada:noalloc
 func (t *Txn) checkAbortReason(generic AbortReason) AbortReason {
 	if t.pendingTimedOut {
 		return AbortPendingWait
@@ -131,6 +135,7 @@ func (t *Txn) checkAbortReason(generic AbortReason) AbortReason {
 	return generic
 }
 
+//cicada:noalloc
 func (t *Txn) runCommitHooks() {
 	for _, h := range t.hooks {
 		h.TxnCommitted(t)
@@ -138,6 +143,8 @@ func (t *Txn) runCommitHooks() {
 }
 
 // Abort rolls the transaction back at the application's request.
+//
+//cicada:noalloc
 func (t *Txn) Abort() {
 	if !t.active {
 		return
@@ -146,6 +153,8 @@ func (t *Txn) Abort() {
 }
 
 // failCommit records a concurrency-control abort and rolls back.
+//
+//cicada:noalloc
 func (t *Txn) failCommit(reason AbortReason) error {
 	t.rollbackCC(reason)
 	return ErrAborted
@@ -154,6 +163,8 @@ func (t *Txn) failCommit(reason AbortReason) error {
 // rollbackCC is a rollback caused by a conflict: it grants the clock boost,
 // resets the adaptive-skip streak, and feeds the abort taxonomy, latency
 // histogram, and flight recorder.
+//
+//cicada:noalloc
 func (t *Txn) rollbackCC(reason AbortReason) {
 	w := t.worker
 	w.stats.incAbort(reason)
@@ -186,6 +197,8 @@ func (t *Txn) rollbackCC(reason AbortReason) {
 // ABORTED (and are unlinked from the list head when possible); uninstalled
 // staged versions are deallocated for immediate reuse, which is safe because
 // they were never reachable (§3.4). Insert record IDs are reclaimed.
+//
+//cicada:noalloc
 func (t *Txn) rollback() {
 	w := t.worker
 	for _, i := range t.writes {
@@ -230,6 +243,7 @@ func (t *Txn) rollback() {
 // top-k entries are sorted (k=8), costing O(n·k).
 const contentionSortK = 8
 
+//cicada:noalloc
 func (t *Txn) sortWriteSetByContention() {
 	n := len(t.writes)
 	if n < 2 {
@@ -276,6 +290,8 @@ func (t *Txn) sortWriteSetByContention() {
 // failure it reports the abort reason (the write-latest rule or the rts
 // re-check). Installation is deadlock-free: insertion position is determined
 // by transaction timestamps, so no dependency cycle can form.
+//
+//cicada:noalloc
 func (t *Txn) install(a *access) (bool, AbortReason) {
 	h := a.tbl.st.Head(a.rid)
 	nv := a.newVer
@@ -340,6 +356,8 @@ func (t *Txn) install(a *access) (bool, AbortReason) {
 // firstCommitted returns the first COMMITTED or DELETED version at or below
 // v, without waiting on PENDING versions (they are handled by the
 // consistency check).
+//
+//cicada:noalloc
 func firstCommitted(v *storage.Version) *storage.Version {
 	for ; v != nil; v = v.Next() {
 		switch v.Status() {
@@ -356,6 +374,8 @@ func firstCommitted(v *storage.Version) *storage.Version {
 // tx.ts (§3.4). It is used both as the early precheck and as the required
 // final check; repeated searches resume from each access's later_version
 // (§3.5).
+//
+//cicada:noalloc
 func (t *Txn) checkVersionConsistency() bool {
 	for _, i := range t.reads {
 		a := &t.accesses[i]
@@ -393,6 +413,8 @@ func (t *Txn) checkVersionConsistency() bool {
 }
 
 // log hands the write and insert sets to the durability logger (§3.7).
+//
+//cicada:noalloc
 func (t *Txn) log(lg Logger) error {
 	t.logBuf = t.logBuf[:0]
 	for _, i := range t.writes {

@@ -381,6 +381,8 @@ func Enabled() bool { return active.Load() != nil }
 
 // Inject is the plain failpoint hook: nil unless an armed trigger at site
 // fires. With no registry enabled it is a single atomic load.
+//
+//cicada:noalloc
 func Inject(site Site) error {
 	r := active.Load()
 	if r == nil {
@@ -392,6 +394,8 @@ func Inject(site Site) error {
 // Write routes a write through the failpoint at site: with no registry it
 // is w.Write(buf); with one, an armed trigger may fail the write, write a
 // seed-chosen prefix (short/torn write), or crash the registry.
+//
+//cicada:noalloc
 func Write(site Site, w io.Writer, buf []byte) (int, error) {
 	r := active.Load()
 	if r == nil {

@@ -120,6 +120,8 @@ func (t *MVBTree) Table() *core.Table { return t.tbl }
 // root returns the root node record ID, or ok=false for an empty tree. The
 // meta read joins the read set, so a committed transaction's view of the
 // root is validated.
+//
+//cicada:noalloc
 func (t *MVBTree) root(tx *core.Txn) (storage.RecordID, bool, error) {
 	data, err := tx.Read(t.tbl, t.meta)
 	if errors.Is(err, core.ErrNotFound) {
@@ -135,6 +137,7 @@ func (t *MVBTree) root(tx *core.Txn) (storage.RecordID, bool, error) {
 	return storage.RecordID(v - 1), true, nil
 }
 
+//cicada:noalloc
 func (t *MVBTree) setRoot(tx *core.Txn, rid storage.RecordID) error {
 	buf, err := tx.Write(t.tbl, t.meta, 8)
 	if err != nil {
@@ -146,6 +149,8 @@ func (t *MVBTree) setRoot(tx *core.Txn, rid storage.RecordID) error {
 
 // descendToLeaf walks from the root to the leaf that would contain
 // (key, val), reading every node on the path inside tx.
+//
+//cicada:noalloc
 func (t *MVBTree) descendToLeaf(tx *core.Txn, key, val uint64) (storage.RecordID, []byte, error) {
 	rid, ok, err := t.root(tx)
 	if err != nil {
@@ -176,6 +181,8 @@ func (t *MVBTree) descendToLeaf(tx *core.Txn, key, val uint64) (storage.RecordID
 }
 
 // Get returns the first record ID with the given key.
+//
+//cicada:noalloc
 func (t *MVBTree) Get(tx *core.Txn, key uint64) (storage.RecordID, error) {
 	var out storage.RecordID
 	found := false
@@ -195,6 +202,8 @@ func (t *MVBTree) Get(tx *core.Txn, key uint64) (storage.RecordID, error) {
 // Scan visits pairs with lo ≤ key ≤ hi in (key, val) order until fn returns
 // false or limit entries are emitted (limit < 0 = unlimited). Every leaf
 // touched is in the read set, which precludes phantoms.
+//
+//cicada:noalloc
 func (t *MVBTree) Scan(tx *core.Txn, lo, hi uint64, limit int, fn func(key uint64, rid storage.RecordID) bool) error {
 	rid, data, err := t.descendToLeaf(tx, lo, 0)
 	if errors.Is(err, core.ErrNotFound) {
@@ -237,6 +246,8 @@ func (t *MVBTree) Scan(tx *core.Txn, lo, hi uint64, limit int, fn func(key uint6
 // Insert adds (key → rid). For a unique index it returns ErrDuplicate if key
 // already exists; it always returns ErrDuplicate for an exact (key, rid)
 // duplicate.
+//
+//cicada:noalloc
 func (t *MVBTree) Insert(tx *core.Txn, key uint64, rid storage.RecordID) error {
 	if t.unique {
 		if _, err := t.Get(tx, key); err == nil {
@@ -282,6 +293,8 @@ func (t *MVBTree) Insert(tx *core.Txn, key uint64, rid storage.RecordID) error {
 
 // insertRec inserts into the subtree rooted at rid; on a split it returns
 // the separator and the new right sibling's record ID.
+//
+//cicada:noalloc
 func (t *MVBTree) insertRec(tx *core.Txn, rid storage.RecordID, key, val uint64) (sepK, sepV uint64, right storage.RecordID, split bool, err error) {
 	data, err := tx.Read(t.tbl, rid)
 	if err != nil {
@@ -368,6 +381,7 @@ func (t *MVBTree) insertRec(tx *core.Txn, rid storage.RecordID, key, val uint64)
 	return seps[mid][0], seps[mid][1], rightRid, true, nil
 }
 
+//cicada:noalloc
 func (t *MVBTree) insertLeaf(tx *core.Txn, rid storage.RecordID, data []byte, key, val uint64) (sepK, sepV uint64, right storage.RecordID, split bool, err error) {
 	n := nodeN(data)
 	pos := 0
@@ -435,6 +449,8 @@ func (t *MVBTree) insertLeaf(tx *core.Txn, rid storage.RecordID, data []byte, ke
 
 // Delete removes (key → rid); ErrNotFound if absent. Leaves are never
 // merged (lazy deletion).
+//
+//cicada:noalloc
 func (t *MVBTree) Delete(tx *core.Txn, key uint64, rid storage.RecordID) error {
 	leafRid, data, err := t.descendToLeaf(tx, key, uint64(rid))
 	if errors.Is(err, core.ErrNotFound) {

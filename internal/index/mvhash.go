@@ -74,6 +74,7 @@ func NewMVHash(e *core.Engine, name string, capacityHint int, unique bool) *MVHa
 // Table exposes the backing table (for inspection in tests/benchmarks).
 func (h *MVHash) Table() *core.Table { return h.tbl }
 
+//cicada:noalloc
 func (h *MVHash) bucket(key uint64) storage.RecordID {
 	return storage.RecordID((key * 0x9E3779B97F4A7C15) & (h.buckets - 1))
 }
@@ -102,6 +103,8 @@ func setBucketPair(b []byte, i int, key uint64, rid storage.RecordID) {
 }
 
 // Get returns the first record ID for key.
+//
+//cicada:noalloc
 func (h *MVHash) Get(tx *core.Txn, key uint64) (storage.RecordID, error) {
 	cur := h.bucket(key)
 	for {
@@ -127,6 +130,8 @@ func (h *MVHash) Get(tx *core.Txn, key uint64) (storage.RecordID, error) {
 }
 
 // GetAll appends every record ID for key to dst.
+//
+//cicada:noalloc
 func (h *MVHash) GetAll(tx *core.Txn, key uint64, dst []storage.RecordID) ([]storage.RecordID, error) {
 	cur := h.bucket(key)
 	for {
@@ -153,6 +158,8 @@ func (h *MVHash) GetAll(tx *core.Txn, key uint64, dst []storage.RecordID) ([]sto
 
 // Insert adds (key → rid), allocating overflow buckets as needed. For a
 // unique index it returns ErrDuplicate if the key exists.
+//
+//cicada:noalloc
 func (h *MVHash) Insert(tx *core.Txn, key uint64, rid storage.RecordID) error {
 	cur := h.bucket(key)
 	for {
@@ -215,6 +222,8 @@ func (h *MVHash) Insert(tx *core.Txn, key uint64, rid storage.RecordID) error {
 }
 
 // Delete removes (key → rid); ErrNotFound if the pair is absent.
+//
+//cicada:noalloc
 func (h *MVHash) Delete(tx *core.Txn, key uint64, rid storage.RecordID) error {
 	cur := h.bucket(key)
 	for {

@@ -42,6 +42,7 @@ func NewHash(capacity int) *Hash {
 	return h
 }
 
+//cicada:noalloc
 func (h *Hash) shard(key uint64) *hashShard {
 	// Fibonacci hashing spreads sequential keys across shards.
 	return &h.shards[(key*0x9E3779B97F4A7C15)>>56%hashShards]
@@ -49,6 +50,8 @@ func (h *Hash) shard(key uint64) *hashShard {
 
 // Get returns the first record ID for key. On a miss it returns the shard's
 // stamp so the caller can validate the absence at commit.
+//
+//cicada:noalloc
 func (h *Hash) Get(key uint64) (rid engine.RecordID, ok bool, stamp uint64) {
 	s := h.shard(key)
 	s.mu.RLock()
@@ -63,6 +66,8 @@ func (h *Hash) Get(key uint64) (rid engine.RecordID, ok bool, stamp uint64) {
 }
 
 // GetAll appends all record IDs for key to dst.
+//
+//cicada:noalloc
 func (h *Hash) GetAll(key uint64, dst []engine.RecordID) []engine.RecordID {
 	s := h.shard(key)
 	s.mu.RLock()
@@ -72,11 +77,15 @@ func (h *Hash) GetAll(key uint64, dst []engine.RecordID) []engine.RecordID {
 }
 
 // Stamp returns the current stamp of key's shard.
+//
+//cicada:noalloc
 func (h *Hash) Stamp(key uint64) uint64 {
 	return h.shard(key).stamp.Load()
 }
 
 // Insert adds (key → rid).
+//
+//cicada:noalloc
 func (h *Hash) Insert(key uint64, rid engine.RecordID) {
 	s := h.shard(key)
 	s.mu.Lock()
@@ -86,6 +95,8 @@ func (h *Hash) Insert(key uint64, rid engine.RecordID) {
 }
 
 // Delete removes (key → rid); it reports whether the pair existed.
+//
+//cicada:noalloc
 func (h *Hash) Delete(key uint64, rid engine.RecordID) bool {
 	s := h.shard(key)
 	s.mu.Lock()

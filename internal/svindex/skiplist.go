@@ -38,6 +38,8 @@ type slNode struct {
 }
 
 // less orders nodes by (key, rid) with head < everything < tail.
+//
+//cicada:noalloc
 func (n *slNode) less(key uint64, rid engine.RecordID) bool {
 	if n.isHead {
 		return true
@@ -48,6 +50,7 @@ func (n *slNode) less(key uint64, rid engine.RecordID) bool {
 	return n.key < key || (n.key == key && n.rid < rid)
 }
 
+//cicada:noalloc
 func (n *slNode) equals(key uint64, rid engine.RecordID) bool {
 	return !n.isHead && !n.isTail && n.key == key && n.rid == rid
 }
@@ -69,6 +72,8 @@ func NewSkipList() *SkipList {
 
 // randomLevel draws a geometric level using a shared xorshift state; the
 // occasional lost race on the seed only perturbs the distribution.
+//
+//cicada:noalloc
 func (s *SkipList) randomLevel() int {
 	x := s.seed.Load()
 	x ^= x << 13
@@ -85,6 +90,8 @@ func (s *SkipList) randomLevel() int {
 
 // find fills preds/succs for (key, rid) and returns the level at which an
 // exact match was found, or -1.
+//
+//cicada:noalloc
 func (s *SkipList) find(key uint64, rid engine.RecordID, preds, succs *[slMaxLevel]*slNode) int {
 	found := -1
 	pred := s.head
@@ -104,6 +111,8 @@ func (s *SkipList) find(key uint64, rid engine.RecordID, preds, succs *[slMaxLev
 }
 
 // Insert adds (key, rid); it reports false if the pair already exists.
+//
+//cicada:noalloc
 func (s *SkipList) Insert(key uint64, rid engine.RecordID) bool {
 	topLevel := s.randomLevel()
 	var preds, succs [slMaxLevel]*slNode
@@ -157,6 +166,8 @@ func (s *SkipList) Insert(key uint64, rid engine.RecordID) bool {
 }
 
 // Delete removes (key, rid); it reports whether the pair existed.
+//
+//cicada:noalloc
 func (s *SkipList) Delete(key uint64, rid engine.RecordID) bool {
 	var preds, succs [slMaxLevel]*slNode
 	var victim *slNode
@@ -220,18 +231,24 @@ type NodeStamp struct {
 }
 
 // Valid reports whether the node's stamp is unchanged since the observation.
+//
+//cicada:noalloc
 func (o NodeStamp) Valid() bool { return o.node.stamp.Load() == o.stamp }
 
 // Refresh returns the observation re-taken at the node's current stamp. It
 // is used after a transaction's own index updates so they do not invalidate
 // its own earlier observations (Silo treats own node modifications the same
 // way).
+//
+//cicada:noalloc
 func (o NodeStamp) Refresh() NodeStamp {
 	return NodeStamp{node: o.node, stamp: o.node.stamp.Load()}
 }
 
 // Get returns the first record ID with the given key. On a miss, obs
 // receives the stamp of the node preceding where the key would be.
+//
+//cicada:noalloc
 func (s *SkipList) Get(key uint64, obs *[]NodeStamp) (engine.RecordID, bool) {
 	pred := s.head
 	for level := slMaxLevel - 1; level >= 0; level-- {
@@ -256,6 +273,8 @@ func (s *SkipList) Get(key uint64, obs *[]NodeStamp) (engine.RecordID, bool) {
 // limit entries have been emitted (limit < 0 = unlimited). When obs is
 // non-nil, the stamps of the visited nodes — including the predecessor of lo
 // and the first node beyond hi — are recorded for phantom validation.
+//
+//cicada:noalloc
 func (s *SkipList) Scan(lo, hi uint64, limit int, obs *[]NodeStamp, fn func(key uint64, rid engine.RecordID) bool) {
 	pred := s.head
 	for level := slMaxLevel - 1; level >= 0; level-- {

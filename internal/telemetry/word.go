@@ -13,17 +13,23 @@ import "sync/atomic"
 
 // OwnerAddUint64 adds d to a single-writer word with an atomic load/store
 // pair. Only the word's owning goroutine may call it.
+//
+//cicada:noalloc
 func OwnerAddUint64(p *uint64, d uint64) {
 	atomic.StoreUint64(p, atomic.LoadUint64(p)+d)
 }
 
 // OwnerIncUint64 adds one to a single-writer word. Owner-only.
+//
+//cicada:noalloc
 func OwnerIncUint64(p *uint64) {
 	atomic.StoreUint64(p, atomic.LoadUint64(p)+1)
 }
 
 // ReadUint64 atomically reads a word maintained by the owner-side helpers;
 // safe from any goroutine, may lag the owner by an in-flight update.
+//
+//cicada:noalloc
 func ReadUint64(p *uint64) uint64 {
 	return atomic.LoadUint64(p)
 }

@@ -73,7 +73,7 @@ func (m *Manager) Checkpoint() error {
 	binary.LittleEndian.PutUint32(hdr[0:], ckptMagic)
 	binary.LittleEndian.PutUint64(hdr[4:], uint64(snapTS))
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(m.eng.Tables())))
-	if _, err := w.Write(hdr[:]); err != nil {
+	if _, err := fault.Write(fault.CheckpointWrite, w, hdr[:]); err != nil {
 		f.Close()
 		return err
 	}
