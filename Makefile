@@ -6,9 +6,9 @@ GO ?= go
 # proof that the discipline holds. internal/wal and internal/fault ride
 # along too: logger goroutines, the group-commit path, and crash-freezing
 # registries are all cross-goroutine (docs/DURABILITY.md).
-RACE_PKGS = ./internal/core/... ./internal/clock/... ./internal/storage/... ./internal/telemetry/... ./internal/wal/... ./internal/fault/...
+RACE_PKGS = ./internal/core/... ./internal/clock/... ./internal/storage/... ./internal/telemetry/... ./internal/trace/... ./internal/wal/... ./internal/fault/...
 
-.PHONY: all build test lint vet check race bench bench-smoke bench-json telemetry-smoke torture docs-lint clean
+.PHONY: all build test lint vet check race bench bench-smoke bench-json telemetry-smoke trace-smoke torture docs-lint clean
 
 # Packages with the hot-path microbenchmarks and allocation-budget tests
 # (docs/PERFORMANCE.md).
@@ -26,9 +26,9 @@ vet:
 	$(GO) vet ./...
 
 # The full analyzer suite (see docs/STATIC_ANALYSIS.md): four intra-function
-# concurrency passes plus hotpathalloc, lockorder, failpointcover, and
-# metricdrift. Exits 1 on any finding, 2 on internal error; suppress only
-# with a reviewed //lint:allow marker.
+# concurrency passes plus hotpathalloc, lockorder, failpointcover,
+# metricdrift, and tracedrift. Exits 1 on any finding, 2 on internal error;
+# suppress only with a reviewed //lint:allow marker.
 lint:
 	$(GO) run ./cmd/cicada-lint ./...
 
@@ -51,11 +51,19 @@ bench-smoke:
 	$(GO) test -run 'TestAllocBudget|TestRepeated' $(BENCH_PKGS)
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem $(BENCH_PKGS)
 
-# Refresh the committed perf-trajectory seeds. Thread counts scale to the
-# machine; see docs/PERFORMANCE.md for how to read the files.
+# Refresh the committed perf-trajectory seeds: a multi-core thread sweep per
+# workload, with the tps-vs-threads curves folded into the reports'
+# "scalability" section; see docs/PERFORMANCE.md for how to read the files.
 bench-json:
-	$(GO) run ./cmd/cicada-bench -engines Cicada -ramp 200ms -measure 500ms -json BENCH_ycsb.json fig6a
-	$(GO) run ./cmd/cicada-bench -engines Cicada -ramp 200ms -measure 500ms -json BENCH_tpcc.json fig3c
+	$(GO) run ./cmd/cicada-bench -engines Cicada -ramp 200ms -measure 500ms -threads 1,2,4 -json BENCH_ycsb.json fig6a scaling
+	$(GO) run ./cmd/cicada-bench -engines Cicada -ramp 200ms -measure 500ms -threads 1,2,4 -json BENCH_tpcc.json fig3c
+
+# Benchmark-driven trace smoke: a short traced YCSB run whose -trace output
+# must be valid Chrome trace-event JSON with events and hot keys.
+trace-smoke:
+	$(GO) run ./cmd/cicada-bench -engines Cicada -ramp 100ms -measure 300ms -threads 2 -trace /tmp/cicada-trace-smoke.json fig6a
+	jq -e '.traceEvents | length > 0' /tmp/cicada-trace-smoke.json >/dev/null
+	jq -e '.cicadaContention.top_keys | length > 0' /tmp/cicada-trace-smoke.json >/dev/null
 
 # Telemetry-on vs telemetry-off throughput comparison; asserts the
 # regression stays under the smoke bound (see docs/OBSERVABILITY.md).

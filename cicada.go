@@ -29,6 +29,8 @@
 package cicada
 
 import (
+	"errors"
+	"io"
 	"net/http"
 	"time"
 
@@ -37,6 +39,7 @@ import (
 	"cicada/internal/index"
 	"cicada/internal/storage"
 	"cicada/internal/telemetry"
+	"cicada/internal/trace"
 	"cicada/internal/wal"
 )
 
@@ -87,6 +90,19 @@ type Config struct {
 	// keeps only its always-on outcome counters and skips all hot-path
 	// latency timing.
 	Telemetry bool
+	// Trace enables the per-worker transaction tracer (docs/OBSERVABILITY.md
+	// "Tracing"): sampled txn/phase/wait events and always-on abort events
+	// in fixed-size ring buffers, exported as Chrome trace-event JSON via
+	// WriteTrace or /debug/cicada-trace on MetricsHandler, plus a per-key
+	// contention report via Contention. Off by default; when off the engine
+	// adds no trace checks at all.
+	Trace bool
+	// TraceSampleEvery traces every Nth transaction per worker (aborts are
+	// always traced). 0 means the default of 64; 1 traces everything.
+	TraceSampleEvery int
+	// TraceBufferEvents is each worker ring's capacity in events
+	// (~48 B each). 0 means the default of 8192.
+	TraceBufferEvents int
 
 	// NoWaitPending, NoWriteLatestRule, NoSortWriteSet and NoPreCheck
 	// disable individual performance optimizations (Table 2 ablations).
@@ -103,9 +119,10 @@ func DefaultConfig(n int) Config {
 
 // DB is a Cicada database instance.
 type DB struct {
-	eng *core.Engine
-	wal *wal.Manager
-	reg *telemetry.Registry
+	eng    *core.Engine
+	wal    *wal.Manager
+	reg    *telemetry.Registry
+	tracer *trace.Tracer
 }
 
 // Open creates a database. Tables and indexes must be created before
@@ -131,6 +148,18 @@ func Open(cfg Config) *DB {
 	if cfg.Telemetry {
 		db.reg = telemetry.NewRegistry(cfg.Workers)
 		opts.Metrics = db.reg
+	}
+	if cfg.Trace {
+		db.tracer = trace.New(trace.Options{
+			Workers:     cfg.Workers,
+			Capacity:    cfg.TraceBufferEvents,
+			SampleEvery: cfg.TraceSampleEvery,
+		})
+		db.tracer.SetEnabled(true)
+		opts.Trace = db.tracer
+		if db.reg != nil {
+			db.tracer.RegisterMetrics(db.reg)
+		}
 	}
 	db.eng = core.NewEngine(opts)
 	return db
@@ -197,14 +226,49 @@ func (db *DB) Engine() *core.Engine { return db.eng }
 
 // MetricsHandler returns an http.Handler serving the database's metrics:
 // /metrics (Prometheus text), /debug/vars (expvar-style JSON), and
-// /debug/txntrace (recent aborted transactions, newest first). It returns
-// nil unless Config.Telemetry was set.
+// /debug/txntrace (recent aborted transactions, newest first). With
+// Config.Trace it additionally serves /debug/cicada-trace (Chrome
+// trace-event JSON; ?contention=1 for the hot-key report). It returns nil
+// unless Config.Telemetry was set.
 func (db *DB) MetricsHandler() http.Handler {
 	if db.reg == nil {
 		return nil
 	}
-	return telemetry.Handler(db.reg)
+	l := telemetry.NewLive()
+	l.Set(db.reg)
+	if db.tracer != nil {
+		l.Handle("/debug/cicada-trace", trace.Handler(db.tracer))
+	}
+	return l.Handler()
 }
+
+// WriteTrace writes the tracer's current contents as Chrome trace-event
+// JSON (loadable in Perfetto; the per-key contention report is embedded
+// under "cicadaContention"). It fails unless Config.Trace was set.
+func (db *DB) WriteTrace(w io.Writer) error {
+	if db.tracer == nil {
+		return errors.New("cicada: tracing not enabled (Config.Trace)")
+	}
+	return db.tracer.WriteChromeTrace(w)
+}
+
+// ContentionReport is the tracer's per-key heat attribution; see
+// docs/OBSERVABILITY.md "Tracing".
+type ContentionReport = trace.ContentionReport
+
+// Contention folds the trace's pending-wait and abort events into per-key
+// heat and returns the top-k keys (k ≤ 0 selects the default of 16). It
+// returns a zero report unless Config.Trace was set.
+func (db *DB) Contention(k int) ContentionReport {
+	if db.tracer == nil {
+		return ContentionReport{}
+	}
+	return db.tracer.Contention(k)
+}
+
+// Tracer exposes the internal tracer for benchmarks within this module; nil
+// unless Config.Trace was set.
+func (db *DB) Tracer() *trace.Tracer { return db.tracer }
 
 // MetricValues returns a flat snapshot of every metric, labels folded into
 // the key (see docs/OBSERVABILITY.md for the name list). It returns nil

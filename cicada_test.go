@@ -1,8 +1,13 @@
 package cicada_test
 
 import (
+	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -215,5 +220,85 @@ func TestPublicAPIConcurrentWorkers(t *testing.T) {
 	}
 	if got := binary.LittleEndian.Uint64(d); got != workers*per {
 		t.Fatalf("counter %d, want %d", got, workers*per)
+	}
+}
+
+func TestPublicAPITracing(t *testing.T) {
+	cfg := cicada.DefaultConfig(2)
+	cfg.Telemetry = true
+	cfg.Trace = true
+	cfg.TraceSampleEvery = 1
+	db := cicada.Open(cfg)
+	tbl := db.CreateTable("traced")
+
+	w := db.Worker(0)
+	var rid cicada.RecordID
+	if err := w.Run(func(tx *cicada.Txn) error {
+		id, buf, err := tx.Insert(tbl, 8)
+		if err != nil {
+			return err
+		}
+		rid = id
+		binary.LittleEndian.PutUint64(buf, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := w.Run(func(tx *cicada.Txn) error {
+			buf, err := tx.Update(tbl, rid, -1)
+			if err != nil {
+				return err
+			}
+			binary.LittleEndian.PutUint64(buf, binary.LittleEndian.Uint64(buf)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := db.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteTrace output is not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("WriteTrace emitted no events at 1/1 sampling")
+	}
+
+	// The contention report is well-formed even with no conflicts recorded.
+	rep := db.Contention(4)
+	if rep.TotalWaitNs < 0 || len(rep.TopKeys) > 4 {
+		t.Fatalf("contention report %+v", rep)
+	}
+
+	// MetricsHandler mounts the trace endpoint alongside /metrics.
+	srv := httptest.NewServer(db.MetricsHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/cicada-trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/cicada-trace status %d", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte("traceEvents")) {
+		t.Fatalf("trace endpoint body lacks traceEvents: %.120s", body)
+	}
+
+	// Without Config.Trace, the trace surface degrades explicitly.
+	plain := cicada.Open(cicada.DefaultConfig(1))
+	if err := plain.WriteTrace(io.Discard); err == nil {
+		t.Fatal("WriteTrace on an untraced DB should fail")
+	}
+	if rep := plain.Contention(4); len(rep.TopKeys) != 0 {
+		t.Fatalf("untraced Contention returned keys: %+v", rep)
 	}
 }

@@ -9,7 +9,7 @@
 //
 // Experiments: fig3a fig3b fig3c fig4a fig4b fig4c fig5a fig5b fig5c
 // fig6a fig6b fig6c fig7 fig8 fig9 fig10 fig11a fig11b fig11c fig11d
-// table2 scan staleness rts tatp all
+// table2 scan staleness rts tatp scaling all
 //
 // The default scale fits a small machine; -full selects paper-scale data
 // sizes (10 M-record YCSB, 100 k-item TPC-C). EXPERIMENTS.md documents the
@@ -28,6 +28,7 @@ import (
 
 	"cicada/internal/bench"
 	"cicada/internal/telemetry"
+	"cicada/internal/trace"
 )
 
 func main() {
@@ -43,6 +44,14 @@ func main() {
 		sizes   = flag.String("record-sizes", "", "comma-separated Figure 8 record sizes")
 		metrics = flag.String("metrics-addr", "", "serve live metrics on this address (/metrics, /debug/vars, /debug/txntrace) and export per-trial telemetry")
 		telFlag = flag.Bool("telemetry", false, "collect per-trial telemetry without serving HTTP")
+
+		tracePath   = flag.String("trace", "", "trace sampled transactions and write the last trial's events as Chrome trace-event JSON (load in Perfetto; docs/OBSERVABILITY.md)")
+		traceSample = flag.Int("trace-sample", 0, "trace every Nth transaction per worker (default 64; aborts are always traced)")
+		traceBuffer = flag.Int("trace-buffer", 0, "per-worker trace ring capacity in events (default 8192)")
+
+		pprofFlag  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on -metrics-addr")
+		pprofMutex = flag.Int("pprof-mutex-fraction", 0, "runtime.SetMutexProfileFraction for -pprof (0 leaves it off)")
+		pprofBlock = flag.Int("pprof-block-rate", 0, "runtime.SetBlockProfileRate for -pprof (0 leaves it off)")
 
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile covering all experiments to this file")
 		memProfile   = flag.String("memprofile", "", "write an allocation (heap) profile at exit to this file")
@@ -118,6 +127,20 @@ func main() {
 	if *metrics != "" || *telFlag {
 		bench.Telemetry = telemetry.NewLive()
 	}
+	if *pprofFlag {
+		if *metrics == "" {
+			fmt.Fprintln(os.Stderr, "-pprof requires -metrics-addr")
+			os.Exit(2)
+		}
+		bench.Telemetry.EnablePprof(*pprofMutex, *pprofBlock)
+	}
+	if *tracePath != "" {
+		bench.TraceOpts = &trace.Options{SampleEvery: *traceSample, Capacity: *traceBuffer}
+		bench.TraceLive = &trace.Live{}
+		if bench.Telemetry != nil {
+			bench.Telemetry.Handle("/debug/cicada-trace", bench.TraceLive.Handler())
+		}
+	}
 	if *metrics != "" {
 		_, addr, err := telemetry.Serve(*metrics, bench.Telemetry)
 		if err != nil {
@@ -132,7 +155,7 @@ func main() {
 		exps = []string{"fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig4c",
 			"fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c", "fig7",
 			"fig8", "fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig11d",
-			"table2", "scan", "staleness", "rts", "tatp"}
+			"table2", "scan", "staleness", "rts", "tatp", "scaling"}
 	}
 	var csvOut *os.File
 	if *csvPath != "" {
@@ -177,6 +200,12 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *tracePath != "" {
+		if err := writeTraceFile(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "write -trace file: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if *memProfile != "" {
 		if err := writeProfile("allocs", *memProfile, true); err != nil {
 			fmt.Fprintf(os.Stderr, "write -memprofile file: %v\n", err)
@@ -203,6 +232,30 @@ func writeJSONReport(path string, exps []string, note string, results []bench.Re
 		return err
 	}
 	return f.Close()
+}
+
+// writeTraceFile dumps the last trial's tracer as Chrome trace-event JSON
+// and prints its contention attribution report to stderr.
+func writeTraceFile(path string) error {
+	tr := bench.TraceLive.Tracer()
+	if tr == nil {
+		return fmt.Errorf("no traced trial ran (only Cicada engines support tracing)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trace: %s (%d events; load in Perfetto via ui.perfetto.dev)\n",
+		path, tr.EventsTotal())
+	trace.FprintContention(os.Stderr, tr.Contention(trace.DefaultTopK))
+	return nil
 }
 
 // writeProfile dumps a named runtime profile; gcFirst forces a GC so the
@@ -309,6 +362,17 @@ func runExperiment(exp string, s bench.Scale) []bench.Result {
 			if d := r.Extra["direct_reads_per_s"]; d > 0 {
 				fmt.Printf("  %s: %.0f direct reads/s\n", r.Engine, d)
 			}
+		}
+	case "scaling":
+		rs := keep(bench.Scaling(s))
+		for _, skew := range []float64{0, 0.99} {
+			var sub []bench.Result
+			for _, r := range rs {
+				if r.Param == skew {
+					sub = append(sub, r)
+				}
+			}
+			bench.PrintTable(out, fmt.Sprintf("Scalability: YCSB 16 req/tx, write-intensive, zipf %g, thread sweep", skew), "threads", sub)
 		}
 	case "rts":
 		cond, faa := bench.RTSUpdateBench(s.MaxThreads, s.Dur.Measure)

@@ -1,7 +1,8 @@
 // Command cicada-lint runs the repository's static analyzers — the
 // intra-function concurrency passes (mixedatomic, statusorder,
 // locksdiscipline, nakedspin) and the whole-program guardrails
-// (hotpathalloc, lockorder, failpointcover, metricdrift) — over the module.
+// (hotpathalloc, lockorder, failpointcover, metricdrift, tracedrift) —
+// over the module.
 //
 // Usage:
 //

@@ -34,3 +34,7 @@ func TestFailpointCover(t *testing.T) {
 func TestMetricDrift(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.MetricDrift, "metricdrift/...")
 }
+
+func TestTraceDrift(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.TraceDrift, "tracedrift/...")
+}

@@ -2,10 +2,10 @@ package analysis
 
 // All returns the full analyzer suite, in the order cmd/cicada-lint runs
 // them: first the four intra-function concurrency-discipline passes, then
-// the four whole-program guardrails.
+// the five whole-program guardrails.
 func All() []*Analyzer {
 	return []*Analyzer{
 		MixedAtomic, StatusOrder, LocksDiscipline, NakedSpin,
-		HotPathAlloc, LockOrder, FailpointCover, MetricDrift,
+		HotPathAlloc, LockOrder, FailpointCover, MetricDrift, TraceDrift,
 	}
 }

@@ -1,0 +1,30 @@
+// Fixture trace package: an event catalog with documented and undocumented
+// entries.
+package trace
+
+// Kind identifies a trace event type.
+type Kind uint8
+
+// The fixture catalog.
+const (
+	EvGood Kind = iota
+	EvAlsoGood
+	EvMissing
+
+	NumKinds
+)
+
+// eventNames is the catalog anchor the tracedrift analyzer cross-checks.
+var eventNames = [NumKinds]string{
+	"ev_good",
+	"ev_also_good",
+	"ev_missing", // want `trace event "ev_missing" is in the catalog but never mentioned in docs/OBSERVABILITY.md`
+}
+
+// String returns the kind's catalog name.
+func (k Kind) String() string {
+	if k < NumKinds {
+		return eventNames[k]
+	}
+	return "unknown"
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// TraceDrift cross-checks the transaction-trace event catalog (the
+// eventNames array in internal/trace) against the event reference table in
+// docs/OBSERVABILITY.md, in both directions:
+//
+//   - code → doc: every catalog name must be mentioned (backticked)
+//     somewhere in the doc. An event an operator cannot look up while
+//     staring at a Perfetto timeline is diagnostic noise.
+//   - doc → code: every row of a reference table whose header column is
+//     "Event" must name an event the catalog actually emits. A stale row
+//     sends the operator hunting for an event that never appears.
+//
+// Like metricdrift, the doc → code direction needs the catalog package
+// loaded, so it runs only on whole-program (`./...`) runs; narrowed pattern
+// runs check code → doc only.
+var TraceDrift = &Analyzer{
+	Name:   "tracedrift",
+	Doc:    "cross-checks the trace event catalog against docs/OBSERVABILITY.md",
+	Module: true,
+	Run:    runTraceDrift,
+}
+
+// traceCatalogVar is the catalog anchor: a package-level
+// `var eventNames = [...]string{...}` in a package named trace.
+const traceCatalogVar = "eventNames"
+
+func runTraceDrift(pass *Pass) error {
+	catalog := make(map[string]token.Pos) // event name -> literal position
+	var catalogPkg *Package
+	for _, pkg := range pass.Targets {
+		if pkg.Path != "internal/trace" && !strings.HasSuffix(pkg.Path, "/trace") && pkg.Path != "trace" {
+			continue
+		}
+		if collectTraceCatalog(pkg, catalog) {
+			catalogPkg = pkg
+		}
+	}
+	if catalogPkg == nil || len(catalog) == 0 {
+		// No trace package in the target set: nothing to drift against.
+		return nil
+	}
+
+	doc, err := pass.Prog.FindDoc(catalogPkg.Dir, metricDocPath)
+	if err != nil {
+		return nil
+	}
+	mentioned := docEventMentions(doc)
+	tableRows := docEventTableRows(doc)
+
+	var names []string
+	for n := range catalog {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if !mentioned[n] {
+			pass.Reportf(catalog[n],
+				"trace event %q is in the catalog but never mentioned in %s: add it to the event reference (or it is diagnostic noise)",
+				n, metricDocPath)
+		}
+	}
+
+	// Reverse direction only when the whole program is in scope.
+	if len(pass.Targets) != len(pass.Prog.Packages) {
+		return nil
+	}
+	var rows []string
+	for n := range tableRows {
+		rows = append(rows, n)
+	}
+	sort.Strings(rows)
+	for _, n := range rows {
+		if _, ok := catalog[n]; !ok {
+			pass.Reportf(tableRows[n],
+				"documented trace event %q is not in the catalog: stale reference-table row in %s",
+				n, metricDocPath)
+		}
+	}
+	return nil
+}
+
+// collectTraceCatalog records the constant string elements of pkg's
+// package-level eventNames array literal; it reports whether the anchor was
+// found.
+func collectTraceCatalog(pkg *Package, out map[string]token.Pos) bool {
+	found := false
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != traceCatalogVar || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					found = true
+					for _, elt := range lit.Elts {
+						if s, ok := constString(pkg.Info, elt); ok {
+							if _, dup := out[s]; !dup {
+								out[s] = elt.Pos()
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return found
+}
+
+// eventNameRE matches a backticked event name.
+var eventNameRE = regexp.MustCompile("`([a-z][a-z0-9_]*)`")
+
+// docEventMentions returns every event-ish name mentioned (backticked)
+// anywhere in the doc.
+func docEventMentions(doc *DocFile) map[string]bool {
+	mentioned := make(map[string]bool)
+	for _, m := range eventNameRE.FindAllStringSubmatch(doc.Content, -1) {
+		mentioned[m[1]] = true
+	}
+	return mentioned
+}
+
+// docEventTableRows extracts the first-column event names from reference
+// tables whose first header cell is "Event" (name -> row position).
+func docEventTableRows(doc *DocFile) map[string]token.Pos {
+	rows := make(map[string]token.Pos)
+	inTable := false
+	for i, line := range doc.Lines {
+		t := strings.TrimSpace(line)
+		if !strings.HasPrefix(t, "|") {
+			inTable = false
+			continue
+		}
+		cells := strings.Split(t, "|")
+		if len(cells) < 2 {
+			continue
+		}
+		first := strings.TrimSpace(cells[1])
+		if !inTable {
+			inTable = first == "Event"
+			continue
+		}
+		if strings.HasPrefix(first, "---") || first == "" {
+			continue
+		}
+		m := eventNameRE.FindStringSubmatch(first)
+		if m == nil || !strings.HasPrefix(first, "`") {
+			continue
+		}
+		name := m[1]
+		if _, ok := rows[name]; !ok {
+			col := strings.Index(line, "`"+name) + 2
+			rows[name] = doc.Pos(i+1, col)
+		}
+	}
+	return rows
+}

@@ -229,3 +229,28 @@ func TestMetricDriftDocStale(t *testing.T) {
 		t.Errorf("stale-row finding should point into the markdown file, got %s", stale.Pos)
 	}
 }
+
+// TestTraceDriftDocStale appends a stale event-table row to the tracedrift
+// fixture's OBSERVABILITY.md and checks the doc → code direction reports it
+// at the markdown position.
+func TestTraceDriftDocStale(t *testing.T) {
+	root := copyTree(t, filepath.Join("testdata", "src", "tracedrift"))
+	docPath := filepath.Join(root, "docs", "OBSERVABILITY.md")
+	f, err := os.OpenFile(docPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\n| Event | Meaning |\n|---|---|\n| `ev_stale` | Gone. |\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	diags := runOn(t, root, "tracedrift", analysis.TraceDrift)
+	stale := findDiag(diags, `documented trace event "ev_stale" is not in the catalog`)
+	if stale == nil {
+		t.Fatalf("stale-row direction did not fire: %v", diags)
+	}
+	if !strings.HasSuffix(stale.Pos.Filename, "OBSERVABILITY.md") {
+		t.Errorf("stale-row finding should point into the markdown file, got %s", stale.Pos)
+	}
+}

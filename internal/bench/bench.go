@@ -24,6 +24,7 @@ import (
 	"cicada/internal/core"
 	"cicada/internal/engine"
 	"cicada/internal/telemetry"
+	"cicada/internal/trace"
 	"cicada/internal/workload/tpcc"
 	"cicada/internal/workload/ycsb"
 )
@@ -38,6 +39,15 @@ var EngineNames = []string{"Cicada", "Silo'", "TicToc", "2PL-NoWait", "Hekaton",
 // trial ends. nil (the default) keeps trials telemetry-free.
 var Telemetry *telemetry.Live
 
+// TraceOpts, when non-nil, gives every trial a fresh transaction tracer
+// (sized by the trial's worker count; Workers is overridden). nil (the
+// default) keeps trials untraced. Set by cicada-bench's -trace flag.
+var TraceOpts *trace.Options
+
+// TraceLive, when non-nil, follows the current trial's tracer so a
+// -metrics-addr endpoint can serve /debug/cicada-trace across trials.
+var TraceLive *trace.Live
+
 // trialRegistry creates and publishes a per-trial registry, or returns nil
 // when telemetry is disabled.
 func trialRegistry(workers int) *telemetry.Registry {
@@ -47,6 +57,26 @@ func trialRegistry(workers int) *telemetry.Registry {
 	reg := telemetry.NewRegistry(workers)
 	Telemetry.Set(reg)
 	return reg
+}
+
+// trialTracer creates and publishes a per-trial tracer (enabled), or
+// returns nil when tracing is disabled. When the trial also has a registry,
+// the tracer's trace_* families are registered there.
+func trialTracer(workers int, reg *telemetry.Registry) *trace.Tracer {
+	if TraceOpts == nil {
+		return nil
+	}
+	o := *TraceOpts
+	o.Workers = workers
+	tr := trace.New(o)
+	tr.SetEnabled(true)
+	if reg != nil {
+		tr.RegisterMetrics(reg)
+	}
+	if TraceLive != nil {
+		TraceLive.Set(tr)
+	}
+	return tr
 }
 
 // telemetryBase snapshots the monotone series at measurement start so the
@@ -201,8 +231,9 @@ func RunTPCC(name string, f engine.Factory, o TPCCOpts) Result {
 	cfg.Warehouses = o.Warehouses
 	cfg.NP = o.NP
 	reg := trialRegistry(o.Threads)
+	tr := trialTracer(o.Threads, reg)
 	db := f(engine.Config{Workers: o.Threads, PhantomAvoidance: o.Phantom,
-		HashBucketsHint: cfg.Warehouses * cfg.Items, Metrics: reg})
+		HashBucketsHint: cfg.Warehouses * cfg.Items, Metrics: reg, Trace: tr})
 	w := tpcc.Setup(db, cfg)
 	if err := w.Load(); err != nil {
 		panic(fmt.Sprintf("tpcc load (%s): %v", name, err))
@@ -264,8 +295,9 @@ type YCSBOpts struct {
 // RunYCSB measures one engine on YCSB.
 func RunYCSB(name string, f engine.Factory, o YCSBOpts) Result {
 	reg := trialRegistry(o.Threads)
+	tr := trialTracer(o.Threads, reg)
 	db := f(engine.Config{Workers: o.Threads, PhantomAvoidance: o.Phantom,
-		HashBucketsHint: o.Cfg.Records, Metrics: reg})
+		HashBucketsHint: o.Cfg.Records, Metrics: reg, Trace: tr})
 	w := ycsb.Setup(db, o.Cfg)
 	if err := w.Load(); err != nil {
 		panic(fmt.Sprintf("ycsb load (%s): %v", name, err))

@@ -177,6 +177,32 @@ func Fig6(sub byte, s Scale) []Result {
 	return tag(out, "fig6"+string(sub))
 }
 
+// Scaling is the multi-core scalability runner: for each engine it sweeps
+// the thread counts on YCSB (16 requests/transaction, write-intensive) at
+// uniform and high skew, producing the tps-vs-threads curves that WriteJSON
+// folds into the report's "scalability" section. Param carries the Zipf
+// theta so the two curves stay distinguishable.
+func Scaling(s Scale) []Result {
+	cfg := s.YCSB
+	cfg.ReqsPerTx = 16
+	cfg.ReadRatio = 0.5
+	var out []Result
+	for _, name := range s.Engines {
+		for _, skew := range []float64{0, 0.99} {
+			for _, th := range s.Threads {
+				c := cfg
+				c.Theta = skew
+				r := RunYCSB(name, Factory(name), YCSBOpts{
+					Threads: th, Cfg: c, Phantom: true, Durations: s.Dur,
+				})
+				r.Param = skew
+				out = append(out, r)
+			}
+		}
+	}
+	return tag(out, "scaling")
+}
+
 // Fig7 reproduces the multi-clock factor analysis (§4.6, Figure 7): tiny
 // read-intensive YCSB transactions on Cicada, Cicada with a centralized
 // timestamp counter, and the centralized-timestamp MVCC baselines.

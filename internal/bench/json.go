@@ -4,12 +4,16 @@ import (
 	"encoding/json"
 	"io"
 	"runtime"
+	"sort"
 	"time"
 )
 
 // JSONSchemaVersion identifies the BENCH_*.json layout; bump it when Result
 // or RunMeta change shape so trajectory tooling can detect old files.
-const JSONSchemaVersion = 1
+// Version 2 adds the derived top-level "scalability" section (tps-vs-threads
+// curves); "meta" and "results" are unchanged, so version-1 readers keep
+// working.
+const JSONSchemaVersion = 2
 
 // RunMeta describes the machine and configuration that produced a JSON
 // benchmark report, so numbers from different PRs compare meaningfully.
@@ -29,6 +33,33 @@ type RunMeta struct {
 type JSONReport struct {
 	Meta    RunMeta  `json:"meta"`
 	Results []Result `json:"results"`
+	// Scalability holds the per-thread-count curves derived from Results by
+	// WriteJSON. It is additive (omitted when no experiment swept threads)
+	// so schema-version-1 readers that only consume "results" are unaffected.
+	Scalability []ScalabilityCurve `json:"scalability,omitempty"`
+}
+
+// ThreadPoint is one point of a tps-vs-threads curve.
+type ThreadPoint struct {
+	Threads   int     `json:"threads"`
+	TPS       float64 `json:"tps"`
+	AbortRate float64 `json:"abort_rate"`
+	// Speedup is TPS relative to the curve's single-thread point, 0 when the
+	// sweep has no threads=1 measurement.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// ScalabilityCurve is a tps-vs-threads series for one (experiment, engine,
+// param) combination, derived from any experiment that measured the same
+// configuration at more than one thread count.
+type ScalabilityCurve struct {
+	Experiment string `json:"experiment"`
+	Engine     string `json:"engine"`
+	// Param is the swept non-thread parameter (e.g. Zipf theta), 0 if none.
+	Param  float64       `json:"param"`
+	Points []ThreadPoint `json:"points"`
+	// PeakThreads is the thread count with the highest TPS on this curve.
+	PeakThreads int `json:"peak_threads"`
 }
 
 // NewRunMeta fills the environment fields; the caller adds experiments.
@@ -46,9 +77,78 @@ func NewRunMeta(experiments []string, note string) RunMeta {
 }
 
 // WriteJSON writes results as an indented, stable-key-order JSON report
-// (encoding/json sorts map keys, so diffs between runs stay readable).
+// (encoding/json sorts map keys, so diffs between runs stay readable). The
+// "scalability" section is derived from results on the way out.
 func WriteJSON(w io.Writer, meta RunMeta, results []Result) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(JSONReport{Meta: meta, Results: results})
+	return enc.Encode(JSONReport{
+		Meta:        meta,
+		Results:     results,
+		Scalability: DeriveScalability(results),
+	})
+}
+
+// DeriveScalability groups results by (experiment, engine, param) and
+// returns a tps-vs-threads curve for every group measured at more than one
+// thread count, sorted for stable diffs. Speedup is relative to the group's
+// threads=1 point when present.
+func DeriveScalability(results []Result) []ScalabilityCurve {
+	type curveKey struct {
+		exp    string
+		engine string
+		param  float64
+	}
+	groups := map[curveKey][]Result{}
+	var order []curveKey
+	for _, r := range results {
+		k := curveKey{r.Experiment, r.Engine, r.Param}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].exp != order[b].exp {
+			return order[a].exp < order[b].exp
+		}
+		if order[a].engine != order[b].engine {
+			return order[a].engine < order[b].engine
+		}
+		return order[a].param < order[b].param
+	})
+	var curves []ScalabilityCurve
+	for _, k := range order {
+		rs := groups[k]
+		threads := map[int]bool{}
+		for _, r := range rs {
+			threads[r.Threads] = true
+		}
+		if len(threads) < 2 {
+			continue
+		}
+		sort.Slice(rs, func(a, b int) bool { return rs[a].Threads < rs[b].Threads })
+		var base float64
+		for _, r := range rs {
+			if r.Threads == 1 {
+				base = r.TPS
+				break
+			}
+		}
+		c := ScalabilityCurve{Experiment: k.exp, Engine: k.engine, Param: k.param}
+		var peakTPS float64
+		for _, r := range rs {
+			p := ThreadPoint{Threads: r.Threads, TPS: r.TPS, AbortRate: r.AbortRate}
+			if base > 0 {
+				p.Speedup = r.TPS / base
+			}
+			c.Points = append(c.Points, p)
+			if r.TPS > peakTPS {
+				peakTPS = r.TPS
+				c.PeakThreads = r.Threads
+			}
+		}
+		curves = append(curves, c)
+	}
+	return curves
 }

@@ -40,11 +40,12 @@ type dbIndex struct {
 	ordered bool
 }
 
-// New creates a Cicada DB. coreOpts.Workers and coreOpts.Metrics are
-// overridden from cfg.
+// New creates a Cicada DB. coreOpts.Workers, coreOpts.Metrics, and
+// coreOpts.Trace are overridden from cfg.
 func New(cfg engine.Config, coreOpts core.Options) *DB {
 	coreOpts.Workers = cfg.Workers
 	coreOpts.Metrics = cfg.Metrics
+	coreOpts.Trace = cfg.Trace
 	db := &DB{eng: core.NewEngine(coreOpts), cfg: cfg}
 	db.workers = make([]*worker, cfg.Workers)
 	for i := range db.workers {

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"cicada/internal/trace"
 )
 
 // maxBackoffCeiling bounds the hill climber; the paper's optima are in the
@@ -114,6 +116,9 @@ func (w *Worker) backoff() {
 		return
 	}
 	w.stats.addAbortTime(d)
+	if tr := w.tr; tr != nil && tr.Enabled() {
+		tr.Record(trace.EvBackoff, time.Now().UnixNano(), uint64(d), 0, 0)
+	}
 	if d > 2*time.Millisecond {
 		time.Sleep(d)
 		return

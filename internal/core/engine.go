@@ -16,6 +16,7 @@ import (
 	"cicada/internal/clock"
 	"cicada/internal/storage"
 	"cicada/internal/telemetry"
+	"cicada/internal/trace"
 )
 
 // Errors returned by transaction operations.
@@ -84,6 +85,11 @@ type Options struct {
 	// registry must have at least Workers shards. When nil, the engine runs
 	// with counters only and adds no timing calls to the hot path.
 	Metrics *telemetry.Registry
+	// Trace, when non-nil, attaches the per-worker transaction tracer
+	// (docs/OBSERVABILITY.md "Tracing"): sampled txn/phase/wait events and
+	// always-on abort events flow into its ring buffers. The tracer must
+	// have at least Workers shards. When nil, no trace checks run at all.
+	Trace *trace.Tracer
 }
 
 // DefaultOptions returns the paper's default configuration for n workers.
@@ -174,6 +180,9 @@ func NewEngine(opts Options) *Engine {
 	}
 	if opts.Metrics != nil {
 		e.initTelemetry(opts.Metrics)
+	}
+	if opts.Trace != nil {
+		e.initTrace(opts.Trace)
 	}
 	return e
 }
@@ -332,6 +341,9 @@ type Worker struct {
 	// tel caches telemetry shard pointers (phase histograms, GC gauge,
 	// flight recorder); nil when Options.Metrics is unset.
 	tel *workerTel
+	// tr is the worker's trace event ring; nil when Options.Trace is unset,
+	// so an untraced engine pays one nil check per instrumentation site.
+	tr *trace.Shard
 
 	// gcQueue is the local garbage collection queue (§3.8); items are
 	// appended at commit and consumed from the front once min_rts passes.

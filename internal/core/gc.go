@@ -5,6 +5,7 @@ import (
 
 	"cicada/internal/clock"
 	"cicada/internal/storage"
+	"cicada/internal/trace"
 )
 
 // gcItem queues a committed version for garbage collection: once min_rts
@@ -74,9 +75,18 @@ func (w *Worker) Maintain() {
 		}
 		w.collectGarbage()
 		w.processLimbo()
-		if tel := w.tel; tel != nil {
-			tel.gcDepth.Set(int64(len(w.gcQueue) - w.gcHead))
-			tel.phase[phaseQuiesce].ObserveDuration(time.Since(now))
+		tel := w.tel
+		traceOn := w.tr != nil && w.tr.Enabled()
+		if tel != nil || traceOn {
+			d := time.Since(now)
+			depth := len(w.gcQueue) - w.gcHead
+			if tel != nil {
+				tel.gcDepth.Set(int64(depth))
+				tel.phase[phaseQuiesce].ObserveDuration(d)
+			}
+			if traceOn {
+				w.tr.Record(trace.EvGCPass, now.UnixNano(), nonNegNs(d), uint64(depth), 0)
+			}
 		}
 	}
 	e.clock.MaybeSync(w.id)

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"cicada/internal/storage"
+	"cicada/internal/trace"
+)
+
+// noConflictKey marks an abort with no attributable key (pre-commit hook
+// veto, logger failure, user rollback).
+const noConflictKey = trace.NoKey
+
+// initTrace hands each worker its trace shard and teaches the tracer how to
+// render this engine's abort reasons and conflict keys. Called once from
+// NewEngine when Options.Trace is set; everything wired into workers is a
+// plain pointer — the hot path never touches the Tracer itself.
+func (e *Engine) initTrace(tr *trace.Tracer) {
+	if tr.Shards() < e.opts.Workers {
+		panic("core: tracer has fewer shards than engine workers")
+	}
+	tr.SetAbortReasons(AbortReasonNames())
+	tr.SetKeyNamer(func(key uint64) string {
+		tbl := TableID(key >> 48)
+		rid := storage.RecordID(key & 0xffffffffffff)
+		if int(tbl) < len(e.tables) {
+			return fmt.Sprintf("%s[%d]", e.tables[tbl].st.Name(), rid)
+		}
+		return fmt.Sprintf("t%d[%d]", tbl, rid)
+	})
+	for _, w := range e.workers {
+		w.tr = tr.Shard(w.id)
+	}
+}
+
+// noteWait closes a pending-version wait opened inside a visibility search:
+// it stores the accumulated wait in t.lastWaitNs (0 when no wait happened)
+// for the caller's emitWait. Called at every search exit so a previous
+// search's wait can never leak into the next access.
+//
+//cicada:noalloc
+func (t *Txn) noteWait(waitStart time.Time) {
+	if waitStart.IsZero() {
+		t.lastWaitNs = 0
+		return
+	}
+	t.lastWaitNs = nonNegNs(time.Since(waitStart))
+}
+
+// emitWait records a pending_wait trace event for the search that just
+// returned, attributing the stall to the searched key. Only sampled
+// transactions time their waits (see begin), so the common case is a single
+// uint64 compare.
+//
+//cicada:noalloc
+func (t *Txn) emitWait(tbl *Table, rid storage.RecordID) {
+	ns := t.lastWaitNs
+	if ns == 0 {
+		return
+	}
+	t.lastWaitNs = 0
+	tr := t.worker.tr
+	if tr == nil || !tr.Enabled() {
+		return
+	}
+	tr.Record(trace.EvPendingWait, time.Now().UnixNano()-int64(ns), ns, ownKey(tbl.ID, rid), 0)
+}

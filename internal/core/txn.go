@@ -6,6 +6,7 @@ import (
 
 	"cicada/internal/clock"
 	"cicada/internal/storage"
+	"cicada/internal/trace"
 )
 
 // accessKind classifies a transaction's record accesses.
@@ -52,11 +53,22 @@ type Txn struct {
 	// Options.PendingWaitLimit; the caller aborts with AbortPendingWait.
 	pendingTimedOut bool
 	// telStart / telValStart mark the begin and validation-entry times for
-	// phase latency histograms and the flight recorder. Only set when the
-	// worker has telemetry attached (worker.tel != nil), so a disabled
-	// engine makes no extra time.Now calls.
+	// phase latency histograms, the flight recorder, and trace events. Only
+	// set when the worker has telemetry attached (worker.tel != nil) or the
+	// transaction is trace-sampled, so a disabled engine makes no extra
+	// time.Now calls.
 	telStart    time.Time
 	telValStart time.Time
+	// sampled marks a transaction chosen by trace sampling: it emits
+	// begin/commit/phase events and times its pending-version waits.
+	sampled bool
+	// conflictKey remembers the key (ownKey form) that caused a
+	// concurrency-control abort, for the abort trace event's attribution;
+	// noConflictKey when the abort has no single key.
+	conflictKey uint64
+	// lastWaitNs carries the pending-wait time accumulated by the most
+	// recent visibility search to the caller's emitWait.
+	lastWaitNs uint64
 
 	accesses []access
 	// writes holds indexes into accesses for write-type entries, in
@@ -105,9 +117,16 @@ func (t *Txn) begin(ts clock.Timestamp, readOnly bool) {
 	t.readOnly = readOnly
 	t.active = true
 	t.pendingTimedOut = false
-	if t.worker.tel != nil {
+	t.conflictKey = noConflictKey
+	t.lastWaitNs = 0
+	tr := t.worker.tr
+	t.sampled = tr != nil && tr.Enabled() && tr.SampleTxn()
+	if t.worker.tel != nil || t.sampled {
 		t.telStart = time.Now()
 		t.telValStart = time.Time{}
+	}
+	if t.sampled {
+		tr.Record(trace.EvTxnBegin, t.telStart.UnixNano(), 0, uint64(ts), 0)
 	}
 	t.accesses = t.accesses[:0]
 	t.writes = t.writes[:0]
@@ -143,6 +162,7 @@ func (t *Txn) searchVisible(h *storage.Head) (visible, later *storage.Version) {
 	noWait := t.eng.opts.NoWaitPending
 	waitLimit := t.eng.opts.PendingWaitLimit
 	spins := 0
+	var waitStart time.Time
 restart:
 	later = nil
 	prevWTS := ^clock.Timestamp(0)
@@ -172,10 +192,14 @@ restart:
 				v = v.Next()
 				continue
 			}
+			if t.sampled && waitStart.IsZero() {
+				waitStart = time.Now()
+			}
 			if waitLimit > 0 {
 				spins++
 				if spins > waitLimit {
 					t.pendingTimedOut = true
+					t.noteWait(waitStart)
 					return nil, later
 				}
 			}
@@ -187,9 +211,11 @@ restart:
 		case storage.StatusUnused:
 			goto restart
 		default: // COMMITTED or DELETED
+			t.noteWait(waitStart)
 			return v, later
 		}
 	}
+	t.noteWait(waitStart)
 	return nil, later
 }
 
@@ -206,6 +232,7 @@ func (t *Txn) resumeSearch(a *access) (visible *storage.Version) {
 	noWait := t.eng.opts.NoWaitPending
 	waitLimit := t.eng.opts.PendingWaitLimit
 	spins := 0
+	var waitStart time.Time
 restart:
 	var v *storage.Version
 	prevWTS := ^clock.Timestamp(0)
@@ -242,12 +269,16 @@ restart:
 				v = v.Next()
 				continue
 			}
+			if t.sampled && waitStart.IsZero() {
+				waitStart = time.Now()
+			}
 			if waitLimit > 0 {
 				spins++
 				if spins > waitLimit {
 					// Make the consistency check fail; Commit classifies
 					// the abort as AbortPendingWait via the flag.
 					t.pendingTimedOut = true
+					t.noteWait(waitStart)
 					return nil
 				}
 			}
@@ -258,9 +289,11 @@ restart:
 			a.laterVer = nil
 			goto restart
 		default:
+			t.noteWait(waitStart)
 			return v
 		}
 	}
+	t.noteWait(waitStart)
 	return nil
 }
 
@@ -329,6 +362,7 @@ func (t *Txn) Read(tbl *Table, rid storage.RecordID) ([]byte, error) {
 		return nil, ErrNotFound
 	}
 	visible, later := t.searchVisible(h)
+	t.emitWait(tbl, rid)
 	if t.readOnly {
 		if visible == nil || visible.Status() == storage.StatusDeleted {
 			return nil, ErrNotFound
@@ -336,6 +370,7 @@ func (t *Txn) Read(tbl *Table, rid storage.RecordID) ([]byte, error) {
 		return visible.Data, nil
 	}
 	if t.pendingTimedOut {
+		t.conflictKey = ownKey(tbl.ID, rid)
 		return nil, t.abortNow(AbortPendingWait)
 	}
 	t.trackRead(tbl, rid, visible, later)
@@ -454,10 +489,13 @@ func (t *Txn) Write(tbl *Table, rid storage.RecordID, size int) ([]byte, error) 
 	// Early abort: if the currently visible version was read as late as a
 	// timestamp after ours, validation cannot succeed (§3.2).
 	visible, later := t.searchVisible(h)
+	t.emitWait(tbl, rid)
 	if t.pendingTimedOut {
+		t.conflictKey = ownKey(tbl.ID, rid)
 		return nil, t.abortNow(AbortPendingWait)
 	}
 	if visible != nil && visible.RTS() > t.ts {
+		t.conflictKey = ownKey(tbl.ID, rid)
 		return nil, t.abortNow(AbortRTSEarly)
 	}
 	nv := t.stage(h, size)
@@ -543,7 +581,9 @@ func (t *Txn) Update(tbl *Table, rid storage.RecordID, newSize int) ([]byte, err
 		return nil, ErrNotFound
 	}
 	visible, later := t.searchVisible(h)
+	t.emitWait(tbl, rid)
 	if t.pendingTimedOut {
+		t.conflictKey = ownKey(tbl.ID, rid)
 		return nil, t.abortNow(AbortPendingWait)
 	}
 	if visible == nil || visible.Status() == storage.StatusDeleted {
@@ -552,9 +592,11 @@ func (t *Txn) Update(tbl *Table, rid storage.RecordID, newSize int) ([]byte, err
 	}
 	// Early aborts (§3.2): rts check and write-latest-version-only.
 	if visible.RTS() > t.ts {
+		t.conflictKey = ownKey(tbl.ID, rid)
 		return nil, t.abortNow(AbortRTSEarly)
 	}
 	if !t.eng.opts.NoWriteLatestRule && later != nil && laterBlocksRMW(h, t.ts, nil) {
+		t.conflictKey = ownKey(tbl.ID, rid)
 		return nil, t.abortNow(AbortWriteLatest)
 	}
 	size := newSize
@@ -654,7 +696,9 @@ func (t *Txn) Delete(tbl *Table, rid storage.RecordID) error {
 		return ErrNotFound
 	}
 	visible, later := t.searchVisible(h)
+	t.emitWait(tbl, rid)
 	if t.pendingTimedOut {
+		t.conflictKey = ownKey(tbl.ID, rid)
 		return t.abortNow(AbortPendingWait)
 	}
 	if visible == nil || visible.Status() == storage.StatusDeleted {
@@ -662,9 +706,11 @@ func (t *Txn) Delete(tbl *Table, rid storage.RecordID) error {
 		return ErrNotFound
 	}
 	if visible.RTS() > t.ts {
+		t.conflictKey = ownKey(tbl.ID, rid)
 		return t.abortNow(AbortRTSEarly)
 	}
 	if !t.eng.opts.NoWriteLatestRule && later != nil && laterBlocksRMW(h, t.ts, nil) {
+		t.conflictKey = ownKey(tbl.ID, rid)
 		return t.abortNow(AbortWriteLatest)
 	}
 	nv := t.stage(h, 0)

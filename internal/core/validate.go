@@ -7,6 +7,7 @@ import (
 	"cicada/internal/fault"
 	"cicada/internal/storage"
 	"cicada/internal/telemetry"
+	"cicada/internal/trace"
 )
 
 // Commit validates and commits the transaction (§3.4, §3.5). On a conflict
@@ -28,19 +29,34 @@ func (t *Txn) Commit() error {
 	}
 	w := t.worker
 	tel := w.tel
+	timed := tel != nil || t.sampled
 	if t.readOnly {
 		// Read-only transactions never validate (§3.1).
 		t.active = false
 		w.stats.incCommit()
-		if tel != nil {
-			tel.phase[phaseExecute].ObserveDuration(time.Since(t.telStart))
+		if timed {
+			now := time.Now()
+			d := now.Sub(t.telStart)
+			if tel != nil {
+				tel.phase[phaseExecute].ObserveDuration(d)
+			}
+			if t.sampled {
+				w.tr.Record(trace.EvPhaseExecute, t.telStart.UnixNano(), nonNegNs(d), uint64(t.ts), 0)
+				w.tr.Record(trace.EvTxnCommit, t.telStart.UnixNano(), nonNegNs(d), uint64(t.ts), 0)
+			}
 		}
 		t.runCommitHooks()
 		return nil
 	}
-	if tel != nil {
+	if timed {
 		t.telValStart = time.Now()
-		tel.phase[phaseExecute].ObserveDuration(t.telValStart.Sub(t.telStart))
+		d := t.telValStart.Sub(t.telStart)
+		if tel != nil {
+			tel.phase[phaseExecute].ObserveDuration(d)
+		}
+		if t.sampled {
+			w.tr.Record(trace.EvPhaseExecute, t.telStart.UnixNano(), nonNegNs(d), uint64(t.ts), 0)
+		}
 	}
 	for _, h := range t.hooks {
 		if err := h.TxnPreCommit(t); err != nil {
@@ -65,6 +81,7 @@ func (t *Txn) Commit() error {
 				continue
 			}
 			if ok, reason := t.install(a); !ok {
+				t.conflictKey = ownKey(a.tbl.ID, a.rid)
 				return t.failCommit(reason)
 			}
 		}
@@ -89,9 +106,15 @@ func (t *Txn) Commit() error {
 		}
 	}
 	var writeStart time.Time
-	if tel != nil {
+	if timed {
 		writeStart = time.Now()
-		tel.phase[phaseValidate].ObserveDuration(writeStart.Sub(t.telValStart))
+		d := writeStart.Sub(t.telValStart)
+		if tel != nil {
+			tel.phase[phaseValidate].ObserveDuration(d)
+		}
+		if t.sampled {
+			w.tr.Record(trace.EvPhaseValidate, t.telValStart.UnixNano(), nonNegNs(d), uint64(t.ts), 0)
+		}
 	}
 	// Write phase: make the new versions usable by other transactions.
 	for _, i := range t.writes {
@@ -116,8 +139,17 @@ func (t *Txn) Commit() error {
 	t.eng.clock.OnCommit(w.id)
 	w.consecutiveCommits++
 	w.stats.incCommit()
-	if tel != nil {
-		tel.phase[phaseWrite].ObserveDuration(time.Since(writeStart))
+	if timed {
+		now := time.Now()
+		d := now.Sub(writeStart)
+		if tel != nil {
+			tel.phase[phaseWrite].ObserveDuration(d)
+		}
+		if t.sampled {
+			w.tr.Record(trace.EvPhaseWrite, writeStart.UnixNano(), nonNegNs(d), uint64(t.ts), 0)
+			w.tr.Record(trace.EvTxnCommit, t.telStart.UnixNano(), nonNegNs(now.Sub(t.telStart)), uint64(t.ts),
+				uint64(len(t.reads))<<32|uint64(len(t.writes))&0xffffffff)
+		}
 	}
 	t.active = false
 	t.runCommitHooks()
@@ -149,6 +181,12 @@ func (t *Txn) Abort() {
 	if !t.active {
 		return
 	}
+	if t.sampled {
+		if tr := t.worker.tr; tr != nil && tr.Enabled() {
+			tr.Record(trace.EvTxnAbort, t.telStart.UnixNano(),
+				nonNegNs(time.Since(t.telStart)), noConflictKey, uint64(AbortUser))
+		}
+	}
 	t.rollback()
 }
 
@@ -170,25 +208,43 @@ func (t *Txn) rollbackCC(reason AbortReason) {
 	w.stats.incAbort(reason)
 	w.consecutiveCommits = 0
 	t.eng.clock.OnAbort(w.id)
-	if tel := w.tel; tel != nil {
+	tel := w.tel
+	traceAbort := w.tr != nil && w.tr.Enabled()
+	if tel != nil || traceAbort {
 		now := time.Now()
+		// Begin time and phase split are only known when the transaction was
+		// timed (telemetry attached or trace-sampled); an untimed abort is
+		// recorded as an instant so the always-on abort trace never reads a
+		// stale telStart.
+		start := now
 		var execNs, valNs uint64
-		if t.telValStart.IsZero() {
-			execNs = nonNegNs(now.Sub(t.telStart))
-		} else {
-			execNs = nonNegNs(t.telValStart.Sub(t.telStart))
-			valNs = nonNegNs(now.Sub(t.telValStart))
+		if tel != nil || t.sampled {
+			start = t.telStart
+			if t.telValStart.IsZero() {
+				execNs = nonNegNs(now.Sub(t.telStart))
+			} else {
+				execNs = nonNegNs(t.telValStart.Sub(t.telStart))
+				valNs = nonNegNs(now.Sub(t.telValStart))
+			}
 		}
-		tel.abortLat.ObserveDuration(now.Sub(t.telStart))
-		tel.rec.Record(telemetry.TraceSample{
-			TS:            uint64(t.ts),
-			Reason:        uint64(reason),
-			StartUnixNano: t.telStart.UnixNano(),
-			ExecuteNs:     execNs,
-			ValidateNs:    valNs,
-			Reads:         uint64(len(t.reads)),
-			Writes:        uint64(len(t.writes)),
-		})
+		if tel != nil {
+			tel.abortLat.ObserveDuration(now.Sub(t.telStart))
+			tel.rec.Record(telemetry.TraceSample{
+				TS:            uint64(t.ts),
+				Reason:        uint64(reason),
+				StartUnixNano: t.telStart.UnixNano(),
+				ExecuteNs:     execNs,
+				ValidateNs:    valNs,
+				Reads:         uint64(len(t.reads)),
+				Writes:        uint64(len(t.writes)),
+			})
+		}
+		if traceAbort {
+			// Concurrency-control aborts are always traced — they are the
+			// rare diagnostic signal the contention report is built from.
+			w.tr.Record(trace.EvTxnAbort, start.UnixNano(), execNs+valNs,
+				t.conflictKey, uint64(reason))
+		}
 	}
 	t.rollback()
 }
@@ -380,9 +436,11 @@ func (t *Txn) checkVersionConsistency() bool {
 	for _, i := range t.reads {
 		a := &t.accesses[i]
 		vis := t.resumeSearch(a)
+		t.emitWait(a.tbl, a.rid)
 		if t.pendingTimedOut || vis != a.readVer {
 			// A pending-wait timeout fails the check even when the
 			// indeterminate result happens to match (e.g. an absent read).
+			t.conflictKey = ownKey(a.tbl.ID, a.rid)
 			return false
 		}
 	}
@@ -398,14 +456,18 @@ func (t *Txn) checkVersionConsistency() bool {
 		// Blind write: the currently visible version must not have been
 		// read after tx.ts.
 		vis := t.resumeSearch(a)
+		t.emitWait(a.tbl, a.rid)
 		if t.pendingTimedOut {
+			t.conflictKey = ownKey(a.tbl.ID, a.rid)
 			return false
 		}
 		if vis != nil {
 			if vis.RTS() > t.ts {
+				t.conflictKey = ownKey(a.tbl.ID, a.rid)
 				return false
 			}
 		} else if h := a.tbl.st.Head(a.rid); h.AbsentRTS() > t.ts {
+			t.conflictKey = ownKey(a.tbl.ID, a.rid)
 			return false
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cicada/internal/telemetry"
+	"cicada/internal/trace"
 )
 
 // TableID identifies a table within a DB.
@@ -147,6 +148,11 @@ type Config struct {
 	// additionally registers its cicada_* internals (see
 	// docs/OBSERVABILITY.md). nil disables telemetry at zero cost.
 	Metrics *telemetry.Registry
+	// Trace, when non-nil, attaches the transaction tracer to engines that
+	// support it (currently Cicada only; baselines ignore it). The tracer
+	// must have at least Workers shards. See docs/OBSERVABILITY.md
+	// "Tracing".
+	Trace *trace.Tracer
 }
 
 // Factory builds a DB for a scheme.

@@ -6,7 +6,10 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 )
 
@@ -81,6 +84,12 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // install a fresh registry per trial while scrapers keep one stable URL.
 type Live struct {
 	reg atomic.Pointer[Registry]
+	// aux holds extra endpoints registered with Handle (the transaction
+	// tracer's /debug/cicada-trace, net/http/pprof). Guarded by auxMu;
+	// Handler snapshots it, so registration after Serve still takes effect
+	// on the next Handler build but not on an already-built mux.
+	auxMu sync.Mutex
+	aux   map[string]http.Handler
 }
 
 // NewLive returns a Live with no registry installed (endpoints return 503
@@ -92,6 +101,40 @@ func (l *Live) Set(r *Registry) { l.reg.Store(r) }
 
 // Registry returns the current registry, or nil.
 func (l *Live) Registry() *Registry { return l.reg.Load() }
+
+// Handle registers an extra endpoint on the live mux under the given
+// pattern (e.g. "/debug/cicada-trace"). Call before Serve/Handler; the
+// telemetry package stays ignorant of what it serves, which keeps the
+// dependency direction one-way (trace imports telemetry, never the
+// reverse).
+func (l *Live) Handle(pattern string, h http.Handler) {
+	l.auxMu.Lock()
+	defer l.auxMu.Unlock()
+	if l.aux == nil {
+		l.aux = make(map[string]http.Handler)
+	}
+	l.aux[pattern] = h
+}
+
+// EnablePprof mounts net/http/pprof's endpoints under /debug/pprof/ on the
+// live mux and applies the runtime profile-rate toggles: mutexFraction
+// feeds runtime.SetMutexProfileFraction and blockRate feeds
+// runtime.SetBlockProfileRate (0 leaves either disabled; they cost nothing
+// until set). Opt-in only — profiling endpoints on a metrics port are a
+// deliberate choice, not a default.
+func (l *Live) EnablePprof(mutexFraction, blockRate int) {
+	if mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(mutexFraction)
+	}
+	if blockRate > 0 {
+		runtime.SetBlockProfileRate(blockRate)
+	}
+	l.Handle("/debug/pprof/", http.HandlerFunc(pprof.Index))
+	l.Handle("/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
+	l.Handle("/debug/pprof/profile", http.HandlerFunc(pprof.Profile))
+	l.Handle("/debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
+	l.Handle("/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
+}
 
 // Handler returns an http.Handler serving the live registry:
 //
@@ -136,6 +179,11 @@ func (l *Live) Handler() http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(rec.Dump(n))
 	}))
+	l.auxMu.Lock()
+	for pattern, h := range l.aux {
+		mux.Handle(pattern, h)
+	}
+	l.auxMu.Unlock()
 	return mux
 }
 

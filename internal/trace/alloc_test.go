@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// Allocation-budget tests for the trace write path: Enabled, SampleTxn, and
+// Record must not allocate (docs/OBSERVABILITY.md's overhead contract). The
+// budgets mirror internal/core's: warm up, then testing.AllocsPerRun.
+
+const allocWarmup = 5000
+
+func assertZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; budgets enforced in non-race builds")
+	}
+	for i := 0; i < allocWarmup; i++ {
+		fn()
+	}
+	if avg := testing.AllocsPerRun(2000, fn); avg != 0 {
+		t.Errorf("%s: %.3f allocs/op; budget is 0", name, avg)
+	}
+}
+
+func TestAllocBudgetRecordEnabled(t *testing.T) {
+	tr := New(Options{Workers: 1, Capacity: 1024, SampleEvery: 64})
+	tr.SetEnabled(true)
+	s := tr.Shard(0)
+	now := time.Now().UnixNano()
+	assertZeroAllocs(t, "sampled txn event sequence (1/64 sampling)", func() {
+		if !s.Enabled() {
+			t.Fatal("shard disabled")
+		}
+		if s.SampleTxn() {
+			s.Record(EvTxnBegin, now, 0, 1, 0)
+			s.Record(EvPhaseExecute, now, 100, 1, 0)
+			s.Record(EvPhaseValidate, now, 50, 1, 0)
+			s.Record(EvPhaseWrite, now, 25, 1, 0)
+			s.Record(EvTxnCommit, now, 200, 1, 1<<32|1)
+		}
+	})
+}
+
+func TestAllocBudgetDisabled(t *testing.T) {
+	tr := New(Options{Workers: 1, Capacity: 1024, SampleEvery: 64})
+	s := tr.Shard(0)
+	assertZeroAllocs(t, "disabled-shard check", func() {
+		if s.Enabled() {
+			t.Fatal("shard unexpectedly enabled")
+		}
+	})
+}

@@ -1,0 +1,351 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// Event is one decoded ring entry. Cold-path representation only; the hot
+// path stores raw words (see slot).
+type Event struct {
+	// Shard is the recording shard's thread id (worker id, or an AddShard
+	// index past the worker range).
+	Shard int
+	// ShardLabel is "worker" or the AddShard label (e.g. "wal-logger").
+	ShardLabel string
+	Kind       Kind
+	// Start is the event's wall-clock start, Unix nanoseconds.
+	Start int64
+	// Dur is the event's duration in nanoseconds (0 for instants).
+	Dur uint64
+	// A and B are kind-specific arguments (see docs/OBSERVABILITY.md).
+	A, B uint64
+}
+
+// Events snapshots every readable event across all shards, oldest first per
+// shard. Slots being concurrently rewritten are skipped (the seqlock read
+// protocol), so a snapshot under load is complete-ish, never torn.
+func (t *Tracer) Events() []Event {
+	var out []Event
+	for _, s := range t.allShards() {
+		out = s.appendEvents(out)
+	}
+	return out
+}
+
+func (s *Shard) appendEvents(out []Event) []Event {
+	n := s.next.Load()
+	cap64 := uint64(len(s.slots))
+	start := uint64(0)
+	if n > cap64 {
+		start = n - cap64
+	}
+	for i := start; i < n; i++ {
+		sl := &s.slots[i%cap64]
+		seq1 := sl.seq.Load()
+		if seq1%2 != 0 || seq1 == 0 {
+			continue // mid-write or never written
+		}
+		ev := Event{
+			Shard:      s.tid,
+			ShardLabel: s.label,
+			Kind:       Kind(sl.kind.Load()),
+			Start:      sl.start.Load(),
+			Dur:        sl.dur.Load(),
+			A:          sl.a.Load(),
+			B:          sl.b.Load(),
+		}
+		if sl.seq.Load() != seq1 {
+			continue // rewritten while reading
+		}
+		if ev.Kind >= NumKinds {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// HotKey is one contention-report entry: a key's accumulated trace heat.
+type HotKey struct {
+	Key    uint64 `json:"key"`
+	Name   string `json:"name,omitempty"`
+	WaitNs uint64 `json:"wait_ns"`
+	Waits  uint64 `json:"waits"`
+	Aborts uint64 `json:"aborts"`
+	// Score ranks keys: wait_ns + aborts×1000 (one abort weighs like 1 µs
+	// of stall — aborts waste a whole execution, not just a spin).
+	Score uint64 `json:"score"`
+}
+
+// ContentionReport attributes observed stalls and aborts to keys.
+type ContentionReport struct {
+	// TopKeys is ranked by Score, descending, at most K entries.
+	TopKeys []HotKey `json:"top_keys"`
+	// TotalWaitNs / TotalAborts cover *all* keyed events, not just TopKeys.
+	TotalWaitNs uint64 `json:"total_wait_ns"`
+	TotalAborts uint64 `json:"total_aborts"`
+	// DroppedKeys counts distinct keys beyond the top K.
+	DroppedKeys int `json:"dropped_keys"`
+}
+
+// DefaultTopK is Contention's default report size.
+const DefaultTopK = 16
+
+// Contention folds pending_wait and keyed txn_abort events into per-key
+// heat and returns the top-K keys by score. k ≤ 0 means DefaultTopK.
+func (t *Tracer) Contention(k int) ContentionReport {
+	return foldContention(t, t.Events(), k)
+}
+
+func foldContention(t *Tracer, events []Event, k int) ContentionReport {
+	if k <= 0 {
+		k = DefaultTopK
+	}
+	type heat struct {
+		waitNs, waits, aborts uint64
+	}
+	byKey := make(map[uint64]*heat)
+	get := func(key uint64) *heat {
+		h := byKey[key]
+		if h == nil {
+			h = &heat{}
+			byKey[key] = h
+		}
+		return h
+	}
+	var rep ContentionReport
+	for _, ev := range events {
+		switch ev.Kind {
+		case EvPendingWait:
+			h := get(ev.A)
+			h.waitNs += ev.Dur
+			h.waits++
+			rep.TotalWaitNs += ev.Dur
+		case EvTxnAbort:
+			if ev.A == NoKey {
+				continue
+			}
+			get(ev.A).aborts++
+			rep.TotalAborts++
+		}
+	}
+	keys := make([]HotKey, 0, len(byKey))
+	for key, h := range byKey {
+		hk := HotKey{
+			Key:    key,
+			WaitNs: h.waitNs,
+			Waits:  h.waits,
+			Aborts: h.aborts,
+			Score:  h.waitNs + h.aborts*1000,
+		}
+		if t != nil {
+			hk.Name = t.KeyName(key)
+		}
+		keys = append(keys, hk)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Score != keys[j].Score {
+			return keys[i].Score > keys[j].Score
+		}
+		return keys[i].Key < keys[j].Key
+	})
+	if len(keys) > k {
+		rep.DroppedKeys = len(keys) - k
+		keys = keys[:k]
+	}
+	rep.TopKeys = keys
+	return rep
+}
+
+// chromeEvent is one Chrome trace-event object (the subset Perfetto and
+// chrome://tracing understand; ts/dur are microseconds).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent    `json:"traceEvents"`
+	DisplayTimeUnit string           `json:"displayTimeUnit"`
+	Contention      ContentionReport `json:"cicadaContention"`
+}
+
+// WriteChromeTrace writes the tracer's current contents as Chrome
+// trace-event JSON (object form), loadable in Perfetto / chrome://tracing.
+// The contention report rides along under the "cicadaContention" key, so
+// one file serves both the timeline and the hot-key attribution.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	rep := foldContention(t, events, DefaultTopK)
+
+	// Rebase timestamps so the trace starts near zero (Perfetto renders
+	// absolute Unix-epoch microseconds poorly).
+	var base int64
+	for _, ev := range events {
+		if base == 0 || (ev.Start != 0 && ev.Start < base) {
+			base = ev.Start
+		}
+	}
+
+	out := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(events)+8),
+		DisplayTimeUnit: "ns",
+		Contention:      rep,
+	}
+
+	// Thread-name metadata rows so shards render with stable labels.
+	seen := map[int]string{}
+	for _, ev := range events {
+		if _, ok := seen[ev.Shard]; !ok {
+			seen[ev.Shard] = ev.ShardLabel
+		}
+	}
+	tids := make([]int, 0, len(seen))
+	for tid := range seen {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   tid,
+			Args:  map[string]any{"name": seen[tid] + "-" + strconv.Itoa(tid)},
+		})
+	}
+
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Kind.String(),
+			TS:   float64(ev.Start-base) / 1e3,
+			PID:  1,
+			TID:  ev.Shard,
+		}
+		if ev.Dur > 0 {
+			ce.Phase = "X"
+			ce.Dur = float64(ev.Dur) / 1e3
+		} else {
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		if args := t.eventArgs(ev); len(args) > 0 {
+			ce.Args = args
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// eventArgs renders an event's kind-specific arguments for the exporter.
+func (t *Tracer) eventArgs(ev Event) map[string]any {
+	args := map[string]any{}
+	key := func(k uint64) {
+		if k == NoKey {
+			return
+		}
+		args["key"] = k
+		if t != nil {
+			if name := t.KeyName(k); name != "" {
+				args["key_name"] = name
+			}
+		}
+	}
+	switch ev.Kind {
+	case EvTxnBegin:
+		args["ts"] = ev.A
+	case EvTxnCommit:
+		args["ts"] = ev.A
+		args["reads"] = ev.B >> 32
+		args["writes"] = ev.B & 0xffffffff
+	case EvTxnAbort:
+		key(ev.A)
+		if t != nil {
+			args["reason"] = t.abortReason(ev.B)
+		} else {
+			args["reason"] = ev.B
+		}
+	case EvPhaseExecute, EvPhaseValidate, EvPhaseWrite:
+		args["ts"] = ev.A
+	case EvPendingWait:
+		key(ev.A)
+	case EvGCPass:
+		args["queue"] = ev.A
+	case EvWALAppend:
+		args["bytes"] = ev.A
+	}
+	return args
+}
+
+// Handler serves the tracer as Chrome trace-event JSON. With ?contention=1
+// it serves only the contention report; ?k=N sizes the report.
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if t == nil {
+			http.Error(w, "tracing not enabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if r.URL.Query().Get("contention") != "" {
+			k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(t.Contention(k))
+			return
+		}
+		_ = t.WriteChromeTrace(w)
+	})
+}
+
+// Live holds a swappable current tracer, so a long-lived HTTP endpoint can
+// follow per-trial tracers (the bench harness rebuilds the tracer for every
+// trial, mirroring telemetry.Live's registry swap).
+type Live struct {
+	cur atomic.Pointer[Tracer]
+}
+
+// Set installs t as the current tracer (nil allowed).
+func (l *Live) Set(t *Tracer) { l.cur.Store(t) }
+
+// Tracer returns the current tracer, or nil.
+func (l *Live) Tracer() *Tracer { return l.cur.Load() }
+
+// Handler serves whichever tracer is current at request time.
+func (l *Live) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		Handler(l.Tracer()).ServeHTTP(w, r)
+	})
+}
+
+// FprintContention writes a small human-readable hot-key table, used by
+// cicada-bench after a -trace run.
+func FprintContention(w io.Writer, rep ContentionReport) {
+	if len(rep.TopKeys) == 0 {
+		fmt.Fprintln(w, "contention: no keyed waits or aborts recorded")
+		return
+	}
+	fmt.Fprintf(w, "contention: top %d keys (total wait %.3fms, %d keyed aborts)\n",
+		len(rep.TopKeys), float64(rep.TotalWaitNs)/1e6, rep.TotalAborts)
+	for i, hk := range rep.TopKeys {
+		name := hk.Name
+		if name == "" {
+			name = fmt.Sprintf("0x%x", hk.Key)
+		}
+		fmt.Fprintf(w, "  %2d. %-24s wait %.3fms in %d waits, %d aborts\n",
+			i+1, name, float64(hk.WaitNs)/1e6, hk.Waits, hk.Aborts)
+	}
+}

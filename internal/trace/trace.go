@@ -1,0 +1,372 @@
+// Package trace is the engine's transaction tracer: per-worker,
+// single-writer, fixed-capacity ring buffers of compact binary events that
+// reconstruct where a transaction's time went (phase boundaries, pending-
+// version waits, backoff sleeps, GC passes, WAL appends and fsyncs) and
+// which keys caused it to stall or abort.
+//
+// The write side follows the same sanctioned-word discipline as
+// internal/telemetry: every slot word is an atomic written by exactly one
+// goroutine (the shard's owner) through a seqlock — bump the sequence odd,
+// store the payload words, bump it even — so recording takes no locks,
+// issues no read-modify-write instructions, and allocates nothing. Readers
+// (the exporter, the HTTP endpoint, the contention report) skip slots whose
+// sequence is odd or changed mid-read and accept slightly stale rings.
+//
+// A disabled shard costs one atomic load per instrumentation site; an
+// unattached tracer costs one nil check. Sampling is per worker: every
+// SampleEvery-th transaction is traced in full, and concurrency-control
+// aborts are always recorded (they are the rare, diagnostic events).
+//
+// Exports: Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing) via WriteChromeTrace / the /debug/cicada-trace
+// endpoint, and a per-key contention attribution report via Contention.
+// The event catalog, sampling semantics, and overhead contract are
+// documented in docs/OBSERVABILITY.md; the tracedrift analyzer keeps the
+// catalog and that page in sync.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"cicada/internal/telemetry"
+)
+
+// Kind identifies a trace event type.
+type Kind uint8
+
+// The event catalog. Every kind here must appear in the event table in
+// docs/OBSERVABILITY.md (enforced by cicada-lint's tracedrift analyzer).
+const (
+	// EvTxnBegin marks a sampled transaction's begin (instant event).
+	EvTxnBegin Kind = iota
+	// EvTxnCommit spans a sampled committed transaction begin→commit.
+	EvTxnCommit
+	// EvTxnAbort spans begin→abort; recorded for every concurrency-control
+	// abort, sampled or not (arg A = conflict key, arg B = abort reason).
+	EvTxnAbort
+	// EvPhaseExecute spans the read phase of a sampled committed transaction.
+	EvPhaseExecute
+	// EvPhaseValidate spans the validation phase (hooks through logging).
+	EvPhaseValidate
+	// EvPhaseWrite spans the write phase (PENDING→COMMITTED flips).
+	EvPhaseWrite
+	// EvPendingWait spans one spin-wait on a PENDING version
+	// (arg A = the waited-on key).
+	EvPendingWait
+	// EvBackoff spans one post-abort contention-regulation sleep.
+	EvBackoff
+	// EvGCPass spans one quiescence/maintenance round
+	// (arg A = GC queue depth).
+	EvGCPass
+	// EvWALAppend spans one redo-record append (arg A = record bytes).
+	EvWALAppend
+	// EvWALFsync spans one group-commit fsync (logger-goroutine shards).
+	EvWALFsync
+
+	// NumKinds is the catalog size.
+	NumKinds
+)
+
+// eventNames maps Kind values to the stable names used by the exporter and
+// by docs/OBSERVABILITY.md's event table (cross-checked by tracedrift).
+var eventNames = [NumKinds]string{
+	"txn_begin",
+	"txn_commit",
+	"txn_abort",
+	"phase_execute",
+	"phase_validate",
+	"phase_write",
+	"pending_wait",
+	"backoff",
+	"gc_pass",
+	"wal_append",
+	"wal_fsync",
+}
+
+// String returns the kind's stable catalog name.
+func (k Kind) String() string {
+	if k < NumKinds {
+		return eventNames[k]
+	}
+	return "unknown"
+}
+
+// EventNames returns the full catalog in Kind order.
+func EventNames() []string {
+	out := make([]string, NumKinds)
+	copy(out, eventNames[:])
+	return out
+}
+
+// NoKey is the conflict-key value meaning "no specific key" (e.g. a
+// pre-commit hook veto or a logger failure).
+const NoKey = ^uint64(0)
+
+// slot is one ring entry: a seqlock over five payload words. The writer
+// bumps seq odd, stores the payload, bumps seq even; readers skip odd or
+// mid-write slots. All words are atomics, so the pattern is race-detector
+// clean and never exposes a torn event.
+type slot struct {
+	seq   atomic.Uint64
+	kind  atomic.Uint64
+	start atomic.Int64 // wall-clock start, Unix nanoseconds
+	dur   atomic.Uint64
+	a     atomic.Uint64
+	b     atomic.Uint64
+}
+
+// Shard is one goroutine's event ring. Exactly one goroutine may call
+// Record/SampleTxn on a shard; any goroutine may read it at any time.
+type Shard struct {
+	// enabled mirrors the tracer's switch into the shard so the disabled
+	// fast path is a single atomic load with no pointer chase.
+	enabled atomic.Uint32
+	// next counts events ever recorded into the ring (owner-only writer);
+	// next − len(slots) of them have been overwritten.
+	next atomic.Uint64
+	// txns and sampled count sampling decisions (owner-only writers), read
+	// by the trace_* metric families.
+	txns    atomic.Uint64
+	sampled atomic.Uint64
+
+	sampleEvery uint64
+	slots       []slot
+	label       string
+	tid         int
+	_           [24]byte // pad hot words away from the neighbouring shard
+}
+
+// Enabled reports whether the tracer is recording. One atomic load.
+//
+//cicada:noalloc
+func (s *Shard) Enabled() bool { return s.enabled.Load() != 0 }
+
+// SampleTxn makes the per-transaction sampling decision: every
+// SampleEvery-th transaction on this shard is traced in full. Owner-only.
+//
+//cicada:noalloc
+func (s *Shard) SampleTxn() bool {
+	n := s.txns.Load() + 1
+	s.txns.Store(n)
+	if n%s.sampleEvery != 0 {
+		return false
+	}
+	s.sampled.Store(s.sampled.Load() + 1)
+	return true
+}
+
+// Record appends one event, overwriting the oldest once the ring is full.
+// Owner-only; allocation-free; no locks, no read-modify-write.
+//
+//cicada:noalloc
+func (s *Shard) Record(k Kind, startUnixNano int64, durNs, a, b uint64) {
+	i := s.next.Load()
+	sl := &s.slots[i%uint64(len(s.slots))]
+	seq := sl.seq.Load()
+	sl.seq.Store(seq + 1) // odd: writing
+	sl.kind.Store(uint64(k))
+	sl.start.Store(startUnixNano)
+	sl.dur.Store(durNs)
+	sl.a.Store(a)
+	sl.b.Store(b)
+	sl.seq.Store(seq + 2) // even: stable
+	s.next.Store(i + 1)
+}
+
+// Options configures a Tracer.
+type Options struct {
+	// Workers is the number of worker shards (one per engine worker).
+	Workers int
+	// Capacity is each shard's ring size in events. Default 8192
+	// (~48 B/event ⇒ ~384 KiB per worker).
+	Capacity int
+	// SampleEvery traces every Nth transaction per worker (aborts are
+	// always traced). Default 64; 1 traces everything.
+	SampleEvery int
+}
+
+func (o *Options) setDefaults() {
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.Capacity < 1 {
+		o.Capacity = 8192
+	}
+	if o.SampleEvery < 1 {
+		o.SampleEvery = 64
+	}
+}
+
+// Tracer owns the per-worker shards plus any extra single-writer shards
+// (WAL logger goroutines). Construction and control are cold paths; only
+// Shard methods appear on the transaction hot path.
+type Tracer struct {
+	opts    Options
+	enabled atomic.Bool
+	workers []*Shard
+
+	mu    sync.Mutex
+	extra []*Shard // AddShard results, snapshotted under mu
+
+	// keyNamer renders a conflict key (table<<48 | record) as a
+	// human-readable name in exports; installed by the engine.
+	keyNamer atomic.Pointer[func(key uint64) string]
+	// abortReasons maps EvTxnAbort's arg B to taxonomy names.
+	abortReasons atomic.Pointer[[]string]
+}
+
+// New creates a tracer with one ring per worker. The tracer starts
+// disabled; call SetEnabled(true) to record.
+func New(o Options) *Tracer {
+	o.setDefaults()
+	t := &Tracer{opts: o}
+	t.workers = make([]*Shard, o.Workers)
+	for i := range t.workers {
+		t.workers[i] = t.newShard("worker", i)
+	}
+	return t
+}
+
+func (t *Tracer) newShard(label string, tid int) *Shard {
+	s := &Shard{
+		sampleEvery: uint64(t.opts.SampleEvery),
+		slots:       make([]slot, t.opts.Capacity),
+		label:       label,
+		tid:         tid,
+	}
+	if t.enabled.Load() {
+		s.enabled.Store(1)
+	}
+	return s
+}
+
+// Shards returns the worker shard count.
+func (t *Tracer) Shards() int { return len(t.workers) }
+
+// Shard returns worker id's ring.
+func (t *Tracer) Shard(id int) *Shard { return t.workers[id] }
+
+// AddShard creates an extra single-writer shard for a non-worker goroutine
+// (e.g. a WAL group-commit logger). Cold path; safe to call concurrently.
+func (t *Tracer) AddShard(label string) *Shard {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.newShard(label, len(t.workers)+len(t.extra))
+	t.extra = append(t.extra, s)
+	return s
+}
+
+// SetEnabled switches recording on or off, propagating to every shard so
+// the hot-path check stays one shard-local atomic load.
+func (t *Tracer) SetEnabled(on bool) {
+	t.enabled.Store(on)
+	v := uint32(0)
+	if on {
+		v = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, s := range t.workers {
+		s.enabled.Store(v)
+	}
+	for _, s := range t.extra {
+		s.enabled.Store(v)
+	}
+}
+
+// Enabled reports whether the tracer is recording.
+func (t *Tracer) Enabled() bool { return t.enabled.Load() }
+
+// SampleEvery returns the per-worker sampling period.
+func (t *Tracer) SampleEvery() int { return t.opts.SampleEvery }
+
+// SetKeyNamer installs the conflict-key renderer used by exports (the
+// engine maps table<<48|record back to "table[rid]"). Call before export;
+// concurrent installation is safe.
+func (t *Tracer) SetKeyNamer(fn func(key uint64) string) {
+	if fn == nil {
+		t.keyNamer.Store(nil)
+		return
+	}
+	t.keyNamer.Store(&fn)
+}
+
+// SetAbortReasons installs the abort-taxonomy names used to render
+// EvTxnAbort events (index = reason value).
+func (t *Tracer) SetAbortReasons(names []string) {
+	cp := append([]string(nil), names...)
+	t.abortReasons.Store(&cp)
+}
+
+// KeyName renders a conflict key through the installed namer.
+func (t *Tracer) KeyName(key uint64) string {
+	if key == NoKey {
+		return ""
+	}
+	if fn := t.keyNamer.Load(); fn != nil {
+		return (*fn)(key)
+	}
+	return ""
+}
+
+func (t *Tracer) abortReason(i uint64) string {
+	if names := t.abortReasons.Load(); names != nil && i < uint64(len(*names)) {
+		return (*names)[i]
+	}
+	return "unknown"
+}
+
+// allShards snapshots the shard list (worker shards plus extras).
+func (t *Tracer) allShards() []*Shard {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Shard, 0, len(t.workers)+len(t.extra))
+	out = append(out, t.workers...)
+	out = append(out, t.extra...)
+	return out
+}
+
+// EventsTotal returns the number of events ever recorded across all shards.
+func (t *Tracer) EventsTotal() uint64 {
+	var n uint64
+	for _, s := range t.allShards() {
+		n += s.next.Load()
+	}
+	return n
+}
+
+// TxnsSampled returns the number of transactions chosen by sampling.
+func (t *Tracer) TxnsSampled() uint64 {
+	var n uint64
+	for _, s := range t.allShards() {
+		n += s.sampled.Load()
+	}
+	return n
+}
+
+// EventsOverwritten returns how many recorded events have been lost to ring
+// wrap-around (per shard: max(0, recorded − capacity)).
+func (t *Tracer) EventsOverwritten() uint64 {
+	var n uint64
+	for _, s := range t.allShards() {
+		if rec, cap := s.next.Load(), uint64(len(s.slots)); rec > cap {
+			n += rec - cap
+		}
+	}
+	return n
+}
+
+// RegisterMetrics publishes the tracer's own health counters as trace_*
+// telemetry families (documented in docs/OBSERVABILITY.md).
+func (t *Tracer) RegisterMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("trace_events_total",
+		"Trace events recorded across all shards (including overwritten).",
+		func() float64 { return float64(t.EventsTotal()) })
+	reg.CounterFunc("trace_txns_sampled_total",
+		"Transactions selected by every-Nth trace sampling.",
+		func() float64 { return float64(t.TxnsSampled()) })
+	reg.CounterFunc("trace_events_overwritten_total",
+		"Trace events lost to ring wrap-around (grow Capacity if nonzero).",
+		func() float64 { return float64(t.EventsOverwritten()) })
+}

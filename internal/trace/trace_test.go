@@ -1,0 +1,302 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cicada/internal/telemetry"
+)
+
+func newEnabled(t *testing.T, o Options) *Tracer {
+	t.Helper()
+	tr := New(o)
+	tr.SetEnabled(true)
+	return tr
+}
+
+func TestRecordEventsRoundTrip(t *testing.T) {
+	tr := newEnabled(t, Options{Workers: 2, Capacity: 16, SampleEvery: 1})
+	s0 := tr.Shard(0)
+	s0.Record(EvTxnBegin, 1000, 0, 42, 0)
+	s0.Record(EvTxnCommit, 1000, 500, 42, 2<<32|3)
+	tr.Shard(1).Record(EvPendingWait, 2000, 250, 7, 0)
+
+	evs := tr.Events()
+	if len(evs) != 3 {
+		t.Fatalf("Events() = %d events; want 3", len(evs))
+	}
+	if evs[0].Kind != EvTxnBegin || evs[0].Start != 1000 || evs[0].A != 42 {
+		t.Errorf("event 0 = %+v; want txn_begin start=1000 a=42", evs[0])
+	}
+	if evs[1].Kind != EvTxnCommit || evs[1].Dur != 500 || evs[1].B != 2<<32|3 {
+		t.Errorf("event 1 = %+v; want txn_commit dur=500 b=reads<<32|writes", evs[1])
+	}
+	if evs[2].Shard != 1 || evs[2].Kind != EvPendingWait || evs[2].A != 7 {
+		t.Errorf("event 2 = %+v; want shard-1 pending_wait key=7", evs[2])
+	}
+	if got := tr.EventsTotal(); got != 3 {
+		t.Errorf("EventsTotal = %d; want 3", got)
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	tr := newEnabled(t, Options{Workers: 1, Capacity: 4, SampleEvery: 1})
+	s := tr.Shard(0)
+	for i := 0; i < 10; i++ {
+		s.Record(EvBackoff, int64(i), uint64(i), 0, 0)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events() after overwrite = %d; want capacity 4", len(evs))
+	}
+	// Oldest surviving event is #6 (10 recorded into 4 slots).
+	if evs[0].Start != 6 || evs[3].Start != 9 {
+		t.Errorf("surviving events span starts %d..%d; want 6..9", evs[0].Start, evs[3].Start)
+	}
+	if got := tr.EventsOverwritten(); got != 6 {
+		t.Errorf("EventsOverwritten = %d; want 6", got)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := newEnabled(t, Options{Workers: 1, Capacity: 16, SampleEvery: 4})
+	s := tr.Shard(0)
+	var hits int
+	for i := 0; i < 16; i++ {
+		if s.SampleTxn() {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Errorf("sampled %d of 16 at 1/4; want 4", hits)
+	}
+	if got := tr.TxnsSampled(); got != 4 {
+		t.Errorf("TxnsSampled = %d; want 4", got)
+	}
+}
+
+func TestDisabledShard(t *testing.T) {
+	tr := New(Options{Workers: 1})
+	if tr.Shard(0).Enabled() {
+		t.Fatal("new tracer's shard is enabled before SetEnabled(true)")
+	}
+	tr.SetEnabled(true)
+	// Shards created after enabling inherit the switch.
+	extra := tr.AddShard("wal-logger")
+	if !tr.Shard(0).Enabled() || !extra.Enabled() {
+		t.Fatal("SetEnabled(true) did not propagate to all shards")
+	}
+	tr.SetEnabled(false)
+	if tr.Shard(0).Enabled() || extra.Enabled() {
+		t.Fatal("SetEnabled(false) did not propagate to all shards")
+	}
+}
+
+func TestContentionFold(t *testing.T) {
+	tr := newEnabled(t, Options{Workers: 1, Capacity: 64, SampleEvery: 1})
+	s := tr.Shard(0)
+	// Key 5: two waits totaling 3000ns. Key 9: one abort (scores 1000).
+	s.Record(EvPendingWait, 100, 1000, 5, 0)
+	s.Record(EvPendingWait, 200, 2000, 5, 0)
+	s.Record(EvTxnAbort, 300, 50, 9, 1)
+	// Unkeyed abort must not create an entry.
+	s.Record(EvTxnAbort, 400, 50, NoKey, 7)
+
+	rep := tr.Contention(10)
+	if len(rep.TopKeys) != 2 {
+		t.Fatalf("TopKeys = %d entries; want 2", len(rep.TopKeys))
+	}
+	if rep.TopKeys[0].Key != 5 || rep.TopKeys[0].Score != 3000 || rep.TopKeys[0].Waits != 2 {
+		t.Errorf("top key = %+v; want key 5 score 3000 waits 2", rep.TopKeys[0])
+	}
+	if rep.TopKeys[1].Key != 9 || rep.TopKeys[1].Aborts != 1 || rep.TopKeys[1].Score != 1000 {
+		t.Errorf("second key = %+v; want key 9 with 1 abort", rep.TopKeys[1])
+	}
+	if rep.TotalWaitNs != 3000 || rep.TotalAborts != 1 {
+		t.Errorf("totals = wait %d aborts %d; want 3000 and 1 (NoKey abort excluded)", rep.TotalWaitNs, rep.TotalAborts)
+	}
+
+	// Truncation counts dropped keys.
+	rep = tr.Contention(1)
+	if len(rep.TopKeys) != 1 || rep.DroppedKeys != 1 {
+		t.Errorf("k=1 report = %d keys, %d dropped; want 1 and 1", len(rep.TopKeys), rep.DroppedKeys)
+	}
+}
+
+func TestChromeTraceJSON(t *testing.T) {
+	tr := newEnabled(t, Options{Workers: 1, Capacity: 64, SampleEvery: 1})
+	tr.SetKeyNamer(func(key uint64) string { return "tbl[" + string(rune('0'+key)) + "]" })
+	tr.SetAbortReasons([]string{"rts_early", "write_latest"})
+	s := tr.Shard(0)
+	base := time.Now().UnixNano()
+	s.Record(EvTxnBegin, base, 0, 1, 0)
+	s.Record(EvTxnCommit, base, 1500, 1, 1<<32|1)
+	s.Record(EvTxnAbort, base+100, 700, 3, 1)
+	s.Record(EvPendingWait, base+200, 400, 3, 0)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		Contention ContentionReport `json:"cicadaContention"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// 1 thread_name metadata row + 4 events.
+	if len(out.TraceEvents) != 5 {
+		t.Fatalf("traceEvents = %d; want 5", len(out.TraceEvents))
+	}
+	byName := map[string]int{}
+	for i, ev := range out.TraceEvents {
+		byName[ev.Name] = i
+	}
+	begin := out.TraceEvents[byName["txn_begin"]]
+	if begin.Phase != "i" {
+		t.Errorf("txn_begin phase = %q; want instant \"i\"", begin.Phase)
+	}
+	commit := out.TraceEvents[byName["txn_commit"]]
+	if commit.Phase != "X" || commit.Dur != 1.5 {
+		t.Errorf("txn_commit = phase %q dur %gus; want X / 1.5", commit.Phase, commit.Dur)
+	}
+	abort := out.TraceEvents[byName["txn_abort"]]
+	if abort.Args["reason"] != "write_latest" || abort.Args["key_name"] != "tbl[3]" {
+		t.Errorf("txn_abort args = %v; want reason write_latest on tbl[3]", abort.Args)
+	}
+	if len(out.Contention.TopKeys) == 0 || out.Contention.TopKeys[0].Key != 3 {
+		t.Errorf("embedded contention report = %+v; want key 3 on top", out.Contention)
+	}
+}
+
+func TestHandlerAndLive(t *testing.T) {
+	var live Live
+	// Nil tracer → 404.
+	rr := httptest.NewRecorder()
+	live.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/cicada-trace", nil))
+	if rr.Code != 404 {
+		t.Fatalf("nil-tracer status = %d; want 404", rr.Code)
+	}
+
+	tr := newEnabled(t, Options{Workers: 1, Capacity: 16, SampleEvery: 1})
+	tr.Shard(0).Record(EvPendingWait, 100, 900, 12, 0)
+	live.Set(tr)
+
+	rr = httptest.NewRecorder()
+	live.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/cicada-trace", nil))
+	if rr.Code != 200 || !strings.Contains(rr.Body.String(), "traceEvents") {
+		t.Fatalf("trace endpoint: status %d body %q", rr.Code, rr.Body.String()[:min(80, rr.Body.Len())])
+	}
+
+	rr = httptest.NewRecorder()
+	live.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/cicada-trace?contention=1&k=3", nil))
+	var rep ContentionReport
+	if err := json.Unmarshal(rr.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("contention endpoint: %v", err)
+	}
+	if len(rep.TopKeys) != 1 || rep.TopKeys[0].Key != 12 {
+		t.Errorf("contention report = %+v; want key 12", rep)
+	}
+}
+
+func TestConcurrentReadersUnderWrites(t *testing.T) {
+	tr := newEnabled(t, Options{Workers: 2, Capacity: 32, SampleEvery: 1})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for id := 0; id < 2; id++ {
+		wg.Add(1)
+		go func(s *Shard) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Record(Kind(i%int(NumKinds)), int64(i), uint64(i), uint64(i), 0)
+			}
+		}(tr.Shard(id))
+	}
+	for i := 0; i < 50; i++ {
+		for _, ev := range tr.Events() {
+			if ev.Kind >= NumKinds {
+				t.Errorf("torn read: kind %d", ev.Kind)
+			}
+		}
+		tr.Contention(4)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	tr := newEnabled(t, Options{Workers: 1, Capacity: 16, SampleEvery: 2})
+	reg := telemetry.NewRegistry(1)
+	tr.RegisterMetrics(reg)
+	s := tr.Shard(0)
+	s.SampleTxn()
+	s.SampleTxn()
+	s.Record(EvTxnBegin, 1, 0, 0, 0)
+
+	vals := reg.MonotoneValues()
+	want := map[string]float64{
+		"trace_events_total":             1,
+		"trace_txns_sampled_total":       1,
+		"trace_events_overwritten_total": 0,
+	}
+	for fam, v := range want {
+		got, ok := findMetric(vals, fam)
+		if !ok {
+			t.Errorf("family %s not registered (have %v)", fam, vals)
+		} else if got != v {
+			t.Errorf("%s = %g; want %g", fam, got, v)
+		}
+	}
+}
+
+func findMetric(vals map[string]float64, fam string) (float64, bool) {
+	if v, ok := vals[fam]; ok {
+		return v, true
+	}
+	for k, v := range vals {
+		if strings.HasPrefix(k, fam) {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func TestEventNamesCatalog(t *testing.T) {
+	names := EventNames()
+	if len(names) != int(NumKinds) {
+		t.Fatalf("EventNames() = %d entries; want NumKinds = %d", len(names), NumKinds)
+	}
+	seen := map[string]bool{}
+	for k, name := range names {
+		if name == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[name] {
+			t.Errorf("duplicate event name %q", name)
+		}
+		seen[name] = true
+		if got := Kind(k).String(); got != name {
+			t.Errorf("Kind(%d).String() = %q; want %q", k, got, name)
+		}
+	}
+	if got := NumKinds.String(); got != "unknown" {
+		t.Errorf("out-of-range kind String() = %q; want unknown", got)
+	}
+}

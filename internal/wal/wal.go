@@ -39,6 +39,7 @@ import (
 	"cicada/internal/clock"
 	"cicada/internal/core"
 	"cicada/internal/fault"
+	"cicada/internal/trace"
 )
 
 const (
@@ -105,6 +106,9 @@ type Manager struct {
 	ckptSeq int
 	mu      sync.Mutex // serializes Checkpoint/Close
 	closed  bool
+	// tr mirrors the engine's tracer: append events are recorded on the
+	// calling worker's shard, fsync events on per-logger extra shards.
+	tr *trace.Tracer
 }
 
 // Attach creates the log directory, starts logger threads, and installs the
@@ -114,12 +118,17 @@ func Attach(eng *core.Engine, opts Options) (*Manager, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	m := &Manager{eng: eng, opts: opts}
+	m := &Manager{eng: eng, opts: opts, tr: eng.Options().Trace}
 	for i := 0; i < opts.Loggers; i++ {
 		lg, err := newLogger(opts.Dir, i, opts)
 		if err != nil {
 			m.stopLoggers()
 			return nil, err
+		}
+		if m.tr != nil {
+			// The group-commit goroutine is a non-worker single writer, so
+			// it gets its own shard for fsync events.
+			lg.tr = m.tr.AddShard(fmt.Sprintf("wal-logger-%d", i))
 		}
 		m.loggers = append(m.loggers, lg)
 	}
@@ -128,10 +137,23 @@ func Attach(eng *core.Engine, opts Options) (*Manager, error) {
 }
 
 // Log implements core.Logger: encode the redo record and hand it to the
-// worker's logger.
+// worker's logger. It runs on the worker's goroutine, so the append trace
+// event goes to that worker's own shard.
 func (m *Manager) Log(worker int, ts clock.Timestamp, entries []core.LogEntry) error {
 	lg := m.loggers[worker%len(m.loggers)]
-	return lg.submit(ts, worker, entries)
+	var sh *trace.Shard
+	var start time.Time
+	if m.tr != nil && worker < m.tr.Shards() {
+		if s := m.tr.Shard(worker); s.Enabled() {
+			sh = s
+			start = time.Now()
+		}
+	}
+	n, err := lg.submit(ts, worker, entries)
+	if sh != nil {
+		sh.Record(trace.EvWALAppend, start.UnixNano(), uint64(time.Since(start)), uint64(n), 0)
+	}
+	return err
 }
 
 // Flush forces all buffered redo records to stable storage (a durability
@@ -195,6 +217,10 @@ type logger struct {
 	seq   int
 	maxTS clock.Timestamp
 	err   error
+	// tr is the group-commit goroutine's trace shard (nil when untraced).
+	// Only run() records on it: flushSync runs on arbitrary caller
+	// goroutines, which would break the single-writer discipline.
+	tr *trace.Shard
 }
 
 func newLogger(dir string, id int, opts Options) (*logger, error) {
@@ -229,18 +255,18 @@ func (lg *logger) openChunk() error {
 // is copied into the encoded buffer, so the caller's buffers may be reused
 // immediately. A logging failure is returned to the worker, which aborts
 // the transaction (§3.4).
-func (lg *logger) submit(ts clock.Timestamp, worker int, entries []core.LogEntry) error {
+func (lg *logger) submit(ts clock.Timestamp, worker int, entries []core.LogEntry) (int, error) {
 	buf := encodeRedo(ts, worker, entries)
 	lg.mu.Lock()
 	defer lg.mu.Unlock()
 	if lg.err != nil {
-		return lg.err
+		return 0, lg.err
 	}
 	if lg.f == nil {
-		return fmt.Errorf("wal: logger %d stopped", lg.id)
+		return 0, fmt.Errorf("wal: logger %d stopped", lg.id)
 	}
 	lg.writeLocked(buf, ts)
-	return lg.err
+	return len(buf), lg.err
 }
 
 // encodeRedo frames one transaction's write set as a redo record:
@@ -292,11 +318,11 @@ func (lg *logger) run() {
 		select {
 		case <-tick.C:
 			lg.mu.Lock()
-			lg.syncLocked()
+			lg.timedSyncLocked()
 			lg.mu.Unlock()
 		case <-lg.done:
 			lg.mu.Lock()
-			lg.syncLocked()
+			lg.timedSyncLocked()
 			if lg.f != nil {
 				lg.f.Close()
 				lg.f = nil
@@ -305,6 +331,19 @@ func (lg *logger) run() {
 			return
 		}
 	}
+}
+
+// timedSyncLocked is run()'s fsync wrapper: it records a wal_fsync trace
+// event on the group-commit goroutine's own shard. flushSync must keep
+// calling the bare syncLocked — it runs on arbitrary goroutines.
+func (lg *logger) timedSyncLocked() {
+	if lg.tr == nil || !lg.tr.Enabled() {
+		lg.syncLocked()
+		return
+	}
+	start := time.Now()
+	lg.syncLocked()
+	lg.tr.Record(trace.EvWALFsync, start.UnixNano(), uint64(time.Since(start)), 0, 0)
 }
 
 func (lg *logger) writeLocked(buf []byte, ts clock.Timestamp) {
