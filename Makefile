@@ -8,11 +8,11 @@ GO ?= go
 # registries are all cross-goroutine (docs/DURABILITY.md).
 RACE_PKGS = ./internal/core/... ./internal/clock/... ./internal/storage/... ./internal/telemetry/... ./internal/trace/... ./internal/wal/... ./internal/fault/...
 
-.PHONY: all build test lint vet check race bench bench-smoke bench-json telemetry-smoke trace-smoke torture docs-lint clean
+.PHONY: all build test lint vet check race bench bench-smoke bench-compare bench-json telemetry-smoke trace-smoke torture docs-lint clean
 
 # Packages with the hot-path microbenchmarks and allocation-budget tests
 # (docs/PERFORMANCE.md).
-BENCH_PKGS = ./internal/core/ ./internal/index/ ./internal/svindex/
+BENCH_PKGS = ./internal/core/ ./internal/index/ ./internal/svindex/ ./internal/wal/
 
 all: build lint test
 
@@ -48,8 +48,16 @@ bench:
 # PR gate: allocation-budget tests plus a one-iteration benchmark compile/run
 # pass. Catches hot-path regressions without CI-length benchmark runs.
 bench-smoke:
-	$(GO) test -run 'TestAllocBudget|TestRepeated' $(BENCH_PKGS)
+	$(GO) test -run 'AllocBudget|TestRepeated' $(BENCH_PKGS)
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem $(BENCH_PKGS)
+
+# Scalability-regression gate (docs/PERFORMANCE.md): re-run the 2-thread
+# uniform-YCSB sweep and fail if the speedup over 1 thread falls below the
+# committed BENCH_ycsb.json seed's value (× the slack factor built into
+# bench-compare). Writes a mutex-contention profile for CI to archive.
+bench-compare:
+	$(GO) run ./cmd/bench-compare -seed BENCH_ycsb.json -experiment fig6a \
+		-engine Cicada -param 0 -threads 2 -mutexprofile /tmp/cicada-mutex.pb.gz
 
 # Refresh the committed perf-trajectory seeds: a multi-core thread sweep per
 # workload, with the tps-vs-threads curves folded into the reports'

@@ -1,0 +1,110 @@
+// Command bench-compare is the CI scalability-regression gate
+// (docs/PERFORMANCE.md): it re-runs one scalability curve from a committed
+// BENCH_*.json seed at small scale and fails (exit 1) if the fresh
+// multi-thread speedup falls below the seed's recorded value times -slack.
+//
+// Usage (the CI defaults):
+//
+//	bench-compare -seed BENCH_ycsb.json -experiment fig6a -engine Cicada \
+//	    -param 0 -threads 2 -mutexprofile mutex.out
+//
+// The fresh run measures the same (experiment, engine, param) curve with a
+// threads sweep of {1, -threads}. -mutexprofile enables mutex profiling for
+// the run and writes the profile on exit, so the CI job can upload it as an
+// artifact whether the gate passes or fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"cicada/internal/bench"
+)
+
+func main() {
+	var (
+		seedPath   = flag.String("seed", "BENCH_ycsb.json", "committed bench report to compare against")
+		experiment = flag.String("experiment", "fig6a", "seed curve's experiment (fig6a or scaling)")
+		engineName = flag.String("engine", "Cicada", "seed curve's engine name")
+		param      = flag.Float64("param", 0, "seed curve's param value (e.g. Zipf theta for scaling)")
+		threads    = flag.Int("threads", 2, "thread count whose speedup is gated (measured against threads=1)")
+		slack      = flag.Float64("slack", 0.9, "fresh speedup must be ≥ seed speedup × slack (absorbs runner noise)")
+		ramp       = flag.Duration("ramp", 200*time.Millisecond, "ramp-up before measuring each point")
+		measure    = flag.Duration("measure", 500*time.Millisecond, "measurement window per point")
+		mutexProf  = flag.String("mutexprofile", "", "enable mutex profiling and write the profile here on exit")
+	)
+	flag.Parse()
+
+	seed, err := bench.LoadReport(*seedPath)
+	if err != nil {
+		fatal(2, "load seed: %v", err)
+	}
+	seedCurve, err := bench.FindCurve(seed, *experiment, *engineName, *param)
+	if err != nil {
+		fatal(2, "seed: %v", err)
+	}
+	seedSpeedup, err := bench.SpeedupAt(seedCurve, *threads)
+	if err != nil {
+		fatal(2, "seed: %v", err)
+	}
+
+	if *mutexProf != "" {
+		runtime.SetMutexProfileFraction(100)
+		defer writeMutexProfile(*mutexProf)
+	}
+
+	s := bench.DefaultScale()
+	s.Threads = []int{1, *threads}
+	s.Dur = bench.Durations{Ramp: *ramp, Measure: *measure}
+	// Scaling derives its durable Cicada/WAL curve from the Cicada entry.
+	s.Engines = []string{"Cicada"}
+
+	var results []bench.Result
+	switch *experiment {
+	case "fig6a":
+		results = bench.Fig6('a', s)
+	case "scaling":
+		results = bench.Scaling(s)
+	default:
+		fatal(2, "experiment %q not supported (fig6a or scaling)", *experiment)
+	}
+	fresh, err := bench.FindCurve(&bench.JSONReport{Scalability: bench.DeriveScalability(results)},
+		*experiment, *engineName, *param)
+	if err != nil {
+		fatal(2, "fresh run: %v", err)
+	}
+	freshSpeedup, err := bench.SpeedupAt(fresh, *threads)
+	if err != nil {
+		fatal(2, "fresh run: %v", err)
+	}
+
+	floor := seedSpeedup * *slack
+	fmt.Printf("bench-compare %s/%s param=%g: %d-thread speedup fresh=%.3f seed=%.3f floor=%.3f (slack %.2f)\n",
+		*experiment, *engineName, *param, *threads, freshSpeedup, seedSpeedup, floor, *slack)
+	if freshSpeedup < floor {
+		fatal(1, "REGRESSION: fresh %d-thread speedup %.3f fell below the committed floor %.3f",
+			*threads, freshSpeedup, floor)
+	}
+	fmt.Println("OK")
+}
+
+func writeMutexProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "create -mutexprofile file: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "write -mutexprofile file: %v\n", err)
+	}
+}
+
+func fatal(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(code)
+}

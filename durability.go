@@ -5,10 +5,13 @@
 // The durability contract, in brief (docs/DURABILITY.md has the full
 // specification):
 //
-//   - A transaction's redo record is on the OS page cache before its commit
-//     returns, and on stable storage after the next group-commit interval
-//     or WAL.Flush, whichever comes first. Flush is the acknowledgment
-//     barrier: data flushed before a crash is never lost.
+//   - Acknowledgments are batched. When a commit returns, its redo record
+//     is encoded into the worker's in-memory staged chunk chain; the
+//     group-commit goroutine writes the batch to the OS page cache within
+//     the next GroupCommit interval (or sooner) and makes it stable with
+//     one fsync per interval. WAL.Flush is the durability barrier: data
+//     flushed before a crash is never lost, and a crash may lose staged
+//     commits newer than the last completed barrier.
 //   - Every on-disk record carries a length prefix and a CRC32C, so
 //     recovery detects torn writes and bit flips. Damage at the tail of a
 //     log is dropped and reported (ErrTornTail in RecoverStats.TailFaults);
@@ -49,6 +52,9 @@ type WALConfig struct {
 	GroupCommit time.Duration
 	// ChunkSize rotates redo log files at this size (default 1 MiB).
 	ChunkSize int64
+	// BufChunk is the pooled in-memory staging chunk size of the batched
+	// write path (default 64 KiB, clamped to ChunkSize).
+	BufChunk int
 }
 
 // WAL is a handle to the database's durability manager.
@@ -57,8 +63,9 @@ type WAL struct {
 }
 
 // AttachWAL enables parallel value logging: every committed transaction's
-// write set is appended to per-logger redo files before the transaction's
-// versions become visible, with group-commit fsync. It must be called
+// write set is encoded into its worker's staged redo chain before the
+// transaction's versions become visible, and group commit batches the
+// staged chains to disk with one fsync per interval. It must be called
 // before transactions run.
 func (db *DB) AttachWAL(cfg WALConfig) (*WAL, error) {
 	m, err := wal.Attach(db.eng, wal.Options{
@@ -66,6 +73,7 @@ func (db *DB) AttachWAL(cfg WALConfig) (*WAL, error) {
 		Loggers:     cfg.Loggers,
 		GroupCommit: cfg.GroupCommit,
 		ChunkSize:   cfg.ChunkSize,
+		BufChunk:    cfg.BufChunk,
 	})
 	if err != nil {
 		return nil, err

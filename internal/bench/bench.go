@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"cicada/internal/engine"
 	"cicada/internal/telemetry"
 	"cicada/internal/trace"
+	"cicada/internal/wal"
 	"cicada/internal/workload/tpcc"
 	"cicada/internal/workload/ycsb"
 )
@@ -156,6 +158,15 @@ type Result struct {
 	// AbortTimeFrac is time spent on aborted execution plus backoff
 	// divided by busy time (Figure 10's "abort time").
 	AbortTimeFrac float64 `json:"abort_time_frac"`
+	// AllocsPerTxn is heap allocations per committed transaction during
+	// the measurement window (process-wide mallocs / commits; YCSB runs
+	// only). 0 when not measured.
+	AllocsPerTxn float64 `json:"allocs_per_txn,omitempty"`
+	// FsyncsPerTxn is WAL batch fsyncs per committed transaction during
+	// the measurement window; group commit amortizes many transactions
+	// into one fsync, so this is ≪ 1. Only set for durable (WAL-attached)
+	// runs.
+	FsyncsPerTxn float64 `json:"fsyncs_per_txn,omitempty"`
 	// Extra carries experiment-specific metrics (records/s, space
 	// overhead, staleness).
 	Extra map[string]float64 `json:"extra,omitempty"`
@@ -288,6 +299,10 @@ type YCSBOpts struct {
 	Durations Durations
 	// CountScans adds a records-scanned/s metric.
 	CountScans bool
+	// Durable attaches a WAL (in a temp directory, removed afterwards) to
+	// the engine and reports FsyncsPerTxn. The engine must be a Cicada
+	// variant — the baselines have no durability hook.
+	Durable bool
 	// Inspect runs after measurement with the db still loaded.
 	Inspect func(db engine.DB, res *Result)
 }
@@ -298,6 +313,24 @@ func RunYCSB(name string, f engine.Factory, o YCSBOpts) Result {
 	tr := trialTracer(o.Threads, reg)
 	db := f(engine.Config{Workers: o.Threads, PhantomAvoidance: o.Phantom,
 		HashBucketsHint: o.Cfg.Records, Metrics: reg, Trace: tr})
+	var walM *wal.Manager
+	if o.Durable {
+		ep, ok := db.(interface{ Engine() *core.Engine })
+		if !ok {
+			panic(fmt.Sprintf("ycsb (%s): Durable requires a Cicada engine", name))
+		}
+		walDir, err := os.MkdirTemp("", "cicada-bench-wal-")
+		if err != nil {
+			panic(fmt.Sprintf("ycsb (%s): wal dir: %v", name, err))
+		}
+		defer os.RemoveAll(walDir)
+		m, err := wal.Attach(ep.Engine(), wal.Options{Dir: walDir})
+		if err != nil {
+			panic(fmt.Sprintf("ycsb (%s): wal attach: %v", name, err))
+		}
+		walM = m
+		defer walM.Close()
+	}
 	w := ycsb.Setup(db, o.Cfg)
 	if err := w.Load(); err != nil {
 		panic(fmt.Sprintf("ycsb load (%s): %v", name, err))
@@ -343,9 +376,16 @@ func RunYCSB(name string, f engine.Factory, o YCSBOpts) Result {
 	if o.CountScans {
 		scanned0 = readScanned()
 	}
+	var fsyncs0 uint64
+	if walM != nil {
+		fsyncs0 = walM.Fsyncs()
+	}
+	var mem0, mem1 runtime.MemStats
+	runtime.ReadMemStats(&mem0)
 	t0 := time.Now()
 	time.Sleep(o.Durations.Measure)
 	c1 := db.CommitsLive()
+	runtime.ReadMemStats(&mem1)
 	elapsed := time.Since(t0).Seconds()
 	var scanRate float64
 	if o.CountScans {
@@ -355,6 +395,14 @@ func RunYCSB(name string, f engine.Factory, o YCSBOpts) Result {
 	close(stop)
 	done.Wait()
 	res := Result{Engine: name, Threads: o.Threads, TPS: float64(c1-c0) / elapsed}
+	if commits := c1 - c0; commits > 0 {
+		// Process-wide mallocs over commits: a coarse but comparable
+		// allocation-pressure figure (the workers dominate the process).
+		res.AllocsPerTxn = float64(mem1.Mallocs-mem0.Mallocs) / float64(commits)
+		if walM != nil {
+			res.FsyncsPerTxn = float64(walM.Fsyncs()-fsyncs0) / float64(commits)
+		}
+	}
 	res.Extra = map[string]float64{
 		"p50_us": float64(percentile(hists, 0.50)) / 1e3,
 		"p99_us": float64(percentile(hists, 0.99)) / 1e3,

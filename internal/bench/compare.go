@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// This file backs the CI bench-compare gate (cmd/bench-compare): load a
+// committed BENCH_*.json seed, pick one scalability curve out of it, and
+// expose its per-thread speedup so a fresh run can be checked against it.
+
+// LoadReport reads a BENCH_*.json perf-trajectory report. Older schema
+// versions load fine — every schema bump so far has been additive — so the
+// gate keeps working against seeds committed before the current version.
+func LoadReport(path string) (*JSONReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep JSONReport
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Meta.SchemaVersion == 0 {
+		return nil, fmt.Errorf("%s: not a bench report (no meta.schema_version)", path)
+	}
+	return &rep, nil
+}
+
+// FindCurve returns the report's scalability curve for the given
+// (experiment, engine, param) key.
+func FindCurve(rep *JSONReport, experiment, engine string, param float64) (*ScalabilityCurve, error) {
+	for i := range rep.Scalability {
+		c := &rep.Scalability[i]
+		if c.Experiment == experiment && c.Engine == engine && c.Param == param {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("no scalability curve (experiment=%s, engine=%s, param=%g); have %d curves",
+		experiment, engine, param, len(rep.Scalability))
+}
+
+// SpeedupAt returns the curve's speedup at the given thread count.
+func SpeedupAt(c *ScalabilityCurve, threads int) (float64, error) {
+	for _, p := range c.Points {
+		if p.Threads == threads {
+			if p.Speedup == 0 {
+				return 0, fmt.Errorf("curve (%s, %s, %g) has no speedup at %d threads (no threads=1 base point)",
+					c.Experiment, c.Engine, c.Param, threads)
+			}
+			return p.Speedup, nil
+		}
+	}
+	return 0, fmt.Errorf("curve (%s, %s, %g) has no threads=%d point",
+		c.Experiment, c.Engine, c.Param, threads)
+}

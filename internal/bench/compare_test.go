@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// sampleResults builds a two-curve result set: Cicada sweeping 1→2 threads
+// and a durable Cicada/WAL curve carrying the new v3 fields.
+func sampleResults() []Result {
+	return []Result{
+		{Experiment: "fig6a", Engine: "Cicada", Threads: 1, TPS: 100, AllocsPerTxn: 3},
+		{Experiment: "fig6a", Engine: "Cicada", Threads: 2, TPS: 80, AllocsPerTxn: 4},
+		{Experiment: "scaling", Engine: "Cicada/WAL", Threads: 1, TPS: 90, FsyncsPerTxn: 0.01},
+		{Experiment: "scaling", Engine: "Cicada/WAL", Threads: 2, TPS: 120, FsyncsPerTxn: 0.02},
+	}
+}
+
+func TestLoadReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, NewRunMeta([]string{"fig6a", "scaling"}, ""), sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Meta.SchemaVersion != JSONSchemaVersion {
+		t.Fatalf("schema %d, want %d", rep.Meta.SchemaVersion, JSONSchemaVersion)
+	}
+	c, err := FindCurve(rep, "fig6a", "Cicada", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := SpeedupAt(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp != 0.8 {
+		t.Fatalf("speedup %g, want 0.8", sp)
+	}
+	if c.Points[1].AllocsPerTxn != 4 {
+		t.Fatalf("allocs_per_txn not carried into curve point: %+v", c.Points[1])
+	}
+	wc, err := FindCurve(rep, "scaling", "Cicada/WAL", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wc.Points[1].FsyncsPerTxn != 0.02 {
+		t.Fatalf("fsyncs_per_txn not carried into curve point: %+v", wc.Points[1])
+	}
+}
+
+// TestLoadReportOldSchema: a v2 seed (no allocs/fsyncs fields) still loads
+// and serves speedups — the committed seeds predate the v3 bump.
+func TestLoadReportOldSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.json")
+	old := `{
+	  "meta": {"schema_version": 2, "experiments": ["fig6a"]},
+	  "results": [
+	    {"experiment":"fig6a","engine":"Cicada","threads":1,"param":0,"tps":100,"abort_rate":0,"abort_time_frac":0},
+	    {"experiment":"fig6a","engine":"Cicada","threads":2,"param":0,"tps":51,"abort_rate":0,"abort_time_frac":0}
+	  ],
+	  "scalability": [
+	    {"experiment":"fig6a","engine":"Cicada","param":0,"peak_threads":1,
+	     "points":[{"threads":1,"tps":100,"abort_rate":0,"speedup":1},
+	               {"threads":2,"tps":51,"abort_rate":0,"speedup":0.51}]}
+	  ]
+	}`
+	if err := os.WriteFile(path, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := FindCurve(rep, "fig6a", "Cicada", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := SpeedupAt(c, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp != 0.51 {
+		t.Fatalf("speedup %g, want 0.51", sp)
+	}
+}
+
+func TestFindCurveErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, NewRunMeta(nil, ""), sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindCurve(rep, "fig6a", "NoSuchEngine", 0); err == nil {
+		t.Fatal("missing curve did not error")
+	}
+	c, _ := FindCurve(rep, "fig6a", "Cicada", 0)
+	if _, err := SpeedupAt(c, 16); err == nil {
+		t.Fatal("missing thread point did not error")
+	}
+	if _, err := LoadReport(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"results": []}`), 0o644)
+	if _, err := LoadReport(bad); err == nil {
+		t.Fatal("schema-less file did not error")
+	}
+}

@@ -181,23 +181,33 @@ func Fig6(sub byte, s Scale) []Result {
 // the thread counts on YCSB (16 requests/transaction, write-intensive) at
 // uniform and high skew, producing the tps-vs-threads curves that WriteJSON
 // folds into the report's "scalability" section. Param carries the Zipf
-// theta so the two curves stay distinguishable.
+// theta so the two curves stay distinguishable. Every point records
+// AllocsPerTxn; a "Cicada/WAL" curve runs the same sweep with a WAL
+// attached, adding FsyncsPerTxn (the group-commit amortization per thread
+// count).
 func Scaling(s Scale) []Result {
 	cfg := s.YCSB
 	cfg.ReqsPerTx = 16
 	cfg.ReadRatio = 0.5
 	var out []Result
-	for _, name := range s.Engines {
+	run := func(name string, f engine.Factory, durable bool) {
 		for _, skew := range []float64{0, 0.99} {
 			for _, th := range s.Threads {
 				c := cfg
 				c.Theta = skew
-				r := RunYCSB(name, Factory(name), YCSBOpts{
+				r := RunYCSB(name, f, YCSBOpts{
 					Threads: th, Cfg: c, Phantom: true, Durations: s.Dur,
+					Durable: durable,
 				})
 				r.Param = skew
 				out = append(out, r)
 			}
+		}
+	}
+	for _, name := range s.Engines {
+		run(name, Factory(name), false)
+		if name == "Cicada" {
+			run("Cicada/WAL", CicadaFactory(nil), true)
 		}
 	}
 	return tag(out, "scaling")

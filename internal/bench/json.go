@@ -12,8 +12,10 @@ import (
 // or RunMeta change shape so trajectory tooling can detect old files.
 // Version 2 adds the derived top-level "scalability" section (tps-vs-threads
 // curves); "meta" and "results" are unchanged, so version-1 readers keep
-// working.
-const JSONSchemaVersion = 2
+// working. Version 3 adds allocs_per_txn and fsyncs_per_txn to results and
+// scalability points — additive and omitempty, so version-2 readers are
+// unaffected.
+const JSONSchemaVersion = 3
 
 // RunMeta describes the machine and configuration that produced a JSON
 // benchmark report, so numbers from different PRs compare meaningfully.
@@ -47,6 +49,10 @@ type ThreadPoint struct {
 	// Speedup is TPS relative to the curve's single-thread point, 0 when the
 	// sweep has no threads=1 measurement.
 	Speedup float64 `json:"speedup,omitempty"`
+	// AllocsPerTxn / FsyncsPerTxn mirror the point's Result fields
+	// (schema v3, additive).
+	AllocsPerTxn float64 `json:"allocs_per_txn,omitempty"`
+	FsyncsPerTxn float64 `json:"fsyncs_per_txn,omitempty"`
 }
 
 // ScalabilityCurve is a tps-vs-threads series for one (experiment, engine,
@@ -138,7 +144,8 @@ func DeriveScalability(results []Result) []ScalabilityCurve {
 		c := ScalabilityCurve{Experiment: k.exp, Engine: k.engine, Param: k.param}
 		var peakTPS float64
 		for _, r := range rs {
-			p := ThreadPoint{Threads: r.Threads, TPS: r.TPS, AbortRate: r.AbortRate}
+			p := ThreadPoint{Threads: r.Threads, TPS: r.TPS, AbortRate: r.AbortRate,
+				AllocsPerTxn: r.AllocsPerTxn, FsyncsPerTxn: r.FsyncsPerTxn}
 			if base > 0 {
 				p.Speedup = r.TPS / base
 			}

@@ -1,0 +1,278 @@
+// Package buf provides the mbuf-style chained buffer pool that backs the
+// WAL's zero-copy batched write path (docs/DURABILITY.md): fixed-size
+// chunks recycled through a free list, chained into per-worker redo
+// streams, and handed from workers to the group committer by pointer swap.
+//
+// The design follows network-stack mbufs: a Chunk is a fixed-capacity byte
+// buffer with an intrusive next pointer and a reference count; a Pool
+// recycles released chunks through a bounded free list so the steady state
+// allocates nothing; a Writer builds a chunk chain, guaranteeing that every
+// frame it places is contiguous within one chunk (a frame that does not fit
+// in the current tail starts a fresh chunk, and a frame larger than the
+// pool's chunk size gets a dedicated oversize chunk). Frame contiguity is
+// what lets the WAL rotate files between chunks without ever splitting a
+// record across two files, and lets recovery parse frames in place.
+//
+// Concurrency: a Pool is safe for concurrent Get/Release. A Chunk's
+// contents and length are owned by whoever holds the chain (the staging
+// writer or the committer that detached it); only the reference count is
+// atomic. A Writer is externally synchronized (the WAL guards each
+// per-worker writer with that worker's stage mutex).
+package buf
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultChunkSize is the pooled chunk capacity when NewPool is given no
+// explicit size: large enough that per-chunk overheads (seal, queue
+// hand-off, one gathered write) amortize over hundreds of redo records.
+const DefaultChunkSize = 64 << 10
+
+// DefaultMaxFree bounds the free list when NewPool is given no explicit
+// bound; chunks released beyond it are dropped for the GC to take.
+const DefaultMaxFree = 128
+
+// Chunk is one fixed-capacity pooled buffer. Chunks chain through an
+// intrusive next pointer (also reused as the free-list link, so recycling
+// allocates nothing).
+type Chunk struct {
+	next *Chunk
+	pool *Pool
+	refs atomic.Int32
+	buf  []byte
+	n    int
+}
+
+// Next returns the next chunk in the chain, nil at the tail.
+func (c *Chunk) Next() *Chunk { return c.next }
+
+// SetNext links n after c.
+func (c *Chunk) SetNext(n *Chunk) { c.next = n }
+
+// Bytes returns the used prefix of the chunk's buffer.
+//
+//cicada:noalloc
+func (c *Chunk) Bytes() []byte { return c.buf[:c.n] }
+
+// Buf returns the chunk's full-capacity backing buffer; SetLen records how
+// much of it holds data (the read path fills a chunk directly from a file).
+func (c *Chunk) Buf() []byte { return c.buf }
+
+// SetLen sets the used length. It panics if n exceeds the capacity.
+func (c *Chunk) SetLen(n int) {
+	if n < 0 || n > len(c.buf) {
+		panic("buf: SetLen out of range")
+	}
+	c.n = n
+}
+
+// Len returns the used length.
+func (c *Chunk) Len() int { return c.n }
+
+// Cap returns the chunk's capacity.
+func (c *Chunk) Cap() int { return len(c.buf) }
+
+// Ref adds a reference. A chunk leaves the pool with one reference.
+func (c *Chunk) Ref() { c.refs.Add(1) }
+
+// Release drops a reference; the last release returns the chunk to its
+// pool's free list (or drops it, if the list is full or the chunk is an
+// oversize one-off).
+//
+//cicada:noalloc
+func (c *Chunk) Release() {
+	if c.refs.Add(-1) > 0 {
+		return
+	}
+	c.pool.put(c)
+}
+
+// PoolStats counts pool traffic; Reuses/Allocs is the recycling rate.
+type PoolStats struct {
+	// Allocs is the number of chunks created because the free list was
+	// empty (plus every oversize chunk that could not reuse the spare).
+	Allocs uint64
+	// Reuses is the number of Gets served from the free list or the
+	// oversize spare.
+	Reuses uint64
+	// Oversize is the number of GetSized calls that exceeded the pooled
+	// chunk size.
+	Oversize uint64
+}
+
+// Pool recycles fixed-size chunks through a bounded intrusive free list.
+// The mutex is uncontended in practice: the WAL takes one chunk per
+// ChunkSize bytes of log and releases in batches from the committer.
+type Pool struct {
+	size    int
+	maxFree int
+
+	mu    sync.Mutex
+	free  *Chunk
+	nfree int
+	// big is a single spare for oversize chunks (frames larger than the
+	// pooled size, whole-file recovery reads); the largest released one is
+	// kept so a sequence of similar oversize requests allocates once.
+	big   *Chunk
+	stats PoolStats
+}
+
+// NewPool creates a pool of chunkSize-byte chunks keeping at most maxFree
+// of them on the free list; zero or negative arguments select
+// DefaultChunkSize and DefaultMaxFree.
+func NewPool(chunkSize, maxFree int) *Pool {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	if maxFree <= 0 {
+		maxFree = DefaultMaxFree
+	}
+	return &Pool{size: chunkSize, maxFree: maxFree}
+}
+
+// ChunkSize returns the pooled chunk capacity.
+func (p *Pool) ChunkSize() int { return p.size }
+
+// Get returns a chunk with one reference, zero length, and no successor,
+// recycled from the free list when possible.
+//
+//cicada:noalloc
+func (p *Pool) Get() *Chunk {
+	p.mu.Lock()
+	c := p.free
+	if c != nil {
+		p.free = c.next
+		p.nfree--
+		p.stats.Reuses++
+		p.mu.Unlock()
+		c.next = nil
+		c.refs.Store(1)
+		return c
+	}
+	p.stats.Allocs++
+	p.mu.Unlock()
+	c = &Chunk{pool: p, buf: make([]byte, p.size)}
+	c.refs.Store(1)
+	return c
+}
+
+// GetSized returns a chunk with capacity ≥ n: a pooled chunk when n fits,
+// otherwise a dedicated oversize chunk (reusing the pool's single oversize
+// spare when it is large enough).
+func (p *Pool) GetSized(n int) *Chunk {
+	if n <= p.size {
+		return p.Get()
+	}
+	p.mu.Lock()
+	p.stats.Oversize++
+	if c := p.big; c != nil && len(c.buf) >= n {
+		p.big = nil
+		p.stats.Reuses++
+		p.mu.Unlock()
+		c.next = nil
+		c.refs.Store(1)
+		return c
+	}
+	p.stats.Allocs++
+	p.mu.Unlock()
+	c := &Chunk{pool: p, buf: make([]byte, n)}
+	c.refs.Store(1)
+	return c
+}
+
+// put recycles a fully released chunk.
+func (p *Pool) put(c *Chunk) {
+	c.n = 0
+	c.next = nil
+	p.mu.Lock()
+	switch {
+	case len(c.buf) == p.size:
+		if p.nfree < p.maxFree {
+			c.next = p.free
+			p.free = c
+			p.nfree++
+		}
+	case p.big == nil || len(p.big.buf) < len(c.buf):
+		p.big = c
+	}
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Writer builds a chunk chain, placing each frame contiguously within one
+// chunk. It is the staging half of the WAL's batched pipeline: workers
+// Frame/encode under their stage lock, the committer Detaches the whole
+// chain and writes chunk by chunk.
+type Writer struct {
+	pool   *Pool
+	head   *Chunk
+	tail   *Chunk
+	chunks int
+	bytes  int64
+}
+
+// Init points the writer at a pool and resets it to an empty chain.
+func (w *Writer) Init(pool *Pool) {
+	w.pool = pool
+	w.head, w.tail = nil, nil
+	w.chunks, w.bytes = 0, 0
+}
+
+// Fits reports whether a Frame(n) call would extend the current tail chunk
+// rather than opening a new one.
+//
+//cicada:noalloc
+func (w *Writer) Fits(n int) bool {
+	return w.tail != nil && w.tail.n+n <= len(w.tail.buf)
+}
+
+// Frame returns a contiguous n-byte span for the caller to encode into,
+// opening a new chunk when the frame does not fit in the tail (an oversize
+// chunk when n exceeds the pooled size). The span stays valid until the
+// chain is detached and released.
+//
+//cicada:noalloc
+func (w *Writer) Frame(n int) []byte {
+	t := w.tail
+	if t == nil || t.n+n > len(t.buf) {
+		c := w.pool.GetSized(n)
+		if t == nil {
+			w.head = c
+		} else {
+			t.next = c
+		}
+		w.tail = c
+		w.chunks++
+		t = c
+	}
+	s := t.buf[t.n : t.n+n : t.n+n]
+	t.n += n
+	w.bytes += int64(n)
+	return s
+}
+
+// Chunks returns the number of chunks in the chain.
+func (w *Writer) Chunks() int { return w.chunks }
+
+// Bytes returns the total framed bytes in the chain.
+func (w *Writer) Bytes() int64 { return w.bytes }
+
+// Detach hands the whole chain (including the partial tail) to the caller
+// and resets the writer to empty. The caller owns the returned chunks and
+// must Release each one.
+//
+//cicada:noalloc
+func (w *Writer) Detach() (head *Chunk, chunks int, bytes int64) {
+	head, chunks, bytes = w.head, w.chunks, w.bytes
+	w.head, w.tail = nil, nil
+	w.chunks, w.bytes = 0, 0
+	return head, chunks, bytes
+}

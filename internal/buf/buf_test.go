@@ -1,0 +1,181 @@
+package buf
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPoolRecycles(t *testing.T) {
+	p := NewPool(128, 4)
+	c1 := p.Get()
+	if c1.Cap() != 128 || c1.Len() != 0 {
+		t.Fatalf("fresh chunk cap=%d len=%d", c1.Cap(), c1.Len())
+	}
+	copy(c1.Buf(), "hello")
+	c1.SetLen(5)
+	c1.Release()
+	c2 := p.Get()
+	if c2 != c1 {
+		t.Fatal("released chunk not recycled")
+	}
+	if c2.Len() != 0 || c2.Next() != nil {
+		t.Fatalf("recycled chunk not reset: len=%d next=%v", c2.Len(), c2.Next())
+	}
+	s := p.Stats()
+	if s.Allocs != 1 || s.Reuses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestPoolFreeListBound(t *testing.T) {
+	p := NewPool(64, 2)
+	chunks := []*Chunk{p.Get(), p.Get(), p.Get(), p.Get()}
+	for _, c := range chunks {
+		c.Release()
+	}
+	if p.nfree != 2 {
+		t.Fatalf("free list holds %d, want 2", p.nfree)
+	}
+}
+
+func TestRefCount(t *testing.T) {
+	p := NewPool(64, 4)
+	c := p.Get()
+	c.Ref() // second reference
+	c.Release()
+	if p.nfree != 0 {
+		t.Fatal("chunk recycled while referenced")
+	}
+	c.Release()
+	if p.nfree != 1 {
+		t.Fatal("chunk not recycled after last release")
+	}
+}
+
+func TestGetSizedOversize(t *testing.T) {
+	p := NewPool(64, 4)
+	c := p.GetSized(1000)
+	if c.Cap() < 1000 {
+		t.Fatalf("oversize cap %d", c.Cap())
+	}
+	c.Release()
+	// The oversize spare is reused for an equal-or-smaller request.
+	c2 := p.GetSized(500)
+	if c2 != c {
+		t.Fatal("oversize spare not reused")
+	}
+	c2.Release()
+	// A larger request allocates, and the bigger chunk becomes the spare.
+	c3 := p.GetSized(2000)
+	if c3 == c2 {
+		t.Fatal("undersized spare reused for larger request")
+	}
+	c3.Release()
+	if p.big != c3 {
+		t.Fatal("largest oversize chunk not kept as spare")
+	}
+}
+
+func TestWriterFrameContiguity(t *testing.T) {
+	p := NewPool(32, 8)
+	var w Writer
+	w.Init(p)
+	// Three 12-byte frames: the third cannot fit in the first chunk's
+	// remaining 8 bytes, so it must open a second chunk.
+	f1 := w.Frame(12)
+	f2 := w.Frame(12)
+	if !w.Fits(8) || w.Fits(9) {
+		t.Fatalf("Fits miscounts remaining space (chunks=%d)", w.Chunks())
+	}
+	f3 := w.Frame(12)
+	for i := range f1 {
+		f1[i], f2[i], f3[i] = 'a', 'b', 'c'
+	}
+	head, chunks, total := w.Detach()
+	if chunks != 2 || total != 36 {
+		t.Fatalf("chunks=%d bytes=%d", chunks, total)
+	}
+	var got []byte
+	for c := head; c != nil; c = c.Next() {
+		got = append(got, c.Bytes()...)
+	}
+	want := append(bytes.Repeat([]byte("a"), 12), bytes.Repeat([]byte("b"), 12)...)
+	want = append(want, bytes.Repeat([]byte("c"), 12)...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("chain bytes %q, want %q", got, want)
+	}
+	if head.Len() != 24 || head.Next().Len() != 12 {
+		t.Fatalf("chunk lens %d,%d", head.Len(), head.Next().Len())
+	}
+	for c := head; c != nil; {
+		nx := c.Next()
+		c.Release()
+		c = nx
+	}
+}
+
+func TestWriterOversizeFrame(t *testing.T) {
+	p := NewPool(32, 8)
+	var w Writer
+	w.Init(p)
+	w.Frame(10)
+	big := w.Frame(100) // larger than the pooled size: dedicated chunk
+	if len(big) != 100 {
+		t.Fatalf("oversize frame len %d", len(big))
+	}
+	head, chunks, total := w.Detach()
+	if chunks != 2 || total != 110 {
+		t.Fatalf("chunks=%d bytes=%d", chunks, total)
+	}
+	if head.Next().Cap() < 100 {
+		t.Fatal("oversize frame not in dedicated chunk")
+	}
+	for c := head; c != nil; {
+		nx := c.Next()
+		c.Release()
+		c = nx
+	}
+}
+
+func TestWriterDetachResets(t *testing.T) {
+	p := NewPool(64, 8)
+	var w Writer
+	w.Init(p)
+	w.Frame(10)
+	head, _, _ := w.Detach()
+	if w.Chunks() != 0 || w.Bytes() != 0 {
+		t.Fatal("Detach did not reset writer")
+	}
+	f := w.Frame(10)
+	if &f[0] == &head.Buf()[10] {
+		t.Fatal("post-detach frame aliases detached chunk")
+	}
+	head.Release()
+	nh, _, _ := w.Detach()
+	nh.Release()
+}
+
+// TestWriterSteadyStateAllocs: once the pool has warmed up and the
+// committer recycles chunks, the Frame/Detach/Release cycle allocates
+// nothing.
+func TestWriterSteadyStateAllocs(t *testing.T) {
+	p := NewPool(1024, 16)
+	var w Writer
+	w.Init(p)
+	cycle := func() {
+		for i := 0; i < 20; i++ {
+			f := w.Frame(100)
+			f[0] = byte(i)
+		}
+		head, _, _ := w.Detach()
+		for c := head; c != nil; {
+			nx := c.Next()
+			c.Release()
+			c = nx
+		}
+	}
+	cycle() // warm the free list
+	if avg := testing.AllocsPerRun(100, cycle); avg != 0 {
+		t.Fatalf("steady-state cycle allocates %.2f/op, want 0", avg)
+	}
+}

@@ -131,7 +131,7 @@ type workerClock struct {
 	// min_wts-1 during maintenance (atomic: leader reads it for min_rts).
 	rts atomic.Uint64
 
-	_ [24]byte // pad to discourage false sharing of adjacent entries
+	_ [32]byte // pad to two full cache lines so adjacent entries never share
 }
 
 // Domain is a set of loosely synchronized worker clocks plus the min_wts /
@@ -139,10 +139,17 @@ type workerClock struct {
 type Domain struct {
 	opts    Options
 	workers []workerClock
+	// minWTS and minRTS are leader-written watermarks read by every worker
+	// on the hot path, and central is CAS-hammered by every worker in
+	// Centralized mode; each sits on its own cache line so a write to one
+	// never invalidates readers of the others (or the headers above).
+	_       [64]byte
 	minWTS  atomic.Uint64
+	_       [56]byte
 	minRTS  atomic.Uint64
-	// central is the shared counter used when Options.Centralized is set.
+	_       [56]byte
 	central atomic.Uint64
+	_       [56]byte
 	// start anchors all clocks so they begin near zero.
 	start time.Time
 }

@@ -19,8 +19,10 @@ const maxBackoffCeiling = 100 * time.Millisecond
 // throughput.
 type regulator struct {
 	// maxNs is the globally coordinated maximum backoff in nanoseconds,
-	// read by every worker on abort.
+	// read by every worker on abort; the padding keeps the leader's
+	// hill-climbing bookkeeping below off the readers' cache line.
 	maxNs atomic.Int64
+	_     [56]byte
 	// fixed disables hill climbing (Figure 10 manual sweeps).
 	fixed bool
 

@@ -141,14 +141,34 @@ type Engine struct {
 	logger  Logger
 
 	// epoch counts completed quiescence rounds; it drives epoch-delayed
-	// version reuse.
+	// version reuse. It sits on its own cache line: every worker reads it
+	// when batching limbo versions, and without the padding a leader bump
+	// would also invalidate the neighbouring regulator/quiesce headers.
+	_     [64]byte
 	epoch atomic.Uint64
+	_     [56]byte
 	// quiesce holds one flag per worker, set by the worker during
-	// maintenance and cleared by the leader after a full round.
-	quiesce []atomic.Bool
+	// maintenance and cleared by the leader after a full round; each flag
+	// is padded to its own line (see quiesceFlag).
+	quiesce []quiesceFlag
 	// reg is the contention regulator (§3.9).
 	reg regulator
 }
+
+// quiesceFlag is one worker's quiescence flag on its own cache line: every
+// worker stores to its flag each maintenance pass, and an unpadded
+// []atomic.Bool would pack 64 of them into one line, turning those
+// independent stores into cross-core ping-pong.
+type quiesceFlag struct {
+	v atomic.Bool
+	_ [63]byte
+}
+
+// Load returns the flag.
+func (f *quiesceFlag) Load() bool { return f.v.Load() }
+
+// Store sets the flag.
+func (f *quiesceFlag) Store(b bool) { f.v.Store(b) }
 
 // NewEngine creates an engine with the given options.
 func NewEngine(opts Options) *Engine {
@@ -171,7 +191,7 @@ func NewEngine(opts Options) *Engine {
 		opts:    opts,
 		clock:   clock.NewDomain(opts.Workers, opts.Clock),
 		byName:  make(map[string]*Table),
-		quiesce: make([]atomic.Bool, opts.Workers),
+		quiesce: make([]quiesceFlag, opts.Workers),
 	}
 	e.reg.init(&opts)
 	e.workers = make([]*Worker, opts.Workers)

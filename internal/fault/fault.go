@@ -2,8 +2,8 @@
 // the durability path (and any other subsystem that opts in). Production
 // code threads calls like
 //
-//	if err := fault.Inject(fault.WALSync); err != nil { ... }
-//	n, err := fault.Write(fault.WALAppend, f, buf)
+//	if err := fault.Inject(fault.WALBatchFsync); err != nil { ... }
+//	n, err := fault.Write(fault.WALGatherWrite, f, buf)
 //
 // through its I/O sites. With no registry enabled — the default — every
 // hook is a single atomic pointer load that compares against nil and
@@ -54,13 +54,18 @@ type Site string
 
 // The failpoint catalog.
 const (
-	// WALAppend covers a redo-record append to a logger's chunk file
-	// (internal/wal, logger.writeLocked). Write site: supports torn and
-	// short writes.
-	WALAppend Site = "wal/append"
-	// WALSync covers a group-commit or barrier fsync of a redo chunk
-	// (internal/wal, logger.syncLocked).
-	WALSync Site = "wal/sync"
+	// WALChunkSeal covers sealing a filled buffer chunk onto a worker's
+	// staged redo chain, before the frame that would overflow it is
+	// placed (internal/wal, stage.submit). A failure here aborts the
+	// submitting transaction with nothing staged.
+	WALChunkSeal Site = "wal/chunk-seal"
+	// WALGatherWrite covers the group committer's gathered write of one
+	// staged chunk to the logger's file (internal/wal, flushLocked).
+	// Write site: supports torn and short writes.
+	WALGatherWrite Site = "wal/gather-write"
+	// WALBatchFsync covers the per-interval batch fsync that makes a
+	// flushed batch durable (internal/wal, syncLocked).
+	WALBatchFsync Site = "wal/batch-fsync"
 	// WALRotate covers sealing a full redo chunk (sync + rename + dir
 	// sync) before opening its successor (internal/wal, rotateLocked).
 	WALRotate Site = "wal/rotate"
@@ -87,8 +92,9 @@ const (
 
 // Sites returns the full failpoint catalog.
 func Sites() []Site {
-	return []Site{WALAppend, WALSync, WALRotate, CheckpointWrite,
-		CheckpointSync, CheckpointRename, CheckpointPurge, ReplayRead, CoreLog}
+	return []Site{WALChunkSeal, WALGatherWrite, WALBatchFsync, WALRotate,
+		CheckpointWrite, CheckpointSync, CheckpointRename, CheckpointPurge,
+		ReplayRead, CoreLog}
 }
 
 // Action is what a trigger does when it fires.
@@ -213,8 +219,8 @@ func (r *Registry) Arm(t Trigger) {
 
 // crashSites are the sites ArmRandomCrash draws from: the durability
 // write/sync path, where a process can die with work in flight.
-var crashSites = []Site{WALAppend, WALSync, WALRotate, CheckpointWrite,
-	CheckpointSync, CheckpointRename, CoreLog}
+var crashSites = []Site{WALChunkSeal, WALGatherWrite, WALBatchFsync,
+	WALRotate, CheckpointWrite, CheckpointSync, CheckpointRename, CoreLog}
 
 // ArmRandomCrash arms a crash at a seed-chosen site after a seed-chosen
 // number of passes in [0, maxAfter). Write-capable sites get a torn write
@@ -237,14 +243,16 @@ func (r *Registry) ArmRandomCrashAt(sites []Site, maxAfter int) Trigger {
 	r.mu.Lock()
 	site := sites[r.rng.Intn(len(sites))]
 	action := Crash
-	if site == WALAppend && r.rng.Intn(2) == 0 {
+	if site == WALGatherWrite && r.rng.Intn(2) == 0 {
 		action = TornWrite
 	}
 	max := maxAfter
 	switch site {
-	case WALSync, CheckpointWrite:
+	case WALChunkSeal, WALGatherWrite, CheckpointWrite:
+		// Batch-pipeline sites: passed once per chunk or per flushed
+		// chunk, orders of magnitude less often than the commit hook.
 		max = maxAfter/4 + 1
-	case WALRotate, CheckpointSync, CheckpointRename, CheckpointPurge:
+	case WALBatchFsync, WALRotate, CheckpointSync, CheckpointRename, CheckpointPurge:
 		max = maxAfter/16 + 1
 	}
 	t := Trigger{Site: site, Action: action, After: r.rng.Intn(max)}

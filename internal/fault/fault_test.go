@@ -13,11 +13,11 @@ func TestDisabledHooksAreNoOps(t *testing.T) {
 	if Enabled() {
 		t.Fatal("Enabled with no registry")
 	}
-	if err := Inject(WALSync); err != nil {
+	if err := Inject(WALBatchFsync); err != nil {
 		t.Fatalf("Inject: %v", err)
 	}
 	var buf bytes.Buffer
-	n, err := Write(WALAppend, &buf, []byte("hello"))
+	n, err := Write(WALGatherWrite, &buf, []byte("hello"))
 	if n != 5 || err != nil || buf.String() != "hello" {
 		t.Fatalf("Write: n=%d err=%v buf=%q", n, err, buf.String())
 	}
@@ -33,7 +33,7 @@ func TestDisabledHookAllocs(t *testing.T) {
 	if n := testing.AllocsPerRun(100, func() {
 		_ = Inject(CoreLog)
 		sink.Reset()
-		_, _ = Write(WALAppend, &sink, payload)
+		_, _ = Write(WALGatherWrite, &sink, payload)
 	}); n != 0 {
 		t.Fatalf("disabled hooks allocate %v/op", n)
 	}
@@ -42,11 +42,11 @@ func TestDisabledHookAllocs(t *testing.T) {
 // TestErrorOnceAndNTimes: After/Times schedule errors deterministically.
 func TestErrorOnceAndNTimes(t *testing.T) {
 	r := NewRegistry(1)
-	r.Arm(Trigger{Site: WALSync, Action: Error, After: 2, Times: 3})
+	r.Arm(Trigger{Site: WALBatchFsync, Action: Error, After: 2, Times: 3})
 	Enable(r)
 	defer Disable()
 	for pass := 1; pass <= 8; pass++ {
-		err := Inject(WALSync)
+		err := Inject(WALBatchFsync)
 		wantErr := pass >= 3 && pass <= 5
 		if (err != nil) != wantErr {
 			t.Fatalf("pass %d: err=%v want fired=%v", pass, err, wantErr)
@@ -55,7 +55,7 @@ func TestErrorOnceAndNTimes(t *testing.T) {
 			t.Fatalf("pass %d: %v not ErrInjected", pass, err)
 		}
 	}
-	if got := r.Hits(WALSync); got != 8 {
+	if got := r.Hits(WALBatchFsync); got != 8 {
 		t.Fatalf("hits %d", got)
 	}
 }
@@ -64,12 +64,12 @@ func TestErrorOnceAndNTimes(t *testing.T) {
 // behind and reports ErrInjected; the next write passes through.
 func TestShortWriteWritesStrictPrefix(t *testing.T) {
 	r := NewRegistry(42)
-	r.Arm(Trigger{Site: WALAppend, Action: ShortWrite})
+	r.Arm(Trigger{Site: WALGatherWrite, Action: ShortWrite})
 	Enable(r)
 	defer Disable()
 	payload := []byte("0123456789abcdef")
 	var buf bytes.Buffer
-	n, err := Write(WALAppend, &buf, payload)
+	n, err := Write(WALGatherWrite, &buf, payload)
 	if !errors.Is(err, ErrInjected) {
 		t.Fatalf("err %v", err)
 	}
@@ -79,7 +79,7 @@ func TestShortWriteWritesStrictPrefix(t *testing.T) {
 	if !bytes.Equal(buf.Bytes(), payload[:n]) {
 		t.Fatal("prefix mismatch")
 	}
-	if n2, err := Write(WALAppend, &buf, payload); err != nil || n2 != len(payload) {
+	if n2, err := Write(WALGatherWrite, &buf, payload); err != nil || n2 != len(payload) {
 		t.Fatalf("post-trigger write: n=%d err=%v", n2, err)
 	}
 }
@@ -88,21 +88,21 @@ func TestShortWriteWritesStrictPrefix(t *testing.T) {
 // registry, and every later hook at every site fails without I/O.
 func TestTornWriteCrashesAndFreezes(t *testing.T) {
 	r := NewRegistry(7)
-	r.Arm(Trigger{Site: WALAppend, Action: TornWrite, After: 1})
+	r.Arm(Trigger{Site: WALGatherWrite, Action: TornWrite, After: 1})
 	Enable(r)
 	defer Disable()
 	var buf bytes.Buffer
-	if n, err := Write(WALAppend, &buf, []byte("first")); n != 5 || err != nil {
+	if n, err := Write(WALGatherWrite, &buf, []byte("first")); n != 5 || err != nil {
 		t.Fatalf("pre-trigger write: n=%d err=%v", n, err)
 	}
-	n, err := Write(WALAppend, &buf, []byte("0123456789"))
+	n, err := Write(WALGatherWrite, &buf, []byte("0123456789"))
 	if !errors.Is(err, ErrCrashed) {
 		t.Fatalf("torn write err %v", err)
 	}
 	if n <= 0 || n >= 10 {
 		t.Fatalf("torn cut %d not mid-body", n)
 	}
-	if !r.Crashed() || r.CrashSite() != WALAppend {
+	if !r.Crashed() || r.CrashSite() != WALGatherWrite {
 		t.Fatalf("crashed=%v site=%q", r.Crashed(), r.CrashSite())
 	}
 	select {
@@ -117,7 +117,7 @@ func TestTornWriteCrashesAndFreezes(t *testing.T) {
 	if buf.Len() != frozen {
 		t.Fatal("post-crash write performed I/O")
 	}
-	if err := Inject(WALSync); !errors.Is(err, ErrCrashed) {
+	if err := Inject(WALBatchFsync); !errors.Is(err, ErrCrashed) {
 		t.Fatalf("post-crash inject err %v", err)
 	}
 }
@@ -176,7 +176,7 @@ func TestSitesCatalogComplete(t *testing.T) {
 		}
 		seen[s] = true
 	}
-	for _, s := range []Site{WALAppend, WALSync, WALRotate, CheckpointWrite,
+	for _, s := range []Site{WALGatherWrite, WALBatchFsync, WALRotate, CheckpointWrite,
 		CheckpointSync, CheckpointRename, CheckpointPurge, ReplayRead, CoreLog} {
 		if !seen[s] {
 			t.Fatalf("site %q missing from catalog", s)

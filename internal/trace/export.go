@@ -287,6 +287,9 @@ func (t *Tracer) eventArgs(ev Event) map[string]any {
 		args["queue"] = ev.A
 	case EvWALAppend:
 		args["bytes"] = ev.A
+	case EvWALBatch:
+		args["bytes"] = ev.A
+		args["records"] = ev.B
 	}
 	return args
 }

@@ -59,8 +59,14 @@ const (
 	// EvGCPass spans one quiescence/maintenance round
 	// (arg A = GC queue depth).
 	EvGCPass
-	// EvWALAppend spans one redo-record append (arg A = record bytes).
+	// EvWALAppend spans one redo-record stage into the worker's chunk
+	// chain (arg A = record bytes); it is a memory-only hand-off — file
+	// I/O happens later in the batch flush (EvWALBatch).
 	EvWALAppend
+	// EvWALBatch spans one group-commit batch flush that drained at least
+	// one chunk (logger-goroutine shards; arg A = batch bytes,
+	// arg B = batch records).
+	EvWALBatch
 	// EvWALFsync spans one group-commit fsync (logger-goroutine shards).
 	EvWALFsync
 
@@ -81,6 +87,7 @@ var eventNames = [NumKinds]string{
 	"backoff",
 	"gc_pass",
 	"wal_append",
+	"wal_batch",
 	"wal_fsync",
 }
 

@@ -1,0 +1,87 @@
+package wal
+
+import (
+	"testing"
+	"time"
+
+	"cicada/internal/clock"
+	"cicada/internal/core"
+)
+
+// TestWALSubmitAllocBudget pins the worker-side WAL submit path
+// (Manager.Log → stage.submit → encodeRedoInto) at zero allocations per
+// record: frames are encoded straight into pooled chunks, so once the pool
+// has warmed up the hot path never touches the heap. The budget mirrors the
+// core/index AllocsPerRun budgets (docs/PERFORMANCE.md).
+//
+// AllocsPerRun counts mallocs process-wide, so the committer is kept
+// dormant (one-hour group commit) and the staged chains are drained by
+// explicit Flush calls inside the measured function — the drain itself
+// (detach, gathered write, fsync, chunk recycle) must also be
+// allocation-free or the budget fails.
+func TestWALSubmitAllocBudget(t *testing.T) {
+	e := newEngine(1)
+	e.CreateTable("t")
+	m, err := Attach(e, Options{Dir: t.TempDir(), GroupCommit: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	data := make([]byte, 64)
+	entries := []core.LogEntry{{Table: 0, Record: 1, Data: data}}
+	var ts uint64
+	submit := func() {
+		ts++
+		if err := m.Log(0, clock.Timestamp(ts), entries); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the pool through a few full chunk cycles.
+	for i := 0; i < 2000; i++ {
+		submit()
+	}
+	if err := m.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	avg := testing.AllocsPerRun(5000, func() {
+		submit()
+		i++
+		if i%500 == 0 {
+			if err := m.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("WAL submit allocates %.3f/op, want 0", avg)
+	}
+}
+
+// BenchmarkWALSubmit measures the worker-side staging cost of one redo
+// record (64-byte value) with the group committer draining in the
+// background, as in production.
+func BenchmarkWALSubmit(b *testing.B) {
+	e := newEngine(1)
+	e.CreateTable("t")
+	m, err := Attach(e, Options{Dir: b.TempDir(), GroupCommit: time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+
+	data := make([]byte, 64)
+	entries := []core.LogEntry{{Table: 0, Record: 1, Data: data}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Log(0, clock.Timestamp(i+1), entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := m.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}

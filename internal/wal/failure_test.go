@@ -50,16 +50,33 @@ func TestLoggerFailureAbortsTransactions(t *testing.T) {
 	}
 	// Inject a write failure by closing the logger's file underneath it.
 	lg := m.loggers[0]
-	lg.mu.Lock()
+	lg.fmu.Lock()
 	lg.f.Close()
-	lg.mu.Unlock()
+	lg.fmu.Unlock()
+
+	// Acks are batched: this commit stages its frame in memory and
+	// succeeds, but the durability barrier behind it must fail and poison
+	// the stream.
+	if err := w.Run(func(tx *core.Txn) error {
+		_, buf, err := tx.Insert(tbl, 8)
+		if err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint64(buf, 2)
+		return nil
+	}); err != nil && !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("staged commit after file close: %v", err)
+	}
+	if err := m.Flush(); err == nil {
+		t.Fatal("Flush over a closed file succeeded")
+	}
 
 	tx := w.Begin()
 	_, buf, err := tx.Insert(tbl, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	binary.LittleEndian.PutUint64(buf, 2)
+	binary.LittleEndian.PutUint64(buf, 3)
 	if err := tx.Commit(); !errors.Is(err, core.ErrAborted) {
 		t.Fatalf("commit with broken logger: %v", err)
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -11,12 +12,41 @@ import (
 	"strings"
 	"sync"
 
+	"cicada/internal/buf"
 	"cicada/internal/clock"
 	"cicada/internal/core"
 	"cicada/internal/fault"
 	"cicada/internal/storage"
 	"cicada/internal/telemetry"
 )
+
+// replayPool recycles the whole-file read buffers of recovery across files
+// (and across torture iterations): one pooled chunk per file, no per-record
+// allocation — replay values alias the chunk until installation copies them
+// into the store (core.Table.RecoverInstall).
+var replayPool = buf.NewPool(256<<10, 4)
+
+// readFileChunk reads an entire file into one pooled chunk (oversize files
+// get a dedicated chunk via GetSized). The caller must Release it.
+func readFileChunk(path string) (*buf.Chunk, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	c := replayPool.GetSized(int(fi.Size()))
+	n, err := io.ReadFull(f, c.Buf()[:fi.Size()])
+	if err != nil && err != io.ErrUnexpectedEOF && err != io.EOF {
+		c.Release()
+		return nil, err
+	}
+	c.SetLen(n)
+	return c, nil
+}
 
 // RecoverStats summarizes a recovery run.
 type RecoverStats struct {
@@ -98,10 +128,23 @@ func Recover(eng *core.Engine, dir string) (RecoverStats, error) {
 		stats.TailFaults = append(stats.TailFaults, torn)
 	}
 
+	// Replay values alias the pooled file chunks until the install pass
+	// below copies them into the store, so the chunks are held across
+	// parsing and released only after installation.
+	var fileChunks []*buf.Chunk
+	defer func() {
+		for _, c := range fileChunks {
+			c.Release()
+		}
+	}()
+
 	var ckptSnap clock.Timestamp
 	haveCkpt := false
 	if ckpt, ok := latestCheckpoint(dir); ok {
-		snapTS, n, torn, err := readCheckpoint(ckpt, apply)
+		snapTS, n, torn, c, err := readCheckpoint(ckpt, apply)
+		if c != nil {
+			fileChunks = append(fileChunks, c)
+		}
 		if err != nil {
 			return stats, fmt.Errorf("checkpoint %s: %w", ckpt, err)
 		}
@@ -138,7 +181,10 @@ func Recover(eng *core.Engine, dir string) (RecoverStats, error) {
 		}
 	}
 	for _, path := range logs {
-		n, torn, err := readRedo(path, applyRedo)
+		n, torn, c, err := readRedo(path, applyRedo)
+		if c != nil {
+			fileChunks = append(fileChunks, c)
+		}
 		if err != nil {
 			return stats, fmt.Errorf("redo %s: %w", path, err)
 		}
@@ -214,17 +260,20 @@ func tornTail(path string, o, size int, cause error) *TornTailError {
 // died is ignored anyway — only a renamed .ckpt is ever read — so a torn
 // record here means media damage; the redo logs re-cover the data). A file
 // whose header is not a checkpoint header returns ErrBadCheckpoint. The
-// first return is the snapshot timestamp from the header.
-func readCheckpoint(path string, apply func(replayKey, replayVal)) (clock.Timestamp, int, *TornTailError, error) {
+// first return is the snapshot timestamp from the header. Applied values
+// alias the returned pooled chunk, which the caller must hold until the
+// values are installed (or copied) and then Release.
+func readCheckpoint(path string, apply func(replayKey, replayVal)) (clock.Timestamp, int, *TornTailError, *buf.Chunk, error) {
 	if err := fault.Inject(fault.ReplayRead); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, nil, nil, err
 	}
-	buf, err := os.ReadFile(path)
+	c, err := readFileChunk(path)
 	if err != nil {
-		return 0, 0, nil, err
+		return 0, 0, nil, nil, err
 	}
+	buf := c.Bytes()
 	if len(buf) < 16 || binary.LittleEndian.Uint32(buf) != ckptMagic {
-		return 0, 0, nil, ErrBadCheckpoint
+		return 0, 0, nil, c, ErrBadCheckpoint
 	}
 	snapTS := clock.Timestamp(binary.LittleEndian.Uint64(buf[4:]))
 	o := 16
@@ -232,7 +281,7 @@ func readCheckpoint(path string, apply func(replayKey, replayVal)) (clock.Timest
 	for o < len(buf) {
 		// Record: table(4) rid(8) wts(8) dlen(4) data(dlen) crc32c(4).
 		if len(buf)-o < 28 {
-			return snapTS, n, tornTail(path, o, len(buf), fmt.Errorf("truncated record header (%d bytes)", len(buf)-o)), nil
+			return snapTS, n, tornTail(path, o, len(buf), fmt.Errorf("truncated record header (%d bytes)", len(buf)-o)), c, nil
 		}
 		table := core.TableID(binary.LittleEndian.Uint32(buf[o:]))
 		rid := storage.RecordID(binary.LittleEndian.Uint64(buf[o+4:]))
@@ -241,23 +290,23 @@ func readCheckpoint(path string, apply func(replayKey, replayVal)) (clock.Timest
 		// Bounds-check the length prefix before using it for anything —
 		// a corrupt dlen must not size an allocation or an offset jump.
 		if uint64(dlen) > maxRecordLen {
-			return snapTS, n, tornTail(path, o, len(buf), ErrCorruptLength), nil
+			return snapTS, n, tornTail(path, o, len(buf), ErrCorruptLength), c, nil
 		}
 		end := o + 24 + int(dlen) + 4
 		if end > len(buf) {
-			return snapTS, n, tornTail(path, o, len(buf), fmt.Errorf("record extends past end of file: %w", ErrCorruptLength)), nil
+			return snapTS, n, tornTail(path, o, len(buf), fmt.Errorf("record extends past end of file: %w", ErrCorruptLength)), c, nil
 		}
 		crc := binary.LittleEndian.Uint32(buf[end-4:])
 		if crc32.Checksum(buf[o:end-4], castagnoli) != crc {
-			return snapTS, n, tornTail(path, o, len(buf), ErrChecksum), nil
+			return snapTS, n, tornTail(path, o, len(buf), ErrChecksum), c, nil
 		}
-		data := make([]byte, dlen)
-		copy(data, buf[o+24:end-4])
-		apply(replayKey{table: table, rid: rid}, replayVal{wts: wts, data: data})
+		// The value aliases the pooled chunk — no per-record allocation;
+		// installation copies it into the store.
+		apply(replayKey{table: table, rid: rid}, replayVal{wts: wts, data: buf[o+24 : end-4]})
 		n++
 		o = end
 	}
-	return snapTS, n, nil, nil
+	return snapTS, n, nil, c, nil
 }
 
 // readRedo streams redo records into apply. Frames are validated
@@ -265,36 +314,39 @@ func readCheckpoint(path string, apply func(replayKey, replayVal)) (clock.Timest
 // it sizes anything), then the CRC32C over the whole frame, and only then
 // are entries parsed. The first bad frame ends the stream — everything
 // after it is dropped and reported as a torn tail, because a record
-// boundary cannot be trusted past a corrupt length or checksum.
-func readRedo(path string, apply func(replayKey, replayVal)) (int, *TornTailError, error) {
+// boundary cannot be trusted past a corrupt length or checksum. Applied
+// values alias the returned pooled chunk, which the caller must hold until
+// the values are installed (or copied) and then Release.
+func readRedo(path string, apply func(replayKey, replayVal)) (int, *TornTailError, *buf.Chunk, error) {
 	if err := fault.Inject(fault.ReplayRead); err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
-	buf, err := os.ReadFile(path)
+	c, err := readFileChunk(path)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
+	buf := c.Bytes()
 	o := 0
 	n := 0
 	for o < len(buf) {
 		rest := len(buf) - o
 		if rest < redoMinLen {
-			return n, tornTail(path, o, len(buf), fmt.Errorf("truncated record header (%d bytes)", rest)), nil
+			return n, tornTail(path, o, len(buf), fmt.Errorf("truncated record header (%d bytes)", rest)), c, nil
 		}
 		if binary.LittleEndian.Uint32(buf[o:]) != redoMagic {
-			return n, tornTail(path, o, len(buf), fmt.Errorf("bad record magic %#x", binary.LittleEndian.Uint32(buf[o:]))), nil
+			return n, tornTail(path, o, len(buf), fmt.Errorf("bad record magic %#x", binary.LittleEndian.Uint32(buf[o:]))), c, nil
 		}
 		recLen := binary.LittleEndian.Uint32(buf[o+4:])
 		if recLen < redoMinLen || uint64(recLen) > maxRecordLen {
-			return n, tornTail(path, o, len(buf), ErrCorruptLength), nil
+			return n, tornTail(path, o, len(buf), ErrCorruptLength), c, nil
 		}
 		if int(recLen) > rest {
-			return n, tornTail(path, o, len(buf), fmt.Errorf("record extends past end of file: %w", ErrCorruptLength)), nil
+			return n, tornTail(path, o, len(buf), fmt.Errorf("record extends past end of file: %w", ErrCorruptLength)), c, nil
 		}
 		rec := buf[o : o+int(recLen)]
 		crc := binary.LittleEndian.Uint32(rec[len(rec)-4:])
 		if crc32.Checksum(rec[:len(rec)-4], castagnoli) != crc {
-			return n, tornTail(path, o, len(buf), ErrChecksum), nil
+			return n, tornTail(path, o, len(buf), ErrChecksum), c, nil
 		}
 		ts := clock.Timestamp(binary.LittleEndian.Uint64(rec[8:]))
 		nEntries := binary.LittleEndian.Uint32(rec[20:])
@@ -302,7 +354,7 @@ func readRedo(path string, apply func(replayKey, replayVal)) (int, *TornTailErro
 		// below is sized from it (the CRC already vouches for the frame,
 		// but a length is never trusted without its own bound).
 		if uint64(nEntries) > uint64(len(rec)-redoMinLen)/redoEntryLen {
-			return n, tornTail(path, o, len(buf), ErrCorruptLength), nil
+			return n, tornTail(path, o, len(buf), ErrCorruptLength), c, nil
 		}
 		p := redoHdrLen
 		body := rec[:len(rec)-4]
@@ -321,17 +373,18 @@ func readRedo(path string, apply func(replayKey, replayVal)) (int, *TornTailErro
 				ok = false
 				break
 			}
-			data := make([]byte, dlen)
-			copy(data, body[p:p+int(dlen)])
+			// The value aliases the pooled chunk — no per-record
+			// allocation; installation copies it into the store.
+			data := body[p : p+int(dlen)]
 			p += int(dlen)
 			apply(replayKey{table: table, rid: rid},
 				replayVal{wts: ts, data: data, deleted: deleted})
 		}
 		if !ok {
-			return n, tornTail(path, o, len(buf), ErrCorruptLength), nil
+			return n, tornTail(path, o, len(buf), ErrCorruptLength), c, nil
 		}
 		n++
 		o += int(recLen)
 	}
-	return n, nil, nil
+	return n, nil, c, nil
 }

@@ -68,7 +68,7 @@ func (c *TortureConfig) setDefaults() {
 
 // TortureReport is the outcome of one RunTorture call.
 type TortureReport struct {
-	// Trigger is the armed crash, e.g. "wal/append:torn-write@17".
+	// Trigger is the armed crash, e.g. "wal/gather-write:torn-write@17".
 	Trigger string
 	// Crashed reports whether the trigger actually fired (a trigger
 	// scheduled past the run's activity never fires; the run then ends
@@ -115,6 +115,9 @@ func RunTorture(cfg TortureConfig) (TortureReport, error) {
 		Dir:         cfg.Dir,
 		GroupCommit: 200 * time.Microsecond,
 		ChunkSize:   8 << 10,
+		// Tiny staging chunks so seals, multi-chunk gathered writes, and
+		// mid-batch rotations all happen constantly under torture.
+		BufChunk: 1 << 10,
 	})
 	if err != nil {
 		return rep, err
@@ -152,7 +155,7 @@ func RunTorture(cfg TortureConfig) (TortureReport, error) {
 	}
 
 	reg := fault.NewRegistry(cfg.Seed)
-	sites := []fault.Site{fault.WALAppend, fault.WALSync, fault.WALRotate, fault.CoreLog}
+	sites := []fault.Site{fault.WALChunkSeal, fault.WALGatherWrite, fault.WALBatchFsync, fault.WALRotate, fault.CoreLog}
 	if cfg.Checkpoint {
 		sites = append(sites, fault.CheckpointWrite, fault.CheckpointSync, fault.CheckpointRename)
 	}

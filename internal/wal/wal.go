@@ -4,12 +4,19 @@
 // versions, log/checkpoint purging, and parallel replay that installs each
 // record's newest version.
 //
-// A worker hands its validated transaction's write set to its logger before
-// marking versions COMMITTED (the engine's Logger hook runs between
-// validation and the write phase). Loggers append redo records to per-logger
-// chunked files and make them durable on a group-commit interval, following
-// the paper's note that durability may be realized after commit when the
-// application allows it; call Flush for a durability barrier.
+// The write path is a zero-copy batched pipeline built on internal/buf's
+// chained chunk pool. A worker hands its validated transaction's write set
+// to the WAL before marking versions COMMITTED (the engine's Logger hook
+// runs between validation and the write phase); the redo frame is encoded
+// directly into the worker's own staged chunk chain — no per-record
+// allocation, no shared mutex, no file I/O on the worker's goroutine. Each
+// logger's group-commit goroutine detaches the staged chains of the workers
+// it services every GroupCommit interval (or sooner, when a worker seals a
+// full chunk), coalesces them into large gathered writes, and makes the
+// batch durable with one fsync per interval — the paper's group-commit
+// amortization. Frames never span chunks (internal/buf's Writer guarantees
+// contiguity), so file rotation between chunks never splits a record across
+// files. Call Flush for a durability barrier.
 //
 // Every on-disk record is framed with a length prefix and a CRC32C
 // trailer, so recovery validates sizes before trusting them and detects
@@ -22,23 +29,27 @@
 //
 // The package's I/O sites carry internal/fault failpoints (a no-op unless
 // a test enables a registry); RunTorture drives randomized crash-recovery
-// runs over them. The on-disk format, the group-commit acknowledgment
-// contract, the failure model, and the failpoint catalog are specified in
-// docs/DURABILITY.md.
+// runs over them. The on-disk format, the batched group-commit
+// acknowledgment contract, the failure model, and the failpoint catalog are
+// specified in docs/DURABILITY.md.
 package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"cicada/internal/buf"
 	"cicada/internal/clock"
 	"cicada/internal/core"
 	"cicada/internal/fault"
+	"cicada/internal/telemetry"
 	"cicada/internal/trace"
 )
 
@@ -68,6 +79,9 @@ const (
 // (hardware-accelerated on amd64/arm64).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// errStopped reports a submit against a stopped logger.
+var errStopped = errors.New("wal: logger stopped")
+
 // Options configures a Manager.
 type Options struct {
 	// Dir is the directory for redo logs and checkpoints.
@@ -81,6 +95,11 @@ type Options struct {
 	GroupCommit time.Duration
 	// ChunkSize rotates redo log files at this size. Default: 1 MiB.
 	ChunkSize int64
+	// BufChunk is the pooled in-memory chunk size of the staged redo
+	// chains (see internal/buf). Smaller chunks seal and kick the
+	// committer more often; larger ones amortize better.
+	// Default: buf.DefaultChunkSize (64 KiB).
+	BufChunk int
 }
 
 func (o *Options) setDefaults(workers int) {
@@ -96,51 +115,110 @@ func (o *Options) setDefaults(workers int) {
 	if o.ChunkSize <= 0 {
 		o.ChunkSize = 1 << 20
 	}
+	if o.BufChunk <= 0 {
+		o.BufChunk = buf.DefaultChunkSize
+	}
+	// Rotation happens between staged chunks, so a file can overshoot
+	// ChunkSize by at most one chunk; clamping keeps that overshoot (and
+	// the rotation cadence tests rely on) proportional to the file size.
+	if int64(o.BufChunk) > o.ChunkSize {
+		o.BufChunk = int(o.ChunkSize)
+	}
 }
 
-// Manager owns the logger threads and checkpointing for one engine.
+// walMetrics is the package's telemetry family set (docs/OBSERVABILITY.md).
+// Writes are serialized per logger by the logger's file mutex.
+type walMetrics struct {
+	batches      *telemetry.Counter
+	batchBytes   *telemetry.Counter
+	batchRecords *telemetry.Counter
+	fsyncs       *telemetry.Counter
+	queueDepth   *telemetry.Gauge
+}
+
+func newWALMetrics(reg *telemetry.Registry) *walMetrics {
+	return &walMetrics{
+		batches:      reg.Counter("wal_batches_total", "Group-commit batch flushes that drained at least one chunk."),
+		batchBytes:   reg.Counter("wal_batch_bytes_total", "Redo bytes written by gathered batch flushes."),
+		batchRecords: reg.Counter("wal_batch_records_total", "Redo records written by gathered batch flushes."),
+		fsyncs:       reg.Counter("wal_fsyncs_total", "Batch fsyncs performed (group-commit intervals and Flush barriers)."),
+		queueDepth:   reg.Gauge("wal_queue_depth", "Staged chunks drained by the most recent batch flush, per logger."),
+	}
+}
+
+// Manager owns the per-worker staging, the logger threads, and
+// checkpointing for one engine.
 type Manager struct {
 	eng     *core.Engine
 	opts    Options
+	pool    *buf.Pool
+	stages  []*stage
 	loggers []*logger
 	ckptSeq int
 	mu      sync.Mutex // serializes Checkpoint/Close
 	closed  bool
+	// fsyncs counts successful batch fsyncs across all loggers (the
+	// bench harness derives fsyncs-per-transaction from it).
+	fsyncs atomic.Uint64
 	// tr mirrors the engine's tracer: append events are recorded on the
-	// calling worker's shard, fsync events on per-logger extra shards.
-	tr *trace.Tracer
+	// calling worker's shard, batch/fsync events on per-logger extra
+	// shards.
+	tr  *trace.Tracer
+	met *walMetrics
 }
 
 // Attach creates the log directory, starts logger threads, and installs the
 // engine's durability hook. It must be called before transactions run.
 func Attach(eng *core.Engine, opts Options) (*Manager, error) {
-	opts.setDefaults(eng.Options().Workers)
+	workers := eng.Options().Workers
+	opts.setDefaults(workers)
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	m := &Manager{eng: eng, opts: opts, tr: eng.Options().Trace}
+	m := &Manager{
+		eng:  eng,
+		opts: opts,
+		pool: buf.NewPool(opts.BufChunk, 0),
+		tr:   eng.Options().Trace,
+	}
+	if reg := eng.Options().Metrics; reg != nil {
+		m.met = newWALMetrics(reg)
+	}
 	for i := 0; i < opts.Loggers; i++ {
-		lg, err := newLogger(opts.Dir, i, opts)
+		lg, err := newLogger(m, i)
 		if err != nil {
 			m.stopLoggers()
 			return nil, err
 		}
 		if m.tr != nil {
 			// The group-commit goroutine is a non-worker single writer, so
-			// it gets its own shard for fsync events.
+			// it gets its own shard for batch and fsync events.
 			lg.tr = m.tr.AddShard(fmt.Sprintf("wal-logger-%d", i))
 		}
 		m.loggers = append(m.loggers, lg)
+	}
+	m.stages = make([]*stage, workers)
+	for w := 0; w < workers; w++ {
+		lg := m.loggers[w%len(m.loggers)]
+		st := &stage{lg: lg}
+		st.w.Init(m.pool)
+		m.stages[w] = st
+		lg.stages = append(lg.stages, st)
+	}
+	for _, lg := range m.loggers {
+		go lg.run()
 	}
 	eng.SetLogger(m)
 	return m, nil
 }
 
-// Log implements core.Logger: encode the redo record and hand it to the
-// worker's logger. It runs on the worker's goroutine, so the append trace
-// event goes to that worker's own shard.
+// Log implements core.Logger: encode the redo record into the worker's own
+// staged chunk chain. It runs on the worker's goroutine — no file I/O, no
+// shared mutex — so the append trace event goes to that worker's own shard.
+//
+//cicada:noalloc
 func (m *Manager) Log(worker int, ts clock.Timestamp, entries []core.LogEntry) error {
-	lg := m.loggers[worker%len(m.loggers)]
+	st := m.stages[worker]
 	var sh *trace.Shard
 	var start time.Time
 	if m.tr != nil && worker < m.tr.Shards() {
@@ -149,14 +227,21 @@ func (m *Manager) Log(worker int, ts clock.Timestamp, entries []core.LogEntry) e
 			start = time.Now()
 		}
 	}
-	n, err := lg.submit(ts, worker, entries)
+	n, sealed, err := st.submit(ts, worker, entries)
+	if sealed {
+		// A full chunk is waiting: wake the committer without blocking.
+		st.lg.kickNow()
+	}
 	if sh != nil {
 		sh.Record(trace.EvWALAppend, start.UnixNano(), uint64(time.Since(start)), uint64(n), 0)
 	}
 	return err
 }
 
-// Flush forces all buffered redo records to stable storage (a durability
+// Fsyncs returns the number of successful batch fsyncs so far.
+func (m *Manager) Fsyncs() uint64 { return m.fsyncs.Load() }
+
+// Flush forces all staged redo records to stable storage (a durability
 // barrier, in place of waiting out the group-commit interval).
 func (m *Manager) Flush() error {
 	for _, lg := range m.loggers {
@@ -201,39 +286,157 @@ func syncDir(dir string) error {
 	return err
 }
 
-// logger owns one chunked redo stream. Workers append redo records under
-// the logger mutex (the OS page cache absorbs the append); a background
-// group-commit goroutine makes the stream durable every GroupCommit
-// interval, so workers never wait for fsync — the paper’s group commit
-// amortization (§3.7).
-type logger struct {
-	dir   string
-	id    int
-	opts  Options
-	done  chan struct{}
-	mu    sync.Mutex // guards file state
-	f     *os.File
-	size  int64
-	seq   int
+// stage is one worker's staging lane: a chunk chain the worker encodes redo
+// frames into under a lane-private mutex. The only other contender is the
+// committer's detach, a pointer swap once per flush — workers never wait
+// behind another worker's append or behind an fsync. Stages are allocated
+// individually so no two lanes share a cache line.
+type stage struct {
+	lg *logger
+	mu sync.Mutex
+	w  buf.Writer
+	// recs counts frames staged since the last detach; maxTS tracks the
+	// newest staged write timestamp (monotone; detach reads it to name
+	// sealed files conservatively).
+	recs  int
 	maxTS clock.Timestamp
-	err   error
+}
+
+// submit encodes one transaction's redo record into the stage's chain. The
+// entry data is copied into pooled chunk memory, so the caller's buffers
+// may be reused immediately. A failure is returned to the worker, which
+// aborts the transaction (§3.4) with nothing staged.
+//
+//cicada:noalloc
+func (st *stage) submit(ts clock.Timestamp, worker int, entries []core.LogEntry) (int, bool, error) {
+	size := redoSize(entries)
+	lg := st.lg
+	st.mu.Lock()
+	if lg.failed.Load() {
+		st.mu.Unlock()
+		return 0, false, lg.failure()
+	}
+	sealed := false
+	if !st.w.Fits(size) && st.w.Chunks() > 0 {
+		// The tail chunk is complete; this frame opens a fresh one.
+		if err := fault.Inject(fault.WALChunkSeal); err != nil {
+			st.mu.Unlock()
+			return 0, false, err
+		}
+		sealed = true
+	}
+	frame := st.w.Frame(size)
+	encodeRedoInto(frame, ts, worker, entries)
+	st.recs++
+	if ts > st.maxTS {
+		st.maxTS = ts
+	}
+	st.mu.Unlock()
+	return size, sealed, nil
+}
+
+// redoSize returns the encoded size of one redo record.
+//
+//cicada:noalloc
+func redoSize(entries []core.LogEntry) int {
+	size := redoHdrLen
+	for i := range entries {
+		size += redoEntryLen + len(entries[i].Data)
+	}
+	return size + 4 // crc
+}
+
+// encodeRedoInto frames one transaction's write set as a redo record in
+// buf, which must be exactly redoSize(entries) bytes:
+//
+//	magic(4) recLen(4) ts(8) worker(4) nEntries(4)
+//	  per entry: table(4) rid(8) flags(1) dlen(4) data(dlen)
+//	crc32c(4)  — over everything before it, magic included
+//
+// recLen is the total record length in bytes, so recovery can bounds-check
+// the frame before parsing entries (see readRedo).
+//
+//cicada:noalloc
+func encodeRedoInto(buf []byte, ts clock.Timestamp, worker int, entries []core.LogEntry) {
+	size := len(buf)
+	binary.LittleEndian.PutUint32(buf[0:], redoMagic)
+	binary.LittleEndian.PutUint32(buf[4:], uint32(size))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(ts))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(worker))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(len(entries)))
+	o := redoHdrLen
+	for _, e := range entries {
+		binary.LittleEndian.PutUint32(buf[o:], uint32(e.Table))
+		o += 4
+		binary.LittleEndian.PutUint64(buf[o:], uint64(e.Record))
+		o += 8
+		// Full-width store: the frame may sit in a recycled pool chunk, so
+		// every byte must be written, not just set when the flag is true.
+		flags := byte(0)
+		if e.Deleted {
+			flags = 1
+		}
+		buf[o] = flags
+		o++
+		binary.LittleEndian.PutUint32(buf[o:], uint32(len(e.Data)))
+		o += 4
+		copy(buf[o:], e.Data)
+		o += len(e.Data)
+	}
+	crc := crc32.Checksum(buf[:size-4], castagnoli)
+	binary.LittleEndian.PutUint32(buf[size-4:], crc)
+}
+
+// encodeRedo allocates and encodes one redo record (test and tooling
+// convenience; the write path encodes directly into pooled chunks via
+// encodeRedoInto).
+func encodeRedo(ts clock.Timestamp, worker int, entries []core.LogEntry) []byte {
+	buf := make([]byte, redoSize(entries))
+	encodeRedoInto(buf, ts, worker, entries)
+	return buf
+}
+
+// logger owns one chunked redo stream and the group-commit goroutine that
+// services a group of worker stages: every GroupCommit interval (or sooner
+// when a worker seals a full chunk) it detaches the staged chains,
+// coalesces them into gathered writes, and fsyncs the batch once. Workers
+// never touch the file or the file mutex.
+type logger struct {
+	m      *Manager
+	dir    string
+	id     int
+	opts   Options
+	stages []*stage
+	kick   chan struct{}
+	done   chan struct{}
+	// failed mirrors err for the workers' lock-free submit check; err is
+	// the poisoned stream's cause, guarded by fmu.
+	failed atomic.Bool
+	fmu    sync.Mutex // guards file state below
+	f      *os.File
+	size   int64
+	seq    int
+	maxTS  clock.Timestamp
+	dirty  bool // bytes written since the last successful fsync
+	err    error
 	// tr is the group-commit goroutine's trace shard (nil when untraced).
 	// Only run() records on it: flushSync runs on arbitrary caller
 	// goroutines, which would break the single-writer discipline.
 	tr *trace.Shard
 }
 
-func newLogger(dir string, id int, opts Options) (*logger, error) {
+func newLogger(m *Manager, id int) (*logger, error) {
 	lg := &logger{
-		dir:  dir,
+		m:    m,
+		dir:  m.opts.Dir,
 		id:   id,
-		opts: opts,
+		opts: m.opts,
+		kick: make(chan struct{}, 1),
 		done: make(chan struct{}),
 	}
 	if err := lg.openChunk(); err != nil {
 		return nil, err
 	}
-	go lg.run()
 	return lg, nil
 }
 
@@ -251,128 +454,187 @@ func (lg *logger) openChunk() error {
 	return nil
 }
 
-// submit encodes and appends one transaction's redo record. The entry data
-// is copied into the encoded buffer, so the caller's buffers may be reused
-// immediately. A logging failure is returned to the worker, which aborts
-// the transaction (§3.4).
-func (lg *logger) submit(ts clock.Timestamp, worker int, entries []core.LogEntry) (int, error) {
-	buf := encodeRedo(ts, worker, entries)
-	lg.mu.Lock()
-	defer lg.mu.Unlock()
-	if lg.err != nil {
-		return 0, lg.err
+// kickNow wakes the committer without blocking (a full kick queue means a
+// wake-up is already pending).
+//
+//cicada:noalloc
+func (lg *logger) kickNow() {
+	select {
+	case lg.kick <- struct{}{}:
+	default:
 	}
-	if lg.f == nil {
-		return 0, fmt.Errorf("wal: logger %d stopped", lg.id)
-	}
-	lg.writeLocked(buf, ts)
-	return len(buf), lg.err
 }
 
-// encodeRedo frames one transaction's write set as a redo record:
-//
-//	magic(4) recLen(4) ts(8) worker(4) nEntries(4)
-//	  per entry: table(4) rid(8) flags(1) dlen(4) data(dlen)
-//	crc32c(4)  — over everything before it, magic included
-//
-// recLen is the total record length in bytes, so recovery can bounds-check
-// the frame before parsing entries (see readRedo).
-func encodeRedo(ts clock.Timestamp, worker int, entries []core.LogEntry) []byte {
-	size := redoHdrLen
-	for _, e := range entries {
-		size += redoEntryLen + len(e.Data)
+// fail poisons the stream: no later record can be appended after the
+// damage, and workers see the failure on their next submit. Caller holds
+// fmu.
+func (lg *logger) fail(err error) {
+	if lg.err == nil {
+		lg.err = err
 	}
-	size += 4 // crc
-	buf := make([]byte, size)
-	binary.LittleEndian.PutUint32(buf[0:], redoMagic)
-	binary.LittleEndian.PutUint32(buf[4:], uint32(size))
-	binary.LittleEndian.PutUint64(buf[8:], uint64(ts))
-	binary.LittleEndian.PutUint32(buf[16:], uint32(worker))
-	binary.LittleEndian.PutUint32(buf[20:], uint32(len(entries)))
-	o := redoHdrLen
-	for _, e := range entries {
-		binary.LittleEndian.PutUint32(buf[o:], uint32(e.Table))
-		o += 4
-		binary.LittleEndian.PutUint64(buf[o:], uint64(e.Record))
-		o += 8
-		if e.Deleted {
-			buf[o] = 1
-		}
-		o++
-		binary.LittleEndian.PutUint32(buf[o:], uint32(len(e.Data)))
-		o += 4
-		copy(buf[o:], e.Data)
-		o += len(e.Data)
-	}
-	crc := crc32.Checksum(buf[:size-4], castagnoli)
-	binary.LittleEndian.PutUint32(buf[size-4:], crc)
-	return buf
+	lg.failed.Store(true)
 }
 
-// run is the group-commit goroutine: it fsyncs the stream every GroupCommit
-// interval until stopped.
+// failure returns the poisoned stream's cause.
+func (lg *logger) failure() error {
+	lg.fmu.Lock()
+	err := lg.err
+	lg.fmu.Unlock()
+	if err == nil {
+		err = errStopped
+	}
+	return err
+}
+
+// run is the group-commit goroutine: it drains and writes the staged
+// chains on every kick, and fsyncs the stream every GroupCommit interval,
+// until stopped.
 func (lg *logger) run() {
 	tick := time.NewTicker(lg.opts.GroupCommit)
 	defer tick.Stop()
 	for {
 		select {
 		case <-tick.C:
-			lg.mu.Lock()
-			lg.timedSyncLocked()
-			lg.mu.Unlock()
+			lg.flushTimed(true)
+		case <-lg.kick:
+			// A sealed chunk is waiting: write it out to bound staged
+			// memory, but leave the fsync to the interval tick.
+			lg.flushTimed(false)
 		case <-lg.done:
-			lg.mu.Lock()
-			lg.timedSyncLocked()
+			lg.fmu.Lock()
+			lg.flushLocked()
+			lg.syncLocked()
 			if lg.f != nil {
 				lg.f.Close()
 				lg.f = nil
 			}
-			lg.mu.Unlock()
+			lg.fail(errStopped)
+			lg.fmu.Unlock()
 			return
 		}
 	}
 }
 
-// timedSyncLocked is run()'s fsync wrapper: it records a wal_fsync trace
-// event on the group-commit goroutine's own shard. flushSync must keep
-// calling the bare syncLocked — it runs on arbitrary goroutines.
-func (lg *logger) timedSyncLocked() {
-	if lg.tr == nil || !lg.tr.Enabled() {
-		lg.syncLocked()
-		return
+// flushTimed is run()'s flush wrapper: it records per-batch wal_batch and
+// wal_fsync trace events on the group-commit goroutine's own shard.
+// flushSync must keep calling the bare flushLocked/syncLocked — it runs on
+// arbitrary goroutines.
+func (lg *logger) flushTimed(sync bool) {
+	traced := lg.tr != nil && lg.tr.Enabled()
+	var start time.Time
+	if traced {
+		start = time.Now()
 	}
-	start := time.Now()
-	lg.syncLocked()
-	lg.tr.Record(trace.EvWALFsync, start.UnixNano(), uint64(time.Since(start)), 0, 0)
+	lg.fmu.Lock()
+	chunks, recs, bytes := lg.flushLocked()
+	if traced && chunks > 0 {
+		lg.tr.Record(trace.EvWALBatch, start.UnixNano(), uint64(time.Since(start)), uint64(bytes), uint64(recs))
+	}
+	if sync {
+		var s0 time.Time
+		if traced {
+			s0 = time.Now()
+		}
+		if lg.syncLocked() && traced {
+			lg.tr.Record(trace.EvWALFsync, s0.UnixNano(), uint64(time.Since(s0)), 0, 0)
+		}
+	}
+	lg.fmu.Unlock()
 }
 
-func (lg *logger) writeLocked(buf []byte, ts clock.Timestamp) {
-	n, err := fault.Write(fault.WALAppend, lg.f, buf)
+// flushLocked detaches every serviced stage's chain and writes the chunks
+// out in one gathered pass, rotating files between chunks (frames never
+// span chunks, so rotation never splits a record across files). Chunks are
+// recycled to the pool as they are written. Caller holds fmu.
+func (lg *logger) flushLocked() (chunks, recs int, bytes int64) {
+	var head, tail *buf.Chunk
+	var maxTS clock.Timestamp
+	for _, st := range lg.stages {
+		st.mu.Lock()
+		h, c, b := st.w.Detach()
+		r := st.recs
+		st.recs = 0
+		if st.maxTS > maxTS {
+			maxTS = st.maxTS
+		}
+		st.mu.Unlock()
+		if h == nil {
+			continue
+		}
+		if head == nil {
+			head = h
+		} else {
+			tail.SetNext(h)
+		}
+		t := h
+		for t.Next() != nil {
+			t = t.Next()
+		}
+		tail = t
+		chunks += c
+		recs += r
+		bytes += b
+	}
+	if head == nil {
+		return 0, 0, 0
+	}
+	// The batch maximum is applied to the current file before any of its
+	// chunks land: a mid-batch rotation then names the sealed file with a
+	// timestamp at or above everything it holds, which only delays
+	// purging (never loses coverage).
+	if maxTS > lg.maxTS {
+		lg.maxTS = maxTS
+	}
+	for c := head; c != nil; c = c.Next() {
+		if lg.err == nil {
+			lg.writeChunkLocked(c)
+		}
+	}
+	for c := head; c != nil; {
+		nx := c.Next()
+		c.Release()
+		c = nx
+	}
+	if met := lg.m.met; met != nil {
+		met.batches.Shard(lg.id).Add(1)
+		met.batchBytes.Shard(lg.id).Add(uint64(bytes))
+		met.batchRecords.Shard(lg.id).Add(uint64(recs))
+		met.queueDepth.Shard(lg.id).Set(int64(chunks))
+	}
+	return chunks, recs, bytes
+}
+
+// writeChunkLocked appends one staged chunk to the file with a single
+// gathered write. Caller holds fmu and has checked lg.err.
+func (lg *logger) writeChunkLocked(c *buf.Chunk) {
+	if lg.size >= lg.opts.ChunkSize {
+		lg.rotateLocked()
+		if lg.err != nil {
+			return
+		}
+	}
+	b := c.Bytes()
+	n, err := fault.Write(fault.WALGatherWrite, lg.f, b)
 	if err != nil {
 		// A short or torn write may have left a partial record on disk;
 		// recovery's tail-truncation drops it. The stream is poisoned so
 		// no later record can be appended after the damage.
-		lg.err = err
+		lg.fail(err)
 		return
 	}
-	if n < len(buf) {
-		lg.err = fmt.Errorf("wal: short append: %d of %d bytes", n, len(buf))
+	if n < len(b) {
+		lg.fail(fmt.Errorf("wal: short gathered write: %d of %d bytes", n, len(b)))
 		return
 	}
-	if ts > lg.maxTS {
-		lg.maxTS = ts
-	}
-	lg.size += int64(len(buf))
-	if lg.size >= lg.opts.ChunkSize {
-		lg.rotateLocked()
-	}
+	lg.size += int64(n)
+	lg.dirty = true
 }
 
-// rotateLocked closes the current chunk (renaming it to embed its maximum
-// write timestamp, which drives purging) and opens the next.
+// rotateLocked closes the current chunk file (renaming it to embed its
+// maximum write timestamp, which drives purging) and opens the next.
 func (lg *logger) rotateLocked() {
 	if err := fault.Inject(fault.WALRotate); err != nil {
-		lg.err = err
+		lg.fail(err)
 		return
 	}
 	lg.f.Sync()
@@ -380,37 +642,50 @@ func (lg *logger) rotateLocked() {
 	closed := lg.chunkPath(lg.seq)
 	sealed := filepath.Join(lg.dir, fmt.Sprintf("redo-%03d-%09d-%020d.sealed.log", lg.id, lg.seq, uint64(lg.maxTS)))
 	if err := os.Rename(closed, sealed); err != nil {
-		lg.err = err
+		lg.fail(err)
 		return
 	}
 	if err := syncDir(lg.dir); err != nil {
-		lg.err = err
+		lg.fail(err)
 		return
 	}
 	lg.seq++
 	lg.maxTS = 0
+	lg.dirty = false
 	if err := lg.openChunk(); err != nil {
-		lg.err = err
+		lg.fail(err)
 	}
 }
 
-func (lg *logger) syncLocked() {
-	if lg.err != nil || lg.f == nil {
-		return
+// syncLocked makes everything written since the last fsync durable; it is
+// skipped when nothing is dirty (an idle interval costs no fsync). It
+// reports whether an fsync was performed. Caller holds fmu.
+func (lg *logger) syncLocked() bool {
+	if lg.err != nil || lg.f == nil || !lg.dirty {
+		return false
 	}
-	if err := fault.Inject(fault.WALSync); err != nil {
-		lg.err = err
-		return
+	if err := fault.Inject(fault.WALBatchFsync); err != nil {
+		lg.fail(err)
+		return false
 	}
 	if err := lg.f.Sync(); err != nil {
-		lg.err = err
+		lg.fail(err)
+		return false
 	}
+	lg.dirty = false
+	lg.m.fsyncs.Add(1)
+	if met := lg.m.met; met != nil {
+		met.fsyncs.Shard(lg.id).Add(1)
+	}
+	return true
 }
 
-// flushSync fsyncs the stream (a durability barrier).
+// flushSync drains the staged chains and fsyncs the stream (a durability
+// barrier covering everything submitted before the call).
 func (lg *logger) flushSync() error {
-	lg.mu.Lock()
-	defer lg.mu.Unlock()
+	lg.fmu.Lock()
+	defer lg.fmu.Unlock()
+	lg.flushLocked()
 	lg.syncLocked()
 	return lg.err
 }

@@ -377,3 +377,30 @@ func TestPurgeAfterCheckpoint(t *testing.T) {
 	}
 	_ = fmt.Sprint() // keep fmt import if unused elsewhere
 }
+
+// TestEncodeRedoIntoDirtyBuffer pins that encodeRedoInto overwrites every
+// byte of its frame. Frames are encoded in place into recycled pool chunks,
+// so any byte the encoder only writes conditionally inherits garbage from
+// the chunk's previous life — this is exactly how a stale flags byte once
+// turned a plain update into a phantom delete that recovery then honored
+// as a tombstone.
+func TestEncodeRedoIntoDirtyBuffer(t *testing.T) {
+	entries := []core.LogEntry{
+		{Table: 0, Record: 15, Data: []byte("update-value")},
+		{Table: 1, Record: 7, Deleted: true},
+		{Table: 2, Record: 99, Data: []byte{0}},
+	}
+	fresh := encodeRedo(42, 3, entries)
+	dirty := make([]byte, len(fresh))
+	for i := range dirty {
+		dirty[i] = 0xFF
+	}
+	encodeRedoInto(dirty, 42, 3, entries)
+	if !bytes.Equal(fresh, dirty) {
+		for i := range fresh {
+			if fresh[i] != dirty[i] {
+				t.Fatalf("byte %d differs after encoding into a dirty buffer: fresh=%#x dirty=%#x (stale garbage leaked into the frame)", i, fresh[i], dirty[i])
+			}
+		}
+	}
+}
