@@ -8,7 +8,7 @@ GO ?= go
 # registries are all cross-goroutine (docs/DURABILITY.md).
 RACE_PKGS = ./internal/core/... ./internal/clock/... ./internal/storage/... ./internal/telemetry/... ./internal/trace/... ./internal/wal/... ./internal/fault/...
 
-.PHONY: all build test lint vet check race bench bench-smoke bench-compare bench-json telemetry-smoke trace-smoke torture docs-lint clean
+.PHONY: all build test lint vet check race bench bench-smoke bench-compare bench-json skew-smoke telemetry-smoke trace-smoke torture docs-lint clean
 
 # Packages with the hot-path microbenchmarks and allocation-budget tests
 # (docs/PERFORMANCE.md).
@@ -56,14 +56,29 @@ bench-smoke:
 # committed BENCH_ycsb.json seed's value (× the slack factor built into
 # bench-compare). Writes a mutex-contention profile for CI to archive.
 bench-compare:
-	$(GO) run ./cmd/bench-compare -seed BENCH_ycsb.json -experiment fig6a \
-		-engine Cicada -param 0 -threads 2 -mutexprofile /tmp/cicada-mutex.pb.gz
+	$(GO) run ./cmd/bench-compare -curve speedup -seed BENCH_ycsb.json \
+		-experiment fig6a -engine Cicada -param 0 -threads 2 -mutexprofile /tmp/cicada-mutex.pb.gz
+
+# Adaptive-contention gate (docs/PERFORMANCE.md "Adaptive contention
+# management"): run the skew experiment's high-skew point with heat tracking
+# on and off and fail if adaptation loses throughput or raises the
+# validation/rts_early abort rate. Then a tiny skew sweep whose JSON report
+# must carry the schema-v4 "skew" section.
+skew-smoke:
+	$(GO) run ./cmd/bench-compare -curve skew-adaptive -threads 2 -slack 0.85
+	$(GO) run ./cmd/cicada-bench -engines Cicada -ramp 100ms -measure 300ms -threads 2 \
+		-ycsb-records 50000 -json /tmp/cicada-skew-smoke.json skew
+	jq -e '.meta.schema_version >= 4' /tmp/cicada-skew-smoke.json >/dev/null
+	jq -e '.skew | length == 2' /tmp/cicada-skew-smoke.json >/dev/null
+	jq -e '[.skew[].points | length] | min >= 1' /tmp/cicada-skew-smoke.json >/dev/null
+	jq -e '.results[] | select(.engine == "Cicada") | .extra.total_commits > 0' /tmp/cicada-skew-smoke.json >/dev/null
 
 # Refresh the committed perf-trajectory seeds: a multi-core thread sweep per
 # workload, with the tps-vs-threads curves folded into the reports'
-# "scalability" section; see docs/PERFORMANCE.md for how to read the files.
+# "scalability" section (plus the adaptive-contention "skew" curves for
+# YCSB); see docs/PERFORMANCE.md for how to read the files.
 bench-json:
-	$(GO) run ./cmd/cicada-bench -engines Cicada -ramp 200ms -measure 500ms -threads 1,2,4 -json BENCH_ycsb.json fig6a scaling
+	$(GO) run ./cmd/cicada-bench -engines Cicada -ramp 200ms -measure 500ms -threads 1,2,4 -json BENCH_ycsb.json fig6a scaling skew
 	$(GO) run ./cmd/cicada-bench -engines Cicada -ramp 200ms -measure 500ms -threads 1,2,4 -json BENCH_tpcc.json fig3c
 
 # Benchmark-driven trace smoke: a short traced YCSB run whose -trace output

@@ -110,6 +110,29 @@ type Config struct {
 	NoWriteLatestRule bool
 	NoSortWriteSet    bool
 	NoPreCheck        bool
+
+	// HeatTableSize is each worker's per-record heat table size in slots
+	// (rounded up to a power of two; see docs/PERFORMANCE.md "Adaptive
+	// contention management"). 0 means the default of 1024.
+	HeatTableSize int
+	// HeatHotThreshold is the decayed heat at or above which a record is
+	// treated as hot (forces validation checks, earns full backoff).
+	// 0 means the default of 8.
+	HeatHotThreshold int
+	// HeatRTSSlackTicks, when > 0, lets reads of cold records over-raise the
+	// version's read timestamp by this many clock ticks and skip the rts CAS
+	// while the raised value still covers them. Serializability is
+	// preserved (over-raising only makes writers abort conservatively);
+	// the cost is slightly more conservative writes near cold reads.
+	// 0 (the default) disables coarse rts maintenance.
+	HeatRTSSlackTicks uint64
+	// NoHeatTracking disables per-record heat tracking entirely: no heat
+	// tables, no heat-forced validation checks, no heat-weighted backoff,
+	// no coarse rts maintenance.
+	NoHeatTracking bool
+	// NoHeatBackoff keeps heat tracking but disables heat-weighted backoff
+	// (every abort uses the regulator's full randomized maximum).
+	NoHeatBackoff bool
 }
 
 // DefaultConfig returns the paper's default configuration for n workers.
@@ -144,6 +167,15 @@ func Open(cfg Config) *DB {
 	}
 	opts.Clock.Centralized = cfg.CentralizedClock
 	opts.PendingWaitLimit = cfg.PendingWaitLimit
+	if cfg.HeatTableSize > 0 {
+		opts.HeatTableSize = cfg.HeatTableSize
+	}
+	if cfg.HeatHotThreshold > 0 {
+		opts.HeatHotThreshold = cfg.HeatHotThreshold
+	}
+	opts.HeatRTSSlackTicks = cfg.HeatRTSSlackTicks
+	opts.NoHeatTracking = cfg.NoHeatTracking
+	opts.NoHeatBackoff = cfg.NoHeatBackoff
 	db := &DB{}
 	if cfg.Telemetry {
 		db.reg = telemetry.NewRegistry(cfg.Workers)

@@ -1,17 +1,26 @@
-// Command bench-compare is the CI scalability-regression gate
-// (docs/PERFORMANCE.md): it re-runs one scalability curve from a committed
-// BENCH_*.json seed at small scale and fails (exit 1) if the fresh
-// multi-thread speedup falls below the seed's recorded value times -slack.
+// Command bench-compare is the CI perf-regression gate
+// (docs/PERFORMANCE.md). It runs one named gate curve at small scale and
+// fails (exit 1) when the fresh measurement falls below its floor:
+//
+//   - speedup (the default): re-run one scalability curve from a committed
+//     BENCH_*.json seed and require the fresh multi-thread speedup to stay
+//     within -slack of the seed's recorded value. -experiment/-engine/-param
+//     select the seed curve; -threads the gated point.
+//   - skew-adaptive: run the "skew" experiment's highest-theta point with
+//     heat-driven adaptation on and off in the same process and require
+//     adaptive-on throughput ≥ adaptive-off × -slack with no increase in
+//     validation + rts_early aborts per commit. Self-contained (no seed),
+//     so it is robust to runner speed.
 //
 // Usage (the CI defaults):
 //
-//	bench-compare -seed BENCH_ycsb.json -experiment fig6a -engine Cicada \
-//	    -param 0 -threads 2 -mutexprofile mutex.out
+//	bench-compare -curve speedup -seed BENCH_ycsb.json -experiment fig6a \
+//	    -engine Cicada -param 0 -threads 2 -mutexprofile mutex.out
+//	bench-compare -curve skew-adaptive -threads 2
 //
-// The fresh run measures the same (experiment, engine, param) curve with a
-// threads sweep of {1, -threads}. -mutexprofile enables mutex profiling for
-// the run and writes the profile on exit, so the CI job can upload it as an
-// artifact whether the gate passes or fails.
+// -mutexprofile enables mutex profiling for the run and writes the profile
+// on exit, so the CI job can upload it as an artifact whether the gate
+// passes or fails.
 package main
 
 import (
@@ -27,30 +36,18 @@ import (
 
 func main() {
 	var (
-		seedPath   = flag.String("seed", "BENCH_ycsb.json", "committed bench report to compare against")
-		experiment = flag.String("experiment", "fig6a", "seed curve's experiment (fig6a or scaling)")
-		engineName = flag.String("engine", "Cicada", "seed curve's engine name")
-		param      = flag.Float64("param", 0, "seed curve's param value (e.g. Zipf theta for scaling)")
-		threads    = flag.Int("threads", 2, "thread count whose speedup is gated (measured against threads=1)")
-		slack      = flag.Float64("slack", 0.9, "fresh speedup must be ≥ seed speedup × slack (absorbs runner noise)")
+		curve      = flag.String("curve", "speedup", "named gate curve: speedup or skew-adaptive")
+		seedPath   = flag.String("seed", "BENCH_ycsb.json", "committed bench report to compare against (speedup curve only)")
+		experiment = flag.String("experiment", "fig6a", "seed curve's experiment (fig6a or scaling; speedup curve only)")
+		engineName = flag.String("engine", "Cicada", "seed curve's engine name (speedup curve only)")
+		param      = flag.Float64("param", 0, "seed curve's param value (e.g. Zipf theta; speedup curve only)")
+		threads    = flag.Int("threads", 2, "thread count to measure at")
+		slack      = flag.Float64("slack", 0.9, "fresh value must be ≥ floor × slack (absorbs runner noise)")
 		ramp       = flag.Duration("ramp", 200*time.Millisecond, "ramp-up before measuring each point")
 		measure    = flag.Duration("measure", 500*time.Millisecond, "measurement window per point")
 		mutexProf  = flag.String("mutexprofile", "", "enable mutex profiling and write the profile here on exit")
 	)
 	flag.Parse()
-
-	seed, err := bench.LoadReport(*seedPath)
-	if err != nil {
-		fatal(2, "load seed: %v", err)
-	}
-	seedCurve, err := bench.FindCurve(seed, *experiment, *engineName, *param)
-	if err != nil {
-		fatal(2, "seed: %v", err)
-	}
-	seedSpeedup, err := bench.SpeedupAt(seedCurve, *threads)
-	if err != nil {
-		fatal(2, "seed: %v", err)
-	}
 
 	if *mutexProf != "" {
 		runtime.SetMutexProfileFraction(100)
@@ -59,37 +56,83 @@ func main() {
 
 	s := bench.DefaultScale()
 	s.Threads = []int{1, *threads}
+	s.MaxThreads = *threads
 	s.Dur = bench.Durations{Ramp: *ramp, Measure: *measure}
-	// Scaling derives its durable Cicada/WAL curve from the Cicada entry.
 	s.Engines = []string{"Cicada"}
 
+	switch *curve {
+	case "speedup":
+		gateSpeedup(s, *seedPath, *experiment, *engineName, *param, *threads, *slack)
+	case "skew-adaptive":
+		gateSkewAdaptive(s, *slack)
+	default:
+		fatal(2, "curve %q not supported (speedup or skew-adaptive)", *curve)
+	}
+	fmt.Println("OK")
+}
+
+// gateSpeedup re-measures one seed scalability curve and gates the
+// multi-thread speedup against the committed value.
+func gateSpeedup(s bench.Scale, seedPath, experiment, engineName string, param float64, threads int, slack float64) {
+	seed, err := bench.LoadReport(seedPath)
+	if err != nil {
+		fatal(2, "load seed: %v", err)
+	}
+	seedCurve, err := bench.FindCurve(seed, experiment, engineName, param)
+	if err != nil {
+		fatal(2, "seed: %v", err)
+	}
+	seedSpeedup, err := bench.SpeedupAt(seedCurve, threads)
+	if err != nil {
+		fatal(2, "seed: %v", err)
+	}
+
 	var results []bench.Result
-	switch *experiment {
+	switch experiment {
 	case "fig6a":
 		results = bench.Fig6('a', s)
 	case "scaling":
 		results = bench.Scaling(s)
 	default:
-		fatal(2, "experiment %q not supported (fig6a or scaling)", *experiment)
+		fatal(2, "experiment %q not supported (fig6a or scaling)", experiment)
 	}
 	fresh, err := bench.FindCurve(&bench.JSONReport{Scalability: bench.DeriveScalability(results)},
-		*experiment, *engineName, *param)
+		experiment, engineName, param)
 	if err != nil {
 		fatal(2, "fresh run: %v", err)
 	}
-	freshSpeedup, err := bench.SpeedupAt(fresh, *threads)
+	freshSpeedup, err := bench.SpeedupAt(fresh, threads)
 	if err != nil {
 		fatal(2, "fresh run: %v", err)
 	}
 
-	floor := seedSpeedup * *slack
+	floor := seedSpeedup * slack
 	fmt.Printf("bench-compare %s/%s param=%g: %d-thread speedup fresh=%.3f seed=%.3f floor=%.3f (slack %.2f)\n",
-		*experiment, *engineName, *param, *threads, freshSpeedup, seedSpeedup, floor, *slack)
+		experiment, engineName, param, threads, freshSpeedup, seedSpeedup, floor, slack)
 	if freshSpeedup < floor {
 		fatal(1, "REGRESSION: fresh %d-thread speedup %.3f fell below the committed floor %.3f",
-			*threads, freshSpeedup, floor)
+			threads, freshSpeedup, floor)
 	}
-	fmt.Println("OK")
+}
+
+// gateSkewAdaptive runs the skew experiment's highest theta with adaptation
+// on and off and gates the adaptive variant's throughput and abort taxonomy.
+// Five interleaved trials per variant; the gate compares best-vs-best to
+// cancel scheduler noise on small runners.
+func gateSkewAdaptive(s bench.Scale, slack float64) {
+	s.Skews = []float64{0.99}
+	const trials = 5
+	var results []bench.Result
+	for i := 0; i < trials; i++ {
+		results = append(results, bench.Skew(s)...)
+	}
+	summary, err := bench.SkewAdaptiveGate(results, slack)
+	if summary != "" {
+		fmt.Println("bench-compare " + summary)
+	}
+	if err != nil {
+		fatal(1, "REGRESSION: %v", err)
+	}
 }
 
 func writeMutexProfile(path string) {

@@ -9,7 +9,7 @@
 //
 // Experiments: fig3a fig3b fig3c fig4a fig4b fig4c fig5a fig5b fig5c
 // fig6a fig6b fig6c fig7 fig8 fig9 fig10 fig11a fig11b fig11c fig11d
-// table2 scan staleness rts tatp scaling all
+// table2 scan staleness rts tatp scaling skew all
 //
 // The default scale fits a small machine; -full selects paper-scale data
 // sizes (10 M-record YCSB, 100 k-item TPC-C). EXPERIMENTS.md documents the
@@ -155,7 +155,7 @@ func main() {
 		exps = []string{"fig3a", "fig3b", "fig3c", "fig4a", "fig4b", "fig4c",
 			"fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig6c", "fig7",
 			"fig8", "fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig11d",
-			"table2", "scan", "staleness", "rts", "tatp", "scaling"}
+			"table2", "scan", "staleness", "rts", "tatp", "scaling", "skew"}
 	}
 	var csvOut *os.File
 	if *csvPath != "" {
@@ -373,6 +373,16 @@ func runExperiment(exp string, s bench.Scale) []bench.Result {
 				}
 			}
 			bench.PrintTable(out, fmt.Sprintf("Scalability: YCSB 16 req/tx, write-intensive, zipf %g, thread sweep", skew), "threads", sub)
+		}
+	case "skew":
+		rs := keep(bench.Skew(s))
+		bench.PrintTable(out, "Adaptive contention management: YCSB 16 req/tx, write-intensive, skew sweep", "skew", rs)
+		for _, r := range rs {
+			if r.Engine != "Cicada" {
+				continue
+			}
+			fmt.Printf("  skew=%g: %.0f forced checks, %.0f scaled backoffs, %.0f rts skips\n",
+				r.Param, r.Extra["heat_forced_checks"], r.Extra["heat_scaled_backoffs"], r.Extra["heat_rts_skips"])
 		}
 	case "rts":
 		cond, faa := bench.RTSUpdateBench(s.MaxThreads, s.Dur.Measure)

@@ -55,3 +55,85 @@ func SpeedupAt(c *ScalabilityCurve, threads int) (float64, error) {
 	return 0, fmt.Errorf("curve (%s, %s, %g) has no threads=%d point",
 		c.Experiment, c.Engine, c.Param, threads)
 }
+
+// FindSkewCurve returns the report's skew curve for the given engine.
+func FindSkewCurve(rep *JSONReport, engine string) (*SkewCurve, error) {
+	for i := range rep.Skew {
+		if rep.Skew[i].Engine == engine {
+			return &rep.Skew[i], nil
+		}
+	}
+	return nil, fmt.Errorf("no skew curve for engine %s; have %d curves", engine, len(rep.Skew))
+}
+
+// SkewAdaptiveGate checks a fresh "skew" run for the adaptive-contention
+// result (docs/PERFORMANCE.md): at the highest measured theta, the adaptive
+// engine's throughput must be at least slack × the non-adaptive engine's,
+// and its validation + rts_early abort rate (per commit) must not exceed
+// the non-adaptive engine's by more than 1/slack. Comparing the two
+// variants within one run makes the gate robust to runner speed. It returns
+// a one-line summary for logging and a non-nil error on gate failure.
+func SkewAdaptiveGate(results []Result, slack float64) (string, error) {
+	theta := -1.0
+	for _, r := range results {
+		if r.Experiment == "skew" && r.Param > theta {
+			theta = r.Param
+		}
+	}
+	if theta < 0 {
+		return "", fmt.Errorf("no skew results")
+	}
+	// When the caller ran repeated trials (bench-compare does), compare each
+	// engine's best trial: best-vs-best cancels scheduler noise on small
+	// runners without favoring either variant.
+	find := func(engine string) (*Result, error) {
+		var best *Result
+		for i := range results {
+			r := &results[i]
+			if r.Experiment == "skew" && r.Engine == engine && r.Param == theta {
+				if best == nil || r.TPS > best.TPS {
+					best = r
+				}
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("no skew result (engine=%s, theta=%g)", engine, theta)
+		}
+		return best, nil
+	}
+	on, err := find("Cicada")
+	if err != nil {
+		return "", err
+	}
+	off, err := find("Cicada/no-adapt")
+	if err != nil {
+		return "", err
+	}
+	// Validation-phase abort pressure per commit: the aborts the per-record
+	// adaptation specifically targets (heat-forced sorting and prechecks,
+	// coarse rts maintenance).
+	pressure := func(r *Result) float64 {
+		commits := r.Extra["total_commits"]
+		if commits <= 0 {
+			return 0
+		}
+		return (r.Extra["aborts_validation"] + r.Extra["aborts_rts_early"]) / commits
+	}
+	// An absolute floor on the cap keeps a near-zero non-adaptive rate (a
+	// fast run with almost no conflicts) from failing the gate on noise.
+	const pressureEps = 0.005 // aborts per commit
+	pOn, pOff := pressure(on), pressure(off)
+	cap := pOff/slack + pressureEps
+	summary := fmt.Sprintf(
+		"skew-adaptive theta=%g: tps on=%.0f off=%.0f (floor %.0f), validation+rts_early aborts/commit on=%.4f off=%.4f (cap %.4f)",
+		theta, on.TPS, off.TPS, off.TPS*slack, pOn, pOff, cap)
+	if on.TPS < off.TPS*slack {
+		return summary, fmt.Errorf("adaptive tps %.0f below floor %.0f (non-adaptive %.0f × slack %.2f)",
+			on.TPS, off.TPS*slack, off.TPS, slack)
+	}
+	if pOn > cap {
+		return summary, fmt.Errorf("adaptive validation+rts_early abort rate %.4f exceeds cap %.4f (non-adaptive %.4f / slack %.2f + %.3f)",
+			pOn, cap, pOff, slack, pressureEps)
+	}
+	return summary, nil
+}

@@ -401,6 +401,65 @@ func Fig11(sub byte, s Scale) []Result {
 	return tag(out, "fig11"+string(sub))
 }
 
+// Skew validates adaptive contention management (docs/PERFORMANCE.md):
+// write-intensive YCSB with 16 requests/transaction at MaxThreads, sweeping
+// Zipf theta, comparing Cicada's heat-driven per-record adaptation against
+// the same engine with heat tracking disabled ("Cicada/no-adapt"). Each
+// point records the per-reason abort taxonomy and the heat counters in
+// Extra so the skew-adaptive CI gate can compare the two variants.
+func Skew(s Scale) []Result {
+	cfg := s.YCSB
+	cfg.ReqsPerTx = 16
+	cfg.ReadRatio = 0.5
+	variants := []struct {
+		name string
+		mut  func(*core.Options)
+	}{
+		{"Cicada", nil},
+		{"Cicada/no-adapt", func(o *core.Options) { o.NoHeatTracking = true }},
+	}
+	var out []Result
+	for _, v := range variants {
+		for _, skew := range s.Skews {
+			c := cfg
+			c.Theta = skew
+			r := RunYCSB(v.name, CicadaFactory(v.mut), YCSBOpts{
+				Threads: s.MaxThreads, Cfg: c, Phantom: true, Durations: s.Dur,
+				Inspect: inspectHeat,
+			})
+			r.Param = skew
+			out = append(out, r)
+		}
+	}
+	return tag(out, "skew")
+}
+
+// inspectHeat exports the Cicada abort taxonomy and heat counters into
+// Result.Extra. Counts are cumulative over the whole trial (ramp included),
+// so "total_commits" rides along for per-commit normalization.
+func inspectHeat(db engine.DB, res *Result) {
+	cd, ok := db.(*cicadaeng.DB)
+	if !ok {
+		return
+	}
+	s := cd.Engine().Stats()
+	if res.Extra == nil {
+		res.Extra = map[string]float64{}
+	}
+	for r := core.AbortReason(0); r < core.NumAbortReasons; r++ {
+		if n := s.AbortsByReason[r]; n > 0 {
+			res.Extra["aborts_"+r.String()] = float64(n)
+		}
+	}
+	res.Extra["total_commits"] = float64(s.Commits)
+	res.Extra["heat_abort_bumps"] = float64(s.HeatAbortBumps)
+	res.Extra["heat_wait_bumps"] = float64(s.HeatWaitBumps)
+	res.Extra["heat_forced_checks"] = float64(s.HeatForcedChecks)
+	res.Extra["heat_scaled_backoffs"] = float64(s.HeatScaledBackoffs)
+	res.Extra["heat_rts_coarse"] = float64(s.HeatRTSCoarse)
+	res.Extra["heat_rts_skips"] = float64(s.HeatRTSSkips)
+}
+
 // Table2 reproduces Table 2: the throughput difference from disabling each
 // validation optimization on contended YCSB (16 requests/transaction, 50 %
 // RMW, zipf 0.99).

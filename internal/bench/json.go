@@ -5,6 +5,7 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -14,8 +15,10 @@ import (
 // curves); "meta" and "results" are unchanged, so version-1 readers keep
 // working. Version 3 adds allocs_per_txn and fsyncs_per_txn to results and
 // scalability points — additive and omitempty, so version-2 readers are
-// unaffected.
-const JSONSchemaVersion = 3
+// unaffected. Version 4 adds the derived top-level "skew" section
+// (tps-vs-theta curves with the abort taxonomy, from the "skew"
+// experiment) — additive and omitempty again.
+const JSONSchemaVersion = 4
 
 // RunMeta describes the machine and configuration that produced a JSON
 // benchmark report, so numbers from different PRs compare meaningfully.
@@ -39,6 +42,10 @@ type JSONReport struct {
 	// WriteJSON. It is additive (omitted when no experiment swept threads)
 	// so schema-version-1 readers that only consume "results" are unaffected.
 	Scalability []ScalabilityCurve `json:"scalability,omitempty"`
+	// Skew holds the tps-vs-theta curves derived from the "skew" experiment
+	// (adaptive contention management validation). Additive since schema
+	// version 4; omitted when the experiment did not run.
+	Skew []SkewCurve `json:"skew,omitempty"`
 }
 
 // ThreadPoint is one point of a tps-vs-threads curve.
@@ -68,6 +75,23 @@ type ScalabilityCurve struct {
 	PeakThreads int `json:"peak_threads"`
 }
 
+// SkewPoint is one point of a tps-vs-theta curve.
+type SkewPoint struct {
+	Theta     float64 `json:"theta"`
+	TPS       float64 `json:"tps"`
+	AbortRate float64 `json:"abort_rate"`
+	// AbortsPerCommit breaks concurrency-control aborts down by reason,
+	// normalized by committed transactions over the whole trial.
+	AbortsPerCommit map[string]float64 `json:"aborts_per_commit,omitempty"`
+}
+
+// SkewCurve is a tps-vs-theta series for one engine variant of the "skew"
+// experiment.
+type SkewCurve struct {
+	Engine string      `json:"engine"`
+	Points []SkewPoint `json:"points"`
+}
+
 // NewRunMeta fills the environment fields; the caller adds experiments.
 func NewRunMeta(experiments []string, note string) RunMeta {
 	return RunMeta{
@@ -92,7 +116,49 @@ func WriteJSON(w io.Writer, meta RunMeta, results []Result) error {
 		Meta:        meta,
 		Results:     results,
 		Scalability: DeriveScalability(results),
+		Skew:        DeriveSkew(results),
 	})
+}
+
+// DeriveSkew folds "skew" experiment results into per-engine tps-vs-theta
+// curves, sorted for stable diffs. The per-reason abort taxonomy is read
+// from the aborts_* Extra entries Skew's Inspect hook records, normalized by
+// the trial's total commits.
+func DeriveSkew(results []Result) []SkewCurve {
+	groups := map[string][]Result{}
+	var order []string
+	for _, r := range results {
+		if r.Experiment != "skew" {
+			continue
+		}
+		if _, seen := groups[r.Engine]; !seen {
+			order = append(order, r.Engine)
+		}
+		groups[r.Engine] = append(groups[r.Engine], r)
+	}
+	sort.Strings(order)
+	var curves []SkewCurve
+	for _, eng := range order {
+		rs := groups[eng]
+		sort.Slice(rs, func(a, b int) bool { return rs[a].Param < rs[b].Param })
+		c := SkewCurve{Engine: eng}
+		for _, r := range rs {
+			p := SkewPoint{Theta: r.Param, TPS: r.TPS, AbortRate: r.AbortRate}
+			if commits := r.Extra["total_commits"]; commits > 0 {
+				for k, v := range r.Extra {
+					if reason, ok := strings.CutPrefix(k, "aborts_"); ok {
+						if p.AbortsPerCommit == nil {
+							p.AbortsPerCommit = map[string]float64{}
+						}
+						p.AbortsPerCommit[reason] = v / commits
+					}
+				}
+			}
+			c.Points = append(c.Points, p)
+		}
+		curves = append(curves, c)
+	}
+	return curves
 }
 
 // DeriveScalability groups results by (experiment, engine, param) and

@@ -113,6 +113,53 @@ func TestAllocBudgetTxnInsertDelete(t *testing.T) {
 	})
 }
 
+// TestAllocBudgetHeatPaths: the heat table's hot-path operations (bump on
+// abort, get in validation/backoff, coarse rts lookups) must stay
+// allocation-free, including under eviction pressure and decay.
+func TestAllocBudgetHeatPaths(t *testing.T) {
+	var h heatTable
+	h.init(heatMinSize)
+	var k uint64
+	assertZeroAllocs(t, "heat bump/get/decay under eviction", func() {
+		h.bump(k)
+		_ = h.get(k)
+		k = (k + 1) % 500 // ~8x table size: constant lossy admission
+		if k == 0 {
+			h.halve()
+		}
+	})
+}
+
+// TestAllocBudgetTxnRMWWithHeat re-runs the RMW budget with every heat
+// feature enabled (hair-trigger threshold + coarse rts slack), so the
+// write-set heat scan and the coarse rts branch are on the measured path.
+func TestAllocBudgetTxnRMWWithHeat(t *testing.T) {
+	e := newTestEngine(1, func(o *Options) {
+		o.HeatHotThreshold = 1
+		o.HeatRTSSlackTicks = 256
+	})
+	tbl := e.CreateTable("bench")
+	w := e.Worker(0)
+	for r := 0; r < 16; r++ {
+		mustInsert(t, w, tbl, make([]byte, benchRecordSize))
+	}
+	// Heat the target key so writeSetHot's hit path is exercised too.
+	w.heat.bump(ownKey(tbl.ID, 0))
+	fn := func(tx *Txn) error {
+		buf, err := tx.Update(tbl, 0, -1)
+		if err != nil {
+			return err
+		}
+		buf[0]++
+		return nil
+	}
+	assertZeroAllocs(t, "RMW txn with heat features active", func() {
+		if err := w.Run(fn); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
 // TestAllocBudgetTypedHook proves registering a long-lived TxnHook object is
 // allocation-free, unlike the legacy closure API.
 func TestAllocBudgetTypedHook(t *testing.T) {

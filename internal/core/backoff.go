@@ -112,6 +112,31 @@ func (w *Worker) backoff() {
 		runtime.Gosched()
 		return
 	}
+	if opts := &w.eng.opts; !opts.NoHeatTracking && !opts.NoHeatBackoff {
+		// Heat-weighted contention regulation: scale this abort's backoff
+		// ceiling by the heat of the key that caused it. Hot-key losers take
+		// the full regulated maximum (they are fighting over a structurally
+		// contended record), warm keys a proportional fraction, and cold-key
+		// aborts retry immediately — the conflict was incidental and
+		// backing off would only waste the worker. The hill climber still
+		// owns the global ceiling.
+		var h uint32
+		if k := w.txn.conflictKey; k != noConflictKey {
+			h = w.heat.get(k)
+		}
+		if hot := uint32(opts.HeatHotThreshold); h < hot {
+			if h == 0 {
+				runtime.Gosched()
+				return
+			}
+			max = time.Duration(uint64(max) * uint64(h) / uint64(hot))
+			if max <= 0 {
+				runtime.Gosched()
+				return
+			}
+			w.stats.incHeatScaledBackoff()
+		}
+	}
 	d := time.Duration(w.rng.Int63n(int64(max) + 1))
 	if d == 0 {
 		runtime.Gosched()

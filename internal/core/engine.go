@@ -76,6 +76,32 @@ type Options struct {
 	// AbortPendingWait. 0 (the default, matching the paper) waits
 	// indefinitely; the writer is validating and resolves shortly.
 	PendingWaitLimit int
+	// HeatTableSize is the per-worker hot-key heat table size in slots,
+	// rounded up to a power of two (heat.go). The table is a fixed-size
+	// lossy sketch and never grows. Default 1024.
+	HeatTableSize int
+	// HeatHotThreshold is the heat counter value at or above which a record
+	// counts as hot: hot write-set keys force write-set sorting and the
+	// early consistency check despite a commit streak, and hot conflict
+	// keys receive the full regulated backoff. Default 8.
+	HeatHotThreshold int
+	// HeatRTSSlackTicks, when > 0, enables coarse read-timestamp
+	// maintenance for cold records: a committed read of a cold record
+	// raises the version's rts this many clock ticks *beyond* the
+	// transaction timestamp, so subsequent cold reads within the slack
+	// window find rts already high enough and skip the shared-line CAS
+	// entirely. rts only ever over-approximates — the sole cost is an
+	// occasional conservative abort of a rare writer to a cold record —
+	// so serializability is unaffected. Default 0 (exact rts everywhere).
+	HeatRTSSlackTicks uint64
+	// NoHeatTracking disables per-record heat tracking entirely: no bumps,
+	// no per-record adaptive switching, no heat-weighted backoff, no
+	// coarse rts maintenance. The §3.5 streak skip then gates on the
+	// commit streak alone, as in the paper.
+	NoHeatTracking bool
+	// NoHeatBackoff disables only the heat weighting of post-abort backoff
+	// (backoff.go), keeping the other heat consumers active.
+	NoHeatBackoff bool
 	// Clock configures timestamp allocation; set Clock.Centralized for the
 	// Figure 7 shared-counter ablation.
 	Clock clock.Options
@@ -102,6 +128,8 @@ func DefaultOptions(n int) Options {
 		BackoffStep:           500 * time.Nanosecond,
 		FixedMaxBackoff:       -1,
 		AdaptiveSkipThreshold: 5,
+		HeatTableSize:         1024,
+		HeatHotThreshold:      8,
 	}
 }
 
@@ -186,6 +214,12 @@ func NewEngine(opts Options) *Engine {
 	}
 	if opts.AdaptiveSkipThreshold <= 0 {
 		opts.AdaptiveSkipThreshold = 5
+	}
+	if opts.HeatTableSize <= 0 {
+		opts.HeatTableSize = 1024
+	}
+	if opts.HeatHotThreshold <= 0 {
+		opts.HeatHotThreshold = 8
 	}
 	e := &Engine{
 		opts:    opts,
@@ -322,6 +356,22 @@ type Stats struct {
 	// mirrors UserAborts (user rollbacks are not concurrency-control
 	// aborts and stay out of the Aborts aggregate, as before).
 	AbortsByReason [NumAbortReasons]uint64
+	// HeatAbortBumps / HeatWaitBumps count heat-table bumps by source:
+	// attributed concurrency-control aborts and pending-version waits.
+	HeatAbortBumps uint64
+	HeatWaitBumps  uint64
+	// HeatForcedChecks counts validations where a hot write-set key forced
+	// write-set sorting and the early consistency check despite an active
+	// §3.5 commit streak.
+	HeatForcedChecks uint64
+	// HeatScaledBackoffs counts post-abort backoffs shortened because the
+	// conflict key was warm but below the hot threshold.
+	HeatScaledBackoffs uint64
+	// HeatRTSCoarse counts cold-record rts updates over-raised by the
+	// configured slack; HeatRTSSkips counts cold-record reads that skipped
+	// the rts CAS because a previous coarse raise already covered them.
+	HeatRTSCoarse uint64
+	HeatRTSSkips  uint64
 }
 
 func (s *Stats) add(o *Stats) {
@@ -333,6 +383,12 @@ func (s *Stats) add(o *Stats) {
 	for i := range s.AbortsByReason {
 		s.AbortsByReason[i] += o.AbortsByReason[i]
 	}
+	s.HeatAbortBumps += o.HeatAbortBumps
+	s.HeatWaitBumps += o.HeatWaitBumps
+	s.HeatForcedChecks += o.HeatForcedChecks
+	s.HeatScaledBackoffs += o.HeatScaledBackoffs
+	s.HeatRTSCoarse += o.HeatRTSCoarse
+	s.HeatRTSSkips += o.HeatRTSSkips
 }
 
 // AbortRate returns aborts / (aborts + commits).
@@ -380,6 +436,11 @@ type Worker struct {
 	// consecutiveCommits drives adaptive omission of write-set sorting and
 	// the early consistency check (§3.5).
 	consecutiveCommits int
+
+	// heat tracks recent per-record contention on this worker (heat.go):
+	// bumped on attributed aborts and pending waits, consumed by the
+	// per-record adaptive switching in validate.go and backoff.go.
+	heat heatTable
 }
 
 func newWorker(e *Engine, id int) *Worker {
@@ -391,6 +452,7 @@ func newWorker(e *Engine, id int) *Worker {
 	w.txn.worker = w
 	w.txn.eng = e
 	w.txn.own.init(64)
+	w.heat.init(e.opts.HeatTableSize)
 	return w
 }
 

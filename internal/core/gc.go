@@ -75,6 +75,12 @@ func (w *Worker) Maintain() {
 		}
 		w.collectGarbage()
 		w.processLimbo()
+		if !e.opts.NoHeatTracking {
+			// Periodic heat decay, driven by the leader's quiescence epoch:
+			// each worker halves its own table (owner-only stores), so hot
+			// keys stay hot only while they keep causing conflicts.
+			w.heat.maybeDecay(e.epoch.Load())
+		}
 		tel := w.tel
 		traceOn := w.tr != nil && w.tr.Enabled()
 		if tel != nil || traceOn {

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// heatTable is a per-worker lossy sketch of record heat: how often a record
+// key (ownKey form) has recently caused a concurrency-control abort or a
+// pending-version wait on this worker. It drives the per-record adaptive
+// optimizations (validate.go write-set checks, backoff.go heat-weighted
+// contention regulation, and coarse rts maintenance for cold records).
+//
+// The table is a fixed-size open-addressed array with fibonacci hashing
+// (same scheme as ownTable) and a bounded probe window. It never grows and
+// never allocates after init: when the probe window is full of other keys,
+// the bump ages the coldest entry instead of finding a free slot — classic
+// lossy admission, so a reported heat never exceeds the key's true bump
+// count. Counters saturate at 8 bits (heatMax) and are periodically halved,
+// driven by the leader's quiescence epoch (maybeDecay), so heat measures
+// *recent* contention.
+//
+// Concurrency: each worker owns one table and is its only writer; bump,
+// halving, and decay bookkeeping are owner-only. Counters and keys are
+// single-writer atomic words (the workerStats discipline) so telemetry
+// gauges and the trace exporter's contention report may read any table
+// concurrently. A cross-thread reader can observe a key/heat pair from two
+// different moments — the sketch is diagnostic and lossy by design.
+type heatTable struct {
+	keys  []atomic.Uint64
+	heats []atomic.Uint32
+	shift uint // 64 - log2(len(keys)), for fibonacci hashing
+
+	// lastDecayEpoch remembers the engine epoch at the last halving;
+	// owner-only.
+	lastDecayEpoch uint64
+}
+
+const (
+	// heatMinSize is the smallest table size.
+	heatMinSize = 64
+	// heatProbeWindow bounds open-addressing probes: a key lives within
+	// this many slots of its hash slot or not at all.
+	heatProbeWindow = 8
+	// heatMax is the saturation value of the 8-bit counters.
+	heatMax = 255
+	// heatDecayEpochs is how many quiescence epochs pass between halvings.
+	// Epochs complete roughly every GCInterval under load, so the default
+	// 10 µs interval halves heat on a sub-millisecond cadence: hot keys
+	// stay hot only while they keep causing conflicts.
+	heatDecayEpochs = 32
+)
+
+// init sizes the table to the next power of two ≥ size (min heatMinSize).
+// The only allocation the table ever performs.
+func (h *heatTable) init(size int) {
+	n := heatMinSize
+	for n < size {
+		n <<= 1
+	}
+	h.keys = make([]atomic.Uint64, n)
+	h.heats = make([]atomic.Uint32, n)
+	h.shift = uint(64 - bits.TrailingZeros(uint(n)))
+}
+
+//cicada:noalloc
+func (h *heatTable) slot(key uint64) int {
+	return int((key * 0x9E3779B97F4A7C15) >> h.shift)
+}
+
+// bump adds one unit of heat to key, saturating at heatMax. When the probe
+// window holds only other keys, the coldest of them is aged by one instead;
+// if that frees it (heat 0), the slot is claimed for key. Owner-only.
+//
+//cicada:noalloc
+func (h *heatTable) bump(key uint64) {
+	mask := len(h.keys) - 1
+	s := h.slot(key)
+	minIdx := -1
+	minHeat := uint32(heatMax + 1)
+	for p := 0; p < heatProbeWindow; p++ {
+		i := (s + p) & mask
+		ht := h.heats[i].Load()
+		if ht == 0 {
+			// Free slot (never used, or decayed to zero): claim it.
+			h.keys[i].Store(key)
+			h.heats[i].Store(1)
+			return
+		}
+		if h.keys[i].Load() == key {
+			if ht < heatMax {
+				h.heats[i].Store(ht + 1)
+			}
+			return
+		}
+		if ht < minHeat {
+			minHeat, minIdx = ht, i
+		}
+	}
+	// Window full of hotter keys: age the coldest (lossy admission). A new
+	// key displaces an old one only after draining its remaining heat, so
+	// get(k) ≤ k's true bump count always holds.
+	if minHeat <= 1 {
+		h.keys[minIdx].Store(key)
+		h.heats[minIdx].Store(1)
+		return
+	}
+	h.heats[minIdx].Store(minHeat - 1)
+}
+
+// get returns the key's current heat, 0 when untracked. Safe from any
+// goroutine.
+//
+//cicada:noalloc
+func (h *heatTable) get(key uint64) uint32 {
+	mask := len(h.keys) - 1
+	s := h.slot(key)
+	for p := 0; p < heatProbeWindow; p++ {
+		i := (s + p) & mask
+		if h.keys[i].Load() == key {
+			if ht := h.heats[i].Load(); ht != 0 {
+				return ht
+			}
+		}
+	}
+	return 0
+}
+
+// halve decays every counter by one bit. Owner-only.
+//
+//cicada:noalloc
+func (h *heatTable) halve() {
+	for i := range h.heats {
+		if ht := h.heats[i].Load(); ht != 0 {
+			h.heats[i].Store(ht >> 1)
+		}
+	}
+}
+
+// maybeDecay halves the table once heatDecayEpochs quiescence rounds have
+// completed since the last halving. Called from Worker.Maintain; the epoch
+// is advanced by the leader's quiescence pass, so decay needs no clock reads
+// and no coordination. Owner-only.
+//
+//cicada:noalloc
+func (h *heatTable) maybeDecay(epoch uint64) {
+	if epoch-h.lastDecayEpoch < heatDecayEpochs {
+		return
+	}
+	h.lastDecayEpoch = epoch
+	h.halve()
+}
+
+// hotCount returns the number of slots at or above the hot threshold. Safe
+// from any goroutine; used by the core_heat_hot_keys gauge.
+func (h *heatTable) hotCount(threshold uint32) int {
+	n := 0
+	for i := range h.heats {
+		if h.heats[i].Load() >= threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// KeyHeat sums a key's heat across all workers' tables: the engine-wide view
+// used by the trace exporter's contention report. Safe while workers run.
+func (e *Engine) KeyHeat(key uint64) uint64 {
+	if e.opts.NoHeatTracking {
+		return 0
+	}
+	var n uint64
+	for _, w := range e.workers {
+		n += uint64(w.heat.get(key))
+	}
+	return n
+}
+
+// hotKeyCount sums per-worker hot-slot counts (a key hot on two workers
+// counts twice; the gauge is a load indicator, not a distinct-key count).
+func (e *Engine) hotKeyCount() int {
+	if e.opts.NoHeatTracking {
+		return 0
+	}
+	threshold := uint32(e.opts.HeatHotThreshold)
+	n := 0
+	for _, w := range e.workers {
+		n += w.heat.hotCount(threshold)
+	}
+	return n
+}

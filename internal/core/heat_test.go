@@ -1,0 +1,402 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHeatTableBasic(t *testing.T) {
+	var h heatTable
+	h.init(64)
+	if got := h.get(42); got != 0 {
+		t.Fatalf("empty table reported heat %d", got)
+	}
+	for i := 0; i < 5; i++ {
+		h.bump(42)
+	}
+	if got := h.get(42); got != 5 {
+		t.Fatalf("heat after 5 bumps = %d; want 5", got)
+	}
+	// Saturation at heatMax.
+	for i := 0; i < 2*heatMax; i++ {
+		h.bump(42)
+	}
+	if got := h.get(42); got != heatMax {
+		t.Fatalf("heat after saturation = %d; want %d", got, heatMax)
+	}
+	h.halve()
+	if got := h.get(42); got != heatMax/2 {
+		t.Fatalf("heat after halving = %d; want %d", got, heatMax/2)
+	}
+}
+
+func TestHeatTableZeroKey(t *testing.T) {
+	// ownKey(0, 0) == 0: key 0 must be trackable like any other.
+	var h heatTable
+	h.init(64)
+	h.bump(0)
+	h.bump(0)
+	if got := h.get(0); got != 2 {
+		t.Fatalf("heat of key 0 = %d; want 2", got)
+	}
+}
+
+func TestHeatTableSizing(t *testing.T) {
+	var h heatTable
+	h.init(1)
+	if len(h.keys) != heatMinSize {
+		t.Fatalf("init(1) sized table to %d; want %d", len(h.keys), heatMinSize)
+	}
+	h.init(1000)
+	if len(h.keys) != 1024 {
+		t.Fatalf("init(1000) sized table to %d; want 1024", len(h.keys))
+	}
+	// All slots must be addressable through the hash without going
+	// out of range.
+	for k := uint64(0); k < 10_000; k++ {
+		if s := h.slot(k); s < 0 || s >= len(h.keys) {
+			t.Fatalf("slot(%d) = %d out of range [0,%d)", k, s, len(h.keys))
+		}
+	}
+}
+
+// TestHeatTableVsExactNoEviction: with few keys and a large table no lossy
+// admission occurs, so the sketch must agree exactly with a saturating,
+// halving reference counter.
+func TestHeatTableVsExactNoEviction(t *testing.T) {
+	var h heatTable
+	h.init(1024)
+	ref := map[uint64]uint32{}
+	rng := rand.New(rand.NewSource(7))
+	keys := []uint64{0, 1, 2, 3 << 40, 4 << 40, 5, 6, 77777}
+	for step := 0; step < 100_000; step++ {
+		if rng.Intn(500) == 0 {
+			h.halve()
+			for k, v := range ref {
+				ref[k] = v >> 1
+			}
+			continue
+		}
+		k := keys[rng.Intn(len(keys))]
+		h.bump(k)
+		if ref[k] < heatMax {
+			ref[k]++
+		}
+		if got, want := h.get(k), ref[k]; got != want {
+			t.Fatalf("step %d: heat(%#x) = %d; want %d", step, k, got, want)
+		}
+	}
+}
+
+// TestHeatTableLossyInvariant: under eviction pressure (many colliding keys,
+// tiny table) a reported heat must never exceed the key's true saturating
+// bump count — lossy admission only under-counts, so "hot" is trustworthy.
+func TestHeatTableLossyInvariant(t *testing.T) {
+	var h heatTable
+	h.init(heatMinSize)
+	ref := map[uint64]uint32{}
+	rng := rand.New(rand.NewSource(3))
+	keyFor := func(r *rand.Rand) uint64 {
+		k := uint64(r.Intn(500)) // ~8x the table size: constant eviction
+		if r.Intn(2) == 0 {
+			k <<= 40 // sparse high-bit keys stress the hash distribution
+		}
+		return k
+	}
+	for step := 0; step < 200_000; step++ {
+		switch r := rng.Intn(100); {
+		case r < 70:
+			k := keyFor(rng)
+			h.bump(k)
+			if ref[k] < heatMax {
+				ref[k]++
+			}
+		case r < 98:
+			k := keyFor(rng)
+			if got, max := h.get(k), ref[k]; got > max {
+				t.Fatalf("step %d: heat(%#x) = %d exceeds true bump count %d", step, k, got, max)
+			}
+		default:
+			h.halve()
+			for k, v := range ref {
+				ref[k] = v >> 1
+			}
+		}
+	}
+}
+
+func TestHeatTableDecayEpochs(t *testing.T) {
+	var h heatTable
+	h.init(64)
+	for i := 0; i < 8; i++ {
+		h.bump(9)
+	}
+	h.lastDecayEpoch = 100
+	h.maybeDecay(100 + heatDecayEpochs - 1) // too soon
+	if got := h.get(9); got != 8 {
+		t.Fatalf("heat decayed early: %d", got)
+	}
+	h.maybeDecay(100 + heatDecayEpochs)
+	if got := h.get(9); got != 4 {
+		t.Fatalf("heat after due decay = %d; want 4", got)
+	}
+	// The decay epoch must have advanced, so the next round waits again.
+	h.maybeDecay(100 + heatDecayEpochs + 1)
+	if got := h.get(9); got != 4 {
+		t.Fatalf("heat decayed twice in one window: %d", got)
+	}
+}
+
+// TestHeatTableConcurrentReaders: cross-thread get/hotCount while the owner
+// bumps and decays must be race-free (run under -race) and never observe an
+// out-of-range value.
+func TestHeatTableConcurrentReaders(t *testing.T) {
+	var h heatTable
+	h.init(64)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if got := h.get(uint64(rng.Intn(100))); got > heatMax {
+					t.Errorf("heat %d exceeds max", got)
+					return
+				}
+				_ = h.hotCount(8)
+			}
+		}(int64(r))
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 200_000; i++ {
+		h.bump(uint64(rng.Intn(100)))
+		if i%4096 == 0 {
+			h.halve()
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestEngineKeyHeatSumsWorkers(t *testing.T) {
+	e := newTestEngine(2, nil)
+	k := ownKey(3, 7)
+	for i := 0; i < 4; i++ {
+		e.Worker(0).heat.bump(k)
+	}
+	for i := 0; i < 2; i++ {
+		e.Worker(1).heat.bump(k)
+	}
+	if got := e.KeyHeat(k); got != 6 {
+		t.Fatalf("KeyHeat = %d; want 6", got)
+	}
+	off := newTestEngine(1, func(o *Options) { o.NoHeatTracking = true })
+	if got := off.KeyHeat(k); got != 0 {
+		t.Fatalf("KeyHeat with tracking disabled = %d; want 0", got)
+	}
+}
+
+// TestHeatForcedChecksOnHotKey: a §3.5 commit streak normally skips write-set
+// sorting and the early consistency check; a hot key in the write set must
+// force them back on (and count it).
+func TestHeatForcedChecksOnHotKey(t *testing.T) {
+	e := newTestEngine(1, nil)
+	tbl := e.CreateTable("t")
+	w := e.Worker(0)
+	rid := mustInsert(t, w, tbl, []byte{0})
+	update := func(tx *Txn) error {
+		buf, err := tx.Update(tbl, rid, -1)
+		if err != nil {
+			return err
+		}
+		buf[0]++
+		return nil
+	}
+	for i := 0; i < e.Options().AdaptiveSkipThreshold+2; i++ {
+		if err := w.Run(update); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.consecutiveCommits < e.Options().AdaptiveSkipThreshold {
+		t.Fatalf("no commit streak: %d", w.consecutiveCommits)
+	}
+	if got := e.Stats().HeatForcedChecks; got != 0 {
+		t.Fatalf("forced checks before any heat: %d", got)
+	}
+	// Make the record hot, then commit one more write to it: the skip must
+	// be overridden even though the streak is intact.
+	k := ownKey(tbl.ID, rid)
+	for i := 0; i < 2*e.Options().HeatHotThreshold; i++ {
+		w.heat.bump(k)
+	}
+	if err := w.Run(update); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().HeatForcedChecks; got == 0 {
+		t.Fatal("hot write-set key did not force validation checks")
+	}
+	if w.consecutiveCommits == 0 {
+		t.Fatal("forced check should not reset the commit streak")
+	}
+}
+
+// TestHeatWeightedBackoff: cold-key aborts skip the regulated backoff
+// entirely, warm keys take a scaled fraction, hot keys the full maximum.
+func TestHeatWeightedBackoff(t *testing.T) {
+	e := newTestEngine(1, func(o *Options) { o.FixedMaxBackoff = 20 * time.Millisecond })
+	w := e.Worker(0)
+	hot := uint32(e.Options().HeatHotThreshold)
+
+	// Cold key: immediate retry, no abort-time accounting, no scaling stat.
+	w.txn.conflictKey = ownKey(1, 1)
+	before := e.Stats()
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		w.backoff()
+	}
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("20 cold-key backoffs took %v; want immediate retries", elapsed)
+	}
+	after := e.Stats()
+	if after.AbortTime != before.AbortTime {
+		t.Fatalf("cold-key backoff accounted abort time: %v", after.AbortTime-before.AbortTime)
+	}
+	if after.HeatScaledBackoffs != before.HeatScaledBackoffs {
+		t.Fatal("cold-key backoff counted as scaled")
+	}
+
+	// Warm key (heat hot/2): scaled backoff, counted.
+	warm := ownKey(1, 2)
+	for i := uint32(0); i < hot/2; i++ {
+		w.heat.bump(warm)
+	}
+	w.txn.conflictKey = warm
+	w.backoff()
+	if got := e.Stats().HeatScaledBackoffs; got == 0 {
+		t.Fatal("warm-key backoff not counted as scaled")
+	}
+
+	// Hot key: full regulated backoff, not counted as scaled.
+	hotKey := ownKey(1, 3)
+	for i := uint32(0); i < 2*hot; i++ {
+		w.heat.bump(hotKey)
+	}
+	w.txn.conflictKey = hotKey
+	scaled := e.Stats().HeatScaledBackoffs
+	w.backoff()
+	if got := e.Stats().HeatScaledBackoffs; got != scaled {
+		t.Fatal("hot-key backoff counted as scaled")
+	}
+}
+
+// TestHeatBackoffDisabled: NoHeatBackoff keeps heat tracking but restores
+// uniform regulated backoff for every abort.
+func TestHeatBackoffDisabled(t *testing.T) {
+	e := newTestEngine(1, func(o *Options) {
+		o.FixedMaxBackoff = 50 * time.Microsecond
+		o.NoHeatBackoff = true
+	})
+	w := e.Worker(0)
+	w.txn.conflictKey = ownKey(1, 1) // cold key
+	for i := 0; i < 50; i++ {
+		w.backoff()
+	}
+	if got := e.Stats().HeatScaledBackoffs; got != 0 {
+		t.Fatalf("NoHeatBackoff still scaled %d backoffs", got)
+	}
+	if got := e.Stats().AbortTime; got == 0 {
+		t.Fatal("NoHeatBackoff cold-key aborts skipped the regulated backoff")
+	}
+}
+
+// TestHeatAbortAndWaitBumps: concurrency-control aborts and pending-version
+// waits must both feed the heat table.
+func TestHeatAbortAndWaitBumps(t *testing.T) {
+	e := newTestEngine(2, nil)
+	tbl := e.CreateTable("t")
+	w0, w1 := e.Worker(0), e.Worker(1)
+	rid := mustInsert(t, w0, tbl, []byte{0})
+
+	// Conflict: w0 reads at a later timestamp than w1's in-flight writer, so
+	// w1's commit fails the rts check and bumps the key.
+	writer := w1.Begin()
+	if err := w0.Run(func(tx *Txn) error {
+		_, err := tx.Read(tbl, rid)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Update(tbl, rid, -1); err == nil {
+		if err := writer.Commit(); err == nil {
+			t.Fatal("expected conflict")
+		}
+	} else {
+		writer.Abort()
+	}
+	if got := e.Stats().HeatAbortBumps; got == 0 {
+		t.Fatal("conflict abort did not bump heat")
+	}
+	if got := e.KeyHeat(ownKey(tbl.ID, rid)); got == 0 {
+		t.Fatal("conflicted key has zero heat")
+	}
+}
+
+// TestSerializabilityCoarseRTS: coarse rts maintenance over-raises cold
+// records' read timestamps by a large slack; serializability must hold
+// regardless (over-raising only makes writers abort conservatively).
+func TestSerializabilityCoarseRTS(t *testing.T) {
+	runSerializabilityStress(t, 4, 8, 200, func(o *Options) {
+		o.HeatRTSSlackTicks = 1 << 16
+	})
+}
+
+// TestSerializabilityHeatAggressive drives every heat path at once: tiny
+// table (constant eviction), hair-trigger hot threshold, coarse rts slack.
+func TestSerializabilityHeatAggressive(t *testing.T) {
+	runSerializabilityStress(t, 4, 8, 200, func(o *Options) {
+		o.HeatTableSize = heatMinSize
+		o.HeatHotThreshold = 1
+		o.HeatRTSSlackTicks = 256
+	})
+}
+
+// TestSerializabilityNoHeat pins the opt-out path.
+func TestSerializabilityNoHeat(t *testing.T) {
+	runSerializabilityStress(t, 4, 8, 200, func(o *Options) {
+		o.NoHeatTracking = true
+	})
+}
+
+// TestCoarseRTSSkipsCAS: with slack configured, repeated cold reads of the
+// same record must skip the rts CAS after the first coarse raise.
+func TestCoarseRTSSkipsCAS(t *testing.T) {
+	e := newTestEngine(1, func(o *Options) { o.HeatRTSSlackTicks = 1 << 20 })
+	tbl := e.CreateTable("t")
+	w := e.Worker(0)
+	rid := mustInsert(t, w, tbl, []byte{1})
+	read := func(tx *Txn) error {
+		_, err := tx.Read(tbl, rid)
+		return err
+	}
+	for i := 0; i < 50; i++ {
+		if err := w.Run(read); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.Stats()
+	if s.HeatRTSCoarse == 0 {
+		t.Fatal("no coarse rts raises recorded")
+	}
+	if s.HeatRTSSkips == 0 {
+		t.Fatal("no rts CAS skips recorded despite large slack")
+	}
+}

@@ -73,6 +73,62 @@ func TestRegulatorClampsAtZeroAndCeiling(t *testing.T) {
 	}
 }
 
+// TestBackoffFixedZeroDisables: FixedMaxBackoff = 0 must disable backoff
+// entirely — immediate retries, no busy-yield spinning, no abort-time
+// accounting.
+func TestBackoffFixedZeroDisables(t *testing.T) {
+	e := newTestEngine(1, func(o *Options) { o.FixedMaxBackoff = 0 })
+	w := e.Worker(0)
+	if got := e.MaxBackoff(); got != 0 {
+		t.Fatalf("regulated max = %v; want 0", got)
+	}
+	before := e.Stats()
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		w.backoff()
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("1000 disabled backoffs took %v; want immediate returns", elapsed)
+	}
+	after := e.Stats()
+	if after.AbortTime != before.AbortTime {
+		t.Fatalf("disabled backoff accounted %v abort time", after.AbortTime-before.AbortTime)
+	}
+	if got := w.stats.backoffs.Load(); got != 1000 {
+		t.Fatalf("backoff events = %d; want 1000", got)
+	}
+}
+
+// TestRegulatorCeilingUnderPositiveGradient: a throughput curve that rewards
+// every backoff increase pushes the hill climber upward forever; the maximum
+// must clamp at maxBackoffCeiling and never exceed it.
+func TestRegulatorCeilingUnderPositiveGradient(t *testing.T) {
+	var r regulator
+	opts := DefaultOptions(1)
+	opts.BackoffStep = time.Millisecond
+	opts.BackoffUpdatePeriod = time.Microsecond
+	r.init(&opts)
+	rng := rand.New(rand.NewSource(5))
+	now := time.Now()
+	commits := uint64(0)
+	hitCeiling := false
+	for i := 0; i < 2000; i++ {
+		now = now.Add(time.Millisecond)
+		// Throughput strictly increasing in the current maximum: the
+		// gradient stays positive whenever the maximum moved up.
+		commits += uint64(r.maxNs.Load()/1000) + 1
+		r.maybeAdjust(now, commits, rng)
+		if m := r.max(); m > maxBackoffCeiling {
+			t.Fatalf("step %d: max backoff %v exceeds ceiling %v", i, m, maxBackoffCeiling)
+		} else if m == maxBackoffCeiling {
+			hitCeiling = true
+		}
+	}
+	if !hitCeiling {
+		t.Fatalf("climber never reached the ceiling; final max %v", r.max())
+	}
+}
+
 // TestContentionSortOrdersHotFirst verifies that the partial write-set sort
 // places the records with the largest latest-version wts first (§3.5).
 func TestContentionSortOrdersHotFirst(t *testing.T) {

@@ -81,6 +81,15 @@ type workerStats struct {
 	gcReclaimed atomic.Uint64
 	promotions  atomic.Uint64
 
+	// Per-record heat tracking (heat.go): bump sources and the adaptive
+	// decisions the heat drove.
+	heatAbortBumps     atomic.Uint64
+	heatWaitBumps      atomic.Uint64
+	heatForcedChecks   atomic.Uint64
+	heatScaledBackoffs atomic.Uint64
+	heatRTSCoarse      atomic.Uint64
+	heatRTSSkips       atomic.Uint64
+
 	abortsByReason [NumAbortReasons]atomic.Uint64
 }
 
@@ -124,15 +133,45 @@ func (s *workerStats) incPromotion() {
 	s.promotions.Store(s.promotions.Load() + 1)
 }
 
+func (s *workerStats) incHeatAbortBump() {
+	s.heatAbortBumps.Store(s.heatAbortBumps.Load() + 1)
+}
+
+func (s *workerStats) incHeatWaitBump() {
+	s.heatWaitBumps.Store(s.heatWaitBumps.Load() + 1)
+}
+
+func (s *workerStats) incHeatForced() {
+	s.heatForcedChecks.Store(s.heatForcedChecks.Load() + 1)
+}
+
+func (s *workerStats) incHeatScaledBackoff() {
+	s.heatScaledBackoffs.Store(s.heatScaledBackoffs.Load() + 1)
+}
+
+func (s *workerStats) incHeatRTSCoarse() {
+	s.heatRTSCoarse.Store(s.heatRTSCoarse.Load() + 1)
+}
+
+func (s *workerStats) incHeatRTSSkip() {
+	s.heatRTSSkips.Store(s.heatRTSSkips.Load() + 1)
+}
+
 // snapshot reads the counters into a plain Stats value; safe from any
 // goroutine.
 func (s *workerStats) snapshot() Stats {
 	out := Stats{
-		Commits:    s.commits.Load(),
-		Aborts:     s.aborts.Load(),
-		UserAborts: s.userAborts.Load(),
-		AbortTime:  time.Duration(s.abortNs.Load()),
-		BusyTime:   time.Duration(s.busyNs.Load()),
+		Commits:            s.commits.Load(),
+		Aborts:             s.aborts.Load(),
+		UserAborts:         s.userAborts.Load(),
+		AbortTime:          time.Duration(s.abortNs.Load()),
+		BusyTime:           time.Duration(s.busyNs.Load()),
+		HeatAbortBumps:     s.heatAbortBumps.Load(),
+		HeatWaitBumps:      s.heatWaitBumps.Load(),
+		HeatForcedChecks:   s.heatForcedChecks.Load(),
+		HeatScaledBackoffs: s.heatScaledBackoffs.Load(),
+		HeatRTSCoarse:      s.heatRTSCoarse.Load(),
+		HeatRTSSkips:       s.heatRTSSkips.Load(),
 	}
 	for i := range s.abortsByReason {
 		out.AbortsByReason[i] = s.abortsByReason[i].Load()

@@ -134,6 +134,39 @@ func (e *Engine) initTelemetry(reg *telemetry.Registry) {
 		"Temporary clock boosts granted (one per concurrency-control abort, §3.1).",
 		stat(func(s *Stats) float64 { return float64(s.Aborts) }))
 
+	// Per-record heat tracking (heat.go, docs/PERFORMANCE.md "Adaptive
+	// contention management").
+	heatCtr := func(name, help string, f func(s *workerStats) uint64) {
+		reg.CounterFunc(name, help, func() float64 {
+			var n uint64
+			for _, w := range e.workers {
+				n += f(&w.stats)
+			}
+			return float64(n)
+		})
+	}
+	heatCtr("core_heat_abort_bumps_total",
+		"Heat-table bumps attributed to concurrency-control aborts.",
+		func(s *workerStats) uint64 { return s.heatAbortBumps.Load() })
+	heatCtr("core_heat_wait_bumps_total",
+		"Heat-table bumps attributed to pending-version waits.",
+		func(s *workerStats) uint64 { return s.heatWaitBumps.Load() })
+	heatCtr("core_heat_forced_checks_total",
+		"Validations where a hot write-set key forced sorting and the early check despite a §3.5 commit streak.",
+		func(s *workerStats) uint64 { return s.heatForcedChecks.Load() })
+	heatCtr("core_heat_scaled_backoffs_total",
+		"Post-abort backoffs shortened because the conflict key was below the hot threshold.",
+		func(s *workerStats) uint64 { return s.heatScaledBackoffs.Load() })
+	heatCtr("core_heat_rts_coarse_total",
+		"Cold-record rts updates over-raised by the configured slack.",
+		func(s *workerStats) uint64 { return s.heatRTSCoarse.Load() })
+	heatCtr("core_heat_rts_skips_total",
+		"Cold-record reads that skipped the rts CAS thanks to a previous coarse raise.",
+		func(s *workerStats) uint64 { return s.heatRTSSkips.Load() })
+	reg.GaugeFunc("core_heat_hot_keys",
+		"Heat-table slots at or above the hot threshold, summed over workers.",
+		func() float64 { return float64(e.hotKeyCount()) })
+
 	// Contention regulation (§3.9).
 	reg.GaugeFunc("cicada_backoff_max_ns",
 		"Globally coordinated maximum backoff chosen by the hill climber.",

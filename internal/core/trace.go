@@ -29,6 +29,11 @@ func (e *Engine) initTrace(tr *trace.Tracer) {
 		}
 		return fmt.Sprintf("t%d[%d]", tbl, rid)
 	})
+	if !e.opts.NoHeatTracking {
+		// Merge engine-side heat into the exporter's contention report: the
+		// exporter calls back for each reported key's current heat.
+		tr.SetHeatSource(e.KeyHeat)
+	}
 	for _, w := range e.workers {
 		w.tr = tr.Shard(w.id)
 	}
@@ -55,6 +60,17 @@ func (t *Txn) noteWait(waitStart time.Time) {
 //
 //cicada:noalloc
 func (t *Txn) emitWait(tbl *Table, rid storage.RecordID) {
+	if t.waitedPending {
+		// Heat attribution is independent of trace sampling: any search
+		// that spun on a PENDING version bumps the record's heat, even when
+		// the wait was not timed.
+		t.waitedPending = false
+		w := t.worker
+		if !w.eng.opts.NoHeatTracking {
+			w.heat.bump(ownKey(tbl.ID, rid))
+			w.stats.incHeatWaitBump()
+		}
+	}
 	ns := t.lastWaitNs
 	if ns == 0 {
 		return

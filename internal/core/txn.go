@@ -69,6 +69,17 @@ type Txn struct {
 	// lastWaitNs carries the pending-wait time accumulated by the most
 	// recent visibility search to the caller's emitWait.
 	lastWaitNs uint64
+	// waitedPending marks that the most recent visibility search spun on a
+	// PENDING version at least once, regardless of trace sampling; emitWait
+	// consumes it to attribute the stall to the record's heat.
+	waitedPending bool
+	// specSkippedPending marks that the most recent resumeSearch (under
+	// Options.NoWaitPending) speculatively skipped an unresolved PENDING
+	// version at or below tx.ts. The validation consistency check must fail
+	// then: the skipped writer may commit, which would make this
+	// transaction's read stale (docs/CONCURRENCY.md "No-wait validation
+	// ordering").
+	specSkippedPending bool
 
 	accesses []access
 	// writes holds indexes into accesses for write-type entries, in
@@ -119,6 +130,8 @@ func (t *Txn) begin(ts clock.Timestamp, readOnly bool) {
 	t.pendingTimedOut = false
 	t.conflictKey = noConflictKey
 	t.lastWaitNs = 0
+	t.waitedPending = false
+	t.specSkippedPending = false
 	tr := t.worker.tr
 	t.sampled = tr != nil && tr.Enabled() && tr.SampleTxn()
 	if t.worker.tel != nil || t.sampled {
@@ -192,6 +205,7 @@ restart:
 				v = v.Next()
 				continue
 			}
+			t.waitedPending = true
 			if t.sampled && waitStart.IsZero() {
 				waitStart = time.Now()
 			}
@@ -232,6 +246,7 @@ func (t *Txn) resumeSearch(a *access) (visible *storage.Version) {
 	noWait := t.eng.opts.NoWaitPending
 	waitLimit := t.eng.opts.PendingWaitLimit
 	spins := 0
+	t.specSkippedPending = false
 	var waitStart time.Time
 restart:
 	var v *storage.Version
@@ -266,9 +281,16 @@ restart:
 		switch v.Status() {
 		case storage.StatusPending:
 			if noWait {
+				// The walk already passed the wts > tx.ts region, so this
+				// pending version is at or below tx.ts and unresolved: its
+				// writer may still commit between it and our read version.
+				// Record the speculation so the consistency check fails
+				// rather than certify a possibly-stale read.
+				t.specSkippedPending = true
 				v = v.Next()
 				continue
 			}
+			t.waitedPending = true
 			if t.sampled && waitStart.IsZero() {
 				waitStart = time.Now()
 			}
@@ -736,10 +758,10 @@ func (w *Worker) ReadDirect(tbl *Table, rid storage.RecordID) ([]byte, bool) {
 	}
 	ts := w.eng.clock.ReadTimestamp(w.id)
 	t := &w.txn // reuse search machinery; no state is recorded
-	saved, savedTimeout := t.ts, t.pendingTimedOut
+	saved, savedTimeout, savedWaited := t.ts, t.pendingTimedOut, t.waitedPending
 	t.ts = ts
 	v, _ := t.searchVisible(h)
-	t.ts, t.pendingTimedOut = saved, savedTimeout
+	t.ts, t.pendingTimedOut, t.waitedPending = saved, savedTimeout, savedWaited
 	if v == nil || v.Status() == storage.StatusDeleted {
 		return nil, false
 	}

@@ -66,6 +66,14 @@ func (t *Txn) Commit() error {
 	}
 	opts := &t.eng.opts
 	skip := w.consecutiveCommits >= opts.AdaptiveSkipThreshold
+	if skip && !opts.NoHeatTracking && len(t.writes) > 0 && t.writeSetHot() {
+		// Per-record refinement of the §3.5 streak skip: a run of commits
+		// proves the worker's recent footprint was uncontended, but a hot
+		// key in *this* write set says otherwise — force the contention
+		// sort and the early consistency check for this transaction.
+		skip = false
+		w.stats.incHeatForced()
+	}
 	if len(t.writes) > 0 {
 		if !opts.NoSortWriteSet && !skip {
 			t.sortWriteSetByContention()
@@ -86,9 +94,27 @@ func (t *Txn) Commit() error {
 			}
 		}
 	}
+	slack := clock.Timestamp(opts.HeatRTSSlackTicks << clock.ThreadIDBits)
+	coarse := slack != 0 && !opts.NoHeatTracking
+	hotThreshold := uint32(opts.HeatHotThreshold)
 	for _, i := range t.reads {
 		a := &t.accesses[i]
 		if a.readVer != nil {
+			if coarse && w.heat.get(ownKey(a.tbl.ID, a.rid)) < hotThreshold {
+				// Coarse rts maintenance for cold records: skip the CAS when
+				// a previous coarse raise already covers this timestamp, and
+				// otherwise over-raise by the slack so the next slack's worth
+				// of cold reads skip it too. rts may only over-approximate
+				// (it conservatively aborts the cold record's rare writers),
+				// so serializability is untouched.
+				if a.readVer.RTS() >= t.ts {
+					w.stats.incHeatRTSSkip()
+					continue
+				}
+				a.readVer.RaiseRTS(t.ts + slack)
+				w.stats.incHeatRTSCoarse()
+				continue
+			}
 			a.readVer.RaiseRTS(t.ts)
 		} else if h := a.tbl.st.Head(a.rid); h != nil {
 			h.RaiseAbsentRTS(t.ts)
@@ -206,6 +232,13 @@ func (t *Txn) failCommit(reason AbortReason) error {
 func (t *Txn) rollbackCC(reason AbortReason) {
 	w := t.worker
 	w.stats.incAbort(reason)
+	if !t.eng.opts.NoHeatTracking && t.conflictKey != noConflictKey {
+		// Every keyed CC abort funnels through here (read-phase early
+		// aborts via abortNow and validation failures via failCommit), so
+		// this is the single abort-attribution bump site.
+		w.heat.bump(t.conflictKey)
+		w.stats.incHeatAbortBump()
+	}
 	w.consecutiveCommits = 0
 	t.eng.clock.OnAbort(w.id)
 	tel := w.tel
@@ -437,9 +470,13 @@ func (t *Txn) checkVersionConsistency() bool {
 		a := &t.accesses[i]
 		vis := t.resumeSearch(a)
 		t.emitWait(a.tbl, a.rid)
-		if t.pendingTimedOut || vis != a.readVer {
+		if t.pendingTimedOut || t.specSkippedPending || vis != a.readVer {
 			// A pending-wait timeout fails the check even when the
 			// indeterminate result happens to match (e.g. an absent read).
+			// Likewise a NoWaitPending search that speculatively skipped an
+			// unresolved PENDING version between the read version and tx.ts:
+			// that writer may still commit, in which case this read would be
+			// stale (docs/CONCURRENCY.md "No-wait validation ordering").
 			t.conflictKey = ownKey(a.tbl.ID, a.rid)
 			return false
 		}
@@ -450,14 +487,24 @@ func (t *Txn) checkVersionConsistency() bool {
 			continue
 		}
 		if a.kind == accRMW || a.kind == accDelete {
-			continue // covered by the read-set pass above, plus rts was
-			// checked during the read phase and at installation
+			// Visibility is covered by the read-set pass above, but the rts
+			// of the version being replaced must be re-checked: a concurrent
+			// reader may raise it between our install-time check and here
+			// (the install check and a reader's raise are not one atomic
+			// step). Without this, a reader serialized after tx.ts can have
+			// read the version this transaction replaces — the root cause of
+			// the TestSerializabilityNoWait flake (docs/CONCURRENCY.md).
+			if a.readVer != nil && a.readVer.RTS() > t.ts {
+				t.conflictKey = ownKey(a.tbl.ID, a.rid)
+				return false
+			}
+			continue
 		}
 		// Blind write: the currently visible version must not have been
 		// read after tx.ts.
 		vis := t.resumeSearch(a)
 		t.emitWait(a.tbl, a.rid)
-		if t.pendingTimedOut {
+		if t.pendingTimedOut || t.specSkippedPending {
 			t.conflictKey = ownKey(a.tbl.ID, a.rid)
 			return false
 		}
@@ -472,6 +519,25 @@ func (t *Txn) checkVersionConsistency() bool {
 		}
 	}
 	return true
+}
+
+// writeSetHot reports whether any write-set key is at or above the hot
+// threshold in this worker's heat table.
+//
+//cicada:noalloc
+func (t *Txn) writeSetHot() bool {
+	w := t.worker
+	hot := uint32(t.eng.opts.HeatHotThreshold)
+	for _, i := range t.writes {
+		a := &t.accesses[i]
+		if a.newVer == nil {
+			continue
+		}
+		if w.heat.get(ownKey(a.tbl.ID, a.rid)) >= hot {
+			return true
+		}
+	}
+	return false
 }
 
 // log hands the write and insert sets to the durability logger (§3.7).

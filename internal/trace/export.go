@@ -81,6 +81,11 @@ type HotKey struct {
 	// Score ranks keys: wait_ns + aborts×1000 (one abort weighs like 1 µs
 	// of stall — aborts waste a whole execution, not just a spin).
 	Score uint64 `json:"score"`
+	// Heat is the engine's current per-record heat for the key, summed over
+	// workers (see SetHeatSource); 0 when heat tracking is disabled. Unlike
+	// the trace-derived fields above, it reflects the decayed *current*
+	// contention sketch, not the ring buffer's history.
+	Heat uint64 `json:"heat,omitempty"`
 }
 
 // ContentionReport attributes observed stalls and aborts to keys.
@@ -146,6 +151,7 @@ func foldContention(t *Tracer, events []Event, k int) ContentionReport {
 		}
 		if t != nil {
 			hk.Name = t.KeyName(key)
+			hk.Heat = t.keyHeat(key)
 		}
 		keys = append(keys, hk)
 	}

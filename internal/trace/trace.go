@@ -219,6 +219,9 @@ type Tracer struct {
 	// keyNamer renders a conflict key (table<<48 | record) as a
 	// human-readable name in exports; installed by the engine.
 	keyNamer atomic.Pointer[func(key uint64) string]
+	// heatSource reports a key's current engine-side heat (the per-record
+	// contention sketch) for the contention report; installed by the engine.
+	heatSource atomic.Pointer[func(key uint64) uint64]
 	// abortReasons maps EvTxnAbort's arg B to taxonomy names.
 	abortReasons atomic.Pointer[[]string]
 }
@@ -297,6 +300,25 @@ func (t *Tracer) SetKeyNamer(fn func(key uint64) string) {
 		return
 	}
 	t.keyNamer.Store(&fn)
+}
+
+// SetHeatSource installs the engine callback that reports a key's current
+// heat; exports merge it into each contention-report entry (HotKey.Heat).
+// Concurrent installation is safe.
+func (t *Tracer) SetHeatSource(fn func(key uint64) uint64) {
+	if fn == nil {
+		t.heatSource.Store(nil)
+		return
+	}
+	t.heatSource.Store(&fn)
+}
+
+// keyHeat queries the installed heat source, 0 when none is installed.
+func (t *Tracer) keyHeat(key uint64) uint64 {
+	if fn := t.heatSource.Load(); fn != nil {
+		return (*fn)(key)
+	}
+	return 0
 }
 
 // SetAbortReasons installs the abort-taxonomy names used to render
