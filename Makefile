@@ -5,10 +5,11 @@ GO ?= go
 # unsynchronized (single-writer atomic words), so the race detector is the
 # proof that the discipline holds. internal/wal and internal/fault ride
 # along too: logger goroutines, the group-commit path, and crash-freezing
-# registries are all cross-goroutine (docs/DURABILITY.md).
-RACE_PKGS = ./internal/core/... ./internal/clock/... ./internal/storage/... ./internal/telemetry/... ./internal/trace/... ./internal/wal/... ./internal/fault/...
+# registries are all cross-goroutine (docs/DURABILITY.md). internal/server
+# is session goroutines × worker loops × drain (docs/SERVER.md).
+RACE_PKGS = ./internal/core/... ./internal/clock/... ./internal/storage/... ./internal/telemetry/... ./internal/trace/... ./internal/wal/... ./internal/fault/... ./internal/server/...
 
-.PHONY: all build test lint vet check race bench bench-smoke bench-compare bench-json skew-smoke telemetry-smoke trace-smoke torture docs-lint clean
+.PHONY: all build test lint vet check race bench bench-smoke bench-compare bench-json skew-smoke telemetry-smoke trace-smoke server-smoke torture docs-lint clean
 
 # Packages with the hot-path microbenchmarks and allocation-budget tests
 # (docs/PERFORMANCE.md).
@@ -27,8 +28,8 @@ vet:
 
 # The full analyzer suite (see docs/STATIC_ANALYSIS.md): four intra-function
 # concurrency passes plus hotpathalloc, lockorder, failpointcover,
-# metricdrift, and tracedrift. Exits 1 on any finding, 2 on internal error;
-# suppress only with a reviewed //lint:allow marker.
+# metricdrift, tracedrift, and protodrift. Exits 1 on any finding, 2 on
+# internal error; suppress only with a reviewed //lint:allow marker.
 lint:
 	$(GO) run ./cmd/cicada-lint ./...
 
@@ -87,6 +88,12 @@ trace-smoke:
 	$(GO) run ./cmd/cicada-bench -engines Cicada -ramp 100ms -measure 300ms -threads 2 -trace /tmp/cicada-trace-smoke.json fig6a
 	jq -e '.traceEvents | length > 0' /tmp/cicada-trace-smoke.json >/dev/null
 	jq -e '.cicadaContention.top_keys | length > 0' /tmp/cicada-trace-smoke.json >/dev/null
+
+# End-to-end server smoke (docs/SERVER.md): start cicada-server on an
+# ephemeral port, drive YCSB-style load over real TCP via cicada-bench
+# -server-addr, then SIGTERM and require a clean graceful drain.
+server-smoke:
+	./scripts/server_smoke.sh
 
 # Telemetry-on vs telemetry-off throughput comparison; asserts the
 # regression stays under the smoke bound (see docs/OBSERVABILITY.md).

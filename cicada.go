@@ -49,6 +49,15 @@ type RecordID = storage.RecordID
 // Timestamp is a Cicada transaction timestamp (56-bit clock, 8-bit worker).
 type Timestamp = clock.Timestamp
 
+// AbortReason classifies concurrency-control aborts; see
+// Stats.AbortsByReason for the name taxonomy.
+type AbortReason = core.AbortReason
+
+// AbortedError is returned by Worker.RunLimited when the retry budget is
+// exhausted; it carries the final attempt's abort reason and satisfies
+// errors.Is(err, ErrAborted).
+type AbortedError = core.AbortedError
+
 // Errors returned by transaction operations.
 var (
 	// ErrAborted reports a concurrency conflict; Worker.Run retries it.
@@ -256,6 +265,11 @@ func (db *DB) SpaceOverhead() float64 { return db.eng.SpaceOverhead() }
 // Engine exposes the internal engine for benchmarks within this module.
 func (db *DB) Engine() *core.Engine { return db.eng }
 
+// Telemetry exposes the metrics registry for integrations within this
+// module (the network server registers its server_* families on it so one
+// scrape covers engine and server); nil unless Config.Telemetry was set.
+func (db *DB) Telemetry() *telemetry.Registry { return db.reg }
+
 // MetricsHandler returns an http.Handler serving the database's metrics:
 // /metrics (Prometheus text), /debug/vars (expvar-style JSON), and
 // /debug/txntrace (recent aborted transactions, newest first). With
@@ -351,6 +365,18 @@ func (w *Worker) Run(fn func(tx *Txn) error) error {
 	return w.w.Run(func(ct *core.Txn) error {
 		return fn(&Txn{t: ct})
 	})
+}
+
+// RunLimited is Run with a bounded conflict-retry budget: after
+// maxAttempts tries it returns an *AbortedError carrying the final
+// attempt's abort reason instead of retrying forever. maxAttempts ≤ 0
+// behaves like Run. The network server (internal/server) uses this to
+// bound per-request work and surface the abort taxonomy as wire error
+// codes (docs/PROTOCOL.md).
+func (w *Worker) RunLimited(fn func(tx *Txn) error, maxAttempts int) error {
+	return w.w.RunLimited(func(ct *core.Txn) error {
+		return fn(&Txn{t: ct})
+	}, maxAttempts)
 }
 
 // RunReadOnly executes fn in a read-only snapshot transaction at the

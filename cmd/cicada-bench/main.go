@@ -59,11 +59,31 @@ func main() {
 		jsonPath     = flag.String("json", "", "write all results as a JSON report to this file (see docs/PERFORMANCE.md)")
 		jsonNote     = flag.String("json-note", "", "free-form note recorded in the JSON report's metadata")
 
+		serverAddr   = flag.String("server-addr", "", "drive a YCSB-style load against a running cicada-server at this address instead of embedded benchmarks (docs/SERVER.md)")
+		serverTenant = flag.String("server-tenant", "default", "tenant for -server-addr mode")
+		serverTable  = flag.String("server-table", "kv", "table for -server-addr mode")
+		serverConns  = flag.Int("server-conns", 8, "client connections for -server-addr mode")
+		serverKeys   = flag.Uint64("server-keys", 10000, "key space for -server-addr mode")
+		serverWrites = flag.Int("server-write-pct", 10, "write percentage for -server-addr mode")
+		serverBatch  = flag.Int("server-batch", 2, "statements per transaction for -server-addr mode")
+
 		torture        = flag.Bool("torture", false, "run WAL crash-recovery torture instead of benchmarks (docs/DURABILITY.md)")
 		tortureSeeds   = flag.Int("torture-seeds", 50, "number of seeded torture runs")
 		tortureWorkers = flag.Int("torture-workers", 4, "committing workers per torture run")
 	)
 	flag.Parse()
+	if *serverAddr != "" {
+		os.Exit(runServerLoad(serverLoadOpts{
+			addr:     *serverAddr,
+			tenant:   *serverTenant,
+			table:    *serverTable,
+			conns:    *serverConns,
+			keys:     *serverKeys,
+			writePct: *serverWrites,
+			batch:    *serverBatch,
+			measure:  *measure,
+		}))
+	}
 	if *torture {
 		os.Exit(runTorture(*tortureSeeds, *tortureWorkers))
 	}

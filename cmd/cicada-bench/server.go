@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cicada/internal/client"
+	"cicada/internal/server/wire"
+)
+
+// serverLoadOpts parameterizes -server-addr mode: a YCSB-style key-value
+// load driven through the Go client against a running cicada-server, used
+// by the server-smoke CI job (scripts/server_smoke.sh) and for manual
+// end-to-end measurements.
+type serverLoadOpts struct {
+	addr     string
+	tenant   string
+	table    string
+	conns    int
+	keys     uint64
+	writePct int
+	batch    int
+	measure  time.Duration
+}
+
+// runServerLoad drives the load and prints a one-line result. It returns 0
+// when at least one transaction committed and no client failed.
+func runServerLoad(o serverLoadOpts) int {
+	if o.batch < 1 {
+		o.batch = 1
+	}
+	probe, err := client.Dial(o.addr, o.tenant)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "server-load: dial %s: %v\n", o.addr, err)
+		return 1
+	}
+	defer probe.Close()
+	before, err := probe.Stats()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "server-load: stats: %v\n", err)
+		return 1
+	}
+
+	var committed, aborted, failed atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < o.conns; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			c, err := client.Dial(o.addr, o.tenant)
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(seed))
+			val := make([]byte, 64)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				txn := c.Txn()
+				for s := 0; s < o.batch; s++ {
+					key := rng.Uint64() % o.keys
+					if rng.Intn(100) < o.writePct {
+						rng.Read(val)
+						txn.Put(o.table, key, val)
+					} else {
+						txn.Get(o.table, key)
+					}
+				}
+				if _, err := txn.Exec(); err != nil {
+					if se, ok := err.(*client.ServerError); ok && se.Code >= wire.ErrCodeAbortRTSEarly {
+						aborted.Add(1)
+						continue
+					}
+					failed.Add(1)
+					return
+				}
+				committed.Add(1)
+			}
+		}(int64(i) + 1)
+	}
+	time.Sleep(o.measure)
+	close(stop)
+	wg.Wait()
+
+	after, err := probe.Stats()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "server-load: final stats: %v\n", err)
+		return 1
+	}
+	tput := float64(committed.Load()) / o.measure.Seconds()
+	fmt.Printf("server-load: tenant=%s conns=%d committed=%d aborted=%d failed=%d throughput=%.0f txn/s server_commits=%d\n",
+		o.tenant, o.conns, committed.Load(), aborted.Load(), failed.Load(), tput,
+		after.Commits-before.Commits)
+	if committed.Load() == 0 || failed.Load() > 0 {
+		fmt.Fprintln(os.Stderr, "server-load: FAILED (no commits or client errors)")
+		return 1
+	}
+	return 0
+}

@@ -38,3 +38,7 @@ func TestMetricDrift(t *testing.T) {
 func TestTraceDrift(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.TraceDrift, "tracedrift/...")
 }
+
+func TestProtoDrift(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.ProtoDrift, "protodrift/...")
+}

@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ProtoDrift cross-checks the wire-protocol catalogs (the opcodeNames,
+// errorCodeNames and stmtKindNames map literals in the server's wire
+// package) against the reference tables in docs/PROTOCOL.md, in both
+// directions:
+//
+//   - code → doc: every catalog entry must have a row in the matching
+//     reference table. An opcode or error code a client author cannot look
+//     up is an undocumented protocol extension.
+//   - doc → code: every table row must name an entry the catalog actually
+//     defines, with the same numeric value. A stale or renumbered row
+//     makes third-party clients disagree with the server about the bytes
+//     on the wire.
+//
+// Unlike metricdrift/tracedrift, both directions run even on narrowed
+// pattern runs: the catalogs live in a single package, so once it is in
+// the target set the code side is complete.
+var ProtoDrift = &Analyzer{
+	Name:   "protodrift",
+	Doc:    "cross-checks the wire protocol catalogs against docs/PROTOCOL.md",
+	Module: true,
+	Run:    runProtoDrift,
+}
+
+// protoDocPath is the protocol reference the catalogs must agree with.
+const protoDocPath = "docs/PROTOCOL.md"
+
+// protoCatalogs pairs each catalog anchor (a package-level
+// `var xxxNames = map[T]string{...}` in a package whose import path ends in
+// server/wire) with the first header cell of its doc table.
+var protoCatalogs = []struct {
+	varName string // catalog map literal
+	header  string // first header cell of the reference table
+	what    string // human name for diagnostics
+}{
+	{"opcodeNames", "Opcode", "opcode"},
+	{"errorCodeNames", "Error code", "error code"},
+	{"stmtKindNames", "Statement", "statement kind"},
+}
+
+// protoEntry is one catalog element: the numeric wire value keyed by name.
+type protoEntry struct {
+	pos token.Pos
+	val int64
+}
+
+// protoRow is one reference-table row: the documented numeric value (if the
+// second column parses as an integer) keyed by name.
+type protoRow struct {
+	pos    token.Pos
+	val    int64
+	hasVal bool
+}
+
+func runProtoDrift(pass *Pass) error {
+	catalogs := make(map[string]map[string]protoEntry) // header -> name -> entry
+	var catalogPkg *Package
+	for _, pkg := range pass.Targets {
+		if !strings.HasSuffix(pkg.Path, "server/wire") {
+			continue
+		}
+		for _, c := range protoCatalogs {
+			if m := collectProtoCatalog(pkg, c.varName); m != nil {
+				catalogs[c.header] = m
+				catalogPkg = pkg
+			}
+		}
+	}
+	if catalogPkg == nil || len(catalogs) == 0 {
+		// No wire package in the target set: nothing to drift against.
+		return nil
+	}
+
+	doc, err := pass.Prog.FindDoc(catalogPkg.Dir, protoDocPath)
+	if err != nil {
+		return nil
+	}
+	tables := docProtoTableRows(doc)
+
+	for _, c := range protoCatalogs {
+		catalog := catalogs[c.header]
+		if catalog == nil {
+			continue
+		}
+		rows := tables[c.header]
+
+		var names []string
+		for n := range catalog {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			row, ok := rows[n]
+			if !ok {
+				pass.Reportf(catalog[n].pos,
+					"%s %q is in the wire catalog but has no row in the %q table of %s: undocumented protocol extension",
+					c.what, n, c.header, protoDocPath)
+				continue
+			}
+			if row.hasVal && row.val != catalog[n].val {
+				pass.Reportf(row.pos,
+					"%s %q is documented as %d in %s but the wire catalog defines %d",
+					c.what, n, row.val, protoDocPath, catalog[n].val)
+			}
+		}
+
+		var docNames []string
+		for n := range rows {
+			docNames = append(docNames, n)
+		}
+		sort.Strings(docNames)
+		for _, n := range docNames {
+			if _, ok := catalog[n]; !ok {
+				pass.Reportf(rows[n].pos,
+					"documented %s %q is not in the wire catalog: stale %q table row in %s",
+					c.what, n, c.header, protoDocPath)
+			}
+		}
+	}
+	return nil
+}
+
+// collectProtoCatalog extracts name -> {pos, numeric value} from pkg's
+// package-level `var <varName> = map[T]string{...}` literal, or nil when the
+// anchor is absent.
+func collectProtoCatalog(pkg *Package, varName string) map[string]protoEntry {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != varName || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					out := make(map[string]protoEntry)
+					for _, elt := range lit.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						s, ok := constString(pkg.Info, kv.Value)
+						if !ok {
+							continue
+						}
+						val, ok := constInt(pkg.Info, kv.Key)
+						if !ok {
+							continue
+						}
+						if _, dup := out[s]; !dup {
+							out[s] = protoEntry{pos: kv.Pos(), val: val}
+						}
+					}
+					return out
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// constInt returns the constant integer value of an expression, if any.
+func constInt(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	n, ok := constant.Int64Val(v)
+	return n, ok
+}
+
+// docProtoTableRows extracts, per reference table (keyed by its first header
+// cell), the backticked name in column one and the numeric value in column
+// two of each row. Values like `0x03` and plain `14` both parse; a
+// non-numeric second column leaves hasVal unset (name-only check).
+func docProtoTableRows(doc *DocFile) map[string]map[string]protoRow {
+	tables := make(map[string]map[string]protoRow)
+	current := "" // header of the table being scanned, "" when outside
+	for i, line := range doc.Lines {
+		t := strings.TrimSpace(line)
+		if !strings.HasPrefix(t, "|") {
+			current = ""
+			continue
+		}
+		cells := strings.Split(t, "|")
+		if len(cells) < 2 {
+			continue
+		}
+		first := strings.TrimSpace(cells[1])
+		if current == "" {
+			for _, c := range protoCatalogs {
+				if first == c.header {
+					current = c.header
+					if tables[current] == nil {
+						tables[current] = make(map[string]protoRow)
+					}
+					break
+				}
+			}
+			continue
+		}
+		if strings.HasPrefix(first, "---") || first == "" {
+			continue
+		}
+		m := eventNameRE.FindStringSubmatch(first)
+		if m == nil || !strings.HasPrefix(first, "`") {
+			continue
+		}
+		name := m[1]
+		row := protoRow{}
+		if len(cells) >= 3 {
+			v := strings.Trim(strings.TrimSpace(cells[2]), "`")
+			if n, err := strconv.ParseInt(v, 0, 64); err == nil {
+				row.val, row.hasVal = n, true
+			}
+		}
+		if _, ok := tables[current][name]; !ok {
+			col := strings.Index(line, "`"+name) + 2
+			row.pos = doc.Pos(i+1, col)
+			tables[current][name] = row
+		}
+	}
+	return tables
+}

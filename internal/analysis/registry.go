@@ -2,10 +2,11 @@ package analysis
 
 // All returns the full analyzer suite, in the order cmd/cicada-lint runs
 // them: first the four intra-function concurrency-discipline passes, then
-// the five whole-program guardrails.
+// the six whole-program guardrails.
 func All() []*Analyzer {
 	return []*Analyzer{
 		MixedAtomic, StatusOrder, LocksDiscipline, NakedSpin,
 		HotPathAlloc, LockOrder, FailpointCover, MetricDrift, TraceDrift,
+		ProtoDrift,
 	}
 }

@@ -1,0 +1,74 @@
+// Fixture wire package: protocol catalogs with documented and undocumented
+// entries.
+package wire
+
+// Opcode identifies a frame type.
+type Opcode uint8
+
+// The fixture opcode space.
+const (
+	OpHello Opcode = 0x01
+	OpTxn   Opcode = 0x03
+	OpRogue Opcode = 0x7F
+)
+
+// opcodeNames is a catalog anchor the protodrift analyzer cross-checks.
+var opcodeNames = map[Opcode]string{
+	OpHello: "hello",
+	OpTxn:   "txn",
+	OpRogue: "rogue", // want `opcode "rogue" is in the wire catalog but has no row in the "Opcode" table of docs/PROTOCOL.md`
+}
+
+// ErrCode identifies a wire error.
+type ErrCode uint16
+
+// The fixture error space.
+const (
+	ErrCodeMalformed ErrCode = 1
+	ErrCodeQuota     ErrCode = 8
+)
+
+// errorCodeNames is a catalog anchor the protodrift analyzer cross-checks.
+var errorCodeNames = map[ErrCode]string{
+	ErrCodeMalformed: "malformed",
+	ErrCodeQuota:     "quota",
+}
+
+// StmtKind identifies a statement within a txn frame.
+type StmtKind uint8
+
+// The fixture statement space.
+const (
+	StmtGet StmtKind = 1
+	StmtPut StmtKind = 2
+)
+
+// stmtKindNames is a catalog anchor the protodrift analyzer cross-checks.
+var stmtKindNames = map[StmtKind]string{
+	StmtGet: "get",
+	StmtPut: "put",
+}
+
+// String returns the opcode's catalog name.
+func (o Opcode) String() string {
+	if s, ok := opcodeNames[o]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// String returns the error code's catalog name.
+func (e ErrCode) String() string {
+	if s, ok := errorCodeNames[e]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// String returns the statement kind's catalog name.
+func (k StmtKind) String() string {
+	if s, ok := stmtKindNames[k]; ok {
+		return s
+	}
+	return "unknown"
+}

@@ -254,3 +254,34 @@ func TestTraceDriftDocStale(t *testing.T) {
 		t.Errorf("stale-row finding should point into the markdown file, got %s", stale.Pos)
 	}
 }
+
+// TestProtoDriftDocDrift mutates the protodrift fixture's PROTOCOL.md in
+// two ways — a ghost opcode row and a renumbered error code — and checks
+// both findings are positioned in the markdown file.
+func TestProtoDriftDocDrift(t *testing.T) {
+	root := copyTree(t, filepath.Join("testdata", "src", "protodrift"))
+	docPath := filepath.Join(root, "docs", "PROTOCOL.md")
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := strings.Replace(string(data), "| `quota` | 8 |", "| `quota` | 9 |", 1)
+	doc += "\n| Opcode | Value |\n|---|---|\n| `ghost` | `0x55` |\n"
+	if err := os.WriteFile(docPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := runOn(t, root, "protodrift", analysis.ProtoDrift)
+	ghost := findDiag(diags, `documented opcode "ghost" is not in the wire catalog`)
+	if ghost == nil {
+		t.Errorf("stale-row direction did not fire: %v", diags)
+	} else if !strings.HasSuffix(ghost.Pos.Filename, "PROTOCOL.md") {
+		t.Errorf("stale-row finding should point into the markdown file, got %s", ghost.Pos)
+	}
+	renum := findDiag(diags, `error code "quota" is documented as 9 in docs/PROTOCOL.md but the wire catalog defines 8`)
+	if renum == nil {
+		t.Errorf("value-mismatch direction did not fire: %v", diags)
+	} else if !strings.HasSuffix(renum.Pos.Filename, "PROTOCOL.md") {
+		t.Errorf("value-mismatch finding should point into the markdown file, got %s", renum.Pos)
+	}
+}

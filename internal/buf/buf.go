@@ -117,6 +117,10 @@ type Pool struct {
 	// kept so a sequence of similar oversize requests allocates once.
 	big   *Chunk
 	stats PoolStats
+	// live counts chunks handed out and not yet fully released; the
+	// network server's tests assert it returns to zero so no code path
+	// leaks a chunk reference.
+	live int
 }
 
 // NewPool creates a pool of chunkSize-byte chunks keeping at most maxFree
@@ -141,6 +145,7 @@ func (p *Pool) ChunkSize() int { return p.size }
 //cicada:noalloc
 func (p *Pool) Get() *Chunk {
 	p.mu.Lock()
+	p.live++
 	c := p.free
 	if c != nil {
 		p.free = c.next
@@ -166,6 +171,7 @@ func (p *Pool) GetSized(n int) *Chunk {
 		return p.Get()
 	}
 	p.mu.Lock()
+	p.live++
 	p.stats.Oversize++
 	if c := p.big; c != nil && len(c.buf) >= n {
 		p.big = nil
@@ -187,6 +193,7 @@ func (p *Pool) put(c *Chunk) {
 	c.n = 0
 	c.next = nil
 	p.mu.Lock()
+	p.live--
 	switch {
 	case len(c.buf) == p.size:
 		if p.nfree < p.maxFree {
@@ -198,6 +205,14 @@ func (p *Pool) put(c *Chunk) {
 		p.big = c
 	}
 	p.mu.Unlock()
+}
+
+// Live returns the number of chunks currently handed out (gotten and not
+// yet fully released). Zero once every holder has released its references.
+func (p *Pool) Live() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.live
 }
 
 // Stats returns a snapshot of the pool counters.

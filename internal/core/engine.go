@@ -510,6 +510,62 @@ func (w *Worker) Run(fn func(t *Txn) error) error {
 	}
 }
 
+// AbortedError is ErrAborted plus the final attempt's abort-taxonomy
+// reason; RunLimited returns it when a retry budget is exhausted.
+// errors.Is(err, ErrAborted) holds, so retry loops written against the
+// sentinel keep working.
+type AbortedError struct {
+	// Reason classifies the last attempt's conflict (stats.go taxonomy).
+	Reason AbortReason
+}
+
+func (e *AbortedError) Error() string {
+	return "cicada: transaction aborted (" + e.Reason.String() + ")"
+}
+
+// Is makes errors.Is(err, ErrAborted) true for exhausted retry budgets.
+func (e *AbortedError) Is(target error) bool { return target == ErrAborted }
+
+// RunLimited is Run with a bounded conflict-retry budget: after attempts
+// tries (attempts ≥ 1) it gives up and returns an *AbortedError carrying
+// the final attempt's abort reason, instead of retrying forever. The
+// network server uses it to bound per-request work under contention and to
+// map the abort taxonomy onto wire error codes. attempts ≤ 0 behaves
+// exactly like Run. The exhausted-budget error allocates; that is the cold
+// give-up path, never the steady-state commit path.
+func (w *Worker) RunLimited(fn func(t *Txn) error, attempts int) error {
+	if attempts <= 0 {
+		return w.Run(fn)
+	}
+	for tries := 1; ; tries++ {
+		start := time.Now()
+		t := w.Begin()
+		err := fn(t)
+		if err == nil {
+			err = t.Commit()
+		} else {
+			t.Abort()
+		}
+		w.stats.addBusyTime(time.Since(start))
+		if err == nil {
+			w.Maintain()
+			return nil
+		}
+		if !errors.Is(err, ErrAborted) {
+			w.stats.incUserAbort()
+			w.Maintain()
+			return err
+		}
+		w.stats.addAbortTime(time.Since(start))
+		if tries >= attempts {
+			w.Maintain()
+			return &AbortedError{Reason: t.lastCC}
+		}
+		w.backoff()
+		w.Maintain()
+	}
+}
+
 // RunExternal is Run with external consistency (§3.1): it does not return
 // until min_wts exceeds the committed transaction's timestamp, so once the
 // caller observes the commit, every future transaction on any worker is

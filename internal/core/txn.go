@@ -66,6 +66,11 @@ type Txn struct {
 	// concurrency-control abort, for the abort trace event's attribution;
 	// noConflictKey when the abort has no single key.
 	conflictKey uint64
+	// lastCC records the reason of the most recent concurrency-control
+	// abort on this transaction slot; RunLimited reports it when a retry
+	// budget is exhausted so callers (the network server's wire error
+	// codes) can surface the abort taxonomy.
+	lastCC AbortReason
 	// lastWaitNs carries the pending-wait time accumulated by the most
 	// recent visibility search to the caller's emitWait.
 	lastWaitNs uint64

@@ -231,6 +231,7 @@ func (t *Txn) failCommit(reason AbortReason) error {
 //cicada:noalloc
 func (t *Txn) rollbackCC(reason AbortReason) {
 	w := t.worker
+	t.lastCC = reason
 	w.stats.incAbort(reason)
 	if !t.eng.opts.NoHeatTracking && t.conflictKey != noConflictKey {
 		// Every keyed CC abort funnels through here (read-phase early

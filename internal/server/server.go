@@ -1,0 +1,479 @@
+// Package server is the cicada-server network service layer: it multiplexes
+// many client connections onto the embedded engine's fixed worker set,
+// giving each tenant an isolated table namespace with admission quotas.
+// docs/SERVER.md describes the architecture; docs/PROTOCOL.md the wire
+// format.
+//
+// The runtime shape follows the engine's own threading discipline. Each
+// connection gets two goroutines that only move bytes (a reader that frames
+// requests into pooled chunks and a writer that streams staged response
+// chains back); transactions execute exclusively on the fixed worker
+// loops, one per engine worker, fed from one bounded submission queue.
+// No goroutine is ever spawned per request, and the response encode path
+// stages frames directly on internal/buf chunks — zero allocations per
+// response at steady state (pinned by TestEncodeRespAllocs in the wire
+// package and the hotpathalloc gate).
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cicada"
+	"cicada/internal/buf"
+	"cicada/internal/server/wire"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// DB is the embedded engine. The server owns every worker handle
+	// (DB.Worker(0..Workers-1)); nothing else may run transactions on
+	// this DB while the server is up. Required.
+	DB *cicada.DB
+	// Tenants statically provisions the tenant namespaces. Required,
+	// non-empty.
+	Tenants []TenantConfig
+	// MaxFrame bounds a request frame (opcode + payload) and is advertised
+	// in the hello response. 0 selects wire.DefaultMaxFrame.
+	MaxFrame int
+	// QueueDepth bounds the shared submission queue; a full queue rejects
+	// txns with the overload code. 0 selects DefaultQueueDepth.
+	QueueDepth int
+	// TxnAttempts is the per-transaction conflict-retry budget; an aborted
+	// transaction that exhausts it returns its abort reason as a wire
+	// error code. 0 selects DefaultTxnAttempts.
+	TxnAttempts int
+}
+
+// Server-wide defaults.
+const (
+	DefaultQueueDepth  = 256
+	DefaultTxnAttempts = 8
+
+	// idleMaintainEvery is how often an idle worker loop runs engine
+	// maintenance so the GC horizon keeps advancing while no requests
+	// flow (the engine's quiescence protocol needs every worker to keep
+	// declaring its clock).
+	idleMaintainEvery = 200 * time.Microsecond
+	// writeTimeout bounds one response write so a stalled client cannot
+	// wedge a session writer (the chain is dropped and the session marked
+	// dead instead).
+	writeTimeout = 30 * time.Second
+)
+
+// task is one admitted transaction traveling from a session reader to a
+// worker loop. The payload chunk is owned by the worker until it stages a
+// response (decoded statements alias it).
+type task struct {
+	sess    *session
+	ten     *tenant
+	seq     uint64
+	payload *buf.Chunk
+}
+
+// workerScratch is one worker loop's reusable decode state, indexed by
+// worker ID and touched only by that loop.
+type workerScratch struct {
+	stmts []wire.Stmt
+	tabs  []*tenantTable
+}
+
+// Server multiplexes client sessions onto the engine's worker set.
+type Server struct {
+	db          *cicada.DB
+	pool        *buf.Pool
+	tenants     map[string]*tenant
+	reqCh       chan task
+	stopCh      chan struct{}
+	stopOnce    sync.Once
+	workersWG   sync.WaitGroup
+	sessWG      sync.WaitGroup
+	maxFrame    int
+	txnAttempts int
+	scratch     []workerScratch
+	m           *metrics
+
+	draining atomic.Bool
+	inflight atomic.Int64 // admitted txns whose response is not yet written
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	// testGate, when set (tests only), is called by a worker loop before
+	// executing each transaction; blocking it holds transactions in flight
+	// deterministically for quota and drain tests.
+	testGate func()
+}
+
+// New provisions tenants on db and returns a server ready to Serve. It
+// must be called before any transactions run on db (table registration is
+// not concurrent-safe).
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	tenants, err := buildTenants(cfg.DB, cfg.Tenants)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		db:          cfg.DB,
+		pool:        buf.NewPool(0, 0),
+		tenants:     tenants,
+		reqCh:       make(chan task, valOr(cfg.QueueDepth, DefaultQueueDepth)),
+		stopCh:      make(chan struct{}),
+		maxFrame:    valOr(cfg.MaxFrame, wire.DefaultMaxFrame),
+		txnAttempts: valOr(cfg.TxnAttempts, DefaultTxnAttempts),
+		scratch:     make([]workerScratch, cfg.DB.Workers()),
+		conns:       make(map[net.Conn]struct{}),
+		m:           &metrics{},
+	}
+	if reg := cfg.DB.Telemetry(); reg != nil {
+		s.register(reg)
+	}
+	s.workersWG.Add(s.db.Workers())
+	for id := 0; id < s.db.Workers(); id++ {
+		go s.workerLoop(id)
+	}
+	return s, nil
+}
+
+// Serve accepts connections on ln until the listener is closed (Drain and
+// Close do this). It returns nil on a drain-initiated stop, else the
+// accept error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed || s.draining.Load() {
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.m.sessionsTotal.Add(1)
+		s.m.sessionsActive.Add(1)
+		s.sessWG.Add(1)
+		go func(c net.Conn) {
+			defer s.sessWG.Done()
+			newSession(s, c).run()
+			s.m.sessionsActive.Add(-1)
+			s.mu.Lock()
+			delete(s.conns, c)
+			s.mu.Unlock()
+		}(c)
+	}
+}
+
+// Drain gracefully shuts the server down: stop accepting, let every
+// admitted transaction finish and its response flush, then stop the worker
+// loops and close remaining sessions. It returns ctx.Err() if the context
+// expires first (remaining work is then force-closed), else nil.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	ln := s.ln
+	alreadyClosed := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if alreadyClosed {
+		return nil
+	}
+	if ln != nil {
+		ln.Close()
+	}
+
+	// Phase 1: wait for the in-flight count to hit zero. Every admitted
+	// txn holds a reference until its response is written (or its session
+	// dies), so zero means all accepted work is answered.
+	var drainErr error
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			drainErr = ctx.Err()
+		case <-time.After(500 * time.Microsecond):
+		}
+		if drainErr != nil {
+			break
+		}
+	}
+
+	// Phase 2: stop the worker loops (each drains the queue once more
+	// before exiting, so nothing admitted is stranded).
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.workersWG.Wait()
+
+	// Phase 3: reap any straggler the workers never picked up (possible
+	// only when the context expired early): answer it with the draining
+	// code so its session can finish its bookkeeping.
+	var bw buf.Writer
+	bw.Init(s.pool)
+	for {
+		select {
+		case t := <-s.reqCh:
+			t.payload.Release()
+			wire.EncodeErr(&bw, wire.ErrCodeDraining, "server draining")
+			head, _, _ := bw.Detach()
+			t.reply(head, false)
+		default:
+			goto reaped
+		}
+	}
+reaped:
+
+	// Phase 4: close every remaining connection; session goroutines
+	// unblock from reads/writes and exit.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.sessWG.Wait()
+	return drainErr
+}
+
+// Close shuts down immediately: in-flight work is abandoned (workers still
+// finish the transaction they are on) and connections are force-closed.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Drain(ctx)
+	return nil
+}
+
+// workerLoop is worker id's execution loop: it owns the engine worker
+// handle and a staging writer, executes queued transactions, and runs
+// engine maintenance while idle.
+func (s *Server) workerLoop(id int) {
+	defer s.workersWG.Done()
+	w := s.db.Worker(id)
+	var bw buf.Writer
+	bw.Init(s.pool)
+	tick := time.NewTicker(idleMaintainEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case t := <-s.reqCh:
+			s.execTxn(w, id, &bw, t)
+		case <-tick.C:
+			w.Idle()
+		case <-s.stopCh:
+			for {
+				select {
+				case t := <-s.reqCh:
+					s.execTxn(w, id, &bw, t)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// releaseChain drops every chunk of a detached chain.
+func releaseChain(head *buf.Chunk) {
+	for c := head; c != nil; {
+		n := c.Next()
+		c.Release()
+		c = n
+	}
+}
+
+// execTxn decodes, executes, and answers one transaction on worker id. It
+// owns t.payload and releases it once the response is staged.
+func (s *Server) execTxn(w *cicada.Worker, id int, bw *buf.Writer, t task) {
+	defer t.payload.Release()
+	if s.testGate != nil {
+		s.testGate()
+	}
+	start := time.Now()
+	sc := &s.scratch[id]
+
+	flags, stmts, err := wire.DecodeTxn(t.payload.Bytes(), sc.stmts[:0])
+	sc.stmts = stmts[:0]
+	if err != nil {
+		s.m.malformed.Add(1)
+		s.replyErr(bw, t, wire.ErrCodeMalformed, "bad txn payload", id)
+		return
+	}
+
+	// Resolve every statement's table in the tenant namespace up front
+	// (the set is static, so one failed lookup fails the whole txn before
+	// any engine work).
+	tabs := sc.tabs[:0]
+	readOnly := flags&wire.TxnReadOnly != 0
+	for i := range stmts {
+		st := &stmts[i]
+		if readOnly && st.Kind != wire.StGet {
+			s.replyErr(bw, t, wire.ErrCodeReadOnly, "write in read-only txn", id)
+			return
+		}
+		tt := t.ten.tables[string(st.Table)]
+		if tt == nil {
+			s.replyErr(bw, t, wire.ErrCodeNoTable, "unknown table", id)
+			return
+		}
+		tabs = append(tabs, tt)
+	}
+	sc.tabs = tabs[:0]
+
+	// The closure may run multiple times (conflict retries); each attempt
+	// restarts the staged result frame from scratch.
+	var patch wire.FramePatch
+	run := func(tx *cicada.Txn) error {
+		if head, _, _ := bw.Detach(); head != nil {
+			releaseChain(head)
+		}
+		patch = wire.BeginFrame(bw, wire.OpResult)
+		wire.AppendResultCount(bw, len(stmts))
+		for i := range stmts {
+			if err := execStmt(tx, bw, &stmts[i], tabs[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if readOnly {
+		err = w.RunReadOnly(run)
+	} else {
+		err = w.RunLimited(run, s.txnAttempts)
+	}
+	t.ten.txns.Add(1)
+	if s.m.txnLatency != nil {
+		s.m.txnLatency.Shard(id).ObserveDuration(time.Since(start))
+	}
+	if err != nil {
+		// Drop the partially staged attempt before answering.
+		if head, _, _ := bw.Detach(); head != nil {
+			releaseChain(head)
+		}
+		code, msg := classify(err)
+		if s.m.txnAborted != nil {
+			if code >= wire.ErrCodeAbortRTSEarly {
+				s.m.txnAborted.Shard(id).Inc()
+			} else {
+				s.m.txnError.Shard(id).Inc()
+			}
+		}
+		wire.EncodeErr(bw, code, msg)
+		head, _, _ := bw.Detach()
+		t.reply(head, false)
+		return
+	}
+	if s.m.txnCommitted != nil {
+		s.m.txnCommitted.Shard(id).Inc()
+	}
+	patch.Finish(bw)
+	head, _, _ := bw.Detach()
+	t.reply(head, false)
+}
+
+// execStmt runs one statement inside tx, staging its result.
+func execStmt(tx *cicada.Txn, bw *buf.Writer, st *wire.Stmt, tt *tenantTable) error {
+	switch st.Kind {
+	case wire.StGet:
+		rid, err := tt.idx.Get(tx, st.Key)
+		if errors.Is(err, cicada.ErrNotFound) {
+			wire.AppendResult(bw, wire.StatusNotFound, nil)
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		val, err := tx.Read(tt.tbl, rid)
+		if err != nil {
+			return err
+		}
+		wire.AppendResult(bw, wire.StatusOK, val)
+	case wire.StPut:
+		rid, err := tt.idx.Get(tx, st.Key)
+		switch {
+		case errors.Is(err, cicada.ErrNotFound):
+			rid, b, ierr := tx.Insert(tt.tbl, len(st.Value))
+			if ierr != nil {
+				return ierr
+			}
+			copy(b, st.Value)
+			if ierr := tt.idx.Insert(tx, st.Key, rid); ierr != nil {
+				return ierr
+			}
+		case err != nil:
+			return err
+		default:
+			b, uerr := tx.Update(tt.tbl, rid, len(st.Value))
+			if uerr != nil {
+				return uerr
+			}
+			copy(b, st.Value)
+		}
+		wire.AppendResult(bw, wire.StatusOK, nil)
+	case wire.StDelete:
+		rid, err := tt.idx.Get(tx, st.Key)
+		if errors.Is(err, cicada.ErrNotFound) {
+			wire.AppendResult(bw, wire.StatusNotFound, nil)
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := tx.Delete(tt.tbl, rid); err != nil {
+			return err
+		}
+		if err := tt.idx.Delete(tx, st.Key, rid); err != nil {
+			return err
+		}
+		wire.AppendResult(bw, wire.StatusOK, nil)
+	}
+	return nil
+}
+
+// classify maps an engine error to its wire code (docs/PROTOCOL.md error
+// table).
+func classify(err error) (wire.ErrCode, string) {
+	var ab *cicada.AbortedError
+	switch {
+	case errors.As(err, &ab):
+		return wire.AbortCode(uint8(ab.Reason)), "retry budget exhausted"
+	case errors.Is(err, cicada.ErrNotFound):
+		return wire.ErrCodeNotFound, "not found"
+	case errors.Is(err, cicada.ErrDuplicate):
+		return wire.ErrCodeDuplicate, "duplicate key"
+	case errors.Is(err, cicada.ErrReadOnly):
+		return wire.ErrCodeReadOnly, "write in read-only txn"
+	default:
+		return wire.ErrCodeInternal, "internal error"
+	}
+}
+
+// replyErr stages an error frame on the worker's writer and answers t.
+func (s *Server) replyErr(bw *buf.Writer, t task, code wire.ErrCode, msg string, id int) {
+	if s.m.txnError != nil {
+		s.m.txnError.Shard(id).Inc()
+	}
+	t.ten.txns.Add(1)
+	wire.EncodeErr(bw, code, msg)
+	head, _, _ := bw.Detach()
+	t.reply(head, false)
+}

@@ -1,0 +1,327 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"sync"
+	"time"
+
+	"cicada/internal/buf"
+	"cicada/internal/server/wire"
+)
+
+// respond is one finished response traveling to a session's writer: the
+// staged frame chain plus the request's sequence number (the writer
+// restores request order, since txns complete on whichever worker picked
+// them up).
+type respond struct {
+	seq  uint64
+	head *buf.Chunk
+	ten  *tenant // non-nil for admitted txns: dec inflight after writing
+	// fatal closes the connection after this response is written
+	// (protocol violations where framing may be out of sync).
+	fatal bool
+}
+
+// session is one client connection: a reader goroutine that frames
+// requests (and answers handshake/admission traffic directly), plus a
+// writer goroutine that streams responses back in request order. Neither
+// executes transactions — that happens on the worker loops.
+//
+// Shutdown protocol: the reader exits (connection error or fatal frame),
+// waits for every outstanding worker task, closes doneCh; the writer
+// drains doneCh to the end — even with a dead connection it keeps
+// receiving and releasing chains, so workers never block on a send
+// forever.
+type session struct {
+	srv    *Server
+	conn   netConn
+	ten    *tenant
+	doneCh chan respond
+	taskWG sync.WaitGroup
+	enc    buf.Writer // reader-owned staging for direct responses
+	seq    uint64     // reader-owned; one per request frame
+}
+
+func newSession(s *Server, c netConn) *session {
+	sess := &session{srv: s, conn: c, doneCh: make(chan respond, 64)}
+	sess.enc.Init(s.pool)
+	return sess
+}
+
+// run services the connection until it closes; it returns only when both
+// directions have finished and all bookkeeping is released.
+func (s *session) run() {
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		s.writeLoop()
+	}()
+	s.readLoop()
+	s.taskWG.Wait() // all worker tasks answered into doneCh
+	close(s.doneCh)
+	<-writerDone
+	s.conn.Close()
+	if s.ten != nil {
+		s.ten.sessions.Add(-1)
+	}
+}
+
+// readLoop frames requests until the connection dies or a fatal protocol
+// violation occurs.
+func (s *session) readLoop() {
+	br := bufio.NewReaderSize(s.conn, 4096)
+	for {
+		op, payload, err := wire.ReadFrame(br, s.srv.pool, s.srv.maxFrame)
+		if err != nil {
+			seq := s.seq
+			s.seq++
+			switch {
+			case errors.Is(err, wire.ErrMalformed):
+				s.srv.m.malformed.Add(1)
+				s.directErr(seq, wire.ErrCodeMalformed, "malformed frame", true)
+			case errors.Is(err, wire.ErrFrameTooLarge):
+				s.srv.m.malformed.Add(1)
+				s.directErr(seq, wire.ErrCodeFrameTooLarge, "frame too large", true)
+			}
+			// io.EOF / connection errors: nothing to answer.
+			return
+		}
+		s.srv.m.framesIn.Add(1)
+		n := uint64(wire.FrameHeaderLen)
+		if payload != nil {
+			n += uint64(payload.Len())
+		}
+		s.srv.m.bytesIn.Add(n)
+		if fatal := s.dispatch(op, payload); fatal {
+			return
+		}
+	}
+}
+
+// dispatch handles one request frame. It owns payload (possibly nil) and
+// either releases it or hands it to a worker. The return value reports a
+// fatal protocol violation (stop reading).
+func (s *session) dispatch(op wire.Opcode, payload *buf.Chunk) (fatal bool) {
+	seq := s.seq
+	s.seq++
+	switch op {
+	case wire.OpHello:
+		defer releaseIf(payload)
+		if s.ten != nil {
+			s.directErr(seq, wire.ErrCodeMalformed, "duplicate hello", true)
+			return true
+		}
+		var pb []byte
+		if payload != nil {
+			pb = payload.Bytes()
+		}
+		h, err := wire.DecodeHello(pb)
+		if err != nil {
+			s.srv.m.malformed.Add(1)
+			s.directErr(seq, wire.ErrCodeMalformed, "bad hello", true)
+			return true
+		}
+		if h.Major != wire.ProtoMajor {
+			s.directErr(seq, wire.ErrCodeBadVersion, "unsupported protocol version", true)
+			return true
+		}
+		ten := s.srv.tenants[string(h.Tenant)]
+		if ten == nil {
+			s.directErr(seq, wire.ErrCodeUnknownTenant, "unknown tenant", true)
+			return true
+		}
+		if n := ten.sessions.Add(1); int(n) > int(ten.maxSessions) {
+			ten.sessions.Add(-1)
+			ten.quotaRejects.Add(1)
+			s.directErr(seq, wire.ErrCodeQuota, "tenant session quota exhausted", true)
+			return true
+		}
+		s.ten = ten
+		ok := wire.AppendHelloOK(nil, uint32(s.srv.maxFrame), ten.tableNames)
+		p := wire.BeginFrame(&s.enc, wire.OpOK)
+		copy(s.enc.Frame(len(ok)), ok)
+		p.Finish(&s.enc)
+		s.send(seq, false)
+		return false
+
+	case wire.OpPing:
+		releaseIf(payload)
+		if s.ten == nil {
+			s.directErr(seq, wire.ErrCodeNoHello, "hello required", false)
+			return false
+		}
+		wire.EncodeEmpty(&s.enc, wire.OpOK)
+		s.send(seq, false)
+		return false
+
+	case wire.OpStats:
+		releaseIf(payload)
+		if s.ten == nil {
+			s.directErr(seq, wire.ErrCodeNoHello, "hello required", false)
+			return false
+		}
+		es := s.srv.db.Stats()
+		pb := wire.AppendStats(nil, wire.Stats{
+			Commits:        es.Commits,
+			Aborts:         es.Aborts,
+			TenantInflight: uint32(s.ten.inflight.Load()),
+			TenantSessions: uint32(s.ten.sessions.Load()),
+		})
+		p := wire.BeginFrame(&s.enc, wire.OpOK)
+		copy(s.enc.Frame(len(pb)), pb)
+		p.Finish(&s.enc)
+		s.send(seq, false)
+		return false
+
+	case wire.OpTxn:
+		if s.ten == nil {
+			releaseIf(payload)
+			s.directErr(seq, wire.ErrCodeNoHello, "hello required", false)
+			return false
+		}
+		if payload == nil {
+			s.srv.m.malformed.Add(1)
+			s.directErr(seq, wire.ErrCodeMalformed, "empty txn", false)
+			return false
+		}
+		if s.srv.draining.Load() {
+			payload.Release()
+			s.directErr(seq, wire.ErrCodeDraining, "server draining", false)
+			return false
+		}
+		if n := s.ten.inflight.Add(1); int(n) > int(s.ten.maxInflight) {
+			s.ten.inflight.Add(-1)
+			s.ten.quotaRejects.Add(1)
+			payload.Release()
+			s.directErr(seq, wire.ErrCodeQuota, "tenant inflight quota exhausted", false)
+			return false
+		}
+		s.srv.inflight.Add(1)
+		s.taskWG.Add(1)
+		select {
+		case s.srv.reqCh <- task{sess: s, ten: s.ten, seq: seq, payload: payload}:
+		default:
+			s.taskWG.Done()
+			s.ten.inflight.Add(-1)
+			s.srv.inflight.Add(-1)
+			s.srv.m.overloadRejects.Add(1)
+			payload.Release()
+			s.directErr(seq, wire.ErrCodeOverload, "submission queue full", false)
+		}
+		return false
+
+	default:
+		releaseIf(payload)
+		s.directErr(seq, wire.ErrCodeUnknownOp, "unknown opcode", false)
+		return false
+	}
+}
+
+// directErr stages an error frame for request seq and queues it in order.
+func (s *session) directErr(seq uint64, code wire.ErrCode, msg string, fatal bool) {
+	wire.EncodeErr(&s.enc, code, msg)
+	s.send(seq, fatal)
+}
+
+// send detaches the reader's staged chain and queues it for the writer.
+func (s *session) send(seq uint64, fatal bool) {
+	head, _, _ := s.enc.Detach()
+	s.doneCh <- respond{seq: seq, head: head, fatal: fatal}
+}
+
+// reply queues a worker-staged response for t's session; the admission
+// reservations drop when the writer finishes with the chain.
+func (t task) reply(head *buf.Chunk, fatal bool) {
+	t.sess.doneCh <- respond{seq: t.seq, head: head, ten: t.ten, fatal: fatal}
+	t.sess.taskWG.Done()
+}
+
+// writeLoop streams responses in request order, releasing each chain and
+// its admission reservations. After a write error (or a fatal response)
+// the connection is dead: the loop keeps draining doneCh so workers and
+// the reader never block, releasing everything without writing.
+func (s *session) writeLoop() {
+	pending := make(map[uint64]respond)
+	next := uint64(0)
+	dead := false
+	for r := range s.doneCh {
+		pending[r.seq] = r
+		for {
+			q, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if !dead {
+				if err := s.writeChain(q.head); err != nil {
+					dead = true
+					// Stop the reader too: a session that cannot answer
+					// should not keep consuming requests.
+					s.conn.Close()
+				}
+			}
+			releaseChain(q.head)
+			if q.ten != nil {
+				q.ten.inflight.Add(-1)
+				s.srv.inflight.Add(-1)
+			}
+			if q.fatal && !dead {
+				dead = true
+				// Unblock the reader, which may be mid-ReadFrame.
+				s.conn.Close()
+			}
+		}
+	}
+	// The reader only closes doneCh after every outstanding task answered,
+	// so pending is empty here unless a sequence number was lost; release
+	// defensively regardless.
+	for _, q := range pending {
+		releaseChain(q.head)
+		if q.ten != nil {
+			q.ten.inflight.Add(-1)
+			s.srv.inflight.Add(-1)
+		}
+	}
+}
+
+// writeChain writes one response chain with a bounded deadline.
+func (s *session) writeChain(head *buf.Chunk) error {
+	if d, ok := s.conn.(deadlineConn); ok {
+		d.SetWriteDeadline(time.Now().Add(writeTimeout))
+	}
+	var bytes uint64
+	for c := head; c != nil; c = c.Next() {
+		b := c.Bytes()
+		for len(b) > 0 {
+			n, err := s.conn.Write(b)
+			bytes += uint64(n)
+			if err != nil {
+				s.srv.m.bytesOut.Add(bytes)
+				return err
+			}
+			b = b[n:]
+		}
+	}
+	s.srv.m.framesOut.Add(1)
+	s.srv.m.bytesOut.Add(bytes)
+	return nil
+}
+
+func releaseIf(c *buf.Chunk) {
+	if c != nil {
+		c.Release()
+	}
+}
+
+// netConn is the subset of net.Conn the session needs (tests can use
+// pipes).
+type netConn interface {
+	io.ReadWriteCloser
+}
+
+type deadlineConn interface {
+	SetWriteDeadline(t time.Time) error
+}

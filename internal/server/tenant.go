@@ -1,0 +1,114 @@
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cicada"
+	"cicada/internal/server/wire"
+)
+
+// TenantConfig provisions one tenant namespace. All tenants (and their
+// tables) are created at server startup: the engine's table registry is
+// sized once, before workers run, so the hot path never takes a
+// registration lock (core.Engine.CreateTable is not safe concurrently with
+// transactions).
+type TenantConfig struct {
+	// Name identifies the tenant in the hello handshake and in the
+	// per-tenant metric labels. Must be unique, non-empty, and at most
+	// wire.MaxTableName bytes.
+	Name string
+	// Tables is the tenant's table namespace. Each table is backed by an
+	// engine table named "<tenant>/<table>" plus a unique hash index, so
+	// two tenants' same-named tables share nothing.
+	Tables []string
+	// MaxSessions bounds concurrently open sessions for this tenant;
+	// exceeding it rejects the hello with the quota error code.
+	// 0 selects DefaultMaxSessions.
+	MaxSessions int
+	// MaxInflight bounds this tenant's submitted-but-unanswered
+	// transactions; exceeding it rejects the txn with the quota error
+	// code. 0 selects DefaultMaxInflight.
+	MaxInflight int
+	// TableCapacity sizes each table's hash index (expected keys).
+	// 0 selects DefaultTableCapacity.
+	TableCapacity int
+}
+
+// Per-tenant quota defaults.
+const (
+	DefaultMaxSessions   = 64
+	DefaultMaxInflight   = 128
+	DefaultTableCapacity = 1 << 16
+)
+
+// tenantTable is one table of a tenant's namespace: the backing engine
+// table plus the unique key index that gives it a u64 key space.
+type tenantTable struct {
+	tbl *cicada.Table
+	idx *cicada.HashIndex
+}
+
+// tenant is the runtime state of one provisioned tenant. The counters are
+// plain atomics because they are touched from session goroutines (many
+// writers), unlike the worker-sharded engine counters.
+type tenant struct {
+	name        string
+	tables      map[string]*tenantTable
+	tableNames  []string
+	maxSessions int32
+	maxInflight int32
+
+	sessions     atomic.Int32  // open sessions (admission + stats)
+	inflight     atomic.Int32  // submitted, response not yet written
+	txns         atomic.Uint64 // transactions executed (any outcome)
+	quotaRejects atomic.Uint64 // hello/txn rejections with the quota code
+}
+
+func buildTenants(db *cicada.DB, cfgs []TenantConfig) (map[string]*tenant, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("server: no tenants configured")
+	}
+	tenants := make(map[string]*tenant, len(cfgs))
+	for _, tc := range cfgs {
+		if tc.Name == "" || len(tc.Name) > wire.MaxTableName {
+			return nil, fmt.Errorf("server: bad tenant name %q", tc.Name)
+		}
+		if _, dup := tenants[tc.Name]; dup {
+			return nil, fmt.Errorf("server: duplicate tenant %q", tc.Name)
+		}
+		if len(tc.Tables) == 0 {
+			return nil, fmt.Errorf("server: tenant %q has no tables", tc.Name)
+		}
+		ten := &tenant{
+			name:        tc.Name,
+			tables:      make(map[string]*tenantTable, len(tc.Tables)),
+			maxSessions: int32(valOr(tc.MaxSessions, DefaultMaxSessions)),
+			maxInflight: int32(valOr(tc.MaxInflight, DefaultMaxInflight)),
+		}
+		capacity := valOr(tc.TableCapacity, DefaultTableCapacity)
+		for _, name := range tc.Tables {
+			if name == "" || len(name) > wire.MaxTableName {
+				return nil, fmt.Errorf("server: tenant %q: bad table name %q", tc.Name, name)
+			}
+			if _, dup := ten.tables[name]; dup {
+				return nil, fmt.Errorf("server: tenant %q: duplicate table %q", tc.Name, name)
+			}
+			qual := tc.Name + "/" + name
+			ten.tables[name] = &tenantTable{
+				tbl: db.CreateTable(qual),
+				idx: db.CreateHashIndex(qual, capacity, true),
+			}
+			ten.tableNames = append(ten.tableNames, name)
+		}
+		tenants[tc.Name] = ten
+	}
+	return tenants, nil
+}
+
+func valOr(v, def int) int {
+	if v > 0 {
+		return v
+	}
+	return def
+}

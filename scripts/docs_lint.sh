@@ -5,6 +5,8 @@
 #
 #   1. internal/... and cmd/... package paths (prose or code spans)
 #   2. docs/<page>.md markdown links
+#   3. docs index completeness: every docs/*.md page must be linked from
+#      the README, so no page can silently fall out of the index
 #
 # Run from the repository root (make docs-lint).
 set -eu
@@ -37,6 +39,15 @@ for f in $files; do
             echo "$f: broken markdown link: $p"
             touch .docs_lint_failed
         done
+done
+
+# 3. Docs index completeness: a docs page nobody can navigate to is a
+# docs page nobody reads.
+for p in docs/*.md; do
+    if ! grep -q "]($p)" README.md; then
+        echo "README.md: docs index is missing a link to $p"
+        touch .docs_lint_failed
+    fi
 done
 
 if [ -e .docs_lint_failed ]; then
